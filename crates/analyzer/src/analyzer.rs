@@ -1,0 +1,398 @@
+//! The μAlloy analyzer: bounded execution of `run` and `check` commands.
+//!
+//! Plays the role of the Alloy Analyzer in the study: every repair oracle
+//! (assertion validity, predicate satisfiability, counterexample generation,
+//! instance enumeration) goes through this type.
+
+use mualloy_relational::{
+    assert_body, elaborate_formula, pred_as_existential, Evaluator, Instance, Translator,
+};
+use mualloy_sat::{SolveResult, Solver};
+use mualloy_syntax::ast::*;
+
+use crate::error::AnalyzerError;
+
+/// The outcome of executing one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutcome {
+    /// The executed command.
+    pub command: Command,
+    /// Whether the solved formula was satisfiable. For `run` this means an
+    /// instance exists; for `check` it means a **counterexample** exists
+    /// (the assertion does not hold in scope).
+    pub sat: bool,
+    /// The witness: an instance for `run`, a counterexample for `check`.
+    pub instance: Option<Instance>,
+}
+
+impl CommandOutcome {
+    /// Whether the outcome matches the command's `expect` annotation (true
+    /// when no annotation is present).
+    pub fn matches_expectation(&self) -> bool {
+        self.command.expect.map_or(true, |e| e == self.sat)
+    }
+}
+
+/// Bounded analyzer over a parsed specification.
+///
+/// # Example
+///
+/// ```
+/// use mualloy_analyzer::Analyzer;
+/// use mualloy_syntax::parse_spec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = parse_spec(
+///     "sig N { next: lone N } \
+///      fact { no n: N | n in n.^next } \
+///      assert NoSelf { all n: N | n != n.next } \
+///      check NoSelf for 3 expect 0",
+/// )?;
+/// let analyzer = Analyzer::new(spec);
+/// let outcomes = analyzer.execute_all()?;
+/// assert!(outcomes[0].matches_expectation()); // acyclicity implies no self-loop
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    spec: Spec,
+}
+
+impl Analyzer {
+    /// Creates an analyzer for the given specification.
+    pub fn new(spec: Spec) -> Analyzer {
+        Analyzer { spec }
+    }
+
+    /// Parses source text and creates an analyzer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax or static-check errors.
+    pub fn from_source(source: &str) -> Result<Analyzer, AnalyzerError> {
+        let spec = mualloy_syntax::parse_spec(source)?;
+        mualloy_syntax::ensure_well_formed(&spec)?;
+        Ok(Analyzer::new(spec))
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Solves `facts && declarations && formula` at the given scope.
+    ///
+    /// Returns a satisfying instance, or `None` when unsatisfiable.
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration or translation errors.
+    pub fn solve_formula(
+        &self,
+        formula: &Formula,
+        scope: u32,
+    ) -> Result<Option<Instance>, AnalyzerError> {
+        Ok(self.enumerate(formula, scope, 1)?.into_iter().next())
+    }
+
+    /// Enumerates up to `limit` distinct instances of
+    /// `facts && declarations && formula`.
+    ///
+    /// Instances differ in at least one signature membership or field tuple.
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration or translation errors.
+    pub fn enumerate(
+        &self,
+        formula: &Formula,
+        scope: u32,
+        limit: usize,
+    ) -> Result<Vec<Instance>, AnalyzerError> {
+        let mut tr = Translator::new(&self.spec, scope)?;
+        let f = elaborate_formula(tr.spec(), formula)?;
+        let fv = tr.compile_formula(&f)?;
+        let root = tr.circuit.and(tr.base_constraint(), fv);
+        let mut solver = Solver::new();
+        let inputs = tr.circuit.encode(root, &mut solver);
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match solver.solve() {
+                SolveResult::Sat(m) => {
+                    let vals: Vec<bool> = inputs
+                        .iter()
+                        .map(|l| m[l.var().index()] == l.is_positive())
+                        .collect();
+                    out.push(tr.decode(&vals));
+                    // Block this assignment of the relational inputs.
+                    let block: Vec<_> = inputs
+                        .iter()
+                        .zip(&vals)
+                        .map(|(&l, &v)| if v { !l } else { l })
+                        .collect();
+                    if block.is_empty() || !solver.add_clause(block) {
+                        break;
+                    }
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a predicate: searches for an instance where the predicate holds
+    /// (parameters are existentially quantified).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the predicate is unknown or translation fails.
+    pub fn run_pred(&self, name: &str, scope: u32) -> Result<CommandOutcome, AnalyzerError> {
+        let formula = pred_as_existential(&self.spec, name)
+            .map_err(|_| AnalyzerError::UnknownTarget(name.to_string()))?;
+        let instance = self.solve_formula(&formula, scope)?;
+        Ok(CommandOutcome {
+            command: Command {
+                kind: CommandKind::Run(name.to_string()),
+                scope,
+                expect: None,
+                span: Span::synthetic(),
+            },
+            sat: instance.is_some(),
+            instance,
+        })
+    }
+
+    /// Checks an assertion: searches for a counterexample (an instance of
+    /// the facts violating the assertion body).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the assertion is unknown or translation fails.
+    pub fn check_assert(&self, name: &str, scope: u32) -> Result<CommandOutcome, AnalyzerError> {
+        let body = assert_body(&self.spec, name)
+            .map_err(|_| AnalyzerError::UnknownTarget(name.to_string()))?;
+        let negated = Formula::not(body);
+        let instance = self.solve_formula(&negated, scope)?;
+        Ok(CommandOutcome {
+            command: Command {
+                kind: CommandKind::Check(name.to_string()),
+                scope,
+                expect: None,
+                span: Span::synthetic(),
+            },
+            sat: instance.is_some(),
+            instance,
+        })
+    }
+
+    /// Enumerates up to `limit` counterexamples to the named assertion.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the assertion is unknown or translation fails.
+    pub fn counterexamples(
+        &self,
+        name: &str,
+        scope: u32,
+        limit: usize,
+    ) -> Result<Vec<Instance>, AnalyzerError> {
+        let body = assert_body(&self.spec, name)
+            .map_err(|_| AnalyzerError::UnknownTarget(name.to_string()))?;
+        self.enumerate(&Formula::not(body), scope, limit)
+    }
+
+    /// Executes a single command.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown targets or translation errors.
+    pub fn run_command(&self, cmd: &Command) -> Result<CommandOutcome, AnalyzerError> {
+        let mut outcome = match &cmd.kind {
+            CommandKind::Run(name) => self.run_pred(name, cmd.scope)?,
+            CommandKind::Check(name) => self.check_assert(name, cmd.scope)?,
+        };
+        outcome.command = cmd.clone();
+        Ok(outcome)
+    }
+
+    /// Executes every command in the specification, in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first command that cannot be executed.
+    pub fn execute_all(&self) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        self.spec
+            .commands
+            .iter()
+            .map(|c| self.run_command(c))
+            .collect()
+    }
+
+    /// Whether every command's outcome matches its `expect` annotation.
+    ///
+    /// This is the *property oracle* the traditional repair tools validate
+    /// candidates against.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any command cannot be executed.
+    pub fn satisfies_oracle(&self) -> Result<bool, AnalyzerError> {
+        Ok(self
+            .execute_all()?
+            .iter()
+            .all(CommandOutcome::matches_expectation))
+    }
+
+    /// The commands whose outcomes contradict their `expect` annotations.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any command cannot be executed.
+    pub fn failing_commands(&self) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        Ok(self
+            .execute_all()?
+            .into_iter()
+            .filter(|o| !o.matches_expectation())
+            .collect())
+    }
+
+    /// Evaluates an (unelaborated) formula against a concrete instance,
+    /// inlining predicate/function calls against this spec first.
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration or evaluation errors.
+    pub fn evaluate(
+        &self,
+        instance: &Instance,
+        formula: &Formula,
+    ) -> Result<bool, AnalyzerError> {
+        let f = elaborate_formula(&self.spec, formula)?;
+        Ok(Evaluator::new(instance).formula(&f)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::{parse_formula, parse_spec};
+
+    const LIST: &str = "sig N { next: lone N } \
+        fact Acyclic { no n: N | n in n.^next } \
+        pred somePath { some n: N | some n.next } \
+        assert NoSelfLoop { all n: N | n not in n.next } \
+        run somePath for 3 expect 1 \
+        check NoSelfLoop for 3 expect 0";
+
+    fn analyzer() -> Analyzer {
+        Analyzer::new(parse_spec(LIST).unwrap())
+    }
+
+    #[test]
+    fn run_finds_instance() {
+        let out = analyzer().run_pred("somePath", 3).unwrap();
+        assert!(out.sat);
+        let inst = out.instance.unwrap();
+        assert!(!inst.field_set("next").is_empty());
+    }
+
+    #[test]
+    fn check_valid_assertion_has_no_counterexample() {
+        let out = analyzer().check_assert("NoSelfLoop", 3).unwrap();
+        assert!(!out.sat, "acyclicity implies no self loops");
+        assert!(out.instance.is_none());
+    }
+
+    #[test]
+    fn check_invalid_assertion_yields_counterexample() {
+        let spec = parse_spec(
+            "sig N { next: lone N } assert Emptyish { no next } check Emptyish for 3",
+        )
+        .unwrap();
+        let out = Analyzer::new(spec).check_assert("Emptyish", 3).unwrap();
+        assert!(out.sat);
+        let cex = out.instance.unwrap();
+        assert!(!cex.field_set("next").is_empty());
+    }
+
+    #[test]
+    fn execute_all_and_oracle() {
+        let a = analyzer();
+        let outcomes = a.execute_all().unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.matches_expectation()));
+        assert!(a.satisfies_oracle().unwrap());
+        assert!(a.failing_commands().unwrap().is_empty());
+    }
+
+    #[test]
+    fn oracle_detects_faults() {
+        // Break the fact: cycles allowed -> NoSelfLoop gets a counterexample.
+        let faulty = LIST.replace("no n: N | n in n.^next", "some N || no N");
+        let a = Analyzer::new(parse_spec(&faulty).unwrap());
+        assert!(!a.satisfies_oracle().unwrap());
+        let failing = a.failing_commands().unwrap();
+        assert_eq!(failing.len(), 1);
+        assert!(failing[0].command.is_check());
+    }
+
+    #[test]
+    fn unknown_targets_error() {
+        let a = analyzer();
+        assert!(matches!(
+            a.run_pred("ghost", 3),
+            Err(AnalyzerError::UnknownTarget(_))
+        ));
+        assert!(matches!(
+            a.check_assert("ghost", 3),
+            Err(AnalyzerError::UnknownTarget(_))
+        ));
+    }
+
+    #[test]
+    fn enumerate_yields_distinct_instances() {
+        let a = analyzer();
+        let f = parse_formula("some N").unwrap();
+        let instances = a.enumerate(&f, 2, 10).unwrap();
+        assert!(instances.len() > 1);
+        for i in 0..instances.len() {
+            for j in (i + 1)..instances.len() {
+                assert_ne!(instances[i], instances[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn counterexamples_enumeration() {
+        let spec = parse_spec(
+            "sig N { next: lone N } assert NoNext { no next } check NoNext for 2",
+        )
+        .unwrap();
+        let a = Analyzer::new(spec);
+        let cexs = a.counterexamples("NoNext", 2, 5).unwrap();
+        assert!(!cexs.is_empty());
+        for c in &cexs {
+            assert!(!c.field_set("next").is_empty());
+        }
+    }
+
+    #[test]
+    fn evaluate_against_instance() {
+        let a = analyzer();
+        let inst = a.run_pred("somePath", 3).unwrap().instance.unwrap();
+        assert!(a
+            .evaluate(&inst, &parse_formula("some n: N | some n.next").unwrap())
+            .unwrap());
+        assert!(a
+            .evaluate(&inst, &parse_formula("no n: N | n in n.^next").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn from_source_validates() {
+        assert!(Analyzer::from_source("sig A { f: set Ghost }").is_err());
+        assert!(Analyzer::from_source("sig A {").is_err());
+        assert!(Analyzer::from_source("sig A {}").is_ok());
+    }
+}

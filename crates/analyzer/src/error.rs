@@ -1,0 +1,63 @@
+//! Error type for analyses.
+
+use mualloy_relational::TranslateError;
+use mualloy_syntax::{CheckError, SyntaxError};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while executing an analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzerError {
+    /// The specification (or candidate text) failed to parse.
+    Syntax(SyntaxError),
+    /// The specification failed static checks.
+    Check(CheckError),
+    /// Translation or evaluation failed.
+    Translate(TranslateError),
+    /// The named command target does not exist.
+    UnknownTarget(String),
+}
+
+impl fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzerError::Syntax(e) => write!(f, "{e}"),
+            AnalyzerError::Check(e) => write!(f, "{e}"),
+            AnalyzerError::Translate(e) => write!(f, "{e}"),
+            AnalyzerError::UnknownTarget(n) => write!(f, "unknown command target `{n}`"),
+        }
+    }
+}
+
+impl Error for AnalyzerError {}
+
+impl From<SyntaxError> for AnalyzerError {
+    fn from(e: SyntaxError) -> Self {
+        AnalyzerError::Syntax(e)
+    }
+}
+
+impl From<CheckError> for AnalyzerError {
+    fn from(e: CheckError) -> Self {
+        AnalyzerError::Check(e)
+    }
+}
+
+impl From<TranslateError> for AnalyzerError {
+    fn from(e: TranslateError) -> Self {
+        AnalyzerError::Translate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_inner_messages() {
+        let e: AnalyzerError = TranslateError::new("boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e = AnalyzerError::UnknownTarget("p".into());
+        assert!(e.to_string().contains("`p`"));
+    }
+}

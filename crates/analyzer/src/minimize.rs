@@ -1,0 +1,174 @@
+//! Witness minimization — the analog of Alloy's minimal-instance display.
+//!
+//! Counterexamples handed to users (and to the Multi-Round feedback
+//! templates) are easier to act on when they contain no irrelevant tuples.
+//! [`minimize_witness`] greedily removes field tuples and signature atoms
+//! while the instance still witnesses the given formula under the
+//! specification's facts, re-checking with the ground evaluator each step
+//! (no solver calls).
+
+use mualloy_relational::{elaborate_formula, Evaluator, Instance};
+use mualloy_syntax::ast::{Formula, Spec};
+use std::collections::BTreeSet;
+
+use crate::error::AnalyzerError;
+
+/// Whether the instance satisfies `facts && formula` per the ground
+/// evaluator.
+fn still_witnesses(spec: &Spec, formula: &Formula, inst: &Instance) -> bool {
+    let ev = Evaluator::new(inst);
+    let facts_ok = spec.facts.iter().all(|f| {
+        f.body.iter().all(|g| {
+            elaborate_formula(spec, g)
+                .ok()
+                .and_then(|e| ev.formula(&e).ok())
+                .unwrap_or(false)
+        })
+    });
+    if !facts_ok {
+        return false;
+    }
+    elaborate_formula(spec, formula)
+        .ok()
+        .and_then(|e| ev.formula(&e).ok())
+        .unwrap_or(false)
+}
+
+/// Greedily minimizes a witness instance of `facts && formula`.
+///
+/// Tuples are removed field by field, then atoms signature by signature
+/// (an atom removal also deletes every tuple mentioning it); each removal
+/// is kept only if the instance still witnesses the formula. The result is
+/// locally minimal: removing any single remaining tuple or atom breaks the
+/// witness property.
+///
+/// # Errors
+///
+/// Fails when the input instance is not a witness in the first place.
+pub fn minimize_witness(
+    spec: &Spec,
+    formula: &Formula,
+    witness: &Instance,
+) -> Result<Instance, AnalyzerError> {
+    if !still_witnesses(spec, formula, witness) {
+        return Err(AnalyzerError::Translate(
+            mualloy_relational::TranslateError::new(
+                "instance does not witness the formula; nothing to minimize",
+            ),
+        ));
+    }
+    let mut current = witness.clone();
+
+    // Phase 1: drop field tuples.
+    let field_names: Vec<String> = current.field_names().map(String::from).collect();
+    for field in &field_names {
+        let tuples: Vec<Vec<u32>> = current.field_set(field).into_iter().collect();
+        for t in tuples {
+            let mut trial = current.clone();
+            let mut set = trial.field_set(field);
+            set.remove(&t);
+            trial.set_field(field.clone(), set);
+            if still_witnesses(spec, formula, &trial) {
+                current = trial;
+            }
+        }
+    }
+
+    // Phase 2: drop atoms (cascading into remaining tuples).
+    let sig_names: Vec<String> = current.sig_names().map(String::from).collect();
+    for sig in &sig_names {
+        let atoms: Vec<u32> = current.sig_set(sig).into_iter().collect();
+        for atom in atoms {
+            let mut trial = current.clone();
+            for s in &sig_names {
+                let set: BTreeSet<u32> =
+                    trial.sig_set(s).into_iter().filter(|&a| a != atom).collect();
+                trial.set_sig(s.clone(), set);
+            }
+            for f in &field_names {
+                let set: BTreeSet<Vec<u32>> = trial
+                    .field_set(f)
+                    .into_iter()
+                    .filter(|t| !t.contains(&atom))
+                    .collect();
+                trial.set_field(f.clone(), set);
+            }
+            if still_witnesses(spec, formula, &trial) {
+                current = trial;
+            }
+        }
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+    use mualloy_syntax::{parse_formula, parse_spec};
+
+    fn setup() -> (Spec, Formula, Instance) {
+        let spec = parse_spec(
+            "sig N { next: lone N } fact { no n: N | n in n.^next }",
+        )
+        .unwrap();
+        let formula = parse_formula("some n: N | some n.next").unwrap();
+        let analyzer = Analyzer::new(spec.clone());
+        // Ask for a *large* witness by enumerating a few and taking the
+        // biggest.
+        let witness = analyzer
+            .enumerate(&formula, 3, 8)
+            .unwrap()
+            .into_iter()
+            .max_by_key(Instance::size)
+            .unwrap();
+        (spec, formula, witness)
+    }
+
+    #[test]
+    fn minimization_shrinks_and_preserves_witnesshood() {
+        let (spec, formula, witness) = setup();
+        let minimal = minimize_witness(&spec, &formula, &witness).unwrap();
+        assert!(minimal.size() <= witness.size());
+        assert!(still_witnesses(&spec, &formula, &minimal));
+        // `some n | some n.next` needs exactly two atoms and one edge.
+        assert_eq!(minimal.field_set("next").len(), 1);
+        assert_eq!(minimal.sig_set("N").len(), 2);
+    }
+
+    #[test]
+    fn result_is_locally_minimal() {
+        let (spec, formula, witness) = setup();
+        let minimal = minimize_witness(&spec, &formula, &witness).unwrap();
+        // Removing the remaining edge must break the witness.
+        let mut broken = minimal.clone();
+        broken.set_field("next", BTreeSet::new());
+        assert!(!still_witnesses(&spec, &formula, &broken));
+    }
+
+    #[test]
+    fn non_witness_input_is_rejected() {
+        let (spec, formula, _) = setup();
+        let empty = Instance::new(vec![]);
+        assert!(minimize_witness(&spec, &formula, &empty).is_err());
+    }
+
+    #[test]
+    fn counterexample_minimization_end_to_end() {
+        let spec = parse_spec(
+            "sig N { next: lone N } \
+             assert NoEdge { no next } check NoEdge for 3",
+        )
+        .unwrap();
+        let analyzer = Analyzer::new(spec.clone());
+        let out = analyzer.check_assert("NoEdge", 3).unwrap();
+        let cex = out.instance.unwrap();
+        // Counterexamples witness the negated assertion body.
+        let negated = Formula::not(
+            Formula::conjoin(spec.assert("NoEdge").unwrap().body.clone()),
+        );
+        let minimal = minimize_witness(&spec, &negated, &cex).unwrap();
+        assert!(minimal.size() <= cex.size());
+        assert_eq!(minimal.field_set("next").len(), 1);
+    }
+}

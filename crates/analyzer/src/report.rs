@@ -1,0 +1,206 @@
+//! Structured analyzer reports.
+//!
+//! These are the artifacts the Multi-Round LLM pipeline feeds back to its
+//! repair agent (the paper's *Generic-feedback* renders them with a fixed
+//! template; *Auto-feedback* post-processes them into targeted guidance).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::analyzer::Analyzer;
+
+/// Status of one command execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandStatus {
+    /// Outcome agreed with the command's `expect` annotation (or there was
+    /// no annotation).
+    Ok,
+    /// A `check` produced a counterexample although `expect 0` was declared.
+    UnexpectedCounterexample,
+    /// A `run` found no instance although `expect 1` was declared.
+    UnexpectedUnsat,
+    /// A `run` found an instance although `expect 0` was declared, or a
+    /// `check` found none although `expect 1` was declared.
+    UnexpectedResult,
+    /// The command could not be executed at all.
+    Error(String),
+}
+
+/// Report for one command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandReport {
+    /// Rendered command, e.g. `check Safe for 3`.
+    pub command: String,
+    /// Execution status.
+    pub status: CommandStatus,
+    /// Rendering of the witness instance/counterexample, if any.
+    pub witness: Option<String>,
+}
+
+/// A full analyzer report over a specification (or candidate text).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalyzerReport {
+    /// Whether the text parsed and passed static checks.
+    pub well_formed: bool,
+    /// Parse/check error message when not well-formed.
+    pub error: Option<String>,
+    /// Per-command reports (empty when not well-formed).
+    pub commands: Vec<CommandReport>,
+}
+
+impl AnalyzerReport {
+    /// Builds a report by executing every command of the given source text.
+    pub fn for_source(source: &str) -> AnalyzerReport {
+        match Analyzer::from_source(source) {
+            Err(e) => AnalyzerReport {
+                well_formed: false,
+                error: Some(e.to_string()),
+                commands: Vec::new(),
+            },
+            Ok(analyzer) => Self::for_analyzer(&analyzer),
+        }
+    }
+
+    /// Builds a report by executing every command through the analyzer.
+    pub fn for_analyzer(analyzer: &Analyzer) -> AnalyzerReport {
+        let mut commands = Vec::new();
+        for cmd in &analyzer.spec().commands {
+            let verb = if cmd.is_check() { "check" } else { "run" };
+            let rendered = format!("{verb} {} for {}", cmd.target(), cmd.scope);
+            match analyzer.run_command(cmd) {
+                Err(e) => commands.push(CommandReport {
+                    command: rendered,
+                    status: CommandStatus::Error(e.to_string()),
+                    witness: None,
+                }),
+                Ok(out) => {
+                    let status = if out.matches_expectation() {
+                        CommandStatus::Ok
+                    } else if cmd.is_check() && out.sat {
+                        CommandStatus::UnexpectedCounterexample
+                    } else if !cmd.is_check() && !out.sat {
+                        CommandStatus::UnexpectedUnsat
+                    } else {
+                        CommandStatus::UnexpectedResult
+                    };
+                    commands.push(CommandReport {
+                        command: rendered,
+                        status,
+                        witness: out.instance.map(|i| i.to_string()),
+                    });
+                }
+            }
+        }
+        AnalyzerReport {
+            well_formed: true,
+            error: None,
+            commands,
+        }
+    }
+
+    /// Whether every command succeeded with the expected outcome.
+    pub fn all_ok(&self) -> bool {
+        self.well_formed && self.commands.iter().all(|c| c.status == CommandStatus::Ok)
+    }
+
+    /// Number of commands whose outcome contradicted expectations or errored.
+    pub fn num_failing(&self) -> usize {
+        self.commands
+            .iter()
+            .filter(|c| c.status != CommandStatus::Ok)
+            .count()
+    }
+}
+
+impl fmt::Display for AnalyzerReport {
+    /// Renders the report with the fixed template used as
+    /// *Generic-feedback* in the Multi-Round pipeline.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.well_formed {
+            writeln!(
+                f,
+                "The Alloy Analyzer could not parse the specification: {}",
+                self.error.as_deref().unwrap_or("unknown error")
+            )?;
+            return Ok(());
+        }
+        for c in &self.commands {
+            match &c.status {
+                CommandStatus::Ok => writeln!(f, "[PASS] {}", c.command)?,
+                CommandStatus::UnexpectedCounterexample => {
+                    writeln!(f, "[FAIL] {}: a counterexample was found:", c.command)?;
+                    if let Some(w) = &c.witness {
+                        for line in w.lines() {
+                            writeln!(f, "    {line}")?;
+                        }
+                    }
+                }
+                CommandStatus::UnexpectedUnsat => writeln!(
+                    f,
+                    "[FAIL] {}: no satisfying instance exists within scope",
+                    c.command
+                )?,
+                CommandStatus::UnexpectedResult => {
+                    writeln!(f, "[FAIL] {}: unexpected result", c.command)?
+                }
+                CommandStatus::Error(e) => writeln!(f, "[ERROR] {}: {e}", c.command)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "sig N { next: lone N } \
+        fact { no n: N | n in n.^next } \
+        assert NoSelf { all n: N | n not in n.next } \
+        check NoSelf for 3 expect 0";
+
+    #[test]
+    fn passing_spec_reports_ok() {
+        let r = AnalyzerReport::for_source(GOOD);
+        assert!(r.well_formed);
+        assert!(r.all_ok());
+        assert_eq!(r.num_failing(), 0);
+        assert!(r.to_string().contains("[PASS]"));
+    }
+
+    #[test]
+    fn failing_check_includes_counterexample() {
+        let bad = GOOD.replace("no n: N | n in n.^next", "some univ || no univ");
+        let r = AnalyzerReport::for_source(&bad);
+        assert!(!r.all_ok());
+        assert_eq!(r.num_failing(), 1);
+        let rendered = r.to_string();
+        assert!(rendered.contains("[FAIL]"));
+        assert!(rendered.contains("counterexample"));
+        assert!(rendered.contains("next ="), "witness should be rendered: {rendered}");
+    }
+
+    #[test]
+    fn unparsable_source_reports_parse_error() {
+        let r = AnalyzerReport::for_source("sig {");
+        assert!(!r.well_formed);
+        assert!(!r.all_ok());
+        assert!(r.to_string().contains("could not parse"));
+    }
+
+    #[test]
+    fn run_expect_one_that_is_unsat_reports_failure() {
+        let src = "sig A {} fact { no A } pred p { some A } run p for 3 expect 1";
+        let r = AnalyzerReport::for_source(src);
+        assert_eq!(r.num_failing(), 1);
+        assert_eq!(r.commands[0].status, CommandStatus::UnexpectedUnsat);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = AnalyzerReport::for_source(GOOD);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AnalyzerReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,39 @@
+//! Bench for Experiment E5 (ablation): localization-guided hybrid vs plain
+//! Multi-Round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrepair_bench::bench_problems;
+use specrepair_core::{localize, LocalizeThenFix, RepairBudget, RepairContext, RepairTechnique};
+use specrepair_llm::{FeedbackSetting, MultiRound};
+
+fn bench_ablation(c: &mut Criterion) {
+    let problems = bench_problems();
+    let p = &problems[0];
+    let budget = RepairBudget {
+        max_candidates: 30,
+        max_rounds: 3,
+    };
+    let ctx = RepairContext {
+        faulty: p.faulty.clone(),
+        source: p.faulty_source.clone(),
+        budget,
+    };
+    let mut group = c.benchmark_group("ablation_hybrid");
+    group.sample_size(10);
+
+    group.bench_function("fault_localization_only", |b| {
+        b.iter(|| localize(&p.faulty).ranked.len())
+    });
+    group.bench_function("plain_multi_round", |b| {
+        let t = MultiRound::new(FeedbackSetting::None, 42);
+        b.iter(|| t.repair(&ctx).success)
+    });
+    group.bench_function("localize_then_fix", |b| {
+        let t = LocalizeThenFix::new(MultiRound::new(FeedbackSetting::None, 42), 3);
+        b.iter(|| t.repair(&ctx).success)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

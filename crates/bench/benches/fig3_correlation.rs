@@ -1,0 +1,36 @@
+//! Bench for Experiment E3 (Figure 3): Pearson correlation matrix over
+//! per-spec similarity vectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrepair_metrics::{correlation_matrix, pearson};
+
+fn synthetic_series(n: usize, k: usize) -> Vec<(String, Vec<f64>)> {
+    // Deterministic pseudo-similarity vectors shaped like real ones.
+    (0..k)
+        .map(|t| {
+            let v: Vec<f64> = (0..n)
+                .map(|i| {
+                    let x = ((i * 2654435761 + t * 40503) % 1000) as f64 / 1000.0;
+                    0.5 + x / 2.0
+                })
+                .collect();
+            (format!("tech{t}"), v)
+        })
+        .collect()
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_correlation");
+    let series = synthetic_series(1974, 12);
+
+    group.bench_function("pearson_pair_1974_specs", |b| {
+        b.iter(|| pearson(&series[0].1, &series[1].1))
+    });
+    group.bench_function("full_12x12_matrix_1974_specs", |b| {
+        b.iter(|| correlation_matrix(&series))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

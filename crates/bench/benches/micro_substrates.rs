@@ -1,0 +1,71 @@
+//! Microbenchmarks for the substrates: parser, printer, static checks,
+//! SAT solving, relational translation, analysis, mutation enumeration and
+//! fault injection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mualloy_analyzer::Analyzer;
+use mualloy_relational::Translator;
+use mualloy_sat::{SolveResult, Solver, Var};
+use specrepair_mutation::{inject_fault, InjectorConfig, MutationEngine};
+
+const SPEC: &str = "\
+abstract sig Person { tutors: set Person }
+sig Teacher extends Person {}
+sig Student extends Person {}
+fact Tutoring {
+  all p: Person | p.tutors in Student
+  all s: Student | no s.tutors
+  no p: Person | p in p.^tutors
+}
+pred hasTutoring { some tutors }
+assert OnlyTeachersTutor { all p: Person | some p.tutors => p in Teacher }
+run hasTutoring for 3 expect 1
+check OnlyTeachersTutor for 3 expect 0
+";
+
+fn bench_micro(c: &mut Criterion) {
+    let spec = mualloy_syntax::parse_spec(SPEC).unwrap();
+    let mut group = c.benchmark_group("micro_substrates");
+
+    group.bench_function("parse_spec", |b| {
+        b.iter(|| mualloy_syntax::parse_spec(SPEC).unwrap())
+    });
+    group.bench_function("print_spec", |b| b.iter(|| mualloy_syntax::print_spec(&spec)));
+    group.bench_function("check_spec", |b| b.iter(|| mualloy_syntax::check_spec(&spec)));
+    group.bench_function("translate_scope3", |b| {
+        b.iter(|| Translator::new(&spec, 3).unwrap().base_constraint())
+    });
+    group.bench_function("analyzer_oracle", |b| {
+        let analyzer = Analyzer::new(spec.clone());
+        b.iter(|| analyzer.satisfies_oracle().unwrap())
+    });
+    group.bench_function("mutation_enumeration", |b| {
+        b.iter(|| MutationEngine::new(&spec).all_mutations().len())
+    });
+    group.bench_function("fault_injection", |b| {
+        b.iter(|| inject_fault(&spec, 7, InjectorConfig::default()).is_some())
+    });
+    group.bench_function("cdcl_pigeonhole_6_5", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let vars: Vec<Vec<Var>> = (0..6)
+                .map(|_| (0..5).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &vars {
+                s.add_clause(row.iter().map(|v| v.positive()));
+            }
+            for j in 0..5 {
+                for i1 in 0..6 {
+                    for i2 in (i1 + 1)..6 {
+                        s.add_clause([vars[i1][j].negative(), vars[i2][j].negative()]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for Experiment E4 (Table II / Figure 4): hybrid repair and overlap
+//! statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrepair_bench::bench_problems;
+use specrepair_core::{overlap_stats, RepairBudget, RepairContext, RepairTechnique, UnionHybrid};
+use specrepair_llm::{FeedbackSetting, MultiRound};
+use specrepair_traditional::Atr;
+
+fn bench_table2(c: &mut Criterion) {
+    let problems = bench_problems();
+    let budget = RepairBudget {
+        max_candidates: 30,
+        max_rounds: 3,
+    };
+    let mut group = c.benchmark_group("table2_hybrid");
+    group.sample_size(10);
+
+    group.bench_function("union_hybrid_atr_plus_mr_one_spec", |b| {
+        let p = &problems[0];
+        let ctx = RepairContext {
+            faulty: p.faulty.clone(),
+            source: p.faulty_source.clone(),
+            budget,
+        };
+        let hybrid = UnionHybrid::new(Atr::default(), MultiRound::new(FeedbackSetting::None, 42));
+        b.iter(|| hybrid.repair(&ctx).success)
+    });
+
+    group.bench_function("overlap_stats_1974_specs", |b| {
+        let x: Vec<bool> = (0..1974).map(|i| i % 3 != 0).collect();
+        let y: Vec<bool> = (0..1974).map(|i| i % 2 == 0).collect();
+        b.iter(|| overlap_stats(&x, &y))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! # specrepair-bench
+//!
+//! Criterion benchmarks regenerating the study's artifacts at bench scale.
+//! One bench target per paper artifact (`table1_rep`, `fig2_similarity`,
+//! `fig3_correlation`, `table2_hybrid`, `ablation_hybrid`) plus
+//! `micro_substrates` for the underlying machinery (parser, SAT solver,
+//! translation, mutation, metrics).
+//!
+//! Shared fixtures live here so every bench measures the same workload.
+
+use specrepair_benchmarks::RepairProblem;
+
+/// A small, deterministic benchmark workload: a handful of faulty specs
+/// drawn from both corpora.
+pub fn bench_problems() -> Vec<RepairProblem> {
+    let mut problems = specrepair_benchmarks::alloy4fun(0.002);
+    problems.extend(specrepair_benchmarks::arepair(0.1));
+    problems.truncate(8);
+    problems
+}
+
+/// The study configuration used by all benches.
+pub fn bench_config() -> specrepair_study::StudyConfig {
+    specrepair_study::StudyConfig {
+        scale: 0.002,
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nonempty_and_deterministic() {
+        let a = bench_problems();
+        let b = bench_problems();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].faulty_source, b[0].faulty_source);
+    }
+}

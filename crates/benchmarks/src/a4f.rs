@@ -1,0 +1,345 @@
+//! Ground-truth specifications for the six Alloy4Fun domains.
+//!
+//! The real Alloy4Fun corpus collects buggy student submissions for guided
+//! modelling exercises across six domains; each domain here provides the
+//! exercises (known-correct μAlloy specifications with `expect`-annotated
+//! commands) from which the faulty corpus entries are manufactured by
+//! semantic fault injection (see DESIGN.md §1 for the substitution
+//! argument).
+
+/// Per-domain target counts, exactly as in Table I of the paper.
+pub const DOMAIN_COUNTS: [(&str, usize); 6] = [
+    ("classroom", 999),
+    ("cv", 138),
+    ("graphs", 283),
+    ("lts", 249),
+    ("production", 61),
+    ("trash", 206),
+];
+
+/// The exercises (name, ground-truth source) of a domain.
+pub fn exercises(domain: &str) -> &'static [(&'static str, &'static str)] {
+    match domain {
+        "classroom" => CLASSROOM,
+        "cv" => CV,
+        "graphs" => GRAPHS,
+        "lts" => LTS,
+        "production" => PRODUCTION,
+        "trash" => TRASH,
+        _ => &[],
+    }
+}
+
+/// All domain names, in the paper's row order.
+pub fn domains() -> impl Iterator<Item = &'static str> {
+    DOMAIN_COUNTS.iter().map(|(d, _)| *d)
+}
+
+const CLASSROOM: &[(&str, &str)] = &[
+    (
+        "teaching",
+        "sig Teacher {}\n\
+         sig Student {}\n\
+         sig Class {\n  taughtBy: lone Teacher,\n  enrolled: set Student\n}\n\
+         fact Teaching {\n\
+           all c: Class | some c.enrolled => some c.taughtBy\n\
+           all t: Teacher | lone taughtBy.t\n\
+         }\n\
+         pred someClass { some c: Class | some c.enrolled }\n\
+         assert TaughtClasses { all c: Class | no c.enrolled || some c.taughtBy }\n\
+         run someClass for 3 expect 1\n\
+         check TaughtClasses for 3 expect 0\n\
+         pred emptyClassOk { some c: Class | no c.enrolled }\n\
+         assert TeacherLoad { all t: Teacher | lone taughtBy.t }\n\
+         run emptyClassOk for 3 expect 1\n\
+         check TeacherLoad for 3 expect 0\n",
+    ),
+    (
+        "tutoring",
+        "abstract sig Person { tutors: set Person }\n\
+         sig Teacher extends Person {}\n\
+         sig Student extends Person {}\n\
+         fact Tutoring {\n\
+           all p: Person | p.tutors in Student\n\
+           all s: Student | no s.tutors\n\
+           no p: Person | p in p.^tutors\n\
+         }\n\
+         pred hasTutoring { some tutors }\n\
+         assert OnlyTeachersTutor { all p: Person | some p.tutors => p in Teacher }\n\
+         assert NoSelfTutor { no p: Person | p in p.tutors }\n\
+         run hasTutoring for 3 expect 1\n\
+         check OnlyTeachersTutor for 3 expect 0\n\
+         check NoSelfTutor for 3 expect 0\n\
+         pred mixedPeople { some Teacher && some Student }\n\
+         run mixedPeople for 3 expect 1\n",
+    ),
+    (
+        "prerequisites",
+        "sig Student {}\n\
+         sig Course {\n  enrolled: set Student,\n  prereq: set Course\n}\n\
+         fact Rules {\n\
+           no c: Course | c in c.^prereq\n\
+           all c: Course | some c.enrolled\n\
+         }\n\
+         pred chained { some c: Course | some c.prereq }\n\
+         assert NoCycle { no c: Course | c in c.^prereq }\n\
+         run chained for 3 expect 1\n\
+         check NoCycle for 3 expect 0\n\
+         pred isolated { some c: Course | no c.prereq }\n\
+         assert NoSelfPrereq { all c: Course | c not in c.prereq }\n\
+         run isolated for 3 expect 1\n\
+         check NoSelfPrereq for 3 expect 0\n",
+    ),
+    (
+        "projects",
+        "sig Student { works: set Project }\n\
+         sig Project { supervisor: one Teacher }\n\
+         sig Teacher {}\n\
+         fact Assignments {\n\
+           all p: Project | some works.p\n\
+           all s: Student | lone s.works\n\
+         }\n\
+         pred busy { some s: Student | some s.works }\n\
+         assert Supervised { all s: Student, p: s.works | some p.supervisor }\n\
+         run busy for 3 expect 1\n\
+         check Supervised for 3 expect 0\n\
+         pred freeStudent { some s: Student | no s.works }\n\
+         assert ProjectHasWorker { all p: Project | some works.p }\n\
+         run freeStudent for 3 expect 1\n\
+         check ProjectHasWorker for 3 expect 0\n",
+    ),
+];
+
+const CV: &[(&str, &str)] = &[
+    (
+        "degrees",
+        "sig Person {\n  employer: lone Company,\n  degrees: set Degree\n}\n\
+         sig Company {}\n\
+         sig Degree { holder: one Person }\n\
+         fact Consistent {\n\
+           all p: Person, d: Degree | d in p.degrees <=> p = d.holder\n\
+         }\n\
+         pred employed { some p: Person | some p.employer }\n\
+         assert OwnDegrees { all p: Person | p.degrees.holder in p }\n\
+         run employed for 3 expect 1\n\
+         check OwnDegrees for 3 expect 0\n\
+         pred unemployed { some p: Person | no p.employer }\n\
+         assert DegreeOwner { all d: Degree | d in d.holder.degrees }\n\
+         run unemployed for 3 expect 1\n\
+         check DegreeOwner for 3 expect 0\n",
+    ),
+    (
+        "skills",
+        "sig Applicant { skills: set Skill }\n\
+         sig Skill {}\n\
+         sig Job {\n  requires: set Skill,\n  hired: lone Applicant\n}\n\
+         fact Hiring {\n\
+           all j: Job | all a: j.hired | j.requires in a.skills\n\
+         }\n\
+         pred filled { some j: Job | some j.hired }\n\
+         assert Qualified { all j: Job, a: j.hired | j.requires in a.skills }\n\
+         run filled for 3 expect 1\n\
+         check Qualified for 3 expect 0\n\
+         pred openJob { some j: Job | no j.hired }\n\
+         assert HiredHaveSkills { all j: Job | j.requires in j.hired.skills || no j.hired }\n\
+         run openJob for 3 expect 1\n\
+         check HiredHaveSkills for 3 expect 0\n",
+    ),
+];
+
+const GRAPHS: &[(&str, &str)] = &[
+    (
+        "undirected",
+        "sig Node { adj: set Node }\n\
+         fact Undirected {\n\
+           adj = ~adj\n\
+           no n: Node | n in n.adj\n\
+         }\n\
+         pred connectedPair { some n: Node | some n.adj }\n\
+         assert Symmetric { all n, m: Node | m in n.adj => n in m.adj }\n\
+         run connectedPair for 3 expect 1\n\
+         check Symmetric for 3 expect 0\n\
+         pred isolatedNode { some n: Node | no n.adj }\n\
+         assert AdjIrreflexive { no iden & adj }\n\
+         run isolatedNode for 3 expect 1\n\
+         check AdjIrreflexive for 3 expect 0\n",
+    ),
+    (
+        "dag",
+        "sig Vertex { succ: set Vertex }\n\
+         fact Acyclic { no v: Vertex | v in v.^succ }\n\
+         pred nontrivial { some succ }\n\
+         assert NoSelfLoop { all v: Vertex | v not in v.succ }\n\
+         run nontrivial for 3 expect 1\n\
+         check NoSelfLoop for 3 expect 0\n\
+         pred sink { some v: Vertex | no v.succ }\n\
+         assert NoTwoCycle { all v: Vertex | v not in v.succ.succ }\n\
+         run sink for 3 expect 1\n\
+         check NoTwoCycle for 3 expect 0\n",
+    ),
+    (
+        "forest",
+        "sig TNode { parent: lone TNode }\n\
+         fact Forest {\n\
+           no n: TNode | n in n.^parent\n\
+         }\n\
+         pred deep { some n: TNode | some n.parent.parent }\n\
+         assert RootExists { some TNode => some n: TNode | no n.parent }\n\
+         run deep for 3 expect 1\n\
+         check RootExists for 3 expect 0\n\
+         pred isolatedT { some n: TNode | no n.parent }\n\
+         assert NoParentLoop { all n: TNode | n not in n.parent }\n\
+         run isolatedT for 3 expect 1\n\
+         check NoParentLoop for 3 expect 0\n",
+    ),
+];
+
+const LTS: &[(&str, &str)] = &[
+    (
+        "deterministic",
+        "sig State { trans: Event -> State }\n\
+         sig Event {}\n\
+         fact Deterministic {\n\
+           all s: State, e: Event | lone e.(s.trans)\n\
+         }\n\
+         pred canStep { some s: State, e: Event | some e.(s.trans) }\n\
+         assert DetCheck { all s: State, e: Event | lone e.(s.trans) }\n\
+         run canStep for 3 expect 1\n\
+         check DetCheck for 3 expect 0\n\
+         pred stuck { some s: State | no s.trans }\n\
+         pred branching { some s: State | some e1, e2: Event | e1 != e2 && some e1.(s.trans) && some e2.(s.trans) }\n\
+         run stuck for 3 expect 1\n\
+         run branching for 3 expect 1\n",
+    ),
+    (
+        "reachability",
+        "sig St { next: set St }\n\
+         one sig Initial { s0: one St }\n\
+         fact Reach {\n\
+           St in Initial.s0.*next\n\
+         }\n\
+         pred moves { some next }\n\
+         assert AllReachable { all s: St | s in Initial.s0.*next }\n\
+         run moves for 3 expect 1\n\
+         check AllReachable for 3 expect 0\n\
+         pred terminal { some s: St | no s.next }\n\
+         pred chainOfTwo { some s: St | some s.next && s not in s.next }\n\
+         run terminal for 3 expect 1\n\
+         run chainOfTwo for 3 expect 1\n",
+    ),
+];
+
+const PRODUCTION: &[(&str, &str)] = &[
+    (
+        "assembly",
+        "sig Product { parts: set Component }\n\
+         sig Component { madeBy: lone Machine }\n\
+         sig Machine {}\n\
+         fact Production {\n\
+           all p: Product | some p.parts\n\
+           all c: Component | some c.madeBy\n\
+         }\n\
+         pred builds { some Product }\n\
+         assert AllMade { all p: Product, c: p.parts | some c.madeBy }\n\
+         run builds for 3 expect 1\n\
+         check AllMade for 3 expect 0\n\
+         pred sharedMachine { some m: Machine | some madeBy.m }\n\
+         assert ComponentsHaveMakers { all c: Component | some c.madeBy }\n\
+         run sharedMachine for 3 expect 1\n\
+         check ComponentsHaveMakers for 3 expect 0\n",
+    ),
+    (
+        "line",
+        "sig Station { nextS: lone Station }\n\
+         fact Line {\n\
+           no s: Station | s in s.^nextS\n\
+         }\n\
+         pred longLine { some s: Station | some s.nextS }\n\
+         assert NoLoop { all s: Station | s not in s.nextS }\n\
+         run longLine for 3 expect 1\n\
+         check NoLoop for 3 expect 0\n\
+         pred endStation { some s: Station | no s.nextS }\n\
+         assert NoTwoCycleLine { all s: Station | s not in s.nextS.nextS }\n\
+         run endStation for 3 expect 1\n\
+         check NoTwoCycleLine for 3 expect 0\n",
+    ),
+];
+
+const TRASH: &[(&str, &str)] = &[
+    (
+        "protection",
+        "sig File {}\n\
+         one sig Trash { trashed: set File }\n\
+         one sig Protection { protected: set File }\n\
+         fact Rules {\n\
+           no Trash.trashed & Protection.protected\n\
+         }\n\
+         pred somethingDeleted { some Trash.trashed }\n\
+         assert ProtectedSafe { all f: Protection.protected | f not in Trash.trashed }\n\
+         run somethingDeleted for 3 expect 1\n\
+         check ProtectedSafe for 3 expect 0\n\
+         pred someSafe { some f: File | f not in Trash.trashed }\n\
+         assert TrashedUnprotected { all f: Trash.trashed | f not in Protection.protected }\n\
+         run someSafe for 3 expect 1\n\
+         check TrashedUnprotected for 3 expect 0\n",
+    ),
+    (
+        "filesystem",
+        "sig Dir { contains: set FileObj }\n\
+         sig FileObj { owner: lone Dir }\n\
+         fact FS {\n\
+           all f: FileObj, d: Dir | f in d.contains <=> d = f.owner\n\
+           all f: FileObj | some f.owner\n\
+         }\n\
+         pred populated { some contains }\n\
+         assert Owned { all f: FileObj | some contains.f }\n\
+         run populated for 3 expect 1\n\
+         check Owned for 3 expect 0\n\
+         pred emptyDir { some d: Dir | no d.contains }\n\
+         assert OneOwner { all f: FileObj | lone contains.f }\n\
+         run emptyDir for 3 expect 1\n\
+         check OneOwner for 3 expect 0\n",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_analyzer::Analyzer;
+    use mualloy_syntax::{check_spec, parse_spec};
+
+    #[test]
+    fn counts_match_paper_table() {
+        let total: usize = DOMAIN_COUNTS.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 1936);
+    }
+
+    #[test]
+    fn every_exercise_parses_checks_and_satisfies_its_oracle() {
+        for domain in domains() {
+            let exs = exercises(domain);
+            assert!(!exs.is_empty(), "domain {domain} has no exercises");
+            for (name, src) in exs {
+                let spec = parse_spec(src)
+                    .unwrap_or_else(|e| panic!("{domain}/{name} parse error: {e}"));
+                let errs = check_spec(&spec);
+                assert!(errs.is_empty(), "{domain}/{name} check errors: {errs:?}");
+                assert!(!spec.commands.is_empty(), "{domain}/{name} has no commands");
+                assert!(
+                    spec.commands.iter().all(|c| c.expect.is_some()),
+                    "{domain}/{name} has unannotated commands"
+                );
+                let analyzer = Analyzer::new(spec);
+                assert!(
+                    analyzer.satisfies_oracle().unwrap_or(false),
+                    "{domain}/{name} violates its own oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_domain_is_empty() {
+        assert!(exercises("nope").is_empty());
+    }
+}

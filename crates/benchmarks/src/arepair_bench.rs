@@ -1,0 +1,253 @@
+//! Ground-truth specifications for the 12 problems of the ARepair
+//! benchmark (Wang, Sullivan, Khurshid, ICSE'19 companion).
+//!
+//! Six problems originate from the Alloy distribution (addr, cd, ctree,
+//! farmer, bempl, other) and six from graduate assignments (arr,
+//! balancedBST, dll, fsm, grade, student). The per-problem counts below
+//! match the paper's Table I rows exactly (38 specs in total).
+
+/// Per-problem target counts, as in Table I.
+pub const PROBLEM_COUNTS: [(&str, usize); 12] = [
+    ("addr", 1),
+    ("arr", 2),
+    ("balancedBSt", 3),
+    ("bempl", 1),
+    ("cd", 2),
+    ("ctree", 1),
+    ("dll", 4),
+    ("farmer", 1),
+    ("fsm", 2),
+    ("grade", 1),
+    ("other", 1),
+    ("student", 19),
+];
+
+/// The ground-truth source of a problem.
+pub fn ground_truth(problem: &str) -> Option<&'static str> {
+    Some(match problem {
+        "addr" => ADDR,
+        "arr" => ARR,
+        "balancedBSt" => BALANCED_BST,
+        "bempl" => BEMPL,
+        "cd" => CD,
+        "ctree" => CTREE,
+        "dll" => DLL,
+        "farmer" => FARMER,
+        "fsm" => FSM,
+        "grade" => GRADE,
+        "other" => OTHER,
+        "student" => STUDENT,
+        _ => return None,
+    })
+}
+
+/// All problem names, in the paper's row order.
+pub fn problems() -> impl Iterator<Item = &'static str> {
+    PROBLEM_COUNTS.iter().map(|(p, _)| *p)
+}
+
+const ADDR: &str = "sig Name {}\n\
+    sig Addr {}\n\
+    one sig Book { addr: Name -> lone Addr }\n\
+    fact SomeEntries { some Book.addr }\n\
+    pred hasEntry { some Book.addr }\n\
+    assert LoneTarget { all n: Name | lone n.(Book.addr) }\n\
+    run hasEntry for 3 expect 1\n\
+    check LoneTarget for 3 expect 0\n\
+    pred unmapped { some n: Name | no n.(Book.addr) }\n\
+    run unmapped for 3 expect 1\n\n";
+
+const ARR: &str = "sig Idx { nextI: lone Idx }\n\
+    sig Val {}\n\
+    one sig Arr { at: Idx -> lone Val }\n\
+    fact ArrayShape {\n\
+      no i: Idx | i in i.^nextI\n\
+    }\n\
+    pred filled { some Arr.at }\n\
+    assert Functional { all i: Idx | lone i.(Arr.at) }\n\
+    run filled for 3 expect 1\n\
+    check Functional for 3 expect 0\n\
+    pred emptySlot { some i: Idx | no i.(Arr.at) }\n\
+    assert NoIdxCycle { no i: Idx | i in i.^nextI }\n\
+    run emptySlot for 3 expect 1\n\
+    check NoIdxCycle for 3 expect 0\n\n";
+
+const BALANCED_BST: &str = "sig BNode { left: lone BNode, right: lone BNode }\n\
+    fact BST {\n\
+      no n: BNode | n in n.^(left + right)\n\
+      all n: BNode | no n.left & n.right\n\
+    }\n\
+    pred nontrivial { some n: BNode | some n.left || some n.right }\n\
+    assert Distinct { all n: BNode | no n.left & n.right }\n\
+    assert NoCycle { no n: BNode | n in n.^(left + right) }\n\
+    run nontrivial for 3 expect 1\n\
+    check Distinct for 3 expect 0\n\
+    check NoCycle for 3 expect 0\n\
+    pred leaf { some n: BNode | no n.left && no n.right }\n\
+    run leaf for 3 expect 1\n\n";
+
+const BEMPL: &str = "sig Employee { boss: lone Employee }\n\
+    fact Hierarchy {\n\
+      no e: Employee | e in e.^boss\n\
+    }\n\
+    pred managed { some e: Employee | some e.boss }\n\
+    assert NoSelfBoss { all e: Employee | e not in e.boss }\n\
+    run managed for 3 expect 1\n\
+    check NoSelfBoss for 3 expect 0\n\
+    pred topBoss { some e: Employee | no e.boss }\n\
+    run topBoss for 3 expect 1\n\n";
+
+const CD: &str = "sig ClassD { ext: lone ClassD, methods: set Method }\n\
+    sig Method {}\n\
+    fact Inheritance {\n\
+      no c: ClassD | c in c.^ext\n\
+      all m: Method | lone methods.m\n\
+    }\n\
+    pred inherits { some c: ClassD | some c.ext }\n\
+    assert NoCircular { no c: ClassD | c in c.^ext }\n\
+    run inherits for 3 expect 1\n\
+    check NoCircular for 3 expect 0\n\
+    pred rootClass { some c: ClassD | no c.ext }\n\
+    assert MethodOwner { all m: Method | lone methods.m }\n\
+    run rootClass for 3 expect 1\n\
+    check MethodOwner for 3 expect 0\n\n";
+
+const CTREE: &str = "abstract sig Color {}\n\
+    one sig Red extends Color {}\n\
+    one sig Black extends Color {}\n\
+    sig CNode { color: one Color, cparent: lone CNode }\n\
+    fact CTree {\n\
+      no n: CNode | n in n.^cparent\n\
+      all n: CNode | n.color in Red => no n.cparent.color & Red\n\
+    }\n\
+    pred colored { some n: CNode | n.color in Red }\n\
+    assert NoRedRed { all n: CNode | (n.color in Red && some n.cparent) => n.cparent.color not in Red }\n\
+    run colored for 3 expect 1\n\
+    check NoRedRed for 3 expect 0\n\
+    pred blackNode { some n: CNode | n.color in Black }\n\
+    assert RootsExist { some CNode => some n: CNode | no n.cparent }\n\
+    run blackNode for 3 expect 1\n\
+    check RootsExist for 3 expect 0\n\n";
+
+const DLL: &str = "sig DNode { dnext: lone DNode, dprev: lone DNode }\n\
+    fact DLL {\n\
+      dprev = ~dnext\n\
+      no n: DNode | n in n.^dnext\n\
+    }\n\
+    pred linked { some dnext }\n\
+    assert Inverse { all n, m: DNode | m in n.dnext <=> n in m.dprev }\n\
+    assert NoDCycle { no n: DNode | n in n.^dnext }\n\
+    run linked for 3 expect 1\n\
+    check Inverse for 3 expect 0\n\
+    check NoDCycle for 3 expect 0\n\
+    pred endNode { some n: DNode | no n.dnext }\n\
+    run endNode for 3 expect 1\n\n";
+
+const FARMER: &str = "abstract sig Object {}\n\
+    one sig Farmer, Wolf, Goat, Cabbage extends Object {}\n\
+    sig Crossing { near: set Object, far: set Object }\n\
+    fact States {\n\
+      all c: Crossing | c.near + c.far = Object\n\
+      all c: Crossing | no c.near & c.far\n\
+      all c: Crossing | (Wolf + Goat in c.near) => Farmer in c.near\n\
+      all c: Crossing | (Wolf + Goat in c.far) => Farmer in c.far\n\
+      all c: Crossing | (Goat + Cabbage in c.near) => Farmer in c.near\n\
+      all c: Crossing | (Goat + Cabbage in c.far) => Farmer in c.far\n\
+    }\n\
+    pred solved { some c: Crossing | Object in c.far }\n\
+    assert GoatSafe { all c: Crossing | (Wolf + Goat in c.near) => Farmer in c.near }\n\
+    run solved for 3 expect 1\n\
+    check GoatSafe for 3 expect 0\n\
+    pred startState { some c: Crossing | Object in c.near }\n\
+    run startState for 3 expect 1\n\n";
+
+const FSM: &str = "abstract sig FState { fnext: set FState }\n\
+    one sig StartS extends FState {}\n\
+    one sig StopS extends FState {}\n\
+    sig MidS extends FState {}\n\
+    fact Machine {\n\
+      no StopS.fnext\n\
+      FState in StartS.*fnext\n\
+    }\n\
+    pred running { some StartS.fnext }\n\
+    assert Reachable { all s: FState | s in StartS.*fnext }\n\
+    run running for 3 expect 1\n\
+    check Reachable for 3 expect 0\n\
+    pred terminalMid { some s: MidS | no s.fnext }\n\
+    run terminalMid for 3 expect 1\n\n";
+
+const GRADE: &str = "sig StudentG {}\n\
+    abstract sig Grade {}\n\
+    one sig GA, GB, GC extends Grade {}\n\
+    sig Assignment { score: StudentG -> lone Grade }\n\
+    fact Grading {\n\
+      all a: Assignment | some a.score\n\
+    }\n\
+    pred graded { some a: Assignment | some a.score }\n\
+    assert OneGrade { all a: Assignment, s: StudentG | lone s.(a.score) }\n\
+    run graded for 3 expect 1\n\
+    check OneGrade for 3 expect 0\n\
+    pred ungraded { some s: StudentG, a: Assignment | no s.(a.score) }\n\
+    run ungraded for 3 expect 1\n\n";
+
+const OTHER: &str = "sig Item { rel: set Item }\n\
+    fact OtherFact {\n\
+      rel = ~rel\n\
+      no iden & rel\n\
+    }\n\
+    pred related { some rel }\n\
+    assert Irreflexive { all i: Item | i not in i.rel }\n\
+    run related for 3 expect 1\n\
+    check Irreflexive for 3 expect 0\n\
+    pred pairRelated { some disj i, j: Item | j in i.rel }\n\
+    run pairRelated for 3 expect 1\n\n";
+
+const STUDENT: &str = "sig UserS { followsS: set UserS, blockedS: set UserS }\n\
+    fact Network {\n\
+      no u: UserS | u in u.followsS\n\
+      all u: UserS | no u.followsS & u.blockedS\n\
+    }\n\
+    pred active { some followsS }\n\
+    assert NotBlockedFollow { all u: UserS, v: u.followsS | v not in u.blockedS }\n\
+    assert NoSelfFollow { no u: UserS | u in u.followsS }\n\
+    run active for 3 expect 1\n\
+    check NotBlockedFollow for 3 expect 0\n\
+    check NoSelfFollow for 3 expect 0\n\
+    pred lonely { some u: UserS | no u.followsS && no u.blockedS }\n\
+    run lonely for 3 expect 1\n\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_analyzer::Analyzer;
+    use mualloy_syntax::{check_spec, parse_spec};
+
+    #[test]
+    fn counts_match_paper_table() {
+        let total: usize = PROBLEM_COUNTS.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 38);
+        assert_eq!(PROBLEM_COUNTS.len(), 12);
+    }
+
+    #[test]
+    fn every_problem_parses_checks_and_satisfies_its_oracle() {
+        for p in problems() {
+            let src = ground_truth(p).unwrap();
+            let spec =
+                parse_spec(src).unwrap_or_else(|e| panic!("{p} parse error: {e}"));
+            let errs = check_spec(&spec);
+            assert!(errs.is_empty(), "{p} check errors: {errs:?}");
+            assert!(spec.commands.iter().all(|c| c.expect.is_some()));
+            let analyzer = Analyzer::new(spec);
+            assert!(
+                analyzer.satisfies_oracle().unwrap_or(false),
+                "{p} violates its own oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_problem_is_none() {
+        assert!(ground_truth("nope").is_none());
+    }
+}

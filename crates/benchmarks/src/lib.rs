@@ -1,0 +1,110 @@
+//! # specrepair-benchmarks
+//!
+//! Native reproductions of the study's two benchmark corpora:
+//!
+//! - **Alloy4Fun** ([`alloy4fun`]): 1,936 faulty specifications across six
+//!   domains (classroom 999, cv 138, graphs 283, lts 249, production 61,
+//!   trash 206);
+//! - **ARepair** ([`arepair`]): 38 faulty specifications across twelve
+//!   problems (addr, arr, balancedBSt, bempl, cd, ctree, dll, farmer, fsm,
+//!   grade, other, student).
+//!
+//! Each corpus entry pairs a hand-written ground-truth μAlloy specification
+//! with a seeded, semantically-observable injected fault (DESIGN.md §1
+//! documents why this substitutes faithfully for the human-written buggy
+//! submissions of the original corpora). A `scale` parameter shrinks the
+//! per-domain counts proportionally for tests and benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use specrepair_benchmarks::{alloy4fun, arepair};
+//!
+//! let small = alloy4fun(0.01); // ~1% of the full corpus
+//! assert!(!small.is_empty());
+//! let full_arepair = arepair(1.0);
+//! assert_eq!(full_arepair.len(), 38);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod a4f;
+pub mod arepair_bench;
+pub mod corpus;
+
+pub use corpus::{generate_domain, BenchmarkId, RepairProblem};
+
+/// Scales a full-corpus count down, keeping at least one entry.
+fn scaled(count: usize, scale: f64) -> usize {
+    ((count as f64) * scale).round().max(1.0) as usize
+}
+
+/// Generates the Alloy4Fun corpus at the given scale (1.0 = the paper's
+/// 1,936 specifications).
+pub fn alloy4fun(scale: f64) -> Vec<RepairProblem> {
+    let mut out = Vec::new();
+    for (domain, count) in a4f::DOMAIN_COUNTS {
+        out.extend(generate_domain(
+            BenchmarkId::Alloy4Fun,
+            domain,
+            a4f::exercises(domain),
+            scaled(count, scale),
+        ));
+    }
+    out
+}
+
+/// Generates the ARepair corpus at the given scale (1.0 = the paper's 38
+/// specifications).
+pub fn arepair(scale: f64) -> Vec<RepairProblem> {
+    let mut out = Vec::new();
+    for (problem, count) in arepair_bench::PROBLEM_COUNTS {
+        let src = arepair_bench::ground_truth(problem).expect("known problem");
+        out.extend(generate_domain(
+            BenchmarkId::ARepair,
+            problem,
+            &[(problem, src)],
+            scaled(count, scale),
+        ));
+    }
+    out
+}
+
+/// Both corpora at the given scale, A4F first (the study's spec universe of
+/// 1,974 at scale 1.0).
+pub fn full_study(scale: f64) -> Vec<RepairProblem> {
+    let mut out = alloy4fun(scale);
+    out.extend(arepair(scale));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arepair_full_scale_has_38_specs() {
+        let problems = arepair(1.0);
+        assert_eq!(problems.len(), 38);
+        let student: Vec<_> = problems.iter().filter(|p| p.domain == "student").collect();
+        assert_eq!(student.len(), 19);
+    }
+
+    #[test]
+    fn a4f_scaled_respects_proportions() {
+        let problems = alloy4fun(0.02);
+        let classroom = problems.iter().filter(|p| p.domain == "classroom").count();
+        let production = problems.iter().filter(|p| p.domain == "production").count();
+        assert_eq!(classroom, 20); // 999 * 0.02 ≈ 20
+        assert_eq!(production, 1); // 61 * 0.02 ≈ 1
+    }
+
+    #[test]
+    fn every_generated_problem_is_well_formed_and_faulty() {
+        for p in full_study(0.005) {
+            assert!(mualloy_syntax::check_spec(&p.faulty).is_empty(), "{}", p.id);
+            let analyzer = mualloy_analyzer::Analyzer::new(p.faulty.clone());
+            assert!(!analyzer.satisfies_oracle().unwrap_or(true), "{}", p.id);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # specrepair-core
+//!
+//! The study framework at the heart of the reproduction:
+//!
+//! - [`technique`]: the [`RepairTechnique`] abstraction, contexts, budgets
+//!   and outcomes shared by every tool;
+//! - [`localization`]: counterexample-driven fault localization
+//!   (relaxation + vocabulary overlap), feeding ATR and the hybrid
+//!   pipelines;
+//! - [`hybrid`]: the RQ3 compositions — [`hybrid::UnionHybrid`] (sequential
+//!   fallback, whose per-spec repair set is the union of its constituents)
+//!   and [`hybrid::LocalizeThenFix`] (traditional localization feeding an
+//!   LLM-style fixer), plus the overlap statistics behind Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use specrepair_core::{RepairContext, RepairBudget, localization::localize};
+//! use mualloy_syntax::parse_spec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let faulty = parse_spec(
+//!     "sig N {} fact Bad { no N } pred p { some N } run p for 3 expect 1",
+//! )?;
+//! let ranking = localize(&faulty);
+//! assert!(!ranking.ranked.is_empty()); // `no N` is found suspicious
+//! let _ctx = RepairContext::new(faulty, RepairBudget::default());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hybrid;
+pub mod localization;
+pub mod technique;
+
+pub use hybrid::{
+    overlap_stats, DynamicSelector, HintedRepair, LocalizeThenFix, OverlapStats, UnionHybrid,
+};
+pub use localization::{first_hit_rank, localize, Localization, SuspiciousSite};
+pub use technique::{
+    oracle_accepts, preserves_oracle_surface, repair_is_valid, RepairBudget, RepairContext,
+    RepairOutcome, RepairTechnique,
+};

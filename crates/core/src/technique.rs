@@ -1,0 +1,218 @@
+//! The repair-technique abstraction shared by every tool in the study.
+
+use mualloy_analyzer::Analyzer;
+use mualloy_syntax::Spec;
+use serde::{Deserialize, Serialize};
+
+/// Resource budget for one repair attempt.
+///
+/// The defaults correspond to the per-technique budgets used in the study
+/// harness; benches shrink them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairBudget {
+    /// Maximum number of candidate specifications a technique may validate.
+    pub max_candidates: usize,
+    /// Maximum number of refinement rounds (ICEBAR iterations, Multi-Round
+    /// LLM rounds).
+    pub max_rounds: usize,
+}
+
+impl Default for RepairBudget {
+    fn default() -> Self {
+        RepairBudget {
+            max_candidates: 600,
+            max_rounds: 6,
+        }
+    }
+}
+
+impl RepairBudget {
+    /// A tiny budget for tests and microbenchmarks.
+    pub fn tiny() -> RepairBudget {
+        RepairBudget {
+            max_candidates: 40,
+            max_rounds: 2,
+        }
+    }
+}
+
+/// Everything a technique gets to see about a repair problem.
+///
+/// Crucially this does **not** include the ground truth: techniques validate
+/// against the specification's own oracle (commands with `expect`
+/// annotations, assertions, tests), exactly like the studied tools.
+#[derive(Debug, Clone)]
+pub struct RepairContext {
+    /// The faulty specification (parsed).
+    pub faulty: Spec,
+    /// The faulty specification's source text (for minimally-invasive
+    /// textual patching and similarity measurement).
+    pub source: String,
+    /// Resource budget.
+    pub budget: RepairBudget,
+}
+
+impl RepairContext {
+    /// Builds a context from a parsed spec, rendering canonical source.
+    pub fn new(faulty: Spec, budget: RepairBudget) -> RepairContext {
+        let source = mualloy_syntax::print_spec(&faulty);
+        RepairContext {
+            faulty,
+            source,
+            budget,
+        }
+    }
+
+    /// Builds a context from source text.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source does not parse.
+    pub fn from_source(
+        source: &str,
+        budget: RepairBudget,
+    ) -> Result<RepairContext, mualloy_syntax::SyntaxError> {
+        let faulty = mualloy_syntax::parse_spec(source)?;
+        Ok(RepairContext {
+            faulty,
+            source: source.to_string(),
+            budget,
+        })
+    }
+}
+
+/// The result of one repair attempt.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Name of the technique that produced this outcome.
+    pub technique: String,
+    /// Whether the technique's own oracle accepted the final candidate.
+    pub success: bool,
+    /// The final candidate specification (present even on failure when the
+    /// technique produced *something* — similarity metrics are computed for
+    /// unsuccessful candidates too, as in the paper).
+    pub candidate: Option<Spec>,
+    /// Source text of the final candidate.
+    pub candidate_source: Option<String>,
+    /// Number of candidates validated against the oracle.
+    pub candidates_explored: usize,
+    /// Number of refinement rounds used.
+    pub rounds: usize,
+}
+
+impl RepairOutcome {
+    /// A failure outcome with no candidate.
+    pub fn failure(technique: impl Into<String>, explored: usize, rounds: usize) -> RepairOutcome {
+        RepairOutcome {
+            technique: technique.into(),
+            success: false,
+            candidate: None,
+            candidate_source: None,
+            candidates_explored: explored,
+            rounds,
+        }
+    }
+
+    /// A success outcome for the given candidate, rendering its source.
+    pub fn success_with(
+        technique: impl Into<String>,
+        candidate: Spec,
+        explored: usize,
+        rounds: usize,
+    ) -> RepairOutcome {
+        let source = mualloy_syntax::print_spec(&candidate);
+        RepairOutcome {
+            technique: technique.into(),
+            success: true,
+            candidate: Some(candidate),
+            candidate_source: Some(source),
+            candidates_explored: explored,
+            rounds,
+        }
+    }
+}
+
+/// A specification repair technique.
+///
+/// Implementations must be deterministic given the context (stochastic
+/// techniques take a seed at construction).
+pub trait RepairTechnique {
+    /// Stable display name (used in tables: `ARepair`, `Multi-Round_None`…).
+    fn name(&self) -> &str;
+
+    /// Attempts to repair the faulty specification within the budget.
+    fn repair(&self, ctx: &RepairContext) -> RepairOutcome;
+}
+
+/// Validates a candidate against the specification's own command oracle.
+///
+/// Returns `false` for candidates that fail to execute.
+pub fn oracle_accepts(candidate: &Spec) -> bool {
+    Analyzer::new(candidate.clone())
+        .satisfies_oracle()
+        .unwrap_or(false)
+}
+
+/// Whether the candidate preserves the *oracle surface* of the original:
+/// the same commands (kind, target, scope, expectation) and structurally
+/// identical assertion bodies.
+///
+/// A "repair" that weakens the assertions or drops an `expect` annotation
+/// would pass [`oracle_accepts`] vacuously; every pipeline that consumes
+/// free-form candidate text (the LLM ones) must reject such candidates.
+pub fn preserves_oracle_surface(original: &Spec, candidate: &Spec) -> bool {
+    use mualloy_syntax::walk::strip_spec_spans;
+    let o = strip_spec_spans(original);
+    let c = strip_spec_spans(candidate);
+    o.commands == c.commands && o.asserts == c.asserts
+}
+
+/// [`oracle_accepts`] plus the [`preserves_oracle_surface`] guard.
+pub fn repair_is_valid(original: &Spec, candidate: &Spec) -> bool {
+    preserves_oracle_surface(original, candidate) && oracle_accepts(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::parse_spec;
+
+    const GOOD: &str = "sig N { next: lone N } \
+        fact { no n: N | n in n.^next } \
+        assert NoSelf { all n: N | n not in n.next } \
+        check NoSelf for 3 expect 0";
+
+    #[test]
+    fn oracle_accepts_correct_spec() {
+        assert!(oracle_accepts(&parse_spec(GOOD).unwrap()));
+    }
+
+    #[test]
+    fn oracle_rejects_faulty_spec() {
+        let bad = GOOD.replace("no n: N | n in n.^next", "some univ || no univ");
+        assert!(!oracle_accepts(&parse_spec(&bad).unwrap()));
+    }
+
+    #[test]
+    fn context_from_source_keeps_text() {
+        let ctx = RepairContext::from_source(GOOD, RepairBudget::tiny()).unwrap();
+        assert_eq!(ctx.source, GOOD);
+        assert!(RepairContext::from_source("sig {", RepairBudget::tiny()).is_err());
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let f = RepairOutcome::failure("X", 5, 1);
+        assert!(!f.success);
+        assert!(f.candidate.is_none());
+        let s = RepairOutcome::success_with("X", parse_spec(GOOD).unwrap(), 3, 1);
+        assert!(s.success);
+        assert!(s.candidate_source.unwrap().contains("sig N"));
+    }
+
+    #[test]
+    fn budget_defaults() {
+        let b = RepairBudget::default();
+        assert!(b.max_candidates >= RepairBudget::tiny().max_candidates);
+    }
+}

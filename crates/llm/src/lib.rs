@@ -1,0 +1,90 @@
+//! # specrepair-llm
+//!
+//! The LLM-based repair pipelines of the study, built on a deterministic
+//! synthetic language model (the GPT-4 substitute; see DESIGN.md §1):
+//!
+//! - [`SyntheticLm`]: seeded stochastic repair-proposal model whose
+//!   capability knobs (hint fidelity, fix adoption, restyling, glitches)
+//!   reproduce the mechanisms the paper attributes to GPT-4;
+//! - [`SingleRound`]: the five zero-shot prompt settings
+//!   (`Loc+Fix`, `Loc`, `Pass`, `None`, `Loc+Pass`);
+//! - [`MultiRound`]: the dual-agent iterative loop with three feedback
+//!   settings (`None`, `Generic`, `Auto`).
+//!
+//! Both pipelines implement [`specrepair_core::RepairTechnique`] and
+//! [`specrepair_core::HintedRepair`], so the hybrid compositions of RQ3
+//! apply unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use specrepair_core::{RepairContext, RepairBudget, RepairTechnique};
+//! use specrepair_llm::{MultiRound, FeedbackSetting};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = RepairContext::from_source(
+//!     "sig N { next: lone N } \
+//!      fact Acyclic { some n: N | n in n.^next } \
+//!      assert NoSelf { all n: N | n not in n.next } \
+//!      check NoSelf for 3 expect 0",
+//!     RepairBudget { max_candidates: 60, max_rounds: 4 },
+//! )?;
+//! let outcome = MultiRound::new(FeedbackSetting::None, 7).repair(&ctx);
+//! assert!(outcome.candidate.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod multi_round;
+pub mod prompt;
+pub mod single_round;
+
+pub use model::{Guidance, LmConfig, SyntheticLm};
+pub use multi_round::MultiRound;
+pub use prompt::{invert_fix_description, FeedbackSetting, ProblemHints, Prompt, PromptSetting};
+pub use single_round::SingleRound;
+
+/// Constructs the study's eight LLM-based techniques (five Single-Round
+/// settings + three Multi-Round settings) with the given hints and seed.
+pub fn default_suite(
+    hints: ProblemHints,
+    seed: u64,
+) -> Vec<Box<dyn specrepair_core::RepairTechnique>> {
+    let mut out: Vec<Box<dyn specrepair_core::RepairTechnique>> = Vec::new();
+    for s in PromptSetting::ALL {
+        out.push(Box::new(
+            SingleRound::new(s, seed).with_hints(hints.clone()),
+        ));
+    }
+    for f in FeedbackSetting::ALL {
+        out.push(Box::new(MultiRound::new(f, seed)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_techniques_in_paper_order() {
+        let suite = default_suite(ProblemHints::default(), 0);
+        let names: Vec<&str> = suite.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Single-Round_Loc+Fix",
+                "Single-Round_Loc",
+                "Single-Round_Pass",
+                "Single-Round_None",
+                "Single-Round_Loc+Pass",
+                "Multi-Round_None",
+                "Multi-Round_Generic",
+                "Multi-Round_Auto",
+            ]
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The Multi-Round LLM repair approach (Alhanahnah et al.).
+//!
+//! A dual-agent loop: the *repair agent* (the synthetic model) proposes a
+//! candidate; the analyzer validates it; on failure the *prompt agent*
+//! prepares the next round's prompt at one of three feedback levels:
+//!
+//! - **No-feedback** — only "not fixed yet": the repair agent re-samples
+//!   with full diversity;
+//! - **Generic-feedback** — the templated analyzer report; the agent turns
+//!   it into soft site weights (vocabulary overlap with the failing
+//!   commands, exactly the signal a developer gleans from a Q&A answer);
+//! - **Auto-feedback** — the prompt agent (another model call) distills the
+//!   report into targeted guidance: sampling is *restricted* to the
+//!   top-ranked suspicious sites.
+
+use mualloy_analyzer::AnalyzerReport;
+use mualloy_syntax::Span;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use specrepair_core::{
+    localization::localize, repair_is_valid, HintedRepair, RepairContext, RepairOutcome,
+    RepairTechnique,
+};
+use std::collections::HashSet;
+
+use crate::model::{Guidance, SyntheticLm};
+use crate::prompt::{FeedbackSetting, ProblemHints, Prompt};
+
+/// The Multi-Round technique under one feedback setting.
+#[derive(Debug, Clone)]
+pub struct MultiRound {
+    /// The active feedback setting.
+    pub feedback: FeedbackSetting,
+    /// Base random seed.
+    pub seed: u64,
+    /// The underlying model.
+    pub lm: SyntheticLm,
+}
+
+impl MultiRound {
+    /// Creates the technique.
+    pub fn new(feedback: FeedbackSetting, seed: u64) -> MultiRound {
+        MultiRound {
+            feedback,
+            seed,
+            lm: SyntheticLm::default(),
+        }
+    }
+
+    fn rng_for(&self, ctx: &RepairContext) -> ChaCha8Rng {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        ctx.source.hash(&mut h);
+        self.feedback.label().hash(&mut h);
+        ChaCha8Rng::seed_from_u64(self.seed ^ h.finish())
+    }
+
+    /// Builds the next round's guidance from the last failed candidate.
+    fn prompt_agent(&self, last_candidate: &mualloy_syntax::Spec) -> Option<Guidance> {
+        match self.feedback {
+            FeedbackSetting::None => None,
+            FeedbackSetting::Generic | FeedbackSetting::Auto => {
+                let loc = localize(last_candidate);
+                if loc.ranked.is_empty() {
+                    return None;
+                }
+                let site_weights = loc
+                    .ranked
+                    .iter()
+                    .map(|s| (s.id, s.score))
+                    .collect::<Vec<_>>();
+                Some(Guidance {
+                    site_weights,
+                    restrict_top: match self.feedback {
+                        FeedbackSetting::Auto => Some(3),
+                        _ => None,
+                    },
+                })
+            }
+        }
+    }
+
+    fn run(&self, ctx: &RepairContext, loc_hints: &[Span]) -> RepairOutcome {
+        let mut rng = self.rng_for(ctx);
+        let rounds = ctx.budget.max_rounds.max(1);
+        let per_round = (ctx.budget.max_candidates / rounds).max(1);
+        let mut explored = 0usize;
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut last_parsed: Option<(mualloy_syntax::Spec, String)> = None;
+        let mut guidance: Option<Guidance> = None;
+        // Round-1 prompt may carry location hints (the LocalizeThenFix
+        // hybrid injects them here; plain Multi-Round has none).
+        let mut prompt = Prompt {
+            source: ctx.source.clone(),
+            hints: ProblemHints {
+                loc: loc_hints.to_vec(),
+                ..ProblemHints::default()
+            },
+            feedback: None,
+        };
+        for round in 1..=rounds {
+            for _ in 0..per_round {
+                if explored >= ctx.budget.max_candidates {
+                    break;
+                }
+                let Some(text) = self.lm.propose(&prompt, guidance.as_ref(), &mut rng) else {
+                    break;
+                };
+                if !seen.insert(text.clone()) {
+                    continue; // duplicate completion: free skip
+                }
+                let Ok(candidate) = mualloy_syntax::parse_spec(&text) else { continue };
+                explored += 1;
+                if repair_is_valid(&ctx.faulty, &candidate) {
+                    return RepairOutcome {
+                        technique: self.feedback.label().to_string(),
+                        success: true,
+                        candidate: Some(candidate),
+                        candidate_source: Some(text),
+                        candidates_explored: explored,
+                        rounds: round,
+                    };
+                }
+                last_parsed = Some((candidate, text));
+            }
+            // Prepare the next round.
+            if let Some((cand, _)) = &last_parsed {
+                guidance = self.prompt_agent(cand);
+                prompt.feedback = match self.feedback {
+                    FeedbackSetting::None => Some("The specification is still faulty.".to_string()),
+                    FeedbackSetting::Generic | FeedbackSetting::Auto => {
+                        Some(AnalyzerReport::for_source(&mualloy_syntax::print_spec(cand)).to_string())
+                    }
+                };
+            }
+        }
+        match last_parsed {
+            Some((candidate, text)) => RepairOutcome {
+                technique: self.feedback.label().to_string(),
+                success: false,
+                candidate: Some(candidate),
+                candidate_source: Some(text),
+                candidates_explored: explored,
+                rounds,
+            },
+            None => RepairOutcome::failure(self.feedback.label(), explored, rounds),
+        }
+    }
+}
+
+impl RepairTechnique for MultiRound {
+    fn name(&self) -> &str {
+        self.feedback.label()
+    }
+
+    fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
+        self.run(ctx, &[])
+    }
+}
+
+impl HintedRepair for MultiRound {
+    fn repair_with_hints(&self, ctx: &RepairContext, hints: &[Span]) -> RepairOutcome {
+        self.run(ctx, hints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_analyzer::Analyzer;
+    use specrepair_core::RepairBudget;
+
+    const FAULTY: &str = "sig N { next: lone N }\n\
+        fact Acyclic { some n: N | n in n.^next }\n\
+        pred hasNode { some N }\n\
+        assert NoSelf { all n: N | n not in n.next }\n\
+        run hasNode for 3 expect 1\n\
+        check NoSelf for 3 expect 0\n";
+
+    fn ctx() -> RepairContext {
+        RepairContext::from_source(
+            FAULTY,
+            RepairBudget {
+                max_candidates: 60,
+                max_rounds: 4,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_settings_repair_the_quantifier_bug() {
+        for fb in FeedbackSetting::ALL {
+            let t = MultiRound::new(fb, 11);
+            let out = t.repair(&ctx());
+            assert!(out.success, "{} failed", fb.label());
+            let c = out.candidate.unwrap();
+            assert!(Analyzer::new(c).satisfies_oracle().unwrap());
+        }
+    }
+
+    #[test]
+    fn iteration_beats_single_shot() {
+        // With the same model, 60 guided samples should succeed far more
+        // often than 1 (sanity check of the paper's central mechanism).
+        let mut multi_wins = 0;
+        for seed in 0..6u64 {
+            if MultiRound::new(FeedbackSetting::None, seed).repair(&ctx()).success {
+                multi_wins += 1;
+            }
+        }
+        assert!(multi_wins >= 5, "multi-round won only {multi_wins}/6");
+    }
+
+    #[test]
+    fn respects_budget_and_rounds() {
+        let tight = RepairContext::from_source(
+            FAULTY,
+            RepairBudget {
+                max_candidates: 5,
+                max_rounds: 2,
+            },
+        )
+        .unwrap();
+        let out = MultiRound::new(FeedbackSetting::Generic, 3).repair(&tight);
+        assert!(out.candidates_explored <= 5);
+        assert!(out.rounds <= 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = MultiRound::new(FeedbackSetting::Auto, 9);
+        let a = t.repair(&ctx());
+        let b = t.repair(&ctx());
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.candidate_source, b.candidate_source);
+    }
+
+    #[test]
+    fn hinted_round_one_converges_faster_on_average() {
+        let fact_start = FAULTY.find("some n: N").unwrap();
+        let hint = [Span::new(fact_start, fact_start + 25)];
+        let mut hinted_explored = 0usize;
+        let mut blind_explored = 0usize;
+        for seed in 0..5u64 {
+            let t = MultiRound::new(FeedbackSetting::None, seed);
+            let h = t.repair_with_hints(&ctx(), &hint);
+            let b = t.repair(&ctx());
+            if h.success {
+                hinted_explored += h.candidates_explored;
+            }
+            if b.success {
+                blind_explored += b.candidates_explored;
+            }
+        }
+        // Not a strict guarantee, but with fidelity 0.85 the hinted runs
+        // should not need more total samples than the blind ones.
+        assert!(
+            hinted_explored <= blind_explored + 10,
+            "hinted {hinted_explored} vs blind {blind_explored}"
+        );
+    }
+
+    #[test]
+    fn unfixable_reports_failure_with_candidate() {
+        let src = "sig A {} fact F { no A } \
+            assert Tautology { no none } \
+            check Tautology for 2 expect 1";
+        let ctx = RepairContext::from_source(
+            src,
+            RepairBudget {
+                max_candidates: 10,
+                max_rounds: 2,
+            },
+        )
+        .unwrap();
+        let out = MultiRound::new(FeedbackSetting::Generic, 0).repair(&ctx);
+        assert!(!out.success);
+        assert!(out.candidate.is_some(), "best-effort candidate expected");
+    }
+}

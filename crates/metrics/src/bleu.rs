@@ -1,0 +1,160 @@
+//! Token Match (TM): sentence-level BLEU over whitespace tokens.
+//!
+//! Implements the BLEU definition of Papineni et al. (ACL'02) as the study
+//! uses it (§III-D): modified n-gram precision up to 4-grams, geometric
+//! mean, brevity penalty, tokens split on whitespace. Zero n-gram matches
+//! are epsilon-smoothed so that partially-matching files score strictly
+//! between 0 and 1.
+
+use std::collections::HashMap;
+
+const MAX_N: usize = 4;
+const SMOOTH_EPS: f64 = 0.1;
+
+/// Whitespace tokenization (the study's TM tokenizer).
+pub fn tokenize(text: &str) -> Vec<&str> {
+    text.split_whitespace().collect()
+}
+
+/// Sentence-level BLEU of `candidate` against the single `reference`.
+///
+/// Returns a value in `[0, 1]`: 0 when no tokens match (or either side is
+/// empty while the other is not), 1 when the token sequences are identical.
+pub fn sentence_bleu(reference: &str, candidate: &str) -> f64 {
+    let r = tokenize(reference);
+    let c = tokenize(candidate);
+    if r.is_empty() && c.is_empty() {
+        return 1.0;
+    }
+    if r.is_empty() || c.is_empty() {
+        return 0.0;
+    }
+    // Quick exit for the common exact-match case.
+    if r == c {
+        return 1.0;
+    }
+    // Unigram sanity: the paper defines 0 as "no tokens match".
+    let mut log_sum = 0.0;
+    let mut any_match = false;
+    for n in 1..=MAX_N {
+        let (matched, total) = modified_precision(&r, &c, n);
+        if n == 1 && matched > 0 {
+            any_match = true;
+        }
+        if total == 0 {
+            // Candidate shorter than n tokens: skip this order entirely.
+            continue;
+        }
+        let p = if matched == 0 {
+            SMOOTH_EPS / total as f64
+        } else {
+            matched as f64 / total as f64
+        };
+        log_sum += p.ln() / MAX_N as f64;
+    }
+    if !any_match {
+        return 0.0;
+    }
+    let bp = brevity_penalty(r.len(), c.len());
+    (bp.ln() + log_sum).exp().clamp(0.0, 1.0)
+}
+
+fn modified_precision(reference: &[&str], candidate: &[&str], n: usize) -> (usize, usize) {
+    if candidate.len() < n {
+        return (0, 0);
+    }
+    let mut ref_counts: HashMap<&[&str], usize> = HashMap::new();
+    if reference.len() >= n {
+        for w in reference.windows(n) {
+            *ref_counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    let mut matched = 0usize;
+    let mut cand_counts: HashMap<&[&str], usize> = HashMap::new();
+    for w in candidate.windows(n) {
+        *cand_counts.entry(w).or_insert(0) += 1;
+    }
+    for (gram, count) in cand_counts {
+        let allowed = ref_counts.get(gram).copied().unwrap_or(0);
+        matched += count.min(allowed);
+    }
+    (matched, candidate.len() - n + 1)
+}
+
+fn brevity_penalty(ref_len: usize, cand_len: usize) -> f64 {
+    if cand_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        let t = "sig A { f: set A } fact { some A }";
+        assert_eq!(sentence_bleu(t, t), 1.0);
+        // Whitespace-insensitive.
+        assert_eq!(sentence_bleu(t, "sig A {\n  f: set A\n}\nfact { some A }"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_texts_score_zero() {
+        assert_eq!(sentence_bleu("alpha beta gamma", "delta epsilon zeta"), 0.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(sentence_bleu("", ""), 1.0);
+        assert_eq!(sentence_bleu("a b", ""), 0.0);
+        assert_eq!(sentence_bleu("", "a b"), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between_zero_and_one() {
+        let reference = "sig A { f: set A } fact Inv { all x: A | x in x.f }";
+        let candidate = "sig A { f: set A } fact Inv { all x: A | x not in x.f }";
+        let score = sentence_bleu(reference, candidate);
+        assert!(score > 0.5 && score < 1.0, "got {score}");
+    }
+
+    #[test]
+    fn bigger_edits_score_lower() {
+        let reference = "sig A { f: set A } fact Inv { all x: A | x in x.f }";
+        let small_edit = "sig A { f: set A } fact Inv { all x: A | x not in x.f }";
+        let big_edit = "sig A { f: set A } fact Inv { no x: A | some x.f && x in A }";
+        let s1 = sentence_bleu(reference, small_edit);
+        let s2 = sentence_bleu(reference, big_edit);
+        assert!(s1 > s2, "small edit {s1} should beat big edit {s2}");
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_truncation() {
+        let reference = "a b c d e f g h i j";
+        let truncated = "a b c d e";
+        let full = "a b c d e f g h i j";
+        assert!(sentence_bleu(reference, truncated) < sentence_bleu(reference, full));
+    }
+
+    #[test]
+    fn symmetric_in_the_exact_case_only() {
+        let a = "x y z w q";
+        let b = "x y z w r";
+        let ab = sentence_bleu(a, b);
+        let ba = sentence_bleu(b, a);
+        assert!(ab > 0.0 && ba > 0.0);
+        // BLEU is not required to be symmetric, but both directions must be
+        // well-formed probabilities.
+        assert!((0.0..=1.0).contains(&ab) && (0.0..=1.0).contains(&ba));
+    }
+
+    #[test]
+    fn repeated_ngrams_are_clipped() {
+        // Candidate repeating a reference word must not inflate precision.
+        let score = sentence_bleu("the cat sat", "the the the the");
+        assert!(score < 0.5);
+    }
+}

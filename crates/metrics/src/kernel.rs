@@ -1,0 +1,305 @@
+//! Syntax Match (SM): normalized subtree-kernel similarity of parse trees.
+//!
+//! Following the study (§III-D), each specification is parsed into a tree
+//! and compared by a subtree kernel (Gärtner et al.; Torres et al.): the
+//! kernel value is the number of matching subtree occurrences, normalized
+//! cosine-style so the score lies in `[0, 1]`, reaching 1 exactly for
+//! structurally identical trees and 0 when no subtree of one appears in the
+//! other. Whitespace and formatting differences vanish at parse time.
+
+use mualloy_syntax::ast::*;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A generic labeled ordered tree (the parse-tree abstraction the kernel
+/// operates on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledTree {
+    /// Node label (operator, keyword or identifier).
+    pub label: String,
+    /// Ordered children.
+    pub children: Vec<LabeledTree>,
+}
+
+impl LabeledTree {
+    /// Creates a leaf node.
+    pub fn leaf(label: impl Into<String>) -> LabeledTree {
+        LabeledTree {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates an internal node.
+    pub fn node(label: impl Into<String>, children: Vec<LabeledTree>) -> LabeledTree {
+        LabeledTree {
+            label: label.into(),
+            children,
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(LabeledTree::size).sum::<usize>()
+    }
+}
+
+/// Converts a specification into its parse tree.
+pub fn spec_tree(spec: &Spec) -> LabeledTree {
+    let mut children = Vec::new();
+    if let Some(m) = &spec.module {
+        children.push(LabeledTree::node("module", vec![LabeledTree::leaf(m.clone())]));
+    }
+    for sig in &spec.sigs {
+        let mut kids = vec![LabeledTree::leaf(&sig.name)];
+        if sig.is_abstract {
+            kids.push(LabeledTree::leaf("abstract"));
+        }
+        if let Some(m) = sig.mult {
+            kids.push(LabeledTree::leaf(format!("{m:?}")));
+        }
+        if let Some(p) = &sig.parent {
+            kids.push(LabeledTree::node("extends", vec![LabeledTree::leaf(p.clone())]));
+        }
+        for f in &sig.fields {
+            let mut fk = vec![LabeledTree::leaf(&f.name), LabeledTree::leaf(f.mult.to_string())];
+            for c in &f.cols {
+                fk.push(LabeledTree::leaf(c.clone()));
+            }
+            kids.push(LabeledTree::node("field", fk));
+        }
+        children.push(LabeledTree::node("sig", kids));
+    }
+    for fact in &spec.facts {
+        let mut kids = vec![LabeledTree::leaf(&fact.name)];
+        kids.extend(fact.body.iter().map(formula_tree));
+        children.push(LabeledTree::node("fact", kids));
+    }
+    for pred in &spec.preds {
+        let mut kids = vec![LabeledTree::leaf(&pred.name)];
+        for p in &pred.params {
+            kids.push(LabeledTree::node(
+                "param",
+                vec![LabeledTree::leaf(&p.name), expr_tree(&p.bound)],
+            ));
+        }
+        kids.extend(pred.body.iter().map(formula_tree));
+        children.push(LabeledTree::node("pred", kids));
+    }
+    for fun in &spec.funs {
+        let mut kids = vec![LabeledTree::leaf(&fun.name)];
+        for p in &fun.params {
+            kids.push(LabeledTree::node(
+                "param",
+                vec![LabeledTree::leaf(&p.name), expr_tree(&p.bound)],
+            ));
+        }
+        kids.push(expr_tree(&fun.result));
+        kids.push(expr_tree(&fun.body));
+        children.push(LabeledTree::node("fun", kids));
+    }
+    for a in &spec.asserts {
+        let mut kids = vec![LabeledTree::leaf(&a.name)];
+        kids.extend(a.body.iter().map(formula_tree));
+        children.push(LabeledTree::node("assert", kids));
+    }
+    for c in &spec.commands {
+        let verb = if c.is_check() { "check" } else { "run" };
+        let mut kids = vec![LabeledTree::leaf(c.target()), LabeledTree::leaf(c.scope.to_string())];
+        if let Some(e) = c.expect {
+            kids.push(LabeledTree::leaf(format!("expect{}", u8::from(e))));
+        }
+        children.push(LabeledTree::node(verb, kids));
+    }
+    LabeledTree::node("spec", children)
+}
+
+/// Converts a formula into its parse tree.
+pub fn formula_tree(f: &Formula) -> LabeledTree {
+    match f {
+        Formula::Compare(op, l, r, _) => {
+            LabeledTree::node(op.symbol(), vec![expr_tree(l), expr_tree(r)])
+        }
+        Formula::IntCompare(op, l, r, _) => LabeledTree::node(
+            format!("int{}", op.symbol()),
+            vec![int_tree(l), int_tree(r)],
+        ),
+        Formula::Mult(op, e, _) => LabeledTree::node(op.keyword(), vec![expr_tree(e)]),
+        Formula::Not(inner, _) => LabeledTree::node("not", vec![formula_tree(inner)]),
+        Formula::Binary(op, l, r, _) => {
+            LabeledTree::node(op.symbol(), vec![formula_tree(l), formula_tree(r)])
+        }
+        Formula::Quant(q, decls, body, _) => {
+            let mut kids: Vec<LabeledTree> = decls
+                .iter()
+                .map(|d| {
+                    LabeledTree::node("decl", vec![LabeledTree::leaf(&d.name), expr_tree(&d.bound)])
+                })
+                .collect();
+            kids.push(formula_tree(body));
+            LabeledTree::node(format!("quant-{}", q.keyword()), kids)
+        }
+        Formula::Let(n, e, body, _) => LabeledTree::node(
+            "let",
+            vec![LabeledTree::leaf(n.clone()), expr_tree(e), formula_tree(body)],
+        ),
+        Formula::PredCall(n, args, _) => {
+            let mut kids = vec![LabeledTree::leaf(n.clone())];
+            kids.extend(args.iter().map(expr_tree));
+            LabeledTree::node("call", kids)
+        }
+    }
+}
+
+/// Converts an expression into its parse tree.
+pub fn expr_tree(e: &Expr) -> LabeledTree {
+    match e {
+        Expr::Ident(n, _) => LabeledTree::leaf(n.clone()),
+        Expr::Univ(_) => LabeledTree::leaf("univ"),
+        Expr::Iden(_) => LabeledTree::leaf("iden"),
+        Expr::None(_) => LabeledTree::leaf("none"),
+        Expr::Unary(op, inner, _) => LabeledTree::node(op.symbol(), vec![expr_tree(inner)]),
+        Expr::Binary(op, l, r, _) => {
+            LabeledTree::node(op.symbol(), vec![expr_tree(l), expr_tree(r)])
+        }
+        Expr::Comprehension(decls, body, _) => {
+            let mut kids: Vec<LabeledTree> = decls
+                .iter()
+                .map(|d| {
+                    LabeledTree::node("decl", vec![LabeledTree::leaf(&d.name), expr_tree(&d.bound)])
+                })
+                .collect();
+            kids.push(formula_tree(body));
+            LabeledTree::node("comprehension", kids)
+        }
+        Expr::IfThenElse(c, t, f, _) => LabeledTree::node(
+            "ite",
+            vec![formula_tree(c), expr_tree(t), expr_tree(f)],
+        ),
+        Expr::FunCall(n, args, _) => {
+            let mut kids = vec![LabeledTree::leaf(n.clone())];
+            kids.extend(args.iter().map(expr_tree));
+            LabeledTree::node("apply", kids)
+        }
+    }
+}
+
+fn int_tree(i: &IntExpr) -> LabeledTree {
+    match i {
+        IntExpr::Card(e, _) => LabeledTree::node("#", vec![expr_tree(e)]),
+        IntExpr::Lit(n, _) => LabeledTree::leaf(n.to_string()),
+    }
+}
+
+/// Collects the multiset of subtree signatures of a tree.
+fn subtree_counts(tree: &LabeledTree, out: &mut HashMap<u64, usize>) -> u64 {
+    let mut h = DefaultHasher::new();
+    tree.label.hash(&mut h);
+    for c in &tree.children {
+        let ch = subtree_counts(c, out);
+        ch.hash(&mut h);
+    }
+    let sig = h.finish();
+    *out.entry(sig).or_insert(0) += 1;
+    sig
+}
+
+/// The normalized subtree-kernel similarity of two trees, in `[0, 1]`.
+pub fn subtree_kernel(a: &LabeledTree, b: &LabeledTree) -> f64 {
+    let mut ca = HashMap::new();
+    let mut cb = HashMap::new();
+    subtree_counts(a, &mut ca);
+    subtree_counts(b, &mut cb);
+    let k_ab: usize = ca
+        .iter()
+        .map(|(sig, &n)| n.min(cb.get(sig).copied().unwrap_or(0)))
+        .sum();
+    let k_aa: usize = ca.values().sum();
+    let k_bb: usize = cb.values().sum();
+    if k_aa == 0 || k_bb == 0 {
+        return f64::from(u8::from(k_aa == k_bb));
+    }
+    k_ab as f64 / (k_aa as f64 * k_bb as f64).sqrt()
+}
+
+/// SM of two specification sources; 0 when either does not parse (unless
+/// both are identical text).
+pub fn syntax_match(reference: &str, candidate: &str) -> f64 {
+    match (
+        mualloy_syntax::parse_spec(reference),
+        mualloy_syntax::parse_spec(candidate),
+    ) {
+        (Ok(r), Ok(c)) => subtree_kernel(&spec_tree(&r), &spec_tree(&c)),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::parse_spec;
+
+    const SPEC: &str = "sig A { f: set A } fact Inv { all x: A | x in x.f } \
+        assert Q { some A } check Q for 3";
+
+    #[test]
+    fn identical_specs_score_one() {
+        assert!((syntax_match(SPEC, SPEC) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        let reformatted = "sig A {\n  f: set A\n}\nfact Inv {\n  all x: A | x in x.f\n}\n\
+            assert Q { some A }\ncheck Q for 3";
+        assert!((syntax_match(SPEC, reformatted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_edit_scores_high_but_below_one() {
+        let edited = SPEC.replace("x in x.f", "x not in x.f");
+        let s = syntax_match(SPEC, &edited);
+        assert!(s > 0.6 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn unrelated_specs_score_low() {
+        let other = "sig Z { g: lone Z } pred q { no Z } run q for 2";
+        let s = syntax_match(SPEC, other);
+        assert!(s < 0.4, "got {s}");
+    }
+
+    #[test]
+    fn unparsable_candidate_scores_zero() {
+        assert_eq!(syntax_match(SPEC, "sig {"), 0.0);
+        assert_eq!(syntax_match("sig {", SPEC), 0.0);
+    }
+
+    #[test]
+    fn kernel_orders_by_edit_size() {
+        let small = SPEC.replace("x in x.f", "x not in x.f");
+        let big = SPEC.replace("all x: A | x in x.f", "no A.f && some A && lone A");
+        assert!(syntax_match(SPEC, &small) > syntax_match(SPEC, &big));
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let other = SPEC.replace("all", "some");
+        let ab = syntax_match(SPEC, &other);
+        let ba = syntax_match(&other, SPEC);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_sizes_are_positive() {
+        let t = spec_tree(&parse_spec(SPEC).unwrap());
+        assert!(t.size() > 10);
+    }
+
+    #[test]
+    fn renamed_identifier_lowers_score() {
+        let renamed = SPEC.replace("sig A", "sig B").replace(": A", ": B").replace("x.f", "x.f").replace("some A", "some B").replace("set A", "set B").replace("x: A", "x: B");
+        let s = syntax_match(SPEC, &renamed);
+        assert!(s < 1.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Statistical utilities: Pearson correlation (Figure 3) and aggregation.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Pearson correlation coefficient of two aligned samples.
+///
+/// Returns `None` when fewer than two points are given or either sample has
+/// zero variance (the coefficient is undefined there).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "samples must be aligned");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some((cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// The t-statistic of a Pearson coefficient with `n` samples, used to judge
+/// significance (|t| > ~3.3 corresponds to p < 0.001 for large n).
+pub fn pearson_t_statistic(r: f64, n: usize) -> Option<f64> {
+    if n < 3 || r.abs() >= 1.0 {
+        return None;
+    }
+    Some(r * ((n - 2) as f64).sqrt() / (1.0 - r * r).sqrt())
+}
+
+/// Computes the full symmetric correlation matrix of the given named
+/// sample vectors. Undefined cells (constant vectors) are reported as
+/// `None`; the diagonal is `Some(1.0)`.
+pub fn correlation_matrix(series: &[(String, Vec<f64>)]) -> Vec<Vec<Option<f64>>> {
+    let k = series.len();
+    let mut m = vec![vec![None; k]; k];
+    for i in 0..k {
+        m[i][i] = Some(1.0);
+        for j in (i + 1)..k {
+            let r = pearson(&series[i].1, &series[j].1);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases_are_none() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_samples_panic() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn t_statistic_grows_with_n_and_r() {
+        let t1 = pearson_t_statistic(0.9, 10).unwrap();
+        let t2 = pearson_t_statistic(0.9, 100).unwrap();
+        assert!(t2 > t1);
+        assert!(pearson_t_statistic(1.0, 10).is_none());
+        assert!(pearson_t_statistic(0.5, 2).is_none());
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let series = vec![
+            ("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("b".to_string(), vec![1.0, 2.0, 2.5, 4.5]),
+            ("c".to_string(), vec![4.0, 3.0, 2.0, 1.0]),
+        ];
+        let m = correlation_matrix(&series);
+        for i in 0..3 {
+            assert_eq!(m[i][i], Some(1.0));
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert!(m[0][2].unwrap() < 0.0);
+    }
+}

@@ -1,0 +1,516 @@
+//! Mutation operators over μAlloy ASTs.
+//!
+//! These operators serve two masters: the fault injector (producing the
+//! benchmark corpora) and the traditional repair tools (ARepair/BeAFix
+//! candidate generation). They deliberately mirror the mutation classes of
+//! the BeAFix paper: operator replacement, quantifier replacement,
+//! multiplicity changes, junction flips, negation toggles, conjunct
+//! weakening and vocabulary-level identifier substitution.
+//!
+//! Only nodes owned by facts, predicates and functions are mutated —
+//! assertions (and commands) are the trusted oracle, as in the study's
+//! benchmarks.
+
+use mualloy_syntax::ast::*;
+use mualloy_syntax::walk::{collect_sites, node_at, replace_node, NodeId, NodeRepl, NodeSite, OwnerKind};
+
+use crate::vocab::Vocabulary;
+
+/// The class a mutation belongs to (for reporting and ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutationKind {
+    /// Logical connective replaced (`&&` → `||`, …).
+    ConnectiveReplace,
+    /// Relational comparison operator replaced (`in` → `=`, …).
+    CompareReplace,
+    /// Integer comparison operator replaced.
+    IntCompareReplace,
+    /// Multiplicity operator replaced (`some e` → `no e`, …).
+    MultReplace,
+    /// Quantifier replaced (`all` → `some`, …).
+    QuantReplace,
+    /// Formula negated or un-negated.
+    NegateToggle,
+    /// One operand of a conjunction/disjunction dropped.
+    JunctionDrop,
+    /// Set operator replaced (`+` → `-`, …).
+    SetOpReplace,
+    /// Unary relational operator replaced, dropped or inserted.
+    UnaryOpChange,
+    /// Identifier replaced by another of compatible kind.
+    IdentReplace,
+    /// Implication direction swapped.
+    ImplicationSwap,
+    /// Whole constraint replaced by a synthesized template
+    /// (see [`crate::synthesis`]).
+    TemplateReplace,
+    /// Constraint strengthened by conjoining a synthesized template.
+    TemplateConjoin,
+}
+
+impl MutationKind {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutationKind::ConnectiveReplace => "connective-replace",
+            MutationKind::CompareReplace => "compare-replace",
+            MutationKind::IntCompareReplace => "int-compare-replace",
+            MutationKind::MultReplace => "mult-replace",
+            MutationKind::QuantReplace => "quant-replace",
+            MutationKind::NegateToggle => "negate-toggle",
+            MutationKind::JunctionDrop => "junction-drop",
+            MutationKind::SetOpReplace => "set-op-replace",
+            MutationKind::UnaryOpChange => "unary-op-change",
+            MutationKind::IdentReplace => "ident-replace",
+            MutationKind::ImplicationSwap => "implication-swap",
+            MutationKind::TemplateReplace => "template-replace",
+            MutationKind::TemplateConjoin => "template-conjoin",
+        }
+    }
+
+    /// Whether the mutation synthesizes new constraint structure (as
+    /// opposed to editing existing operators/operands).
+    pub fn is_synthesis(&self) -> bool {
+        matches!(
+            self,
+            MutationKind::TemplateReplace | MutationKind::TemplateConjoin
+        )
+    }
+}
+
+/// A single applicable mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mutation {
+    /// Target node.
+    pub site: NodeId,
+    /// Source span of the target node (for localization metrics).
+    pub span: Span,
+    /// Replacement payload.
+    pub repl: NodeRepl,
+    /// Operator class.
+    pub kind: MutationKind,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// Enumerates mutations of a specification.
+#[derive(Debug, Clone)]
+pub struct MutationEngine {
+    spec: Spec,
+    sites: Vec<NodeSite>,
+    vocab: Vocabulary,
+}
+
+impl MutationEngine {
+    /// Creates an engine for the given specification.
+    pub fn new(spec: &Spec) -> MutationEngine {
+        MutationEngine {
+            spec: spec.clone(),
+            sites: collect_sites(spec),
+            vocab: Vocabulary::of(spec),
+        }
+    }
+
+    /// The mutable sites (facts, predicates, functions — not assertions).
+    pub fn sites(&self) -> impl Iterator<Item = &NodeSite> {
+        self.sites
+            .iter()
+            .filter(|s| s.owner.0 != OwnerKind::Assert)
+    }
+
+    /// All mutations across all mutable sites, in deterministic order.
+    pub fn all_mutations(&self) -> Vec<Mutation> {
+        let mut out = Vec::new();
+        for site in self.sites() {
+            out.extend(self.mutations_at(site));
+        }
+        out
+    }
+
+    /// Mutations applicable at one site.
+    pub fn mutations_at(&self, site: &NodeSite) -> Vec<Mutation> {
+        let Some(node) = node_at(&self.spec, site.id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        match node {
+            NodeRepl::Formula(f) => self.formula_mutations(site, &f, &mut out),
+            NodeRepl::Expr(e) => self.expr_mutations(site, &e, &mut out),
+        }
+        out
+    }
+
+    /// Applies a mutation, returning the mutated specification.
+    pub fn apply(&self, m: &Mutation) -> Option<Spec> {
+        replace_node(&self.spec, m.site, m.repl.clone())
+    }
+
+    fn push(
+        &self,
+        out: &mut Vec<Mutation>,
+        site: &NodeSite,
+        repl: NodeRepl,
+        kind: MutationKind,
+        description: String,
+    ) {
+        out.push(Mutation {
+            site: site.id,
+            span: site.span,
+            repl,
+            kind,
+            description,
+        });
+    }
+
+    fn formula_mutations(&self, site: &NodeSite, f: &Formula, out: &mut Vec<Mutation>) {
+        let span = f.span();
+        match f {
+            Formula::Binary(op, l, r, _) => {
+                for alt in [BinFormOp::And, BinFormOp::Or, BinFormOp::Implies, BinFormOp::Iff] {
+                    if alt != *op {
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Formula(Formula::Binary(alt, l.clone(), r.clone(), span)),
+                            MutationKind::ConnectiveReplace,
+                            format!("replace `{}` with `{}`", op.symbol(), alt.symbol()),
+                        );
+                    }
+                }
+                if *op == BinFormOp::Implies {
+                    self.push(
+                        out,
+                        site,
+                        NodeRepl::Formula(Formula::Binary(*op, r.clone(), l.clone(), span)),
+                        MutationKind::ImplicationSwap,
+                        "swap implication direction".to_string(),
+                    );
+                }
+                if matches!(op, BinFormOp::And | BinFormOp::Or) {
+                    self.push(
+                        out,
+                        site,
+                        NodeRepl::Formula((**l).clone()),
+                        MutationKind::JunctionDrop,
+                        "drop right operand".to_string(),
+                    );
+                    self.push(
+                        out,
+                        site,
+                        NodeRepl::Formula((**r).clone()),
+                        MutationKind::JunctionDrop,
+                        "drop left operand".to_string(),
+                    );
+                }
+            }
+            Formula::Compare(op, l, r, _) => {
+                for alt in [CmpOp::In, CmpOp::Eq, CmpOp::Neq, CmpOp::NotIn] {
+                    if alt != *op {
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Formula(Formula::Compare(alt, l.clone(), r.clone(), span)),
+                            MutationKind::CompareReplace,
+                            format!("replace `{}` with `{}`", op.symbol(), alt.symbol()),
+                        );
+                    }
+                }
+            }
+            Formula::IntCompare(op, l, r, _) => {
+                for alt in [
+                    IntCmpOp::Eq,
+                    IntCmpOp::Neq,
+                    IntCmpOp::Lt,
+                    IntCmpOp::Gt,
+                    IntCmpOp::Le,
+                    IntCmpOp::Ge,
+                ] {
+                    if alt != *op {
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Formula(Formula::IntCompare(alt, l.clone(), r.clone(), span)),
+                            MutationKind::IntCompareReplace,
+                            format!("replace `{}` with `{}`", op.symbol(), alt.symbol()),
+                        );
+                    }
+                }
+            }
+            Formula::Mult(op, e, _) => {
+                for alt in [MultOp::Some, MultOp::No, MultOp::Lone, MultOp::One] {
+                    if alt != *op {
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Formula(Formula::Mult(alt, e.clone(), span)),
+                            MutationKind::MultReplace,
+                            format!("replace `{}` with `{}`", op.keyword(), alt.keyword()),
+                        );
+                    }
+                }
+            }
+            Formula::Quant(q, decls, body, _) => {
+                for alt in [Quant::All, Quant::Some, Quant::No, Quant::Lone, Quant::One] {
+                    if alt != *q {
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Formula(Formula::Quant(alt, decls.clone(), body.clone(), span)),
+                            MutationKind::QuantReplace,
+                            format!("replace `{}` with `{}`", q.keyword(), alt.keyword()),
+                        );
+                    }
+                }
+            }
+            Formula::Not(inner, _) => {
+                self.push(
+                    out,
+                    site,
+                    NodeRepl::Formula((**inner).clone()),
+                    MutationKind::NegateToggle,
+                    "remove negation".to_string(),
+                );
+            }
+            _ => {}
+        }
+        // Any formula can be negated (except an existing negation, handled
+        // above as removal).
+        if !matches!(f, Formula::Not(_, _)) {
+            self.push(
+                out,
+                site,
+                NodeRepl::Formula(Formula::Not(Box::new(f.clone()), span)),
+                MutationKind::NegateToggle,
+                "negate formula".to_string(),
+            );
+        }
+    }
+
+    fn expr_mutations(&self, site: &NodeSite, e: &Expr, out: &mut Vec<Mutation>) {
+        let span = e.span();
+        match e {
+            Expr::Binary(op, l, r, _) => {
+                // Arity-preserving set-operator swaps.
+                let family = [
+                    BinExprOp::Union,
+                    BinExprOp::Diff,
+                    BinExprOp::Intersect,
+                    BinExprOp::Override,
+                ];
+                if family.contains(op) {
+                    for alt in family {
+                        if alt != *op {
+                            self.push(
+                                out,
+                                site,
+                                NodeRepl::Expr(Expr::Binary(alt, l.clone(), r.clone(), span)),
+                                MutationKind::SetOpReplace,
+                                format!("replace `{}` with `{}`", op.symbol(), alt.symbol()),
+                            );
+                        }
+                    }
+                }
+                if *op == BinExprOp::DomRestrict {
+                    self.push(
+                        out,
+                        site,
+                        NodeRepl::Expr(Expr::Binary(BinExprOp::RanRestrict, r.clone(), l.clone(), span)),
+                        MutationKind::SetOpReplace,
+                        "turn `<:` into `:>`".to_string(),
+                    );
+                }
+            }
+            Expr::Unary(op, inner, _) => {
+                for alt in [UnExprOp::Closure, UnExprOp::ReflClosure, UnExprOp::Transpose] {
+                    if alt != *op {
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Expr(Expr::Unary(alt, inner.clone(), span)),
+                            MutationKind::UnaryOpChange,
+                            format!("replace `{}` with `{}`", op.symbol(), alt.symbol()),
+                        );
+                    }
+                }
+                self.push(
+                    out,
+                    site,
+                    NodeRepl::Expr((**inner).clone()),
+                    MutationKind::UnaryOpChange,
+                    format!("drop `{}`", op.symbol()),
+                );
+            }
+            Expr::Ident(name, _) => {
+                // Replace by a same-kind name.
+                if self.vocab.is_sig(name) {
+                    for s in &self.vocab.sigs {
+                        if s != name {
+                            self.push(
+                                out,
+                                site,
+                                NodeRepl::Expr(Expr::Ident(s.clone(), span)),
+                                MutationKind::IdentReplace,
+                                format!("replace sig `{name}` with `{s}`"),
+                            );
+                        }
+                    }
+                } else if let Some(arity) = self.vocab.field_arity(name) {
+                    for (f, a) in &self.vocab.fields {
+                        if f != name && *a == arity {
+                            self.push(
+                                out,
+                                site,
+                                NodeRepl::Expr(Expr::Ident(f.clone(), span)),
+                                MutationKind::IdentReplace,
+                                format!("replace field `{name}` with `{f}`"),
+                            );
+                        }
+                    }
+                    // A binary field can gain a closure.
+                    if arity == 2 {
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Expr(Expr::Unary(
+                                UnExprOp::Closure,
+                                Box::new(e.clone()),
+                                span,
+                            )),
+                            MutationKind::UnaryOpChange,
+                            format!("wrap `{name}` in `^`"),
+                        );
+                        self.push(
+                            out,
+                            site,
+                            NodeRepl::Expr(Expr::Unary(
+                                UnExprOp::Transpose,
+                                Box::new(e.clone()),
+                                span,
+                            )),
+                            MutationKind::UnaryOpChange,
+                            format!("wrap `{name}` in `~`"),
+                        );
+                    }
+                } else {
+                    // A bound variable: swap with another variable in scope.
+                    for v in &site.vars_in_scope {
+                        if v != name {
+                            self.push(
+                                out,
+                                site,
+                                NodeRepl::Expr(Expr::Ident(v.clone(), span)),
+                                MutationKind::IdentReplace,
+                                format!("replace variable `{name}` with `{v}`"),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::{check_spec, parse_spec};
+
+    fn spec() -> Spec {
+        parse_spec(
+            "sig N { next: lone N, prev: lone N } \
+             fact Acyclic { no n: N | n in n.^next } \
+             pred ok[n: N] { some n.next && n not in n.prev } \
+             assert A { no none } \
+             check A for 3",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_many_mutations() {
+        let engine = MutationEngine::new(&spec());
+        let all = engine.all_mutations();
+        assert!(all.len() > 30, "got only {}", all.len());
+        // Deterministic ordering.
+        let again = MutationEngine::new(&spec()).all_mutations();
+        assert_eq!(all.len(), again.len());
+        assert_eq!(all[0].description, again[0].description);
+    }
+
+    #[test]
+    fn assertions_are_not_mutated() {
+        let engine = MutationEngine::new(&spec());
+        for site in engine.sites() {
+            assert_ne!(site.owner.0, OwnerKind::Assert);
+        }
+    }
+
+    #[test]
+    fn all_mutants_are_well_formed() {
+        let engine = MutationEngine::new(&spec());
+        for m in engine.all_mutations() {
+            let mutant = engine.apply(&m).unwrap_or_else(|| panic!("apply failed: {m:?}"));
+            assert!(
+                check_spec(&mutant).is_empty(),
+                "mutation `{}` produced ill-formed spec",
+                m.description
+            );
+        }
+    }
+
+    #[test]
+    fn mutants_differ_from_original() {
+        let engine = MutationEngine::new(&spec());
+        let original = mualloy_syntax::walk::strip_spec_spans(&spec());
+        let mut distinct = 0;
+        for m in engine.all_mutations() {
+            let mutant = engine.apply(&m).unwrap();
+            if mualloy_syntax::walk::strip_spec_spans(&mutant) != original {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 20);
+    }
+
+    #[test]
+    fn covers_expected_kinds() {
+        let engine = MutationEngine::new(&spec());
+        let kinds: std::collections::BTreeSet<MutationKind> =
+            engine.all_mutations().iter().map(|m| m.kind).collect();
+        for k in [
+            MutationKind::ConnectiveReplace,
+            MutationKind::CompareReplace,
+            MutationKind::MultReplace,
+            MutationKind::QuantReplace,
+            MutationKind::NegateToggle,
+            MutationKind::JunctionDrop,
+            MutationKind::IdentReplace,
+            MutationKind::UnaryOpChange,
+        ] {
+            assert!(kinds.contains(&k), "missing kind {k:?}");
+        }
+    }
+
+    #[test]
+    fn variable_swap_respects_scope() {
+        let src = "sig A { f: set A } fact { all x, y: A | x in y.f }";
+        let engine = MutationEngine::new(&parse_spec(src).unwrap());
+        let swaps: Vec<_> = engine
+            .all_mutations()
+            .into_iter()
+            .filter(|m| m.kind == MutationKind::IdentReplace && m.description.contains("variable"))
+            .collect();
+        assert!(!swaps.is_empty());
+        for m in swaps {
+            let mutant = engine.apply(&m).unwrap();
+            assert!(check_spec(&mutant).is_empty());
+        }
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(MutationKind::QuantReplace.label(), "quant-replace");
+        assert_eq!(MutationKind::JunctionDrop.label(), "junction-drop");
+    }
+}

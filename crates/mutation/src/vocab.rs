@@ -1,0 +1,74 @@
+//! Specification vocabulary: the raw material for mutations and synthesis.
+
+use mualloy_syntax::Spec;
+
+/// Names (and arities) available for identifier-level mutations and
+/// expression synthesis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    /// Signature names, in declaration order.
+    pub sigs: Vec<String>,
+    /// `(field name, arity)` pairs, in declaration order.
+    pub fields: Vec<(String, usize)>,
+}
+
+impl Vocabulary {
+    /// Extracts the vocabulary of a specification.
+    pub fn of(spec: &Spec) -> Vocabulary {
+        Vocabulary {
+            sigs: spec.sigs.iter().map(|s| s.name.clone()).collect(),
+            fields: spec
+                .fields()
+                .map(|(_, f)| (f.name.clone(), f.arity()))
+                .collect(),
+        }
+    }
+
+    /// Field names with the given arity.
+    pub fn fields_of_arity(&self, arity: usize) -> impl Iterator<Item = &str> {
+        self.fields
+            .iter()
+            .filter(move |(_, a)| *a == arity)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// All binary field names (the most common mutation targets).
+    pub fn binary_fields(&self) -> impl Iterator<Item = &str> {
+        self.fields_of_arity(2)
+    }
+
+    /// Whether the name denotes a signature.
+    pub fn is_sig(&self, name: &str) -> bool {
+        self.sigs.iter().any(|s| s == name)
+    }
+
+    /// Whether the name denotes a field; returns its arity.
+    pub fn field_arity(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::parse_spec;
+
+    #[test]
+    fn extracts_names_and_arities() {
+        let spec = parse_spec(
+            "sig A { f: set B, g: B -> lone B } sig B {} one sig S {}",
+        )
+        .unwrap();
+        let v = Vocabulary::of(&spec);
+        assert_eq!(v.sigs, vec!["A", "B", "S"]);
+        assert_eq!(v.fields, vec![("f".to_string(), 2), ("g".to_string(), 3)]);
+        assert!(v.is_sig("A"));
+        assert!(!v.is_sig("f"));
+        assert_eq!(v.field_arity("g"), Some(3));
+        assert_eq!(v.field_arity("nope"), None);
+        assert_eq!(v.binary_fields().collect::<Vec<_>>(), vec!["f"]);
+    }
+}

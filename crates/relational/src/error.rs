@@ -1,0 +1,45 @@
+//! Error type for translation and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while elaborating, translating or evaluating a
+/// specification (arity mismatches, unknown names, unsupported constructs,
+/// recursion, malformed hierarchies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    message: String,
+}
+
+impl TranslateError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        TranslateError {
+            message: message.into(),
+        }
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translation error: {}", self.message)
+    }
+}
+
+impl Error for TranslateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        let e = TranslateError::new("arity mismatch");
+        assert!(e.to_string().contains("arity mismatch"));
+    }
+}

@@ -1,0 +1,597 @@
+//! Ground evaluation of elaborated expressions and formulas against a
+//! concrete [`Instance`].
+//!
+//! The evaluator is the semantic reference for the translator: a property
+//! test asserts that every instance extracted from a SAT model satisfies the
+//! facts according to this evaluator. It also powers AUnit-style test
+//! execution and the REP metric's result comparison.
+
+use mualloy_syntax::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::TranslateError;
+use crate::instance::Instance;
+
+/// A concrete relation value: a set of same-arity tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundSet {
+    arity: usize,
+    tuples: BTreeSet<Vec<u32>>,
+}
+
+impl GroundSet {
+    /// Creates an empty ground set of the given arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is 0.
+    pub fn empty(arity: usize) -> GroundSet {
+        assert!(arity > 0);
+        GroundSet {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a unary ground set from atoms.
+    pub fn unary(atoms: impl IntoIterator<Item = u32>) -> GroundSet {
+        GroundSet {
+            arity: 1,
+            tuples: atoms.into_iter().map(|a| vec![a]).collect(),
+        }
+    }
+
+    /// Creates a ground set from tuples.
+    ///
+    /// # Errors
+    ///
+    /// Fails if tuples have inconsistent arities.
+    pub fn from_tuples(
+        arity: usize,
+        tuples: impl IntoIterator<Item = Vec<u32>>,
+    ) -> Result<GroundSet, TranslateError> {
+        let tuples: BTreeSet<Vec<u32>> = tuples.into_iter().collect();
+        if tuples.iter().any(|t| t.len() != arity) {
+            return Err(TranslateError::new("inconsistent tuple arity"));
+        }
+        Ok(GroundSet { arity, tuples })
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The underlying tuples.
+    pub fn tuples(&self) -> &BTreeSet<Vec<u32>> {
+        &self.tuples
+    }
+}
+
+/// Evaluation context: the instance plus bound-variable values.
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    instance: &'a Instance,
+}
+
+type Env = BTreeMap<String, GroundSet>;
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over the given instance.
+    pub fn new(instance: &'a Instance) -> Evaluator<'a> {
+        Evaluator { instance }
+    }
+
+    /// Evaluates a closed, elaborated formula.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names, arity mismatches, or unexpanded calls.
+    pub fn formula(&self, f: &Formula) -> Result<bool, TranslateError> {
+        self.eval_formula(f, &Env::new())
+    }
+
+    /// Evaluates a closed, elaborated expression.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::formula`].
+    pub fn expr(&self, e: &Expr) -> Result<GroundSet, TranslateError> {
+        self.eval_expr(e, &Env::new())
+    }
+
+    fn eval_formula(&self, f: &Formula, env: &Env) -> Result<bool, TranslateError> {
+        Ok(match f {
+            Formula::Compare(op, l, r, _) => {
+                let lv = self.eval_expr(l, env)?;
+                let rv = self.eval_expr(r, env)?;
+                if lv.arity != rv.arity {
+                    return Err(TranslateError::new(format!(
+                        "arity mismatch in comparison: {} vs {}",
+                        lv.arity, rv.arity
+                    )));
+                }
+                match op {
+                    CmpOp::In => lv.tuples.is_subset(&rv.tuples),
+                    CmpOp::NotIn => !lv.tuples.is_subset(&rv.tuples),
+                    CmpOp::Eq => lv.tuples == rv.tuples,
+                    CmpOp::Neq => lv.tuples != rv.tuples,
+                }
+            }
+            Formula::IntCompare(op, l, r, _) => {
+                let lv = self.eval_int(l, env)?;
+                let rv = self.eval_int(r, env)?;
+                match op {
+                    IntCmpOp::Eq => lv == rv,
+                    IntCmpOp::Neq => lv != rv,
+                    IntCmpOp::Lt => lv < rv,
+                    IntCmpOp::Gt => lv > rv,
+                    IntCmpOp::Le => lv <= rv,
+                    IntCmpOp::Ge => lv >= rv,
+                }
+            }
+            Formula::Mult(op, e, _) => {
+                let v = self.eval_expr(e, env)?;
+                match op {
+                    MultOp::Some => !v.is_empty(),
+                    MultOp::No => v.is_empty(),
+                    MultOp::Lone => v.len() <= 1,
+                    MultOp::One => v.len() == 1,
+                }
+            }
+            Formula::Not(inner, _) => !self.eval_formula(inner, env)?,
+            Formula::Binary(op, l, r, _) => {
+                let lv = self.eval_formula(l, env)?;
+                match op {
+                    BinFormOp::And => lv && self.eval_formula(r, env)?,
+                    BinFormOp::Or => lv || self.eval_formula(r, env)?,
+                    BinFormOp::Implies => !lv || self.eval_formula(r, env)?,
+                    BinFormOp::Iff => lv == self.eval_formula(r, env)?,
+                }
+            }
+            Formula::Quant(q, decls, body, _) => {
+                let mut satisfied = 0usize;
+                let mut total = 0usize;
+                self.quant_combinations(decls, env, &mut |env2| {
+                    total += 1;
+                    if self.eval_formula(body, env2)? {
+                        satisfied += 1;
+                    }
+                    Ok(())
+                })?;
+                match q {
+                    Quant::All => satisfied == total,
+                    Quant::Some => satisfied > 0,
+                    Quant::No => satisfied == 0,
+                    Quant::Lone => satisfied <= 1,
+                    Quant::One => satisfied == 1,
+                }
+            }
+            Formula::Let(name, e, body, _) => {
+                let v = self.eval_expr(e, env)?;
+                let mut env2 = env.clone();
+                env2.insert(name.clone(), v);
+                self.eval_formula(body, &env2)?
+            }
+            Formula::PredCall(name, _, _) => {
+                return Err(TranslateError::new(format!(
+                    "unexpanded predicate call `{name}` in ground evaluation"
+                )))
+            }
+        })
+    }
+
+    fn quant_combinations(
+        &self,
+        decls: &[VarDecl],
+        env: &Env,
+        f: &mut impl FnMut(&Env) -> Result<(), TranslateError>,
+    ) -> Result<(), TranslateError> {
+        match decls.split_first() {
+            None => f(env),
+            Some((d, rest)) => {
+                let bound = self.eval_expr(&d.bound, env)?;
+                if bound.arity != 1 {
+                    return Err(TranslateError::new(format!(
+                        "quantifier bound for `{}` must be unary",
+                        d.name
+                    )));
+                }
+                for t in &bound.tuples {
+                    let mut env2 = env.clone();
+                    env2.insert(d.name.clone(), GroundSet::unary([t[0]]));
+                    self.quant_combinations(rest, &env2, f)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_int(&self, i: &IntExpr, env: &Env) -> Result<i64, TranslateError> {
+        Ok(match i {
+            IntExpr::Card(e, _) => self.eval_expr(e, env)?.len() as i64,
+            IntExpr::Lit(n, _) => *n,
+        })
+    }
+
+    fn eval_expr(&self, e: &Expr, env: &Env) -> Result<GroundSet, TranslateError> {
+        Ok(match e {
+            Expr::Ident(name, _) => {
+                if let Some(v) = env.get(name) {
+                    v.clone()
+                } else if self.instance.has_sig(name) {
+                    GroundSet::unary(self.instance.sig_set(name))
+                } else if self.instance.has_field(name) {
+                    let tuples = self.instance.field_set(name);
+                    let arity = tuples.iter().next().map(|t| t.len());
+                    match arity {
+                        Some(a) => GroundSet {
+                            arity: a,
+                            tuples,
+                        },
+                        // An empty field: arity is unknown from the instance
+                        // alone; treat as empty binary, the most common case.
+                        None => GroundSet::empty(2),
+                    }
+                } else {
+                    return Err(TranslateError::new(format!("unknown name `{name}`")));
+                }
+            }
+            Expr::Univ(_) => GroundSet::unary(self.instance.universe_atoms()),
+            Expr::Iden(_) => GroundSet {
+                arity: 2,
+                tuples: self
+                    .instance
+                    .universe_atoms()
+                    .into_iter()
+                    .map(|a| vec![a, a])
+                    .collect(),
+            },
+            Expr::None(_) => GroundSet::empty(1),
+            Expr::Unary(op, inner, _) => {
+                let v = self.eval_expr(inner, env)?;
+                match op {
+                    UnExprOp::Transpose => {
+                        if v.arity != 2 {
+                            return Err(TranslateError::new("transpose requires binary"));
+                        }
+                        GroundSet {
+                            arity: 2,
+                            tuples: v.tuples.iter().map(|t| vec![t[1], t[0]]).collect(),
+                        }
+                    }
+                    UnExprOp::Closure => {
+                        if v.arity != 2 {
+                            return Err(TranslateError::new("closure requires binary"));
+                        }
+                        ground_closure(&v)
+                    }
+                    UnExprOp::ReflClosure => {
+                        if v.arity != 2 {
+                            return Err(TranslateError::new("closure requires binary"));
+                        }
+                        let mut c = ground_closure(&v);
+                        for a in self.instance.universe_atoms() {
+                            c.tuples.insert(vec![a, a]);
+                        }
+                        c
+                    }
+                }
+            }
+            Expr::Binary(op, l, r, _) => {
+                let lv = self.eval_expr(l, env)?;
+                let rv = self.eval_expr(r, env)?;
+                match op {
+                    BinExprOp::Union => {
+                        require_same(&lv, &rv, "+")?;
+                        GroundSet {
+                            arity: lv.arity,
+                            tuples: lv.tuples.union(&rv.tuples).cloned().collect(),
+                        }
+                    }
+                    BinExprOp::Diff => {
+                        require_same(&lv, &rv, "-")?;
+                        GroundSet {
+                            arity: lv.arity,
+                            tuples: lv.tuples.difference(&rv.tuples).cloned().collect(),
+                        }
+                    }
+                    BinExprOp::Intersect => {
+                        require_same(&lv, &rv, "&")?;
+                        GroundSet {
+                            arity: lv.arity,
+                            tuples: lv.tuples.intersection(&rv.tuples).cloned().collect(),
+                        }
+                    }
+                    BinExprOp::Join => {
+                        let arity = lv.arity + rv.arity;
+                        if arity < 3 {
+                            return Err(TranslateError::new("join of two unary relations"));
+                        }
+                        let mut out = BTreeSet::new();
+                        for lt in &lv.tuples {
+                            for rt in &rv.tuples {
+                                if lt[lv.arity - 1] == rt[0] {
+                                    let mut t = lt[..lv.arity - 1].to_vec();
+                                    t.extend_from_slice(&rt[1..]);
+                                    out.insert(t);
+                                }
+                            }
+                        }
+                        GroundSet {
+                            arity: arity - 2,
+                            tuples: out,
+                        }
+                    }
+                    BinExprOp::Product => {
+                        let mut out = BTreeSet::new();
+                        for lt in &lv.tuples {
+                            for rt in &rv.tuples {
+                                let mut t = lt.clone();
+                                t.extend_from_slice(rt);
+                                out.insert(t);
+                            }
+                        }
+                        GroundSet {
+                            arity: lv.arity + rv.arity,
+                            tuples: out,
+                        }
+                    }
+                    BinExprOp::Override => {
+                        require_same(&lv, &rv, "++")?;
+                        if lv.arity == 1 {
+                            GroundSet {
+                                arity: 1,
+                                tuples: lv.tuples.union(&rv.tuples).cloned().collect(),
+                            }
+                        } else {
+                            let dom: BTreeSet<u32> = rv.tuples.iter().map(|t| t[0]).collect();
+                            let mut out: BTreeSet<Vec<u32>> = lv
+                                .tuples
+                                .iter()
+                                .filter(|t| !dom.contains(&t[0]))
+                                .cloned()
+                                .collect();
+                            out.extend(rv.tuples.iter().cloned());
+                            GroundSet {
+                                arity: lv.arity,
+                                tuples: out,
+                            }
+                        }
+                    }
+                    BinExprOp::DomRestrict => {
+                        if lv.arity != 1 {
+                            return Err(TranslateError::new("`<:` requires unary left operand"));
+                        }
+                        let dom: BTreeSet<u32> = lv.tuples.iter().map(|t| t[0]).collect();
+                        GroundSet {
+                            arity: rv.arity,
+                            tuples: rv
+                                .tuples
+                                .iter()
+                                .filter(|t| dom.contains(&t[0]))
+                                .cloned()
+                                .collect(),
+                        }
+                    }
+                    BinExprOp::RanRestrict => {
+                        if rv.arity != 1 {
+                            return Err(TranslateError::new("`:>` requires unary right operand"));
+                        }
+                        let ran: BTreeSet<u32> = rv.tuples.iter().map(|t| t[0]).collect();
+                        GroundSet {
+                            arity: lv.arity,
+                            tuples: lv
+                                .tuples
+                                .iter()
+                                .filter(|t| ran.contains(&t[t.len() - 1]))
+                                .cloned()
+                                .collect(),
+                        }
+                    }
+                }
+            }
+            Expr::Comprehension(decls, body, _) => {
+                let mut out = BTreeSet::new();
+                self.comp_combinations(decls, env, &mut Vec::new(), body, &mut out)?;
+                GroundSet {
+                    arity: decls.len().max(1),
+                    tuples: out,
+                }
+            }
+            Expr::IfThenElse(c, t, f, _) => {
+                if self.eval_formula(c, env)? {
+                    self.eval_expr(t, env)?
+                } else {
+                    self.eval_expr(f, env)?
+                }
+            }
+            Expr::FunCall(name, _, _) => {
+                return Err(TranslateError::new(format!(
+                    "unexpanded application `{name}[..]` in ground evaluation"
+                )))
+            }
+        })
+    }
+
+    fn comp_combinations(
+        &self,
+        decls: &[VarDecl],
+        env: &Env,
+        tuple: &mut Vec<u32>,
+        body: &Formula,
+        out: &mut BTreeSet<Vec<u32>>,
+    ) -> Result<(), TranslateError> {
+        match decls.split_first() {
+            None => {
+                if self.eval_formula(body, env)? {
+                    out.insert(tuple.clone());
+                }
+                Ok(())
+            }
+            Some((d, rest)) => {
+                let bound = self.eval_expr(&d.bound, env)?;
+                if bound.arity != 1 {
+                    return Err(TranslateError::new("comprehension bound must be unary"));
+                }
+                for t in &bound.tuples {
+                    let mut env2 = env.clone();
+                    env2.insert(d.name.clone(), GroundSet::unary([t[0]]));
+                    tuple.push(t[0]);
+                    self.comp_combinations(rest, &env2, tuple, body, out)?;
+                    tuple.pop();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn require_same(a: &GroundSet, b: &GroundSet, op: &str) -> Result<(), TranslateError> {
+    if a.arity != b.arity {
+        Err(TranslateError::new(format!(
+            "arity mismatch for `{op}`: {} vs {}",
+            a.arity, b.arity
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn ground_closure(r: &GroundSet) -> GroundSet {
+    let mut tuples = r.tuples.clone();
+    loop {
+        let mut added = Vec::new();
+        for a in &tuples {
+            for b in &tuples {
+                if a[1] == b[0] {
+                    let t = vec![a[0], b[1]];
+                    if !tuples.contains(&t) {
+                        added.push(t);
+                    }
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        tuples.extend(added);
+    }
+    GroundSet { arity: 2, tuples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::{parse_expr, parse_formula};
+
+    fn instance() -> Instance {
+        let mut inst = Instance::new(
+            (0..4).map(|i| format!("N${i}")).collect(),
+        );
+        inst.set_sig("N", [0u32, 1, 2].into_iter().collect());
+        inst.set_field(
+            "next",
+            [vec![0u32, 1], vec![1, 2]].into_iter().collect(),
+        );
+        inst
+    }
+
+    fn eval_f(src: &str) -> bool {
+        let inst = instance();
+        Evaluator::new(&inst)
+            .formula(&parse_formula(src).unwrap())
+            .unwrap()
+    }
+
+    fn eval_e(src: &str) -> GroundSet {
+        let inst = instance();
+        Evaluator::new(&inst).expr(&parse_expr(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sig_and_field_lookup() {
+        assert_eq!(eval_e("N").len(), 3);
+        assert_eq!(eval_e("next").len(), 2);
+        assert_eq!(eval_e("univ").len(), 3);
+        assert!(eval_e("none").is_empty());
+    }
+
+    #[test]
+    fn joins_and_closures() {
+        // 0.next = {1}
+        let v = eval_e("N.next");
+        assert_eq!(v.len(), 2); // {1, 2}
+        let cl = eval_e("^next");
+        assert_eq!(cl.len(), 3); // (0,1),(1,2),(0,2)
+        let rcl = eval_e("*next");
+        assert_eq!(rcl.len(), 6); // + identity over 3 atoms
+        let t = eval_e("~next");
+        assert!(t.tuples().contains(&vec![1, 0]));
+    }
+
+    #[test]
+    fn formula_basics() {
+        assert!(eval_f("some N"));
+        assert!(!eval_f("no N"));
+        assert!(eval_f("#N = 3"));
+        assert!(eval_f("#N.next = 2"));
+        assert!(eval_f("all n: N | lone n.next"));
+        assert!(eval_f("some n: N | no n.next"));
+        assert!(!eval_f("some n: N | n in n.^next"));
+        assert!(eval_f("no n: N | n in n.^next"));
+    }
+
+    #[test]
+    fn quant_counting_forms() {
+        assert!(eval_f("one n: N | no n.next")); // only node 2
+        assert!(eval_f("lone n: N | no n.next"));
+        assert!(!eval_f("one n: N | some n.next")); // nodes 0 and 1
+    }
+
+    #[test]
+    fn let_and_comprehension() {
+        assert!(eval_f("let k = N.next | some k"));
+        assert_eq!(eval_e("{ n: N | some n.next }").len(), 2);
+    }
+
+    #[test]
+    fn override_and_restrictions() {
+        let v = eval_e("next ++ (N.next -> N)");
+        assert!(!v.is_empty());
+        let dr = eval_e("(N - N.next) <: next");
+        assert_eq!(dr.len(), 1); // only (0,1): 0 is the unique non-successor
+        let rr = eval_e("next :> (N - N.next)");
+        assert!(rr.is_empty()); // range of next is all successors
+    }
+
+    #[test]
+    fn errors_on_unknowns_and_arity() {
+        let inst = instance();
+        let ev = Evaluator::new(&inst);
+        assert!(ev.formula(&parse_formula("some Ghost").unwrap()).is_err());
+        assert!(ev.expr(&parse_expr("~N").unwrap()).is_err());
+        assert!(ev
+            .formula(&parse_formula("N in next").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn empty_field_defaults_to_binary() {
+        let mut inst = Instance::new(vec!["A$0".into()]);
+        inst.set_sig("A", [0u32].into_iter().collect());
+        inst.set_field("f", BTreeSet::new());
+        let ev = Evaluator::new(&inst);
+        assert!(ev.formula(&parse_formula("no f").unwrap()).unwrap());
+    }
+}

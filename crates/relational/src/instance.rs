@@ -1,0 +1,133 @@
+//! Concrete instances (models / counterexamples) of a specification.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A concrete atom tuple.
+pub type ConcreteTuple = Vec<u32>;
+
+/// A concrete valuation of every signature and field of a specification,
+/// as extracted from a SAT model or constructed by hand (for AUnit tests).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Instance {
+    sigs: BTreeMap<String, BTreeSet<u32>>,
+    fields: BTreeMap<String, BTreeSet<ConcreteTuple>>,
+    atom_names: Vec<String>,
+}
+
+impl Instance {
+    /// Creates an empty instance with the given atom display names.
+    pub fn new(atom_names: Vec<String>) -> Instance {
+        Instance {
+            sigs: BTreeMap::new(),
+            fields: BTreeMap::new(),
+            atom_names,
+        }
+    }
+
+    /// Sets the atom set of a signature.
+    pub fn set_sig(&mut self, name: impl Into<String>, atoms: BTreeSet<u32>) {
+        self.sigs.insert(name.into(), atoms);
+    }
+
+    /// Sets the tuple set of a field.
+    pub fn set_field(&mut self, name: impl Into<String>, tuples: BTreeSet<ConcreteTuple>) {
+        self.fields.insert(name.into(), tuples);
+    }
+
+    /// The atom set of a signature (empty if unknown).
+    pub fn sig_set(&self, name: &str) -> BTreeSet<u32> {
+        self.sigs.get(name).cloned().unwrap_or_default()
+    }
+
+    /// The tuple set of a field (empty if unknown).
+    pub fn field_set(&self, name: &str) -> BTreeSet<ConcreteTuple> {
+        self.fields.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Whether the instance defines the given signature name.
+    pub fn has_sig(&self, name: &str) -> bool {
+        self.sigs.contains_key(name)
+    }
+
+    /// Whether the instance defines the given field name.
+    pub fn has_field(&self, name: &str) -> bool {
+        self.fields.contains_key(name)
+    }
+
+    /// All atoms present in any signature (the active universe).
+    pub fn universe_atoms(&self) -> BTreeSet<u32> {
+        self.sigs.values().flatten().copied().collect()
+    }
+
+    /// Display name of an atom (falls back to `atom<N>`).
+    pub fn atom_name(&self, atom: u32) -> String {
+        self.atom_names
+            .get(atom as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("atom{atom}"))
+    }
+
+    /// Signature names defined by the instance.
+    pub fn sig_names(&self) -> impl Iterator<Item = &str> {
+        self.sigs.keys().map(|s| s.as_str())
+    }
+
+    /// Field names defined by the instance.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.keys().map(|s| s.as_str())
+    }
+
+    /// Total number of tuples across all signatures and fields (a crude
+    /// size measure used in analyzer reports).
+    pub fn size(&self) -> usize {
+        self.sigs.values().map(|s| s.len()).sum::<usize>()
+            + self.fields.values().map(|s| s.len()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, atoms) in &self.sigs {
+            let rendered: Vec<String> = atoms.iter().map(|&a| self.atom_name(a)).collect();
+            writeln!(f, "{name} = {{{}}}", rendered.join(", "))?;
+        }
+        for (name, tuples) in &self.fields {
+            let rendered: Vec<String> = tuples
+                .iter()
+                .map(|t| {
+                    let atoms: Vec<String> = t.iter().map(|&a| self.atom_name(a)).collect();
+                    format!("({})", atoms.join(", "))
+                })
+                .collect();
+            writeln!(f, "{name} = {{{}}}", rendered.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sets() {
+        let mut inst = Instance::new(vec!["A$0".into(), "A$1".into()]);
+        inst.set_sig("A", [0u32, 1].into_iter().collect());
+        inst.set_field("f", [vec![0, 1]].into_iter().collect());
+        assert_eq!(inst.sig_set("A").len(), 2);
+        assert_eq!(inst.field_set("f").len(), 1);
+        assert!(inst.sig_set("B").is_empty());
+        assert_eq!(inst.universe_atoms().len(), 2);
+        assert_eq!(inst.size(), 3);
+    }
+
+    #[test]
+    fn display_names_atoms() {
+        let mut inst = Instance::new(vec!["A$0".into()]);
+        inst.set_sig("A", [0u32].into_iter().collect());
+        let s = inst.to_string();
+        assert!(s.contains("A = {A$0}"));
+        assert_eq!(inst.atom_name(7), "atom7");
+    }
+}

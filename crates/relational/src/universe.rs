@@ -1,0 +1,321 @@
+//! Universe and bound construction from signature declarations.
+//!
+//! Scope semantics (μAlloy dialect, documented in DESIGN.md): a command's
+//! uniform scope `n` allocates an *atom pool* per allocation unit —
+//!
+//! - every signature without children gets its own pool of `n` atoms
+//!   (`one sig` pools are a single, always-present atom);
+//! - a non-abstract signature with children additionally gets a *remainder*
+//!   pool of `n` atoms for atoms belonging to the parent but none of its
+//!   children;
+//! - an abstract signature's atom set is exactly the union of its
+//!   descendants' pools.
+//!
+//! Each atom carries a membership variable (except `one sig` atoms, which
+//! are always present), exactly like Kodkod's lower/upper relation bounds.
+
+use mualloy_syntax::{SigDecl, SigMult, Spec};
+use std::collections::BTreeMap;
+
+use crate::error::TranslateError;
+
+/// A contiguous pool of atoms owned by one allocation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pool {
+    /// Name of the signature the pool belongs to (remainder pools use the
+    /// parent's name).
+    pub sig: String,
+    /// Global index of the first atom in the pool.
+    pub first_atom: u32,
+    /// Number of atoms in the pool.
+    pub size: u32,
+    /// Whether the pool's atoms are unconditionally present (`one sig`).
+    pub fixed: bool,
+}
+
+impl Pool {
+    /// Iterates over the global atom indices of this pool.
+    pub fn atoms(&self) -> impl Iterator<Item = u32> {
+        self.first_atom..(self.first_atom + self.size)
+    }
+}
+
+/// The atom universe induced by a specification and a uniform scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Universe {
+    pools: Vec<Pool>,
+    atom_pool: Vec<u32>,            // atom -> pool index
+    atom_names: Vec<String>,        // atom -> display name, e.g. "Room$0"
+    sig_atoms: BTreeMap<String, Vec<u32>>, // sig -> all atoms (incl. descendants)
+    sig_mult: BTreeMap<String, Option<SigMult>>,
+    scope: u32,
+}
+
+impl Universe {
+    /// Builds the universe for `spec` with the given uniform scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] when the hierarchy is malformed (unknown
+    /// parent, cyclic extends, `one sig` with children) or the scope is 0.
+    pub fn build(spec: &Spec, scope: u32) -> Result<Universe, TranslateError> {
+        if scope == 0 {
+            return Err(TranslateError::new("scope must be positive"));
+        }
+        let by_name: BTreeMap<&str, &SigDecl> =
+            spec.sigs.iter().map(|s| (s.name.as_str(), s)).collect();
+        // Validate parents and detect cycles.
+        for sig in &spec.sigs {
+            if let Some(p) = &sig.parent {
+                if !by_name.contains_key(p.as_str()) {
+                    return Err(TranslateError::new(format!(
+                        "signature `{}` extends unknown `{p}`",
+                        sig.name
+                    )));
+                }
+            }
+            let mut cur = sig.name.as_str();
+            let mut steps = 0;
+            while let Some(parent) = by_name.get(cur).and_then(|s| s.parent.as_deref()) {
+                cur = parent;
+                steps += 1;
+                if steps > spec.sigs.len() {
+                    return Err(TranslateError::new(format!(
+                        "cyclic extends chain through `{}`",
+                        sig.name
+                    )));
+                }
+            }
+        }
+
+        let mut pools = Vec::new();
+        let mut atom_pool = Vec::new();
+        let mut atom_names = Vec::new();
+        let mut next_atom = 0u32;
+
+        let mut alloc_pool = |sig: &str, size: u32, fixed: bool,
+                              pools: &mut Vec<Pool>,
+                              atom_pool: &mut Vec<u32>,
+                              atom_names: &mut Vec<String>| {
+            let pool_idx = pools.len() as u32;
+            for i in 0..size {
+                atom_pool.push(pool_idx);
+                atom_names.push(format!("{sig}${i}"));
+            }
+            pools.push(Pool {
+                sig: sig.to_string(),
+                first_atom: next_atom,
+                size,
+                fixed,
+            });
+            next_atom += size;
+        };
+
+        // Pool allocation in declaration order for determinism.
+        for sig in &spec.sigs {
+            let has_children = spec.children_of(&sig.name).iter().count() > 0
+                || spec.sigs.iter().any(|s| s.parent.as_deref() == Some(sig.name.as_str()));
+            let is_one = sig.mult == Some(SigMult::One);
+            if is_one && has_children {
+                return Err(TranslateError::new(format!(
+                    "`one sig {}` may not have children in μAlloy",
+                    sig.name
+                )));
+            }
+            if has_children {
+                if !sig.is_abstract {
+                    // Remainder pool for parent-only atoms.
+                    alloc_pool(
+                        &sig.name,
+                        scope,
+                        false,
+                        &mut pools,
+                        &mut atom_pool,
+                        &mut atom_names,
+                    );
+                }
+                // Abstract parents own no pool of their own.
+            } else if is_one {
+                alloc_pool(&sig.name, 1, true, &mut pools, &mut atom_pool, &mut atom_names);
+            } else {
+                alloc_pool(
+                    &sig.name,
+                    scope,
+                    false,
+                    &mut pools,
+                    &mut atom_pool,
+                    &mut atom_names,
+                );
+            }
+        }
+
+        // sig -> atoms: own pool plus all descendants' atoms.
+        let mut sig_atoms: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for sig in &spec.sigs {
+            let mut atoms = Vec::new();
+            // Own pools (a sig owns the pools labelled with its name).
+            for p in &pools {
+                if p.sig == sig.name {
+                    atoms.extend(p.atoms());
+                }
+            }
+            // Descendant pools.
+            let mut frontier: Vec<&str> = vec![sig.name.as_str()];
+            while let Some(cur) = frontier.pop() {
+                for child in spec.sigs.iter().filter(|s| s.parent.as_deref() == Some(cur)) {
+                    for p in &pools {
+                        if p.sig == child.name {
+                            atoms.extend(p.atoms());
+                        }
+                    }
+                    frontier.push(child.name.as_str());
+                }
+            }
+            atoms.sort_unstable();
+            atoms.dedup();
+            sig_atoms.insert(sig.name.clone(), atoms);
+        }
+
+        let sig_mult = spec
+            .sigs
+            .iter()
+            .map(|s| (s.name.clone(), s.mult))
+            .collect();
+
+        Ok(Universe {
+            pools,
+            atom_pool,
+            atom_names,
+            sig_atoms,
+            sig_mult,
+            scope,
+        })
+    }
+
+    /// Total number of atoms.
+    pub fn num_atoms(&self) -> u32 {
+        self.atom_pool.len() as u32
+    }
+
+    /// The uniform scope the universe was built with.
+    pub fn scope(&self) -> u32 {
+        self.scope
+    }
+
+    /// All allocation pools.
+    pub fn pools(&self) -> &[Pool] {
+        &self.pools
+    }
+
+    /// The pool owning the given atom.
+    pub fn pool_of(&self, atom: u32) -> &Pool {
+        &self.pools[self.atom_pool[atom as usize] as usize]
+    }
+
+    /// Display name of an atom (e.g. `Room$1`).
+    pub fn atom_name(&self, atom: u32) -> &str {
+        &self.atom_names[atom as usize]
+    }
+
+    /// Atom indices (including descendants') of a signature, or `None` if
+    /// the signature is unknown.
+    pub fn sig_atoms(&self, sig: &str) -> Option<&[u32]> {
+        self.sig_atoms.get(sig).map(|v| v.as_slice())
+    }
+
+    /// Declared multiplicity of a signature, if any.
+    pub fn sig_mult(&self, sig: &str) -> Option<SigMult> {
+        self.sig_mult.get(sig).copied().flatten()
+    }
+
+    /// All signature names in the universe.
+    pub fn sig_names(&self) -> impl Iterator<Item = &str> {
+        self.sig_atoms.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::parse_spec;
+
+    #[test]
+    fn flat_sigs_get_scope_sized_pools() {
+        let spec = parse_spec("sig A {} sig B {}").unwrap();
+        let u = Universe::build(&spec, 3).unwrap();
+        assert_eq!(u.num_atoms(), 6);
+        assert_eq!(u.sig_atoms("A").unwrap().len(), 3);
+        assert_eq!(u.sig_atoms("B").unwrap().len(), 3);
+        // Disjoint pools.
+        let a = u.sig_atoms("A").unwrap();
+        let b = u.sig_atoms("B").unwrap();
+        assert!(a.iter().all(|x| !b.contains(x)));
+    }
+
+    #[test]
+    fn one_sig_gets_single_fixed_atom() {
+        let spec = parse_spec("one sig S {}").unwrap();
+        let u = Universe::build(&spec, 4).unwrap();
+        assert_eq!(u.num_atoms(), 1);
+        assert!(u.pool_of(0).fixed);
+        assert_eq!(u.atom_name(0), "S$0");
+    }
+
+    #[test]
+    fn abstract_parent_is_union_of_children() {
+        let spec = parse_spec("abstract sig Key {} sig RoomKey extends Key {} sig CarKey extends Key {}").unwrap();
+        let u = Universe::build(&spec, 3).unwrap();
+        assert_eq!(u.num_atoms(), 6);
+        let key = u.sig_atoms("Key").unwrap();
+        assert_eq!(key.len(), 6);
+        let rk = u.sig_atoms("RoomKey").unwrap();
+        assert!(rk.iter().all(|a| key.contains(a)));
+    }
+
+    #[test]
+    fn non_abstract_parent_gets_remainder_pool() {
+        let spec = parse_spec("sig Person {} sig Student extends Person {}").unwrap();
+        let u = Universe::build(&spec, 2).unwrap();
+        // Person remainder pool (2) + Student pool (2).
+        assert_eq!(u.num_atoms(), 4);
+        assert_eq!(u.sig_atoms("Person").unwrap().len(), 4);
+        assert_eq!(u.sig_atoms("Student").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zero_scope_is_rejected() {
+        let spec = parse_spec("sig A {}").unwrap();
+        assert!(Universe::build(&spec, 0).is_err());
+    }
+
+    #[test]
+    fn one_sig_with_children_is_rejected() {
+        let spec = parse_spec("one sig S {} sig T extends S {}").unwrap();
+        assert!(Universe::build(&spec, 3).is_err());
+    }
+
+    #[test]
+    fn unknown_parent_is_rejected() {
+        let spec = parse_spec("sig A extends Ghost {}").unwrap();
+        assert!(Universe::build(&spec, 3).is_err());
+    }
+
+    #[test]
+    fn cyclic_hierarchy_is_rejected() {
+        let spec = parse_spec("sig A extends B {} sig B extends A {}").unwrap();
+        assert!(Universe::build(&spec, 3).is_err());
+    }
+
+    #[test]
+    fn atom_names_are_stable_and_unique() {
+        let spec = parse_spec("sig A {} sig B {}").unwrap();
+        let u = Universe::build(&spec, 3).unwrap();
+        let names: Vec<_> = (0..u.num_atoms()).map(|a| u.atom_name(a).to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert!(names.contains(&"A$0".to_string()));
+        assert!(names.contains(&"B$2".to_string()));
+    }
+}

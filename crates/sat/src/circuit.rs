@@ -1,0 +1,537 @@
+//! Hash-consed boolean circuits with Tseitin CNF encoding.
+//!
+//! The μAlloy translator compiles relational formulas into a [`Circuit`] —
+//! a DAG of AND/OR gates over input variables, with negation represented by
+//! signed references. Structural hashing plus constant folding keep the
+//! circuit compact before it is encoded into a [`Solver`] via the Tseitin
+//! transformation.
+
+use crate::cnf::Lit;
+use crate::solver::Solver;
+use std::collections::HashMap;
+
+/// A signed reference to a circuit node; negative means negated.
+///
+/// The constants are [`Circuit::TRUE`] and [`Circuit::FALSE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoolRef(i32);
+
+impl BoolRef {
+    /// The negation of this reference.
+    pub fn negate(self) -> BoolRef {
+        BoolRef(-self.0)
+    }
+
+    fn node(self) -> usize {
+        (self.0.unsigned_abs() as usize) - 1
+    }
+
+    fn is_negated(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl std::ops::Not for BoolRef {
+    type Output = BoolRef;
+
+    fn not(self) -> BoolRef {
+        self.negate()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node {
+    ConstTrue,
+    Input(u32),
+    And(Vec<BoolRef>),
+    Or(Vec<BoolRef>),
+}
+
+/// A boolean circuit builder with structural sharing.
+///
+/// # Example
+///
+/// ```
+/// use mualloy_sat::{Circuit, Solver, SolveResult};
+///
+/// let mut c = Circuit::new();
+/// let x = c.input();
+/// let y = c.input();
+/// let both = c.and(x, y);
+/// let root = c.or(both, !x);
+/// let mut solver = Solver::new();
+/// let inputs = c.encode(root, &mut solver);
+/// assert!(solver.solve().is_sat());
+/// assert_eq!(inputs.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, i32>,
+    num_inputs: u32,
+}
+
+impl Circuit {
+    /// The constant-true reference.
+    pub const TRUE: BoolRef = BoolRef(1);
+    /// The constant-false reference.
+    pub const FALSE: BoolRef = BoolRef(-1);
+
+    /// Creates an empty circuit.
+    pub fn new() -> Circuit {
+        let mut c = Circuit::default();
+        c.nodes.push(Node::ConstTrue);
+        c
+    }
+
+    /// Number of input variables allocated so far.
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// Number of nodes (gates + inputs + the constant).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Allocates a fresh input variable.
+    pub fn input(&mut self) -> BoolRef {
+        let id = self.num_inputs;
+        self.num_inputs += 1;
+        self.nodes.push(Node::Input(id));
+        BoolRef(self.nodes.len() as i32)
+    }
+
+    /// Returns the input id if the reference is a (possibly negated) input.
+    pub fn as_input(&self, r: BoolRef) -> Option<(u32, bool)> {
+        match &self.nodes[r.node()] {
+            Node::Input(id) => Some((*id, !r.is_negated())),
+            _ => None,
+        }
+    }
+
+    fn constant(value: bool) -> BoolRef {
+        if value {
+            Circuit::TRUE
+        } else {
+            Circuit::FALSE
+        }
+    }
+
+    /// Whether the reference is the constant true/false.
+    pub fn as_constant(&self, r: BoolRef) -> Option<bool> {
+        if r == Circuit::TRUE {
+            Some(true)
+        } else if r == Circuit::FALSE {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn mk_gate(&mut self, is_and: bool, mut children: Vec<BoolRef>) -> BoolRef {
+        let absorbing = Circuit::constant(!is_and);
+        let identity = Circuit::constant(is_and);
+        children.retain(|&c| c != identity);
+        if children.iter().any(|&c| c == absorbing) {
+            return absorbing;
+        }
+        children.sort_unstable();
+        children.dedup();
+        // Complementary pair detection (sorted so x and !x may not be
+        // adjacent; scan pairwise via set membership).
+        for i in 0..children.len() {
+            if children[i..].binary_search(&children[i].negate()).is_ok()
+                || children[..i].binary_search(&children[i].negate()).is_ok()
+            {
+                return absorbing;
+            }
+        }
+        match children.len() {
+            0 => identity,
+            1 => children[0],
+            _ => {
+                let node = if is_and {
+                    Node::And(children)
+                } else {
+                    Node::Or(children)
+                };
+                if let Some(&idx) = self.dedup.get(&node) {
+                    return BoolRef(idx);
+                }
+                self.nodes.push(node.clone());
+                let idx = self.nodes.len() as i32;
+                self.dedup.insert(node, idx);
+                BoolRef(idx)
+            }
+        }
+    }
+
+    /// Conjunction of two references.
+    pub fn and(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        self.and_many(vec![a, b])
+    }
+
+    /// Disjunction of two references.
+    pub fn or(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        self.or_many(vec![a, b])
+    }
+
+    /// Conjunction of many references.
+    pub fn and_many(&mut self, children: Vec<BoolRef>) -> BoolRef {
+        self.mk_gate(true, children)
+    }
+
+    /// Disjunction of many references.
+    pub fn or_many(&mut self, children: Vec<BoolRef>) -> BoolRef {
+        self.mk_gate(false, children)
+    }
+
+    /// Implication `a -> b`.
+    pub fn implies(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        self.or(!a, b)
+    }
+
+    /// Biconditional `a <-> b`.
+    pub fn iff(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        let pos = self.or(!a, b);
+        let neg = self.or(a, !b);
+        self.and(pos, neg)
+    }
+
+    /// If-then-else `c ? t : e`.
+    pub fn ite(&mut self, c: BoolRef, t: BoolRef, e: BoolRef) -> BoolRef {
+        let pos = self.or(!c, t);
+        let neg = self.or(c, e);
+        self.and(pos, neg)
+    }
+
+    /// True iff at most one of `lits` is true (pairwise encoding).
+    pub fn at_most_one(&mut self, lits: &[BoolRef]) -> BoolRef {
+        let mut constraints = Vec::new();
+        for i in 0..lits.len() {
+            for j in (i + 1)..lits.len() {
+                let pair = self.and(lits[i], lits[j]);
+                constraints.push(!pair);
+            }
+        }
+        self.and_many(constraints)
+    }
+
+    /// True iff exactly one of `lits` is true.
+    pub fn exactly_one(&mut self, lits: &[BoolRef]) -> BoolRef {
+        let amo = self.at_most_one(lits);
+        let alo = self.or_many(lits.to_vec());
+        self.and(amo, alo)
+    }
+
+    /// True iff at least `k` of `lits` are true (sequential-counter DP).
+    pub fn count_ge(&mut self, lits: &[BoolRef], k: usize) -> BoolRef {
+        if k == 0 {
+            return Circuit::TRUE;
+        }
+        if k > lits.len() {
+            return Circuit::FALSE;
+        }
+        // dp[j] = "at least j of the literals seen so far are true".
+        let mut dp: Vec<BoolRef> = vec![Circuit::FALSE; k + 1];
+        dp[0] = Circuit::TRUE;
+        for &l in lits {
+            for j in (1..=k).rev() {
+                let carry = self.and(dp[j - 1], l);
+                dp[j] = self.or(dp[j], carry);
+            }
+        }
+        dp[k]
+    }
+
+    /// True iff exactly `k` of `lits` are true.
+    pub fn count_eq(&mut self, lits: &[BoolRef], k: usize) -> BoolRef {
+        let ge_k = self.count_ge(lits, k);
+        let ge_k1 = self.count_ge(lits, k + 1);
+        self.and(ge_k, !ge_k1)
+    }
+
+    /// Evaluates `root` under the given input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than [`Circuit::num_inputs`].
+    pub fn eval(&self, root: BoolRef, inputs: &[bool]) -> bool {
+        assert!(inputs.len() >= self.num_inputs as usize);
+        let mut memo: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        self.eval_node(root, inputs, &mut memo)
+    }
+
+    fn eval_node(&self, r: BoolRef, inputs: &[bool], memo: &mut Vec<Option<bool>>) -> bool {
+        let idx = r.node();
+        let v = match memo[idx] {
+            Some(v) => v,
+            None => {
+                let v = match &self.nodes[idx] {
+                    Node::ConstTrue => true,
+                    Node::Input(i) => inputs[*i as usize],
+                    Node::And(cs) => {
+                        let cs = cs.clone();
+                        cs.iter().all(|&c| self.eval_node(c, inputs, memo))
+                    }
+                    Node::Or(cs) => {
+                        let cs = cs.clone();
+                        cs.iter().any(|&c| self.eval_node(c, inputs, memo))
+                    }
+                };
+                memo[idx] = Some(v);
+                v
+            }
+        };
+        v != r.is_negated()
+    }
+
+    /// Tseitin-encodes the constraint `root = true` into `solver`.
+    ///
+    /// Returns, for each circuit input id, the solver literal representing
+    /// it (so callers can decode models and add further constraints). Every
+    /// input is allocated a solver variable even if unreachable from `root`,
+    /// keeping input ids stable across multiple encodes.
+    pub fn encode(&self, root: BoolRef, solver: &mut Solver) -> Vec<Lit> {
+        let input_lits: Vec<Lit> = (0..self.num_inputs)
+            .map(|_| solver.new_var().positive())
+            .collect();
+        if let Some(c) = self.as_constant(root) {
+            if !c {
+                // Assert falsity via an empty clause.
+                solver.add_clause([]);
+            }
+            return input_lits;
+        }
+        let mut node_lit: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        let root_lit = self.encode_node(root.node(), solver, &input_lits, &mut node_lit);
+        let asserted = if root.is_negated() { !root_lit } else { root_lit };
+        solver.add_clause([asserted]);
+        input_lits
+    }
+
+    fn encode_node(
+        &self,
+        idx: usize,
+        solver: &mut Solver,
+        input_lits: &[Lit],
+        node_lit: &mut Vec<Option<Lit>>,
+    ) -> Lit {
+        if let Some(l) = node_lit[idx] {
+            return l;
+        }
+        let lit = match &self.nodes[idx] {
+            Node::ConstTrue => {
+                let v = solver.new_var();
+                solver.add_clause([v.positive()]);
+                v.positive()
+            }
+            Node::Input(i) => input_lits[*i as usize],
+            Node::And(cs) => {
+                let child_lits: Vec<Lit> = cs
+                    .iter()
+                    .map(|c| {
+                        let l = self.encode_node(c.node(), solver, input_lits, node_lit);
+                        if c.is_negated() {
+                            !l
+                        } else {
+                            l
+                        }
+                    })
+                    .collect();
+                let v = solver.new_var().positive();
+                // v -> ci for each child; (c1 & ... & cn) -> v.
+                let mut long = vec![v];
+                for &c in &child_lits {
+                    solver.add_clause([!v, c]);
+                    long.push(!c);
+                }
+                solver.add_clause(long);
+                v
+            }
+            Node::Or(cs) => {
+                let child_lits: Vec<Lit> = cs
+                    .iter()
+                    .map(|c| {
+                        let l = self.encode_node(c.node(), solver, input_lits, node_lit);
+                        if c.is_negated() {
+                            !l
+                        } else {
+                            l
+                        }
+                    })
+                    .collect();
+                let v = solver.new_var().positive();
+                // ci -> v for each child; v -> (c1 | ... | cn).
+                let mut long = vec![!v];
+                for &c in &child_lits {
+                    solver.add_clause([v, !c]);
+                    long.push(c);
+                }
+                solver.add_clause(long);
+                v
+            }
+        };
+        node_lit[idx] = Some(lit);
+        lit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn constant_folding() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        assert_eq!(c.and(x, Circuit::TRUE), x);
+        assert_eq!(c.and(x, Circuit::FALSE), Circuit::FALSE);
+        assert_eq!(c.or(x, Circuit::TRUE), Circuit::TRUE);
+        assert_eq!(c.or(x, Circuit::FALSE), x);
+        assert_eq!(c.and(x, !x), Circuit::FALSE);
+        assert_eq!(c.or(x, !x), Circuit::TRUE);
+        assert_eq!(c.and(x, x), x);
+    }
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let a = c.and(x, y);
+        let b = c.and(y, x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn de_morgan_via_eval() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let lhs = {
+            let a = c.and(x, y);
+            !a
+        };
+        let rhs = c.or(!x, !y);
+        for ins in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(c.eval(lhs, &ins), c.eval(rhs, &ins));
+        }
+    }
+
+    #[test]
+    fn iff_and_ite_truth_tables() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let z = c.input();
+        let iff = c.iff(x, y);
+        let ite = c.ite(x, y, z);
+        for xs in [false, true] {
+            for ys in [false, true] {
+                for zs in [false, true] {
+                    let ins = [xs, ys, zs];
+                    assert_eq!(c.eval(iff, &ins), xs == ys);
+                    assert_eq!(c.eval(ite, &ins), if xs { ys } else { zs });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_gates() {
+        let mut c = Circuit::new();
+        let xs: Vec<BoolRef> = (0..4).map(|_| c.input()).collect();
+        let amo = c.at_most_one(&xs);
+        let exo = c.exactly_one(&xs);
+        let ge2 = c.count_ge(&xs, 2);
+        let eq2 = c.count_eq(&xs, 2);
+        for bits in 0..16u32 {
+            let ins: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            let n = ins.iter().filter(|&&b| b).count();
+            assert_eq!(c.eval(amo, &ins), n <= 1, "amo n={n}");
+            assert_eq!(c.eval(exo, &ins), n == 1, "exo n={n}");
+            assert_eq!(c.eval(ge2, &ins), n >= 2, "ge2 n={n}");
+            assert_eq!(c.eval(eq2, &ins), n == 2, "eq2 n={n}");
+        }
+    }
+
+    #[test]
+    fn count_ge_edge_cases() {
+        let mut c = Circuit::new();
+        let xs: Vec<BoolRef> = (0..3).map(|_| c.input()).collect();
+        assert_eq!(c.count_ge(&xs, 0), Circuit::TRUE);
+        assert_eq!(c.count_ge(&xs, 4), Circuit::FALSE);
+        assert_eq!(c.count_ge(&[], 0), Circuit::TRUE);
+        assert_eq!(c.count_ge(&[], 1), Circuit::FALSE);
+    }
+
+    #[test]
+    fn encode_agrees_with_eval() {
+        // Exhaustively compare the SAT models of an encoded circuit against
+        // direct evaluation.
+        let mut c = Circuit::new();
+        let xs: Vec<BoolRef> = (0..3).map(|_| c.input()).collect();
+        let f1 = c.and(xs[0], !xs[1]);
+        let f2 = c.iff(xs[1], xs[2]);
+        let root = c.or(f1, f2);
+
+        let mut sat_models = Vec::new();
+        let mut solver = Solver::new();
+        let inputs = c.encode(root, &mut solver);
+        loop {
+            match solver.solve() {
+                SolveResult::Sat(m) => {
+                    let assignment: Vec<bool> = inputs
+                        .iter()
+                        .map(|l| m[l.var().index()] == l.is_positive())
+                        .collect();
+                    sat_models.push(assignment.clone());
+                    let block: Vec<_> = inputs
+                        .iter()
+                        .zip(&assignment)
+                        .map(|(&l, &v)| if v { !l } else { l })
+                        .collect();
+                    if !solver.add_clause(block) {
+                        break;
+                    }
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+        let mut expected = Vec::new();
+        for bits in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            if c.eval(root, &ins) {
+                expected.push(ins);
+            }
+        }
+        sat_models.sort();
+        expected.sort();
+        assert_eq!(sat_models, expected);
+    }
+
+    #[test]
+    fn encode_constant_roots() {
+        let c = Circuit::new();
+        let mut s = Solver::new();
+        c.encode(Circuit::TRUE, &mut s);
+        assert!(s.solve().is_sat());
+        let mut s2 = Solver::new();
+        c.encode(Circuit::FALSE, &mut s2);
+        assert_eq!(s2.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unreferenced_inputs_still_get_literals() {
+        let mut c = Circuit::new();
+        let _x = c.input();
+        let y = c.input();
+        let mut s = Solver::new();
+        let inputs = c.encode(y, &mut s);
+        assert_eq!(inputs.len(), 2);
+        assert!(s.solve().is_sat());
+    }
+}

@@ -1,0 +1,195 @@
+//! DIMACS CNF import/export.
+//!
+//! The de-facto interchange format for SAT problems, supported so the
+//! μAlloy translation can be inspected with (or cross-checked against)
+//! off-the-shelf solvers, and so standard benchmark instances can exercise
+//! the CDCL core.
+
+use crate::cnf::{Cnf, Lit, Var};
+use std::fmt::Write as _;
+
+/// Error raised when parsing a DIMACS file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    message: String,
+    line: usize,
+}
+
+impl ParseDimacsError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        ParseDimacsError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based line number of the offending input.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document.
+///
+/// Comment lines (`c …`) are skipped; the `p cnf V C` header is validated;
+/// clauses are zero-terminated integer lists and may span lines.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens,
+/// variables exceeding the declared count, or a clause count mismatch.
+pub fn parse_dimacs(input: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut declared: Option<(usize, usize)> = None;
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut clauses_read = 0usize;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if declared.is_some() {
+                return Err(ParseDimacsError::new("duplicate problem line", lineno));
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseDimacsError::new("expected `p cnf <vars> <clauses>`", lineno));
+            }
+            let vars: usize = parts[1]
+                .parse()
+                .map_err(|_| ParseDimacsError::new("bad variable count", lineno))?;
+            let clauses: usize = parts[2]
+                .parse()
+                .map_err(|_| ParseDimacsError::new("bad clause count", lineno))?;
+            for _ in 0..vars {
+                cnf.fresh_var();
+            }
+            declared = Some((vars, clauses));
+            continue;
+        }
+        let Some((vars, _)) = declared else {
+            return Err(ParseDimacsError::new("clause before problem line", lineno));
+        };
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::new(format!("bad literal `{tok}`"), lineno))?;
+            if v == 0 {
+                cnf.add_clause(current.drain(..));
+                clauses_read += 1;
+            } else {
+                let idx = v.unsigned_abs() as usize;
+                if idx > vars {
+                    return Err(ParseDimacsError::new(
+                        format!("literal {v} exceeds declared {vars} variables"),
+                        lineno,
+                    ));
+                }
+                current.push(Lit::new(Var((idx - 1) as u32), v > 0));
+            }
+        }
+    }
+    let Some((_, clauses)) = declared else {
+        return Err(ParseDimacsError::new("missing problem line", 0));
+    };
+    if !current.is_empty() {
+        return Err(ParseDimacsError::new("unterminated final clause", 0));
+    }
+    if clauses_read != clauses {
+        return Err(ParseDimacsError::new(
+            format!("declared {clauses} clauses, found {clauses_read}"),
+            0,
+        ));
+    }
+    Ok(cnf)
+}
+
+/// Renders a formula as a DIMACS CNF document.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.clauses().len());
+    for clause in cnf.clauses() {
+        for &l in clause {
+            let v = (l.var().0 + 1) as i64;
+            let _ = write!(out, "{} ", if l.is_positive() { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    const SAMPLE: &str = "c a tiny instance\np cnf 3 2\n1 -2 0\n2 3 0\n";
+
+    #[test]
+    fn parse_roundtrips_through_render() {
+        let cnf = parse_dimacs(SAMPLE).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.clauses().len(), 2);
+        let rendered = to_dimacs(&cnf);
+        let back = parse_dimacs(&rendered).unwrap();
+        assert_eq!(cnf, back);
+    }
+
+    #[test]
+    fn clauses_may_span_lines() {
+        let cnf = parse_dimacs("p cnf 2 1\n1\n-2\n0\n").unwrap();
+        assert_eq!(cnf.clauses().len(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn parsed_instances_solve() {
+        // (x1 | !x2) & (x2 | x3) & (!x1) & (!x3) => x2 & !x2 path: UNSAT?
+        // !x1, so clause1 needs !x2; clause2 needs x3; but !x3 -> UNSAT.
+        let cnf = parse_dimacs("p cnf 3 4\n1 -2 0\n2 3 0\n-1 0\n-3 0\n").unwrap();
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let sat = parse_dimacs(SAMPLE).unwrap();
+        let mut s = Solver::from_cnf(&sat);
+        match s.solve() {
+            SolveResult::Sat(m) => assert_eq!(sat.eval(&m[..3]), Some(true)),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_dimacs("").is_err());
+        assert!(parse_dimacs("1 2 0").is_err()); // clause before header
+        assert!(parse_dimacs("p cnf x 2").is_err());
+        assert!(parse_dimacs("p cnf 2 1\n3 0\n").is_err()); // var out of range
+        assert!(parse_dimacs("p cnf 2 2\n1 0\n").is_err()); // count mismatch
+        assert!(parse_dimacs("p cnf 2 1\n1 2\n").is_err()); // unterminated
+        assert!(parse_dimacs("p cnf 1 0\np cnf 1 0").is_err()); // dup header
+        let e = parse_dimacs("p cnf 2 1\nfoo 0\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.to_string().contains("foo"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cnf = parse_dimacs("c hi\n\n% weird but seen in the wild\np cnf 1 1\n1 0\n").unwrap();
+        assert_eq!(cnf.clauses().len(), 1);
+    }
+}

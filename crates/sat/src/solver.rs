@@ -1,0 +1,768 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict analysis
+//! with non-chronological backjumping, VSIDS variable activity with an
+//! indexed max-heap, phase saving, geometric restarts and incremental
+//! solving under assumptions. Clause deletion is intentionally omitted: the
+//! μAlloy translations solved in this workspace are small (thousands of
+//! variables) and keeping all learnt clauses is faster than managing a
+//! reduction schedule at that scale.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a model mapping each variable index to a value.
+    Sat(Vec<bool>),
+    /// Unsatisfiable (under the given assumptions, if any).
+    Unsat,
+}
+
+impl SolveResult {
+    /// Whether the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model, if SAT.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+type ClauseRef = u32;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: ClauseRef,
+    blocker: Lit,
+}
+
+/// An incremental CDCL SAT solver.
+///
+/// # Example
+///
+/// ```
+/// use mualloy_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause([a.positive(), b.positive()]);
+/// solver.add_clause([a.negative()]);
+/// match solver.solve() {
+///     SolveResult::Sat(model) => assert!(model[b.index()]),
+///     SolveResult::Unsat => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by Lit::index()
+    assign: Vec<LBool>,         // indexed by Var::index()
+    phase: Vec<bool>,           // saved phases
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,          // binary max-heap on activity
+    heap_index: Vec<usize>,  // var -> position in heap (usize::MAX if absent)
+    seen: Vec<bool>,
+    qhead: usize,
+    ok: bool,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+}
+
+const HEAP_ABSENT: usize = usize::MAX;
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            ..Solver::default()
+        }
+    }
+
+    /// Creates a solver preloaded with a CNF formula.
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..cnf.num_vars() {
+            s.new_var();
+        }
+        for c in cnf.clauses() {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_index.push(HEAP_ABSENT);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of conflicts encountered so far.
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made so far.
+    pub fn num_decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of literal propagations performed so far.
+    pub fn num_propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially UNSAT.
+    ///
+    /// Tautologies are silently dropped and duplicate literals removed. The
+    /// solver must be at decision level 0 (which it always is between
+    /// `solve` calls).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        clause.sort_unstable();
+        clause.dedup();
+        // Tautology or satisfied-at-root detection; drop false literals.
+        let mut filtered = Vec::with_capacity(clause.len());
+        for (i, &l) in clause.iter().enumerate() {
+            if i + 1 < clause.len() && clause[i + 1] == !l {
+                return true; // tautology: contains l and !l adjacent after sort
+            }
+            match self.value(l) {
+                LBool::True => return true,
+                LBool::False => continue,
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(filtered);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = Watcher {
+            clause: cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: cref,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        match self.assign[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var();
+        self.assign[v.index()] = if l.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
+        self.phase[v.index()] = l.is_positive();
+        self.reason[v.index()] = reason;
+        self.level[v.index()] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let mut i = 0;
+            // Take the watch list to satisfy the borrow checker; we put
+            // retained watchers back as we go.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut j = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Quick skip when the blocker is already true.
+                if self.value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                // Normalize so lits[0] is the other watched literal.
+                let (first, len) = {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == !p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], !p);
+                    (c.lits[0], c.lits.len())
+                };
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[j] = Watcher {
+                        clause: cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[(!lk).index()].push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[j] = Watcher {
+                    clause: cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value(first) == LBool::False {
+                    // Conflict: copy remaining watchers back and bail.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    // -------------------------------------------------------------- VSIDS
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap_sift_up(v);
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_index[v.index()] != HEAP_ABSENT {
+            return;
+        }
+        self.heap_index[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_sift_up(v);
+    }
+
+    fn heap_sift_up(&mut self, v: Var) {
+        let mut i = match self.heap_index.get(v.index()) {
+            Some(&idx) if idx != HEAP_ABSENT => idx,
+            _ => return,
+        };
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[parent].index()] >= self.activity[self.heap[i].index()] {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l].index()] > self.activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r].index()] > self.activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_index[self.heap[i].index()] = i;
+        self.heap_index[self.heap[j].index()] = j;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_index[top.index()] = HEAP_ABSENT;
+        let last = self.heap.pop().expect("non-empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_index[last.index()] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    // ----------------------------------------------------------- analysis
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(Var(0), true)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = Some(confl);
+        loop {
+            let cref = confl.expect("conflict clause must exist during analysis");
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[cref as usize].lits.len() {
+                let q = self.clauses[cref as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.var_bump(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[lit.var().index()];
+        }
+        learnt[0] = !p.expect("first UIP exists");
+
+        // Compute the backjump level (second-highest level in the clause).
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, backjump)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for i in (target..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.heap_insert(v);
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // -------------------------------------------------------------- solve
+
+    /// Solves the current formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Returns [`SolveResult::Unsat`] if the formula is unsatisfiable when
+    /// every assumption is forced true. The solver remains usable (and the
+    /// assumptions are dropped) afterwards.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.backtrack_to(0);
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let mut restart_limit = 64u64;
+        let mut conflicts_since_restart = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict at or below the assumption levels: check if it
+                    // depends on assumptions; at level 0 it is a real UNSAT.
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                    } else {
+                        self.backtrack_to(0);
+                    }
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(confl);
+                // Never backjump below the assumption levels.
+                let backjump = backjump.max(self.assumption_safe_level(&learnt, assumptions));
+                self.backtrack_to(backjump);
+                if learnt.len() == 1 {
+                    if self.value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], None);
+                    } else if self.value(learnt[0]) == LBool::False {
+                        self.ok = self.decision_level() > 0;
+                        if !self.ok {
+                            return SolveResult::Unsat;
+                        }
+                    }
+                } else {
+                    let cref = self.attach_clause(learnt.clone());
+                    if self.value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], Some(cref));
+                    }
+                }
+                self.var_decay();
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit.saturating_mul(3) / 2;
+                    self.backtrack_to((assumptions.len() as u32).min(self.decision_level()));
+                }
+            } else {
+                // Place assumptions as pseudo-decisions first.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value(a) {
+                        LBool::True => {
+                            // Already implied: open an empty decision level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.backtrack_to(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                // Normal decision.
+                let next = loop {
+                    match self.heap_pop() {
+                        None => break None,
+                        Some(v) if self.assign[v.index()] == LBool::Undef => break Some(v),
+                        Some(_) => continue,
+                    }
+                };
+                match next {
+                    None => {
+                        // All variables assigned: SAT.
+                        let model: Vec<bool> = self
+                            .assign
+                            .iter()
+                            .map(|a| matches!(a, LBool::True))
+                            .collect();
+                        self.backtrack_to(0);
+                        return SolveResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v.index()];
+                        self.unchecked_enqueue(Lit::new(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The minimum level the solver may backjump to without discarding
+    /// assumption decisions that the learnt clause depends on.
+    fn assumption_safe_level(&self, _learnt: &[Lit], assumptions: &[Lit]) -> u32 {
+        // Conservative: never jump below the assumption prefix; this keeps
+        // assumption handling simple at a small cost in search.
+        let dl = self.decision_level();
+        (assumptions.len() as u32).min(dl.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: Var, pos: bool) -> Lit {
+        Lit::new(v, pos)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        let r = s.solve();
+        assert!(r.is_sat());
+        assert!(r.model().unwrap()[a.index()]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        s.add_clause([a.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause([row[0].positive(), row[1].positive()]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn chain_of_implications_propagates() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..50).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause([w[0].negative(), w[1].positive()]);
+        }
+        s.add_clause([vars[0].positive()]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(vars.iter().all(|v| m[v.index()])),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..6).map(|_| cnf.fresh_var()).collect();
+        cnf.add_clause([lit(vars[0], true), lit(vars[1], false), lit(vars[2], true)]);
+        cnf.add_clause([lit(vars[3], false), lit(vars[4], true)]);
+        cnf.add_clause([lit(vars[1], true), lit(vars[5], false)]);
+        cnf.add_clause([lit(vars[2], false), lit(vars[3], true)]);
+        let mut s = Solver::from_cnf(&cnf);
+        match s.solve() {
+            SolveResult::Sat(m) => assert_eq!(cnf.eval(&m), Some(true)),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn assumptions_constrain_and_release() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), b.positive()]);
+        // Assuming !a forces b.
+        match s.solve_with_assumptions(&[a.negative()]) {
+            SolveResult::Sat(m) => {
+                assert!(!m[a.index()]);
+                assert!(m[b.index()]);
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+        // Conflicting assumptions: UNSAT, but solver still usable.
+        s.add_clause([a.positive()]);
+        assert_eq!(s.solve_with_assumptions(&[a.negative()]), SolveResult::Unsat);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn incremental_blocking_clauses_enumerate_models() {
+        // 2 free variables -> 4 models.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), a.negative()]); // touch both vars
+        s.add_clause([b.positive(), b.negative()]);
+        let mut count = 0;
+        while let SolveResult::Sat(m) = s.solve() {
+            count += 1;
+            assert!(count <= 4, "enumerated too many models");
+            let block: Vec<Lit> = [a, b]
+                .iter()
+                .map(|&v| Lit::new(v, !m[v.index()]))
+                .collect();
+            if !s.add_clause(block) {
+                break;
+            }
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..20).map(|_| s.new_var()).collect();
+        for w in vars.chunks(3) {
+            if w.len() == 3 {
+                s.add_clause([w[0].positive(), w[1].positive(), w[2].positive()]);
+                s.add_clause([w[0].negative(), w[1].negative()]);
+            }
+        }
+        let _ = s.solve();
+        assert!(s.num_decisions() > 0 || s.num_propagations() > 0);
+        assert_eq!(s.num_vars(), 20);
+    }
+}

@@ -1,0 +1,123 @@
+//! The `study` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N] [--out DIR]
+//! ```
+//!
+//! `--scale 1.0` evaluates the full 1,974-spec corpus (the paper's size);
+//! smaller scales shrink each domain proportionally. With `--out`, the
+//! artifacts are also written as JSON next to their text renderings.
+
+use specrepair_study::{ablation, fig2, fig3, runner, table1, table2, StudyConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = "all".to_string();
+    let mut config = StudyConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                config.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| die("--out needs a path")),
+                ));
+            }
+            c @ ("all" | "table1" | "fig2" | "fig3" | "table2" | "ablation") => {
+                command = c.to_string();
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir:?}: {e}")));
+    }
+
+    eprintln!(
+        "generating corpora at scale {} (seed {}) ...",
+        config.scale, config.seed
+    );
+    let t0 = Instant::now();
+    let problems = specrepair_benchmarks::full_study(config.scale);
+    eprintln!("{} specifications in {:?}", problems.len(), t0.elapsed());
+
+    let t0 = Instant::now();
+    let results = runner::run_study(&problems, &config);
+    eprintln!(
+        "evaluated {} (problem, technique) pairs in {:?}",
+        results.records.len(),
+        t0.elapsed()
+    );
+
+    let emit = |name: &str, text: &str, json: String| {
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            let _ = std::fs::write(dir.join(format!("{name}.txt")), text);
+            let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+        }
+    };
+
+    if command == "all" || command == "table1" {
+        let t = table1::build(&results);
+        emit("table1", &table1::render(&t), serde_json::to_string_pretty(&t).unwrap());
+    }
+    if command == "all" || command == "fig2" {
+        let f = fig2::build(&results);
+        emit("fig2", &fig2::render(&f), serde_json::to_string_pretty(&f).unwrap());
+    }
+    if command == "all" || command == "fig3" {
+        let f = fig3::build(&results);
+        emit("fig3", &fig3::render(&f), serde_json::to_string_pretty(&f).unwrap());
+    }
+    if command == "all" || command == "table2" {
+        let t = table2::build(&results);
+        let mut text = table2::render(&t);
+        text.push('\n');
+        text.push_str(&table2::render_venn(&t));
+        emit("table2_fig4", &text, serde_json::to_string_pretty(&t).unwrap());
+    }
+    if command == "all" || command == "ablation" {
+        // The ablation runs extra techniques; bound it to a manageable
+        // subsample (every 8th problem) at large scales.
+        let sample: Vec<_> = problems
+            .iter()
+            .step_by(if problems.len() > 200 { 8 } else { 1 })
+            .cloned()
+            .collect();
+        let a = ablation::run(&sample, &config);
+        emit("ablation", &ablation::render(&a), serde_json::to_string_pretty(&a).unwrap());
+    }
+    if let Some(dir) = &out_dir {
+        let _ = std::fs::write(
+            dir.join("records.json"),
+            serde_json::to_string(&results).unwrap(),
+        );
+        eprintln!("artifacts written to {dir:?}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N] [--out DIR]");
+    std::process::exit(2);
+}

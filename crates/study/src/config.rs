@@ -1,0 +1,171 @@
+//! Study configuration: technique identities, budgets and the calibration
+//! documented in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+use specrepair_core::RepairBudget;
+use specrepair_llm::{FeedbackSetting, PromptSetting};
+
+/// Identity of one of the twelve studied techniques, in Table I's column
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechniqueId {
+    /// ARepair (traditional).
+    ARepair,
+    /// ICEBAR (traditional).
+    Icebar,
+    /// BeAFix (traditional).
+    BeAFix,
+    /// ATR (traditional).
+    Atr,
+    /// Single-Round LLM under one prompt setting.
+    Single(PromptSetting),
+    /// Multi-Round LLM under one feedback setting.
+    Multi(FeedbackSetting),
+}
+
+impl TechniqueId {
+    /// All twelve techniques in the paper's column order.
+    pub fn all() -> Vec<TechniqueId> {
+        let mut out = vec![
+            TechniqueId::ARepair,
+            TechniqueId::Icebar,
+            TechniqueId::BeAFix,
+            TechniqueId::Atr,
+        ];
+        out.extend(PromptSetting::ALL.into_iter().map(TechniqueId::Single));
+        out.extend(FeedbackSetting::ALL.into_iter().map(TechniqueId::Multi));
+        out
+    }
+
+    /// The four traditional techniques.
+    pub fn traditional() -> Vec<TechniqueId> {
+        TechniqueId::all().into_iter().take(4).collect()
+    }
+
+    /// The eight LLM-based techniques.
+    pub fn llm_based() -> Vec<TechniqueId> {
+        TechniqueId::all().into_iter().skip(4).collect()
+    }
+
+    /// The display label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TechniqueId::ARepair => "ARepair",
+            TechniqueId::Icebar => "ICEBAR",
+            TechniqueId::BeAFix => "BeAFix",
+            TechniqueId::Atr => "ATR",
+            TechniqueId::Single(s) => s.label(),
+            TechniqueId::Multi(f) => f.label(),
+        }
+    }
+
+    /// Whether this is one of the traditional tools.
+    pub fn is_traditional(&self) -> bool {
+        matches!(
+            self,
+            TechniqueId::ARepair | TechniqueId::Icebar | TechniqueId::BeAFix | TechniqueId::Atr
+        )
+    }
+}
+
+/// Study-wide configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Corpus scale (1.0 = the paper's 1,974 specifications).
+    pub scale: f64,
+    /// Base random seed for the stochastic (LLM) techniques.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A small configuration for tests and quick runs.
+    pub fn smoke() -> StudyConfig {
+        StudyConfig {
+            scale: 0.01,
+            seed: 42,
+        }
+    }
+
+    /// The per-technique budget calibration (each real tool ran with its
+    /// own internal limits and timeouts; these are the equivalents, chosen
+    /// so the reproduction's REP profile matches Table I — see
+    /// EXPERIMENTS.md §Calibration).
+    pub fn budget_for(&self, id: TechniqueId) -> RepairBudget {
+        match id {
+            TechniqueId::ARepair => RepairBudget {
+                max_candidates: 60,
+                max_rounds: 1,
+            },
+            TechniqueId::Icebar => RepairBudget {
+                max_candidates: 150,
+                max_rounds: 8,
+            },
+            TechniqueId::BeAFix => RepairBudget {
+                max_candidates: 18,
+                max_rounds: 2,
+            },
+            TechniqueId::Atr => RepairBudget {
+                max_candidates: 40,
+                max_rounds: 1,
+            },
+            TechniqueId::Single(_) => RepairBudget {
+                max_candidates: 10,
+                max_rounds: 1,
+            },
+            TechniqueId::Multi(_) => RepairBudget {
+                max_candidates: 100,
+                max_rounds: 6,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_techniques_in_paper_order() {
+        let all = TechniqueId::all();
+        assert_eq!(all.len(), 12);
+        let labels: Vec<_> = all.iter().map(|t| t.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "ARepair",
+                "ICEBAR",
+                "BeAFix",
+                "ATR",
+                "Single-Round_Loc+Fix",
+                "Single-Round_Loc",
+                "Single-Round_Pass",
+                "Single-Round_None",
+                "Single-Round_Loc+Pass",
+                "Multi-Round_None",
+                "Multi-Round_Generic",
+                "Multi-Round_Auto",
+            ]
+        );
+        assert_eq!(TechniqueId::traditional().len(), 4);
+        assert_eq!(TechniqueId::llm_based().len(), 8);
+        assert!(TechniqueId::Atr.is_traditional());
+        assert!(!TechniqueId::Multi(FeedbackSetting::None).is_traditional());
+    }
+
+    #[test]
+    fn budgets_differ_per_technique() {
+        let cfg = StudyConfig::default();
+        assert!(cfg.budget_for(TechniqueId::Multi(FeedbackSetting::None)).max_candidates
+            > cfg.budget_for(TechniqueId::BeAFix).max_candidates);
+        assert_eq!(cfg.budget_for(TechniqueId::Single(PromptSetting::Loc)).max_rounds, 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Experiment E2 — Figure 2: mean Token Match and Syntax Match per
+//! technique (similarity of repair candidates to the ground truth).
+
+use serde::{Deserialize, Serialize};
+use specrepair_metrics::mean;
+use std::fmt::Write as _;
+
+use crate::config::TechniqueId;
+use crate::runner::StudyResults;
+
+/// One bar pair of Figure 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Bar {
+    /// Technique label.
+    pub technique: String,
+    /// Mean Token Match over candidates that exist.
+    pub tm: f64,
+    /// Mean Syntax Match over candidates that exist.
+    pub sm: f64,
+    /// How many candidates contributed to the means.
+    pub candidates: usize,
+}
+
+/// The full figure data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// One bar pair per technique, in column order.
+    pub bars: Vec<Fig2Bar>,
+}
+
+/// Builds Figure 2 from study results. Following the paper, similarity is
+/// measured for every candidate a technique produced, successful or not;
+/// problems where a technique produced nothing are excluded from its mean.
+pub fn build(results: &StudyResults) -> Fig2 {
+    let bars = TechniqueId::all()
+        .iter()
+        .map(|id| {
+            let records = results.of_technique(id.label());
+            let tms: Vec<f64> = records.iter().filter_map(|r| r.tm).collect();
+            let sms: Vec<f64> = records.iter().filter_map(|r| r.sm).collect();
+            Fig2Bar {
+                technique: id.label().to_string(),
+                tm: mean(&tms).unwrap_or(0.0),
+                sm: mean(&sms).unwrap_or(0.0),
+                candidates: tms.len(),
+            }
+        })
+        .collect();
+    Fig2 { bars }
+}
+
+/// Renders the figure as a text bar chart.
+pub fn render(fig: &Fig2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIGURE 2: mean similarity of repair candidates to ground truth"
+    );
+    let _ = writeln!(out, "{:<24}{:>8}{:>8}  {}", "Technique", "TM", "SM", "(bar = SM)");
+    for b in &fig.bars {
+        let width = (b.sm * 40.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:<24}{:>8.3}{:>8.3}  {}",
+            b.technique,
+            b.tm,
+            b.sm,
+            "#".repeat(width)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::runner::run_full_study;
+
+    #[test]
+    fn traditional_tools_exceed_llms_in_similarity() {
+        let (_, results) = run_full_study(&StudyConfig {
+            scale: 0.004,
+            seed: 9,
+        });
+        let fig = build(&results);
+        assert_eq!(fig.bars.len(), 12);
+        for b in &fig.bars {
+            assert!((0.0..=1.0).contains(&b.tm), "{}: tm {}", b.technique, b.tm);
+            assert!((0.0..=1.0).contains(&b.sm), "{}: sm {}", b.technique, b.sm);
+        }
+        // The paper's Finding 2: traditional candidates are textually closer
+        // to the ground truth than Multi-Round LLM ones (the LLM re-renders
+        // and restyles whole specifications).
+        let atr = fig.bars.iter().find(|b| b.technique == "ATR").unwrap();
+        let mr = fig
+            .bars
+            .iter()
+            .find(|b| b.technique == "Multi-Round_None")
+            .unwrap();
+        assert!(
+            atr.tm > mr.tm,
+            "ATR TM {} should exceed Multi-Round TM {}",
+            atr.tm,
+            mr.tm
+        );
+        let text = render(&fig);
+        assert!(text.contains("FIGURE 2"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Experiment E3 — Figure 3: Pearson correlation heatmap between repair
+//! techniques over their per-specification similarity scores.
+
+use serde::{Deserialize, Serialize};
+use specrepair_metrics::{correlation_matrix, pearson_t_statistic};
+use std::fmt::Write as _;
+
+use crate::config::TechniqueId;
+use crate::runner::StudyResults;
+
+/// The correlation matrix data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// Technique labels, in column order.
+    pub techniques: Vec<String>,
+    /// Symmetric Pearson matrix (`None` = undefined for constant vectors).
+    pub matrix: Vec<Vec<Option<f64>>>,
+    /// Number of specifications each correlation is computed over.
+    pub samples: usize,
+}
+
+impl Fig3 {
+    /// The correlation between two techniques by label.
+    pub fn correlation(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.techniques.iter().position(|t| t == a)?;
+        let j = self.techniques.iter().position(|t| t == b)?;
+        self.matrix[i][j]
+    }
+
+    /// Whether a correlation is significant at roughly p < 0.001 (|t| ≳ 3.3).
+    pub fn significant(&self, a: &str, b: &str) -> Option<bool> {
+        let r = self.correlation(a, b)?;
+        let t = pearson_t_statistic(r, self.samples)?;
+        Some(t.abs() > 3.3)
+    }
+}
+
+/// Builds Figure 3 from study results: each technique contributes its
+/// per-spec similarity vector (mean of TM and SM, 0 for absent candidates)
+/// and every pair is correlated.
+pub fn build(results: &StudyResults) -> Fig3 {
+    let techniques: Vec<String> = TechniqueId::all()
+        .iter()
+        .map(|t| t.label().to_string())
+        .collect();
+    let series: Vec<(String, Vec<f64>)> = techniques
+        .iter()
+        .map(|t| (t.clone(), results.similarity_vector(t)))
+        .collect();
+    let samples = series.first().map(|(_, v)| v.len()).unwrap_or(0);
+    Fig3 {
+        techniques,
+        matrix: correlation_matrix(&series),
+        samples,
+    }
+}
+
+/// Renders the heatmap as text (two-digit correlations ×100).
+pub fn render(fig: &Fig3) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIGURE 3: Pearson correlation between techniques (x100, similarity vectors, n={})",
+        fig.samples
+    );
+    let short = |t: &str| {
+        t.replace("Single-Round_", "SR_")
+            .replace("Multi-Round_", "MR_")
+    };
+    let _ = write!(out, "{:<12}", "");
+    for t in &fig.techniques {
+        let _ = write!(out, "{:>9}", truncate(&short(t), 9));
+    }
+    let _ = writeln!(out);
+    for (i, t) in fig.techniques.iter().enumerate() {
+        let _ = write!(out, "{:<12}", truncate(&short(t), 12));
+        for j in 0..fig.techniques.len() {
+            match fig.matrix[i][j] {
+                Some(r) => {
+                    let _ = write!(out, "{:>9.0}", r * 100.0);
+                }
+                None => {
+                    let _ = write!(out, "{:>9}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    s.chars().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::runner::run_full_study;
+
+    #[test]
+    fn matrix_shape_and_diagonal() {
+        let (_, results) = run_full_study(&StudyConfig {
+            scale: 0.004,
+            seed: 3,
+        });
+        let fig = build(&results);
+        assert_eq!(fig.techniques.len(), 12);
+        assert_eq!(fig.matrix.len(), 12);
+        for i in 0..12 {
+            assert_eq!(fig.matrix[i][i], Some(1.0));
+            for j in 0..12 {
+                assert_eq!(fig.matrix[i][j], fig.matrix[j][i]);
+                if let Some(r) = fig.matrix[i][j] {
+                    assert!((-1.0..=1.0).contains(&r));
+                }
+            }
+        }
+        let text = render(&fig);
+        assert!(text.contains("FIGURE 3"));
+        assert!(fig.correlation("ATR", "ATR") == Some(1.0));
+    }
+}

@@ -1,0 +1,248 @@
+//! The study runner: every technique over every benchmark problem, with
+//! per-candidate metrics. All tables and figures derive from one run.
+
+use mualloy_analyzer::Analyzer;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use specrepair_benchmarks::RepairProblem;
+use specrepair_core::{RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_llm::{invert_fix_description, MultiRound, ProblemHints, SingleRound};
+use specrepair_metrics::candidate_metrics;
+use specrepair_traditional::{ARepair, Atr, BeAFix, Icebar};
+
+use crate::config::{StudyConfig, TechniqueId};
+
+/// One (problem, technique) evaluation record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecRecord {
+    /// Problem id (`classroom/tutoring/17`).
+    pub problem: String,
+    /// `"A4F"` or `"ARepair"`.
+    pub benchmark: String,
+    /// Domain / problem family.
+    pub domain: String,
+    /// Technique label.
+    pub technique: String,
+    /// REP against the ground truth.
+    pub rep: u8,
+    /// Token Match of the final candidate, if any.
+    pub tm: Option<f64>,
+    /// Syntax Match of the final candidate, if any.
+    pub sm: Option<f64>,
+    /// The technique's own success verdict.
+    pub internal_success: bool,
+    /// Oracle validations / drafts spent.
+    pub explored: usize,
+}
+
+/// The full result set of a study run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StudyResults {
+    /// All records, grouped by problem (all techniques for problem 0, then
+    /// problem 1, …).
+    pub records: Vec<SpecRecord>,
+    /// Number of problems evaluated.
+    pub num_problems: usize,
+}
+
+impl StudyResults {
+    /// Records of one technique, in problem order.
+    pub fn of_technique(&self, label: &str) -> Vec<&SpecRecord> {
+        self.records.iter().filter(|r| r.technique == label).collect()
+    }
+
+    /// Total REP count of a technique, optionally filtered by benchmark.
+    pub fn rep_count(&self, label: &str, benchmark: Option<&str>) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.technique == label)
+            .filter(|r| benchmark.map_or(true, |b| r.benchmark == b))
+            .map(|r| r.rep as usize)
+            .sum()
+    }
+
+    /// Per-spec REP booleans of a technique, in problem order.
+    pub fn rep_vector(&self, label: &str) -> Vec<bool> {
+        self.of_technique(label).iter().map(|r| r.rep == 1).collect()
+    }
+
+    /// Per-spec combined similarity (mean of TM and SM; 0 when absent), in
+    /// problem order — the signal Figure 3 correlates.
+    pub fn similarity_vector(&self, label: &str) -> Vec<f64> {
+        self.of_technique(label)
+            .iter()
+            .map(|r| match (r.tm, r.sm) {
+                (Some(t), Some(s)) => (t + s) / 2.0,
+                (Some(t), None) => t,
+                (None, Some(s)) => s,
+                (None, None) => 0.0,
+            })
+            .collect()
+    }
+}
+
+/// Builds the hints the Single-Round prompts may use for one problem: the
+/// benchmark's known fault locations, the inverted edit script, and a
+/// failing check command as the *Pass* requirement.
+pub fn hints_for(problem: &RepairProblem) -> ProblemHints {
+    let pass = Analyzer::new(problem.faulty.clone())
+        .failing_commands()
+        .ok()
+        .and_then(|fs| {
+            fs.into_iter()
+                .find(|o| o.command.is_check())
+                .map(|o| o.command.target().to_string())
+        });
+    ProblemHints {
+        loc: problem.fault_spans.clone(),
+        fix: problem.edits.iter().map(|e| invert_fix_description(e)).collect(),
+        pass,
+    }
+}
+
+/// Runs one technique on one problem.
+pub fn repair_with(
+    id: TechniqueId,
+    problem: &RepairProblem,
+    config: &StudyConfig,
+) -> RepairOutcome {
+    let ctx = RepairContext {
+        faulty: problem.faulty.clone(),
+        source: problem.faulty_source.clone(),
+        budget: config.budget_for(id),
+    };
+    match id {
+        TechniqueId::ARepair => ARepair::default().repair(&ctx),
+        TechniqueId::Icebar => Icebar::default().repair(&ctx),
+        TechniqueId::BeAFix => BeAFix::default().repair(&ctx),
+        TechniqueId::Atr => Atr::default().repair(&ctx),
+        TechniqueId::Single(setting) => SingleRound::new(setting, config.seed)
+            .with_hints(hints_for(problem))
+            .repair(&ctx),
+        TechniqueId::Multi(feedback) => MultiRound::new(feedback, config.seed).repair(&ctx),
+    }
+}
+
+/// Evaluates one (problem, technique) pair into a record.
+pub fn evaluate(id: TechniqueId, problem: &RepairProblem, config: &StudyConfig) -> SpecRecord {
+    let outcome = repair_with(id, problem, config);
+    let metrics = candidate_metrics(
+        &problem.truth,
+        &problem.truth_source,
+        outcome.candidate_source.as_deref(),
+    );
+    SpecRecord {
+        problem: problem.id.clone(),
+        benchmark: problem.benchmark.label().to_string(),
+        domain: problem.domain.clone(),
+        technique: id.label().to_string(),
+        rep: metrics.rep,
+        tm: metrics.tm,
+        sm: metrics.sm,
+        internal_success: outcome.success,
+        explored: outcome.candidates_explored,
+    }
+}
+
+/// Runs all twelve techniques over the problem set (data-parallel across
+/// problems).
+pub fn run_study(problems: &[RepairProblem], config: &StudyConfig) -> StudyResults {
+    let techniques = TechniqueId::all();
+    let records: Vec<SpecRecord> = problems
+        .par_iter()
+        .flat_map_iter(|p| {
+            let config = *config;
+            techniques
+                .iter()
+                .map(move |&id| evaluate(id, p, &config))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    StudyResults {
+        records,
+        num_problems: problems.len(),
+    }
+}
+
+/// Convenience: generates both corpora at the configured scale and runs
+/// the study.
+pub fn run_full_study(config: &StudyConfig) -> (Vec<RepairProblem>, StudyResults) {
+    let problems = specrepair_benchmarks::full_study(config.scale);
+    let results = run_study(&problems, config);
+    (problems, results)
+}
+
+/// Stable problem ordering check used by the correlation and hybrid
+/// analyses: record vectors of two techniques must be aligned by problem.
+pub fn aligned(results: &StudyResults, a: &str, b: &str) -> bool {
+    let av = results.of_technique(a);
+    let bv = results.of_technique(b);
+    av.len() == bv.len()
+        && av
+            .iter()
+            .zip(&bv)
+            .all(|(x, y)| x.problem == y.problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Vec<RepairProblem>, StudyResults) {
+        let config = StudyConfig {
+            scale: 0.003,
+            seed: 7,
+        };
+        run_full_study(&config)
+    }
+
+    #[test]
+    fn produces_twelve_records_per_problem() {
+        let (problems, results) = tiny();
+        assert!(!problems.is_empty());
+        assert_eq!(results.records.len(), problems.len() * 12);
+        assert_eq!(results.num_problems, problems.len());
+        for id in TechniqueId::all() {
+            assert!(aligned(&results, id.label(), "ATR"), "{}", id.label());
+        }
+    }
+
+    #[test]
+    fn rep_vectors_match_counts() {
+        let (_, results) = tiny();
+        for id in TechniqueId::all() {
+            let v = results.rep_vector(id.label());
+            let count = results.rep_count(id.label(), None);
+            assert_eq!(v.iter().filter(|&&x| x).count(), count);
+        }
+    }
+
+    #[test]
+    fn similarity_vectors_are_bounded() {
+        let (_, results) = tiny();
+        for id in TechniqueId::all() {
+            for s in results.similarity_vector(id.label()) {
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_filter_partitions_counts() {
+        let (_, results) = tiny();
+        for id in TechniqueId::all() {
+            let total = results.rep_count(id.label(), None);
+            let a4f = results.rep_count(id.label(), Some("A4F"));
+            let arep = results.rep_count(id.label(), Some("ARepair"));
+            assert_eq!(total, a4f + arep);
+        }
+    }
+
+    #[test]
+    fn hints_include_locations_and_fixes() {
+        let problems = specrepair_benchmarks::arepair(0.1);
+        let h = hints_for(&problems[0]);
+        assert!(!h.loc.is_empty());
+        assert!(!h.fix.is_empty());
+    }
+}

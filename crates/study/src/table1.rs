@@ -1,0 +1,168 @@
+//! Experiment E1 — Table I: REP scores per technique, per benchmark domain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+use crate::config::TechniqueId;
+use crate::runner::StudyResults;
+
+/// One row of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Benchmark (`A4F` / `ARepair`) — summary rows use it as the label.
+    pub benchmark: String,
+    /// Domain (or `Summary` / `Total`).
+    pub domain: String,
+    /// Number of specifications in the row.
+    pub total_specs: usize,
+    /// REP counts per technique, in [`TechniqueId::all`] order.
+    pub rep: Vec<usize>,
+}
+
+/// The full table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Technique labels, in column order.
+    pub techniques: Vec<String>,
+    /// Domain rows, two summary rows and the total row.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Builds Table I from study results.
+pub fn build(results: &StudyResults) -> Table1 {
+    let techniques: Vec<String> = TechniqueId::all()
+        .iter()
+        .map(|t| t.label().to_string())
+        .collect();
+
+    // Discover domains per benchmark (in first-appearance order).
+    let mut rows = Vec::new();
+    for bench in ["A4F", "ARepair"] {
+        let mut domains: Vec<String> = Vec::new();
+        for r in &results.records {
+            if r.benchmark == bench && !domains.contains(&r.domain) {
+                domains.push(r.domain.clone());
+            }
+        }
+        for domain in &domains {
+            let total_specs = results
+                .records
+                .iter()
+                .filter(|r| {
+                    r.benchmark == bench && &r.domain == domain && r.technique == techniques[0]
+                })
+                .count();
+            let rep = techniques
+                .iter()
+                .map(|t| {
+                    results
+                        .records
+                        .iter()
+                        .filter(|r| r.benchmark == bench && &r.domain == domain && &r.technique == t)
+                        .map(|r| r.rep as usize)
+                        .sum()
+                })
+                .collect();
+            rows.push(Table1Row {
+                benchmark: bench.to_string(),
+                domain: domain.clone(),
+                total_specs,
+                rep,
+            });
+        }
+        // Per-benchmark summary.
+        let total_specs = results
+            .records
+            .iter()
+            .filter(|r| r.benchmark == bench && r.technique == techniques[0])
+            .count();
+        let rep = techniques
+            .iter()
+            .map(|t| results.rep_count(t, Some(bench)))
+            .collect();
+        rows.push(Table1Row {
+            benchmark: bench.to_string(),
+            domain: "Summary".to_string(),
+            total_specs,
+            rep,
+        });
+    }
+    // Grand total.
+    let rep = techniques
+        .iter()
+        .map(|t| results.rep_count(t, None))
+        .collect();
+    rows.push(Table1Row {
+        benchmark: "Both".to_string(),
+        domain: "Total".to_string(),
+        total_specs: results.num_problems,
+        rep,
+    });
+    Table1 { techniques, rows }
+}
+
+/// Renders the table as fixed-width text, matching the paper's layout.
+pub fn render(table: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE I: REP scores (specifications repaired) per technique"
+    );
+    let _ = write!(out, "{:<12}{:<13}{:>6}", "Benchmark", "Domain", "#spec");
+    for t in &table.techniques {
+        let short = t
+            .replace("Single-Round_", "SR_")
+            .replace("Multi-Round_", "MR_");
+        let _ = write!(out, "{short:>12}");
+    }
+    let _ = writeln!(out);
+    for row in &table.rows {
+        let _ = write!(
+            out,
+            "{:<12}{:<13}{:>6}",
+            row.benchmark, row.domain, row.total_specs
+        );
+        for v in &row.rep {
+            let _ = write!(out, "{v:>12}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::runner::run_full_study;
+
+    #[test]
+    fn table_structure_is_complete() {
+        let (_, results) = run_full_study(&StudyConfig {
+            scale: 0.003,
+            seed: 5,
+        });
+        let t = build(&results);
+        assert_eq!(t.techniques.len(), 12);
+        // 6 A4F domains + summary + 12 ARepair problems + summary + total.
+        assert_eq!(t.rows.len(), 6 + 1 + 12 + 1 + 1);
+        let total = t.rows.last().unwrap();
+        assert_eq!(total.domain, "Total");
+        // Summaries add up.
+        let a4f = t.rows.iter().find(|r| r.benchmark == "A4F" && r.domain == "Summary").unwrap();
+        let arep = t
+            .rows
+            .iter()
+            .find(|r| r.benchmark == "ARepair" && r.domain == "Summary")
+            .unwrap();
+        for i in 0..12 {
+            assert_eq!(total.rep[i], a4f.rep[i] + arep.rep[i]);
+            assert!(total.rep[i] <= total.total_specs);
+        }
+        let text = render(&t);
+        assert!(text.contains("TABLE I"));
+        assert!(text.contains("classroom"));
+        assert!(text.contains("student"));
+        assert!(text.contains("Total"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Experiment E4 — Table II and Figure 4: hybrid repair capabilities of
+//! every traditional × LLM pairing (overlap, unique union / Venn regions).
+
+use serde::{Deserialize, Serialize};
+use specrepair_core::overlap_stats;
+use std::fmt::Write as _;
+
+use crate::config::TechniqueId;
+use crate::runner::StudyResults;
+
+/// One row of Table II (equivalently one Venn diagram of Figure 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HybridRow {
+    /// Traditional technique label.
+    pub traditional: String,
+    /// Traditional technique's own repair count.
+    pub traditional_repairs: usize,
+    /// LLM technique label.
+    pub llm: String,
+    /// LLM technique's own repair count.
+    pub llm_repairs: usize,
+    /// Specifications repaired by both (Venn intersection).
+    pub overlaps: usize,
+    /// Unique union (the hybrid's total repairs).
+    pub total_unique: usize,
+}
+
+impl HybridRow {
+    /// The Venn regions: (traditional-only, both, llm-only).
+    pub fn venn(&self) -> (usize, usize, usize) {
+        (
+            self.traditional_repairs - self.overlaps,
+            self.overlaps,
+            self.llm_repairs - self.overlaps,
+        )
+    }
+}
+
+/// The full 4 × 8 hybrid analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// All 32 pairings, traditional-major order as in the paper.
+    pub rows: Vec<HybridRow>,
+    /// Total number of specifications.
+    pub total_specs: usize,
+}
+
+impl Table2 {
+    /// The best-performing hybrid row.
+    pub fn best(&self) -> Option<&HybridRow> {
+        self.rows.iter().max_by_key(|r| r.total_unique)
+    }
+}
+
+/// Builds Table II / Figure 4 from study results.
+pub fn build(results: &StudyResults) -> Table2 {
+    let mut rows = Vec::with_capacity(32);
+    for trad in TechniqueId::traditional() {
+        let tv = results.rep_vector(trad.label());
+        for llm in TechniqueId::llm_based() {
+            let lv = results.rep_vector(llm.label());
+            let stats = overlap_stats(&tv, &lv);
+            rows.push(HybridRow {
+                traditional: trad.label().to_string(),
+                traditional_repairs: stats.first,
+                llm: llm.label().to_string(),
+                llm_repairs: stats.second,
+                overlaps: stats.overlap,
+                total_unique: stats.union,
+            });
+        }
+    }
+    Table2 {
+        rows,
+        total_specs: results.num_problems,
+    }
+}
+
+/// Renders Table II as fixed-width text.
+pub fn render(table: &Table2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE II: hybrid repair capabilities (traditional x LLM), {} specs",
+        table.total_specs
+    );
+    let _ = writeln!(
+        out,
+        "{:<10}{:>8}  {:<24}{:>8}{:>10}{:>14}",
+        "Trad.", "Repairs", "LLM technique", "Repairs", "Overlaps", "Total(unique)"
+    );
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "{:<10}{:>8}  {:<24}{:>8}{:>10}{:>14}",
+            r.traditional, r.traditional_repairs, r.llm, r.llm_repairs, r.overlaps, r.total_unique
+        );
+    }
+    if let Some(best) = table.best() {
+        let pct = 100.0 * best.total_unique as f64 / table.total_specs.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "Best hybrid: {} + {} -> {}/{} ({pct:.1}%)",
+            best.traditional, best.llm, best.total_unique, table.total_specs
+        );
+    }
+    out
+}
+
+/// Renders Figure 4 as a matrix of textual Venn summaries
+/// `left|both|right`.
+pub fn render_venn(table: &Table2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIGURE 4: Venn regions per hybrid (traditional-only | both | LLM-only)"
+    );
+    let llm_order: Vec<String> = TechniqueId::llm_based()
+        .iter()
+        .map(|t| t.label().to_string())
+        .collect();
+    let _ = write!(out, "{:<24}", "");
+    for t in TechniqueId::traditional() {
+        let _ = write!(out, "{:>16}", t.label());
+    }
+    let _ = writeln!(out);
+    for llm in &llm_order {
+        let _ = write!(
+            out,
+            "{:<24}",
+            llm.replace("Single-Round_", "SR_").replace("Multi-Round_", "MR_")
+        );
+        for trad in TechniqueId::traditional() {
+            let row = table
+                .rows
+                .iter()
+                .find(|r| r.traditional == trad.label() && &r.llm == llm)
+                .expect("all pairings present");
+            let (l, b, r) = row.venn();
+            let _ = write!(out, "{:>16}", format!("{l}|{b}|{r}"));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::runner::run_full_study;
+
+    #[test]
+    fn thirty_two_pairings_with_consistent_arithmetic() {
+        let (_, results) = run_full_study(&StudyConfig {
+            scale: 0.004,
+            seed: 11,
+        });
+        let t = build(&results);
+        assert_eq!(t.rows.len(), 32);
+        for r in &t.rows {
+            // union = A + B - overlap.
+            assert_eq!(
+                r.total_unique,
+                r.traditional_repairs + r.llm_repairs - r.overlaps
+            );
+            assert!(r.overlaps <= r.traditional_repairs.min(r.llm_repairs));
+            assert!(r.total_unique <= t.total_specs);
+            let (l, b, rr) = r.venn();
+            assert_eq!(l + b + rr, r.total_unique);
+        }
+        // Hybrids dominate their constituents.
+        for r in &t.rows {
+            assert!(r.total_unique >= r.traditional_repairs.max(r.llm_repairs));
+        }
+        let text = render(&t);
+        assert!(text.contains("TABLE II"));
+        assert!(text.contains("Best hybrid"));
+        let venn = render_venn(&t);
+        assert!(venn.contains("FIGURE 4"));
+    }
+}

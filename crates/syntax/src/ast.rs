@@ -1,0 +1,757 @@
+//! Abstract syntax tree for the μAlloy specification language.
+//!
+//! μAlloy is a faithful subset of the Alloy modelling language covering the
+//! constructs exercised by the ARepair and Alloy4Fun benchmarks: signature
+//! hierarchies with multiplicities, relational fields, facts, predicates,
+//! functions, assertions and `run`/`check` commands with bounded scopes.
+//!
+//! Every expression and formula node carries a [`Span`] locating it in the
+//! source text, which the repair tools use both for fault localization and
+//! for minimally-invasive textual patching.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character of the node.
+    pub start: usize,
+    /// Byte offset one past the last character of the node.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The empty span used for synthesized nodes with no source location.
+    pub fn synthetic() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Returns a span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no text.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Multiplicity keyword attached to a signature declaration (`one sig`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SigMult {
+    /// Exactly one atom.
+    One,
+    /// At most one atom.
+    Lone,
+    /// At least one atom.
+    Some,
+}
+
+/// Multiplicity on (the last column of) a field declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mult {
+    /// Any number of atoms.
+    Set,
+    /// Exactly one atom.
+    One,
+    /// At most one atom.
+    Lone,
+    /// At least one atom.
+    Some,
+}
+
+impl fmt::Display for Mult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mult::Set => "set",
+            Mult::One => "one",
+            Mult::Lone => "lone",
+            Mult::Some => "some",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A field (relation) declared inside a signature.
+///
+/// `keys: set Key` has `cols = ["Key"]` and `mult = Set`;
+/// `lastKey: Room -> lone RoomKey` has `cols = ["Room", "RoomKey"]` and
+/// `mult = Lone`. The arity of the declared relation is `1 + cols.len()`
+/// (the implicit first column is the declaring signature).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Signature names of the columns after the implicit owner column.
+    pub cols: Vec<String>,
+    /// Multiplicity of the final column.
+    pub mult: Mult,
+    /// Source location of the whole declaration.
+    pub span: Span,
+}
+
+impl FieldDecl {
+    /// Arity of the relation the field denotes (including the owner column).
+    pub fn arity(&self) -> usize {
+        1 + self.cols.len()
+    }
+}
+
+/// A signature declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SigDecl {
+    /// Signature name.
+    pub name: String,
+    /// Whether the signature is `abstract`.
+    pub is_abstract: bool,
+    /// Optional multiplicity keyword (`one`/`lone`/`some`).
+    pub mult: Option<SigMult>,
+    /// Parent signature for `extends`, if any.
+    pub parent: Option<String>,
+    /// Fields declared in the signature body.
+    pub fields: Vec<FieldDecl>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Binary relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinExprOp {
+    /// Set union `+`.
+    Union,
+    /// Set difference `-`.
+    Diff,
+    /// Set intersection `&`.
+    Intersect,
+    /// Relational join `.`.
+    Join,
+    /// Cartesian product `->`.
+    Product,
+    /// Relational override `++`.
+    Override,
+    /// Domain restriction `<:`.
+    DomRestrict,
+    /// Range restriction `:>`.
+    RanRestrict,
+}
+
+impl BinExprOp {
+    /// Concrete syntax for the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinExprOp::Union => "+",
+            BinExprOp::Diff => "-",
+            BinExprOp::Intersect => "&",
+            BinExprOp::Join => ".",
+            BinExprOp::Product => "->",
+            BinExprOp::Override => "++",
+            BinExprOp::DomRestrict => "<:",
+            BinExprOp::RanRestrict => ":>",
+        }
+    }
+}
+
+/// Unary relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnExprOp {
+    /// Transpose `~` (binary relations only).
+    Transpose,
+    /// Transitive closure `^` (binary relations only).
+    Closure,
+    /// Reflexive-transitive closure `*` (binary relations only).
+    ReflClosure,
+}
+
+impl UnExprOp {
+    /// Concrete syntax for the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            UnExprOp::Transpose => "~",
+            UnExprOp::Closure => "^",
+            UnExprOp::ReflClosure => "*",
+        }
+    }
+}
+
+/// A relational expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Reference to a signature, field, or quantified variable.
+    Ident(String, Span),
+    /// The universe of all atoms (`univ`).
+    Univ(Span),
+    /// The identity relation over the universe (`iden`).
+    Iden(Span),
+    /// The empty unary relation (`none`).
+    None(Span),
+    /// Unary operator application.
+    Unary(UnExprOp, Box<Expr>, Span),
+    /// Binary operator application.
+    Binary(BinExprOp, Box<Expr>, Box<Expr>, Span),
+    /// Set comprehension `{ x: e | F }`.
+    Comprehension(Vec<VarDecl>, Box<Formula>, Span),
+    /// Conditional expression `F => e1 else e2` in expression position.
+    IfThenElse(Box<Formula>, Box<Expr>, Box<Expr>, Span),
+    /// Call of a named function with argument expressions.
+    FunCall(String, Vec<Expr>, Span),
+}
+
+impl Expr {
+    /// Source location of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident(_, s)
+            | Expr::Univ(s)
+            | Expr::Iden(s)
+            | Expr::None(s)
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s)
+            | Expr::Comprehension(_, _, s)
+            | Expr::IfThenElse(_, _, _, s)
+            | Expr::FunCall(_, _, s) => *s,
+        }
+    }
+
+    /// Convenience constructor for an identifier with a synthetic span.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into(), Span::synthetic())
+    }
+
+    /// Convenience constructor for a join `lhs.rhs` with a synthetic span.
+    pub fn join(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(BinExprOp::Join, Box::new(lhs), Box::new(rhs), Span::synthetic())
+    }
+
+    /// Convenience constructor for a binary operation with a synthetic span.
+    pub fn binary(op: BinExprOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs), Span::synthetic())
+    }
+
+    /// Convenience constructor for a unary operation with a synthetic span.
+    pub fn unary(op: UnExprOp, inner: Expr) -> Expr {
+        Expr::Unary(op, Box::new(inner), Span::synthetic())
+    }
+}
+
+/// Integer-valued expressions (cardinalities and literals).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntExpr {
+    /// Cardinality `#e` of a relational expression.
+    Card(Box<Expr>, Span),
+    /// Integer literal.
+    Lit(i64, Span),
+}
+
+impl IntExpr {
+    /// Source location of the integer expression.
+    pub fn span(&self) -> Span {
+        match self {
+            IntExpr::Card(_, s) | IntExpr::Lit(_, s) => *s,
+        }
+    }
+}
+
+/// Comparison operators between relational expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Subset `in`.
+    In,
+    /// Equality `=`.
+    Eq,
+    /// Disequality `!=`.
+    Neq,
+    /// Negated subset `!in` / `not in`.
+    NotIn,
+}
+
+impl CmpOp {
+    /// Concrete syntax for the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::In => "in",
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::NotIn => "not in",
+        }
+    }
+}
+
+/// Comparison operators between integer expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntCmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=<`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl IntCmpOp {
+    /// Concrete syntax for the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            IntCmpOp::Eq => "=",
+            IntCmpOp::Neq => "!=",
+            IntCmpOp::Lt => "<",
+            IntCmpOp::Gt => ">",
+            IntCmpOp::Le => "=<",
+            IntCmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Multiplicity predicates over expressions (`some e`, `no e`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultOp {
+    /// `some e`: the expression is non-empty.
+    Some,
+    /// `no e`: the expression is empty.
+    No,
+    /// `lone e`: the expression has at most one tuple.
+    Lone,
+    /// `one e`: the expression has exactly one tuple.
+    One,
+}
+
+impl MultOp {
+    /// Concrete syntax for the operator.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            MultOp::Some => "some",
+            MultOp::No => "no",
+            MultOp::Lone => "lone",
+            MultOp::One => "one",
+        }
+    }
+}
+
+/// Quantifiers over bound variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quant {
+    /// `all x: e | F`
+    All,
+    /// `some x: e | F`
+    Some,
+    /// `no x: e | F`
+    No,
+    /// `lone x: e | F`
+    Lone,
+    /// `one x: e | F`
+    One,
+}
+
+impl Quant {
+    /// Concrete syntax for the quantifier.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Quant::All => "all",
+            Quant::Some => "some",
+            Quant::No => "no",
+            Quant::Lone => "lone",
+            Quant::One => "one",
+        }
+    }
+}
+
+/// A quantified (or comprehension) variable binding `x: bound`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Bounding expression (must be unary).
+    pub bound: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+impl VarDecl {
+    /// Creates a variable declaration with a synthetic span.
+    pub fn new(name: impl Into<String>, bound: Expr) -> Self {
+        VarDecl {
+            name: name.into(),
+            bound,
+            span: Span::synthetic(),
+        }
+    }
+}
+
+/// Binary logical connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinFormOp {
+    /// Conjunction `&&` / `and`.
+    And,
+    /// Disjunction `||` / `or`.
+    Or,
+    /// Implication `=>` / `implies`.
+    Implies,
+    /// Biconditional `<=>` / `iff`.
+    Iff,
+}
+
+impl BinFormOp {
+    /// Concrete syntax for the connective.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinFormOp::And => "&&",
+            BinFormOp::Or => "||",
+            BinFormOp::Implies => "=>",
+            BinFormOp::Iff => "<=>",
+        }
+    }
+}
+
+/// A boolean-valued formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// Comparison between relational expressions.
+    Compare(CmpOp, Box<Expr>, Box<Expr>, Span),
+    /// Comparison between integer expressions.
+    IntCompare(IntCmpOp, Box<IntExpr>, Box<IntExpr>, Span),
+    /// Multiplicity check on an expression.
+    Mult(MultOp, Box<Expr>, Span),
+    /// Negation.
+    Not(Box<Formula>, Span),
+    /// Binary connective.
+    Binary(BinFormOp, Box<Formula>, Box<Formula>, Span),
+    /// Quantified formula.
+    Quant(Quant, Vec<VarDecl>, Box<Formula>, Span),
+    /// `let x = e | F`
+    Let(String, Box<Expr>, Box<Formula>, Span),
+    /// Call of a named predicate with argument expressions.
+    PredCall(String, Vec<Expr>, Span),
+}
+
+impl Formula {
+    /// Source location of the formula.
+    pub fn span(&self) -> Span {
+        match self {
+            Formula::Compare(_, _, _, s)
+            | Formula::IntCompare(_, _, _, s)
+            | Formula::Mult(_, _, s)
+            | Formula::Not(_, s)
+            | Formula::Binary(_, _, _, s)
+            | Formula::Quant(_, _, _, s)
+            | Formula::Let(_, _, _, s)
+            | Formula::PredCall(_, _, s) => *s,
+        }
+    }
+
+    /// Builds the conjunction of the given formulas.
+    ///
+    /// Returns a trivially-true formula (`univ = univ`) when `fs` is empty.
+    pub fn conjoin(fs: Vec<Formula>) -> Formula {
+        let mut iter = fs.into_iter();
+        match iter.next() {
+            None => Formula::truth(),
+            Some(first) => iter.fold(first, |acc, f| {
+                Formula::Binary(BinFormOp::And, Box::new(acc), Box::new(f), Span::synthetic())
+            }),
+        }
+    }
+
+    /// A trivially-true formula.
+    pub fn truth() -> Formula {
+        Formula::Compare(
+            CmpOp::Eq,
+            Box::new(Expr::Univ(Span::synthetic())),
+            Box::new(Expr::Univ(Span::synthetic())),
+            Span::synthetic(),
+        )
+    }
+
+    /// Convenience constructor for negation with a synthetic span.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f), Span::synthetic())
+    }
+
+    /// Convenience constructor for a binary connective with a synthetic span.
+    pub fn binary(op: BinFormOp, lhs: Formula, rhs: Formula) -> Formula {
+        Formula::Binary(op, Box::new(lhs), Box::new(rhs), Span::synthetic())
+    }
+
+    /// Convenience constructor for a comparison with a synthetic span.
+    pub fn compare(op: CmpOp, lhs: Expr, rhs: Expr) -> Formula {
+        Formula::Compare(op, Box::new(lhs), Box::new(rhs), Span::synthetic())
+    }
+}
+
+/// A named fact (always-true constraint block).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fact {
+    /// Fact name (may be empty for anonymous facts).
+    pub name: String,
+    /// Conjoined body formulas.
+    pub body: Vec<Formula>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A parameter of a predicate or function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Bounding signature expression.
+    pub bound: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A predicate declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredDecl {
+    /// Predicate name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Conjoined body formulas.
+    pub body: Vec<Formula>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FunDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Result multiplicity.
+    pub result_mult: Mult,
+    /// Result bounding expression.
+    pub result: Expr,
+    /// Body expression.
+    pub body: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An assertion declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AssertDecl {
+    /// Assertion name.
+    pub name: String,
+    /// Conjoined body formulas.
+    pub body: Vec<Formula>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// What a command executes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// `run p for N`: search for an instance satisfying predicate `p`.
+    Run(String),
+    /// `check a for N`: search for a counterexample to assertion `a`.
+    Check(String),
+}
+
+/// A `run` or `check` command with a bounded scope.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    /// What to execute.
+    pub kind: CommandKind,
+    /// Uniform scope: the maximum number of atoms per top-level signature.
+    pub scope: u32,
+    /// Expected satisfiability recorded with `expect 0|1`, if any.
+    pub expect: Option<bool>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Command {
+    /// Name of the predicate or assertion the command targets.
+    pub fn target(&self) -> &str {
+        match &self.kind {
+            CommandKind::Run(n) | CommandKind::Check(n) => n,
+        }
+    }
+
+    /// Whether this is a `check` command.
+    pub fn is_check(&self) -> bool {
+        matches!(self.kind, CommandKind::Check(_))
+    }
+}
+
+/// A complete μAlloy specification (one source file).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Spec {
+    /// Optional module name.
+    pub module: Option<String>,
+    /// Signature declarations in source order.
+    pub sigs: Vec<SigDecl>,
+    /// Facts in source order.
+    pub facts: Vec<Fact>,
+    /// Predicate declarations in source order.
+    pub preds: Vec<PredDecl>,
+    /// Function declarations in source order.
+    pub funs: Vec<FunDecl>,
+    /// Assertions in source order.
+    pub asserts: Vec<AssertDecl>,
+    /// Commands in source order.
+    pub commands: Vec<Command>,
+}
+
+impl Spec {
+    /// Looks up a signature by name.
+    pub fn sig(&self, name: &str) -> Option<&SigDecl> {
+        self.sigs.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a predicate by name.
+    pub fn pred(&self, name: &str) -> Option<&PredDecl> {
+        self.preds.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a function by name.
+    pub fn fun(&self, name: &str) -> Option<&FunDecl> {
+        self.funs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up an assertion by name.
+    pub fn assert(&self, name: &str) -> Option<&AssertDecl> {
+        self.asserts.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up a field by name, returning the declaring signature and the field.
+    pub fn field(&self, name: &str) -> Option<(&SigDecl, &FieldDecl)> {
+        self.sigs
+            .iter()
+            .find_map(|s| s.fields.iter().find(|f| f.name == name).map(|f| (s, f)))
+    }
+
+    /// All field declarations with their declaring signatures.
+    pub fn fields(&self) -> impl Iterator<Item = (&SigDecl, &FieldDecl)> {
+        self.sigs.iter().flat_map(|s| s.fields.iter().map(move |f| (s, f)))
+    }
+
+    /// Direct children of the named signature in the `extends` hierarchy.
+    pub fn children_of(&self, name: &str) -> Vec<&SigDecl> {
+        self.sigs
+            .iter()
+            .filter(|s| s.parent.as_deref() == Some(name))
+            .collect()
+    }
+
+    /// Top-level signatures (those without a parent).
+    pub fn top_level_sigs(&self) -> impl Iterator<Item = &SigDecl> {
+        self.sigs.iter().filter(|s| s.parent.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 5).len(), 3);
+        assert!(Span::synthetic().is_empty());
+        assert!(!Span::new(0, 1).is_empty());
+    }
+
+    #[test]
+    fn field_arity_counts_owner_column() {
+        let f = FieldDecl {
+            name: "lastKey".into(),
+            cols: vec!["Room".into(), "RoomKey".into()],
+            mult: Mult::Lone,
+            span: Span::synthetic(),
+        };
+        assert_eq!(f.arity(), 3);
+    }
+
+    #[test]
+    fn conjoin_empty_is_truth() {
+        assert_eq!(Formula::conjoin(vec![]), Formula::truth());
+    }
+
+    #[test]
+    fn conjoin_two_builds_and() {
+        let f = Formula::conjoin(vec![Formula::truth(), Formula::truth()]);
+        match f {
+            Formula::Binary(BinFormOp::And, _, _, _) => {}
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_lookups_find_declared_items() {
+        let spec = Spec {
+            sigs: vec![SigDecl {
+                name: "A".into(),
+                is_abstract: false,
+                mult: None,
+                parent: None,
+                fields: vec![FieldDecl {
+                    name: "f".into(),
+                    cols: vec!["A".into()],
+                    mult: Mult::Set,
+                    span: Span::synthetic(),
+                }],
+                span: Span::synthetic(),
+            }],
+            ..Spec::default()
+        };
+        assert!(spec.sig("A").is_some());
+        assert!(spec.sig("B").is_none());
+        let (owner, field) = spec.field("f").expect("field f");
+        assert_eq!(owner.name, "A");
+        assert_eq!(field.mult, Mult::Set);
+    }
+
+    #[test]
+    fn children_and_top_level() {
+        let mk = |name: &str, parent: Option<&str>| SigDecl {
+            name: name.into(),
+            is_abstract: false,
+            mult: None,
+            parent: parent.map(String::from),
+            fields: vec![],
+            span: Span::synthetic(),
+        };
+        let spec = Spec {
+            sigs: vec![mk("Key", None), mk("RoomKey", Some("Key")), mk("Room", None)],
+            ..Spec::default()
+        };
+        assert_eq!(spec.children_of("Key").len(), 1);
+        assert_eq!(spec.top_level_sigs().count(), 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Static well-formedness checks for parsed specifications.
+//!
+//! The checker validates name resolution (signatures, fields, predicates,
+//! functions, variables), call arities, the signature hierarchy (no cycles,
+//! parents exist) and command targets. The repair tools run it on every
+//! candidate before spending solver time.
+
+use crate::ast::*;
+use crate::error::CheckError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checks the specification, returning all errors found.
+pub fn check_spec(spec: &Spec) -> Vec<CheckError> {
+    let mut errs = Vec::new();
+    let sig_names: BTreeSet<&str> = spec.sigs.iter().map(|s| s.name.as_str()).collect();
+
+    // Duplicate declarations.
+    let mut seen = BTreeSet::new();
+    for sig in &spec.sigs {
+        if !seen.insert(sig.name.as_str()) {
+            errs.push(CheckError::new(
+                format!("duplicate signature `{}`", sig.name),
+                sig.span,
+            ));
+        }
+    }
+
+    // Parent resolution and hierarchy acyclicity.
+    let parent: BTreeMap<&str, &str> = spec
+        .sigs
+        .iter()
+        .filter_map(|s| s.parent.as_deref().map(|p| (s.name.as_str(), p)))
+        .collect();
+    for sig in &spec.sigs {
+        if let Some(p) = &sig.parent {
+            if !sig_names.contains(p.as_str()) {
+                errs.push(CheckError::new(
+                    format!("signature `{}` extends unknown signature `{p}`", sig.name),
+                    sig.span,
+                ));
+            }
+        }
+    }
+    for sig in &spec.sigs {
+        let mut cur = sig.name.as_str();
+        let mut steps = 0;
+        while let Some(p) = parent.get(cur) {
+            cur = p;
+            steps += 1;
+            if steps > spec.sigs.len() {
+                errs.push(CheckError::new(
+                    format!("cyclic `extends` chain through `{}`", sig.name),
+                    sig.span,
+                ));
+                break;
+            }
+        }
+    }
+
+    // Field column resolution and duplicate field names.
+    let mut field_names = BTreeSet::new();
+    for sig in &spec.sigs {
+        for f in &sig.fields {
+            if !field_names.insert(f.name.clone()) {
+                errs.push(CheckError::new(
+                    format!("duplicate field `{}`", f.name),
+                    f.span,
+                ));
+            }
+            for c in &f.cols {
+                if !sig_names.contains(c.as_str()) {
+                    errs.push(CheckError::new(
+                        format!("field `{}` references unknown signature `{c}`", f.name),
+                        f.span,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Global vocabulary for expression checking.
+    let env = Env::new(spec);
+
+    for fact in &spec.facts {
+        for f in &fact.body {
+            env.check_formula(f, &mut Scope::default(), &mut errs);
+        }
+    }
+    for pred in &spec.preds {
+        let mut scope = Scope::default();
+        for p in &pred.params {
+            env.check_expr(&p.bound, &mut scope, &mut errs);
+            scope.vars.push(p.name.clone());
+        }
+        for f in &pred.body {
+            env.check_formula(f, &mut scope, &mut errs);
+        }
+    }
+    for fun in &spec.funs {
+        let mut scope = Scope::default();
+        for p in &fun.params {
+            env.check_expr(&p.bound, &mut scope, &mut errs);
+            scope.vars.push(p.name.clone());
+        }
+        env.check_expr(&fun.result, &mut scope, &mut errs);
+        env.check_expr(&fun.body, &mut scope, &mut errs);
+    }
+    for a in &spec.asserts {
+        for f in &a.body {
+            env.check_formula(f, &mut Scope::default(), &mut errs);
+        }
+    }
+
+    // Command targets.
+    for cmd in &spec.commands {
+        match &cmd.kind {
+            CommandKind::Run(name) => {
+                if spec.pred(name).is_none() {
+                    errs.push(CheckError::new(
+                        format!("`run` targets unknown predicate `{name}`"),
+                        cmd.span,
+                    ));
+                }
+            }
+            CommandKind::Check(name) => {
+                if spec.assert(name).is_none() {
+                    errs.push(CheckError::new(
+                        format!("`check` targets unknown assertion `{name}`"),
+                        cmd.span,
+                    ));
+                }
+            }
+        }
+    }
+
+    errs
+}
+
+/// Convenience wrapper returning `Err` on the first check error.
+pub fn ensure_well_formed(spec: &Spec) -> Result<(), CheckError> {
+    match check_spec(spec).into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+struct Env<'a> {
+    spec: &'a Spec,
+    sigs: BTreeSet<&'a str>,
+    fields: BTreeMap<&'a str, usize>, // name -> arity
+    preds: BTreeMap<&'a str, usize>,  // name -> #params
+    funs: BTreeMap<&'a str, usize>,   // name -> #params
+}
+
+#[derive(Default)]
+struct Scope {
+    vars: Vec<String>,
+}
+
+impl<'a> Env<'a> {
+    fn new(spec: &'a Spec) -> Self {
+        Env {
+            spec,
+            sigs: spec.sigs.iter().map(|s| s.name.as_str()).collect(),
+            fields: spec
+                .fields()
+                .map(|(_, f)| (f.name.as_str(), f.arity()))
+                .collect(),
+            preds: spec
+                .preds
+                .iter()
+                .map(|p| (p.name.as_str(), p.params.len()))
+                .collect(),
+            funs: spec
+                .funs
+                .iter()
+                .map(|f| (f.name.as_str(), f.params.len()))
+                .collect(),
+        }
+    }
+
+    fn check_formula(&self, f: &Formula, scope: &mut Scope, errs: &mut Vec<CheckError>) {
+        match f {
+            Formula::Compare(_, l, r, _) => {
+                self.check_expr(l, scope, errs);
+                self.check_expr(r, scope, errs);
+            }
+            Formula::IntCompare(_, l, r, _) => {
+                for i in [l.as_ref(), r.as_ref()] {
+                    if let IntExpr::Card(e, _) = i {
+                        self.check_expr(e, scope, errs);
+                    }
+                }
+            }
+            Formula::Mult(_, e, _) => self.check_expr(e, scope, errs),
+            Formula::Not(inner, _) => self.check_formula(inner, scope, errs),
+            Formula::Binary(_, l, r, _) => {
+                self.check_formula(l, scope, errs);
+                self.check_formula(r, scope, errs);
+            }
+            Formula::Quant(_, decls, body, _) => {
+                let base = scope.vars.len();
+                for d in decls {
+                    self.check_expr(&d.bound, scope, errs);
+                    scope.vars.push(d.name.clone());
+                }
+                self.check_formula(body, scope, errs);
+                scope.vars.truncate(base);
+            }
+            Formula::Let(name, e, body, _) => {
+                self.check_expr(e, scope, errs);
+                scope.vars.push(name.clone());
+                self.check_formula(body, scope, errs);
+                scope.vars.pop();
+            }
+            Formula::PredCall(name, args, span) => {
+                match self.preds.get(name.as_str()) {
+                    Some(&arity) if arity == args.len() => {}
+                    Some(&arity) => errs.push(CheckError::new(
+                        format!(
+                            "predicate `{name}` expects {arity} argument(s), got {}",
+                            args.len()
+                        ),
+                        *span,
+                    )),
+                    None => errs.push(CheckError::new(
+                        format!("call to unknown predicate `{name}`"),
+                        *span,
+                    )),
+                }
+                for a in args {
+                    self.check_expr(a, scope, errs);
+                }
+            }
+        }
+    }
+
+    fn check_expr(&self, e: &Expr, scope: &mut Scope, errs: &mut Vec<CheckError>) {
+        match e {
+            Expr::Ident(name, span) => {
+                let known = self.sigs.contains(name.as_str())
+                    || self.fields.contains_key(name.as_str())
+                    || scope.vars.iter().any(|v| v == name);
+                if !known {
+                    errs.push(CheckError::new(format!("unknown name `{name}`"), *span));
+                }
+            }
+            Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
+            Expr::Unary(_, inner, _) => self.check_expr(inner, scope, errs),
+            Expr::Binary(_, l, r, _) => {
+                self.check_expr(l, scope, errs);
+                self.check_expr(r, scope, errs);
+            }
+            Expr::Comprehension(decls, body, _) => {
+                let base = scope.vars.len();
+                for d in decls {
+                    self.check_expr(&d.bound, scope, errs);
+                    scope.vars.push(d.name.clone());
+                }
+                self.check_formula(body, scope, errs);
+                scope.vars.truncate(base);
+            }
+            Expr::IfThenElse(c, t, f, _) => {
+                self.check_formula(c, scope, errs);
+                self.check_expr(t, scope, errs);
+                self.check_expr(f, scope, errs);
+            }
+            Expr::FunCall(name, args, span) => {
+                // A named application is a function call when `name` is a
+                // fun; otherwise it must be a box join on a field/sig/var.
+                if let Some(&arity) = self.funs.get(name.as_str()) {
+                    if arity != args.len() {
+                        errs.push(CheckError::new(
+                            format!(
+                                "function `{name}` expects {arity} argument(s), got {}",
+                                args.len()
+                            ),
+                            *span,
+                        ));
+                    }
+                } else {
+                    let known = self.sigs.contains(name.as_str())
+                        || self.fields.contains_key(name.as_str())
+                        || scope.vars.iter().any(|v| v == name)
+                        || self.spec.pred(name).is_some();
+                    if !known {
+                        errs.push(CheckError::new(
+                            format!("unknown name `{name}` in application"),
+                            *span,
+                        ));
+                    }
+                }
+                for a in args {
+                    self.check_expr(a, scope, errs);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    #[test]
+    fn accepts_well_formed_spec() {
+        let spec = parse_spec(
+            "sig A { f: set A } fact { all x: A | x.f in A } pred p[a: A] { some a } run p for 3",
+        )
+        .unwrap();
+        assert!(check_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_sig_in_field() {
+        let spec = parse_spec("sig A { f: set B }").unwrap();
+        assert!(!check_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_parent() {
+        let spec = parse_spec("sig A extends Z {}").unwrap();
+        assert!(!check_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn rejects_cyclic_hierarchy() {
+        let spec = parse_spec("sig A extends B {} sig B extends A {}").unwrap();
+        assert!(check_spec(&spec)
+            .iter()
+            .any(|e| e.message().contains("cyclic")));
+    }
+
+    #[test]
+    fn rejects_duplicate_sigs_and_fields() {
+        let spec = parse_spec("sig A {} sig A {}").unwrap();
+        assert!(!check_spec(&spec).is_empty());
+        let spec = parse_spec("sig A { f: set A } sig B { f: set A }").unwrap();
+        assert!(check_spec(&spec).iter().any(|e| e.message().contains("duplicate field")));
+    }
+
+    #[test]
+    fn rejects_unknown_name_in_formula() {
+        let spec = parse_spec("sig A {} fact { some Zed }").unwrap();
+        assert!(!check_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_pred_arity() {
+        let spec = parse_spec("sig A {} pred p[a: A] { some a } fact { p }").unwrap();
+        assert!(check_spec(&spec).iter().any(|e| e.message().contains("expects 1")));
+    }
+
+    #[test]
+    fn rejects_unknown_command_target() {
+        let spec = parse_spec("sig A {} pred p {} run q for 3").unwrap();
+        assert!(!check_spec(&spec).is_empty());
+        let spec = parse_spec("sig A {} check Nope for 3").unwrap();
+        assert!(!check_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn quantified_vars_are_in_scope() {
+        let spec = parse_spec("sig A {} fact { all x: A | some x }").unwrap();
+        assert!(check_spec(&spec).is_empty());
+        // ... but not outside their binder.
+        let spec = parse_spec("sig A {} fact { (all x: A | some x) && some x }").unwrap();
+        assert!(!check_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn let_binding_in_scope() {
+        let spec = parse_spec("sig A { f: set A } fact { all a: A | let k = a.f | some k }").unwrap();
+        assert!(check_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn ensure_well_formed_returns_first_error() {
+        let spec = parse_spec("sig A { f: set B }").unwrap();
+        assert!(ensure_well_formed(&spec).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the μAlloy front end.
+
+use crate::ast::Span;
+use std::error::Error;
+use std::fmt;
+
+/// A lexical or parse error with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    message: String,
+    span: Span,
+}
+
+impl SyntaxError {
+    /// Creates a new syntax error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SyntaxError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Human-readable description of the error.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Location of the offending text.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for SyntaxError {}
+
+/// A semantic (name-resolution or arity) error found by [`crate::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    message: String,
+    span: Span,
+}
+
+impl CheckError {
+    /// Creates a new check error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        CheckError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Human-readable description of the error.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Location of the offending construct.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "check error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for CheckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span_and_message() {
+        let e = SyntaxError::new("bad token", Span::new(3, 5));
+        assert_eq!(e.to_string(), "syntax error at 3..5: bad token");
+        let c = CheckError::new("unknown sig", Span::new(0, 2));
+        assert_eq!(c.to_string(), "check error at 0..2: unknown sig");
+    }
+}

@@ -1,0 +1,401 @@
+//! Tokenizer for μAlloy source text.
+//!
+//! Supports line comments (`//` and `--`) and block comments (`/* … */`).
+//! Tokens carry [`Span`]s into the original source.
+
+use crate::ast::Span;
+use crate::error::SyntaxError;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword text.
+    Ident(String),
+    /// Non-negative integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `|`
+    Bar,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `&`
+    Amp,
+    /// `++`
+    PlusPlus,
+    /// `<:`
+    DomRestrict,
+    /// `:>`
+    RanRestrict,
+    /// `~`
+    Tilde,
+    /// `^`
+    Caret,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=<`
+    Le,
+    /// `>=`
+    Ge,
+    /// `#`
+    Hash,
+    /// `!`
+    Bang,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    BarBar,
+    /// `=>`
+    FatArrow,
+    /// `<=>`
+    IffArrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(n) => write!(f, "integer `{n}`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Bar => f.write_str("`|`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Amp => f.write_str("`&`"),
+            TokenKind::PlusPlus => f.write_str("`++`"),
+            TokenKind::DomRestrict => f.write_str("`<:`"),
+            TokenKind::RanRestrict => f.write_str("`:>`"),
+            TokenKind::Tilde => f.write_str("`~`"),
+            TokenKind::Caret => f.write_str("`^`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Neq => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Le => f.write_str("`=<`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::Hash => f.write_str("`#`"),
+            TokenKind::Bang => f.write_str("`!`"),
+            TokenKind::AmpAmp => f.write_str("`&&`"),
+            TokenKind::BarBar => f.write_str("`||`"),
+            TokenKind::FatArrow => f.write_str("`=>`"),
+            TokenKind::IffArrow => f.write_str("`<=>`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (and payload for identifiers/integers).
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Tokenizes `source` into a vector of tokens ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] on unterminated block comments or characters that
+/// are not part of the μAlloy lexical grammar.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, SyntaxError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments: `//` and `--`.
+        if (c == b'/' && i + 1 < n && bytes[i + 1] == b'/') || (c == b'-' && i + 1 < n && bytes[i + 1] == b'-') {
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments.
+        if c == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= n {
+                    return Err(SyntaxError::new(
+                        "unterminated block comment",
+                        Span::new(start, n),
+                    ));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'') {
+                i += 1;
+            }
+            let text = &source[start..i];
+            tokens.push(Token {
+                kind: TokenKind::Ident(text.to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Integer literals.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text = &source[start..i];
+            let value: i64 = text.parse().map_err(|_| {
+                SyntaxError::new(format!("integer literal `{text}` out of range"), Span::new(start, i))
+            })?;
+            tokens.push(Token {
+                kind: TokenKind::Int(value),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Multi-character operators, longest match first.
+        let start = i;
+        let rest = &source[i..];
+        let (kind, len) = if rest.starts_with("<=>") {
+            (TokenKind::IffArrow, 3)
+        } else if rest.starts_with("=>") {
+            (TokenKind::FatArrow, 2)
+        } else if rest.starts_with("++") {
+            (TokenKind::PlusPlus, 2)
+        } else if rest.starts_with("->") {
+            (TokenKind::Arrow, 2)
+        } else if rest.starts_with("&&") {
+            (TokenKind::AmpAmp, 2)
+        } else if rest.starts_with("||") {
+            (TokenKind::BarBar, 2)
+        } else if rest.starts_with("!=") {
+            (TokenKind::Neq, 2)
+        } else if rest.starts_with("=<") {
+            (TokenKind::Le, 2)
+        } else if rest.starts_with(">=") {
+            (TokenKind::Ge, 2)
+        } else if rest.starts_with("<:") {
+            (TokenKind::DomRestrict, 2)
+        } else if rest.starts_with(":>") {
+            (TokenKind::RanRestrict, 2)
+        } else {
+            let kind = match c {
+                b'{' => TokenKind::LBrace,
+                b'}' => TokenKind::RBrace,
+                b'[' => TokenKind::LBracket,
+                b']' => TokenKind::RBracket,
+                b'(' => TokenKind::LParen,
+                b')' => TokenKind::RParen,
+                b':' => TokenKind::Colon,
+                b',' => TokenKind::Comma,
+                b'|' => TokenKind::Bar,
+                b'.' => TokenKind::Dot,
+                b'+' => TokenKind::Plus,
+                b'-' => TokenKind::Minus,
+                b'&' => TokenKind::Amp,
+                b'~' => TokenKind::Tilde,
+                b'^' => TokenKind::Caret,
+                b'*' => TokenKind::Star,
+                b'=' => TokenKind::Eq,
+                b'<' => TokenKind::Lt,
+                b'>' => TokenKind::Gt,
+                b'#' => TokenKind::Hash,
+                b'!' => TokenKind::Bang,
+                other => {
+                    return Err(SyntaxError::new(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(i, i + 1),
+                    ))
+                }
+            };
+            (kind, 1)
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(start, start + len),
+        });
+        i += len;
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(n, n),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn identifiers_and_keywords_share_token_kind() {
+        assert_eq!(
+            kinds("sig Foo_bar"),
+            vec![
+                TokenKind::Ident("sig".into()),
+                TokenKind::Ident("Foo_bar".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn primed_identifiers_lex_as_single_tokens() {
+        assert_eq!(
+            kinds("keys'"),
+            vec![TokenKind::Ident("keys'".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn longest_match_operators() {
+        assert_eq!(
+            kinds("<=> => -> ++ <: :> != =< >= && ||"),
+            vec![
+                TokenKind::IffArrow,
+                TokenKind::FatArrow,
+                TokenKind::Arrow,
+                TokenKind::PlusPlus,
+                TokenKind::DomRestrict,
+                TokenKind::RanRestrict,
+                TokenKind::Neq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AmpAmp,
+                TokenKind::BarBar,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn single_char_operators() {
+        assert_eq!(
+            kinds("{ } [ ] ( ) : , | . + - & ~ ^ * = < > # !"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Colon,
+                TokenKind::Comma,
+                TokenKind::Bar,
+                TokenKind::Dot,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Amp,
+                TokenKind::Tilde,
+                TokenKind::Caret,
+                TokenKind::Star,
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Hash,
+                TokenKind::Bang,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "sig A {} // trailing\n-- dashes\n/* block\n comment */ sig B {}";
+        let ks = kinds(src);
+        let idents: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["sig", "A", "sig", "B"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(tokenize("sig A @ B").is_err());
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

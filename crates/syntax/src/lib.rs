@@ -1,0 +1,163 @@
+//! # mualloy-syntax
+//!
+//! Front end for **μAlloy**, a faithful subset of the [Alloy] specification
+//! language used throughout the `specrepair` workspace. The crate provides:
+//!
+//! - a lossless [`lexer`] and recursive-descent [`parser`];
+//! - the [`ast`] with byte-accurate [`ast::Span`]s on every node;
+//! - a canonical [`printer`] guaranteeing parse round-trips;
+//! - [`walk`]: stable node addressing ([`walk::NodeId`]), site enumeration
+//!   and single-node rewriting used by the mutation and repair crates;
+//! - [`check`]: name-resolution and arity validation.
+//!
+//! [Alloy]: https://alloytools.org
+//!
+//! # Example
+//!
+//! ```
+//! use mualloy_syntax::{parse_spec, print_spec, check_spec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = parse_spec("sig Node { next: lone Node } fact { no n: Node | n in n.^next }")?;
+//! assert!(check_spec(&spec).is_empty());
+//! let canonical = print_spec(&spec);
+//! assert!(canonical.contains("sig Node"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod walk;
+
+pub use ast::{
+    AssertDecl, BinExprOp, BinFormOp, CmpOp, Command, CommandKind, Expr, Fact, FieldDecl, Formula,
+    FunDecl, IntCmpOp, IntExpr, Mult, MultOp, Param, PredDecl, Quant, SigDecl, SigMult, Span, Spec,
+    UnExprOp, VarDecl,
+};
+pub use check::{check_spec, ensure_well_formed};
+pub use error::{CheckError, SyntaxError};
+pub use parser::{parse_expr, parse_formula, parse_spec};
+pub use printer::{print_expr, print_field, print_formula, print_spec};
+pub use walk::{collect_sites, replace_node, NodeId, NodeRepl, NodeSite, OwnerKind};
+
+#[cfg(test)]
+mod proptests {
+    use crate::ast::*;
+    use proptest::prelude::*;
+
+    // A tiny generator of well-formed expressions over a fixed vocabulary.
+    fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+        let leaf = prop_oneof![
+            prop_oneof![Just("A"), Just("B"), Just("f"), Just("g")]
+                .prop_map(|n| Expr::ident(n)),
+            Just(Expr::Univ(Span::synthetic())),
+            Just(Expr::None(Span::synthetic())),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let sub = arb_expr(depth - 1);
+        prop_oneof![
+            leaf,
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Union, l, r)),
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Diff, l, r)),
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Join, l, r)),
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Product, l, r)),
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Intersect, l, r)),
+            sub.clone().prop_map(|e| Expr::unary(UnExprOp::Transpose, e)),
+            sub.clone().prop_map(|e| Expr::unary(UnExprOp::Closure, e)),
+        ]
+        .boxed()
+    }
+
+    fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
+        let leaf = prop_oneof![
+            (arb_expr(1), arb_expr(1)).prop_map(|(l, r)| Formula::compare(CmpOp::In, l, r)),
+            (arb_expr(1), arb_expr(1)).prop_map(|(l, r)| Formula::compare(CmpOp::Eq, l, r)),
+            arb_expr(1).prop_map(|e| Formula::Mult(MultOp::Some, Box::new(e), Span::synthetic())),
+            arb_expr(1).prop_map(|e| Formula::Mult(MultOp::No, Box::new(e), Span::synthetic())),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let sub = arb_formula(depth - 1);
+        prop_oneof![
+            leaf,
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Formula::binary(BinFormOp::And, l, r)),
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Formula::binary(BinFormOp::Or, l, r)),
+            (sub.clone(), sub.clone()).prop_map(|(l, r)| Formula::binary(BinFormOp::Implies, l, r)),
+            sub.clone().prop_map(Formula::not),
+            (sub.clone(), arb_expr(1)).prop_map(|(f, b)| Formula::Quant(
+                Quant::All,
+                vec![VarDecl::new("x", b)],
+                Box::new(f),
+                Span::synthetic()
+            )),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// print → parse is the identity on expressions (up to spans).
+        #[test]
+        fn expr_print_parse_roundtrip(e in arb_expr(3)) {
+            let printed = crate::print_expr(&e);
+            let reparsed = crate::parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+            prop_assert_eq!(
+                crate::walk::strip_expr_spans(&e),
+                crate::walk::strip_expr_spans(&reparsed)
+            );
+        }
+
+        /// print → parse is the identity on formulas (up to spans).
+        #[test]
+        fn formula_print_parse_roundtrip(f in arb_formula(3)) {
+            let printed = crate::print_formula(&f);
+            let reparsed = crate::parse_formula(&printed)
+                .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+            prop_assert_eq!(
+                crate::walk::strip_formula_spans(&f),
+                crate::walk::strip_formula_spans(&reparsed)
+            );
+        }
+
+        /// Node replacement with the identity payload preserves the spec.
+        #[test]
+        fn identity_replacement_is_noop(f in arb_formula(2)) {
+            let spec = Spec {
+                sigs: vec![
+                    SigDecl { name: "A".into(), is_abstract: false, mult: None, parent: None,
+                              fields: vec![FieldDecl { name: "f".into(), cols: vec!["A".into()],
+                                                        mult: Mult::Set, span: Span::synthetic() },
+                                           FieldDecl { name: "g".into(), cols: vec!["A".into()],
+                                                        mult: Mult::Set, span: Span::synthetic() }],
+                              span: Span::synthetic() },
+                    SigDecl { name: "B".into(), is_abstract: false, mult: None, parent: None,
+                              fields: vec![], span: Span::synthetic() },
+                ],
+                facts: vec![Fact { name: "F".into(), body: vec![f], span: Span::synthetic() }],
+                ..Spec::default()
+            };
+            let sites = crate::collect_sites(&spec);
+            prop_assert!(!sites.is_empty());
+            let site = &sites[0];
+            prop_assert!(site.is_formula);
+            let payload = crate::walk::NodeRepl::Formula(spec.facts[0].body[0].clone());
+            let out = crate::replace_node(&spec, site.id, payload).unwrap();
+            prop_assert_eq!(
+                crate::walk::strip_spec_spans(&out),
+                crate::walk::strip_spec_spans(&spec)
+            );
+        }
+    }
+}

@@ -1,0 +1,1356 @@
+//! Recursive-descent parser for μAlloy.
+//!
+//! The grammar is a faithful subset of Alloy's. Notable dialect notes:
+//!
+//! - blocks contain juxtaposed formulas (as in Alloy);
+//! - `e1[e2]` is the box join `e2.e1`; when the bracket target is a bare
+//!   identifier the parser emits an [`Expr::FunCall`] node and name
+//!   resolution later decides between a function call and a box join;
+//! - `disj` is supported on `all`/`some`/`no` quantifiers and desugared
+//!   during elaboration;
+//! - commands use a single uniform scope: `run p for 3 expect 1`.
+
+use crate::ast::*;
+use crate::error::SyntaxError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a complete specification from source text.
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`] encountered.
+pub fn parse_spec(source: &str) -> Result<Spec, SyntaxError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.spec()
+}
+
+/// Parses a single formula (used by tests and by the repair tools when
+/// synthesizing candidate constraint bodies).
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] if the text is not exactly one formula.
+pub fn parse_formula(source: &str) -> Result<Formula, SyntaxError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let f = parser.formula()?;
+    parser.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a single relational expression.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] if the text is not exactly one expression.
+pub fn parse_expr(source: &str) -> Result<Expr, SyntaxError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let e = parser.expr()?;
+    parser.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn kw_at(&self, offset: usize, kw: &str) -> bool {
+        matches!(&self.peek_at(offset).kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, SyntaxError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(SyntaxError::new(
+                format!("expected {}, found {}", kind, self.peek().kind),
+                self.peek().span,
+            ))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SyntaxError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SyntaxError::new(
+                format!("expected keyword `{kw}`, found {}", self.peek().kind),
+                self.peek().span,
+            ))
+        }
+    }
+
+    fn expect_name(&mut self) -> Result<(String, Span), SyntaxError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let name = s.clone();
+                let span = self.peek().span;
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(SyntaxError::new(
+                format!("expected an identifier, found {other}"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SyntaxError> {
+        if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(SyntaxError::new(
+                format!("unexpected trailing {}", self.peek().kind),
+                self.peek().span,
+            ))
+        }
+    }
+
+    // ---------------------------------------------------------------- spec
+
+    fn spec(&mut self) -> Result<Spec, SyntaxError> {
+        let mut spec = Spec::default();
+        if self.eat_kw("module") {
+            let (name, _) = self.expect_name()?;
+            spec.module = Some(name);
+        }
+        while !self.at(&TokenKind::Eof) {
+            self.paragraph(&mut spec)?;
+        }
+        Ok(spec)
+    }
+
+    fn paragraph(&mut self, spec: &mut Spec) -> Result<(), SyntaxError> {
+        if self.at_kw("abstract") || self.at_kw("sig") {
+            spec.sigs.extend(self.sig_decl()?);
+            return Ok(());
+        }
+        // `one sig` / `lone sig` / `some sig`
+        if (self.at_kw("one") || self.at_kw("lone") || self.at_kw("some")) && self.kw_at(1, "sig") {
+            spec.sigs.extend(self.sig_decl()?);
+            return Ok(());
+        }
+        if self.at_kw("fact") {
+            spec.facts.push(self.fact()?);
+            return Ok(());
+        }
+        if self.at_kw("pred") {
+            spec.preds.push(self.pred()?);
+            return Ok(());
+        }
+        if self.at_kw("fun") {
+            spec.funs.push(self.fun()?);
+            return Ok(());
+        }
+        if self.at_kw("assert") {
+            spec.asserts.push(self.assert_decl()?);
+            return Ok(());
+        }
+        if self.at_kw("run") || self.at_kw("check") {
+            spec.commands.push(self.command()?);
+            return Ok(());
+        }
+        Err(SyntaxError::new(
+            format!("expected a paragraph (sig/fact/pred/fun/assert/run/check), found {}", self.peek().kind),
+            self.peek().span,
+        ))
+    }
+
+    /// Parses one `sig` declaration. Returns a vector because Alloy allows
+    /// `sig A, B {}` declaring several signatures with the same shape.
+    fn sig_decl(&mut self) -> Result<Vec<SigDecl>, SyntaxError> {
+        let start = self.peek().span;
+        let mut is_abstract = false;
+        let mut mult = None;
+        loop {
+            if self.at_kw("abstract") {
+                self.bump();
+                is_abstract = true;
+            } else if self.at_kw("one") && self.kw_at(1, "sig") {
+                self.bump();
+                mult = Some(SigMult::One);
+            } else if self.at_kw("lone") && self.kw_at(1, "sig") {
+                self.bump();
+                mult = Some(SigMult::Lone);
+            } else if self.at_kw("some") && self.kw_at(1, "sig") {
+                self.bump();
+                mult = Some(SigMult::Some);
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("sig")?;
+        let mut names = Vec::new();
+        loop {
+            let (name, _) = self.expect_name()?;
+            names.push(name);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let parent = if self.eat_kw("extends") {
+            let (p, _) = self.expect_name()?;
+            Some(p)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            fields.push(self.field_decl()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        let span = start.merge(end);
+        Ok(names
+            .into_iter()
+            .map(|name| SigDecl {
+                name,
+                is_abstract,
+                mult,
+                parent: parent.clone(),
+                fields: fields.clone(),
+                span,
+            })
+            .collect())
+    }
+
+    fn field_decl(&mut self) -> Result<FieldDecl, SyntaxError> {
+        let (name, nspan) = self.expect_name()?;
+        self.expect(TokenKind::Colon)?;
+        // fieldTy := (mult)? IDENT ("->" (mult)? IDENT)*
+        let mut mult = self.opt_mult();
+        let (first, mut end_span) = self.expect_name()?;
+        let mut cols = vec![first];
+        let mut explicit_unary_mult = mult.is_some();
+        while self.eat(&TokenKind::Arrow) {
+            // multiplicity of the final column wins; earlier ones are
+            // accepted but only the last is recorded (μAlloy restriction).
+            let m = self.opt_mult();
+            let (next, s) = self.expect_name()?;
+            cols.push(next);
+            end_span = s;
+            if let Some(m) = m {
+                mult = Some(m);
+                explicit_unary_mult = true;
+            }
+        }
+        let mult = match mult {
+            Some(m) => m,
+            // Alloy defaults: `f: A` means `one A`; `r: A -> B` means `set`.
+            None if cols.len() == 1 => Mult::One,
+            None => Mult::Set,
+        };
+        let _ = explicit_unary_mult;
+        Ok(FieldDecl {
+            name,
+            cols,
+            mult,
+            span: nspan.merge(end_span),
+        })
+    }
+
+    fn opt_mult(&mut self) -> Option<Mult> {
+        // A multiplicity keyword here must be followed by an identifier that
+        // is part of the type, e.g. `set Key`.
+        for (kw, m) in [
+            ("set", Mult::Set),
+            ("one", Mult::One),
+            ("lone", Mult::Lone),
+            ("some", Mult::Some),
+        ] {
+            if self.at_kw(kw) {
+                if let TokenKind::Ident(_) = self.peek_at(1).kind {
+                    self.bump();
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    fn fact(&mut self) -> Result<Fact, SyntaxError> {
+        let start = self.peek().span;
+        self.expect_kw("fact")?;
+        let name = if let TokenKind::Ident(s) = &self.peek().kind {
+            let n = s.clone();
+            self.bump();
+            n
+        } else {
+            String::new()
+        };
+        let (body, end) = self.block()?;
+        Ok(Fact {
+            name,
+            body,
+            span: start.merge(end),
+        })
+    }
+
+    fn pred(&mut self) -> Result<PredDecl, SyntaxError> {
+        let start = self.peek().span;
+        self.expect_kw("pred")?;
+        let (name, _) = self.expect_name()?;
+        let params = if self.at(&TokenKind::LBracket) {
+            self.param_list()?
+        } else {
+            Vec::new()
+        };
+        let (body, end) = self.block()?;
+        Ok(PredDecl {
+            name,
+            params,
+            body,
+            span: start.merge(end),
+        })
+    }
+
+    fn fun(&mut self) -> Result<FunDecl, SyntaxError> {
+        let start = self.peek().span;
+        self.expect_kw("fun")?;
+        let (name, _) = self.expect_name()?;
+        let params = if self.at(&TokenKind::LBracket) {
+            self.param_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect(TokenKind::Colon)?;
+        let result_mult = self.opt_mult().unwrap_or(Mult::Set);
+        let result = self.expr()?;
+        self.expect(TokenKind::LBrace)?;
+        let body = self.expr()?;
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(FunDecl {
+            name,
+            params,
+            result_mult,
+            result,
+            body,
+            span: start.merge(end),
+        })
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, SyntaxError> {
+        self.expect(TokenKind::LBracket)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RBracket) {
+            loop {
+                // group: x, y: bound
+                let mut names = Vec::new();
+                loop {
+                    let (n, s) = self.expect_name()?;
+                    names.push((n, s));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Colon)?;
+                let bound = self.expr()?;
+                for (n, s) in names {
+                    params.push(Param {
+                        name: n,
+                        bound: bound.clone(),
+                        span: s,
+                    });
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RBracket)?;
+        Ok(params)
+    }
+
+    fn assert_decl(&mut self) -> Result<AssertDecl, SyntaxError> {
+        let start = self.peek().span;
+        self.expect_kw("assert")?;
+        let (name, _) = self.expect_name()?;
+        let (body, end) = self.block()?;
+        Ok(AssertDecl {
+            name,
+            body,
+            span: start.merge(end),
+        })
+    }
+
+    fn command(&mut self) -> Result<Command, SyntaxError> {
+        let start = self.peek().span;
+        let kind = if self.eat_kw("run") {
+            let (name, _) = self.expect_name()?;
+            CommandKind::Run(name)
+        } else {
+            self.expect_kw("check")?;
+            let (name, _) = self.expect_name()?;
+            CommandKind::Check(name)
+        };
+        let mut scope = 3u32;
+        let mut end = start;
+        if self.eat_kw("for") {
+            match self.peek().kind.clone() {
+                TokenKind::Int(n) if n > 0 => {
+                    scope = n as u32;
+                    end = self.bump().span;
+                }
+                _ => {
+                    return Err(SyntaxError::new(
+                        "expected a positive scope after `for`",
+                        self.peek().span,
+                    ))
+                }
+            }
+        }
+        let expect = if self.eat_kw("expect") {
+            match self.peek().kind.clone() {
+                TokenKind::Int(0) => {
+                    end = self.bump().span;
+                    Some(false)
+                }
+                TokenKind::Int(1) => {
+                    end = self.bump().span;
+                    Some(true)
+                }
+                _ => {
+                    return Err(SyntaxError::new("expected 0 or 1 after `expect`", self.peek().span))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Command {
+            kind,
+            scope,
+            expect,
+            span: start.merge(end),
+        })
+    }
+
+    /// `{ formula* }` — juxtaposed formulas, as in Alloy blocks.
+    fn block(&mut self) -> Result<(Vec<Formula>, Span), SyntaxError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            body.push(self.formula()?);
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok((body, end))
+    }
+
+    // ------------------------------------------------------------ formulas
+
+    pub(crate) fn formula(&mut self) -> Result<Formula, SyntaxError> {
+        self.iff_form()
+    }
+
+    fn iff_form(&mut self) -> Result<Formula, SyntaxError> {
+        let mut lhs = self.imp_form()?;
+        while self.at(&TokenKind::IffArrow) || self.at_kw("iff") {
+            self.bump();
+            let rhs = self.imp_form()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Formula::Binary(BinFormOp::Iff, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn imp_form(&mut self) -> Result<Formula, SyntaxError> {
+        let lhs = self.or_form()?;
+        if self.at(&TokenKind::FatArrow) || self.at_kw("implies") {
+            self.bump();
+            let then = self.imp_form()?;
+            if self.eat_kw("else") {
+                let els = self.imp_form()?;
+                let span = lhs.span().merge(els.span());
+                // (lhs => then) && (!lhs => else)
+                let pos = Formula::Binary(
+                    BinFormOp::Implies,
+                    Box::new(lhs.clone()),
+                    Box::new(then),
+                    span,
+                );
+                let neg = Formula::Binary(
+                    BinFormOp::Implies,
+                    Box::new(Formula::Not(Box::new(lhs), span)),
+                    Box::new(els),
+                    span,
+                );
+                return Ok(Formula::Binary(BinFormOp::And, Box::new(pos), Box::new(neg), span));
+            }
+            let span = lhs.span().merge(then.span());
+            return Ok(Formula::Binary(BinFormOp::Implies, Box::new(lhs), Box::new(then), span));
+        }
+        Ok(lhs)
+    }
+
+    fn or_form(&mut self) -> Result<Formula, SyntaxError> {
+        let mut lhs = self.and_form()?;
+        while self.at(&TokenKind::BarBar) || self.at_kw("or") {
+            self.bump();
+            let rhs = self.and_form()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Formula::Binary(BinFormOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_form(&mut self) -> Result<Formula, SyntaxError> {
+        let mut lhs = self.not_form()?;
+        while self.at(&TokenKind::AmpAmp) || self.at_kw("and") {
+            self.bump();
+            let rhs = self.not_form()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Formula::Binary(BinFormOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn not_form(&mut self) -> Result<Formula, SyntaxError> {
+        if self.at(&TokenKind::Bang) || self.at_kw("not") {
+            let start = self.bump().span;
+            let inner = self.not_form()?;
+            let span = start.merge(inner.span());
+            return Ok(Formula::Not(Box::new(inner), span));
+        }
+        self.quant_form()
+    }
+
+    fn quant_form(&mut self) -> Result<Formula, SyntaxError> {
+        // let x = e | F
+        if self.at_kw("let") {
+            let start = self.bump().span;
+            let (name, _) = self.expect_name()?;
+            self.expect(TokenKind::Eq)?;
+            let binding = self.expr()?;
+            self.expect(TokenKind::Bar)?;
+            let body = self.formula()?;
+            let span = start.merge(body.span());
+            return Ok(Formula::Let(name, Box::new(binding), Box::new(body), span));
+        }
+        // Quantifier: `quant (disj)? x (, y)* : bound (, more-decls)* | F`
+        if let Some(q) = self.peek_quant() {
+            if self.looks_like_quantifier() {
+                let start = self.bump().span;
+                let disj = self.eat_kw("disj");
+                let decls = self.var_decls()?;
+                self.expect(TokenKind::Bar)?;
+                let body = self.formula()?;
+                let span = start.merge(body.span());
+                return Ok(desugar_quant(q, disj, decls, body, span));
+            }
+        }
+        self.atom_form()
+    }
+
+    fn peek_quant(&self) -> Option<Quant> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => match s.as_str() {
+                "all" => Some(Quant::All),
+                "some" => Some(Quant::Some),
+                "no" => Some(Quant::No),
+                "lone" => Some(Quant::Lone),
+                "one" => Some(Quant::One),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Distinguishes `some x: A | F` (quantifier) from `some A.f` (multiplicity
+    /// formula) by scanning ahead for `ident (, ident)* :` or a `disj` marker.
+    fn looks_like_quantifier(&self) -> bool {
+        if self.kw_at(1, "disj") {
+            return true;
+        }
+        let mut k = 1usize;
+        loop {
+            match &self.peek_at(k).kind {
+                TokenKind::Ident(_) => {}
+                _ => return false,
+            }
+            match &self.peek_at(k + 1).kind {
+                TokenKind::Colon => return true,
+                TokenKind::Comma => k += 2,
+                _ => return false,
+            }
+        }
+    }
+
+    fn var_decls(&mut self) -> Result<Vec<VarDecl>, SyntaxError> {
+        let mut decls = Vec::new();
+        loop {
+            let mut names = Vec::new();
+            loop {
+                let (n, s) = self.expect_name()?;
+                names.push((n, s));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Colon)?;
+            let _ = self.opt_mult(); // tolerated, not recorded: `x: one A`
+            let bound = self.expr()?;
+            for (n, s) in names {
+                decls.push(VarDecl {
+                    name: n,
+                    bound: bound.clone(),
+                    span: s,
+                });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(decls)
+    }
+
+    fn atom_form(&mut self) -> Result<Formula, SyntaxError> {
+        // Parenthesized formula, with backtracking to parenthesized
+        // expression when the content is not a formula.
+        if self.at(&TokenKind::LParen) {
+            let save = self.pos;
+            self.bump();
+            if let Ok(f) = self.formula() {
+                if self.eat(&TokenKind::RParen) {
+                    // Must not be followed by something that extends an
+                    // expression comparison (e.g. `(A + B) in C`).
+                    if !self.starts_expr_continuation() {
+                        return Ok(f);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        // Multiplicity formula: `some e`, `no e`, `lone e`, `one e`.
+        if let Some(q) = self.peek_quant() {
+            if !self.looks_like_quantifier() {
+                let start = self.bump().span;
+                let e = self.expr()?;
+                let span = start.merge(e.span());
+                let op = match q {
+                    Quant::Some => MultOp::Some,
+                    Quant::No => MultOp::No,
+                    Quant::Lone => MultOp::Lone,
+                    Quant::One => MultOp::One,
+                    Quant::All => {
+                        return Err(SyntaxError::new("`all` requires a variable binding", span))
+                    }
+                };
+                return Ok(Formula::Mult(op, Box::new(e), span));
+            }
+        }
+        // Integer comparison.
+        if self.at(&TokenKind::Hash) || matches!(self.peek().kind, TokenKind::Int(_)) {
+            return self.int_compare();
+        }
+        // Relational comparison or predicate call.
+        let lhs = self.expr()?;
+        if self.at_kw("in") {
+            self.bump();
+            let rhs = self.expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(Formula::Compare(CmpOp::In, Box::new(lhs), Box::new(rhs), span));
+        }
+        if self.at(&TokenKind::Bang) && self.kw_at(1, "in") {
+            self.bump();
+            self.bump();
+            let rhs = self.expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(Formula::Compare(CmpOp::NotIn, Box::new(lhs), Box::new(rhs), span));
+        }
+        if self.at_kw("not") && self.kw_at(1, "in") {
+            self.bump();
+            self.bump();
+            let rhs = self.expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(Formula::Compare(CmpOp::NotIn, Box::new(lhs), Box::new(rhs), span));
+        }
+        if self.at(&TokenKind::Eq) {
+            self.bump();
+            let rhs = self.expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(Formula::Compare(CmpOp::Eq, Box::new(lhs), Box::new(rhs), span));
+        }
+        if self.at(&TokenKind::Neq) {
+            self.bump();
+            let rhs = self.expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(Formula::Compare(CmpOp::Neq, Box::new(lhs), Box::new(rhs), span));
+        }
+        // Predicate call: a bare identifier or `ident[args]` expression with
+        // no comparison operator after it.
+        match lhs {
+            Expr::FunCall(name, args, span) => Ok(Formula::PredCall(name, args, span)),
+            Expr::Ident(name, span) => Ok(Formula::PredCall(name, Vec::new(), span)),
+            other => Err(SyntaxError::new(
+                "expected a comparison operator or predicate call",
+                other.span(),
+            )),
+        }
+    }
+
+    /// Whether the current token could continue an expression comparison
+    /// after a closing parenthesis (used to disambiguate `(F)` from `(e)`).
+    fn starts_expr_continuation(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::Dot
+                | TokenKind::Arrow
+                | TokenKind::Plus
+                | TokenKind::Minus
+                | TokenKind::Amp
+                | TokenKind::PlusPlus
+                | TokenKind::DomRestrict
+                | TokenKind::RanRestrict
+                | TokenKind::Eq
+                | TokenKind::Neq
+                | TokenKind::LBracket
+        ) || self.at_kw("in")
+    }
+
+    fn int_compare(&mut self) -> Result<Formula, SyntaxError> {
+        let lhs = self.int_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => IntCmpOp::Eq,
+            TokenKind::Neq => IntCmpOp::Neq,
+            TokenKind::Lt => IntCmpOp::Lt,
+            TokenKind::Gt => IntCmpOp::Gt,
+            TokenKind::Le => IntCmpOp::Le,
+            TokenKind::Ge => IntCmpOp::Ge,
+            _ => {
+                return Err(SyntaxError::new(
+                    format!("expected an integer comparison operator, found {}", self.peek().kind),
+                    self.peek().span,
+                ))
+            }
+        };
+        self.bump();
+        let rhs = self.int_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(Formula::IntCompare(op, Box::new(lhs), Box::new(rhs), span))
+    }
+
+    fn int_expr(&mut self) -> Result<IntExpr, SyntaxError> {
+        if self.at(&TokenKind::Hash) {
+            let start = self.bump().span;
+            let e = self.join_expr()?;
+            let span = start.merge(e.span());
+            return Ok(IntExpr::Card(Box::new(e), span));
+        }
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                let span = self.bump().span;
+                Ok(IntExpr::Lit(n, span))
+            }
+            other => Err(SyntaxError::new(
+                format!("expected an integer expression, found {other}"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.union_expr()
+    }
+
+    fn union_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.override_expr()?;
+        loop {
+            let op = if self.at(&TokenKind::Plus) {
+                BinExprOp::Union
+            } else if self.at(&TokenKind::Minus) {
+                BinExprOp::Diff
+            } else {
+                break;
+            };
+            self.bump();
+            let rhs = self.override_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn override_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.intersect_expr()?;
+        while self.at(&TokenKind::PlusPlus) {
+            self.bump();
+            let rhs = self.intersect_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary(BinExprOp::Override, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn intersect_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.product_expr()?;
+        while self.at(&TokenKind::Amp) {
+            self.bump();
+            let rhs = self.product_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary(BinExprOp::Intersect, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn product_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.restrict_expr()?;
+        while self.at(&TokenKind::Arrow) {
+            self.bump();
+            // Tolerate (and discard) a multiplicity annotation in expression
+            // position: `Room -> lone RoomKey` in a formula context.
+            let _ = self.opt_mult();
+            let rhs = self.restrict_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary(BinExprOp::Product, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn restrict_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.join_expr()?;
+        loop {
+            let op = if self.at(&TokenKind::DomRestrict) {
+                BinExprOp::DomRestrict
+            } else if self.at(&TokenKind::RanRestrict) {
+                BinExprOp::RanRestrict
+            } else {
+                break;
+            };
+            self.bump();
+            let rhs = self.join_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn join_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.at(&TokenKind::Dot) {
+                self.bump();
+                let rhs = self.unary_expr()?;
+                let span = lhs.span().merge(rhs.span());
+                lhs = Expr::Binary(BinExprOp::Join, Box::new(lhs), Box::new(rhs), span);
+            } else if self.at(&TokenKind::LBracket) {
+                // Bracket application. On a bare identifier this is a named
+                // application `f[x, y]` (function call or box join, resolved
+                // later); on a composite target it is the Alloy box join
+                // `e[a, b]` = `b.(a.e)`.
+                self.bump();
+                let mut args = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let end = self.expect(TokenKind::RBracket)?.span;
+                let span = lhs.span().merge(end);
+                if let Expr::Ident(name, _) = &lhs {
+                    lhs = Expr::FunCall(name.clone(), args, span);
+                } else {
+                    for arg in args {
+                        lhs = Expr::Binary(BinExprOp::Join, Box::new(arg), Box::new(lhs), span);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let op = if self.at(&TokenKind::Tilde) {
+            Some(UnExprOp::Transpose)
+        } else if self.at(&TokenKind::Caret) {
+            Some(UnExprOp::Closure)
+        } else if self.at(&TokenKind::Star) {
+            Some(UnExprOp::ReflClosure)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let start = self.bump().span;
+            let inner = self.unary_expr()?;
+            let span = start.merge(inner.span());
+            return Ok(Expr::Unary(op, Box::new(inner), span));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let span = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                match name.as_str() {
+                    "univ" => {
+                        self.bump();
+                        return Ok(Expr::Univ(span));
+                    }
+                    "iden" => {
+                        self.bump();
+                        return Ok(Expr::Iden(span));
+                    }
+                    "none" => {
+                        self.bump();
+                        return Ok(Expr::None(span));
+                    }
+                    _ => {}
+                }
+                self.bump();
+                // Bracket application on identifiers is handled by the
+                // enclosing join loop so that `a.f[x]` gets Alloy's box-join
+                // reading `x.(a.f)`.
+                Ok(Expr::Ident(name, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBrace => {
+                // Comprehension: { x: e | F }
+                let start = self.bump().span;
+                let decls = self.var_decls()?;
+                self.expect(TokenKind::Bar)?;
+                let body = self.formula()?;
+                let end = self.expect(TokenKind::RBrace)?.span;
+                Ok(Expr::Comprehension(decls, Box::new(body), start.merge(end)))
+            }
+            other => Err(SyntaxError::new(
+                format!("expected an expression, found {other}"),
+                span,
+            )),
+        }
+    }
+}
+
+/// Desugars a possibly-`disj` quantifier into the core AST.
+fn desugar_quant(q: Quant, disj: bool, decls: Vec<VarDecl>, body: Formula, span: Span) -> Formula {
+    if !disj || decls.len() < 2 {
+        return Formula::Quant(q, decls, Box::new(body), span);
+    }
+    // Pairwise-distinctness constraint over the bound variables.
+    let mut distinct = Vec::new();
+    for i in 0..decls.len() {
+        for j in (i + 1)..decls.len() {
+            distinct.push(Formula::Compare(
+                CmpOp::Neq,
+                Box::new(Expr::Ident(decls[i].name.clone(), span)),
+                Box::new(Expr::Ident(decls[j].name.clone(), span)),
+                span,
+            ));
+        }
+    }
+    let distinct = Formula::conjoin(distinct);
+    match q {
+        Quant::All => Formula::Quant(
+            Quant::All,
+            decls,
+            Box::new(Formula::Binary(
+                BinFormOp::Implies,
+                Box::new(distinct),
+                Box::new(body),
+                span,
+            )),
+            span,
+        ),
+        Quant::Some => Formula::Quant(
+            Quant::Some,
+            decls,
+            Box::new(Formula::Binary(
+                BinFormOp::And,
+                Box::new(distinct),
+                Box::new(body),
+                span,
+            )),
+            span,
+        ),
+        // `no disj x,y | F` == `all disj x,y | !F`
+        Quant::No => Formula::Quant(
+            Quant::All,
+            decls,
+            Box::new(Formula::Binary(
+                BinFormOp::Implies,
+                Box::new(distinct),
+                Box::new(Formula::Not(Box::new(body), span)),
+                span,
+            )),
+            span,
+        ),
+        // `lone`/`one` with disj are rare; approximate by the non-disj form.
+        other => Formula::Quant(other, decls, Box::new(body), span),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_empty_spec() {
+        let spec = parse_spec("").unwrap();
+        assert!(spec.sigs.is_empty());
+    }
+
+    #[test]
+    fn parses_module_header() {
+        let spec = parse_spec("module hotel sig A {}").unwrap();
+        assert_eq!(spec.module.as_deref(), Some("hotel"));
+    }
+
+    #[test]
+    fn parses_sig_hierarchy() {
+        let src = "abstract sig Key {} sig RoomKey extends Key {} one sig FrontDesk {}";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.sigs.len(), 3);
+        assert!(spec.sig("Key").unwrap().is_abstract);
+        assert_eq!(spec.sig("RoomKey").unwrap().parent.as_deref(), Some("Key"));
+        assert_eq!(spec.sig("FrontDesk").unwrap().mult, Some(SigMult::One));
+    }
+
+    #[test]
+    fn parses_multi_name_sig() {
+        let spec = parse_spec("sig A, B {}").unwrap();
+        assert_eq!(spec.sigs.len(), 2);
+        assert!(spec.sig("A").is_some() && spec.sig("B").is_some());
+    }
+
+    #[test]
+    fn parses_fields_with_multiplicities() {
+        let src = "sig Room { keys: set Key, boss: one Person, deputy: lone Person }\n\
+                   sig Key {} sig Person {}\n\
+                   one sig FrontDesk { lastKey: Room -> lone Key }";
+        let spec = parse_spec(src).unwrap();
+        let room = spec.sig("Room").unwrap();
+        assert_eq!(room.fields[0].mult, Mult::Set);
+        assert_eq!(room.fields[1].mult, Mult::One);
+        assert_eq!(room.fields[2].mult, Mult::Lone);
+        let fd = spec.sig("FrontDesk").unwrap();
+        assert_eq!(fd.fields[0].cols, vec!["Room".to_string(), "Key".to_string()]);
+        assert_eq!(fd.fields[0].mult, Mult::Lone);
+    }
+
+    #[test]
+    fn unary_field_without_mult_defaults_to_one() {
+        let spec = parse_spec("sig A { f: B } sig B {}").unwrap();
+        assert_eq!(spec.sig("A").unwrap().fields[0].mult, Mult::One);
+    }
+
+    #[test]
+    fn binary_field_without_mult_defaults_to_set() {
+        let spec = parse_spec("sig A { f: A -> A }").unwrap();
+        assert_eq!(spec.sig("A").unwrap().fields[0].mult, Mult::Set);
+    }
+
+    #[test]
+    fn parses_fact_with_juxtaposed_formulas() {
+        let src = "sig A { f: set A } fact Inv { some A no A.f }";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.facts[0].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_quantifier_vs_mult_formula() {
+        let f = parse_formula("all x: A | some x.f").unwrap();
+        match f {
+            Formula::Quant(Quant::All, decls, body, _) => {
+                assert_eq!(decls.len(), 1);
+                assert!(matches!(*body, Formula::Mult(MultOp::Some, _, _)));
+            }
+            other => panic!("expected quantifier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_var_quantifier() {
+        let f = parse_formula("all x, y: A | x = y").unwrap();
+        match f {
+            Formula::Quant(Quant::All, decls, _, _) => assert_eq!(decls.len(), 2),
+            other => panic!("expected quantifier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn desugars_disj_some() {
+        let f = parse_formula("some disj x, y: A | x in y.f").unwrap();
+        match f {
+            Formula::Quant(Quant::Some, decls, body, _) => {
+                assert_eq!(decls.len(), 2);
+                assert!(matches!(*body, Formula::Binary(BinFormOp::And, _, _, _)));
+            }
+            other => panic!("expected some-quantifier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn desugars_no_disj_to_all() {
+        let f = parse_formula("no disj x, y: A | x.f = y.f").unwrap();
+        assert!(matches!(f, Formula::Quant(Quant::All, _, _, _)));
+    }
+
+    #[test]
+    fn parses_implies_else() {
+        let f = parse_formula("some A => some B else some C").unwrap();
+        // Desugared to (A=>B) && (!A=>C).
+        assert!(matches!(f, Formula::Binary(BinFormOp::And, _, _, _)));
+    }
+
+    #[test]
+    fn connective_precedence_and_binds_tighter_than_or() {
+        let f = parse_formula("some A || some B && some C").unwrap();
+        match f {
+            Formula::Binary(BinFormOp::Or, _, rhs, _) => {
+                assert!(matches!(*rhs, Formula::Binary(BinFormOp::And, _, _, _)));
+            }
+            other => panic!("expected or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_word_connectives() {
+        assert!(parse_formula("some A and some B").is_ok());
+        assert!(parse_formula("some A or some B").is_ok());
+        assert!(parse_formula("some A implies some B").is_ok());
+        assert!(parse_formula("some A iff some B").is_ok());
+        assert!(parse_formula("not some A").is_ok());
+    }
+
+    #[test]
+    fn parses_comparisons() {
+        assert!(matches!(
+            parse_formula("a.f in B").unwrap(),
+            Formula::Compare(CmpOp::In, _, _, _)
+        ));
+        assert!(matches!(
+            parse_formula("a !in B").unwrap(),
+            Formula::Compare(CmpOp::NotIn, _, _, _)
+        ));
+        assert!(matches!(
+            parse_formula("a not in B").unwrap(),
+            Formula::Compare(CmpOp::NotIn, _, _, _)
+        ));
+        assert!(matches!(
+            parse_formula("a != b").unwrap(),
+            Formula::Compare(CmpOp::Neq, _, _, _)
+        ));
+    }
+
+    #[test]
+    fn parses_cardinality_comparison() {
+        let f = parse_formula("#A.f > 2").unwrap();
+        assert!(matches!(f, Formula::IntCompare(IntCmpOp::Gt, _, _, _)));
+    }
+
+    #[test]
+    fn join_precedence_tighter_than_union() {
+        let e = parse_expr("a.f + b.g").unwrap();
+        match e {
+            Expr::Binary(BinExprOp::Union, lhs, rhs, _) => {
+                assert!(matches!(*lhs, Expr::Binary(BinExprOp::Join, _, _, _)));
+                assert!(matches!(*rhs, Expr::Binary(BinExprOp::Join, _, _, _)));
+            }
+            other => panic!("expected union at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn box_join_desugars_to_reversed_join() {
+        // lastKey[r] == r.lastKey — target is an identifier, so the parser
+        // emits a named application to be resolved later.
+        let e = parse_expr("lastKey[r]").unwrap();
+        assert!(matches!(e, Expr::FunCall(ref n, ref args, _) if n == "lastKey" && args.len() == 1));
+        // (FrontDesk.lastKey)[r] == r.(FrontDesk.lastKey)
+        let e = parse_expr("FrontDesk.lastKey[r]").unwrap();
+        match e {
+            Expr::Binary(BinExprOp::Join, lhs, rhs, _) => {
+                assert!(matches!(*lhs, Expr::Ident(ref n, _) if n == "r"));
+                assert!(matches!(*rhs, Expr::Binary(BinExprOp::Join, _, _, _)));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_closure_operators() {
+        let e = parse_expr("^next").unwrap();
+        assert!(matches!(e, Expr::Unary(UnExprOp::Closure, _, _)));
+        let e = parse_expr("*next").unwrap();
+        assert!(matches!(e, Expr::Unary(UnExprOp::ReflClosure, _, _)));
+        let e = parse_expr("~parent").unwrap();
+        assert!(matches!(e, Expr::Unary(UnExprOp::Transpose, _, _)));
+    }
+
+    #[test]
+    fn parses_comprehension() {
+        let e = parse_expr("{ x: A | some x.f }").unwrap();
+        assert!(matches!(e, Expr::Comprehension(ref d, _, _) if d.len() == 1));
+    }
+
+    #[test]
+    fn parses_paren_formula_vs_paren_expr() {
+        // Parenthesized formula.
+        assert!(matches!(
+            parse_formula("(some A) && some B").unwrap(),
+            Formula::Binary(BinFormOp::And, _, _, _)
+        ));
+        // Parenthesized expression inside a comparison.
+        assert!(matches!(
+            parse_formula("(A + B) in C").unwrap(),
+            Formula::Compare(CmpOp::In, _, _, _)
+        ));
+    }
+
+    #[test]
+    fn parses_pred_with_params_and_calls() {
+        let src = "sig G {} sig R {}\n\
+                   pred checkIn[g: G, r: R] { some g some r }\n\
+                   pred noop {}\n\
+                   fact { all g: G, r: R | checkIn[g, r] }\n\
+                   run checkIn for 3";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.preds.len(), 2);
+        assert_eq!(spec.preds[0].params.len(), 2);
+        match &spec.facts[0].body[0] {
+            Formula::Quant(_, _, body, _) => {
+                assert!(matches!(**body, Formula::PredCall(ref n, ref a, _) if n == "checkIn" && a.len() == 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(spec.commands.len(), 1);
+    }
+
+    #[test]
+    fn parses_fun_decl() {
+        let src = "sig A { f: set A } fun succs[x: A]: set A { x.f }";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.funs.len(), 1);
+        assert_eq!(spec.funs[0].params.len(), 1);
+    }
+
+    #[test]
+    fn parses_assert_and_check() {
+        let src = "sig A {} assert NoA { no A } check NoA for 4 expect 0";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.asserts.len(), 1);
+        let cmd = &spec.commands[0];
+        assert!(cmd.is_check());
+        assert_eq!(cmd.scope, 4);
+        assert_eq!(cmd.expect, Some(false));
+    }
+
+    #[test]
+    fn default_scope_is_three() {
+        let spec = parse_spec("sig A {} pred p {} run p").unwrap();
+        assert_eq!(spec.commands[0].scope, 3);
+    }
+
+    #[test]
+    fn parses_let_formula() {
+        let f = parse_formula("let k = a.f | some k").unwrap();
+        assert!(matches!(f, Formula::Let(ref n, _, _, _) if n == "k"));
+    }
+
+    #[test]
+    fn parses_restrictions_and_override() {
+        assert!(parse_expr("A <: f").is_ok());
+        assert!(parse_expr("f :> B").is_ok());
+        assert!(parse_expr("f ++ a->b").is_ok());
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_spec("sig {").is_err());
+        assert!(parse_formula("in in").is_err());
+        assert!(parse_expr("+").is_err());
+    }
+
+    #[test]
+    fn error_on_bad_scope() {
+        assert!(parse_spec("sig A {} pred p {} run p for 0").is_err());
+    }
+
+    #[test]
+    fn hotel_example_from_paper_parses() {
+        // The faulty hotel key-management specification from Fig. 1 of the
+        // paper, adapted to μAlloy (post-state fields instead of primes).
+        let src = r#"
+            abstract sig Key {}
+            sig RoomKey extends Key {}
+            sig Room { keys: set Key }
+            sig Guest { gkeys: set Key }
+            one sig FrontDesk {
+                lastKey: Room -> lone RoomKey,
+                occupant: Room -> lone Guest
+            }
+            fact HotelInvariant {
+                all r: Room | some FrontDesk.lastKey[r]
+            }
+            pred checkIn[g: Guest, r: Room, k: RoomKey] {
+                no FrontDesk.occupant[r]
+                no g.gkeys
+                k not in r.keys
+            }
+            run checkIn for 3
+        "#;
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.sigs.len(), 5);
+        assert_eq!(spec.preds[0].params.len(), 3);
+    }
+}

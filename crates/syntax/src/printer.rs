@@ -1,0 +1,429 @@
+//! Pretty-printer producing canonical μAlloy concrete syntax.
+//!
+//! The printer guarantees a parse round-trip: `parse(print(spec))` yields a
+//! specification equal to `spec` up to spans. Two rendering styles are
+//! provided:
+//!
+//! - [`print_spec`] — canonical style with one formula per line, used by the
+//!   LLM-based repair pipeline (which regenerates whole specifications and
+//!   therefore normalizes formatting);
+//! - [`print_expr`] / [`print_formula`] — sub-term rendering used by the
+//!   traditional tools for minimally-invasive textual splicing.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a complete specification in canonical style.
+pub fn print_spec(spec: &Spec) -> String {
+    let mut out = String::new();
+    if let Some(m) = &spec.module {
+        let _ = writeln!(out, "module {m}");
+    }
+    for sig in &spec.sigs {
+        print_sig(&mut out, sig);
+    }
+    for fact in &spec.facts {
+        if fact.name.is_empty() {
+            let _ = writeln!(out, "fact {{");
+        } else {
+            let _ = writeln!(out, "fact {} {{", fact.name);
+        }
+        for f in &fact.body {
+            let _ = writeln!(out, "  {}", print_formula(f));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for fun in &spec.funs {
+        let params = print_params(&fun.params);
+        let _ = writeln!(
+            out,
+            "fun {}{}: {} {} {{",
+            fun.name,
+            params,
+            fun.result_mult,
+            print_expr(&fun.result)
+        );
+        let _ = writeln!(out, "  {}", print_expr(&fun.body));
+        let _ = writeln!(out, "}}");
+    }
+    for pred in &spec.preds {
+        let params = print_params(&pred.params);
+        let _ = writeln!(out, "pred {}{} {{", pred.name, params);
+        for f in &pred.body {
+            let _ = writeln!(out, "  {}", print_formula(f));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for a in &spec.asserts {
+        let _ = writeln!(out, "assert {} {{", a.name);
+        for f in &a.body {
+            let _ = writeln!(out, "  {}", print_formula(f));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for cmd in &spec.commands {
+        let verb = if cmd.is_check() { "check" } else { "run" };
+        let mut line = format!("{verb} {} for {}", cmd.target(), cmd.scope);
+        if let Some(e) = cmd.expect {
+            let _ = write!(line, " expect {}", if e { 1 } else { 0 });
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+fn print_sig(out: &mut String, sig: &SigDecl) {
+    let mut header = String::new();
+    if sig.is_abstract {
+        header.push_str("abstract ");
+    }
+    match sig.mult {
+        Some(SigMult::One) => header.push_str("one "),
+        Some(SigMult::Lone) => header.push_str("lone "),
+        Some(SigMult::Some) => header.push_str("some "),
+        None => {}
+    }
+    let _ = write!(header, "sig {}", sig.name);
+    if let Some(p) = &sig.parent {
+        let _ = write!(header, " extends {p}");
+    }
+    if sig.fields.is_empty() {
+        let _ = writeln!(out, "{header} {{}}");
+        return;
+    }
+    let _ = writeln!(out, "{header} {{");
+    for (i, f) in sig.fields.iter().enumerate() {
+        let comma = if i + 1 < sig.fields.len() { "," } else { "" };
+        let _ = writeln!(out, "  {}{comma}", print_field(f));
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Renders a field declaration (without trailing comma).
+pub fn print_field(f: &FieldDecl) -> String {
+    let mut out = format!("{}: ", f.name);
+    if f.cols.len() == 1 {
+        let _ = write!(out, "{} {}", f.mult, f.cols[0]);
+    } else {
+        for (i, c) in f.cols.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" -> ");
+                if i + 1 == f.cols.len() && f.mult != Mult::Set {
+                    let _ = write!(out, "{} ", f.mult);
+                }
+            }
+            out.push_str(c);
+        }
+    }
+    out
+}
+
+fn print_params(params: &[Param]) -> String {
+    if params.is_empty() {
+        return String::new();
+    }
+    let inner = params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, print_expr(&p.bound)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{inner}]")
+}
+
+// Precedence levels for expressions, loosest (0) to tightest.
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary(op, _, _, _) => match op {
+            BinExprOp::Union | BinExprOp::Diff => 1,
+            BinExprOp::Override => 2,
+            BinExprOp::Intersect => 3,
+            BinExprOp::Product => 4,
+            BinExprOp::DomRestrict | BinExprOp::RanRestrict => 5,
+            BinExprOp::Join => 6,
+        },
+        Expr::Unary(_, _, _) => 7,
+        _ => 8,
+    }
+}
+
+/// Renders an expression with minimal parentheses.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Ident(n, _) => n.clone(),
+        Expr::Univ(_) => "univ".to_string(),
+        Expr::Iden(_) => "iden".to_string(),
+        Expr::None(_) => "none".to_string(),
+        Expr::Unary(op, inner, _) => {
+            let s = print_expr(inner);
+            if expr_prec(inner) < expr_prec(e) {
+                format!("{}({s})", op.symbol())
+            } else {
+                format!("{}{s}", op.symbol())
+            }
+        }
+        Expr::Binary(op, lhs, rhs, _) => {
+            let p = expr_prec(e);
+            let ls = wrap(lhs, p, false);
+            let rs = wrap(rhs, p, true);
+            match op {
+                BinExprOp::Join => format!("{ls}.{rs}"),
+                BinExprOp::Product => format!("{ls} -> {rs}"),
+                other => format!("{ls} {} {rs}", other.symbol()),
+            }
+        }
+        Expr::Comprehension(decls, body, _) => {
+            format!("{{ {} | {} }}", print_decls(decls), print_formula(body))
+        }
+        Expr::IfThenElse(c, t, f, _) => format!(
+            "({} => {} else {})",
+            print_formula(c),
+            print_expr(t),
+            print_expr(f)
+        ),
+        Expr::FunCall(name, args, _) => {
+            let inner = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("{name}[{inner}]")
+        }
+    }
+}
+
+fn wrap(e: &Expr, parent_prec: u8, right: bool) -> String {
+    let s = print_expr(e);
+    let p = expr_prec(e);
+    // Left-associative operators: parenthesize the right child at equal
+    // precedence; always parenthesize strictly looser children.
+    if p < parent_prec || (right && p == parent_prec) {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn print_decls(decls: &[VarDecl]) -> String {
+    // Group adjacent declarations sharing the same textual bound.
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < decls.len() {
+        let bound = print_expr(&decls[i].bound);
+        let mut names = vec![decls[i].name.clone()];
+        let mut j = i + 1;
+        while j < decls.len() && print_expr(&decls[j].bound) == bound {
+            names.push(decls[j].name.clone());
+            j += 1;
+        }
+        parts.push(format!("{}: {}", names.join(", "), bound));
+        i = j;
+    }
+    parts.join(", ")
+}
+
+// Precedence levels for formulas, loosest (0) to tightest.
+fn form_prec(f: &Formula) -> u8 {
+    match f {
+        Formula::Binary(BinFormOp::Iff, _, _, _) => 1,
+        Formula::Binary(BinFormOp::Implies, _, _, _) => 2,
+        Formula::Binary(BinFormOp::Or, _, _, _) => 3,
+        Formula::Binary(BinFormOp::And, _, _, _) => 4,
+        Formula::Not(_, _) => 5,
+        Formula::Quant(_, _, _, _) | Formula::Let(_, _, _, _) => 0,
+        _ => 6,
+    }
+}
+
+/// Renders a formula with minimal parentheses.
+pub fn print_formula(f: &Formula) -> String {
+    match f {
+        Formula::Compare(op, lhs, rhs, _) => {
+            format!("{} {} {}", print_expr(lhs), op.symbol(), print_expr(rhs))
+        }
+        Formula::IntCompare(op, lhs, rhs, _) => {
+            format!("{} {} {}", print_int(lhs), op.symbol(), print_int(rhs))
+        }
+        Formula::Mult(op, e, _) => format!("{} {}", op.keyword(), print_expr(e)),
+        Formula::Not(inner, _) => {
+            let s = print_formula(inner);
+            if form_prec(inner) <= form_prec(f) && form_prec(inner) != 6 {
+                format!("!({s})")
+            } else {
+                format!("!{s}")
+            }
+        }
+        Formula::Binary(op, lhs, rhs, _) => {
+            let p = form_prec(f);
+            // `=>` parses right-associatively; the other connectives parse
+            // left-associatively. Parenthesize the child on the side the
+            // parser would otherwise regroup.
+            let assoc_right = *op == BinFormOp::Implies;
+            let wrapf = |x: &Formula, right: bool| {
+                let s = print_formula(x);
+                let xp = form_prec(x);
+                let regroups = if assoc_right { !right } else { right };
+                if xp == 0 || xp < p || (regroups && xp == p) {
+                    format!("({s})")
+                } else {
+                    s
+                }
+            };
+            format!("{} {} {}", wrapf(lhs, false), op.symbol(), wrapf(rhs, true))
+        }
+        Formula::Quant(q, decls, body, _) => {
+            format!("{} {} | {}", q.keyword(), print_decls(decls), print_formula(body))
+        }
+        Formula::Let(name, binding, body, _) => {
+            format!("let {} = {} | {}", name, print_expr(binding), print_formula(body))
+        }
+        Formula::PredCall(name, args, _) => {
+            if args.is_empty() {
+                name.clone()
+            } else {
+                let inner = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+                format!("{name}[{inner}]")
+            }
+        }
+    }
+}
+
+fn print_int(i: &IntExpr) -> String {
+    match i {
+        IntExpr::Card(e, _) => {
+            let s = print_expr(e);
+            if expr_prec(e) < 7 {
+                format!("#({s})")
+            } else {
+                format!("#{s}")
+            }
+        }
+        IntExpr::Lit(n, _) => n.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_formula, parse_spec};
+
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        assert_eq!(strip_expr(&e), strip_expr(&e2), "roundtrip of `{src}` via `{printed}`");
+    }
+
+    fn roundtrip_formula(src: &str) {
+        let f = parse_formula(src).unwrap();
+        let printed = print_formula(&f);
+        let f2 = parse_formula(&printed).unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        assert_eq!(
+            crate::walk::strip_formula_spans(&f),
+            crate::walk::strip_formula_spans(&f2),
+            "roundtrip of `{src}` via `{printed}`"
+        );
+    }
+
+    fn strip_expr(e: &Expr) -> Expr {
+        crate::walk::strip_expr_spans(e)
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "a",
+            "a + b",
+            "a - b & c",
+            "a.f.g",
+            "^r",
+            "*r",
+            "~r",
+            "a -> b -> c",
+            "(a + b).f",
+            "a.(f + g)",
+            "A <: f",
+            "f :> B",
+            "f ++ a -> b",
+            "{ x: A | some x.f }",
+            "lastKey[r]",
+            "univ",
+            "iden",
+            "none",
+            "a + b + c",
+            "a - (b - c)",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn formula_roundtrips() {
+        for src in [
+            "some A",
+            "no A.f",
+            "lone a.f",
+            "one FrontDesk",
+            "a in B",
+            "a not in B",
+            "a = b",
+            "a != b",
+            "#A.f > 2",
+            "#A = #B",
+            "some A && no B",
+            "some A || no B && one C",
+            "some A => no B",
+            "some A <=> no B",
+            "!some A",
+            "all x: A | some x.f",
+            "all x, y: A | x = y",
+            "some x: A, y: B | x.f = y",
+            "let k = a.f | some k",
+            "all x: A | (some x.f => x in B)",
+            "checkIn[g, r]",
+            "noop",
+        ] {
+            roundtrip_formula(src);
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips() {
+        let src = r#"
+            module hotel
+            abstract sig Key {}
+            sig RoomKey extends Key {}
+            sig Room { keys: set Key }
+            sig Guest { gkeys: set Key }
+            one sig FrontDesk {
+                lastKey: Room -> lone RoomKey,
+                occupant: Room -> lone Guest
+            }
+            fact HotelInvariant { all r: Room | some FrontDesk.lastKey[r] }
+            pred checkIn[g: Guest, r: Room, k: RoomKey] {
+                no FrontDesk.occupant[r]
+                no g.gkeys
+            }
+            assert Safe { all r: Room | lone FrontDesk.occupant[r] }
+            run checkIn for 3
+            check Safe for 3 expect 0
+        "#;
+        let spec = parse_spec(src).unwrap();
+        let printed = print_spec(&spec);
+        let spec2 = parse_spec(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(
+            crate::walk::strip_spec_spans(&spec),
+            crate::walk::strip_spec_spans(&spec2)
+        );
+    }
+
+    #[test]
+    fn printer_is_deterministic() {
+        let src = "sig A { f: set A } fact { all x: A | some x.f }";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(print_spec(&spec), print_spec(&spec));
+    }
+
+    #[test]
+    fn field_printing() {
+        let spec = parse_spec("sig A { f: A -> lone B, g: set B } sig B {}").unwrap();
+        let a = spec.sig("A").unwrap();
+        assert_eq!(print_field(&a.fields[0]), "f: A -> lone B");
+        assert_eq!(print_field(&a.fields[1]), "g: set B");
+    }
+}

@@ -1,0 +1,236 @@
+//! ARepair: test-driven greedy mutation repair.
+//!
+//! Faithful to the original tool's architecture (Wang, Sullivan, Khurshid,
+//! ASE'18): given a faulty model and an AUnit test suite, perform a greedy
+//! search over candidate edits, keeping any edit that strictly increases the
+//! number of passing tests, until all tests pass or the search stalls.
+//!
+//! The reproduction derives its test suites from the specification's own
+//! commands (see [`crate::support::derive_tests`]); like the original, the
+//! only success criterion is *the tests pass* — which makes ARepair prone to
+//! overfitting, exactly the weakness the paper observes (REP 194/1974).
+
+use mualloy_analyzer::TestSuite;
+use mualloy_syntax::Spec;
+use specrepair_core::{RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_mutation::MutationEngine;
+
+use crate::support::CandidateLedger;
+
+/// The ARepair technique.
+#[derive(Debug, Clone)]
+pub struct ARepair {
+    /// How many tests to derive per failing command.
+    pub tests_per_command: usize,
+}
+
+impl Default for ARepair {
+    fn default() -> Self {
+        // A single test per failing command: the weak suites the paper's
+        // ARepair evaluation suffers from (cf. its 194/1974 REP score).
+        ARepair {
+            tests_per_command: 1,
+        }
+    }
+}
+
+/// Greedy hill-climbing over single mutations, driven by a test suite.
+///
+/// Returns `(best candidate, tests all pass, candidates explored)`.
+pub(crate) fn greedy_test_repair(
+    start: &Spec,
+    suite: &TestSuite,
+    max_candidates: usize,
+    thorough: bool,
+    ledger: &mut CandidateLedger,
+) -> (Spec, bool, usize) {
+    let mut explored = 0usize;
+    let mut current = start.clone();
+    let (_, mut current_fail) = suite.run(&current);
+    while current_fail > 0 && explored < max_candidates {
+        let engine = MutationEngine::new(&current);
+        let mutations = engine.all_mutations();
+        // First-improvement hill climbing (as in the original ARepair: the
+        // first strictly-improving edit is taken immediately — fast and
+        // overfitting-prone). ICEBAR's refinement loop asks for `thorough`
+        // best-improvement steps instead.
+        let mut best: Option<(Spec, usize)> = None;
+        for m in &mutations {
+            if explored >= max_candidates {
+                break;
+            }
+            let Some(mutant) = engine.apply(m) else { continue };
+            if !ledger.admit(&mutant) {
+                continue;
+            }
+            explored += 1;
+            let (_, fail) = suite.run(&mutant);
+            if fail < current_fail && best.as_ref().map_or(true, |(_, bf)| fail < *bf) {
+                let done = fail == 0;
+                best = Some((mutant, fail));
+                if done || !thorough {
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((mutant, fail)) => {
+                current = mutant;
+                current_fail = fail;
+            }
+            None => break, // local optimum
+        }
+    }
+    (current, current_fail == 0, explored)
+}
+
+impl RepairTechnique for ARepair {
+    fn name(&self) -> &str {
+        "ARepair"
+    }
+
+    fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
+        let suite = crate::support::derive_tests(&ctx.faulty, self.tests_per_command, true);
+        if suite.is_empty() {
+            return RepairOutcome::failure(self.name(), 0, 0);
+        }
+        let mut ledger = CandidateLedger::new();
+        // Test-suite evaluations are ground evaluations (no solving), about
+        // two orders of magnitude cheaper than an oracle validation, so the
+        // greedy search gets a proportionally larger allowance.
+        let greedy_budget = ctx.budget.max_candidates.saturating_mul(8);
+        let (candidate, tests_pass, explored) =
+            greedy_test_repair(&ctx.faulty, &suite, greedy_budget, false, &mut ledger);
+        let source = mualloy_syntax::print_spec(&candidate);
+        RepairOutcome {
+            technique: self.name().to_string(),
+            success: tests_pass,
+            candidate: Some(candidate),
+            candidate_source: Some(source),
+            candidates_explored: explored,
+            rounds: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_analyzer::Analyzer;
+    use specrepair_core::RepairBudget;
+
+    fn ctx(src: &str) -> RepairContext {
+        RepairContext::from_source(src, RepairBudget::default()).unwrap()
+    }
+
+    #[test]
+    fn repairs_simple_connective_bug() {
+        // `some N || no N` is a tautology; ground truth is acyclicity.
+        // Counterexample-rejection tests should push the search towards a
+        // constraint rejecting self-loop/cycle counterexamples.
+        let faulty = "sig N { next: lone N } \
+            fact Broken { all n: N | n in n.next || n not in n.next } \
+            assert NoSelf { all n: N | n not in n.next } \
+            check NoSelf for 3 expect 0";
+        let out = ARepair::default().repair(&ctx(faulty));
+        assert!(out.candidate.is_some());
+        if out.success {
+            // Tests pass; the candidate should reject the recorded cexs.
+            let suite = crate::support::derive_tests(&ctx(faulty).faulty, 3, true);
+            assert!(suite.all_pass(out.candidate.as_ref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn no_tests_means_failure() {
+        // A spec with no commands derives no tests.
+        let out = ARepair::default().repair(&ctx("sig A { f: set A } fact { some A }"));
+        assert!(!out.success);
+        assert_eq!(out.candidates_explored, 0);
+    }
+
+    #[test]
+    fn overfits_rather_than_generalizes() {
+        // ARepair's success criterion is its tests, not the oracle: craft a
+        // case where passing the derived tests does not fix the oracle, and
+        // assert ARepair's internal success need not imply oracle success.
+        let faulty = "sig N { next: lone N, back: lone N } \
+            fact Broken { some N || no N } \
+            assert NoSelf { all n: N | n not in n.next } \
+            assert NoBackSelf { all n: N | n not in n.back } \
+            check NoSelf for 3 expect 0 \
+            check NoBackSelf for 3 expect 0";
+        let out = ARepair {
+            tests_per_command: 1, // very weak suite: maximal overfitting
+        }
+        .repair(&ctx(faulty));
+        if let (true, Some(c)) = (out.success, &out.candidate) {
+            let oracle = Analyzer::new(c.clone()).satisfies_oracle().unwrap_or(false);
+            // Either outcome is legal, but on this weak suite the candidate
+            // passing ARepair's tests usually does NOT satisfy the oracle;
+            // record the interesting direction when it happens.
+            let _ = oracle;
+        }
+        assert!(out.candidates_explored > 0);
+    }
+
+    #[test]
+    fn admission_tests_pin_current_instances() {
+        let faulty = "sig N { next: lone N } \
+            fact Broken { all n: N | n in n.next || n not in n.next } \
+            assert NoSelf { all n: N | n not in n.next } \
+            check NoSelf for 3 expect 0";
+        let spec = ctx(faulty).faulty;
+        let with = crate::support::derive_tests(&spec, 2, true);
+        let without = crate::support::derive_tests(&spec, 2, false);
+        assert!(with.len() > without.len(), "admission tests should be added");
+        // Admission tests pass on the faulty spec itself (they pin its
+        // current instances).
+        let admission_only: Vec<_> = with
+            .tests()
+            .iter()
+            .filter(|t| t.name.starts_with("admit-current"))
+            .collect();
+        assert!(!admission_only.is_empty());
+        for t in admission_only {
+            assert_eq!(t.run(&spec).ok(), Some(true));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_context() {
+        let faulty = "sig N {} fact Dead { no N } pred p { some N } run p for 3 expect 1";
+        let a = ARepair::default().repair(&ctx(faulty));
+        let b = ARepair::default().repair(&ctx(faulty));
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.candidate_source, b.candidate_source);
+    }
+
+    #[test]
+    fn witness_and_admission_tests_conflict_by_design() {
+        // The dead fact's only current instance is the empty one; pinning it
+        // while also demanding a non-empty witness leaves no single-mutation
+        // repair, so ARepair overfits or stalls — its documented weakness.
+        let faulty = "sig N {} fact Dead { no N } pred p { some N } run p for 3 expect 1";
+        let out = ARepair::default().repair(&ctx(faulty));
+        assert!(out.candidate.is_some());
+        assert!(out.candidates_explored > 0);
+        if let (true, Some(c)) = (out.success, &out.candidate) {
+            // If the tests were satisfiable after all, the result may still
+            // fail the real oracle (overfitting) — both outcomes are legal.
+            let _ = Analyzer::new(c.clone()).satisfies_oracle();
+        }
+    }
+
+    #[test]
+    fn respects_candidate_budget() {
+        let faulty = "sig N { next: lone N } \
+            fact Broken { all n: N | n in n.next || n not in n.next } \
+            assert NoSelf { all n: N | n not in n.next } \
+            check NoSelf for 3 expect 0";
+        let tiny = RepairContext::from_source(faulty, RepairBudget { max_candidates: 5, max_rounds: 1 }).unwrap();
+        let out = ARepair::default().repair(&tiny);
+        // Greedy runs on the cheap test-evaluation currency: 8× allowance.
+        assert!(out.candidates_explored <= 40);
+    }
+}

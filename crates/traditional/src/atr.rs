@@ -1,0 +1,336 @@
+//! ATR: template-based repair driven by counterexample/instance analysis.
+//!
+//! Faithful to Zheng et al. (ISSTA'22): ATR (a) localizes suspicious
+//! constraints by analyzing the differences between counterexamples and
+//! satisfying instances, (b) instantiates repair candidates from predefined
+//! templates over the specification's vocabulary, and (c) prunes the
+//! candidate space cheaply by requiring every candidate to reject the cached
+//! counterexamples and keep admitting the cached satisfying instances before
+//! any full validation is spent on it.
+
+use mualloy_analyzer::Analyzer;
+use mualloy_relational::{assert_body, pred_as_existential, Evaluator, Instance};
+use mualloy_syntax::ast::*;
+use mualloy_syntax::walk::{node_at, replace_node, NodeRepl, NodeSite};
+use specrepair_core::{
+    localization::{constraint_sites, localize},
+    RepairContext, RepairOutcome, RepairTechnique,
+};
+use specrepair_mutation::{MutationEngine, Vocabulary};
+
+use crate::support::{validate_against_oracle, CandidateLedger};
+
+/// The ATR technique.
+#[derive(Debug, Clone)]
+pub struct Atr {
+    /// How many top-ranked suspicious sites to attempt.
+    pub top_sites: usize,
+    /// Counterexamples/instances cached for pruning.
+    pub cache_per_command: usize,
+    /// Cap on synthesized template instantiations per site.
+    pub max_templates_per_site: usize,
+}
+
+impl Default for Atr {
+    fn default() -> Self {
+        Atr {
+            top_sites: 6,
+            cache_per_command: 3,
+            max_templates_per_site: 160,
+        }
+    }
+}
+
+/// Cached evidence used for candidate screening.
+struct Evidence {
+    /// Counterexamples that must be *rejected* by a repaired spec, paired
+    /// with the name of the violated assertion.
+    rejected: Vec<(String, Instance)>,
+    /// Witnesses that must remain admitted, paired with the predicate name.
+    admitted: Vec<(String, Instance)>,
+}
+
+fn gather_evidence(spec: &Spec, per_command: usize) -> Evidence {
+    let analyzer = Analyzer::new(spec.clone());
+    let mut rejected = Vec::new();
+    let mut admitted = Vec::new();
+    if let Ok(outcomes) = analyzer.execute_all() {
+        for out in outcomes {
+            match &out.command.kind {
+                CommandKind::Check(name) if out.sat && !out.matches_expectation() => {
+                    if let Ok(cexs) =
+                        analyzer.counterexamples(name, out.command.scope, per_command)
+                    {
+                        rejected.extend(cexs.into_iter().map(|c| (name.clone(), c)));
+                    }
+                }
+                CommandKind::Run(name) if out.sat && out.matches_expectation() => {
+                    if let Some(inst) = out.instance {
+                        admitted.push((name.clone(), inst));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Evidence { rejected, admitted }
+}
+
+/// Screening verdict: how a candidate fares against the cached evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Screen {
+    /// Rejects every counterexample and keeps every witness.
+    Strong,
+    /// Rejects every counterexample but loses a witness. Witnesses were
+    /// produced under the *faulty* spec, so losing one is only a soft
+    /// signal — such candidates are validated after the strong ones.
+    Weak,
+    /// Still admits a counterexample: discarded without validation.
+    Fail,
+}
+
+/// Cheap screen judged by ground evaluation (no solving).
+fn screen(candidate: &Spec, evidence: &Evidence) -> Screen {
+    if !rejects_counterexamples(candidate, evidence) {
+        return Screen::Fail;
+    }
+    if keeps_witnesses(candidate, evidence) {
+        Screen::Strong
+    } else {
+        Screen::Weak
+    }
+}
+
+fn rejects_counterexamples(candidate: &Spec, evidence: &Evidence) -> bool {
+    for (assert_name, cex) in &evidence.rejected {
+        // Rejection: NOT (facts && !assert) on the counterexample.
+        let Ok(body) = assert_body(candidate, assert_name) else {
+            return false;
+        };
+        let ev = Evaluator::new(cex);
+        let facts_hold = candidate.facts.iter().all(|f| {
+            f.body.iter().all(|g| {
+                mualloy_relational::elaborate_formula(candidate, g)
+                    .ok()
+                    .and_then(|e| ev.formula(&e).ok())
+                    .unwrap_or(false)
+            })
+        });
+        let assert_holds = ev.formula(&body).unwrap_or(false);
+        if facts_hold && !assert_holds {
+            return false; // the counterexample would still be admitted
+        }
+    }
+    true
+}
+
+fn keeps_witnesses(candidate: &Spec, evidence: &Evidence) -> bool {
+    for (pred_name, inst) in &evidence.admitted {
+        let Ok(formula) = pred_as_existential(candidate, pred_name) else {
+            return false;
+        };
+        let ev = Evaluator::new(inst);
+        let facts_hold = candidate.facts.iter().all(|f| {
+            f.body.iter().all(|g| {
+                mualloy_relational::elaborate_formula(candidate, g)
+                    .ok()
+                    .and_then(|e| ev.formula(&e).ok())
+                    .unwrap_or(false)
+            })
+        });
+        if !(facts_hold && ev.formula(&formula).unwrap_or(false)) {
+            return false; // a known-good witness was lost
+        }
+    }
+    true
+}
+
+// ATR's predefined repair templates live in
+// [`specrepair_mutation::synthesis`], shared with the synthetic LLM (which
+// models the same synthesis capability); see that module for the grammar.
+use specrepair_mutation::synthesis::{synthesis_mutations, template_formulas};
+
+impl RepairTechnique for Atr {
+    fn name(&self) -> &str {
+        "ATR"
+    }
+
+    fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
+        let mut ledger = CandidateLedger::new();
+        let budget = ctx.budget.max_candidates;
+        let evidence = gather_evidence(&ctx.faulty, self.cache_per_command);
+        let vocab = Vocabulary::of(&ctx.faulty);
+
+        // Ranked suspicious sites; fall back to all constraint sites.
+        let loc = localize(&ctx.faulty);
+        let all_sites = constraint_sites(&ctx.faulty);
+        let ranked_ids = loc.top_sites(self.top_sites);
+        let sites: Vec<&NodeSite> = if ranked_ids.is_empty() {
+            all_sites.iter().take(self.top_sites).collect()
+        } else {
+            ranked_ids
+                .iter()
+                .filter_map(|id| all_sites.iter().find(|s| s.id == *id))
+                .collect()
+        };
+
+        let engine = MutationEngine::new(&ctx.faulty);
+        for site in sites {
+            // (a) mutation-level candidates at the site and its subtree.
+            let mut candidates: Vec<Spec> = Vec::new();
+            for m in engine.all_mutations() {
+                // Only mutations within the suspicious site's span.
+                if m.span.start >= site.span.start && m.span.end <= site.span.end.max(site.span.start + 1) {
+                    if let Some(mutant) = engine.apply(&m) {
+                        candidates.push(mutant);
+                    }
+                }
+            }
+            // (b) whole-constraint template replacements and template
+            // strengthenings (conjunct additions) at the site.
+            if let Some(NodeRepl::Formula(_)) = node_at(&ctx.faulty, site.id) {
+                for tf in template_formulas(&vocab, site, self.max_templates_per_site / 2) {
+                    if let Some(cand) =
+                        replace_node(&ctx.faulty, site.id, NodeRepl::Formula(tf))
+                    {
+                        candidates.push(cand);
+                    }
+                }
+                for m in synthesis_mutations(
+                    &ctx.faulty,
+                    &vocab,
+                    std::slice::from_ref(site),
+                    self.max_templates_per_site / 2,
+                ) {
+                    if let Some(cand) = replace_node(&ctx.faulty, m.site, m.repl.clone()) {
+                        candidates.push(cand);
+                    }
+                }
+            }
+            // Screen candidates cheaply, then validate strong ones first:
+            // witnesses recorded under the faulty spec may themselves be
+            // tainted, so weak candidates stay eligible, just deprioritized.
+            let mut strong = Vec::new();
+            let mut weak = Vec::new();
+            for cand in candidates {
+                if !ledger.admit(&cand) || !mualloy_syntax::check_spec(&cand).is_empty() {
+                    continue;
+                }
+                match screen(&cand, &evidence) {
+                    Screen::Strong => strong.push(cand),
+                    Screen::Weak => weak.push(cand),
+                    Screen::Fail => {}
+                }
+            }
+            for cand in strong.into_iter().chain(weak) {
+                if ledger.validated() >= budget {
+                    return RepairOutcome::failure(self.name(), ledger.validated(), 1);
+                }
+                if validate_against_oracle(&cand, &mut ledger) {
+                    return RepairOutcome::success_with(self.name(), cand, ledger.validated(), 1);
+                }
+            }
+        }
+        RepairOutcome::failure(self.name(), ledger.validated(), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrepair_core::RepairBudget;
+
+    fn ctx(src: &str) -> RepairContext {
+        RepairContext::from_source(src, RepairBudget::default()).unwrap()
+    }
+
+    #[test]
+    fn fixes_dead_fact() {
+        let faulty = "sig N {} fact Dead { no N } pred p { some N } run p for 3 expect 1";
+        let out = Atr::default().repair(&ctx(faulty));
+        assert!(out.success);
+        let c = out.candidate.unwrap();
+        assert!(Analyzer::new(c).satisfies_oracle().unwrap());
+    }
+
+    #[test]
+    fn fixes_quantifier_swap_bug() {
+        let faulty = "sig N { next: lone N } \
+            fact Acyclic { some n: N | n in n.^next } \
+            pred hasNode { some N } \
+            assert NoSelf { all n: N | n not in n.next } \
+            run hasNode for 3 expect 1 \
+            check NoSelf for 3 expect 0";
+        let out = Atr::default().repair(&ctx(faulty));
+        assert!(out.success);
+    }
+
+    #[test]
+    fn screen_rejects_candidates_that_keep_counterexamples() {
+        let faulty = mualloy_syntax::parse_spec(
+            "sig N { next: lone N } \
+             fact Broken { all n: N | n in n.next || n not in n.next } \
+             assert NoSelf { all n: N | n not in n.next } \
+             check NoSelf for 3 expect 0",
+        )
+        .unwrap();
+        let evidence = gather_evidence(&faulty, 2);
+        assert!(!evidence.rejected.is_empty());
+        // The faulty spec itself fails its own screen.
+        assert_eq!(screen(&faulty, &evidence), Screen::Fail);
+        // The ground truth passes.
+        let fixed = mualloy_syntax::parse_spec(
+            "sig N { next: lone N } \
+             fact Fixed { no n: N | n in n.^next } \
+             assert NoSelf { all n: N | n not in n.next } \
+             check NoSelf for 3 expect 0",
+        )
+        .unwrap();
+        assert_ne!(screen(&fixed, &evidence), Screen::Fail);
+    }
+
+    #[test]
+    fn template_pool_is_bounded_and_varied() {
+        let spec = mualloy_syntax::parse_spec(
+            "sig A { f: set A } fact { all x: A | x in x.f }",
+        )
+        .unwrap();
+        let vocab = Vocabulary::of(&spec);
+        let sites = constraint_sites(&spec);
+        let templates = template_formulas(&vocab, &sites[0], 50);
+        assert!(!templates.is_empty());
+        assert!(templates.len() <= 50);
+        // Contains both multiplicity and comparison shapes.
+        assert!(templates.iter().any(|f| matches!(f, Formula::Mult(_, _, _))));
+    }
+
+    #[test]
+    fn respects_budget() {
+        let faulty = "sig N { next: lone N } \
+            fact Broken { all n: N | n in n.next || n not in n.next } \
+            assert NoSelf { all n: N | n not in n.next } \
+            check NoSelf for 3 expect 0";
+        let tight = RepairContext::from_source(
+            faulty,
+            RepairBudget {
+                max_candidates: 3,
+                max_rounds: 1,
+            },
+        )
+        .unwrap();
+        let out = Atr::default().repair(&tight);
+        assert!(out.candidates_explored <= 3);
+    }
+
+    #[test]
+    fn unfixable_spec_reports_failure() {
+        // `check Tautology … expect 1` demands a counterexample to a
+        // tautology; assertion bodies are never mutated, so no edit to the
+        // facts or predicates can ever satisfy this oracle.
+        let faulty = "sig A {} fact F { no A } \
+            assert Tautology { no none } \
+            check Tautology for 2 expect 1";
+        let out = Atr::default().repair(&ctx(faulty));
+        assert!(!out.success);
+    }
+}

@@ -1,0 +1,264 @@
+//! Shared machinery for the traditional repair tools: oracle-checked
+//! candidate validation with budget accounting, deduplication, and
+//! derivation of AUnit tests from a specification's own commands.
+
+use mualloy_analyzer::{AUnitTest, Analyzer, TestSuite};
+use mualloy_relational::{assert_body, pred_as_existential};
+use mualloy_syntax::ast::*;
+use mualloy_syntax::walk::strip_spec_spans;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Tracks how many candidates have been validated and deduplicates
+/// structurally-identical candidates.
+#[derive(Debug, Default)]
+pub struct CandidateLedger {
+    seen: HashSet<u64>,
+    validated: usize,
+}
+
+impl CandidateLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> CandidateLedger {
+        CandidateLedger::default()
+    }
+
+    /// Number of candidates validated so far.
+    pub fn validated(&self) -> usize {
+        self.validated
+    }
+
+    /// Registers a candidate; returns `false` when it is a structural
+    /// duplicate of one already seen (and should be skipped for free).
+    pub fn admit(&mut self, candidate: &Spec) -> bool {
+        let mut hasher = DefaultHasher::new();
+        strip_spec_spans(candidate).hash(&mut hasher);
+        self.seen.insert(hasher.finish())
+    }
+
+    /// Counts one oracle validation.
+    pub fn count_validation(&mut self) {
+        self.validated += 1;
+    }
+}
+
+/// Validates a candidate against its own command oracle (all commands match
+/// their `expect` annotations), counting the validation in the ledger.
+pub fn validate_against_oracle(candidate: &Spec, ledger: &mut CandidateLedger) -> bool {
+    ledger.count_validation();
+    Analyzer::new(candidate.clone())
+        .satisfies_oracle()
+        .unwrap_or(false)
+}
+
+/// Derives an AUnit test suite from a specification's commands — the
+/// reproduction's stand-in for the user-provided suites the original
+/// ARepair consumes.
+///
+/// - a failing `check … expect 0` contributes its counterexample as a test
+///   requiring `facts && !assert` to be *false* on that valuation (the
+///   counterexample must stop being admitted);
+/// - a failing `run … expect 1` contributes a facts-free witness of the
+///   predicate as a test requiring `facts && pred` to be *true*;
+/// - a passing `run` contributes its witness as a regression test;
+/// - with `admission_tests`, instances the *faulty* specification admits
+///   are pinned as must-stay-admitted valuations. These are tainted by the
+///   bug — the intended repair often has to exclude them — and are the
+///   overfitting trap the paper blames for ARepair's low REP scores.
+///   ICEBAR's oracle-driven refinement does not use them.
+pub fn derive_tests(spec: &Spec, per_command: usize, admission_tests: bool) -> TestSuite {
+    let analyzer = Analyzer::new(spec.clone());
+    let mut suite = TestSuite::new();
+    let Ok(outcomes) = analyzer.execute_all() else {
+        return suite;
+    };
+    for out in outcomes {
+        match (&out.command.kind, out.matches_expectation()) {
+            (CommandKind::Check(name), false) if out.sat => {
+                // Unexpected counterexamples: they must be rejected.
+                let Ok(body) = assert_body(spec, name) else { continue };
+                let negated = Formula::not(body);
+                if let Ok(cexs) = analyzer.counterexamples(name, out.command.scope, per_command) {
+                    for (i, cex) in cexs.into_iter().enumerate() {
+                        suite.push(AUnitTest::new(
+                            format!("reject-cex-{name}-{i}"),
+                            cex,
+                            negated.clone(),
+                            false,
+                        ));
+                    }
+                }
+            }
+            (CommandKind::Run(name), false) if !out.sat => {
+                // Unexpectedly unsatisfiable run: manufacture witnesses from
+                // a facts-free copy (ARepair's overfitting trap).
+                let mut relaxed = spec.clone();
+                relaxed.facts.clear();
+                let relaxed_analyzer = Analyzer::new(relaxed.clone());
+                let Ok(formula) = pred_as_existential(&relaxed, name) else { continue };
+                if let Ok(insts) = relaxed_analyzer.enumerate(&formula, out.command.scope, per_command)
+                {
+                    for (i, inst) in insts.into_iter().enumerate() {
+                        suite.push(AUnitTest::new(
+                            format!("admit-witness-{name}-{i}"),
+                            inst,
+                            formula.clone(),
+                            true,
+                        ));
+                    }
+                }
+            }
+            (CommandKind::Run(name), true) if out.sat => {
+                // Regression: keep admitting the current witness.
+                let Ok(formula) = pred_as_existential(spec, name) else { continue };
+                if let Some(inst) = out.instance {
+                    suite.push(AUnitTest::new(
+                        format!("regression-{name}"),
+                        inst,
+                        formula,
+                        true,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    if admission_tests && !suite.is_empty() {
+        // Pin a couple of currently-admitted instances (tainted by the
+        // fault) as must-stay-admitted valuations.
+        if let Ok(insts) = analyzer.enumerate(&Formula::truth(), default_scope(spec), 3) {
+            for (i, inst) in insts.into_iter().enumerate() {
+                suite.push(AUnitTest::new(
+                    format!("admit-current-{i}"),
+                    inst,
+                    Formula::truth(),
+                    true,
+                ));
+            }
+        }
+    }
+    suite
+}
+
+/// The largest command scope declared in the spec (3 when none).
+fn default_scope(spec: &Spec) -> u32 {
+    spec.commands.iter().map(|c| c.scope).max().unwrap_or(3)
+}
+
+/// Derives *strengthening* tests from a candidate's current failures, used
+/// by ICEBAR's refinement loop. Unlike [`derive_tests`] this only adds
+/// counterexample-rejection tests (the reliable kind).
+pub fn counterexample_tests(candidate: &Spec, per_command: usize, round: usize) -> Vec<AUnitTest> {
+    let analyzer = Analyzer::new(candidate.clone());
+    let mut tests = Vec::new();
+    let Ok(outcomes) = analyzer.execute_all() else {
+        return tests;
+    };
+    for out in outcomes {
+        if let (CommandKind::Check(name), false) = (&out.command.kind, out.matches_expectation()) {
+            if !out.sat {
+                continue;
+            }
+            let Ok(body) = assert_body(candidate, name) else { continue };
+            let negated = Formula::not(body);
+            if let Ok(cexs) = analyzer.counterexamples(name, out.command.scope, per_command) {
+                for (i, cex) in cexs.into_iter().enumerate() {
+                    tests.push(AUnitTest::new(
+                        format!("icebar-r{round}-{name}-{i}"),
+                        cex,
+                        negated.clone(),
+                        false,
+                    ));
+                }
+            }
+        }
+    }
+    tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::parse_spec;
+
+    const FAULTY: &str = "sig N { next: lone N } \
+        fact Broken { some N || no N } \
+        assert NoSelf { all n: N | n not in n.next } \
+        check NoSelf for 3 expect 0";
+
+    #[test]
+    fn ledger_dedups_structural_clones() {
+        let spec = parse_spec(FAULTY).unwrap();
+        let mut ledger = CandidateLedger::new();
+        assert!(ledger.admit(&spec));
+        assert!(!ledger.admit(&spec.clone()));
+        assert_eq!(ledger.validated(), 0);
+        ledger.count_validation();
+        assert_eq!(ledger.validated(), 1);
+    }
+
+    #[test]
+    fn validate_counts_and_judges() {
+        let good = parse_spec(
+            "sig N { next: lone N } fact { no n: N | n in n.^next } \
+             assert NoSelf { all n: N | n not in n.next } check NoSelf for 3 expect 0",
+        )
+        .unwrap();
+        let bad = parse_spec(FAULTY).unwrap();
+        let mut ledger = CandidateLedger::new();
+        assert!(validate_against_oracle(&good, &mut ledger));
+        assert!(!validate_against_oracle(&bad, &mut ledger));
+        assert_eq!(ledger.validated(), 2);
+    }
+
+    #[test]
+    fn derive_tests_rejects_counterexamples() {
+        let spec = parse_spec(FAULTY).unwrap();
+        let suite = derive_tests(&spec, 2, false);
+        assert!(!suite.is_empty());
+        // The faulty spec fails its own derived tests…
+        assert!(!suite.all_pass(&spec));
+        // …but the correct spec passes them.
+        let fixed = parse_spec(&FAULTY.replace(
+            "some N || no N",
+            "no n: N | n in n.^next",
+        ))
+        .unwrap();
+        assert!(suite.all_pass(&fixed));
+    }
+
+    #[test]
+    fn derive_tests_handles_unsat_run() {
+        let spec = parse_spec(
+            "sig N {} fact Dead { no N } pred p { some N } run p for 3 expect 1",
+        )
+        .unwrap();
+        let suite = derive_tests(&spec, 2, false);
+        assert!(!suite.is_empty(), "witness tests from the facts-free spec");
+        assert!(!suite.all_pass(&spec));
+    }
+
+    #[test]
+    fn counterexample_tests_strengthen() {
+        let spec = parse_spec(FAULTY).unwrap();
+        let tests = counterexample_tests(&spec, 3, 1);
+        assert!(!tests.is_empty());
+        for t in &tests {
+            assert!(!t.expect);
+            assert!(t.name.starts_with("icebar-r1-"));
+        }
+    }
+
+    #[test]
+    fn correct_spec_produces_only_regressions() {
+        let good = parse_spec(
+            "sig N { next: lone N } fact { no n: N | n in n.^next } \
+             pred hasEdge { some next } run hasEdge for 3 expect 1",
+        )
+        .unwrap();
+        let suite = derive_tests(&good, 2, false);
+        assert!(suite.tests().iter().all(|t| t.name.starts_with("regression-")));
+        assert!(suite.all_pass(&good));
+    }
+}

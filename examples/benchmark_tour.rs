@@ -1,0 +1,45 @@
+//! A tour of the two benchmark corpora: prints one ground truth and one
+//! injected fault per domain, with the edit script and the analyzer's
+//! verdicts — useful for eyeballing what the repair techniques face.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+
+use mualloy_analyzer::Analyzer;
+use specrepair_benchmarks::{alloy4fun, arepair};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut problems = alloy4fun(0.005);
+    problems.extend(arepair(0.08));
+
+    let mut seen_domains = std::collections::BTreeSet::new();
+    for p in &problems {
+        if !seen_domains.insert(p.domain.clone()) {
+            continue;
+        }
+        println!("================================================================");
+        println!("{} [{}]", p.id, p.benchmark.label());
+        println!("fault injected by: {}", p.edits.join("; "));
+        println!("--- faulty specification ---");
+        print!("{}", p.faulty_source);
+        let analyzer = Analyzer::new(p.faulty.clone());
+        let failing = analyzer.failing_commands()?;
+        println!("--- failing commands ({}): ---", failing.len());
+        for f in &failing {
+            println!(
+                "  {} {} (scope {})",
+                if f.command.is_check() { "check" } else { "run" },
+                f.command.target(),
+                f.command.scope
+            );
+            if let Some(witness) = &f.instance {
+                for line in witness.to_string().lines().take(4) {
+                    println!("    {line}");
+                }
+            }
+        }
+        assert!(!failing.is_empty(), "{} must be observably faulty", p.id);
+        println!();
+    }
+    println!("visited {} distinct domains/problems", seen_domains.len());
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Integration: the generated corpora match the paper's structure and
+//! every entry upholds the benchmark invariants.
+
+use mualloy_analyzer::Analyzer;
+use specrepair_benchmarks::{a4f, alloy4fun, arepair, arepair_bench, full_study};
+
+#[test]
+fn paper_counts_at_full_scale_sum_correctly() {
+    // Structural constants (cheap): the corpora definitions match Table I.
+    let a4f_total: usize = a4f::DOMAIN_COUNTS.iter().map(|(_, n)| n).sum();
+    assert_eq!(a4f_total, 1936);
+    let arep_total: usize = arepair_bench::PROBLEM_COUNTS.iter().map(|(_, n)| n).sum();
+    assert_eq!(arep_total, 38);
+    assert_eq!(a4f_total + arep_total, 1974);
+}
+
+#[test]
+fn arepair_corpus_is_exact_and_complete() {
+    let problems = arepair(1.0);
+    assert_eq!(problems.len(), 38);
+    for (name, count) in arepair_bench::PROBLEM_COUNTS {
+        let got = problems.iter().filter(|p| p.domain == name).count();
+        assert_eq!(got, count, "problem {name}");
+    }
+}
+
+#[test]
+fn scaled_a4f_preserves_domain_proportions() {
+    let problems = alloy4fun(0.01);
+    for (domain, full_count) in a4f::DOMAIN_COUNTS {
+        let got = problems.iter().filter(|p| p.domain == domain).count();
+        let expected = ((full_count as f64) * 0.01).round().max(1.0) as usize;
+        assert_eq!(got, expected, "domain {domain}");
+    }
+}
+
+#[test]
+fn every_entry_upholds_the_benchmark_invariants() {
+    for p in full_study(0.004) {
+        // Parses and checks (both sides).
+        assert!(mualloy_syntax::check_spec(&p.truth).is_empty(), "{}", p.id);
+        assert!(mualloy_syntax::check_spec(&p.faulty).is_empty(), "{}", p.id);
+        // The truth satisfies its oracle; the fault violates it.
+        assert!(
+            Analyzer::new(p.truth.clone()).satisfies_oracle().unwrap(),
+            "{} truth",
+            p.id
+        );
+        assert!(
+            !Analyzer::new(p.faulty.clone()).satisfies_oracle().unwrap(),
+            "{} fault",
+            p.id
+        );
+        // Fault metadata is present and spans point into the truth text.
+        assert!(!p.edits.is_empty(), "{}", p.id);
+        assert_eq!(p.edits.len(), p.fault_spans.len(), "{}", p.id);
+        // Sources round-trip.
+        assert!(mualloy_syntax::parse_spec(&p.faulty_source).is_ok());
+        assert!(mualloy_syntax::parse_spec(&p.truth_source).is_ok());
+        // Oracle surface preserved: injection never touches asserts/commands.
+        assert!(
+            specrepair_core::preserves_oracle_surface(&p.truth, &p.faulty),
+            "{} mutated the oracle surface",
+            p.id
+        );
+    }
+}
+
+#[test]
+fn generation_is_reproducible() {
+    let a = full_study(0.003);
+    let b = full_study(0.003);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.faulty_source, y.faulty_source);
+        assert_eq!(x.edits, y.edits);
+    }
+}
+
+#[test]
+fn fault_difficulty_mix_is_present() {
+    // The injector's difficulty classes must all appear in a decent sample:
+    // single-edit, double-edit and constraint-deletion faults.
+    let problems = alloy4fun(0.02);
+    let singles = problems.iter().filter(|p| p.edits.len() == 1 && p.edits[0] != "delete constraint").count();
+    let doubles = problems.iter().filter(|p| p.edits.len() == 2).count();
+    let deletions = problems
+        .iter()
+        .filter(|p| p.edits.iter().any(|e| e == "delete constraint"))
+        .count();
+    assert!(singles > 0, "no single-edit faults");
+    assert!(doubles > 0, "no double-edit faults");
+    assert!(deletions > 0, "no deletion faults");
+}

@@ -1,0 +1,91 @@
+//! Integration: the full study pipeline regenerates all paper artifacts at
+//! smoke scale with internally consistent numbers.
+
+use specrepair_study::{ablation, fig2, fig3, runner, table1, table2, StudyConfig, TechniqueId};
+
+fn smoke() -> (Vec<specrepair_benchmarks::RepairProblem>, runner::StudyResults) {
+    runner::run_full_study(&StudyConfig {
+        scale: 0.004,
+        seed: 21,
+    })
+}
+
+#[test]
+fn all_artifacts_build_from_one_run() {
+    let (problems, results) = smoke();
+
+    // Table I.
+    let t1 = table1::build(&results);
+    assert_eq!(t1.rows.last().unwrap().total_specs, problems.len());
+    let text = table1::render(&t1);
+    for needle in ["classroom", "graphs", "trash", "student", "Summary", "Total"] {
+        assert!(text.contains(needle), "table1 missing {needle}");
+    }
+
+    // Figure 2.
+    let f2 = fig2::build(&results);
+    assert_eq!(f2.bars.len(), 12);
+
+    // Figure 3.
+    let f3 = fig3::build(&results);
+    assert_eq!(f3.samples, problems.len());
+    // Traditional tools correlate strongly with one another (Finding 3).
+    if let Some(r) = f3.correlation("ICEBAR", "ATR") {
+        assert!(r > 0.0, "ICEBAR/ATR correlation should be positive, got {r}");
+    }
+
+    // Table II + Figure 4.
+    let t2 = table2::build(&results);
+    assert_eq!(t2.rows.len(), 32);
+    let best = t2.best().unwrap();
+    assert!(best.total_unique <= problems.len());
+    // Every hybrid's count matches a recount from the rep vectors.
+    for row in &t2.rows {
+        let tv = results.rep_vector(&row.traditional);
+        let lv = results.rep_vector(&row.llm);
+        let union = tv.iter().zip(&lv).filter(|(a, b)| **a || **b).count();
+        assert_eq!(union, row.total_unique);
+    }
+
+    // Table II's per-technique columns agree with Table I's totals.
+    let t1_total = t1.rows.last().unwrap();
+    for (i, id) in TechniqueId::all().iter().enumerate() {
+        let from_rows = results.rep_count(id.label(), None);
+        assert_eq!(t1_total.rep[i], from_rows);
+    }
+}
+
+#[test]
+fn hybrids_beat_their_constituents_in_aggregate() {
+    let (_, results) = smoke();
+    let t2 = table2::build(&results);
+    for row in &t2.rows {
+        assert!(row.total_unique >= row.traditional_repairs);
+        assert!(row.total_unique >= row.llm_repairs);
+    }
+}
+
+#[test]
+fn ablation_runs_on_a_subsample() {
+    let problems = specrepair_benchmarks::arepair(0.2);
+    let a = ablation::run(
+        &problems,
+        &StudyConfig {
+            scale: 0.2,
+            seed: 21,
+        },
+    );
+    assert_eq!(a.arms.len(), 3);
+    assert!(a.arms.iter().all(|arm| arm.repaired <= a.total_specs));
+}
+
+#[test]
+fn records_serialize_to_json() {
+    let (_, results) = runner::run_full_study(&StudyConfig {
+        scale: 0.002,
+        seed: 3,
+    });
+    let json = serde_json::to_string(&results).unwrap();
+    let back: runner::StudyResults = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.records.len(), results.records.len());
+}

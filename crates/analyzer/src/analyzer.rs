@@ -29,7 +29,7 @@ impl CommandOutcome {
     /// Whether the outcome matches the command's `expect` annotation (true
     /// when no annotation is present).
     pub fn matches_expectation(&self) -> bool {
-        self.command.expect.map_or(true, |e| e == self.sat)
+        self.command.expect.is_none_or(|e| e == self.sat)
     }
 }
 
@@ -263,11 +263,7 @@ impl Analyzer {
     /// # Errors
     ///
     /// Fails on elaboration or evaluation errors.
-    pub fn evaluate(
-        &self,
-        instance: &Instance,
-        formula: &Formula,
-    ) -> Result<bool, AnalyzerError> {
+    pub fn evaluate(&self, instance: &Instance, formula: &Formula) -> Result<bool, AnalyzerError> {
         let f = elaborate_formula(&self.spec, formula)?;
         Ok(Evaluator::new(instance).formula(&f)?)
     }
@@ -306,10 +302,9 @@ mod tests {
 
     #[test]
     fn check_invalid_assertion_yields_counterexample() {
-        let spec = parse_spec(
-            "sig N { next: lone N } assert Emptyish { no next } check Emptyish for 3",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("sig N { next: lone N } assert Emptyish { no next } check Emptyish for 3")
+                .unwrap();
         let out = Analyzer::new(spec).check_assert("Emptyish", 3).unwrap();
         assert!(out.sat);
         let cex = out.instance.unwrap();
@@ -365,10 +360,9 @@ mod tests {
 
     #[test]
     fn counterexamples_enumeration() {
-        let spec = parse_spec(
-            "sig N { next: lone N } assert NoNext { no next } check NoNext for 2",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("sig N { next: lone N } assert NoNext { no next } check NoNext for 2")
+                .unwrap();
         let a = Analyzer::new(spec);
         let cexs = a.counterexamples("NoNext", 2, 5).unwrap();
         assert!(!cexs.is_empty());

@@ -127,11 +127,8 @@ mod tests {
     fn semantically_equivalent_repair_scores_one() {
         let t = parse_spec(TRUTH).unwrap();
         // Different syntax, same meaning: all n | n !in n.^next.
-        let c = parse_spec(&TRUTH.replace(
-            "no n: N | n in n.^next",
-            "all n: N | n not in n.^next",
-        ))
-        .unwrap();
+        let c = parse_spec(&TRUTH.replace("no n: N | n in n.^next", "all n: N | n not in n.^next"))
+            .unwrap();
         assert_eq!(compare(&t, &c).unwrap().rep(), 1);
     }
 

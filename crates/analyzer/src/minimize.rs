@@ -81,8 +81,11 @@ pub fn minimize_witness(
         for atom in atoms {
             let mut trial = current.clone();
             for s in &sig_names {
-                let set: BTreeSet<u32> =
-                    trial.sig_set(s).into_iter().filter(|&a| a != atom).collect();
+                let set: BTreeSet<u32> = trial
+                    .sig_set(s)
+                    .into_iter()
+                    .filter(|&a| a != atom)
+                    .collect();
                 trial.set_sig(s.clone(), set);
             }
             for f in &field_names {
@@ -108,10 +111,7 @@ mod tests {
     use mualloy_syntax::{parse_formula, parse_spec};
 
     fn setup() -> (Spec, Formula, Instance) {
-        let spec = parse_spec(
-            "sig N { next: lone N } fact { no n: N | n in n.^next }",
-        )
-        .unwrap();
+        let spec = parse_spec("sig N { next: lone N } fact { no n: N | n in n.^next }").unwrap();
         let formula = parse_formula("some n: N | some n.next").unwrap();
         let analyzer = Analyzer::new(spec.clone());
         // Ask for a *large* witness by enumerating a few and taking the
@@ -164,9 +164,9 @@ mod tests {
         let out = analyzer.check_assert("NoEdge", 3).unwrap();
         let cex = out.instance.unwrap();
         // Counterexamples witness the negated assertion body.
-        let negated = Formula::not(
-            Formula::conjoin(spec.assert("NoEdge").unwrap().body.clone()),
-        );
+        let negated = Formula::not(Formula::conjoin(
+            spec.assert("NoEdge").unwrap().body.clone(),
+        ));
         let minimal = minimize_witness(&spec, &negated, &cex).unwrap();
         assert!(minimal.size() <= cex.size());
         assert_eq!(minimal.field_set("next").len(), 1);

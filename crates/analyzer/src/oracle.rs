@@ -1,0 +1,504 @@
+//! The shared memoizing oracle service.
+//!
+//! Every repair technique in the study asks the same questions — "does this
+//! candidate satisfy its command oracle?", "which commands fail?", "give me
+//! counterexamples" — and candidate populations overlap heavily: mutation
+//! engines regenerate the same mutants across techniques and rounds, and
+//! ICEBAR/Multi-Round revisit earlier candidates. The [`Oracle`] memoizes
+//! every [`Analyzer`] query behind a thread-safe sharded table keyed by the
+//! *content fingerprint* of the canonical pretty-printed specification
+//! (plus the command / assertion / formula and scope for the per-command
+//! queries), so a question is solved at most once per process.
+//!
+//! Results are cached including errors: an `Err` answer is as deterministic
+//! as an `Ok` one. Ground evaluations ([`Oracle::evaluate`]) are pass-through
+//! — they never touch the solver and are cheaper than a table probe.
+//!
+//! A disabled oracle ([`Oracle::disabled`]) answers every query by solving
+//! afresh; the study's correctness gate asserts that cache-enabled and
+//! cache-disabled runs produce byte-identical results.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mualloy_relational::Instance;
+use mualloy_syntax::ast::{Command, Formula, Spec};
+use mualloy_syntax::print_spec;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::analyzer::{Analyzer, CommandOutcome};
+use crate::error::AnalyzerError;
+
+/// Number of independently-locked shards; a power of two so the fingerprint
+/// maps to a shard with a mask.
+const SHARDS: usize = 16;
+
+/// Memoized answers for one canonical specification.
+#[derive(Debug, Default)]
+struct SpecEntry {
+    /// Outcome of [`Analyzer::execute_all`] — `satisfies_oracle` and
+    /// `failing_commands` are derived views of this single answer.
+    execute_all: Option<Result<Vec<CommandOutcome>, AnalyzerError>>,
+    /// Per-command outcomes, for commands not covered by `execute_all`
+    /// (e.g. localization re-running one command on a relaxed spec).
+    commands: HashMap<Command, Result<CommandOutcome, AnalyzerError>>,
+    /// `check_assert` outcomes keyed by (assertion, scope).
+    asserts: HashMap<(String, u32), Result<CommandOutcome, AnalyzerError>>,
+    /// Counterexample enumerations keyed by (assertion, scope, limit).
+    counterexamples: HashMap<(String, u32, usize), Result<Vec<Instance>, AnalyzerError>>,
+    /// Instance enumerations keyed by (formula, scope, limit).
+    enumerations: HashMap<(Formula, u32, usize), Result<Vec<Instance>, AnalyzerError>>,
+}
+
+/// A point-in-time snapshot of the oracle's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OracleCacheStats {
+    /// Queries answered from the memo table.
+    pub hits: u64,
+    /// Queries that had to solve (or re-solve, when disabled).
+    pub misses: u64,
+    /// Underlying analyzer invocations actually executed.
+    pub solver_invocations: u64,
+    /// Queries whose answer was an analyzer error (counted once per
+    /// *computed* error; cached error replays count as hits).
+    pub errors: u64,
+}
+
+impl OracleCacheStats {
+    /// Fraction of queries answered from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another snapshot into this one.
+    pub fn absorb(&mut self, other: &OracleCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.solver_invocations += other.solver_invocations;
+        self.errors += other.errors;
+    }
+}
+
+/// The shared memoizing oracle service. Cheap to share behind an `Arc`;
+/// all methods take `&self` and are safe to call from rayon workers.
+pub struct Oracle {
+    enabled: bool,
+    shards: Vec<Mutex<HashMap<String, SpecEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    solver_invocations: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Default for Oracle {
+    fn default() -> Oracle {
+        Oracle::new()
+    }
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Oracle")
+            .field("enabled", &self.enabled)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl Oracle {
+    /// A fresh memoizing oracle.
+    pub fn new() -> Oracle {
+        Oracle::with_enabled(true)
+    }
+
+    /// A pass-through oracle: every query solves afresh. Used as the
+    /// control arm of the cache-on/cache-off equivalence gate.
+    pub fn disabled() -> Oracle {
+        Oracle::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> Oracle {
+        Oracle {
+            enabled,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            solver_invocations: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Snapshot of the hit/miss/solver counters.
+    pub fn stats(&self) -> OracleCacheStats {
+        OracleCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            solver_invocations: self.solver_invocations.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The canonical cache key of a specification: its pretty-printed
+    /// source, which normalizes spans and whitespace provenance.
+    pub fn fingerprint(spec: &Spec) -> String {
+        print_spec(spec)
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<HashMap<String, SpecEntry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    fn record<T>(&self, computed: Result<T, AnalyzerError>) -> Result<T, AnalyzerError> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.solver_invocations.fetch_add(1, Ordering::Relaxed);
+        if computed.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        computed
+    }
+
+    fn hit<T>(&self, cached: T) -> T {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        cached
+    }
+
+    /// Memoized [`Analyzer::execute_all`]: every command's outcome, in
+    /// specification order.
+    ///
+    /// # Errors
+    ///
+    /// Fails (and caches the failure) when any command cannot be executed.
+    pub fn execute_all(&self, spec: &Spec) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        if !self.enabled {
+            return self.record(Analyzer::new(spec.clone()).execute_all());
+        }
+        let key = Oracle::fingerprint(spec);
+        let shard = self.shard_of(&key);
+        if let Some(cached) = shard.lock().get(&key).and_then(|e| e.execute_all.clone()) {
+            return self.hit(cached);
+        }
+        let computed = self.record(Analyzer::new(spec.clone()).execute_all());
+        shard.lock().entry(key).or_default().execute_all = Some(computed.clone());
+        computed
+    }
+
+    /// Memoized [`Analyzer::satisfies_oracle`]: whether every command's
+    /// outcome matches its `expect` annotation. Derived from
+    /// [`Oracle::execute_all`], so it shares that cache line.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any command cannot be executed.
+    pub fn satisfies_oracle(&self, spec: &Spec) -> Result<bool, AnalyzerError> {
+        Ok(self
+            .execute_all(spec)?
+            .iter()
+            .all(CommandOutcome::matches_expectation))
+    }
+
+    /// Memoized [`Analyzer::failing_commands`]: the commands whose outcomes
+    /// contradict their annotations. Derived from [`Oracle::execute_all`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when any command cannot be executed.
+    pub fn failing_commands(&self, spec: &Spec) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        Ok(self
+            .execute_all(spec)?
+            .into_iter()
+            .filter(|o| !o.matches_expectation())
+            .collect())
+    }
+
+    /// Memoized [`Analyzer::run_command`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown targets or translation errors.
+    pub fn run_command(&self, spec: &Spec, cmd: &Command) -> Result<CommandOutcome, AnalyzerError> {
+        if !self.enabled {
+            return self.record(Analyzer::new(spec.clone()).run_command(cmd));
+        }
+        let key = Oracle::fingerprint(spec);
+        let shard = self.shard_of(&key);
+        if let Some(cached) = shard
+            .lock()
+            .get(&key)
+            .and_then(|e| e.commands.get(cmd).cloned())
+        {
+            return self.hit(cached);
+        }
+        let computed = self.record(Analyzer::new(spec.clone()).run_command(cmd));
+        shard
+            .lock()
+            .entry(key)
+            .or_default()
+            .commands
+            .insert(cmd.clone(), computed.clone());
+        computed
+    }
+
+    /// Memoized [`Analyzer::check_assert`]: searches for a counterexample
+    /// to the named assertion at the given scope.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the assertion is unknown or translation fails.
+    pub fn check_assert(
+        &self,
+        spec: &Spec,
+        name: &str,
+        scope: u32,
+    ) -> Result<CommandOutcome, AnalyzerError> {
+        if !self.enabled {
+            return self.record(Analyzer::new(spec.clone()).check_assert(name, scope));
+        }
+        let key = Oracle::fingerprint(spec);
+        let subkey = (name.to_string(), scope);
+        let shard = self.shard_of(&key);
+        if let Some(cached) = shard
+            .lock()
+            .get(&key)
+            .and_then(|e| e.asserts.get(&subkey).cloned())
+        {
+            return self.hit(cached);
+        }
+        let computed = self.record(Analyzer::new(spec.clone()).check_assert(name, scope));
+        shard
+            .lock()
+            .entry(key)
+            .or_default()
+            .asserts
+            .insert(subkey, computed.clone());
+        computed
+    }
+
+    /// Memoized [`Analyzer::counterexamples`]: up to `limit` distinct
+    /// counterexamples to the named assertion.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the assertion is unknown or translation fails.
+    pub fn counterexamples(
+        &self,
+        spec: &Spec,
+        name: &str,
+        scope: u32,
+        limit: usize,
+    ) -> Result<Vec<Instance>, AnalyzerError> {
+        if !self.enabled {
+            return self.record(Analyzer::new(spec.clone()).counterexamples(name, scope, limit));
+        }
+        let key = Oracle::fingerprint(spec);
+        let subkey = (name.to_string(), scope, limit);
+        let shard = self.shard_of(&key);
+        if let Some(cached) = shard
+            .lock()
+            .get(&key)
+            .and_then(|e| e.counterexamples.get(&subkey).cloned())
+        {
+            return self.hit(cached);
+        }
+        let computed = self.record(Analyzer::new(spec.clone()).counterexamples(name, scope, limit));
+        shard
+            .lock()
+            .entry(key)
+            .or_default()
+            .counterexamples
+            .insert(subkey, computed.clone());
+        computed
+    }
+
+    /// Memoized [`Analyzer::enumerate`]: up to `limit` distinct instances
+    /// of `facts && declarations && formula` at the given scope.
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration or translation errors.
+    pub fn enumerate(
+        &self,
+        spec: &Spec,
+        formula: &Formula,
+        scope: u32,
+        limit: usize,
+    ) -> Result<Vec<Instance>, AnalyzerError> {
+        if !self.enabled {
+            return self.record(Analyzer::new(spec.clone()).enumerate(formula, scope, limit));
+        }
+        let key = Oracle::fingerprint(spec);
+        let subkey = (formula.clone(), scope, limit);
+        let shard = self.shard_of(&key);
+        if let Some(cached) = shard
+            .lock()
+            .get(&key)
+            .and_then(|e| e.enumerations.get(&subkey).cloned())
+        {
+            return self.hit(cached);
+        }
+        let computed = self.record(Analyzer::new(spec.clone()).enumerate(formula, scope, limit));
+        shard
+            .lock()
+            .entry(key)
+            .or_default()
+            .enumerations
+            .insert(subkey, computed.clone());
+        computed
+    }
+
+    /// Ground evaluation of a formula against a concrete instance —
+    /// pass-through (no solving happens, so nothing is worth caching).
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration or evaluation errors.
+    pub fn evaluate(
+        &self,
+        spec: &Spec,
+        instance: &Instance,
+        formula: &Formula,
+    ) -> Result<bool, AnalyzerError> {
+        Analyzer::new(spec.clone()).evaluate(instance, formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::parse_spec;
+
+    const GOOD: &str = "sig N { next: lone N } \
+        fact Acyclic { no n: N | n in n.^next } \
+        pred somePath { some n: N | some n.next } \
+        assert NoSelfLoop { all n: N | n not in n.next } \
+        run somePath for 3 expect 1 \
+        check NoSelfLoop for 3 expect 0";
+
+    const BAD: &str = "sig N { next: lone N } \
+        fact Broken { some N || no N } \
+        assert NoSelf { all n: N | n not in n.next } \
+        check NoSelf for 3 expect 0";
+
+    #[test]
+    fn agrees_with_fresh_analyzer() {
+        let oracle = Oracle::new();
+        for src in [GOOD, BAD] {
+            let spec = parse_spec(src).unwrap();
+            assert_eq!(
+                oracle.satisfies_oracle(&spec).unwrap(),
+                Analyzer::new(spec.clone()).satisfies_oracle().unwrap()
+            );
+            assert_eq!(
+                oracle.failing_commands(&spec).unwrap(),
+                Analyzer::new(spec.clone()).failing_commands().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn second_query_is_a_hit() {
+        let oracle = Oracle::new();
+        let spec = parse_spec(GOOD).unwrap();
+        assert!(oracle.satisfies_oracle(&spec).unwrap());
+        let before = oracle.stats();
+        assert_eq!(before.hits, 0);
+        assert_eq!(before.misses, 1);
+        assert!(oracle.satisfies_oracle(&spec).unwrap());
+        let after = oracle.stats();
+        assert_eq!(after.hits, 1);
+        assert_eq!(after.misses, 1);
+        assert_eq!(after.solver_invocations, 1);
+    }
+
+    #[test]
+    fn fingerprint_normalizes_spans() {
+        // Same text parsed twice (and re-printed) fingerprints identically.
+        let a = parse_spec(GOOD).unwrap();
+        let b = parse_spec(&print_spec(&a)).unwrap();
+        assert_eq!(Oracle::fingerprint(&a), Oracle::fingerprint(&b));
+        let oracle = Oracle::new();
+        oracle.satisfies_oracle(&a).unwrap();
+        oracle.satisfies_oracle(&b).unwrap();
+        assert_eq!(oracle.stats().hits, 1);
+    }
+
+    #[test]
+    fn disabled_oracle_never_hits_but_still_answers() {
+        let oracle = Oracle::disabled();
+        let spec = parse_spec(BAD).unwrap();
+        assert!(!oracle.satisfies_oracle(&spec).unwrap());
+        assert!(!oracle.satisfies_oracle(&spec).unwrap());
+        let stats = oracle.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.solver_invocations, 2);
+    }
+
+    #[test]
+    fn errors_are_counted_and_cached() {
+        // An unknown run target errors; the error answer is memoized.
+        let spec = parse_spec("sig A {} run ghost for 3 expect 1");
+        let Ok(spec) = spec else {
+            return; // parser rejects unknown targets up front: nothing to do
+        };
+        let oracle = Oracle::new();
+        assert!(oracle.satisfies_oracle(&spec).is_err());
+        assert!(oracle.satisfies_oracle(&spec).is_err());
+        let stats = oracle.stats();
+        assert_eq!(stats.errors, 1, "computed once");
+        assert_eq!(stats.hits, 1, "replayed from cache once");
+    }
+
+    #[test]
+    fn per_command_queries_are_cached() {
+        let spec = parse_spec(GOOD).unwrap();
+        let oracle = Oracle::new();
+        let a = oracle.check_assert(&spec, "NoSelfLoop", 3).unwrap();
+        let b = oracle.check_assert(&spec, "NoSelfLoop", 3).unwrap();
+        assert_eq!(a, b);
+        let c1 = oracle.counterexamples(&spec, "NoSelfLoop", 3, 2).unwrap();
+        let c2 = oracle.counterexamples(&spec, "NoSelfLoop", 3, 2).unwrap();
+        assert_eq!(c1, c2);
+        let e1 = oracle.enumerate(&spec, &Formula::truth(), 3, 2).unwrap();
+        let e2 = oracle.enumerate(&spec, &Formula::truth(), 3, 2).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(oracle.stats().hits, 3);
+    }
+
+    #[test]
+    fn stats_absorb_and_hit_rate() {
+        let mut total = OracleCacheStats::default();
+        assert_eq!(total.hit_rate(), 0.0);
+        total.absorb(&OracleCacheStats {
+            hits: 3,
+            misses: 1,
+            solver_invocations: 1,
+            errors: 0,
+        });
+        total.absorb(&OracleCacheStats {
+            hits: 1,
+            misses: 3,
+            solver_invocations: 3,
+            errors: 1,
+        });
+        assert_eq!(total.hits, 4);
+        assert_eq!(total.misses, 4);
+        assert_eq!(total.hit_rate(), 0.5);
+        assert_eq!(total.errors, 1);
+    }
+}

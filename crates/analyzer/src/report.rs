@@ -177,7 +177,10 @@ mod tests {
         let rendered = r.to_string();
         assert!(rendered.contains("[FAIL]"));
         assert!(rendered.contains("counterexample"));
-        assert!(rendered.contains("next ="), "witness should be rendered: {rendered}");
+        assert!(
+            rendered.contains("next ="),
+            "witness should be rendered: {rendered}"
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrepair_bench::bench_problems;
-use specrepair_core::{localize, LocalizeThenFix, RepairBudget, RepairContext, RepairTechnique};
+use specrepair_core::{
+    localize, LocalizeThenFix, OracleHandle, RepairBudget, RepairContext, RepairTechnique,
+};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 
 fn bench_ablation(c: &mut Criterion) {
@@ -17,6 +19,7 @@ fn bench_ablation(c: &mut Criterion) {
         faulty: p.faulty.clone(),
         source: p.faulty_source.clone(),
         budget,
+        oracle: OracleHandle::fresh(),
     };
     let mut group = c.benchmark_group("ablation_hybrid");
     group.sample_size(10);

@@ -30,8 +30,12 @@ fn bench_micro(c: &mut Criterion) {
     group.bench_function("parse_spec", |b| {
         b.iter(|| mualloy_syntax::parse_spec(SPEC).unwrap())
     });
-    group.bench_function("print_spec", |b| b.iter(|| mualloy_syntax::print_spec(&spec)));
-    group.bench_function("check_spec", |b| b.iter(|| mualloy_syntax::check_spec(&spec)));
+    group.bench_function("print_spec", |b| {
+        b.iter(|| mualloy_syntax::print_spec(&spec))
+    });
+    group.bench_function("check_spec", |b| {
+        b.iter(|| mualloy_syntax::check_spec(&spec))
+    });
     group.bench_function("translate_scope3", |b| {
         b.iter(|| Translator::new(&spec, 3).unwrap().base_constraint())
     });
@@ -54,10 +58,10 @@ fn bench_micro(c: &mut Criterion) {
             for row in &vars {
                 s.add_clause(row.iter().map(|v| v.positive()));
             }
-            for j in 0..5 {
-                for i1 in 0..6 {
-                    for i2 in (i1 + 1)..6 {
-                        s.add_clause([vars[i1][j].negative(), vars[i2][j].negative()]);
+            for (i1, row1) in vars.iter().enumerate() {
+                for row2 in &vars[i1 + 1..] {
+                    for (a, b) in row1.iter().zip(row2) {
+                        s.add_clause([a.negative(), b.negative()]);
                     }
                 }
             }

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrepair_bench::bench_problems;
-use specrepair_core::{overlap_stats, RepairBudget, RepairContext, RepairTechnique, UnionHybrid};
+use specrepair_core::{
+    overlap_stats, OracleHandle, RepairBudget, RepairContext, RepairTechnique, UnionHybrid,
+};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 use specrepair_traditional::Atr;
 
@@ -22,6 +24,7 @@ fn bench_table2(c: &mut Criterion) {
             faulty: p.faulty.clone(),
             source: p.faulty_source.clone(),
             budget,
+            oracle: OracleHandle::fresh(),
         };
         let hybrid = UnionHybrid::new(Atr::default(), MultiRound::new(FeedbackSetting::None, 42));
         b.iter(|| hybrid.repair(&ctx).success)

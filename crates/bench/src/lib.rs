@@ -4,7 +4,8 @@
 //! One bench target per paper artifact (`table1_rep`, `fig2_similarity`,
 //! `fig3_correlation`, `table2_hybrid`, `ablation_hybrid`) plus
 //! `micro_substrates` for the underlying machinery (parser, SAT solver,
-//! translation, mutation, metrics).
+//! translation, mutation, metrics) and `oracle_cache` for the shared
+//! memoizing oracle (cached vs uncached repair).
 //!
 //! Shared fixtures live here so every bench measures the same workload.
 

@@ -320,8 +320,8 @@ mod tests {
             let exs = exercises(domain);
             assert!(!exs.is_empty(), "domain {domain} has no exercises");
             for (name, src) in exs {
-                let spec = parse_spec(src)
-                    .unwrap_or_else(|e| panic!("{domain}/{name} parse error: {e}"));
+                let spec =
+                    parse_spec(src).unwrap_or_else(|e| panic!("{domain}/{name} parse error: {e}"));
                 let errs = check_spec(&spec);
                 assert!(errs.is_empty(), "{domain}/{name} check errors: {errs:?}");
                 assert!(!spec.commands.is_empty(), "{domain}/{name} has no commands");

@@ -233,8 +233,7 @@ mod tests {
     fn every_problem_parses_checks_and_satisfies_its_oracle() {
         for p in problems() {
             let src = ground_truth(p).unwrap();
-            let spec =
-                parse_spec(src).unwrap_or_else(|e| panic!("{p} parse error: {e}"));
+            let spec = parse_spec(src).unwrap_or_else(|e| panic!("{p} parse error: {e}"));
             let errs = check_spec(&spec);
             assert!(errs.is_empty(), "{p} check errors: {errs:?}");
             assert!(spec.commands.iter().all(|c| c.expect.is_some()));

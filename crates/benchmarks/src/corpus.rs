@@ -1,10 +1,11 @@
 //! Corpus generation: manufacturing the faulty benchmark entries.
 
+use mualloy_analyzer::Oracle;
 use mualloy_syntax::walk::strip_spec_spans;
 use mualloy_syntax::{Span, Spec};
-use specrepair_mutation::{inject_fault, InjectorConfig};
-use std::collections::HashSet;
+use specrepair_mutation::{inject_fault_with, InjectorConfig};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 /// Which benchmark a problem belongs to.
@@ -75,11 +76,15 @@ pub fn generate_domain(
     let mut out: Vec<RepairProblem> = Vec::with_capacity(count);
     let mut seen: HashSet<u64> = HashSet::new();
     let config = InjectorConfig::default();
+    // One memo table for the whole domain: different seeds frequently
+    // re-derive structurally identical mutants, whose observability check
+    // then costs a lookup instead of a solve.
+    let oracle = Oracle::new();
     let max_seed = (count as u64) * 50 + 64;
     let mut seed = 0u64;
     while out.len() < count && seed < max_seed {
         let (name, truth, truth_source) = &parsed[(seed as usize) % parsed.len()];
-        if let Some(fault) = inject_fault(truth, seed, config) {
+        if let Some(fault) = inject_fault_with(&oracle, truth, seed, config) {
             let mut h = DefaultHasher::new();
             name.hash(&mut h);
             strip_spec_spans(&fault.faulty).hash(&mut h);
@@ -170,7 +175,11 @@ mod tests {
     fn variants_are_mostly_distinct() {
         let problems = generate_domain(BenchmarkId::Alloy4Fun, "toy", EXS, 10);
         let distinct: HashSet<_> = problems.iter().map(|p| p.faulty_source.clone()).collect();
-        assert!(distinct.len() >= 8, "only {} distinct of 10", distinct.len());
+        assert!(
+            distinct.len() >= 8,
+            "only {} distinct of 10",
+            distinct.len()
+        );
     }
 
     #[test]

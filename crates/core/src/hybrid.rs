@@ -13,7 +13,6 @@
 
 use mualloy_syntax::Span;
 
-use crate::localization::localize;
 use crate::technique::{RepairContext, RepairOutcome, RepairTechnique};
 
 /// A technique that can exploit external bug-location hints (the LLM-based
@@ -97,11 +96,7 @@ impl<T: HintedRepair> LocalizeThenFix<T> {
     /// Creates the pipeline named `"Localize><fixer>"`.
     pub fn new(fixer: T, top_k: usize) -> Self {
         let name = format!("Localize>{}", fixer.name());
-        LocalizeThenFix {
-            name,
-            fixer,
-            top_k,
-        }
+        LocalizeThenFix { name, fixer, top_k }
     }
 }
 
@@ -111,7 +106,7 @@ impl<T: HintedRepair> RepairTechnique for LocalizeThenFix<T> {
     }
 
     fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
-        let loc = localize(&ctx.faulty);
+        let loc = crate::localization::localize_with(ctx.oracle.service(), &ctx.faulty);
         let hints = loc.top_spans(self.top_k);
         let out = self.fixer.repair_with_hints(ctx, &hints);
         RepairOutcome {
@@ -150,8 +145,9 @@ impl<A: RepairTechnique, B: RepairTechnique> DynamicSelector<A, B> {
     /// Whether the faulty spec exhibits an over-constraint symptom: some
     /// command annotated `expect 1` is unsatisfiable.
     fn over_constrained(ctx: &RepairContext) -> bool {
-        mualloy_analyzer::Analyzer::new(ctx.faulty.clone())
-            .failing_commands()
+        ctx.oracle
+            .service()
+            .failing_commands(&ctx.faulty)
             .map(|fs| fs.iter().any(|o| o.command.expect == Some(true) && !o.sat))
             .unwrap_or(false)
     }
@@ -266,8 +262,14 @@ mod tests {
     #[test]
     fn union_hybrid_prefers_primary() {
         let h = UnionHybrid::new(
-            Stub { name: "A", succeed: true },
-            Stub { name: "B", succeed: true },
+            Stub {
+                name: "A",
+                succeed: true,
+            },
+            Stub {
+                name: "B",
+                succeed: true,
+            },
         );
         assert_eq!(h.name(), "A+B");
         let out = h.repair(&ctx());
@@ -278,8 +280,14 @@ mod tests {
     #[test]
     fn union_hybrid_falls_back() {
         let h = UnionHybrid::new(
-            Stub { name: "A", succeed: false },
-            Stub { name: "B", succeed: true },
+            Stub {
+                name: "A",
+                succeed: false,
+            },
+            Stub {
+                name: "B",
+                succeed: true,
+            },
         );
         let out = h.repair(&ctx());
         assert!(out.success);
@@ -290,20 +298,36 @@ mod tests {
     #[test]
     fn union_hybrid_total_failure() {
         let h = UnionHybrid::new(
-            Stub { name: "A", succeed: false },
-            Stub { name: "B", succeed: false },
+            Stub {
+                name: "A",
+                succeed: false,
+            },
+            Stub {
+                name: "B",
+                succeed: false,
+            },
         );
         assert!(!h.repair(&ctx()).success);
     }
 
     #[test]
     fn localize_then_fix_passes_hints() {
-        let p = LocalizeThenFix::new(Stub { name: "L", succeed: true }, 3);
+        let p = LocalizeThenFix::new(
+            Stub {
+                name: "L",
+                succeed: true,
+            },
+            3,
+        );
         assert_eq!(p.name(), "Localize>L");
         let out = p.repair(&ctx());
         assert!(out.success);
         // The faulty ctx has at least one suspicious site, so hints flowed.
-        assert!(out.rounds >= 1, "expected non-empty hints, got {}", out.rounds);
+        assert!(
+            out.rounds >= 1,
+            "expected non-empty hints, got {}",
+            out.rounds
+        );
     }
 
     #[test]
@@ -324,8 +348,14 @@ mod tests {
         );
         // Arms that record who ran first by failing with distinct counts.
         let selector = DynamicSelector::new(
-            Stub { name: "SYS", succeed: true },
-            Stub { name: "GEN", succeed: true },
+            Stub {
+                name: "SYS",
+                succeed: true,
+            },
+            Stub {
+                name: "GEN",
+                succeed: true,
+            },
         );
         assert_eq!(selector.name(), "Dynamic(SYS|GEN)");
         // Over-constrained: systematic runs (and succeeds) -> 1 exploration.
@@ -334,8 +364,14 @@ mod tests {
         assert_eq!(out.candidates_explored, 1);
         // Both symptoms still produce an outcome when both arms fail.
         let failing = DynamicSelector::new(
-            Stub { name: "SYS", succeed: false },
-            Stub { name: "GEN", succeed: false },
+            Stub {
+                name: "SYS",
+                succeed: false,
+            },
+            Stub {
+                name: "GEN",
+                succeed: false,
+            },
         );
         assert!(!failing.repair(&under).success);
     }

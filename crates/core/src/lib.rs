@@ -10,7 +10,11 @@
 //! - [`hybrid`]: the RQ3 compositions — [`hybrid::UnionHybrid`] (sequential
 //!   fallback, whose per-spec repair set is the union of its constituents)
 //!   and [`hybrid::LocalizeThenFix`] (traditional localization feeding an
-//!   LLM-style fixer), plus the overlap statistics behind Table II.
+//!   LLM-style fixer), plus the overlap statistics behind Table II;
+//! - [`oracle`]: the repair-side face of the shared memoizing oracle
+//!   service — [`OracleHandle`] (carried by every [`RepairContext`]) and
+//!   [`OracleSession`] (central budget charging: one candidate validated =
+//!   one budget unit).
 //!
 //! # Example
 //!
@@ -33,12 +37,14 @@
 
 pub mod hybrid;
 pub mod localization;
+pub mod oracle;
 pub mod technique;
 
 pub use hybrid::{
     overlap_stats, DynamicSelector, HintedRepair, LocalizeThenFix, OverlapStats, UnionHybrid,
 };
-pub use localization::{first_hit_rank, localize, Localization, SuspiciousSite};
+pub use localization::{first_hit_rank, localize, localize_with, Localization, SuspiciousSite};
+pub use oracle::{OracleHandle, OracleSession};
 pub use technique::{
     oracle_accepts, preserves_oracle_surface, repair_is_valid, RepairBudget, RepairContext,
     RepairOutcome, RepairTechnique,

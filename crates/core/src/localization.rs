@@ -14,7 +14,7 @@
 //! The ranked spans feed ATR's template instantiation and the hybrid
 //! *localize-then-fix* pipelines of RQ3.
 
-use mualloy_analyzer::{Analyzer, CommandOutcome};
+use mualloy_analyzer::{CommandOutcome, Oracle};
 use mualloy_syntax::ast::*;
 use mualloy_syntax::walk::{
     collect_sites, idents_in_formula, node_at, replace_node, NodeId, NodeRepl, NodeSite, OwnerKind,
@@ -60,20 +60,25 @@ pub fn constraint_sites(spec: &Spec) -> Vec<NodeSite> {
     sites
         .into_iter()
         .filter(|s| {
-            s.is_formula
-                && matches!(s.owner.0, OwnerKind::Fact | OwnerKind::Pred)
-                && s.depth <= 1
+            s.is_formula && matches!(s.owner.0, OwnerKind::Fact | OwnerKind::Pred) && s.depth <= 1
         })
         .collect()
 }
 
-/// Localizes the fault(s) in a specification whose oracle fails.
+/// Localizes the fault(s) in a specification whose oracle fails, using a
+/// private one-shot oracle. Prefer [`localize_with`] when a shared service
+/// is available — Multi-Round re-localizes every round, and relaxation
+/// probes repeat across rounds and techniques.
 ///
 /// Returns an empty ranking when the specification satisfies its oracle or
 /// cannot be analyzed at all.
 pub fn localize(spec: &Spec) -> Localization {
-    let analyzer = Analyzer::new(spec.clone());
-    let failing = match analyzer.failing_commands() {
+    localize_with(&Oracle::new(), spec)
+}
+
+/// [`localize`] against a shared memoizing oracle service.
+pub fn localize_with(oracle: &Oracle, spec: &Spec) -> Localization {
+    let failing = match oracle.failing_commands(spec) {
         Ok(f) if !f.is_empty() => f,
         _ => return Localization::default(),
     };
@@ -92,7 +97,7 @@ pub fn localize(spec: &Spec) -> Localization {
         let over_constraint = is_over_constraint(outcome);
         for (idx, site) in sites.iter().enumerate() {
             if over_constraint {
-                if relaxation_fixes(spec, site.id, &outcome.command) {
+                if relaxation_fixes(oracle, spec, site.id, &outcome.command) {
                     scored[idx].score += 1.0;
                 }
             } else if let Some(target_vocab) = command_vocabulary(spec, &outcome.command) {
@@ -105,7 +110,7 @@ pub fn localize(spec: &Spec) -> Localization {
                     // permitted it: small extra suspicion for under-
                     // constraint symptoms.
                     if let Some(cex) = &outcome.instance {
-                        if analyzer.evaluate(cex, &f).unwrap_or(false) {
+                        if oracle.evaluate(spec, cex, &f).unwrap_or(false) {
                             scored[idx].score += 0.25 * overlap;
                         }
                     }
@@ -131,13 +136,12 @@ fn is_over_constraint(outcome: &CommandOutcome) -> bool {
 }
 
 /// Replaces the site with `true` and re-runs the failing command.
-fn relaxation_fixes(spec: &Spec, site: NodeId, cmd: &Command) -> bool {
+fn relaxation_fixes(oracle: &Oracle, spec: &Spec, site: NodeId, cmd: &Command) -> bool {
     let Some(relaxed) = replace_node(spec, site, NodeRepl::Formula(Formula::truth())) else {
         return false;
     };
-    let analyzer = Analyzer::new(relaxed);
-    analyzer
-        .run_command(cmd)
+    oracle
+        .run_command(&relaxed, cmd)
         .map(|o| o.matches_expectation())
         .unwrap_or(false)
 }
@@ -172,12 +176,10 @@ fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
 /// Scores a localization against known fault spans: the rank (1-based) of
 /// the first ranked site whose span overlaps a true fault span, or `None`.
 pub fn first_hit_rank(loc: &Localization, fault_spans: &[Span]) -> Option<usize> {
-    loc.ranked.iter().position(|s| {
-        fault_spans
-            .iter()
-            .any(|f| spans_overlap(s.span, *f))
-    })
-    .map(|i| i + 1)
+    loc.ranked
+        .iter()
+        .position(|s| fault_spans.iter().any(|f| spans_overlap(s.span, *f)))
+        .map(|i| i + 1)
 }
 
 fn spans_overlap(a: Span, b: Span) -> bool {
@@ -271,10 +273,8 @@ mod tests {
 
     #[test]
     fn top_helpers_truncate() {
-        let spec = parse_spec(
-            "sig N {} fact { no N } pred p { some N } run p for 3 expect 1",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("sig N {} fact { no N } pred p { some N } run p for 3 expect 1").unwrap();
         let loc = localize(&spec);
         assert_eq!(loc.top_spans(1).len(), 1.min(loc.ranked.len()));
         assert_eq!(loc.top_sites(100).len(), loc.ranked.len());

@@ -1,0 +1,181 @@
+//! The repair-side face of the shared oracle service: a cloneable handle
+//! every [`RepairContext`](crate::RepairContext) carries, plus metered
+//! validation sessions that centralize budget charging.
+//!
+//! Budget semantics: **one candidate validated = one budget unit**. A
+//! [`OracleSession`] is opened per repair attempt; techniques no longer
+//! count validations by hand — they ask the session, which charges the
+//! unit, refuses once the cap is reached, and answers from the shared
+//! memo table when the same candidate has been validated before (by any
+//! technique sharing the handle).
+
+use std::sync::Arc;
+
+use mualloy_analyzer::{Oracle, OracleCacheStats};
+use mualloy_syntax::Spec;
+
+/// A cheap, cloneable handle to a shared [`Oracle`] service.
+///
+/// Cloning the handle shares the underlying memo table; a fresh handle
+/// ([`OracleHandle::fresh`]) starts an independent one.
+#[derive(Clone)]
+pub struct OracleHandle {
+    service: Arc<Oracle>,
+}
+
+impl std::fmt::Debug for OracleHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleHandle")
+            .field("service", &*self.service)
+            .finish()
+    }
+}
+
+impl Default for OracleHandle {
+    fn default() -> Self {
+        OracleHandle::fresh()
+    }
+}
+
+impl OracleHandle {
+    /// A handle to a fresh memoizing oracle.
+    pub fn fresh() -> OracleHandle {
+        OracleHandle {
+            service: Arc::new(Oracle::new()),
+        }
+    }
+
+    /// A handle to a pass-through (non-caching) oracle — the control arm
+    /// of the cache-on/cache-off equivalence gate.
+    pub fn disabled() -> OracleHandle {
+        OracleHandle {
+            service: Arc::new(Oracle::disabled()),
+        }
+    }
+
+    /// Wraps an existing shared service.
+    pub fn shared(service: Arc<Oracle>) -> OracleHandle {
+        OracleHandle { service }
+    }
+
+    /// The underlying oracle service.
+    pub fn service(&self) -> &Oracle {
+        &self.service
+    }
+
+    /// Snapshot of the service's cache counters.
+    pub fn stats(&self) -> OracleCacheStats {
+        self.service.stats()
+    }
+
+    /// Opens a metered validation session capped at `max_candidates`.
+    pub fn session(&self, max_candidates: usize) -> OracleSession<'_> {
+        OracleSession {
+            oracle: &self.service,
+            cap: Some(max_candidates),
+            validated: 0,
+        }
+    }
+
+    /// Opens an unmetered session: validations are counted but never
+    /// refused. For techniques whose validation count is bounded elsewhere
+    /// (e.g. one validation per refinement round).
+    pub fn unmetered_session(&self) -> OracleSession<'_> {
+        OracleSession {
+            oracle: &self.service,
+            cap: None,
+            validated: 0,
+        }
+    }
+}
+
+/// Central budget accounting for one repair attempt: every candidate
+/// validation is charged here, one unit each.
+#[derive(Debug)]
+pub struct OracleSession<'a> {
+    oracle: &'a Oracle,
+    cap: Option<usize>,
+    validated: usize,
+}
+
+impl OracleSession<'_> {
+    /// Budget units charged so far (= candidates validated).
+    pub fn validated(&self) -> usize {
+        self.validated
+    }
+
+    /// Whether the session's budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.cap.is_some_and(|c| self.validated >= c)
+    }
+
+    /// Charges one budget unit and answers whether `candidate` satisfies
+    /// its own command oracle. Returns `None` — charging nothing and not
+    /// solving — once the budget is exhausted.
+    ///
+    /// An oracle *error* counts the candidate as explored-but-invalid: the
+    /// unit is charged, `Some(false)` is returned, and the error is tallied
+    /// in the service's [`OracleCacheStats::errors`] counter.
+    pub fn validate(&mut self, candidate: &Spec) -> Option<bool> {
+        if self.exhausted() {
+            return None;
+        }
+        self.validated += 1;
+        Some(self.oracle.satisfies_oracle(candidate).unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::parse_spec;
+
+    const GOOD: &str = "sig N { next: lone N } \
+        fact { no n: N | n in n.^next } \
+        assert NoSelf { all n: N | n not in n.next } \
+        check NoSelf for 3 expect 0";
+
+    #[test]
+    fn session_charges_one_unit_per_validation() {
+        let handle = OracleHandle::fresh();
+        let spec = parse_spec(GOOD).unwrap();
+        let mut session = handle.session(2);
+        assert_eq!(session.validate(&spec), Some(true));
+        assert_eq!(session.validate(&spec), Some(true));
+        assert_eq!(session.validated(), 2);
+        assert!(session.exhausted());
+        assert_eq!(session.validate(&spec), None, "budget spent: no charge");
+        assert_eq!(session.validated(), 2);
+    }
+
+    #[test]
+    fn sessions_share_the_handle_cache() {
+        let handle = OracleHandle::fresh();
+        let spec = parse_spec(GOOD).unwrap();
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        let stats = handle.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn unmetered_session_never_refuses() {
+        let handle = OracleHandle::fresh();
+        let spec = parse_spec(GOOD).unwrap();
+        let mut session = handle.unmetered_session();
+        for _ in 0..5 {
+            assert_eq!(session.validate(&spec), Some(true));
+        }
+        assert!(!session.exhausted());
+        assert_eq!(session.validated(), 5);
+    }
+
+    #[test]
+    fn disabled_handle_still_validates() {
+        let handle = OracleHandle::disabled();
+        let spec = parse_spec(GOOD).unwrap();
+        assert_eq!(handle.session(1).validate(&spec), Some(true));
+        assert_eq!(handle.stats().hits, 0);
+    }
+}

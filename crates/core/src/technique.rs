@@ -1,8 +1,10 @@
 //! The repair-technique abstraction shared by every tool in the study.
 
-use mualloy_analyzer::Analyzer;
+use mualloy_analyzer::Oracle;
 use mualloy_syntax::Spec;
 use serde::{Deserialize, Serialize};
+
+use crate::oracle::{OracleHandle, OracleSession};
 
 /// Resource budget for one repair attempt.
 ///
@@ -50,6 +52,9 @@ pub struct RepairContext {
     pub source: String,
     /// Resource budget.
     pub budget: RepairBudget,
+    /// Handle to the shared memoizing oracle service all validations go
+    /// through. Clone one handle across techniques to share its cache.
+    pub oracle: OracleHandle,
 }
 
 impl RepairContext {
@@ -60,6 +65,7 @@ impl RepairContext {
             faulty,
             source,
             budget,
+            oracle: OracleHandle::fresh(),
         }
     }
 
@@ -77,7 +83,25 @@ impl RepairContext {
             faulty,
             source: source.to_string(),
             budget,
+            oracle: OracleHandle::fresh(),
         })
+    }
+
+    /// Replaces the oracle handle (to share one service across contexts).
+    pub fn with_oracle(mut self, oracle: OracleHandle) -> RepairContext {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Opens the central budget-charging session for one repair attempt,
+    /// capped at the context's candidate budget.
+    pub fn validation_session(&self) -> OracleSession<'_> {
+        self.oracle.session(self.budget.max_candidates)
+    }
+
+    /// [`repair_is_valid`] against this context's faulty spec and oracle.
+    pub fn repair_is_valid(&self, candidate: &Spec) -> bool {
+        repair_is_valid(self.oracle.service(), &self.faulty, candidate)
     }
 }
 
@@ -144,13 +168,13 @@ pub trait RepairTechnique {
     fn repair(&self, ctx: &RepairContext) -> RepairOutcome;
 }
 
-/// Validates a candidate against the specification's own command oracle.
+/// Validates a candidate against the specification's own command oracle,
+/// through the shared memoizing service.
 ///
-/// Returns `false` for candidates that fail to execute.
-pub fn oracle_accepts(candidate: &Spec) -> bool {
-    Analyzer::new(candidate.clone())
-        .satisfies_oracle()
-        .unwrap_or(false)
+/// Returns `false` for candidates that fail to execute; the failure is
+/// tallied in the oracle's error counter rather than silently dropped.
+pub fn oracle_accepts(oracle: &Oracle, candidate: &Spec) -> bool {
+    oracle.satisfies_oracle(candidate).unwrap_or(false)
 }
 
 /// Whether the candidate preserves the *oracle surface* of the original:
@@ -168,8 +192,8 @@ pub fn preserves_oracle_surface(original: &Spec, candidate: &Spec) -> bool {
 }
 
 /// [`oracle_accepts`] plus the [`preserves_oracle_surface`] guard.
-pub fn repair_is_valid(original: &Spec, candidate: &Spec) -> bool {
-    preserves_oracle_surface(original, candidate) && oracle_accepts(candidate)
+pub fn repair_is_valid(oracle: &Oracle, original: &Spec, candidate: &Spec) -> bool {
+    preserves_oracle_surface(original, candidate) && oracle_accepts(oracle, candidate)
 }
 
 #[cfg(test)]
@@ -184,13 +208,29 @@ mod tests {
 
     #[test]
     fn oracle_accepts_correct_spec() {
-        assert!(oracle_accepts(&parse_spec(GOOD).unwrap()));
+        assert!(oracle_accepts(&Oracle::new(), &parse_spec(GOOD).unwrap()));
     }
 
     #[test]
     fn oracle_rejects_faulty_spec() {
         let bad = GOOD.replace("no n: N | n in n.^next", "some univ || no univ");
-        assert!(!oracle_accepts(&parse_spec(&bad).unwrap()));
+        assert!(!oracle_accepts(&Oracle::new(), &parse_spec(&bad).unwrap()));
+    }
+
+    #[test]
+    fn context_validation_session_is_budget_capped() {
+        let ctx = RepairContext::from_source(
+            GOOD,
+            RepairBudget {
+                max_candidates: 1,
+                max_rounds: 1,
+            },
+        )
+        .unwrap();
+        let mut session = ctx.validation_session();
+        assert_eq!(session.validate(&ctx.faulty), Some(true));
+        assert_eq!(session.validate(&ctx.faulty), None);
+        assert!(ctx.repair_is_valid(&ctx.faulty));
     }
 
     #[test]

@@ -264,10 +264,9 @@ pub(crate) fn style_noise(spec: &Spec, rng: &mut ChaCha8Rng) -> Spec {
             Formula::Binary(*op, r.clone(), l.clone(), span)
         }
         // `no e` <-> `!(some e)`.
-        Formula::Mult(MultOp::No, e, _) => Formula::Not(
-            Box::new(Formula::Mult(MultOp::Some, e.clone(), span)),
-            span,
-        ),
+        Formula::Mult(MultOp::No, e, _) => {
+            Formula::Not(Box::new(Formula::Mult(MultOp::Some, e.clone(), span)), span)
+        }
         Formula::Not(inner, _) => match inner.as_ref() {
             Formula::Mult(MultOp::Some, e, _) => Formula::Mult(MultOp::No, e.clone(), span),
             _ => return spec.clone(),
@@ -310,7 +309,9 @@ mod tests {
         let mut parses = 0;
         let mut differs = 0;
         for seed in 0..40u64 {
-            let Some(text) = lm.propose(&prompt, None, &mut rng(seed)) else { continue };
+            let Some(text) = lm.propose(&prompt, None, &mut rng(seed)) else {
+                continue;
+            };
             if let Ok(spec) = mualloy_syntax::parse_spec(&text) {
                 parses += 1;
                 if mualloy_syntax::print_spec(&spec)

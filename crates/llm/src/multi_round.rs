@@ -13,13 +13,12 @@
 //!   report into targeted guidance: sampling is *restricted* to the
 //!   top-ranked suspicious sites.
 
-use mualloy_analyzer::AnalyzerReport;
+use mualloy_analyzer::{AnalyzerReport, Oracle};
 use mualloy_syntax::Span;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use specrepair_core::{
-    localization::localize, repair_is_valid, HintedRepair, RepairContext, RepairOutcome,
-    RepairTechnique,
+    localization::localize_with, HintedRepair, RepairContext, RepairOutcome, RepairTechnique,
 };
 use std::collections::HashSet;
 
@@ -57,11 +56,15 @@ impl MultiRound {
     }
 
     /// Builds the next round's guidance from the last failed candidate.
-    fn prompt_agent(&self, last_candidate: &mualloy_syntax::Spec) -> Option<Guidance> {
+    fn prompt_agent(
+        &self,
+        oracle: &Oracle,
+        last_candidate: &mualloy_syntax::Spec,
+    ) -> Option<Guidance> {
         match self.feedback {
             FeedbackSetting::None => None,
             FeedbackSetting::Generic | FeedbackSetting::Auto => {
-                let loc = localize(last_candidate);
+                let loc = localize_with(oracle, last_candidate);
                 if loc.ranked.is_empty() {
                     return None;
                 }
@@ -110,9 +113,11 @@ impl MultiRound {
                 if !seen.insert(text.clone()) {
                     continue; // duplicate completion: free skip
                 }
-                let Ok(candidate) = mualloy_syntax::parse_spec(&text) else { continue };
+                let Ok(candidate) = mualloy_syntax::parse_spec(&text) else {
+                    continue;
+                };
                 explored += 1;
-                if repair_is_valid(&ctx.faulty, &candidate) {
+                if ctx.repair_is_valid(&candidate) {
                     return RepairOutcome {
                         technique: self.feedback.label().to_string(),
                         success: true,
@@ -126,12 +131,12 @@ impl MultiRound {
             }
             // Prepare the next round.
             if let Some((cand, _)) = &last_parsed {
-                guidance = self.prompt_agent(cand);
+                guidance = self.prompt_agent(ctx.oracle.service(), cand);
                 prompt.feedback = match self.feedback {
                     FeedbackSetting::None => Some("The specification is still faulty.".to_string()),
-                    FeedbackSetting::Generic | FeedbackSetting::Auto => {
-                        Some(AnalyzerReport::for_source(&mualloy_syntax::print_spec(cand)).to_string())
-                    }
+                    FeedbackSetting::Generic | FeedbackSetting::Auto => Some(
+                        AnalyzerReport::for_source(&mualloy_syntax::print_spec(cand)).to_string(),
+                    ),
                 };
             }
         }
@@ -206,7 +211,10 @@ mod tests {
         // often than 1 (sanity check of the paper's central mechanism).
         let mut multi_wins = 0;
         for seed in 0..6u64 {
-            if MultiRound::new(FeedbackSetting::None, seed).repair(&ctx()).success {
+            if MultiRound::new(FeedbackSetting::None, seed)
+                .repair(&ctx())
+                .success
+            {
                 multi_wins += 1;
             }
         }

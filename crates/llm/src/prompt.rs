@@ -50,7 +50,10 @@ impl PromptSetting {
 
     /// Whether the setting carries the bug location.
     pub fn has_loc(&self) -> bool {
-        matches!(self, PromptSetting::LocFix | PromptSetting::Loc | PromptSetting::LocPass)
+        matches!(
+            self,
+            PromptSetting::LocFix | PromptSetting::Loc | PromptSetting::LocPass
+        )
     }
 
     /// Whether the setting carries the fix description.
@@ -121,9 +124,21 @@ impl ProblemHints {
     /// Restricts the hints to what a given prompt setting may see.
     pub fn filtered(&self, setting: PromptSetting) -> ProblemHints {
         ProblemHints {
-            loc: if setting.has_loc() { self.loc.clone() } else { Vec::new() },
-            fix: if setting.has_fix() { self.fix.clone() } else { Vec::new() },
-            pass: if setting.has_pass() { self.pass.clone() } else { None },
+            loc: if setting.has_loc() {
+                self.loc.clone()
+            } else {
+                Vec::new()
+            },
+            fix: if setting.has_fix() {
+                self.fix.clone()
+            } else {
+                Vec::new()
+            },
+            pass: if setting.has_pass() {
+                self.pass.clone()
+            } else {
+                None
+            },
         }
     }
 }

@@ -8,11 +8,10 @@
 //! how a requirement stated in the prompt manifests in a single visible
 //! answer.
 
-use mualloy_analyzer::Analyzer;
 use mualloy_syntax::Span;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use specrepair_core::{repair_is_valid, HintedRepair, RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{HintedRepair, RepairContext, RepairOutcome, RepairTechnique};
 
 use crate::model::SyntheticLm;
 use crate::prompt::{ProblemHints, Prompt, PromptSetting};
@@ -88,17 +87,22 @@ impl SingleRound {
         let mut last_text: Option<String> = None;
         let mut explored = 0usize;
         for _ in 0..drafts {
-            let Some(text) = self.lm.propose(&prompt, None, &mut rng) else { break };
+            let Some(text) = self.lm.propose(&prompt, None, &mut rng) else {
+                break;
+            };
             last_text = Some(text.clone());
-            let Ok(candidate) = mualloy_syntax::parse_spec(&text) else { continue };
+            let Ok(candidate) = mualloy_syntax::parse_spec(&text) else {
+                continue;
+            };
             explored += 1;
             let emit = if full_check {
                 // The model mentally verifies the whole specification.
-                repair_is_valid(&ctx.faulty, &candidate)
+                ctx.repair_is_valid(&candidate)
             } else if let Some(assert_name) = &hints.pass {
                 // The model only verifies the assertion named in the prompt.
-                Analyzer::new(candidate.clone())
-                    .check_assert(assert_name, default_scope(&candidate))
+                ctx.oracle
+                    .service()
+                    .check_assert(&candidate, assert_name, default_scope(&candidate))
                     .map(|o| !o.sat)
                     .unwrap_or(false)
             } else {
@@ -106,7 +110,7 @@ impl SingleRound {
                 true
             };
             if emit {
-                let success = repair_is_valid(&ctx.faulty, &candidate);
+                let success = ctx.repair_is_valid(&candidate);
                 return RepairOutcome {
                     technique: self.setting.label().to_string(),
                     success,
@@ -124,7 +128,7 @@ impl SingleRound {
                 let candidate = mualloy_syntax::parse_spec(&text).ok();
                 let success = candidate
                     .as_ref()
-                    .map(|c| repair_is_valid(&ctx.faulty, c))
+                    .map(|c| ctx.repair_is_valid(c))
                     .unwrap_or(false);
                 RepairOutcome {
                     technique: self.setting.label().to_string(),

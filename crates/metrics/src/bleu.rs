@@ -98,7 +98,10 @@ mod tests {
         let t = "sig A { f: set A } fact { some A }";
         assert_eq!(sentence_bleu(t, t), 1.0);
         // Whitespace-insensitive.
-        assert_eq!(sentence_bleu(t, "sig A {\n  f: set A\n}\nfact { some A }"), 1.0);
+        assert_eq!(
+            sentence_bleu(t, "sig A {\n  f: set A\n}\nfact { some A }"),
+            1.0
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl LabeledTree {
 pub fn spec_tree(spec: &Spec) -> LabeledTree {
     let mut children = Vec::new();
     if let Some(m) = &spec.module {
-        children.push(LabeledTree::node("module", vec![LabeledTree::leaf(m.clone())]));
+        children.push(LabeledTree::node(
+            "module",
+            vec![LabeledTree::leaf(m.clone())],
+        ));
     }
     for sig in &spec.sigs {
         let mut kids = vec![LabeledTree::leaf(&sig.name)];
@@ -60,10 +63,16 @@ pub fn spec_tree(spec: &Spec) -> LabeledTree {
             kids.push(LabeledTree::leaf(format!("{m:?}")));
         }
         if let Some(p) = &sig.parent {
-            kids.push(LabeledTree::node("extends", vec![LabeledTree::leaf(p.clone())]));
+            kids.push(LabeledTree::node(
+                "extends",
+                vec![LabeledTree::leaf(p.clone())],
+            ));
         }
         for f in &sig.fields {
-            let mut fk = vec![LabeledTree::leaf(&f.name), LabeledTree::leaf(f.mult.to_string())];
+            let mut fk = vec![
+                LabeledTree::leaf(&f.name),
+                LabeledTree::leaf(f.mult.to_string()),
+            ];
             for c in &f.cols {
                 fk.push(LabeledTree::leaf(c.clone()));
             }
@@ -106,7 +115,10 @@ pub fn spec_tree(spec: &Spec) -> LabeledTree {
     }
     for c in &spec.commands {
         let verb = if c.is_check() { "check" } else { "run" };
-        let mut kids = vec![LabeledTree::leaf(c.target()), LabeledTree::leaf(c.scope.to_string())];
+        let mut kids = vec![
+            LabeledTree::leaf(c.target()),
+            LabeledTree::leaf(c.scope.to_string()),
+        ];
         if let Some(e) = c.expect {
             kids.push(LabeledTree::leaf(format!("expect{}", u8::from(e))));
         }
@@ -134,7 +146,10 @@ pub fn formula_tree(f: &Formula) -> LabeledTree {
             let mut kids: Vec<LabeledTree> = decls
                 .iter()
                 .map(|d| {
-                    LabeledTree::node("decl", vec![LabeledTree::leaf(&d.name), expr_tree(&d.bound)])
+                    LabeledTree::node(
+                        "decl",
+                        vec![LabeledTree::leaf(&d.name), expr_tree(&d.bound)],
+                    )
                 })
                 .collect();
             kids.push(formula_tree(body));
@@ -142,7 +157,11 @@ pub fn formula_tree(f: &Formula) -> LabeledTree {
         }
         Formula::Let(n, e, body, _) => LabeledTree::node(
             "let",
-            vec![LabeledTree::leaf(n.clone()), expr_tree(e), formula_tree(body)],
+            vec![
+                LabeledTree::leaf(n.clone()),
+                expr_tree(e),
+                formula_tree(body),
+            ],
         ),
         Formula::PredCall(n, args, _) => {
             let mut kids = vec![LabeledTree::leaf(n.clone())];
@@ -167,16 +186,18 @@ pub fn expr_tree(e: &Expr) -> LabeledTree {
             let mut kids: Vec<LabeledTree> = decls
                 .iter()
                 .map(|d| {
-                    LabeledTree::node("decl", vec![LabeledTree::leaf(&d.name), expr_tree(&d.bound)])
+                    LabeledTree::node(
+                        "decl",
+                        vec![LabeledTree::leaf(&d.name), expr_tree(&d.bound)],
+                    )
                 })
                 .collect();
             kids.push(formula_tree(body));
             LabeledTree::node("comprehension", kids)
         }
-        Expr::IfThenElse(c, t, f, _) => LabeledTree::node(
-            "ite",
-            vec![formula_tree(c), expr_tree(t), expr_tree(f)],
-        ),
+        Expr::IfThenElse(c, t, f, _) => {
+            LabeledTree::node("ite", vec![formula_tree(c), expr_tree(t), expr_tree(f)])
+        }
         Expr::FunCall(n, args, _) => {
             let mut kids = vec![LabeledTree::leaf(n.clone())];
             kids.extend(args.iter().map(expr_tree));
@@ -298,7 +319,12 @@ mod tests {
 
     #[test]
     fn renamed_identifier_lowers_score() {
-        let renamed = SPEC.replace("sig A", "sig B").replace(": A", ": B").replace("x.f", "x.f").replace("some A", "some B").replace("set A", "set B").replace("x: A", "x: B");
+        let renamed = SPEC
+            .replace("sig A", "sig B")
+            .replace(": A", ": B")
+            .replace("some A", "some B")
+            .replace("set A", "set B")
+            .replace("x: A", "x: B");
         let s = syntax_match(SPEC, &renamed);
         assert!(s < 1.0);
     }

@@ -120,10 +120,10 @@ mod tests {
             ("c".to_string(), vec![4.0, 3.0, 2.0, 1.0]),
         ];
         let m = correlation_matrix(&series);
-        for i in 0..3 {
-            assert_eq!(m[i][i], Some(1.0));
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], Some(1.0));
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, m[j][i]);
             }
         }
         assert!(m[0][2].unwrap() < 0.0);

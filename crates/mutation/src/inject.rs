@@ -7,14 +7,14 @@
 //! Alloy4Fun and ARepair corpora, where every entry is a human-written buggy
 //! variant of a known-correct model.
 
-use mualloy_analyzer::Analyzer;
+use mualloy_analyzer::Oracle;
 use mualloy_syntax::ast::Formula;
 use mualloy_syntax::walk::{collect_sites, replace_node, strip_spec_spans, NodeRepl, OwnerKind};
 use mualloy_syntax::{Span, Spec};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::ops::{Mutation, MutationEngine, MutationKind};
 
@@ -62,6 +62,18 @@ impl Default for InjectorConfig {
 /// Returns `None` when no observably-faulty mutant could be produced within
 /// the attempt budget (e.g. the specification has no commands).
 pub fn inject_fault(truth: &Spec, seed: u64, config: InjectorConfig) -> Option<InjectedFault> {
+    inject_fault_with(&Oracle::new(), truth, seed, config)
+}
+
+/// [`inject_fault`] against a caller-provided oracle, so corpus generation
+/// can share one memo table across all seeds of a domain (different seeds
+/// frequently re-derive structurally identical mutants).
+pub fn inject_fault_with(
+    oracle: &Oracle,
+    truth: &Spec,
+    seed: u64,
+    config: InjectorConfig,
+) -> Option<InjectedFault> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let truth_shape = strip_spec_spans(truth);
     for _ in 0..config.max_attempts {
@@ -86,8 +98,7 @@ pub fn inject_fault(truth: &Spec, seed: u64, config: InjectorConfig) -> Option<I
             continue; // cosmetically different but structurally identical
         }
         // Observability: the mutant must violate the command oracle.
-        let analyzer = Analyzer::new(current.clone());
-        match analyzer.satisfies_oracle() {
+        match oracle.satisfies_oracle(&current) {
             Ok(false) => {
                 return Some(InjectedFault {
                     faulty: current,
@@ -138,9 +149,7 @@ fn delete_constraint(truth: &Spec, rng: &mut ChaCha8Rng) -> Option<(Spec, Vec<St
     let top_level: Vec<_> = sites
         .iter()
         .filter(|s| {
-            s.is_formula
-                && s.depth == 0
-                && matches!(s.owner.0, OwnerKind::Fact | OwnerKind::Pred)
+            s.is_formula && s.depth == 0 && matches!(s.owner.0, OwnerKind::Fact | OwnerKind::Pred)
         })
         .collect();
     let site = top_level.choose(rng)?;
@@ -155,6 +164,7 @@ fn delete_constraint(truth: &Spec, rng: &mut ChaCha8Rng) -> Option<(Spec, Vec<St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mualloy_analyzer::Analyzer;
     use mualloy_syntax::parse_spec;
 
     const TRUTH: &str = "sig N { next: lone N } \
@@ -192,10 +202,7 @@ mod tests {
         let a = inject_fault(&truth, 42, InjectorConfig::default()).unwrap();
         let b = inject_fault(&truth, 42, InjectorConfig::default()).unwrap();
         assert_eq!(a.edits, b.edits);
-        assert_eq!(
-            strip_spec_spans(&a.faulty),
-            strip_spec_spans(&b.faulty)
-        );
+        assert_eq!(strip_spec_spans(&a.faulty), strip_spec_spans(&b.faulty));
     }
 
     #[test]

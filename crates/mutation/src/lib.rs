@@ -35,7 +35,7 @@ pub mod ops;
 pub mod synthesis;
 pub mod vocab;
 
-pub use inject::{inject_fault, InjectedFault, InjectorConfig};
+pub use inject::{inject_fault, inject_fault_with, InjectedFault, InjectorConfig};
 pub use ops::{Mutation, MutationEngine, MutationKind};
 pub use synthesis::{synthesis_mutations, template_formulas};
 pub use vocab::Vocabulary;
@@ -70,6 +70,43 @@ mod proptests {
             let printed = mualloy_syntax::print_spec(&mutant);
             let reparsed = mualloy_syntax::parse_spec(&printed).unwrap();
             prop_assert!(check_spec(&reparsed).is_empty());
+        }
+
+        /// The memoizing oracle is answer-preserving: for arbitrary mutants
+        /// of command-bearing specs, its verdicts — both the cold miss and
+        /// the warm replay — equal a fresh `Analyzer`'s.
+        #[test]
+        fn oracle_cache_agrees_with_fresh_analyzer(
+            idx in 0usize..3,
+            pick in any::<prop::sample::Index>(),
+        ) {
+            let sources = [
+                "sig N { next: lone N } fact Acyclic { no n: N | n in n.^next } \
+                 assert NoSelf { all n: N | n not in n.next } check NoSelf for 3 expect 0",
+                "sig N {} fact Dead { no N } pred p { some N } run p for 3 expect 1",
+                "sig A { f: set A } fact F { all x: A | x in x.f } \
+                 pred q { some f } run q for 3 expect 1",
+            ];
+            let spec = parse_spec(sources[idx]).unwrap();
+            let engine = MutationEngine::new(&spec);
+            let all = engine.all_mutations();
+            prop_assume!(!all.is_empty());
+            let m = &all[pick.index(all.len())];
+            let mutant = engine.apply(m).unwrap();
+
+            let oracle = mualloy_analyzer::Oracle::new();
+            let fresh = mualloy_analyzer::Analyzer::new(mutant.clone()).satisfies_oracle();
+            let cold = oracle.satisfies_oracle(&mutant);
+            let warm = oracle.satisfies_oracle(&mutant);
+            prop_assert_eq!(&cold, &fresh);
+            prop_assert_eq!(&warm, &fresh);
+            prop_assert!(oracle.stats().hits >= 1, "second query must replay the memo");
+
+            // Derived views replay from the same memo entry and must agree
+            // with a fresh analysis as well.
+            let fresh_failing =
+                mualloy_analyzer::Analyzer::new(mutant.clone()).failing_commands();
+            prop_assert_eq!(oracle.failing_commands(&mutant), fresh_failing);
         }
     }
 }

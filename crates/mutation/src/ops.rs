@@ -12,7 +12,9 @@
 //! benchmarks.
 
 use mualloy_syntax::ast::*;
-use mualloy_syntax::walk::{collect_sites, node_at, replace_node, NodeId, NodeRepl, NodeSite, OwnerKind};
+use mualloy_syntax::walk::{
+    collect_sites, node_at, replace_node, NodeId, NodeRepl, NodeSite, OwnerKind,
+};
 
 use crate::vocab::Vocabulary;
 
@@ -113,9 +115,7 @@ impl MutationEngine {
 
     /// The mutable sites (facts, predicates, functions — not assertions).
     pub fn sites(&self) -> impl Iterator<Item = &NodeSite> {
-        self.sites
-            .iter()
-            .filter(|s| s.owner.0 != OwnerKind::Assert)
+        self.sites.iter().filter(|s| s.owner.0 != OwnerKind::Assert)
     }
 
     /// All mutations across all mutable sites, in deterministic order.
@@ -166,7 +166,12 @@ impl MutationEngine {
         let span = f.span();
         match f {
             Formula::Binary(op, l, r, _) => {
-                for alt in [BinFormOp::And, BinFormOp::Or, BinFormOp::Implies, BinFormOp::Iff] {
+                for alt in [
+                    BinFormOp::And,
+                    BinFormOp::Or,
+                    BinFormOp::Implies,
+                    BinFormOp::Iff,
+                ] {
                     if alt != *op {
                         self.push(
                             out,
@@ -255,7 +260,12 @@ impl MutationEngine {
                         self.push(
                             out,
                             site,
-                            NodeRepl::Formula(Formula::Quant(alt, decls.clone(), body.clone(), span)),
+                            NodeRepl::Formula(Formula::Quant(
+                                alt,
+                                decls.clone(),
+                                body.clone(),
+                                span,
+                            )),
                             MutationKind::QuantReplace,
                             format!("replace `{}` with `{}`", q.keyword(), alt.keyword()),
                         );
@@ -314,14 +324,23 @@ impl MutationEngine {
                     self.push(
                         out,
                         site,
-                        NodeRepl::Expr(Expr::Binary(BinExprOp::RanRestrict, r.clone(), l.clone(), span)),
+                        NodeRepl::Expr(Expr::Binary(
+                            BinExprOp::RanRestrict,
+                            r.clone(),
+                            l.clone(),
+                            span,
+                        )),
                         MutationKind::SetOpReplace,
                         "turn `<:` into `:>`".to_string(),
                     );
                 }
             }
             Expr::Unary(op, inner, _) => {
-                for alt in [UnExprOp::Closure, UnExprOp::ReflClosure, UnExprOp::Transpose] {
+                for alt in [
+                    UnExprOp::Closure,
+                    UnExprOp::ReflClosure,
+                    UnExprOp::Transpose,
+                ] {
                     if alt != *op {
                         self.push(
                             out,
@@ -450,7 +469,9 @@ mod tests {
     fn all_mutants_are_well_formed() {
         let engine = MutationEngine::new(&spec());
         for m in engine.all_mutations() {
-            let mutant = engine.apply(&m).unwrap_or_else(|| panic!("apply failed: {m:?}"));
+            let mutant = engine
+                .apply(&m)
+                .unwrap_or_else(|| panic!("apply failed: {m:?}"));
             assert!(
                 check_spec(&mutant).is_empty(),
                 "mutation `{}` produced ill-formed spec",

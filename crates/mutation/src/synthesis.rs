@@ -75,7 +75,11 @@ pub fn template_formulas(vocab: &Vocabulary, site: &NodeSite, cap: usize) -> Vec
         if *arity == 2 {
             let field = Expr::ident(f.clone());
             let transposed = Expr::unary(UnExprOp::Transpose, field.clone());
-            symmetry.push(Formula::compare(CmpOp::Eq, field.clone(), transposed.clone()));
+            symmetry.push(Formula::compare(
+                CmpOp::Eq,
+                field.clone(),
+                transposed.clone(),
+            ));
             symmetry.push(Formula::compare(CmpOp::In, field, transposed));
         }
     }
@@ -147,10 +151,7 @@ pub fn synthesis_mutations(
                     span: site.span,
                     repl: NodeRepl::Formula(strengthened),
                     kind: MutationKind::TemplateConjoin,
-                    description: format!(
-                        "conjoin `{}`",
-                        mualloy_syntax::print_formula(t)
-                    ),
+                    description: format!("conjoin `{}`", mualloy_syntax::print_formula(t)),
                 });
             }
         }
@@ -180,7 +181,9 @@ mod tests {
         let sites: Vec<_> = engine.sites().cloned().collect();
         let templates = template_formulas(&vocab, &sites[0], 40);
         assert!(!templates.is_empty() && templates.len() <= 40);
-        assert!(templates.iter().any(|f| matches!(f, Formula::Mult(_, _, _))));
+        assert!(templates
+            .iter()
+            .any(|f| matches!(f, Formula::Mult(_, _, _))));
         assert!(templates
             .iter()
             .any(|f| matches!(f, Formula::Compare(_, _, _, _))));
@@ -197,7 +200,9 @@ mod tests {
         let mut replaced = 0;
         let mut conjoined = 0;
         for m in &muts {
-            let mutant = engine.apply(m).unwrap_or_else(|| panic!("{}", m.description));
+            let mutant = engine
+                .apply(m)
+                .unwrap_or_else(|| panic!("{}", m.description));
             assert!(check_spec(&mutant).is_empty(), "{}", m.description);
             if m.description.starts_with("conjoin") {
                 conjoined += 1;

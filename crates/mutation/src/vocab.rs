@@ -44,10 +44,7 @@ impl Vocabulary {
 
     /// Whether the name denotes a field; returns its arity.
     pub fn field_arity(&self, name: &str) -> Option<usize> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, a)| *a)
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, a)| *a)
     }
 }
 
@@ -58,10 +55,7 @@ mod tests {
 
     #[test]
     fn extracts_names_and_arities() {
-        let spec = parse_spec(
-            "sig A { f: set B, g: B -> lone B } sig B {} one sig S {}",
-        )
-        .unwrap();
+        let spec = parse_spec("sig A { f: set B, g: B -> lone B } sig B {} one sig S {}").unwrap();
         let v = Vocabulary::of(&spec);
         assert_eq!(v.sigs, vec!["A", "B", "S"]);
         assert_eq!(v.fields, vec![("f".to_string(), 2), ("g".to_string(), 3)]);

@@ -297,7 +297,12 @@ impl Elaborator<'_> {
                 let body2 = self.freshen_formula(body);
                 let mut map = HashMap::new();
                 map.insert(n.clone(), Expr::Ident(fresh.clone(), *s));
-                Formula::Let(fresh, Box::new(e2), Box::new(subst_formula(&body2, &map)), *s)
+                Formula::Let(
+                    fresh,
+                    Box::new(e2),
+                    Box::new(subst_formula(&body2, &map)),
+                    *s,
+                )
             }
             Formula::Not(inner, s) => Formula::Not(Box::new(self.freshen_formula(inner)), *s),
             Formula::Binary(op, l, r, s) => Formula::Binary(
@@ -382,10 +387,9 @@ mod tests {
 
     #[test]
     fn pred_call_is_inlined() {
-        let spec = parse_spec(
-            "sig A { f: set A } pred p[x: A] { some x.f } fact { all a: A | p[a] }",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("sig A { f: set A } pred p[x: A] { some x.f } fact { all a: A | p[a] }")
+                .unwrap();
         let out = elaborate_spec(&spec).unwrap();
         let mut ids = BTreeSet::new();
         idents_in_formula(&out.facts[0].body[0], &mut ids);
@@ -448,7 +452,10 @@ mod tests {
         let out = elaborate_spec(&spec).unwrap();
         let printed = mualloy_syntax::print_formula(&out.facts[0].body[0]);
         // Inner binder is freshened; outer x flows into y's position.
-        assert!(printed.contains("__"), "expected freshened binder in {printed}");
+        assert!(
+            printed.contains("__"),
+            "expected freshened binder in {printed}"
+        );
     }
 
     #[test]

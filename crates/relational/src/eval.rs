@@ -235,10 +235,7 @@ impl<'a> Evaluator<'a> {
                     let tuples = self.instance.field_set(name);
                     let arity = tuples.iter().next().map(|t| t.len());
                     match arity {
-                        Some(a) => GroundSet {
-                            arity: a,
-                            tuples,
-                        },
+                        Some(a) => GroundSet { arity: a, tuples },
                         // An empty field: arity is unknown from the instance
                         // alone; treat as empty binary, the most common case.
                         None => GroundSet::empty(2),
@@ -496,14 +493,9 @@ mod tests {
     use mualloy_syntax::{parse_expr, parse_formula};
 
     fn instance() -> Instance {
-        let mut inst = Instance::new(
-            (0..4).map(|i| format!("N${i}")).collect(),
-        );
+        let mut inst = Instance::new((0..4).map(|i| format!("N${i}")).collect());
         inst.set_sig("N", [0u32, 1, 2].into_iter().collect());
-        inst.set_field(
-            "next",
-            [vec![0u32, 1], vec![1, 2]].into_iter().collect(),
-        );
+        inst.set_field("next", [vec![0u32, 1], vec![1, 2]].into_iter().collect());
         inst
     }
 
@@ -516,7 +508,9 @@ mod tests {
 
     fn eval_e(src: &str) -> GroundSet {
         let inst = instance();
-        Evaluator::new(&inst).expr(&parse_expr(src).unwrap()).unwrap()
+        Evaluator::new(&inst)
+            .expr(&parse_expr(src).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -581,9 +575,7 @@ mod tests {
         let ev = Evaluator::new(&inst);
         assert!(ev.formula(&parse_formula("some Ghost").unwrap()).is_err());
         assert!(ev.expr(&parse_expr("~N").unwrap()).is_err());
-        assert!(ev
-            .formula(&parse_formula("N in next").unwrap())
-            .is_err());
+        assert!(ev.formula(&parse_formula("N in next").unwrap()).is_err());
     }
 
     #[test]

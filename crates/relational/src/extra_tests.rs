@@ -86,13 +86,21 @@ fn algebraic_laws_hold_on_extracted_instances() {
     let f = parse_formula("some f && some g").unwrap();
     if let Some(inst) = solve(src, &f, 3) {
         let ev = Evaluator::new(&inst);
-        let lhs = ev.expr(&mualloy_syntax::parse_expr("f & g").unwrap()).unwrap();
-        let rhs = ev.expr(&mualloy_syntax::parse_expr("f - (f - g)").unwrap()).unwrap();
+        let lhs = ev
+            .expr(&mualloy_syntax::parse_expr("f & g").unwrap())
+            .unwrap();
+        let rhs = ev
+            .expr(&mualloy_syntax::parse_expr("f - (f - g)").unwrap())
+            .unwrap();
         assert_eq!(lhs, rhs);
-        let tt = ev.expr(&mualloy_syntax::parse_expr("~~f").unwrap()).unwrap();
+        let tt = ev
+            .expr(&mualloy_syntax::parse_expr("~~f").unwrap())
+            .unwrap();
         let ff = ev.expr(&mualloy_syntax::parse_expr("f").unwrap()).unwrap();
         assert_eq!(tt, ff);
-        let dr = ev.expr(&mualloy_syntax::parse_expr("A <: f").unwrap()).unwrap();
+        let dr = ev
+            .expr(&mualloy_syntax::parse_expr("A <: f").unwrap())
+            .unwrap();
         assert_eq!(dr, ff, "f's domain is within A by declaration");
     } else {
         panic!("expected a satisfying instance");

@@ -40,10 +40,10 @@
 
 #![warn(missing_docs)]
 
-mod extra_tests;
 pub mod elaborate;
 pub mod error;
 pub mod eval;
+mod extra_tests;
 pub mod instance;
 pub mod matrix;
 pub mod translate;

@@ -67,10 +67,7 @@ impl Matrix {
 
     /// The entry for `tuple`, or constant false if absent.
     pub fn get(&self, tuple: &[u32]) -> BoolRef {
-        self.entries
-            .get(tuple)
-            .copied()
-            .unwrap_or(Circuit::FALSE)
+        self.entries.get(tuple).copied().unwrap_or(Circuit::FALSE)
     }
 
     /// Iterates over entries in tuple order.
@@ -102,7 +99,11 @@ impl Matrix {
     /// # Errors
     ///
     /// Fails on arity mismatch.
-    pub fn difference(&self, other: &Matrix, circuit: &mut Circuit) -> Result<Matrix, TranslateError> {
+    pub fn difference(
+        &self,
+        other: &Matrix,
+        circuit: &mut Circuit,
+    ) -> Result<Matrix, TranslateError> {
         self.require_same_arity(other, "-")?;
         let mut out = Matrix::empty(self.arity);
         for (t, v) in self.iter() {
@@ -118,7 +119,11 @@ impl Matrix {
     /// # Errors
     ///
     /// Fails on arity mismatch.
-    pub fn intersect(&self, other: &Matrix, circuit: &mut Circuit) -> Result<Matrix, TranslateError> {
+    pub fn intersect(
+        &self,
+        other: &Matrix,
+        circuit: &mut Circuit,
+    ) -> Result<Matrix, TranslateError> {
         self.require_same_arity(other, "&")?;
         let mut out = Matrix::empty(self.arity);
         for (t, v) in self.iter() {
@@ -334,7 +339,11 @@ impl Matrix {
     /// # Errors
     ///
     /// Fails on arity mismatch.
-    pub fn subset_of(&self, other: &Matrix, circuit: &mut Circuit) -> Result<BoolRef, TranslateError> {
+    pub fn subset_of(
+        &self,
+        other: &Matrix,
+        circuit: &mut Circuit,
+    ) -> Result<BoolRef, TranslateError> {
         self.require_same_arity(other, "in")?;
         let mut conjuncts = Vec::with_capacity(self.len());
         for (t, v) in self.iter() {

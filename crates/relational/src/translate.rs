@@ -83,9 +83,9 @@ impl Translator {
                 .ok_or_else(|| TranslateError::new(format!("unknown sig `{}`", owner.name)))?;
             cols.push(owner_atoms);
             for c in &field.cols {
-                let atoms = universe
-                    .sig_atoms(c)
-                    .ok_or_else(|| TranslateError::new(format!("unknown sig `{c}` in field `{}`", field.name)))?;
+                let atoms = universe.sig_atoms(c).ok_or_else(|| {
+                    TranslateError::new(format!("unknown sig `{c}` in field `{}`", field.name))
+                })?;
                 cols.push(atoms);
             }
             let mut m = Matrix::empty(field.arity());
@@ -209,7 +209,12 @@ impl Translator {
         }
 
         // Field bounds and multiplicities.
-        for (owner, field) in self.spec.fields().map(|(o, f)| (o.clone(), f.clone())).collect::<Vec<_>>() {
+        for (owner, field) in self
+            .spec
+            .fields()
+            .map(|(o, f)| (o.clone(), f.clone()))
+            .collect::<Vec<_>>()
+        {
             let fm = self.field_matrices[&field.name].clone();
             // Tuple membership implies column membership.
             let mut col_sigs: Vec<&str> = vec![owner.name.as_str()];
@@ -234,8 +239,7 @@ impl Translator {
                     .collect();
                 let last_atoms: Vec<u32> =
                     self.universe.sig_atoms(last_sig).unwrap_or(&[]).to_vec();
-                let prefix_refs: Vec<&[u32]> =
-                    prefix_atoms.iter().map(|v| v.as_slice()).collect();
+                let prefix_refs: Vec<&[u32]> = prefix_atoms.iter().map(|v| v.as_slice()).collect();
                 let mut prefix = vec![0u32; prefix_refs.len()];
                 let mut jobs: Vec<Vec<u32>> = Vec::new();
                 fill_product(&prefix_refs, 0, &mut prefix, &mut |t| {
@@ -645,7 +649,8 @@ impl Translator {
                     ));
                 }
                 let mut out = Matrix::empty(tm.arity());
-                let mut tuples: std::collections::BTreeSet<Vec<u32>> = std::collections::BTreeSet::new();
+                let mut tuples: std::collections::BTreeSet<Vec<u32>> =
+                    std::collections::BTreeSet::new();
                 for (t, _) in tm.iter() {
                     tuples.insert(t.clone());
                 }
@@ -757,12 +762,7 @@ fn singleton(atom: u32) -> Matrix {
     m
 }
 
-fn fill_product(
-    cols: &[&[u32]],
-    idx: usize,
-    tuple: &mut Vec<u32>,
-    f: &mut impl FnMut(&[u32]),
-) {
+fn fill_product(cols: &[&[u32]], idx: usize, tuple: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
     if idx == cols.len() {
         f(tuple);
         return;
@@ -829,12 +829,7 @@ mod tests {
     #[test]
     fn field_multiplicity_one_is_enforced() {
         // Every present A atom must map to exactly one B atom.
-        let inst = solve_with(
-            "sig A { f: one B } sig B {}",
-            Some("some A"),
-            2,
-        )
-        .unwrap();
+        let inst = solve_with("sig A { f: one B } sig B {}", Some("some A"), 2).unwrap();
         let a = inst.sig_set("A");
         let f = inst.field_set("f");
         for atom in &a {
@@ -892,7 +887,11 @@ mod tests {
         )
         .is_some());
         // some x: A | x.f = B requires existence.
-        let inst = solve_with("sig A { f: set B } sig B {}", Some("some x: A | x.f = B"), 2);
+        let inst = solve_with(
+            "sig A { f: set B } sig B {}",
+            Some("some x: A | x.f = B"),
+            2,
+        );
         assert!(inst.is_some());
     }
 
@@ -958,11 +957,7 @@ mod tests {
 
     #[test]
     fn comprehension_compiles() {
-        let inst = solve_with(
-            "sig A { f: set A }",
-            Some("some { x: A | some x.f }"),
-            2,
-        );
+        let inst = solve_with("sig A { f: set A }", Some("some { x: A | some x.f }"), 2);
         assert!(inst.is_some());
     }
 

@@ -44,8 +44,8 @@ impl Pool {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Universe {
     pools: Vec<Pool>,
-    atom_pool: Vec<u32>,            // atom -> pool index
-    atom_names: Vec<String>,        // atom -> display name, e.g. "Room$0"
+    atom_pool: Vec<u32>,                   // atom -> pool index
+    atom_names: Vec<String>,               // atom -> display name, e.g. "Room$0"
     sig_atoms: BTreeMap<String, Vec<u32>>, // sig -> all atoms (incl. descendants)
     sig_mult: BTreeMap<String, Option<SigMult>>,
     scope: u32,
@@ -93,7 +93,9 @@ impl Universe {
         let mut atom_names = Vec::new();
         let mut next_atom = 0u32;
 
-        let mut alloc_pool = |sig: &str, size: u32, fixed: bool,
+        let mut alloc_pool = |sig: &str,
+                              size: u32,
+                              fixed: bool,
                               pools: &mut Vec<Pool>,
                               atom_pool: &mut Vec<u32>,
                               atom_names: &mut Vec<String>| {
@@ -113,8 +115,11 @@ impl Universe {
 
         // Pool allocation in declaration order for determinism.
         for sig in &spec.sigs {
-            let has_children = spec.children_of(&sig.name).iter().count() > 0
-                || spec.sigs.iter().any(|s| s.parent.as_deref() == Some(sig.name.as_str()));
+            let has_children = !spec.children_of(&sig.name).is_empty()
+                || spec
+                    .sigs
+                    .iter()
+                    .any(|s| s.parent.as_deref() == Some(sig.name.as_str()));
             let is_one = sig.mult == Some(SigMult::One);
             if is_one && has_children {
                 return Err(TranslateError::new(format!(
@@ -136,7 +141,14 @@ impl Universe {
                 }
                 // Abstract parents own no pool of their own.
             } else if is_one {
-                alloc_pool(&sig.name, 1, true, &mut pools, &mut atom_pool, &mut atom_names);
+                alloc_pool(
+                    &sig.name,
+                    1,
+                    true,
+                    &mut pools,
+                    &mut atom_pool,
+                    &mut atom_names,
+                );
             } else {
                 alloc_pool(
                     &sig.name,
@@ -162,7 +174,11 @@ impl Universe {
             // Descendant pools.
             let mut frontier: Vec<&str> = vec![sig.name.as_str()];
             while let Some(cur) = frontier.pop() {
-                for child in spec.sigs.iter().filter(|s| s.parent.as_deref() == Some(cur)) {
+                for child in spec
+                    .sigs
+                    .iter()
+                    .filter(|s| s.parent.as_deref() == Some(cur))
+                {
                     for p in &pools {
                         if p.sig == child.name {
                             atoms.extend(p.atoms());
@@ -176,11 +192,7 @@ impl Universe {
             sig_atoms.insert(sig.name.clone(), atoms);
         }
 
-        let sig_mult = spec
-            .sigs
-            .iter()
-            .map(|s| (s.name.clone(), s.mult))
-            .collect();
+        let sig_mult = spec.sigs.iter().map(|s| (s.name.clone(), s.mult)).collect();
 
         Ok(Universe {
             pools,
@@ -263,7 +275,9 @@ mod tests {
 
     #[test]
     fn abstract_parent_is_union_of_children() {
-        let spec = parse_spec("abstract sig Key {} sig RoomKey extends Key {} sig CarKey extends Key {}").unwrap();
+        let spec =
+            parse_spec("abstract sig Key {} sig RoomKey extends Key {} sig CarKey extends Key {}")
+                .unwrap();
         let u = Universe::build(&spec, 3).unwrap();
         assert_eq!(u.num_atoms(), 6);
         let key = u.sig_atoms("Key").unwrap();
@@ -310,7 +324,9 @@ mod tests {
     fn atom_names_are_stable_and_unique() {
         let spec = parse_spec("sig A {} sig B {}").unwrap();
         let u = Universe::build(&spec, 3).unwrap();
-        let names: Vec<_> = (0..u.num_atoms()).map(|a| u.atom_name(a).to_string()).collect();
+        let names: Vec<_> = (0..u.num_atoms())
+            .map(|a| u.atom_name(a).to_string())
+            .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

@@ -133,7 +133,7 @@ impl Circuit {
         let absorbing = Circuit::constant(!is_and);
         let identity = Circuit::constant(is_and);
         children.retain(|&c| c != identity);
-        if children.iter().any(|&c| c == absorbing) {
+        if children.contains(&absorbing) {
             return absorbing;
         }
         children.sort_unstable();
@@ -306,7 +306,11 @@ impl Circuit {
         }
         let mut node_lit: Vec<Option<Lit>> = vec![None; self.nodes.len()];
         let root_lit = self.encode_node(root.node(), solver, &input_lits, &mut node_lit);
-        let asserted = if root.is_negated() { !root_lit } else { root_lit };
+        let asserted = if root.is_negated() {
+            !root_lit
+        } else {
+            root_lit
+        };
         solver.add_clause([asserted]);
         input_lits
     }
@@ -481,24 +485,19 @@ mod tests {
         let mut sat_models = Vec::new();
         let mut solver = Solver::new();
         let inputs = c.encode(root, &mut solver);
-        loop {
-            match solver.solve() {
-                SolveResult::Sat(m) => {
-                    let assignment: Vec<bool> = inputs
-                        .iter()
-                        .map(|l| m[l.var().index()] == l.is_positive())
-                        .collect();
-                    sat_models.push(assignment.clone());
-                    let block: Vec<_> = inputs
-                        .iter()
-                        .zip(&assignment)
-                        .map(|(&l, &v)| if v { !l } else { l })
-                        .collect();
-                    if !solver.add_clause(block) {
-                        break;
-                    }
-                }
-                SolveResult::Unsat => break,
+        while let SolveResult::Sat(m) = solver.solve() {
+            let assignment: Vec<bool> = inputs
+                .iter()
+                .map(|l| m[l.var().index()] == l.is_positive())
+                .collect();
+            sat_models.push(assignment.clone());
+            let block: Vec<_> = inputs
+                .iter()
+                .zip(&assignment)
+                .map(|(&l, &v)| if v { !l } else { l })
+                .collect();
+            if !solver.add_clause(block) {
+                break;
             }
         }
         let mut expected = Vec::new();

@@ -50,7 +50,7 @@ impl Lit {
 
     /// Whether the literal is positive.
     pub fn is_positive(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// Dense index (for watch lists): `2 * var + (1 - polarity)`.

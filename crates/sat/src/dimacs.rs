@@ -36,7 +36,11 @@ impl ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DIMACS parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "DIMACS parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -69,7 +73,10 @@ pub fn parse_dimacs(input: &str) -> Result<Cnf, ParseDimacsError> {
             }
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 3 || parts[0] != "cnf" {
-                return Err(ParseDimacsError::new("expected `p cnf <vars> <clauses>`", lineno));
+                return Err(ParseDimacsError::new(
+                    "expected `p cnf <vars> <clauses>`",
+                    lineno,
+                ));
             }
             let vars: usize = parts[1]
                 .parse()

@@ -34,8 +34,8 @@ pub mod dimacs;
 pub mod solver;
 
 pub use circuit::{BoolRef, Circuit};
-pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use cnf::{Cnf, Lit, Var};
+pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use solver::{SolveResult, Solver};
 
 #[cfg(test)]
@@ -55,10 +55,13 @@ mod proptests {
 
     fn arb_cnf() -> impl Strategy<Value = Cnf> {
         // Up to 8 variables, up to 24 clauses of width 1..=4.
-        (1u32..=8, proptest::collection::vec(
-            proptest::collection::vec((0u32..8, any::<bool>()), 1..=4),
-            0..24,
-        ))
+        (
+            1u32..=8,
+            proptest::collection::vec(
+                proptest::collection::vec((0u32..8, any::<bool>()), 1..=4),
+                0..24,
+            ),
+        )
             .prop_map(|(nvars, raw)| {
                 let mut cnf = Cnf::new();
                 for _ in 0..nvars {

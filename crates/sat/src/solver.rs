@@ -83,8 +83,8 @@ pub struct Solver {
     level: Vec<u32>,
     activity: Vec<f64>,
     var_inc: f64,
-    heap: Vec<Var>,          // binary max-heap on activity
-    heap_index: Vec<usize>,  // var -> position in heap (usize::MAX if absent)
+    heap: Vec<Var>,         // binary max-heap on activity
+    heap_index: Vec<usize>, // var -> position in heap (usize::MAX if absent)
     seen: Vec<bool>,
     qhead: usize,
     ok: bool,
@@ -669,10 +669,10 @@ mod tests {
         for row in &p {
             s.add_clause([row[0].positive(), row[1].positive()]);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause([p[i1][j].negative(), p[i2][j].negative()]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (a, b) in row1.iter().zip(row2) {
+                    s.add_clause([a.negative(), b.negative()]);
                 }
             }
         }
@@ -724,7 +724,10 @@ mod tests {
         }
         // Conflicting assumptions: UNSAT, but solver still usable.
         s.add_clause([a.positive()]);
-        assert_eq!(s.solve_with_assumptions(&[a.negative()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.negative()]),
+            SolveResult::Unsat
+        );
         assert!(s.solve().is_sat());
     }
 
@@ -740,10 +743,7 @@ mod tests {
         while let SolveResult::Sat(m) = s.solve() {
             count += 1;
             assert!(count <= 4, "enumerated too many models");
-            let block: Vec<Lit> = [a, b]
-                .iter()
-                .map(|&v| Lit::new(v, !m[v.index()]))
-                .collect();
+            let block: Vec<Lit> = [a, b].iter().map(|&v| Lit::new(v, !m[v.index()])).collect();
             if !s.add_clause(block) {
                 break;
             }

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
-use specrepair_core::{LocalizeThenFix, RepairContext, RepairTechnique, UnionHybrid};
+use specrepair_core::{LocalizeThenFix, OracleHandle, RepairContext, RepairTechnique, UnionHybrid};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 use specrepair_metrics::rep;
 use specrepair_traditional::Atr;
@@ -63,9 +63,13 @@ pub fn run(problems: &[RepairProblem], config: &StudyConfig) -> Ablation {
             faulty: p.faulty.clone(),
             source: p.faulty_source.clone(),
             budget: mr_budget,
+            oracle: OracleHandle::fresh(),
         };
         let plain = MultiRound::new(FeedbackSetting::None, config.seed);
-        let union = UnionHybrid::new(Atr::default(), MultiRound::new(FeedbackSetting::None, config.seed));
+        let union = UnionHybrid::new(
+            Atr::default(),
+            MultiRound::new(FeedbackSetting::None, config.seed),
+        );
         let localize = LocalizeThenFix::new(MultiRound::new(FeedbackSetting::None, config.seed), 3);
         for (i, outcome) in [
             plain.repair(&ctx),
@@ -99,7 +103,11 @@ pub fn render(ablation: &Ablation) -> String {
     );
     let _ = writeln!(out, "{:<28}{:>9}{:>16}", "Arm", "REP", "mean validations");
     for a in &ablation.arms {
-        let _ = writeln!(out, "{:<28}{:>9}{:>16.1}", a.name, a.repaired, a.mean_explored);
+        let _ = writeln!(
+            out,
+            "{:<28}{:>9}{:>16.1}",
+            a.name, a.repaired, a.mean_explored
+        );
     }
     out
 }

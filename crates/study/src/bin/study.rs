@@ -50,7 +50,8 @@ fn main() {
     }
 
     if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir:?}: {e}")));
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("cannot create {dir:?}: {e}")));
     }
 
     eprintln!(
@@ -62,11 +63,18 @@ fn main() {
     eprintln!("{} specifications in {:?}", problems.len(), t0.elapsed());
 
     let t0 = Instant::now();
-    let results = runner::run_study(&problems, &config);
+    let (results, cache_stats) = runner::run_study_cached(&problems, &config, true);
     eprintln!(
         "evaluated {} (problem, technique) pairs in {:?}",
         results.records.len(),
         t0.elapsed()
+    );
+    eprintln!(
+        "oracle cache: {} hits / {} misses ({:.1}% hit rate), {} solver invocations",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.hit_rate() * 100.0,
+        cache_stats.solver_invocations
     );
 
     let emit = |name: &str, text: &str, json: String| {
@@ -79,22 +87,38 @@ fn main() {
 
     if command == "all" || command == "table1" {
         let t = table1::build(&results);
-        emit("table1", &table1::render(&t), serde_json::to_string_pretty(&t).unwrap());
+        emit(
+            "table1",
+            &table1::render(&t),
+            serde_json::to_string_pretty(&t).unwrap(),
+        );
     }
     if command == "all" || command == "fig2" {
         let f = fig2::build(&results);
-        emit("fig2", &fig2::render(&f), serde_json::to_string_pretty(&f).unwrap());
+        emit(
+            "fig2",
+            &fig2::render(&f),
+            serde_json::to_string_pretty(&f).unwrap(),
+        );
     }
     if command == "all" || command == "fig3" {
         let f = fig3::build(&results);
-        emit("fig3", &fig3::render(&f), serde_json::to_string_pretty(&f).unwrap());
+        emit(
+            "fig3",
+            &fig3::render(&f),
+            serde_json::to_string_pretty(&f).unwrap(),
+        );
     }
     if command == "all" || command == "table2" {
         let t = table2::build(&results);
         let mut text = table2::render(&t);
         text.push('\n');
         text.push_str(&table2::render_venn(&t));
-        emit("table2_fig4", &text, serde_json::to_string_pretty(&t).unwrap());
+        emit(
+            "table2_fig4",
+            &text,
+            serde_json::to_string_pretty(&t).unwrap(),
+        );
     }
     if command == "all" || command == "ablation" {
         // The ablation runs extra techniques; bound it to a manageable
@@ -105,12 +129,20 @@ fn main() {
             .cloned()
             .collect();
         let a = ablation::run(&sample, &config);
-        emit("ablation", &ablation::render(&a), serde_json::to_string_pretty(&a).unwrap());
+        emit(
+            "ablation",
+            &ablation::render(&a),
+            serde_json::to_string_pretty(&a).unwrap(),
+        );
     }
     if let Some(dir) = &out_dir {
         let _ = std::fs::write(
             dir.join("records.json"),
             serde_json::to_string(&results).unwrap(),
+        );
+        let _ = std::fs::write(
+            dir.join("cache_stats.json"),
+            serde_json::to_string_pretty(&cache_stats).unwrap(),
         );
         eprintln!("artifacts written to {dir:?}");
     }
@@ -118,6 +150,8 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N] [--out DIR]");
+    eprintln!(
+        "usage: study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N] [--out DIR]"
+    );
     std::process::exit(2);
 }

@@ -164,8 +164,15 @@ mod tests {
     #[test]
     fn budgets_differ_per_technique() {
         let cfg = StudyConfig::default();
-        assert!(cfg.budget_for(TechniqueId::Multi(FeedbackSetting::None)).max_candidates
-            > cfg.budget_for(TechniqueId::BeAFix).max_candidates);
-        assert_eq!(cfg.budget_for(TechniqueId::Single(PromptSetting::Loc)).max_rounds, 1);
+        assert!(
+            cfg.budget_for(TechniqueId::Multi(FeedbackSetting::None))
+                .max_candidates
+                > cfg.budget_for(TechniqueId::BeAFix).max_candidates
+        );
+        assert_eq!(
+            cfg.budget_for(TechniqueId::Single(PromptSetting::Loc))
+                .max_rounds,
+            1
+        );
     }
 }

@@ -56,7 +56,7 @@ pub fn render(fig: &Fig2) -> String {
         out,
         "FIGURE 2: mean similarity of repair candidates to ground truth"
     );
-    let _ = writeln!(out, "{:<24}{:>8}{:>8}  {}", "Technique", "TM", "SM", "(bar = SM)");
+    let _ = writeln!(out, "{:<24}{:>8}{:>8}  (bar = SM)", "Technique", "TM", "SM");
     for b in &fig.bars {
         let width = (b.sm * 40.0).round() as usize;
         let _ = writeln!(

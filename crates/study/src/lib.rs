@@ -41,4 +41,4 @@ pub mod table1;
 pub mod table2;
 
 pub use config::{StudyConfig, TechniqueId};
-pub use runner::{run_full_study, run_study, SpecRecord, StudyResults};
+pub use runner::{run_full_study, run_study, run_study_cached, SpecRecord, StudyResults};

@@ -1,14 +1,17 @@
 //! The study runner: every technique over every benchmark problem, with
 //! per-candidate metrics. All tables and figures derive from one run.
 
-use mualloy_analyzer::Analyzer;
+use mualloy_analyzer::{Oracle, OracleCacheStats};
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
-use specrepair_core::{RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{OracleHandle, RepairContext, RepairOutcome, RepairTechnique};
 use specrepair_llm::{invert_fix_description, MultiRound, ProblemHints, SingleRound};
 use specrepair_metrics::candidate_metrics;
 use specrepair_traditional::{ARepair, Atr, BeAFix, Icebar};
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::config::{StudyConfig, TechniqueId};
 
@@ -36,34 +39,103 @@ pub struct SpecRecord {
 }
 
 /// The full result set of a study run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct StudyResults {
     /// All records, grouped by problem (all techniques for problem 0, then
     /// problem 1, …).
     pub records: Vec<SpecRecord>,
     /// Number of problems evaluated.
     pub num_problems: usize,
+    /// Lazily-built `technique label -> record positions` index; every
+    /// per-technique accessor is a lookup instead of a scan over all
+    /// `problems × 12` records. Built on first use — `records` must not be
+    /// mutated afterwards (the study pipeline never does).
+    index: OnceLock<HashMap<String, Vec<u32>>>,
+}
+
+// Manual impls: the index is derived state and must stay out of the
+// serialized form (the cache-on/cache-off byte-identity check compares
+// serialized `StudyResults`) and reset on clone/deserialize.
+impl Clone for StudyResults {
+    fn clone(&self) -> StudyResults {
+        StudyResults {
+            records: self.records.clone(),
+            num_problems: self.num_problems,
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl Serialize for StudyResults {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("records".to_string(), self.records.to_value()),
+            ("num_problems".to_string(), self.num_problems.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StudyResults {
+    fn from_value(v: &serde::Value) -> Result<StudyResults, serde::Error> {
+        let serde::Value::Map(m) = v else {
+            return Err(serde::Error::custom("StudyResults: expected a map"));
+        };
+        Ok(StudyResults {
+            records: Deserialize::from_value(serde::field(m, "records")?)?,
+            num_problems: Deserialize::from_value(serde::field(m, "num_problems")?)?,
+            index: OnceLock::new(),
+        })
+    }
 }
 
 impl StudyResults {
+    /// Builds a result set over the given records.
+    pub fn new(records: Vec<SpecRecord>, num_problems: usize) -> StudyResults {
+        StudyResults {
+            records,
+            num_problems,
+            index: OnceLock::new(),
+        }
+    }
+
+    fn index(&self) -> &HashMap<String, Vec<u32>> {
+        self.index.get_or_init(|| {
+            let mut idx: HashMap<String, Vec<u32>> = HashMap::new();
+            for (i, r) in self.records.iter().enumerate() {
+                idx.entry(r.technique.clone()).or_default().push(i as u32);
+            }
+            idx
+        })
+    }
+
     /// Records of one technique, in problem order.
     pub fn of_technique(&self, label: &str) -> Vec<&SpecRecord> {
-        self.records.iter().filter(|r| r.technique == label).collect()
+        self.index()
+            .get(label)
+            .map(|positions| {
+                positions
+                    .iter()
+                    .map(|&i| &self.records[i as usize])
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Total REP count of a technique, optionally filtered by benchmark.
     pub fn rep_count(&self, label: &str, benchmark: Option<&str>) -> usize {
-        self.records
+        self.of_technique(label)
             .iter()
-            .filter(|r| r.technique == label)
-            .filter(|r| benchmark.map_or(true, |b| r.benchmark == b))
+            .filter(|r| benchmark.is_none_or(|b| r.benchmark == b))
             .map(|r| r.rep as usize)
             .sum()
     }
 
     /// Per-spec REP booleans of a technique, in problem order.
     pub fn rep_vector(&self, label: &str) -> Vec<bool> {
-        self.of_technique(label).iter().map(|r| r.rep == 1).collect()
+        self.of_technique(label)
+            .iter()
+            .map(|r| r.rep == 1)
+            .collect()
     }
 
     /// Per-spec combined similarity (mean of TM and SM; 0 when absent), in
@@ -85,8 +157,15 @@ impl StudyResults {
 /// benchmark's known fault locations, the inverted edit script, and a
 /// failing check command as the *Pass* requirement.
 pub fn hints_for(problem: &RepairProblem) -> ProblemHints {
-    let pass = Analyzer::new(problem.faulty.clone())
-        .failing_commands()
+    hints_for_with(&Oracle::new(), problem)
+}
+
+/// [`hints_for`] against a caller-provided oracle: the failing-command scan
+/// it performs is the same query every technique issues first, so sharing
+/// the oracle makes it free within a study run.
+pub fn hints_for_with(oracle: &Oracle, problem: &RepairProblem) -> ProblemHints {
+    let pass = oracle
+        .failing_commands(&problem.faulty)
         .ok()
         .and_then(|fs| {
             fs.into_iter()
@@ -95,13 +174,27 @@ pub fn hints_for(problem: &RepairProblem) -> ProblemHints {
         });
     ProblemHints {
         loc: problem.fault_spans.clone(),
-        fix: problem.edits.iter().map(|e| invert_fix_description(e)).collect(),
+        fix: problem
+            .edits
+            .iter()
+            .map(|e| invert_fix_description(e))
+            .collect(),
         pass,
     }
 }
 
-/// Runs one technique on one problem.
+/// Runs one technique on one problem with a fresh oracle.
 pub fn repair_with(
+    id: TechniqueId,
+    problem: &RepairProblem,
+    config: &StudyConfig,
+) -> RepairOutcome {
+    repair_with_oracle(&OracleHandle::fresh(), id, problem, config)
+}
+
+/// Runs one technique on one problem against a shared oracle.
+pub fn repair_with_oracle(
+    oracle: &OracleHandle,
     id: TechniqueId,
     problem: &RepairProblem,
     config: &StudyConfig,
@@ -110,6 +203,7 @@ pub fn repair_with(
         faulty: problem.faulty.clone(),
         source: problem.faulty_source.clone(),
         budget: config.budget_for(id),
+        oracle: oracle.clone(),
     };
     match id {
         TechniqueId::ARepair => ARepair::default().repair(&ctx),
@@ -117,15 +211,26 @@ pub fn repair_with(
         TechniqueId::BeAFix => BeAFix::default().repair(&ctx),
         TechniqueId::Atr => Atr::default().repair(&ctx),
         TechniqueId::Single(setting) => SingleRound::new(setting, config.seed)
-            .with_hints(hints_for(problem))
+            .with_hints(hints_for_with(oracle.service(), problem))
             .repair(&ctx),
         TechniqueId::Multi(feedback) => MultiRound::new(feedback, config.seed).repair(&ctx),
     }
 }
 
-/// Evaluates one (problem, technique) pair into a record.
+/// Evaluates one (problem, technique) pair into a record with a fresh
+/// oracle.
 pub fn evaluate(id: TechniqueId, problem: &RepairProblem, config: &StudyConfig) -> SpecRecord {
-    let outcome = repair_with(id, problem, config);
+    evaluate_with(&OracleHandle::fresh(), id, problem, config)
+}
+
+/// Evaluates one (problem, technique) pair against a shared oracle.
+pub fn evaluate_with(
+    oracle: &OracleHandle,
+    id: TechniqueId,
+    problem: &RepairProblem,
+    config: &StudyConfig,
+) -> SpecRecord {
+    let outcome = repair_with_oracle(oracle, id, problem, config);
     let metrics = candidate_metrics(
         &problem.truth,
         &problem.truth_source,
@@ -145,23 +250,50 @@ pub fn evaluate(id: TechniqueId, problem: &RepairProblem, config: &StudyConfig) 
 }
 
 /// Runs all twelve techniques over the problem set (data-parallel across
-/// problems).
+/// problems), sharing one memoizing oracle per problem.
 pub fn run_study(problems: &[RepairProblem], config: &StudyConfig) -> StudyResults {
+    run_study_cached(problems, config, true).0
+}
+
+/// [`run_study`] with explicit cache control, reporting the aggregated
+/// oracle cache statistics alongside the results.
+///
+/// The oracle memoizes by the candidate's canonical text, so a cached run
+/// returns exactly the answers a fresh [`Oracle`] would compute:
+/// `use_cache` must not change `StudyResults` by a single byte (asserted by
+/// the `study_pipeline` integration test).
+pub fn run_study_cached(
+    problems: &[RepairProblem],
+    config: &StudyConfig,
+    use_cache: bool,
+) -> (StudyResults, OracleCacheStats) {
     let techniques = TechniqueId::all();
+    let stats = Mutex::new(OracleCacheStats::default());
     let records: Vec<SpecRecord> = problems
         .par_iter()
         .flat_map_iter(|p| {
             let config = *config;
-            techniques
+            // One oracle per problem: the twelve techniques keep re-checking
+            // the same faulty spec and overlapping candidate sets, which is
+            // where the memo table earns its keep. Problems stay independent
+            // so rayon's work-stealing never contends on one table.
+            let oracle = if use_cache {
+                OracleHandle::fresh()
+            } else {
+                OracleHandle::disabled()
+            };
+            let records: Vec<SpecRecord> = techniques
                 .iter()
-                .map(move |&id| evaluate(id, p, &config))
-                .collect::<Vec<_>>()
+                .map(|&id| evaluate_with(&oracle, id, p, &config))
+                .collect();
+            stats.lock().absorb(&oracle.stats());
+            records
         })
         .collect();
-    StudyResults {
-        records,
-        num_problems: problems.len(),
-    }
+    (
+        StudyResults::new(records, problems.len()),
+        stats.into_inner(),
+    )
 }
 
 /// Convenience: generates both corpora at the configured scale and runs
@@ -177,11 +309,7 @@ pub fn run_full_study(config: &StudyConfig) -> (Vec<RepairProblem>, StudyResults
 pub fn aligned(results: &StudyResults, a: &str, b: &str) -> bool {
     let av = results.of_technique(a);
     let bv = results.of_technique(b);
-    av.len() == bv.len()
-        && av
-            .iter()
-            .zip(&bv)
-            .all(|(x, y)| x.problem == y.problem)
+    av.len() == bv.len() && av.iter().zip(&bv).all(|(x, y)| x.problem == y.problem)
 }
 
 #[cfg(test)]

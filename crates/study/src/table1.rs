@@ -58,7 +58,9 @@ pub fn build(results: &StudyResults) -> Table1 {
                     results
                         .records
                         .iter()
-                        .filter(|r| r.benchmark == bench && &r.domain == domain && &r.technique == t)
+                        .filter(|r| {
+                            r.benchmark == bench && &r.domain == domain && &r.technique == t
+                        })
                         .map(|r| r.rep as usize)
                         .sum()
                 })
@@ -149,7 +151,11 @@ mod tests {
         let total = t.rows.last().unwrap();
         assert_eq!(total.domain, "Total");
         // Summaries add up.
-        let a4f = t.rows.iter().find(|r| r.benchmark == "A4F" && r.domain == "Summary").unwrap();
+        let a4f = t
+            .rows
+            .iter()
+            .find(|r| r.benchmark == "A4F" && r.domain == "Summary")
+            .unwrap();
         let arep = t
             .rows
             .iter()

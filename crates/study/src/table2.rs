@@ -128,7 +128,8 @@ pub fn render_venn(table: &Table2) -> String {
         let _ = write!(
             out,
             "{:<24}",
-            llm.replace("Single-Round_", "SR_").replace("Multi-Round_", "MR_")
+            llm.replace("Single-Round_", "SR_")
+                .replace("Multi-Round_", "MR_")
         );
         for trad in TechniqueId::traditional() {
             let row = table

@@ -240,7 +240,12 @@ impl Expr {
 
     /// Convenience constructor for a join `lhs.rhs` with a synthetic span.
     pub fn join(lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary(BinExprOp::Join, Box::new(lhs), Box::new(rhs), Span::synthetic())
+        Expr::Binary(
+            BinExprOp::Join,
+            Box::new(lhs),
+            Box::new(rhs),
+            Span::synthetic(),
+        )
     }
 
     /// Convenience constructor for a binary operation with a synthetic span.
@@ -472,7 +477,12 @@ impl Formula {
         match iter.next() {
             None => Formula::truth(),
             Some(first) => iter.fold(first, |acc, f| {
-                Formula::Binary(BinFormOp::And, Box::new(acc), Box::new(f), Span::synthetic())
+                Formula::Binary(
+                    BinFormOp::And,
+                    Box::new(acc),
+                    Box::new(f),
+                    Span::synthetic(),
+                )
             }),
         }
     }
@@ -488,6 +498,7 @@ impl Formula {
     }
 
     /// Convenience constructor for negation with a synthetic span.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f), Span::synthetic())
     }
@@ -651,7 +662,9 @@ impl Spec {
 
     /// All field declarations with their declaring signatures.
     pub fn fields(&self) -> impl Iterator<Item = (&SigDecl, &FieldDecl)> {
-        self.sigs.iter().flat_map(|s| s.fields.iter().map(move |f| (s, f)))
+        self.sigs
+            .iter()
+            .flat_map(|s| s.fields.iter().map(move |f| (s, f)))
     }
 
     /// Direct children of the named signature in the `extends` hierarchy.
@@ -748,7 +761,11 @@ mod tests {
             span: Span::synthetic(),
         };
         let spec = Spec {
-            sigs: vec![mk("Key", None), mk("RoomKey", Some("Key")), mk("Room", None)],
+            sigs: vec![
+                mk("Key", None),
+                mk("RoomKey", Some("Key")),
+                mk("Room", None),
+            ],
             ..Spec::default()
         };
         assert_eq!(spec.children_of("Key").len(), 1);

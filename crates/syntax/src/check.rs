@@ -337,7 +337,9 @@ mod tests {
         let spec = parse_spec("sig A {} sig A {}").unwrap();
         assert!(!check_spec(&spec).is_empty());
         let spec = parse_spec("sig A { f: set A } sig B { f: set A }").unwrap();
-        assert!(check_spec(&spec).iter().any(|e| e.message().contains("duplicate field")));
+        assert!(check_spec(&spec)
+            .iter()
+            .any(|e| e.message().contains("duplicate field")));
     }
 
     #[test]
@@ -349,7 +351,9 @@ mod tests {
     #[test]
     fn rejects_bad_pred_arity() {
         let spec = parse_spec("sig A {} pred p[a: A] { some a } fact { p }").unwrap();
-        assert!(check_spec(&spec).iter().any(|e| e.message().contains("expects 1")));
+        assert!(check_spec(&spec)
+            .iter()
+            .any(|e| e.message().contains("expects 1")));
     }
 
     #[test]
@@ -371,7 +375,8 @@ mod tests {
 
     #[test]
     fn let_binding_in_scope() {
-        let spec = parse_spec("sig A { f: set A } fact { all a: A | let k = a.f | some k }").unwrap();
+        let spec =
+            parse_spec("sig A { f: set A } fact { all a: A | let k = a.f | some k }").unwrap();
         assert!(check_spec(&spec).is_empty());
     }
 

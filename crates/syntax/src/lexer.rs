@@ -153,7 +153,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, SyntaxError> {
             continue;
         }
         // Line comments: `//` and `--`.
-        if (c == b'/' && i + 1 < n && bytes[i + 1] == b'/') || (c == b'-' && i + 1 < n && bytes[i + 1] == b'-') {
+        if (c == b'/' && i + 1 < n && bytes[i + 1] == b'/')
+            || (c == b'-' && i + 1 < n && bytes[i + 1] == b'-')
+        {
             while i < n && bytes[i] != b'\n' {
                 i += 1;
             }
@@ -181,7 +183,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, SyntaxError> {
         // Identifiers and keywords.
         if c.is_ascii_alphabetic() || c == b'_' {
             let start = i;
-            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'') {
+            while i < n
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+            {
                 i += 1;
             }
             let text = &source[start..i];
@@ -199,7 +203,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, SyntaxError> {
             }
             let text = &source[start..i];
             let value: i64 = text.parse().map_err(|_| {
-                SyntaxError::new(format!("integer literal `{text}` out of range"), Span::new(start, i))
+                SyntaxError::new(
+                    format!("integer literal `{text}` out of range"),
+                    Span::new(start, i),
+                )
             })?;
             tokens.push(Token {
                 kind: TokenKind::Int(value),

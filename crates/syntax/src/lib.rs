@@ -55,8 +55,7 @@ mod proptests {
     // A tiny generator of well-formed expressions over a fixed vocabulary.
     fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
         let leaf = prop_oneof![
-            prop_oneof![Just("A"), Just("B"), Just("f"), Just("g")]
-                .prop_map(|n| Expr::ident(n)),
+            prop_oneof![Just("A"), Just("B"), Just("f"), Just("g")].prop_map(Expr::ident),
             Just(Expr::Univ(Span::synthetic())),
             Just(Expr::None(Span::synthetic())),
         ];
@@ -71,7 +70,8 @@ mod proptests {
             (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Join, l, r)),
             (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Product, l, r)),
             (sub.clone(), sub.clone()).prop_map(|(l, r)| Expr::binary(BinExprOp::Intersect, l, r)),
-            sub.clone().prop_map(|e| Expr::unary(UnExprOp::Transpose, e)),
+            sub.clone()
+                .prop_map(|e| Expr::unary(UnExprOp::Transpose, e)),
             sub.clone().prop_map(|e| Expr::unary(UnExprOp::Closure, e)),
         ]
         .boxed()

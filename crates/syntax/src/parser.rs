@@ -198,7 +198,10 @@ impl Parser {
             return Ok(());
         }
         Err(SyntaxError::new(
-            format!("expected a paragraph (sig/fact/pred/fun/assert/run/check), found {}", self.peek().kind),
+            format!(
+                "expected a paragraph (sig/fact/pred/fun/assert/run/check), found {}",
+                self.peek().kind
+            ),
             self.peek().span,
         ))
     }
@@ -460,7 +463,10 @@ impl Parser {
                     Some(true)
                 }
                 _ => {
-                    return Err(SyntaxError::new("expected 0 or 1 after `expect`", self.peek().span))
+                    return Err(SyntaxError::new(
+                        "expected 0 or 1 after `expect`",
+                        self.peek().span,
+                    ))
                 }
             }
         } else {
@@ -523,10 +529,20 @@ impl Parser {
                     Box::new(els),
                     span,
                 );
-                return Ok(Formula::Binary(BinFormOp::And, Box::new(pos), Box::new(neg), span));
+                return Ok(Formula::Binary(
+                    BinFormOp::And,
+                    Box::new(pos),
+                    Box::new(neg),
+                    span,
+                ));
             }
             let span = lhs.span().merge(then.span());
-            return Ok(Formula::Binary(BinFormOp::Implies, Box::new(lhs), Box::new(then), span));
+            return Ok(Formula::Binary(
+                BinFormOp::Implies,
+                Box::new(lhs),
+                Box::new(then),
+                span,
+            ));
         }
         Ok(lhs)
     }
@@ -697,33 +713,58 @@ impl Parser {
             self.bump();
             let rhs = self.expr()?;
             let span = lhs.span().merge(rhs.span());
-            return Ok(Formula::Compare(CmpOp::In, Box::new(lhs), Box::new(rhs), span));
+            return Ok(Formula::Compare(
+                CmpOp::In,
+                Box::new(lhs),
+                Box::new(rhs),
+                span,
+            ));
         }
         if self.at(&TokenKind::Bang) && self.kw_at(1, "in") {
             self.bump();
             self.bump();
             let rhs = self.expr()?;
             let span = lhs.span().merge(rhs.span());
-            return Ok(Formula::Compare(CmpOp::NotIn, Box::new(lhs), Box::new(rhs), span));
+            return Ok(Formula::Compare(
+                CmpOp::NotIn,
+                Box::new(lhs),
+                Box::new(rhs),
+                span,
+            ));
         }
         if self.at_kw("not") && self.kw_at(1, "in") {
             self.bump();
             self.bump();
             let rhs = self.expr()?;
             let span = lhs.span().merge(rhs.span());
-            return Ok(Formula::Compare(CmpOp::NotIn, Box::new(lhs), Box::new(rhs), span));
+            return Ok(Formula::Compare(
+                CmpOp::NotIn,
+                Box::new(lhs),
+                Box::new(rhs),
+                span,
+            ));
         }
         if self.at(&TokenKind::Eq) {
             self.bump();
             let rhs = self.expr()?;
             let span = lhs.span().merge(rhs.span());
-            return Ok(Formula::Compare(CmpOp::Eq, Box::new(lhs), Box::new(rhs), span));
+            return Ok(Formula::Compare(
+                CmpOp::Eq,
+                Box::new(lhs),
+                Box::new(rhs),
+                span,
+            ));
         }
         if self.at(&TokenKind::Neq) {
             self.bump();
             let rhs = self.expr()?;
             let span = lhs.span().merge(rhs.span());
-            return Ok(Formula::Compare(CmpOp::Neq, Box::new(lhs), Box::new(rhs), span));
+            return Ok(Formula::Compare(
+                CmpOp::Neq,
+                Box::new(lhs),
+                Box::new(rhs),
+                span,
+            ));
         }
         // Predicate call: a bare identifier or `ident[args]` expression with
         // no comparison operator after it.
@@ -767,7 +808,10 @@ impl Parser {
             TokenKind::Ge => IntCmpOp::Ge,
             _ => {
                 return Err(SyntaxError::new(
-                    format!("expected an integer comparison operator, found {}", self.peek().kind),
+                    format!(
+                        "expected an integer comparison operator, found {}",
+                        self.peek().kind
+                    ),
                     self.peek().span,
                 ))
             }
@@ -1083,7 +1127,10 @@ mod tests {
         assert_eq!(room.fields[1].mult, Mult::One);
         assert_eq!(room.fields[2].mult, Mult::Lone);
         let fd = spec.sig("FrontDesk").unwrap();
-        assert_eq!(fd.fields[0].cols, vec!["Room".to_string(), "Key".to_string()]);
+        assert_eq!(
+            fd.fields[0].cols,
+            vec!["Room".to_string(), "Key".to_string()]
+        );
         assert_eq!(fd.fields[0].mult, Mult::Lone);
     }
 
@@ -1215,7 +1262,9 @@ mod tests {
         // lastKey[r] == r.lastKey — target is an identifier, so the parser
         // emits a named application to be resolved later.
         let e = parse_expr("lastKey[r]").unwrap();
-        assert!(matches!(e, Expr::FunCall(ref n, ref args, _) if n == "lastKey" && args.len() == 1));
+        assert!(
+            matches!(e, Expr::FunCall(ref n, ref args, _) if n == "lastKey" && args.len() == 1)
+        );
         // (FrontDesk.lastKey)[r] == r.(FrontDesk.lastKey)
         let e = parse_expr("FrontDesk.lastKey[r]").unwrap();
         match e {
@@ -1269,7 +1318,9 @@ mod tests {
         assert_eq!(spec.preds[0].params.len(), 2);
         match &spec.facts[0].body[0] {
             Formula::Quant(_, _, body, _) => {
-                assert!(matches!(**body, Formula::PredCall(ref n, ref a, _) if n == "checkIn" && a.len() == 2));
+                assert!(
+                    matches!(**body, Formula::PredCall(ref n, ref a, _) if n == "checkIn" && a.len() == 2)
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -267,10 +267,20 @@ pub fn print_formula(f: &Formula) -> String {
             format!("{} {} {}", wrapf(lhs, false), op.symbol(), wrapf(rhs, true))
         }
         Formula::Quant(q, decls, body, _) => {
-            format!("{} {} | {}", q.keyword(), print_decls(decls), print_formula(body))
+            format!(
+                "{} {} | {}",
+                q.keyword(),
+                print_decls(decls),
+                print_formula(body)
+            )
         }
         Formula::Let(name, binding, body, _) => {
-            format!("let {} = {} | {}", name, print_expr(binding), print_formula(body))
+            format!(
+                "let {} = {} | {}",
+                name,
+                print_expr(binding),
+                print_formula(body)
+            )
         }
         Formula::PredCall(name, args, _) => {
             if args.is_empty() {
@@ -306,7 +316,11 @@ mod tests {
         let e = parse_expr(src).unwrap();
         let printed = print_expr(&e);
         let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
-        assert_eq!(strip_expr(&e), strip_expr(&e2), "roundtrip of `{src}` via `{printed}`");
+        assert_eq!(
+            strip_expr(&e),
+            strip_expr(&e2),
+            "roundtrip of `{src}` via `{printed}`"
+        );
     }
 
     fn roundtrip_formula(src: &str) {
@@ -405,7 +419,8 @@ mod tests {
         "#;
         let spec = parse_spec(src).unwrap();
         let printed = print_spec(&spec);
-        let spec2 = parse_spec(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let spec2 =
+            parse_spec(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(
             crate::walk::strip_spec_spans(&spec),
             crate::walk::strip_spec_spans(&spec2)

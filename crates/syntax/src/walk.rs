@@ -532,7 +532,11 @@ pub fn subtree_size_formula(f: &Formula) -> u32 {
         Formula::Not(inner, _) => subtree_size_formula(inner),
         Formula::Binary(_, l, r, _) => subtree_size_formula(l) + subtree_size_formula(r),
         Formula::Quant(_, decls, body, _) => {
-            decls.iter().map(|d| subtree_size_expr(&d.bound)).sum::<u32>() + subtree_size_formula(body)
+            decls
+                .iter()
+                .map(|d| subtree_size_expr(&d.bound))
+                .sum::<u32>()
+                + subtree_size_formula(body)
         }
         Formula::Let(_, e, body, _) => subtree_size_expr(e) + subtree_size_formula(body),
         Formula::PredCall(_, args, _) => args.iter().map(subtree_size_expr).sum(),
@@ -553,7 +557,11 @@ pub fn subtree_size_expr(e: &Expr) -> u32 {
         Expr::Unary(_, inner, _) => subtree_size_expr(inner),
         Expr::Binary(_, l, r, _) => subtree_size_expr(l) + subtree_size_expr(r),
         Expr::Comprehension(decls, body, _) => {
-            decls.iter().map(|d| subtree_size_expr(&d.bound)).sum::<u32>() + subtree_size_formula(body)
+            decls
+                .iter()
+                .map(|d| subtree_size_expr(&d.bound))
+                .sum::<u32>()
+                + subtree_size_formula(body)
         }
         Expr::IfThenElse(c, t, f, _) => {
             subtree_size_formula(c) + subtree_size_expr(t) + subtree_size_expr(f)
@@ -806,7 +814,12 @@ pub fn subst_formula(f: &Formula, map: &std::collections::HashMap<String, Expr>)
             let e2 = subst_expr(e, map);
             let mut inner_map = map.clone();
             inner_map.remove(n);
-            Formula::Let(n.clone(), Box::new(e2), Box::new(subst_formula(body, &inner_map)), *s)
+            Formula::Let(
+                n.clone(),
+                Box::new(e2),
+                Box::new(subst_formula(body, &inner_map)),
+                *s,
+            )
         }
         Formula::PredCall(n, args, s) => Formula::PredCall(
             n.clone(),
@@ -921,10 +934,20 @@ mod tests {
         let spec = sample_spec();
         let sites = collect_sites(&spec);
         // The deepest node under the quantifier should see `x` in scope.
-        let in_fact: Vec<_> = sites.iter().filter(|s| s.owner.0 == OwnerKind::Fact).collect();
-        assert!(in_fact.iter().any(|s| s.vars_in_scope.contains(&"x".to_string())));
-        let in_pred: Vec<_> = sites.iter().filter(|s| s.owner.0 == OwnerKind::Pred).collect();
-        assert!(in_pred.iter().all(|s| s.vars_in_scope.contains(&"a".to_string())));
+        let in_fact: Vec<_> = sites
+            .iter()
+            .filter(|s| s.owner.0 == OwnerKind::Fact)
+            .collect();
+        assert!(in_fact
+            .iter()
+            .any(|s| s.vars_in_scope.contains(&"x".to_string())));
+        let in_pred: Vec<_> = sites
+            .iter()
+            .filter(|s| s.owner.0 == OwnerKind::Pred)
+            .collect();
+        assert!(in_pred
+            .iter()
+            .all(|s| s.vars_in_scope.contains(&"a".to_string())));
     }
 
     #[test]
@@ -1220,9 +1243,19 @@ mod tests {
             .iter()
             .flat_map(|f| f.body.iter())
             .map(subtree_size_formula)
-            .chain(spec.preds.iter().flat_map(|p| p.body.iter()).map(subtree_size_formula))
+            .chain(
+                spec.preds
+                    .iter()
+                    .flat_map(|p| p.body.iter())
+                    .map(subtree_size_formula),
+            )
             .chain(spec.funs.iter().map(|f| subtree_size_expr(&f.body)))
-            .chain(spec.asserts.iter().flat_map(|a| a.body.iter()).map(subtree_size_formula))
+            .chain(
+                spec.asserts
+                    .iter()
+                    .flat_map(|a| a.body.iter())
+                    .map(subtree_size_formula),
+            )
             .sum();
         assert_eq!(total as usize, sites.len());
     }

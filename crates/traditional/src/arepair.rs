@@ -59,13 +59,15 @@ pub(crate) fn greedy_test_repair(
             if explored >= max_candidates {
                 break;
             }
-            let Some(mutant) = engine.apply(m) else { continue };
+            let Some(mutant) = engine.apply(m) else {
+                continue;
+            };
             if !ledger.admit(&mutant) {
                 continue;
             }
             explored += 1;
             let (_, fail) = suite.run(&mutant);
-            if fail < current_fail && best.as_ref().map_or(true, |(_, bf)| fail < *bf) {
+            if fail < current_fail && best.as_ref().is_none_or(|(_, bf)| fail < *bf) {
                 let done = fail == 0;
                 best = Some((mutant, fail));
                 if done || !thorough {
@@ -90,7 +92,12 @@ impl RepairTechnique for ARepair {
     }
 
     fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
-        let suite = crate::support::derive_tests(&ctx.faulty, self.tests_per_command, true);
+        let suite = crate::support::derive_tests(
+            ctx.oracle.service(),
+            &ctx.faulty,
+            self.tests_per_command,
+            true,
+        );
         if suite.is_empty() {
             return RepairOutcome::failure(self.name(), 0, 0);
         }
@@ -136,7 +143,12 @@ mod tests {
         assert!(out.candidate.is_some());
         if out.success {
             // Tests pass; the candidate should reject the recorded cexs.
-            let suite = crate::support::derive_tests(&ctx(faulty).faulty, 3, true);
+            let suite = crate::support::derive_tests(
+                &mualloy_analyzer::Oracle::new(),
+                &ctx(faulty).faulty,
+                3,
+                true,
+            );
             assert!(suite.all_pass(out.candidate.as_ref().unwrap()));
         }
     }
@@ -165,11 +177,16 @@ mod tests {
         }
         .repair(&ctx(faulty));
         if let (true, Some(c)) = (out.success, &out.candidate) {
-            let oracle = Analyzer::new(c.clone()).satisfies_oracle().unwrap_or(false);
             // Either outcome is legal, but on this weak suite the candidate
-            // passing ARepair's tests usually does NOT satisfy the oracle;
-            // record the interesting direction when it happens.
-            let _ = oracle;
+            // passing ARepair's tests usually does NOT satisfy the oracle.
+            // The oracle itself must answer cleanly either way.
+            let verdict = Analyzer::new(c.clone())
+                .satisfies_oracle()
+                .expect("oracle evaluation must not error on a parsed candidate");
+            if verdict {
+                // Generalized despite the weak suite: fine, just rare.
+                assert!(out.candidates_explored >= 1);
+            }
         }
         assert!(out.candidates_explored > 0);
     }
@@ -181,9 +198,13 @@ mod tests {
             assert NoSelf { all n: N | n not in n.next } \
             check NoSelf for 3 expect 0";
         let spec = ctx(faulty).faulty;
-        let with = crate::support::derive_tests(&spec, 2, true);
-        let without = crate::support::derive_tests(&spec, 2, false);
-        assert!(with.len() > without.len(), "admission tests should be added");
+        let oracle = mualloy_analyzer::Oracle::new();
+        let with = crate::support::derive_tests(&oracle, &spec, 2, true);
+        let without = crate::support::derive_tests(&oracle, &spec, 2, false);
+        assert!(
+            with.len() > without.len(),
+            "admission tests should be added"
+        );
         // Admission tests pass on the faulty spec itself (they pin its
         // current instances).
         let admission_only: Vec<_> = with
@@ -217,8 +238,11 @@ mod tests {
         assert!(out.candidates_explored > 0);
         if let (true, Some(c)) = (out.success, &out.candidate) {
             // If the tests were satisfiable after all, the result may still
-            // fail the real oracle (overfitting) — both outcomes are legal.
-            let _ = Analyzer::new(c.clone()).satisfies_oracle();
+            // fail the real oracle (overfitting) — both outcomes are legal,
+            // but the oracle call itself must not be silently discarded.
+            Analyzer::new(c.clone())
+                .satisfies_oracle()
+                .expect("oracle evaluation must not error on a parsed candidate");
         }
     }
 
@@ -228,7 +252,14 @@ mod tests {
             fact Broken { all n: N | n in n.next || n not in n.next } \
             assert NoSelf { all n: N | n not in n.next } \
             check NoSelf for 3 expect 0";
-        let tiny = RepairContext::from_source(faulty, RepairBudget { max_candidates: 5, max_rounds: 1 }).unwrap();
+        let tiny = RepairContext::from_source(
+            faulty,
+            RepairBudget {
+                max_candidates: 5,
+                max_rounds: 1,
+            },
+        )
+        .unwrap();
         let out = ARepair::default().repair(&tiny);
         // Greedy runs on the cheap test-evaluation currency: 8× allowance.
         assert!(out.candidates_explored <= 40);

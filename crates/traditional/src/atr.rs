@@ -8,17 +8,17 @@
 //! counterexamples and keep admitting the cached satisfying instances before
 //! any full validation is spent on it.
 
-use mualloy_analyzer::Analyzer;
+use mualloy_analyzer::Oracle;
 use mualloy_relational::{assert_body, pred_as_existential, Evaluator, Instance};
 use mualloy_syntax::ast::*;
 use mualloy_syntax::walk::{node_at, replace_node, NodeRepl, NodeSite};
 use specrepair_core::{
-    localization::{constraint_sites, localize},
+    localization::{constraint_sites, localize_with},
     RepairContext, RepairOutcome, RepairTechnique,
 };
 use specrepair_mutation::{MutationEngine, Vocabulary};
 
-use crate::support::{validate_against_oracle, CandidateLedger};
+use crate::support::CandidateLedger;
 
 /// The ATR technique.
 #[derive(Debug, Clone)]
@@ -50,16 +50,15 @@ struct Evidence {
     admitted: Vec<(String, Instance)>,
 }
 
-fn gather_evidence(spec: &Spec, per_command: usize) -> Evidence {
-    let analyzer = Analyzer::new(spec.clone());
+fn gather_evidence(oracle: &Oracle, spec: &Spec, per_command: usize) -> Evidence {
     let mut rejected = Vec::new();
     let mut admitted = Vec::new();
-    if let Ok(outcomes) = analyzer.execute_all() {
+    if let Ok(outcomes) = oracle.execute_all(spec) {
         for out in outcomes {
             match &out.command.kind {
                 CommandKind::Check(name) if out.sat && !out.matches_expectation() => {
                     if let Ok(cexs) =
-                        analyzer.counterexamples(name, out.command.scope, per_command)
+                        oracle.counterexamples(spec, name, out.command.scope, per_command)
                     {
                         rejected.extend(cexs.into_iter().map(|c| (name.clone(), c)));
                     }
@@ -156,13 +155,14 @@ impl RepairTechnique for Atr {
     }
 
     fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
+        let oracle = ctx.oracle.service();
         let mut ledger = CandidateLedger::new();
-        let budget = ctx.budget.max_candidates;
-        let evidence = gather_evidence(&ctx.faulty, self.cache_per_command);
+        let mut session = ctx.validation_session();
+        let evidence = gather_evidence(oracle, &ctx.faulty, self.cache_per_command);
         let vocab = Vocabulary::of(&ctx.faulty);
 
         // Ranked suspicious sites; fall back to all constraint sites.
-        let loc = localize(&ctx.faulty);
+        let loc = localize_with(oracle, &ctx.faulty);
         let all_sites = constraint_sites(&ctx.faulty);
         let ranked_ids = loc.top_sites(self.top_sites);
         let sites: Vec<&NodeSite> = if ranked_ids.is_empty() {
@@ -180,7 +180,9 @@ impl RepairTechnique for Atr {
             let mut candidates: Vec<Spec> = Vec::new();
             for m in engine.all_mutations() {
                 // Only mutations within the suspicious site's span.
-                if m.span.start >= site.span.start && m.span.end <= site.span.end.max(site.span.start + 1) {
+                if m.span.start >= site.span.start
+                    && m.span.end <= site.span.end.max(site.span.start + 1)
+                {
                     if let Some(mutant) = engine.apply(&m) {
                         candidates.push(mutant);
                     }
@@ -190,9 +192,7 @@ impl RepairTechnique for Atr {
             // strengthenings (conjunct additions) at the site.
             if let Some(NodeRepl::Formula(_)) = node_at(&ctx.faulty, site.id) {
                 for tf in template_formulas(&vocab, site, self.max_templates_per_site / 2) {
-                    if let Some(cand) =
-                        replace_node(&ctx.faulty, site.id, NodeRepl::Formula(tf))
-                    {
+                    if let Some(cand) = replace_node(&ctx.faulty, site.id, NodeRepl::Formula(tf)) {
                         candidates.push(cand);
                     }
                 }
@@ -223,21 +223,28 @@ impl RepairTechnique for Atr {
                 }
             }
             for cand in strong.into_iter().chain(weak) {
-                if ledger.validated() >= budget {
-                    return RepairOutcome::failure(self.name(), ledger.validated(), 1);
-                }
-                if validate_against_oracle(&cand, &mut ledger) {
-                    return RepairOutcome::success_with(self.name(), cand, ledger.validated(), 1);
+                match session.validate(&cand) {
+                    None => return RepairOutcome::failure(self.name(), session.validated(), 1),
+                    Some(true) => {
+                        return RepairOutcome::success_with(
+                            self.name(),
+                            cand,
+                            session.validated(),
+                            1,
+                        )
+                    }
+                    Some(false) => {}
                 }
             }
         }
-        RepairOutcome::failure(self.name(), ledger.validated(), 1)
+        RepairOutcome::failure(self.name(), session.validated(), 1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mualloy_analyzer::Analyzer;
     use specrepair_core::RepairBudget;
 
     fn ctx(src: &str) -> RepairContext {
@@ -274,7 +281,7 @@ mod tests {
              check NoSelf for 3 expect 0",
         )
         .unwrap();
-        let evidence = gather_evidence(&faulty, 2);
+        let evidence = gather_evidence(&Oracle::new(), &faulty, 2);
         assert!(!evidence.rejected.is_empty());
         // The faulty spec itself fails its own screen.
         assert_eq!(screen(&faulty, &evidence), Screen::Fail);
@@ -291,17 +298,17 @@ mod tests {
 
     #[test]
     fn template_pool_is_bounded_and_varied() {
-        let spec = mualloy_syntax::parse_spec(
-            "sig A { f: set A } fact { all x: A | x in x.f }",
-        )
-        .unwrap();
+        let spec =
+            mualloy_syntax::parse_spec("sig A { f: set A } fact { all x: A | x in x.f }").unwrap();
         let vocab = Vocabulary::of(&spec);
         let sites = constraint_sites(&spec);
         let templates = template_formulas(&vocab, &sites[0], 50);
         assert!(!templates.is_empty());
         assert!(templates.len() <= 50);
         // Contains both multiplicity and comparison shapes.
-        assert!(templates.iter().any(|f| matches!(f, Formula::Mult(_, _, _))));
+        assert!(templates
+            .iter()
+            .any(|f| matches!(f, Formula::Mult(_, _, _))));
     }
 
     #[test]

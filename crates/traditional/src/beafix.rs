@@ -11,10 +11,12 @@
 
 use mualloy_syntax::ast::Spec;
 use mualloy_syntax::check_spec;
-use specrepair_core::{localization::constraint_sites, RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{
+    localization::constraint_sites, OracleSession, RepairContext, RepairOutcome, RepairTechnique,
+};
 use specrepair_mutation::MutationEngine;
 
-use crate::support::{validate_against_oracle, CandidateLedger};
+use crate::support::CandidateLedger;
 
 /// The BeAFix technique.
 #[derive(Debug, Clone)]
@@ -34,18 +36,17 @@ impl BeAFix {
         &self,
         candidate: Spec,
         ledger: &mut CandidateLedger,
-        budget: usize,
+        session: &mut OracleSession<'_>,
     ) -> Option<Result<Spec, Spec>> {
-        if ledger.validated() >= budget {
+        if session.exhausted() {
             return None; // out of budget: abort search
         }
         if !ledger.admit(&candidate) || !check_spec(&candidate).is_empty() {
             return Some(Err(candidate)); // pruned without validation
         }
-        if validate_against_oracle(&candidate, ledger) {
-            Some(Ok(candidate))
-        } else {
-            Some(Err(candidate))
+        match session.validate(&candidate) {
+            Some(true) => Some(Ok(candidate)),
+            _ => Some(Err(candidate)),
         }
     }
 }
@@ -57,24 +58,21 @@ impl RepairTechnique for BeAFix {
 
     fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
         let mut ledger = CandidateLedger::new();
-        let budget = ctx.budget.max_candidates;
+        let mut session = ctx.validation_session();
 
         // Depth 1: every single mutation, in deterministic order.
         let engine = MutationEngine::new(&ctx.faulty);
         let mutations = engine.all_mutations();
         for m in &mutations {
-            let Some(mutant) = engine.apply(m) else { continue };
-            match self.try_candidate(mutant, &mut ledger, budget) {
+            let Some(mutant) = engine.apply(m) else {
+                continue;
+            };
+            match self.try_candidate(mutant, &mut ledger, &mut session) {
                 Some(Ok(fixed)) => {
-                    return RepairOutcome::success_with(
-                        self.name(),
-                        fixed,
-                        ledger.validated(),
-                        1,
-                    )
+                    return RepairOutcome::success_with(self.name(), fixed, session.validated(), 1)
                 }
                 Some(Err(_)) => {}
-                None => return RepairOutcome::failure(self.name(), ledger.validated(), 1),
+                None => return RepairOutcome::failure(self.name(), session.validated(), 1),
             }
         }
 
@@ -93,29 +91,31 @@ impl RepairTechnique for BeAFix {
                 {
                     continue;
                 }
-                let Some(level1) = engine.apply(m1) else { continue };
+                let Some(level1) = engine.apply(m1) else {
+                    continue;
+                };
                 let engine2 = MutationEngine::new(&level1);
                 for m2 in engine2.all_mutations() {
-                    let Some(level2) = engine2.apply(&m2) else { continue };
-                    match self.try_candidate(level2, &mut ledger, budget) {
+                    let Some(level2) = engine2.apply(&m2) else {
+                        continue;
+                    };
+                    match self.try_candidate(level2, &mut ledger, &mut session) {
                         Some(Ok(fixed)) => {
                             return RepairOutcome::success_with(
                                 self.name(),
                                 fixed,
-                                ledger.validated(),
+                                session.validated(),
                                 2,
                             )
                         }
                         Some(Err(_)) => {}
-                        None => {
-                            return RepairOutcome::failure(self.name(), ledger.validated(), 2)
-                        }
+                        None => return RepairOutcome::failure(self.name(), session.validated(), 2),
                     }
                 }
             }
         }
 
-        RepairOutcome::failure(self.name(), ledger.validated(), self.max_depth)
+        RepairOutcome::failure(self.name(), session.validated(), self.max_depth)
     }
 }
 
@@ -139,8 +139,13 @@ mod tests {
             run hasNode for 3 expect 1 \
             check NoSelf for 3 expect 0";
         let out = BeAFix::default().repair(&ctx(faulty));
-        assert!(out.success, "single quantifier swap is in the depth-1 space");
-        assert!(Analyzer::new(out.candidate.unwrap()).satisfies_oracle().unwrap());
+        assert!(
+            out.success,
+            "single quantifier swap is in the depth-1 space"
+        );
+        assert!(Analyzer::new(out.candidate.unwrap())
+            .satisfies_oracle()
+            .unwrap());
         assert_eq!(out.rounds, 1);
     }
 
@@ -156,7 +161,9 @@ mod tests {
         let out = BeAFix::default().repair(&ctx(faulty));
         // Fixable at depth ≤ 2 (possibly depth 1 via a different edit).
         assert!(out.success);
-        assert!(Analyzer::new(out.candidate.unwrap()).satisfies_oracle().unwrap());
+        assert!(Analyzer::new(out.candidate.unwrap())
+            .satisfies_oracle()
+            .unwrap());
     }
 
     #[test]

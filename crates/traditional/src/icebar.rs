@@ -9,7 +9,7 @@
 use specrepair_core::{RepairContext, RepairOutcome, RepairTechnique};
 
 use crate::arepair::greedy_test_repair;
-use crate::support::{counterexample_tests, derive_tests, validate_against_oracle, CandidateLedger};
+use crate::support::{counterexample_tests, derive_tests, CandidateLedger};
 
 /// The ICEBAR technique.
 #[derive(Debug, Clone)]
@@ -35,18 +35,21 @@ impl RepairTechnique for Icebar {
     }
 
     fn repair(&self, ctx: &RepairContext) -> RepairOutcome {
-        let mut suite = derive_tests(&ctx.faulty, self.tests_per_command, false);
+        let oracle = ctx.oracle.service();
+        let mut suite = derive_tests(oracle, &ctx.faulty, self.tests_per_command, false);
         if suite.is_empty() {
             return RepairOutcome::failure(self.name(), 0, 0);
         }
         let mut ledger = CandidateLedger::new();
+        // Oracle validations are bounded by the round loop (one per round),
+        // far below the candidate budget; the session still charges each.
+        let mut session = ctx.validation_session();
         let mut explored_total = 0usize;
         let mut last_candidate = ctx.faulty.clone();
         // Greedy search runs on cheap ground evaluations; see ARepair for
         // the budget-currency rationale.
-        let per_round_budget = (ctx.budget.max_candidates.saturating_mul(8)
-            / ctx.budget.max_rounds.max(1))
-        .max(1);
+        let per_round_budget =
+            (ctx.budget.max_candidates.saturating_mul(8) / ctx.budget.max_rounds.max(1)).max(1);
 
         for round in 1..=ctx.budget.max_rounds {
             let (candidate, tests_pass, explored) =
@@ -59,7 +62,7 @@ impl RepairTechnique for Icebar {
                 break;
             }
             // Overfitting check against the property oracle.
-            if validate_against_oracle(&candidate, &mut ledger) {
+            if session.validate(&candidate) == Some(true) {
                 let source = mualloy_syntax::print_spec(&candidate);
                 return RepairOutcome {
                     technique: self.name().to_string(),
@@ -71,7 +74,7 @@ impl RepairTechnique for Icebar {
                 };
             }
             // Strengthen with counterexamples from the overfitted candidate.
-            let new_tests = counterexample_tests(&candidate, self.cexs_per_round, round);
+            let new_tests = counterexample_tests(oracle, &candidate, self.cexs_per_round, round);
             if new_tests.is_empty() {
                 break; // no reliable counterexamples to refine with
             }
@@ -106,7 +109,10 @@ mod tests {
             assert NoSelf { all n: N | n not in n.next } \
             check NoSelf for 3 expect 0";
         let out = Icebar::default().repair(&ctx(faulty));
-        assert!(out.success, "ICEBAR should iterate to an oracle-passing fix");
+        assert!(
+            out.success,
+            "ICEBAR should iterate to an oracle-passing fix"
+        );
         let c = out.candidate.unwrap();
         assert!(Analyzer::new(c).satisfies_oracle().unwrap());
     }

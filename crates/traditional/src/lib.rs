@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn suite_contains_the_four_tools() {
-        let names: Vec<String> = default_suite().iter().map(|t| t.name().to_string()).collect();
+        let names: Vec<String> = default_suite()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
         assert_eq!(names, vec!["ARepair", "ICEBAR", "BeAFix", "ATR"]);
     }
 

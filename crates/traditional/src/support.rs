@@ -1,8 +1,10 @@
-//! Shared machinery for the traditional repair tools: oracle-checked
-//! candidate validation with budget accounting, deduplication, and
-//! derivation of AUnit tests from a specification's own commands.
+//! Shared machinery for the traditional repair tools: structural candidate
+//! deduplication and derivation of AUnit tests from a specification's own
+//! commands. Oracle validation and its budget accounting live in
+//! [`specrepair_core::OracleSession`] — the shared memoizing oracle
+//! charges one budget unit per validated candidate.
 
-use mualloy_analyzer::{AUnitTest, Analyzer, TestSuite};
+use mualloy_analyzer::{AUnitTest, Oracle, TestSuite};
 use mualloy_relational::{assert_body, pred_as_existential};
 use mualloy_syntax::ast::*;
 use mualloy_syntax::walk::strip_spec_spans;
@@ -10,23 +12,16 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
-/// Tracks how many candidates have been validated and deduplicates
-/// structurally-identical candidates.
+/// Deduplicates structurally-identical candidates.
 #[derive(Debug, Default)]
 pub struct CandidateLedger {
     seen: HashSet<u64>,
-    validated: usize,
 }
 
 impl CandidateLedger {
     /// Creates an empty ledger.
     pub fn new() -> CandidateLedger {
         CandidateLedger::default()
-    }
-
-    /// Number of candidates validated so far.
-    pub fn validated(&self) -> usize {
-        self.validated
     }
 
     /// Registers a candidate; returns `false` when it is a structural
@@ -36,20 +31,6 @@ impl CandidateLedger {
         strip_spec_spans(candidate).hash(&mut hasher);
         self.seen.insert(hasher.finish())
     }
-
-    /// Counts one oracle validation.
-    pub fn count_validation(&mut self) {
-        self.validated += 1;
-    }
-}
-
-/// Validates a candidate against its own command oracle (all commands match
-/// their `expect` annotations), counting the validation in the ledger.
-pub fn validate_against_oracle(candidate: &Spec, ledger: &mut CandidateLedger) -> bool {
-    ledger.count_validation();
-    Analyzer::new(candidate.clone())
-        .satisfies_oracle()
-        .unwrap_or(false)
 }
 
 /// Derives an AUnit test suite from a specification's commands — the
@@ -67,19 +48,26 @@ pub fn validate_against_oracle(candidate: &Spec, ledger: &mut CandidateLedger) -
 ///   bug — the intended repair often has to exclude them — and are the
 ///   overfitting trap the paper blames for ARepair's low REP scores.
 ///   ICEBAR's oracle-driven refinement does not use them.
-pub fn derive_tests(spec: &Spec, per_command: usize, admission_tests: bool) -> TestSuite {
-    let analyzer = Analyzer::new(spec.clone());
+pub fn derive_tests(
+    oracle: &Oracle,
+    spec: &Spec,
+    per_command: usize,
+    admission_tests: bool,
+) -> TestSuite {
     let mut suite = TestSuite::new();
-    let Ok(outcomes) = analyzer.execute_all() else {
+    let Ok(outcomes) = oracle.execute_all(spec) else {
         return suite;
     };
     for out in outcomes {
         match (&out.command.kind, out.matches_expectation()) {
             (CommandKind::Check(name), false) if out.sat => {
                 // Unexpected counterexamples: they must be rejected.
-                let Ok(body) = assert_body(spec, name) else { continue };
+                let Ok(body) = assert_body(spec, name) else {
+                    continue;
+                };
                 let negated = Formula::not(body);
-                if let Ok(cexs) = analyzer.counterexamples(name, out.command.scope, per_command) {
+                if let Ok(cexs) = oracle.counterexamples(spec, name, out.command.scope, per_command)
+                {
                     for (i, cex) in cexs.into_iter().enumerate() {
                         suite.push(AUnitTest::new(
                             format!("reject-cex-{name}-{i}"),
@@ -95,9 +83,11 @@ pub fn derive_tests(spec: &Spec, per_command: usize, admission_tests: bool) -> T
                 // a facts-free copy (ARepair's overfitting trap).
                 let mut relaxed = spec.clone();
                 relaxed.facts.clear();
-                let relaxed_analyzer = Analyzer::new(relaxed.clone());
-                let Ok(formula) = pred_as_existential(&relaxed, name) else { continue };
-                if let Ok(insts) = relaxed_analyzer.enumerate(&formula, out.command.scope, per_command)
+                let Ok(formula) = pred_as_existential(&relaxed, name) else {
+                    continue;
+                };
+                if let Ok(insts) =
+                    oracle.enumerate(&relaxed, &formula, out.command.scope, per_command)
                 {
                     for (i, inst) in insts.into_iter().enumerate() {
                         suite.push(AUnitTest::new(
@@ -111,7 +101,9 @@ pub fn derive_tests(spec: &Spec, per_command: usize, admission_tests: bool) -> T
             }
             (CommandKind::Run(name), true) if out.sat => {
                 // Regression: keep admitting the current witness.
-                let Ok(formula) = pred_as_existential(spec, name) else { continue };
+                let Ok(formula) = pred_as_existential(spec, name) else {
+                    continue;
+                };
                 if let Some(inst) = out.instance {
                     suite.push(AUnitTest::new(
                         format!("regression-{name}"),
@@ -127,7 +119,7 @@ pub fn derive_tests(spec: &Spec, per_command: usize, admission_tests: bool) -> T
     if admission_tests && !suite.is_empty() {
         // Pin a couple of currently-admitted instances (tainted by the
         // fault) as must-stay-admitted valuations.
-        if let Ok(insts) = analyzer.enumerate(&Formula::truth(), default_scope(spec), 3) {
+        if let Ok(insts) = oracle.enumerate(spec, &Formula::truth(), default_scope(spec), 3) {
             for (i, inst) in insts.into_iter().enumerate() {
                 suite.push(AUnitTest::new(
                     format!("admit-current-{i}"),
@@ -149,10 +141,14 @@ fn default_scope(spec: &Spec) -> u32 {
 /// Derives *strengthening* tests from a candidate's current failures, used
 /// by ICEBAR's refinement loop. Unlike [`derive_tests`] this only adds
 /// counterexample-rejection tests (the reliable kind).
-pub fn counterexample_tests(candidate: &Spec, per_command: usize, round: usize) -> Vec<AUnitTest> {
-    let analyzer = Analyzer::new(candidate.clone());
+pub fn counterexample_tests(
+    oracle: &Oracle,
+    candidate: &Spec,
+    per_command: usize,
+    round: usize,
+) -> Vec<AUnitTest> {
     let mut tests = Vec::new();
-    let Ok(outcomes) = analyzer.execute_all() else {
+    let Ok(outcomes) = oracle.execute_all(candidate) else {
         return tests;
     };
     for out in outcomes {
@@ -160,9 +156,13 @@ pub fn counterexample_tests(candidate: &Spec, per_command: usize, round: usize) 
             if !out.sat {
                 continue;
             }
-            let Ok(body) = assert_body(candidate, name) else { continue };
+            let Ok(body) = assert_body(candidate, name) else {
+                continue;
+            };
             let negated = Formula::not(body);
-            if let Ok(cexs) = analyzer.counterexamples(name, out.command.scope, per_command) {
+            if let Ok(cexs) =
+                oracle.counterexamples(candidate, name, out.command.scope, per_command)
+            {
                 for (i, cex) in cexs.into_iter().enumerate() {
                     tests.push(AUnitTest::new(
                         format!("icebar-r{round}-{name}-{i}"),
@@ -193,48 +193,41 @@ mod tests {
         let mut ledger = CandidateLedger::new();
         assert!(ledger.admit(&spec));
         assert!(!ledger.admit(&spec.clone()));
-        assert_eq!(ledger.validated(), 0);
-        ledger.count_validation();
-        assert_eq!(ledger.validated(), 1);
     }
 
     #[test]
-    fn validate_counts_and_judges() {
+    fn session_validation_counts_and_judges() {
         let good = parse_spec(
             "sig N { next: lone N } fact { no n: N | n in n.^next } \
              assert NoSelf { all n: N | n not in n.next } check NoSelf for 3 expect 0",
         )
         .unwrap();
         let bad = parse_spec(FAULTY).unwrap();
-        let mut ledger = CandidateLedger::new();
-        assert!(validate_against_oracle(&good, &mut ledger));
-        assert!(!validate_against_oracle(&bad, &mut ledger));
-        assert_eq!(ledger.validated(), 2);
+        let handle = specrepair_core::OracleHandle::fresh();
+        let mut session = handle.session(5);
+        assert_eq!(session.validate(&good), Some(true));
+        assert_eq!(session.validate(&bad), Some(false));
+        assert_eq!(session.validated(), 2);
     }
 
     #[test]
     fn derive_tests_rejects_counterexamples() {
         let spec = parse_spec(FAULTY).unwrap();
-        let suite = derive_tests(&spec, 2, false);
+        let suite = derive_tests(&Oracle::new(), &spec, 2, false);
         assert!(!suite.is_empty());
         // The faulty spec fails its own derived tests…
         assert!(!suite.all_pass(&spec));
         // …but the correct spec passes them.
-        let fixed = parse_spec(&FAULTY.replace(
-            "some N || no N",
-            "no n: N | n in n.^next",
-        ))
-        .unwrap();
+        let fixed =
+            parse_spec(&FAULTY.replace("some N || no N", "no n: N | n in n.^next")).unwrap();
         assert!(suite.all_pass(&fixed));
     }
 
     #[test]
     fn derive_tests_handles_unsat_run() {
-        let spec = parse_spec(
-            "sig N {} fact Dead { no N } pred p { some N } run p for 3 expect 1",
-        )
-        .unwrap();
-        let suite = derive_tests(&spec, 2, false);
+        let spec = parse_spec("sig N {} fact Dead { no N } pred p { some N } run p for 3 expect 1")
+            .unwrap();
+        let suite = derive_tests(&Oracle::new(), &spec, 2, false);
         assert!(!suite.is_empty(), "witness tests from the facts-free spec");
         assert!(!suite.all_pass(&spec));
     }
@@ -242,7 +235,7 @@ mod tests {
     #[test]
     fn counterexample_tests_strengthen() {
         let spec = parse_spec(FAULTY).unwrap();
-        let tests = counterexample_tests(&spec, 3, 1);
+        let tests = counterexample_tests(&Oracle::new(), &spec, 3, 1);
         assert!(!tests.is_empty());
         for t in &tests {
             assert!(!t.expect);
@@ -257,8 +250,11 @@ mod tests {
              pred hasEdge { some next } run hasEdge for 3 expect 1",
         )
         .unwrap();
-        let suite = derive_tests(&good, 2, false);
-        assert!(suite.tests().iter().all(|t| t.name.starts_with("regression-")));
+        let suite = derive_tests(&Oracle::new(), &good, 2, false);
+        assert!(suite
+            .tests()
+            .iter()
+            .all(|t| t.name.starts_with("regression-")));
         assert!(suite.all_pass(&good));
     }
 }

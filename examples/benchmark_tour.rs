@@ -4,13 +4,14 @@
 //!
 //! Run with: `cargo run --release --example benchmark_tour`
 
-use mualloy_analyzer::Analyzer;
+use mualloy_analyzer::Oracle;
 use specrepair_benchmarks::{alloy4fun, arepair};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut problems = alloy4fun(0.005);
     problems.extend(arepair(0.08));
 
+    let oracle = Oracle::new();
     let mut seen_domains = std::collections::BTreeSet::new();
     for p in &problems {
         if !seen_domains.insert(p.domain.clone()) {
@@ -21,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("fault injected by: {}", p.edits.join("; "));
         println!("--- faulty specification ---");
         print!("{}", p.faulty_source);
-        let analyzer = Analyzer::new(p.faulty.clone());
-        let failing = analyzer.failing_commands()?;
+        let failing = oracle.failing_commands(&p.faulty)?;
         println!("--- failing commands ({}): ---", failing.len());
         for f in &failing {
             println!(

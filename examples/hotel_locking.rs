@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --release --example hotel_locking`
 
-use mualloy_analyzer::Analyzer;
-use specrepair_core::{
-    localize, LocalizeThenFix, RepairBudget, RepairContext, RepairTechnique,
-};
+use mualloy_analyzer::Oracle;
+use specrepair_core::{localize, LocalizeThenFix, RepairBudget, RepairContext, RepairTechnique};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 
 /// Fig. 1, adapted to μAlloy (post-state primes become explicit commands;
@@ -37,21 +35,25 @@ run freshGuest for 3 expect 1
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = mualloy_syntax::parse_spec(FAULTY_HOTEL)?;
-    let analyzer = Analyzer::new(spec.clone());
+    let oracle = Oracle::new();
 
     // The bug: a guest already holding a key can never check in, although
     // that is a perfectly legitimate hotel scenario.
     println!("=== Symptom ===");
-    for outcome in analyzer.execute_all()? {
+    for outcome in oracle.execute_all(&spec)? {
         println!(
             "{} {} -> {} (expected sat: {:?})",
-            if outcome.command.is_check() { "check" } else { "run" },
+            if outcome.command.is_check() {
+                "check"
+            } else {
+                "run"
+            },
             outcome.command.target(),
             if outcome.sat { "SAT" } else { "UNSAT" },
             outcome.command.expect,
         );
     }
-    assert!(!analyzer.satisfies_oracle()?);
+    assert!(!oracle.satisfies_oracle(&spec)?);
 
     // Fault localization points into the checkIn predicate.
     println!("\n=== Localization ===");
@@ -78,8 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n=== Repaired specification ===");
         print!("{}", mualloy_syntax::print_spec(candidate));
         if outcome.success {
-            let fixed = Analyzer::new(candidate.clone());
-            assert!(fixed.satisfies_oracle()?);
+            assert!(oracle.satisfies_oracle(candidate)?);
             println!(
                 "\nBoth fresh and returning guests can now check in.\n\
                  (Note: like the paper's REP metric, the oracle accepts any\n\

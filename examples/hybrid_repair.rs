@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example hybrid_repair`
 
 use specrepair_benchmarks::alloy4fun;
-use specrepair_core::{overlap_stats, RepairBudget, RepairContext, RepairTechnique};
+use specrepair_core::{overlap_stats, OracleHandle, RepairBudget, RepairContext, RepairTechnique};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 use specrepair_metrics::rep;
 use specrepair_traditional::default_suite;
@@ -19,15 +19,21 @@ fn main() {
         max_rounds: 4,
     };
 
+    // One memoizing oracle per problem, shared by every technique that
+    // attacks it (the LLM arm here, each traditional arm below).
+    let oracles: Vec<OracleHandle> = problems.iter().map(|_| OracleHandle::fresh()).collect();
+
     // Per-spec REP vector of the Multi-Round_None fixer.
     let llm = MultiRound::new(FeedbackSetting::None, 42);
     let llm_vector: Vec<bool> = problems
         .iter()
-        .map(|p| {
+        .zip(&oracles)
+        .map(|(p, oracle)| {
             let ctx = RepairContext {
                 faulty: p.faulty.clone(),
                 source: p.faulty_source.clone(),
                 budget,
+                oracle: oracle.clone(),
             };
             let out = llm.repair(&ctx);
             rep(&p.truth, out.candidate_source.as_deref()) == 1
@@ -41,11 +47,13 @@ fn main() {
     for tool in default_suite() {
         let trad_vector: Vec<bool> = problems
             .iter()
-            .map(|p| {
+            .zip(&oracles)
+            .map(|(p, oracle)| {
                 let ctx = RepairContext {
                     faulty: p.faulty.clone(),
                     source: p.faulty_source.clone(),
                     budget,
+                    oracle: oracle.clone(),
                 };
                 let out = tool.repair(&ctx);
                 rep(&p.truth, out.candidate_source.as_deref()) == 1

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mualloy_analyzer::{Analyzer, AnalyzerReport};
+use mualloy_analyzer::AnalyzerReport;
 use specrepair_core::{RepairBudget, RepairContext, RepairTechnique};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 use specrepair_metrics::candidate_metrics;
@@ -67,11 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 5. Show one repaired specification and double-check it.
+    // 5. Show one repaired specification and double-check it against the
+    // context's shared oracle (ATR already validated it, so this replays
+    // from the memo table without another solve).
     if let Some(candidate) = &atr_outcome.candidate {
         println!("\n=== ATR's repaired specification ===");
         print!("{}", mualloy_syntax::print_spec(candidate));
-        assert!(Analyzer::new(candidate.clone()).satisfies_oracle()?);
+        assert!(ctx.oracle.service().satisfies_oracle(candidate)?);
     }
     Ok(())
 }

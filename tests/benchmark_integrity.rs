@@ -83,7 +83,10 @@ fn fault_difficulty_mix_is_present() {
     // The injector's difficulty classes must all appear in a decent sample:
     // single-edit, double-edit and constraint-deletion faults.
     let problems = alloy4fun(0.02);
-    let singles = problems.iter().filter(|p| p.edits.len() == 1 && p.edits[0] != "delete constraint").count();
+    let singles = problems
+        .iter()
+        .filter(|p| p.edits.len() == 1 && p.edits[0] != "delete constraint")
+        .count();
     let doubles = problems.iter().filter(|p| p.edits.len() == 2).count();
     let deletions = problems
         .iter()

@@ -5,7 +5,8 @@
 use mualloy_analyzer::Analyzer;
 use specrepair_benchmarks::arepair;
 use specrepair_core::{
-    preserves_oracle_surface, RepairBudget, RepairContext, RepairTechnique, UnionHybrid,
+    preserves_oracle_surface, OracleHandle, RepairBudget, RepairContext, RepairTechnique,
+    UnionHybrid,
 };
 use specrepair_llm::{FeedbackSetting, MultiRound, PromptSetting, SingleRound};
 use specrepair_metrics::{candidate_metrics, rep};
@@ -28,6 +29,7 @@ fn ctx_for(p: &specrepair_benchmarks::RepairProblem) -> RepairContext {
         faulty: p.faulty.clone(),
         source: p.faulty_source.clone(),
         budget: budget(),
+        oracle: OracleHandle::fresh(),
     }
 }
 
@@ -41,7 +43,10 @@ fn traditional_tools_produce_verifiable_repairs() {
             let out = tool.repair(&ctx_for(p));
             if out.success && tool.name() != "ARepair" {
                 // Oracle-validated success must hold up under re-analysis.
-                let c = out.candidate.as_ref().expect("successful outcome has candidate");
+                let c = out
+                    .candidate
+                    .as_ref()
+                    .expect("successful outcome has candidate");
                 assert!(
                     Analyzer::new(c.clone()).satisfies_oracle().unwrap(),
                     "{} claimed success on {} but candidate fails oracle",

@@ -25,7 +25,10 @@ fn localizer_ranks_true_fault_sites_highly() {
             }
         }
     }
-    assert!(scored * 2 >= problems.len(), "localizer should usually rank something");
+    assert!(
+        scored * 2 >= problems.len(),
+        "localizer should usually rank something"
+    );
     // At least half of the localizable faults should be hit at all, and a
     // meaningful share within the top 3 (the hybrid pipelines rely on this).
     assert!(
@@ -79,7 +82,10 @@ fn deleted_constraints_are_localizable_via_vocabulary() {
         .iter()
         .filter(|p| p.edits.iter().any(|e| e == "delete constraint"))
         .collect();
-    assert!(!deletions.is_empty(), "difficulty mix must include deletions");
+    assert!(
+        !deletions.is_empty(),
+        "difficulty mix must include deletions"
+    );
     let mut ranked_any = 0;
     for p in &deletions {
         if !localize(&p.faulty).ranked.is_empty() {

@@ -62,7 +62,11 @@ fn tm_and_sm_disagree_in_the_expected_direction_on_reformatting() {
         assert!((sm - 1.0).abs() < 1e-9, "{}: SM {sm}", p.id);
         let tm = sentence_bleu(&p.truth_source, &reformatted);
         assert!(tm > 0.5, "{}: TM {tm}", p.id);
-        assert!(tm <= sm + 1e-9, "{}: TM {tm} should not exceed SM {sm}", p.id);
+        assert!(
+            tm <= sm + 1e-9,
+            "{}: TM {tm} should not exceed SM {sm}",
+            p.id
+        );
         tms.push(tm);
     }
     let mean_tm = tms.iter().sum::<f64>() / tms.len() as f64;
@@ -85,7 +89,11 @@ fn analyzer_and_evaluator_agree_on_witnesses() {
             let body =
                 mualloy_syntax::ast::Formula::conjoin(p.faulty.assert(name).unwrap().body.clone());
             let holds = analyzer.evaluate(cex, &body).unwrap();
-            assert!(!holds, "{}: counterexample satisfies assertion {name}", p.id);
+            assert!(
+                !holds,
+                "{}: counterexample satisfies assertion {name}",
+                p.id
+            );
         }
     }
 }

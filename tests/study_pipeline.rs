@@ -3,7 +3,10 @@
 
 use specrepair_study::{ablation, fig2, fig3, runner, table1, table2, StudyConfig, TechniqueId};
 
-fn smoke() -> (Vec<specrepair_benchmarks::RepairProblem>, runner::StudyResults) {
+fn smoke() -> (
+    Vec<specrepair_benchmarks::RepairProblem>,
+    runner::StudyResults,
+) {
     runner::run_full_study(&StudyConfig {
         scale: 0.004,
         seed: 21,
@@ -18,7 +21,14 @@ fn all_artifacts_build_from_one_run() {
     let t1 = table1::build(&results);
     assert_eq!(t1.rows.last().unwrap().total_specs, problems.len());
     let text = table1::render(&t1);
-    for needle in ["classroom", "graphs", "trash", "student", "Summary", "Total"] {
+    for needle in [
+        "classroom",
+        "graphs",
+        "trash",
+        "student",
+        "Summary",
+        "Total",
+    ] {
         assert!(text.contains(needle), "table1 missing {needle}");
     }
 
@@ -31,7 +41,10 @@ fn all_artifacts_build_from_one_run() {
     assert_eq!(f3.samples, problems.len());
     // Traditional tools correlate strongly with one another (Finding 3).
     if let Some(r) = f3.correlation("ICEBAR", "ATR") {
-        assert!(r > 0.0, "ICEBAR/ATR correlation should be positive, got {r}");
+        assert!(
+            r > 0.0,
+            "ICEBAR/ATR correlation should be positive, got {r}"
+        );
     }
 
     // Table II + Figure 4.
@@ -77,6 +90,34 @@ fn ablation_runs_on_a_subsample() {
     );
     assert_eq!(a.arms.len(), 3);
     assert!(a.arms.iter().all(|arm| arm.repaired <= a.total_specs));
+}
+
+#[test]
+fn cached_study_is_byte_identical_to_uncached() {
+    // The shared memoizing oracle must be a pure performance layer: running
+    // the full study with the cache on and off must produce the same
+    // results to the byte, while the cached run actually hits the cache.
+    let problems = specrepair_benchmarks::full_study(0.003);
+    let config = StudyConfig {
+        scale: 0.003,
+        seed: 17,
+    };
+    let (cached, stats_on) = runner::run_study_cached(&problems, &config, true);
+    let (uncached, stats_off) = runner::run_study_cached(&problems, &config, false);
+    assert_eq!(
+        serde_json::to_string(&cached).unwrap(),
+        serde_json::to_string(&uncached).unwrap(),
+        "oracle caching changed study results"
+    );
+    assert!(stats_on.hits > 0, "cached run never hit the memo table");
+    assert!(stats_on.hit_rate() > 0.0);
+    assert_eq!(stats_off.hits, 0, "disabled cache must never report hits");
+    assert!(
+        stats_on.solver_invocations < stats_off.solver_invocations,
+        "caching should save solver invocations ({} vs {})",
+        stats_on.solver_invocations,
+        stats_off.solver_invocations
+    );
 }
 
 #[test]

@@ -1,0 +1,179 @@
+//! Offline stand-in for `rayon` covering the workspace's usage:
+//! `slice.par_iter().map(..)/.flat_map_iter(..).collect::<Vec<_>>()`.
+//!
+//! Work is genuinely parallel: the input is split into contiguous chunks,
+//! one per available core, each processed on a scoped std thread, and the
+//! per-item results are reassembled in input order so output is
+//! deterministic regardless of scheduling.
+
+use std::thread;
+
+/// Runs `f` over every item on a pool of scoped threads, returning results
+/// in input order.
+fn run_ordered<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk.iter()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker thread panicked"))
+        .collect()
+}
+
+/// Parallel iterator over a slice, produced by [`IntoParallelRefIterator`].
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+/// Conversion into a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Creates a parallel iterator over references.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Maps each item to a serial iterator and flattens, in parallel.
+    pub fn flat_map_iter<F, I>(self, f: F) -> ParFlatMapIter<'a, T, F>
+    where
+        F: Fn(&'a T) -> I + Sync,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        ParFlatMapIter {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParSlice::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Executes the pipeline and collects results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered(run_ordered(self.items, self.f))
+    }
+}
+
+/// Result of [`ParSlice::flat_map_iter`].
+pub struct ParFlatMapIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, I> ParFlatMapIter<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> I + Sync,
+    I: IntoIterator,
+    I::Item: Send,
+{
+    /// Executes the pipeline and collects flattened results in input order.
+    pub fn collect<C: FromParallelIterator<I::Item>>(self) -> C {
+        let f = &self.f;
+        let per_item: Vec<Vec<I::Item>> =
+            run_ordered(self.items, |t| f(t).into_iter().collect::<Vec<_>>());
+        C::from_ordered(per_item.into_iter().flatten().collect())
+    }
+}
+
+/// Collection types constructible from an ordered parallel result.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// Convenience re-exports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let xs: Vec<u32> = (0..97).collect();
+        let out: Vec<u32> = xs
+            .par_iter()
+            .flat_map_iter(|x| vec![*x, x + 1000])
+            .collect();
+        let expected: Vec<u32> = xs.iter().flat_map(|x| vec![*x, x + 1000]).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_matches_serial() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = xs.par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, xs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+}

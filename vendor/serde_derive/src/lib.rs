@@ -1,0 +1,407 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde's [`Serialize`]/[`Deserialize`]
+//! value-tree traits. The parser walks the raw `proc_macro::TokenStream`
+//! directly (no `syn`/`quote` available offline) and supports exactly the
+//! shapes this workspace uses: non-generic named-field structs, tuple and
+//! unit structs, and enums with unit / tuple / named-field variants. Any
+//! generic parameter is rejected with a compile error rather than silently
+//! producing a wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Splits a token sequence on top-level commas, treating `<...>` spans as
+/// nested (groups already nest via `TokenTree::Group`). `->` is not treated
+/// as closing an angle bracket.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i32 = 0;
+    let mut prev_char: Option<char> = None;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            match c {
+                '<' => angle_depth += 1,
+                '>' if prev_char != Some('-') && prev_char != Some('=') => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    prev_char = Some(',');
+                    continue;
+                }
+                _ => {}
+            }
+            prev_char = Some(c);
+        } else {
+            prev_char = None;
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extracts field names from the body of a braced field list. Each segment
+/// is `#[attr]* [pub [(..)]] name : Type`.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    for segment in split_top_level_commas(tokens) {
+        let mut iter = segment.iter().peekable();
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] attribute group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if let Some(TokenTree::Ident(id)) = iter.next() {
+            names.push(id.to_string());
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for segment in split_top_level_commas(tokens) {
+        let mut iter = segment.iter().peekable();
+        // Skip attributes (incl. doc comments).
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            continue;
+        };
+        let name = id.to_string();
+        let fields = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantFields::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantFields::Named(parse_named_fields(&inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip attributes and visibility ahead of the `struct`/`enum` keyword.
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            Some(TokenTree::Group(_)) => i += 1, // `pub(crate)` group
+            Some(_) => i += 1,
+            None => return Err("derive input has no struct/enum keyword".to_string()),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".to_string()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let kind = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::NamedStruct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::TupleStruct(count_tuple_fields(&inner))
+            }
+            _ => Kind::UnitStruct,
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Enum(parse_variants(&inner))
+            }
+            _ => return Err(format!("enum `{name}` has no body")),
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("__f{i}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds = tuple_bindings(*n);
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+        }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(__m, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Map(__m) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected map for struct {name}\")),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Seq(__items) if __items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected {n}-element array for {name}\")),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                     ::serde::Value::Seq(__items) if __items.len() == {n} =>\n\
+                                         ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                     _ => ::std::result::Result::Err(::serde::Error::custom(\"bad payload for variant {vn}\")),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::field(__fm, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                     ::serde::Value::Map(__fm) => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n\
+                                     _ => ::std::result::Result::Err(::serde::Error::custom(\"bad payload for variant {vn}\")),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown variant for {name}\")),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __inner) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown variant for {name}\")),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected enum value for {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+        }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("vendored serde_derive generated invalid code"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

@@ -19,7 +19,7 @@
 //! cache-disabled runs produce byte-identical results.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -53,6 +53,16 @@ struct SpecEntry {
     enumerations: HashMap<(Formula, u32, usize), Result<Vec<Instance>, AnalyzerError>>,
 }
 
+/// One independently-locked shard of the memo table: the entries plus the
+/// FIFO insertion order used for eviction when a capacity is configured.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<String, SpecEntry>,
+    /// Spec keys in insertion order; oldest specs are evicted first. Only
+    /// maintained when the table is bounded.
+    order: VecDeque<String>,
+}
+
 /// A point-in-time snapshot of the oracle's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct OracleCacheStats {
@@ -65,6 +75,9 @@ pub struct OracleCacheStats {
     /// Queries whose answer was an analyzer error (counted once per
     /// *computed* error; cached error replays count as hits).
     pub errors: u64,
+    /// Memoized spec entries dropped to honor the per-shard capacity
+    /// (always 0 for the default unbounded table).
+    pub evictions: u64,
 }
 
 impl OracleCacheStats {
@@ -84,6 +97,7 @@ impl OracleCacheStats {
         self.misses += other.misses;
         self.solver_invocations += other.solver_invocations;
         self.errors += other.errors;
+        self.evictions += other.evictions;
     }
 }
 
@@ -91,11 +105,16 @@ impl OracleCacheStats {
 /// all methods take `&self` and are safe to call from rayon workers.
 pub struct Oracle {
     enabled: bool,
-    shards: Vec<Mutex<HashMap<String, SpecEntry>>>,
+    /// Per-shard cap on memoized spec entries; `None` = unbounded (the
+    /// default, and what one-shot study runs use). Long-running services
+    /// bound the table so it cannot grow without limit.
+    shard_capacity: Option<usize>,
+    shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
     solver_invocations: AtomicU64,
     errors: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for Oracle {
@@ -126,20 +145,39 @@ impl Oracle {
         Oracle::with_enabled(false)
     }
 
+    /// A memoizing oracle whose table is bounded at `per_shard` spec
+    /// entries per shard (clamped to ≥ 1; total capacity ≈ `16 × per_shard`
+    /// specs). When a shard fills up, its oldest entries are evicted FIFO
+    /// and counted in [`OracleCacheStats::evictions`]. Use this for
+    /// long-running processes (the `specrepaird` daemon) where an unbounded
+    /// memo table is a slow leak.
+    pub fn bounded(per_shard: usize) -> Oracle {
+        let mut oracle = Oracle::with_enabled(true);
+        oracle.shard_capacity = Some(per_shard.max(1));
+        oracle
+    }
+
     fn with_enabled(enabled: bool) -> Oracle {
         Oracle {
             enabled,
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity: None,
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             solver_invocations: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// Whether memoization is active.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The configured per-shard entry cap (`None` = unbounded).
+    pub fn shard_capacity(&self) -> Option<usize> {
+        self.shard_capacity
     }
 
     /// Snapshot of the hit/miss/solver counters.
@@ -149,7 +187,13 @@ impl Oracle {
             misses: self.misses.load(Ordering::Relaxed),
             solver_invocations: self.solver_invocations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of spec entries currently memoized across all shards.
+    pub fn memoized_specs(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// The canonical cache key of a specification: its pretty-printed
@@ -158,10 +202,30 @@ impl Oracle {
         print_spec(spec)
     }
 
-    fn shard_of(&self, key: &str) -> &Mutex<HashMap<String, SpecEntry>> {
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Stores a computed answer under `key`, evicting the shard's oldest
+    /// spec entries when a capacity is configured.
+    fn memoize(&self, shard: &Mutex<Shard>, key: String, store: impl FnOnce(&mut SpecEntry)) {
+        let mut guard = shard.lock();
+        if self.shard_capacity.is_some() && !guard.entries.contains_key(&key) {
+            guard.order.push_back(key.clone());
+        }
+        store(guard.entries.entry(key).or_default());
+        if let Some(cap) = self.shard_capacity {
+            while guard.entries.len() > cap {
+                let Some(oldest) = guard.order.pop_front() else {
+                    break;
+                };
+                if guard.entries.remove(&oldest).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     fn record<T>(&self, computed: Result<T, AnalyzerError>) -> Result<T, AnalyzerError> {
@@ -190,11 +254,16 @@ impl Oracle {
         }
         let key = Oracle::fingerprint(spec);
         let shard = self.shard_of(&key);
-        if let Some(cached) = shard.lock().get(&key).and_then(|e| e.execute_all.clone()) {
+        if let Some(cached) = shard
+            .lock()
+            .entries
+            .get(&key)
+            .and_then(|e| e.execute_all.clone())
+        {
             return self.hit(cached);
         }
         let computed = self.record(Analyzer::new(spec.clone()).execute_all());
-        shard.lock().entry(key).or_default().execute_all = Some(computed.clone());
+        self.memoize(shard, key, |e| e.execute_all = Some(computed.clone()));
         computed
     }
 
@@ -239,18 +308,16 @@ impl Oracle {
         let shard = self.shard_of(&key);
         if let Some(cached) = shard
             .lock()
+            .entries
             .get(&key)
             .and_then(|e| e.commands.get(cmd).cloned())
         {
             return self.hit(cached);
         }
         let computed = self.record(Analyzer::new(spec.clone()).run_command(cmd));
-        shard
-            .lock()
-            .entry(key)
-            .or_default()
-            .commands
-            .insert(cmd.clone(), computed.clone());
+        self.memoize(shard, key, |e| {
+            e.commands.insert(cmd.clone(), computed.clone());
+        });
         computed
     }
 
@@ -274,18 +341,16 @@ impl Oracle {
         let shard = self.shard_of(&key);
         if let Some(cached) = shard
             .lock()
+            .entries
             .get(&key)
             .and_then(|e| e.asserts.get(&subkey).cloned())
         {
             return self.hit(cached);
         }
         let computed = self.record(Analyzer::new(spec.clone()).check_assert(name, scope));
-        shard
-            .lock()
-            .entry(key)
-            .or_default()
-            .asserts
-            .insert(subkey, computed.clone());
+        self.memoize(shard, key, |e| {
+            e.asserts.insert(subkey, computed.clone());
+        });
         computed
     }
 
@@ -310,18 +375,16 @@ impl Oracle {
         let shard = self.shard_of(&key);
         if let Some(cached) = shard
             .lock()
+            .entries
             .get(&key)
             .and_then(|e| e.counterexamples.get(&subkey).cloned())
         {
             return self.hit(cached);
         }
         let computed = self.record(Analyzer::new(spec.clone()).counterexamples(name, scope, limit));
-        shard
-            .lock()
-            .entry(key)
-            .or_default()
-            .counterexamples
-            .insert(subkey, computed.clone());
+        self.memoize(shard, key, |e| {
+            e.counterexamples.insert(subkey, computed.clone());
+        });
         computed
     }
 
@@ -346,18 +409,16 @@ impl Oracle {
         let shard = self.shard_of(&key);
         if let Some(cached) = shard
             .lock()
+            .entries
             .get(&key)
             .and_then(|e| e.enumerations.get(&subkey).cloned())
         {
             return self.hit(cached);
         }
         let computed = self.record(Analyzer::new(spec.clone()).enumerate(formula, scope, limit));
-        shard
-            .lock()
-            .entry(key)
-            .or_default()
-            .enumerations
-            .insert(subkey, computed.clone());
+        self.memoize(shard, key, |e| {
+            e.enumerations.insert(subkey, computed.clone());
+        });
         computed
     }
 
@@ -489,16 +550,72 @@ mod tests {
             misses: 1,
             solver_invocations: 1,
             errors: 0,
+            evictions: 0,
         });
         total.absorb(&OracleCacheStats {
             hits: 1,
             misses: 3,
             solver_invocations: 3,
             errors: 1,
+            evictions: 2,
         });
         assert_eq!(total.hits, 4);
         assert_eq!(total.misses, 4);
         assert_eq!(total.hit_rate(), 0.5);
         assert_eq!(total.errors, 1);
+        assert_eq!(total.evictions, 2);
+    }
+
+    #[test]
+    fn unbounded_oracle_never_evicts() {
+        let oracle = Oracle::new();
+        assert_eq!(oracle.shard_capacity(), None);
+        for src in [GOOD, BAD] {
+            oracle.satisfies_oracle(&parse_spec(src).unwrap()).unwrap();
+        }
+        assert_eq!(oracle.stats().evictions, 0);
+        assert_eq!(oracle.memoized_specs(), 2);
+    }
+
+    #[test]
+    fn bounded_oracle_evicts_oldest_and_counts() {
+        // Cap of 1 entry per shard: distinct specs hashing into the same
+        // shard displace one another.
+        let oracle = Oracle::bounded(1);
+        assert_eq!(oracle.shard_capacity(), Some(1));
+        // Generate enough distinct specs that at least two land in the same
+        // shard (17 specs across 16 shards pigeonhole at least one pair).
+        let specs: Vec<Spec> = (0..17)
+            .map(|i| {
+                parse_spec(&format!(
+                    "sig A{i} {{}} pred p {{ some A{i} }} run p for 2 expect 1"
+                ))
+                .unwrap()
+            })
+            .collect();
+        for spec in &specs {
+            oracle.satisfies_oracle(spec).unwrap();
+        }
+        let stats = oracle.stats();
+        assert!(
+            stats.evictions > 0,
+            "17 specs across 16 single-entry shards must evict"
+        );
+        assert!(oracle.memoized_specs() <= 16);
+        // Evicted answers are recomputed, not wrong: re-asking stays correct.
+        for spec in &specs {
+            assert!(oracle.satisfies_oracle(spec).unwrap());
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_is_clamped_to_one() {
+        let oracle = Oracle::bounded(0);
+        assert_eq!(oracle.shard_capacity(), Some(1));
+        let spec = parse_spec(GOOD).unwrap();
+        oracle.satisfies_oracle(&spec).unwrap();
+        // The single entry stays cached: the second query is a hit.
+        oracle.satisfies_oracle(&spec).unwrap();
+        assert_eq!(oracle.stats().hits, 1);
     }
 }

@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrepair_bench::bench_problems;
 use specrepair_core::{
-    localize, LocalizeThenFix, OracleHandle, RepairBudget, RepairContext, RepairTechnique,
+    localize, CancelToken, LocalizeThenFix, OracleHandle, RepairBudget, RepairContext,
+    RepairTechnique,
 };
 use specrepair_llm::{FeedbackSetting, MultiRound};
 
@@ -20,6 +21,7 @@ fn bench_ablation(c: &mut Criterion) {
         source: p.faulty_source.clone(),
         budget,
         oracle: OracleHandle::fresh(),
+        cancel: CancelToken::none(),
     };
     let mut group = c.benchmark_group("ablation_hybrid");
     group.sample_size(10);

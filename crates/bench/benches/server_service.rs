@@ -1,0 +1,78 @@
+//! Bench for the `specrepaird` service path and its observability
+//! machinery: request parse → dispatch end to end, the latency histogram,
+//! and the bounded oracle memo table under eviction churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mualloy_analyzer::Oracle;
+use specrepair_bench::bench_problems;
+use specrepair_core::OracleHandle;
+use specrepair_server::metrics::Histogram;
+use specrepair_server::service::{push_json_string, RepairRequest, RepairService, ServiceConfig};
+
+fn repair_body(spec_source: &str) -> String {
+    let mut spec = String::new();
+    push_json_string(spec_source, &mut spec);
+    format!(
+        "{{\"spec\":{spec},\"technique\":\"ATR\",\"deadline_ms\":5000,\
+         \"budget\":{{\"max_candidates\":8,\"max_rounds\":1}}}}"
+    )
+}
+
+fn bench_server_service(c: &mut Criterion) {
+    let problems = bench_problems();
+    let body = repair_body(&problems[0].faulty_source);
+    let mut group = c.benchmark_group("server_service");
+    group.sample_size(10);
+
+    group.bench_function("repair_request_parse", |b| {
+        b.iter(|| RepairRequest::parse(&body).unwrap())
+    });
+
+    // The whole POST /repair path against a warm shared oracle — the
+    // steady-state per-request cost of the daemon minus the socket.
+    group.bench_function("handle_repair_atr_warm_oracle", |b| {
+        let service = RepairService::new(OracleHandle::fresh(), ServiceConfig::default());
+        let _ = service.handle_repair(&body);
+        b.iter(|| service.handle_repair(&body).response.status)
+    });
+
+    group.bench_function("histogram_record_and_percentiles", |b| {
+        b.iter(|| {
+            let mut h = Histogram::default();
+            for i in 0..1000u64 {
+                h.record(i * 37 + 1);
+            }
+            (
+                h.percentile(0.50).unwrap(),
+                h.percentile(0.90).unwrap(),
+                h.percentile(0.99).unwrap(),
+            )
+        })
+    });
+
+    // Memo-table churn: cycling more distinct specs than a tiny bounded
+    // table holds forces an eviction per store; the unbounded table keeps
+    // everything and answers from cache after the first lap.
+    group.bench_function("bounded_oracle_eviction_churn", |b| {
+        let oracle = Oracle::bounded(1);
+        b.iter(|| {
+            problems
+                .iter()
+                .filter(|p| oracle.satisfies_oracle(&p.faulty).unwrap_or(false))
+                .count()
+        })
+    });
+    group.bench_function("unbounded_oracle_warm_laps", |b| {
+        let oracle = Oracle::new();
+        b.iter(|| {
+            problems
+                .iter()
+                .filter(|p| oracle.satisfies_oracle(&p.faulty).unwrap_or(false))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_service);
+criterion_main!(benches);

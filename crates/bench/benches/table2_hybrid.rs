@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrepair_bench::bench_problems;
 use specrepair_core::{
-    overlap_stats, OracleHandle, RepairBudget, RepairContext, RepairTechnique, UnionHybrid,
+    overlap_stats, CancelToken, OracleHandle, RepairBudget, RepairContext, RepairTechnique,
+    UnionHybrid,
 };
 use specrepair_llm::{FeedbackSetting, MultiRound};
 use specrepair_traditional::Atr;
@@ -25,6 +26,7 @@ fn bench_table2(c: &mut Criterion) {
             source: p.faulty_source.clone(),
             budget,
             oracle: OracleHandle::fresh(),
+            cancel: CancelToken::none(),
         };
         let hybrid = UnionHybrid::new(Atr::default(), MultiRound::new(FeedbackSetting::None, 42));
         b.iter(|| hybrid.repair(&ctx).success)

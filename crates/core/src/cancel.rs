@@ -1,0 +1,123 @@
+//! Cooperative cancellation for repair attempts.
+//!
+//! Long-running callers (the `specrepaird` service, batch harnesses with
+//! per-request deadlines) need a way to stop a technique mid-search without
+//! preemption. A [`CancelToken`] is a cheap, cloneable flag-plus-deadline
+//! that every [`RepairContext`](crate::RepairContext) carries; it is checked
+//! at the natural charging points — [`OracleSession`](crate::OracleSession)
+//! validations and the techniques' own candidate loops — so a cancelled
+//! attempt unwinds cooperatively and still returns a well-formed (partial)
+//! [`RepairOutcome`](crate::RepairOutcome).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheap, cloneable cancellation token: an explicit flag plus an optional
+/// wall-clock deadline. Clones share the flag, so cancelling any clone
+/// cancels them all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::none()
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (no deadline; cancellable only
+    /// via [`CancelToken::cancel`]). The default for batch runs.
+    pub fn none() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that fires once `budget` wall-clock time has elapsed.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken::deadline_at(Instant::now() + budget)
+    }
+
+    /// A token that fires at the given instant.
+    pub fn deadline_at(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Cancels the token (and every clone of it) immediately.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is set;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires_until_cancelled() {
+        let token = CancelToken::none();
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_none());
+        assert!(token.remaining().is_none());
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::none();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(token.is_cancelled());
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(token.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

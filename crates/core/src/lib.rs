@@ -14,7 +14,10 @@
 //! - [`oracle`]: the repair-side face of the shared memoizing oracle
 //!   service — [`OracleHandle`] (carried by every [`RepairContext`]) and
 //!   [`OracleSession`] (central budget charging: one candidate validated =
-//!   one budget unit).
+//!   one budget unit);
+//! - [`cancel`]: the cooperative [`CancelToken`] (deadline / explicit
+//!   cancel) that lets long-running callers such as `specrepaird` abort a
+//!   repair attempt mid-search with a partial outcome.
 //!
 //! # Example
 //!
@@ -35,11 +38,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod hybrid;
 pub mod localization;
 pub mod oracle;
 pub mod technique;
 
+pub use cancel::CancelToken;
 pub use hybrid::{
     overlap_stats, DynamicSelector, HintedRepair, LocalizeThenFix, OverlapStats, UnionHybrid,
 };

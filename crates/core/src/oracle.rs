@@ -14,6 +14,8 @@ use std::sync::Arc;
 use mualloy_analyzer::{Oracle, OracleCacheStats};
 use mualloy_syntax::Spec;
 
+use crate::cancel::CancelToken;
+
 /// A cheap, cloneable handle to a shared [`Oracle`] service.
 ///
 /// Cloning the handle shares the underlying memo table; a fresh handle
@@ -53,6 +55,15 @@ impl OracleHandle {
         }
     }
 
+    /// A handle to a memoizing oracle bounded at `per_shard` spec entries
+    /// per shard (see [`Oracle::bounded`]) — the configuration long-running
+    /// services use so the memo table cannot leak.
+    pub fn bounded(per_shard: usize) -> OracleHandle {
+        OracleHandle {
+            service: Arc::new(Oracle::bounded(per_shard)),
+        }
+    }
+
     /// Wraps an existing shared service.
     pub fn shared(service: Arc<Oracle>) -> OracleHandle {
         OracleHandle { service }
@@ -74,6 +85,7 @@ impl OracleHandle {
             oracle: &self.service,
             cap: Some(max_candidates),
             validated: 0,
+            cancel: CancelToken::none(),
         }
     }
 
@@ -85,6 +97,7 @@ impl OracleHandle {
             oracle: &self.service,
             cap: None,
             validated: 0,
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -96,22 +109,39 @@ pub struct OracleSession<'a> {
     oracle: &'a Oracle,
     cap: Option<usize>,
     validated: usize,
+    cancel: CancelToken,
 }
 
-impl OracleSession<'_> {
+impl<'a> OracleSession<'a> {
+    /// Wires a cancellation token into the session: once it fires, the
+    /// session behaves as exhausted and refuses further validations, which
+    /// is how deadline-bound callers (the `specrepaird` service) abort
+    /// technique search loops mid-flight.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> OracleSession<'a> {
+        self.cancel = cancel;
+        self
+    }
+
     /// Budget units charged so far (= candidates validated).
     pub fn validated(&self) -> usize {
         self.validated
     }
 
-    /// Whether the session's budget is spent.
+    /// Whether the session's attempt has been cancelled (deadline or
+    /// explicit cancel).
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Whether the session refuses further validations: budget spent or
+    /// attempt cancelled.
     pub fn exhausted(&self) -> bool {
-        self.cap.is_some_and(|c| self.validated >= c)
+        self.cap.is_some_and(|c| self.validated >= c) || self.cancelled()
     }
 
     /// Charges one budget unit and answers whether `candidate` satisfies
     /// its own command oracle. Returns `None` — charging nothing and not
-    /// solving — once the budget is exhausted.
+    /// solving — once the budget is exhausted or the attempt cancelled.
     ///
     /// An oracle *error* counts the candidate as explored-but-invalid: the
     /// unit is charged, `Some(false)` is returned, and the error is tallied

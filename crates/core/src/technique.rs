@@ -4,6 +4,7 @@ use mualloy_analyzer::Oracle;
 use mualloy_syntax::Spec;
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::CancelToken;
 use crate::oracle::{OracleHandle, OracleSession};
 
 /// Resource budget for one repair attempt.
@@ -55,6 +56,11 @@ pub struct RepairContext {
     /// Handle to the shared memoizing oracle service all validations go
     /// through. Clone one handle across techniques to share its cache.
     pub oracle: OracleHandle,
+    /// Cooperative cancellation token (deadline and/or explicit cancel).
+    /// Techniques observe it through [`OracleSession`] charging points and
+    /// their own loop checks; a fired token makes the attempt unwind with a
+    /// partial outcome instead of running its budget dry.
+    pub cancel: CancelToken,
 }
 
 impl RepairContext {
@@ -66,6 +72,7 @@ impl RepairContext {
             source,
             budget,
             oracle: OracleHandle::fresh(),
+            cancel: CancelToken::none(),
         }
     }
 
@@ -84,6 +91,7 @@ impl RepairContext {
             source: source.to_string(),
             budget,
             oracle: OracleHandle::fresh(),
+            cancel: CancelToken::none(),
         })
     }
 
@@ -93,15 +101,33 @@ impl RepairContext {
         self
     }
 
+    /// Replaces the cancellation token (to impose a deadline or wire the
+    /// attempt into a service-side cancel).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> RepairContext {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Whether this attempt has been cancelled (explicitly or by deadline).
+    /// Techniques poll this in loops that run between oracle validations.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
     /// Opens the central budget-charging session for one repair attempt,
-    /// capped at the context's candidate budget.
+    /// capped at the context's candidate budget and wired to its
+    /// cancellation token.
     pub fn validation_session(&self) -> OracleSession<'_> {
-        self.oracle.session(self.budget.max_candidates)
+        self.oracle
+            .session(self.budget.max_candidates)
+            .with_cancel(self.cancel.clone())
     }
 
     /// [`repair_is_valid`] against this context's faulty spec and oracle.
+    /// Answers `false` without solving once the attempt is cancelled, so
+    /// validation-driven loops unwind promptly.
     pub fn repair_is_valid(&self, candidate: &Spec) -> bool {
-        repair_is_valid(self.oracle.service(), &self.faulty, candidate)
+        !self.cancelled() && repair_is_valid(self.oracle.service(), &self.faulty, candidate)
     }
 }
 

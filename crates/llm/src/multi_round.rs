@@ -103,8 +103,11 @@ impl MultiRound {
             feedback: None,
         };
         for round in 1..=rounds {
+            if ctx.cancelled() {
+                break; // deadline: emit the best parsed draft so far
+            }
             for _ in 0..per_round {
-                if explored >= ctx.budget.max_candidates {
+                if explored >= ctx.budget.max_candidates || ctx.cancelled() {
                     break;
                 }
                 let Some(text) = self.lm.propose(&prompt, guidance.as_ref(), &mut rng) else {

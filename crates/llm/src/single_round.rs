@@ -87,6 +87,9 @@ impl SingleRound {
         let mut last_text: Option<String> = None;
         let mut explored = 0usize;
         for _ in 0..drafts {
+            if ctx.cancelled() {
+                break; // deadline: fall through to the last-draft fallback
+            }
             let Some(text) = self.lm.propose(&prompt, None, &mut rng) else {
                 break;
             };

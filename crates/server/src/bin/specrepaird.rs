@@ -1,0 +1,112 @@
+//! The `specrepaird` CLI.
+//!
+//! ```text
+//! specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N]
+//!                     [--max-scope N] [--cache-per-shard N] [--shutdown-file P]
+//! specrepaird loadgen [--addr A] [--requests N] [--connections N]
+//!                     [--deadline-ms N] [--seed N]
+//! ```
+//!
+//! `serve` runs the daemon in the foreground until `POST /shutdown` (or the
+//! shutdown file appears). `loadgen` drives a running daemon and exits
+//! nonzero if any response was outside the expected set (200/503/504).
+
+use specrepair_server::{loadgen, server, LoadgenConfig, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("loadgen") => run_loadgen(&args[1..]),
+        _ => die("expected a subcommand: serve | loadgen"),
+    }
+}
+
+fn serve(args: &[String]) {
+    let mut config = ServerConfig::default();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag.as_str() {
+            "--addr" => config.addr = flags.value(&flag),
+            "--workers" => config.workers = flags.parsed(&flag),
+            "--queue" => config.queue_capacity = flags.parsed(&flag),
+            "--deadline-ms" => config.default_deadline_ms = flags.parsed(&flag),
+            "--max-scope" => config.max_scope = flags.parsed(&flag),
+            "--cache-per-shard" => config.cache_per_shard = flags.parsed(&flag),
+            "--shutdown-file" => config.shutdown_file = Some(flags.value(&flag).into()),
+            other => die(&format!("unknown flag `{other}` for serve")),
+        }
+    }
+    let handle = server::spawn(config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
+    eprintln!("specrepaird listening on {}", handle.addr());
+    handle.join();
+    eprintln!("specrepaird drained and stopped");
+}
+
+fn run_loadgen(args: &[String]) {
+    let mut config = LoadgenConfig::default();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag.as_str() {
+            "--addr" => config.addr = flags.value(&flag),
+            "--requests" => config.requests = flags.parsed(&flag),
+            "--connections" => config.connections = flags.parsed(&flag),
+            "--deadline-ms" => config.deadline_ms = flags.parsed(&flag),
+            "--seed" => config.seed = flags.parsed(&flag),
+            other => die(&format!("unknown flag `{other}` for loadgen")),
+        }
+    }
+    let report = loadgen::run(&config);
+    println!("{}", report.render());
+    if !report.clean() {
+        eprintln!(
+            "error: {} response(s) outside the expected 200/503/504 set",
+            report.unexpected
+        );
+        std::process::exit(1);
+    }
+}
+
+/// A minimal `--flag value` scanner.
+struct Flags<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Flags<'a> {
+        Flags { args, pos: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<String> {
+        let flag = self.args.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(flag)
+    }
+
+    fn value(&mut self, flag: &str) -> String {
+        let value = self
+            .args
+            .get(self.pos)
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        self.pos += 1;
+        value.clone()
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> T {
+        self.value(flag)
+            .parse()
+            .unwrap_or_else(|_| die(&format!("{flag} needs a number")))
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
+         [--max-scope N] [--cache-per-shard N] [--shutdown-file P]\n\
+         \x20      specrepaird loadgen [--addr A] [--requests N] [--connections N] \
+         [--deadline-ms N] [--seed N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,264 @@
+//! A minimal, dependency-free HTTP/1.1 layer over `std::net`.
+//!
+//! The build environment is fully offline — no tokio, no hyper — so
+//! `specrepaird` speaks exactly the slice of HTTP/1.1 it needs: request
+//! line + headers + `Content-Length` bodies on the way in, status line +
+//! JSON bodies on the way out, with opt-out keep-alive. Anything outside
+//! that slice is answered with a `400`/`413` and the connection closed.
+
+use std::io::{BufRead, Write};
+
+/// Largest request body accepted, in bytes. Specifications are text; a
+/// megabyte of μAlloy is far beyond anything the corpus contains.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are not used by this API).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The body as UTF-8, replacing invalid sequences.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection cleanly before sending a request.
+    Closed,
+    /// The bytes on the wire were not a well-formed HTTP/1.x request.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    TooLarge(usize),
+    /// An I/O error (including read timeouts on idle keep-alive peers).
+    Io(std::io::Error),
+}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+///
+/// See [`RequestError`]; `Closed` is the clean end of a keep-alive session,
+/// everything else should terminate the connection (after a `400`/`413`
+/// where a response is still possible).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(RequestError::Closed),
+        Ok(_) => {}
+        Err(e) => return Err(RequestError::Io(e)),
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_ascii_uppercase(), p.to_string(), v.to_string())
+        }
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line: {:?}",
+                line.trim_end()
+            )))
+        }
+    };
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(RequestError::Malformed("eof inside headers".to_string())),
+            Ok(_) => {}
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(RequestError::Malformed(format!("bad header: {header:?}")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| RequestError::Malformed(format!("bad content-length {value:?}")))?
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(RequestError::Io)?;
+    }
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// One HTTP response (always with a JSON body in this API).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body text (JSON).
+    pub body: String,
+    /// Extra headers beyond the standard set, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// An error response with a `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":");
+        crate::service::push_json_string(message, &mut body);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.extra_headers
+            .push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase of the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response to the wire. `keep_alive` controls the
+    /// `Connection` header — the caller decides (client preference AND
+    /// server drain state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /repair HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/repair");
+        assert_eq!(req.body_text(), "abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST /repair HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(RequestError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_wire_format_round_trips() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("retry-after", "1")
+            .write_to(&mut buf, false)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

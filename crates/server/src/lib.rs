@@ -1,0 +1,36 @@
+//! `specrepair-server`: repair-as-a-service.
+//!
+//! The `specrepaird` daemon exposes every technique of the study over a
+//! hand-rolled HTTP/1.1 API (the build environment is offline, so there is
+//! no async runtime — a blocking acceptor, a bounded admission queue and a
+//! fixed worker pool over `std::net` carry the whole thing):
+//!
+//! - `POST /repair` — repair one μAlloy specification with a named
+//!   technique under a budget and a wall-clock deadline; optionally score
+//!   the candidate against a reference (ground-truth) specification.
+//! - `GET /techniques` — the twelve accepted technique labels.
+//! - `GET /healthz` — liveness (reports `draining` during shutdown).
+//! - `GET /metrics` — request counts, per-technique latency percentiles,
+//!   queue depth and the shared oracle's cache statistics.
+//! - `POST /shutdown` — graceful shutdown: stop admitting, drain, exit.
+//!
+//! Overload sheds at admission (`503` + `Retry-After`), deadlines cancel
+//! cooperatively through [`specrepair_core::CancelToken`] (a late repair
+//! returns `504` with the partial outcome instead of hanging), and the
+//! bundled [`loadgen`] drives a running daemon for smoke tests and
+//! capacity checks.
+//!
+//! Module map: [`http`] wire parsing · [`service`] request→repair→response
+//! · [`server`] threads, queue, shutdown · [`metrics`] observability ·
+//! [`loadgen`] the client.
+
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod service;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::{Histogram, ServerMetrics};
+pub use server::{roundtrip, spawn, ServerConfig, ServerHandle};
+pub use service::{RepairRequest, RepairService, ServiceConfig};

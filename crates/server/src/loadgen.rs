@@ -1,0 +1,267 @@
+//! The built-in load generator (`specrepaird loadgen`): replays generated
+//! faulty specifications against a running daemon from N concurrent
+//! connections and reports throughput, latency percentiles and the
+//! response-status mix.
+//!
+//! The workload is deterministic: faulty specs come from
+//! `specrepair-mutation`'s injector over the A4F exercises with fixed
+//! seeds, so a second identical run replays byte-identical candidates and
+//! the daemon's oracle cache hit rate must rise — the `/metrics`
+//! reconciliation the CI smoke job checks.
+
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use mualloy_syntax::print_spec;
+use serde::Value;
+use specrepair_benchmarks::a4f;
+use specrepair_mutation::{inject_fault, InjectorConfig};
+use specrepair_study::TechniqueId;
+
+use crate::metrics::Histogram;
+use crate::server::roundtrip;
+use crate::service::push_json_string;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Total number of `POST /repair` requests to send.
+    pub requests: usize,
+    /// Concurrent client connections (threads).
+    pub connections: usize,
+    /// Per-request deadline forwarded as `deadline_ms`.
+    pub deadline_ms: u64,
+    /// Base seed for fault injection (also forwarded per request).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            requests: 50,
+            connections: 4,
+            deadline_ms: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of one load-generation run.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub total: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `503` responses (shed at admission — expected under overload).
+    pub shed: usize,
+    /// `504` responses (deadline fired — expected under tight deadlines).
+    pub timed_out: usize,
+    /// Anything else: unexpected statuses and transport errors.
+    pub unexpected: usize,
+    /// End-to-end latency distribution over all completed requests.
+    pub latency: Histogram,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// The daemon's oracle cache hit rate fetched from `/metrics` after the
+    /// run (absent when the fetch failed).
+    pub cache_hit_rate: Option<f64>,
+}
+
+impl LoadgenReport {
+    /// Requests per second over the run.
+    pub fn throughput(&self) -> f64 {
+        self.total as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether every response was one of the expected statuses.
+    pub fn clean(&self) -> bool {
+        self.unexpected == 0
+    }
+
+    /// The human-readable report printed by the CLI.
+    pub fn render(&self) -> String {
+        let ms = |q: f64| self.latency.percentile(q).unwrap_or(0) as f64 / 1000.0;
+        format!(
+            "{} requests in {:.2?} ({:.1} req/s)\n\
+             status: {} ok, {} shed (503), {} deadline (504), {} unexpected\n\
+             latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
+             oracle cache hit rate after run: {}",
+            self.total,
+            self.elapsed,
+            self.throughput(),
+            self.ok,
+            self.shed,
+            self.timed_out,
+            self.unexpected,
+            ms(0.50),
+            ms(0.90),
+            ms(0.99),
+            match self.cache_hit_rate {
+                Some(rate) => format!("{:.1}%", rate * 100.0),
+                None => "unavailable".to_string(),
+            }
+        )
+    }
+}
+
+/// Builds the deterministic request bodies: faulty mutants of the A4F
+/// exercises, rotating through all twelve technique labels.
+pub fn request_bodies(config: &LoadgenConfig) -> Vec<String> {
+    let mut sources = Vec::new();
+    'domains: for domain in a4f::domains() {
+        for (i, (_, truth_source)) in a4f::exercises(domain).iter().enumerate() {
+            let Ok(truth) = mualloy_syntax::parse_spec(truth_source) else {
+                continue;
+            };
+            let seed = config.seed.wrapping_add(i as u64);
+            if let Some(fault) = inject_fault(&truth, seed, InjectorConfig::default()) {
+                sources.push(print_spec(&fault.faulty));
+            }
+            if sources.len() >= 24 {
+                break 'domains;
+            }
+        }
+    }
+    assert!(!sources.is_empty(), "the A4F corpus is never empty");
+    let techniques = TechniqueId::all();
+    (0..config.requests)
+        .map(|i| {
+            let mut spec = String::new();
+            push_json_string(&sources[i % sources.len()], &mut spec);
+            format!(
+                "{{\"spec\":{spec},\"technique\":\"{}\",\"deadline_ms\":{},\"seed\":{},\
+                 \"budget\":{{\"max_candidates\":8,\"max_rounds\":2}}}}",
+                techniques[i % techniques.len()].label(),
+                config.deadline_ms,
+                config.seed,
+            )
+        })
+        .collect()
+}
+
+/// Runs the load generation: `connections` threads, one fresh connection
+/// per request, interleaved over the body list.
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let bodies = request_bodies(config);
+    let connections = config.connections.max(1);
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<(Option<u16>, u64)>();
+    std::thread::scope(|scope| {
+        for worker in 0..connections {
+            let tx = tx.clone();
+            let bodies = &bodies;
+            let addr = &config.addr;
+            scope.spawn(move || {
+                for body in bodies.iter().skip(worker).step_by(connections) {
+                    let t0 = Instant::now();
+                    let status = TcpStream::connect(addr.as_str())
+                        .and_then(|mut stream| roundtrip(&mut stream, "POST", "/repair", body))
+                        .map(|(status, _)| status)
+                        .ok();
+                    let micros = t0.elapsed().as_micros() as u64;
+                    if tx.send((status, micros)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut report = LoadgenReport {
+        total: 0,
+        ok: 0,
+        shed: 0,
+        timed_out: 0,
+        unexpected: 0,
+        latency: Histogram::default(),
+        elapsed: Duration::ZERO,
+        cache_hit_rate: None,
+    };
+    for (status, micros) in rx {
+        report.total += 1;
+        report.latency.record(micros);
+        match status {
+            Some(200) => report.ok += 1,
+            Some(503) => report.shed += 1,
+            Some(504) => report.timed_out += 1,
+            _ => report.unexpected += 1,
+        }
+    }
+    report.elapsed = started.elapsed();
+    report.cache_hit_rate = fetch_hit_rate(&config.addr);
+    report
+}
+
+/// Fetches `/metrics` and extracts `oracle_cache.hit_rate`.
+pub fn fetch_hit_rate(addr: &str) -> Option<f64> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let (status, body) = roundtrip(&mut stream, "GET", "/metrics", "").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let value: Value = serde_json::from_str(&body).ok()?;
+    let Value::Map(doc) = value else { return None };
+    let (_, oracle) = doc.iter().find(|(k, _)| k == "oracle_cache")?;
+    let Value::Map(oracle) = oracle else {
+        return None;
+    };
+    match &oracle.iter().find(|(k, _)| k == "hit_rate")?.1 {
+        Value::F64(rate) => Some(*rate),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_are_deterministic_and_rotate_techniques() {
+        let config = LoadgenConfig {
+            requests: 26,
+            ..LoadgenConfig::default()
+        };
+        let a = request_bodies(&config);
+        let b = request_bodies(&config);
+        assert_eq!(a, b, "same seed, same workload");
+        assert_eq!(a.len(), 26);
+        assert!(a[0].contains("\"technique\":\"ARepair\""));
+        assert!(a[1].contains("\"technique\":\"ICEBAR\""));
+        // Wraps around the twelve techniques.
+        assert!(a[12].contains("\"technique\":\"ARepair\""));
+        // Every body is itself valid JSON with a parsable spec.
+        for body in &a {
+            let parsed = crate::service::RepairRequest::parse(body).unwrap();
+            assert!(mualloy_syntax::parse_spec(&parsed.spec).is_ok());
+        }
+    }
+
+    #[test]
+    fn report_rendering_and_throughput() {
+        let mut latency = Histogram::default();
+        latency.record(2_000);
+        let report = LoadgenReport {
+            total: 10,
+            ok: 8,
+            shed: 1,
+            timed_out: 1,
+            unexpected: 0,
+            latency,
+            elapsed: Duration::from_secs(2),
+            cache_hit_rate: Some(0.5),
+        };
+        assert!(report.clean());
+        assert!((report.throughput() - 5.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("8 ok"));
+        assert!(text.contains("50.0%"), "{text}");
+    }
+}

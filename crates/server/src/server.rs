@@ -1,0 +1,416 @@
+//! The `specrepaird` daemon core: a blocking acceptor thread, a bounded
+//! admission queue, and a fixed worker pool over `std::net`.
+//!
+//! Load shedding happens at admission: when the queue is full the acceptor
+//! answers `503` with `Retry-After` itself and never hands the connection
+//! to a worker, so overload degrades into fast rejections instead of
+//! unbounded latency. Shutdown (via `POST /shutdown` or a signal file) is
+//! graceful — the acceptor stops admitting, workers drain what was already
+//! queued, then everything joins.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use specrepair_core::OracleHandle;
+
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::metrics::ServerMetrics;
+use crate::service::{RepairService, ServiceConfig};
+
+/// How long a worker waits for the next request on an idle keep-alive
+/// connection before closing it.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+
+/// Acceptor poll interval while the listener has nothing to accept.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Configuration of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads executing repairs.
+    pub workers: usize,
+    /// Admission queue capacity; connections beyond it are shed with `503`.
+    pub queue_capacity: usize,
+    /// Deadline for requests that do not carry `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Largest admitted analysis scope (see [`ServiceConfig::max_scope`]).
+    pub max_scope: u32,
+    /// Per-shard cap on the oracle memo table; `0` keeps it unbounded.
+    pub cache_per_shard: usize,
+    /// Optional signal file: the daemon initiates graceful shutdown as soon
+    /// as this path exists (the file-based stand-in for SIGTERM, usable
+    /// from CI scripts without a signal-handling dependency).
+    pub shutdown_file: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline_ms: 10_000,
+            max_scope: 6,
+            cache_per_shard: 0,
+            shutdown_file: None,
+        }
+    }
+}
+
+/// Shared state between the acceptor, the workers and the handle.
+struct ServerState {
+    service: RepairService,
+    metrics: ServerMetrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cond: Condvar,
+    queue_capacity: usize,
+    draining: AtomicBool,
+    shutdown_file: Option<PathBuf>,
+}
+
+impl ServerState {
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue_cond.notify_all();
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A running daemon: its bound address plus the thread handles.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown (idempotent): stop admitting, drain the
+    /// queue, let workers exit.
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Blocks until the acceptor and every worker have exited. Call
+    /// [`ServerHandle::shutdown`] first (or POST `/shutdown`) or this
+    /// blocks forever.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the acceptor and worker threads.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, permission).
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let oracle = if config.cache_per_shard == 0 {
+        OracleHandle::fresh()
+    } else {
+        OracleHandle::bounded(config.cache_per_shard)
+    };
+    let state = Arc::new(ServerState {
+        service: RepairService::new(
+            oracle,
+            ServiceConfig {
+                default_deadline_ms: config.default_deadline_ms,
+                max_scope: config.max_scope,
+            },
+        ),
+        metrics: ServerMetrics::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cond: Condvar::new(),
+        queue_capacity: config.queue_capacity.max(1),
+        draining: AtomicBool::new(false),
+        shutdown_file: config.shutdown_file.clone(),
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("specrepaird-worker-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawning a worker thread")
+        })
+        .collect();
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("specrepaird-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &state))
+            .expect("spawning the acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    // The signal file is polled on a coarser cadence than the listener.
+    let mut polls_until_file_check = 0u32;
+    loop {
+        if state.is_draining() {
+            break;
+        }
+        if polls_until_file_check == 0 {
+            polls_until_file_check = 10;
+            if let Some(path) = &state.shutdown_file {
+                if path.exists() {
+                    state.begin_drain();
+                    break;
+                }
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => admit(state, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                polls_until_file_check = polls_until_file_check.saturating_sub(1);
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Wake every worker so the drain check runs even on an empty queue.
+    state.queue_cond.notify_all();
+}
+
+/// Enqueues one accepted connection, or sheds it with `503` when the
+/// admission queue is full.
+fn admit(state: &Arc<ServerState>, stream: TcpStream) {
+    {
+        let mut queue = state.queue.lock().unwrap();
+        if queue.len() < state.queue_capacity {
+            queue.push_back(stream);
+            state.metrics.queue_depth_add(1);
+            state.queue_cond.notify_one();
+            return;
+        }
+    }
+    state.metrics.record_shed();
+    shed(state, stream);
+}
+
+/// Writes the `503` shed response. The request is read (best-effort, short
+/// timeout) before responding so well-behaved clients see the response
+/// rather than a reset from unread data.
+fn shed(_state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let _ = read_request(&mut reader);
+    let mut writer = stream;
+    let _ = Response::error(503, "admission queue full, retry shortly")
+        .with_header("retry-after", "1")
+        .write_to(&mut writer, false);
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    loop {
+        let next = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    state.metrics.queue_depth_add(-1);
+                    break Some(stream);
+                }
+                if state.is_draining() {
+                    break None;
+                }
+                let (guard, _) = state
+                    .queue_cond
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap();
+                queue = guard;
+            }
+        };
+        let Some(stream) = next else { return };
+        state.metrics.inflight_add(1);
+        handle_connection(state, stream);
+        state.metrics.inflight_add(-1);
+    }
+}
+
+/// Serves one connection: a keep-alive loop of request → route → response.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let response = route(state, &request);
+                // Draining closes connections after the in-flight response.
+                let keep_alive = request.keep_alive && !state.is_draining();
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
+            Err(RequestError::Malformed(msg)) => {
+                state.metrics.record_request("http", 400);
+                let _ = Response::error(400, &msg).write_to(&mut writer, false);
+                return;
+            }
+            Err(RequestError::TooLarge(n)) => {
+                state.metrics.record_request("http", 413);
+                let _ = Response::error(413, &format!("body of {n} bytes exceeds the limit"))
+                    .write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one request to its endpoint and records it in the metrics.
+fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+    let (endpoint, response) = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let status = if state.is_draining() {
+                "draining"
+            } else {
+                "ok"
+            };
+            (
+                "healthz",
+                Response::json(200, format!("{{\"status\":\"{status}\"}}")),
+            )
+        }
+        ("GET", "/techniques") => (
+            "techniques",
+            Response::json(200, RepairService::techniques_document()),
+        ),
+        ("GET", "/metrics") => {
+            let oracle = state.service.oracle();
+            let body = state
+                .metrics
+                .render(&oracle.stats(), oracle.service().memoized_specs());
+            ("metrics", Response::json(200, body))
+        }
+        ("POST", "/repair") => {
+            let handled = state.service.handle_repair(&request.body_text());
+            if let (Some(technique), Some(latency)) = (&handled.technique, handled.latency) {
+                state
+                    .metrics
+                    .record_latency(technique, latency.as_micros() as u64);
+            }
+            if handled.timed_out {
+                state.metrics.record_deadline_exceeded();
+            }
+            ("repair", handled.response)
+        }
+        ("POST", "/shutdown") => {
+            state.begin_drain();
+            ("shutdown", Response::json(200, "{\"status\":\"draining\"}"))
+        }
+        (_, "/healthz" | "/techniques" | "/metrics" | "/repair" | "/shutdown") => (
+            "http",
+            Response::error(405, &format!("{} not allowed here", request.method)),
+        ),
+        (_, path) => (
+            "http",
+            Response::error(404, &format!("no route for {path}")),
+        ),
+    };
+    state.metrics.record_request(endpoint, response.status);
+    response
+}
+
+/// Writes an HTTP request to `stream` and reads back `(status, body)` —
+/// the tiny client used by the load generator, the CLI and the tests.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; a malformed status line is an
+/// `InvalidData` error.
+pub fn roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nhost: specrepaird\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Reads one HTTP response from a buffered stream.
+///
+/// # Errors
+///
+/// `InvalidData` for malformed status lines or bodies, plus socket errors.
+pub fn read_response<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<(u16, String)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("bad status line {line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| bad("response body is not utf-8"))
+}

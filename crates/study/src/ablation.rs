@@ -10,7 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
-use specrepair_core::{LocalizeThenFix, OracleHandle, RepairContext, RepairTechnique, UnionHybrid};
+use specrepair_core::{
+    CancelToken, LocalizeThenFix, OracleHandle, RepairContext, RepairTechnique, UnionHybrid,
+};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 use specrepair_metrics::rep;
 use specrepair_traditional::Atr;
@@ -64,6 +66,7 @@ pub fn run(problems: &[RepairProblem], config: &StudyConfig) -> Ablation {
             source: p.faulty_source.clone(),
             budget: mr_budget,
             oracle: OracleHandle::fresh(),
+            cancel: CancelToken::none(),
         };
         let plain = MultiRound::new(FeedbackSetting::None, config.seed);
         let union = UnionHybrid::new(

@@ -80,8 +80,8 @@ fn main() {
     let emit = |name: &str, text: &str, json: String| {
         println!("{text}");
         if let Some(dir) = &out_dir {
-            let _ = std::fs::write(dir.join(format!("{name}.txt")), text);
-            let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+            write_artifact(&dir.join(format!("{name}.txt")), text);
+            write_artifact(&dir.join(format!("{name}.json")), &json);
         }
     };
 
@@ -136,15 +136,24 @@ fn main() {
         );
     }
     if let Some(dir) = &out_dir {
-        let _ = std::fs::write(
-            dir.join("records.json"),
-            serde_json::to_string(&results).unwrap(),
+        write_artifact(
+            &dir.join("records.json"),
+            &serde_json::to_string(&results).unwrap(),
         );
-        let _ = std::fs::write(
-            dir.join("cache_stats.json"),
-            serde_json::to_string_pretty(&cache_stats).unwrap(),
+        write_artifact(
+            &dir.join("cache_stats.json"),
+            &serde_json::to_string_pretty(&cache_stats).unwrap(),
         );
         eprintln!("artifacts written to {dir:?}");
+    }
+}
+
+/// Writes one artifact, aborting loudly on failure: a full-corpus run must
+/// never silently leave an empty or partial `results/` behind.
+fn write_artifact(path: &std::path::Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write artifact {path:?}: {e}");
+        std::process::exit(1);
     }
 }
 

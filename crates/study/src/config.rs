@@ -59,6 +59,13 @@ impl TechniqueId {
         }
     }
 
+    /// Parses a display label back into a technique id (the inverse of
+    /// [`TechniqueId::label`]); `None` for unknown labels. Service entry
+    /// points (`specrepaird`) use this to resolve request technique ids.
+    pub fn from_label(label: &str) -> Option<TechniqueId> {
+        TechniqueId::all().into_iter().find(|t| t.label() == label)
+    }
+
     /// Whether this is one of the traditional tools.
     pub fn is_traditional(&self) -> bool {
         matches!(
@@ -159,6 +166,14 @@ mod tests {
         assert_eq!(TechniqueId::llm_based().len(), 8);
         assert!(TechniqueId::Atr.is_traditional());
         assert!(!TechniqueId::Multi(FeedbackSetting::None).is_traditional());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for id in TechniqueId::all() {
+            assert_eq!(TechniqueId::from_label(id.label()), Some(id));
+        }
+        assert_eq!(TechniqueId::from_label("NoSuchTool"), None);
     }
 
     #[test]

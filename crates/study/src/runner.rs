@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
-use specrepair_core::{OracleHandle, RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{CancelToken, OracleHandle, RepairContext, RepairOutcome, RepairTechnique};
 use specrepair_llm::{invert_fix_description, MultiRound, ProblemHints, SingleRound};
 use specrepair_metrics::candidate_metrics;
 use specrepair_traditional::{ARepair, Atr, BeAFix, Icebar};
@@ -204,6 +204,7 @@ pub fn repair_with_oracle(
         source: problem.faulty_source.clone(),
         budget: config.budget_for(id),
         oracle: oracle.clone(),
+        cancel: CancelToken::none(),
     };
     match id {
         TechniqueId::ARepair => ARepair::default().repair(&ctx),

@@ -12,7 +12,7 @@
 
 use mualloy_analyzer::TestSuite;
 use mualloy_syntax::Spec;
-use specrepair_core::{RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{CancelToken, RepairContext, RepairOutcome, RepairTechnique};
 use specrepair_mutation::MutationEngine;
 
 use crate::support::CandidateLedger;
@@ -43,11 +43,12 @@ pub(crate) fn greedy_test_repair(
     max_candidates: usize,
     thorough: bool,
     ledger: &mut CandidateLedger,
+    cancel: &CancelToken,
 ) -> (Spec, bool, usize) {
     let mut explored = 0usize;
     let mut current = start.clone();
     let (_, mut current_fail) = suite.run(&current);
-    while current_fail > 0 && explored < max_candidates {
+    while current_fail > 0 && explored < max_candidates && !cancel.is_cancelled() {
         let engine = MutationEngine::new(&current);
         let mutations = engine.all_mutations();
         // First-improvement hill climbing (as in the original ARepair: the
@@ -106,8 +107,14 @@ impl RepairTechnique for ARepair {
         // two orders of magnitude cheaper than an oracle validation, so the
         // greedy search gets a proportionally larger allowance.
         let greedy_budget = ctx.budget.max_candidates.saturating_mul(8);
-        let (candidate, tests_pass, explored) =
-            greedy_test_repair(&ctx.faulty, &suite, greedy_budget, false, &mut ledger);
+        let (candidate, tests_pass, explored) = greedy_test_repair(
+            &ctx.faulty,
+            &suite,
+            greedy_budget,
+            false,
+            &mut ledger,
+            &ctx.cancel,
+        );
         let source = mualloy_syntax::print_spec(&candidate);
         RepairOutcome {
             technique: self.name().to_string(),

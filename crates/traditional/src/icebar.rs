@@ -52,8 +52,17 @@ impl RepairTechnique for Icebar {
             (ctx.budget.max_candidates.saturating_mul(8) / ctx.budget.max_rounds.max(1)).max(1);
 
         for round in 1..=ctx.budget.max_rounds {
-            let (candidate, tests_pass, explored) =
-                greedy_test_repair(&ctx.faulty, &suite, per_round_budget, true, &mut ledger);
+            if ctx.cancelled() {
+                break;
+            }
+            let (candidate, tests_pass, explored) = greedy_test_repair(
+                &ctx.faulty,
+                &suite,
+                per_round_budget,
+                true,
+                &mut ledger,
+                &ctx.cancel,
+            );
             explored_total += explored;
             last_candidate = candidate.clone();
             if !tests_pass {

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example hybrid_repair`
 
 use specrepair_benchmarks::alloy4fun;
-use specrepair_core::{overlap_stats, OracleHandle, RepairBudget, RepairContext, RepairTechnique};
+use specrepair_core::{
+    overlap_stats, CancelToken, OracleHandle, RepairBudget, RepairContext, RepairTechnique,
+};
 use specrepair_llm::{FeedbackSetting, MultiRound};
 use specrepair_metrics::rep;
 use specrepair_traditional::default_suite;
@@ -34,6 +36,7 @@ fn main() {
                 source: p.faulty_source.clone(),
                 budget,
                 oracle: oracle.clone(),
+                cancel: CancelToken::none(),
             };
             let out = llm.repair(&ctx);
             rep(&p.truth, out.candidate_source.as_deref()) == 1
@@ -54,6 +57,7 @@ fn main() {
                     source: p.faulty_source.clone(),
                     budget,
                     oracle: oracle.clone(),
+                    cancel: CancelToken::none(),
                 };
                 let out = tool.repair(&ctx);
                 rep(&p.truth, out.candidate_source.as_deref()) == 1

@@ -5,8 +5,8 @@
 use mualloy_analyzer::Analyzer;
 use specrepair_benchmarks::arepair;
 use specrepair_core::{
-    preserves_oracle_surface, OracleHandle, RepairBudget, RepairContext, RepairTechnique,
-    UnionHybrid,
+    preserves_oracle_surface, CancelToken, OracleHandle, RepairBudget, RepairContext,
+    RepairTechnique, UnionHybrid,
 };
 use specrepair_llm::{FeedbackSetting, MultiRound, PromptSetting, SingleRound};
 use specrepair_metrics::{candidate_metrics, rep};
@@ -30,6 +30,7 @@ fn ctx_for(p: &specrepair_benchmarks::RepairProblem) -> RepairContext {
         source: p.faulty_source.clone(),
         budget: budget(),
         oracle: OracleHandle::fresh(),
+        cancel: CancelToken::none(),
     }
 }
 

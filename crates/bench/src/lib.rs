@@ -25,6 +25,7 @@ pub fn bench_config() -> specrepair_study::StudyConfig {
     specrepair_study::StudyConfig {
         scale: 0.002,
         seed: 42,
+        ..specrepair_study::StudyConfig::default()
     }
 }
 

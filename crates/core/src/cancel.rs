@@ -83,6 +83,30 @@ impl CancelToken {
             .deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
+
+    /// Sleeps for `duration` unless the token fires first, polling in short
+    /// slices so a tripped deadline never waits out a full backoff window.
+    /// Returns `true` when the full duration elapsed, `false` when the
+    /// token cut the sleep short.
+    ///
+    /// Every sleep in the resilience stack (LM retry backoff, loadgen
+    /// retry-after waits) must go through here rather than a bare
+    /// `thread::sleep`: a deadline that fires mid-backoff has to surface
+    /// *now*, not after the window.
+    pub fn sleep(&self, duration: Duration) -> bool {
+        const SLICE: Duration = Duration::from_millis(2);
+        let wake = Instant::now() + duration;
+        loop {
+            if self.is_cancelled() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= wake {
+                return true;
+            }
+            std::thread::sleep((wake - now).min(SLICE));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +136,37 @@ mod tests {
         let token = CancelToken::with_deadline(Duration::from_millis(0));
         assert!(token.is_cancelled());
         assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn sleep_completes_when_uncancelled() {
+        let token = CancelToken::none();
+        let t0 = Instant::now();
+        assert!(token.sleep(Duration::from_millis(10)));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn sleep_is_cut_short_by_cancellation() {
+        let token = CancelToken::none();
+        token.cancel();
+        let t0 = Instant::now();
+        assert!(!token.sleep(Duration::from_secs(60)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "slept the window out"
+        );
+    }
+
+    #[test]
+    fn sleep_respects_a_mid_window_deadline() {
+        let token = CancelToken::with_deadline(Duration::from_millis(5));
+        let t0 = Instant::now();
+        assert!(!token.sleep(Duration::from_secs(60)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "deadline did not cut the backoff window"
+        );
     }
 
     #[test]

@@ -67,12 +67,15 @@ impl<A: RepairTechnique, B: RepairTechnique> RepairTechnique for UnionHybrid<A, 
             }
         } else {
             // Keep the better-looking failure candidate (prefer the
-            // secondary's, which had the benefit of the fallback position).
+            // secondary's, which had the benefit of the fallback position),
+            // and the secondary's failure cause — it was the last word.
+            let reason = second.reason;
             let candidate = second.candidate.or(first.candidate);
             let candidate_source = second.candidate_source.or(first.candidate_source);
             RepairOutcome {
                 technique: self.name.clone(),
                 success: false,
+                reason,
                 candidate,
                 candidate_source,
                 candidates_explored: explored,

@@ -51,6 +51,6 @@ pub use hybrid::{
 pub use localization::{first_hit_rank, localize, localize_with, Localization, SuspiciousSite};
 pub use oracle::{OracleHandle, OracleSession};
 pub use technique::{
-    oracle_accepts, preserves_oracle_surface, repair_is_valid, RepairBudget, RepairContext,
-    RepairOutcome, RepairTechnique,
+    oracle_accepts, preserves_oracle_surface, repair_is_valid, OutcomeReason, RepairBudget,
+    RepairContext, RepairOutcome, RepairTechnique,
 };

@@ -131,6 +131,45 @@ impl RepairContext {
     }
 }
 
+/// Why a repair attempt ended the way it did.
+///
+/// Table II's accounting (and any triage of a chaos run) needs failure
+/// *causes*, not just a boolean: a model that exhausted its proposal budget
+/// is a different event from a transport that died under it, and neither is
+/// the same as a deadline firing or the technique crashing outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutcomeReason {
+    /// The technique's own oracle accepted the final candidate.
+    Repaired,
+    /// The candidate/round budget ran dry without an accepted candidate.
+    BudgetExhausted,
+    /// The model declined to propose further candidates (unparsable prompt
+    /// or proposal budget spent) — *not* a transport failure.
+    ModelExhausted,
+    /// The LM transport failed even after retries (circuit open, repeated
+    /// timeouts/rate limits) — the attempt is partial, not a model verdict.
+    TransportExhausted,
+    /// The attempt's deadline or explicit cancel fired mid-search.
+    Cancelled,
+    /// The technique panicked; the study harness caught it and recorded
+    /// this sentinel instead of aborting the run.
+    Crashed,
+}
+
+impl OutcomeReason {
+    /// Stable lower-snake label (journal / metrics key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutcomeReason::Repaired => "repaired",
+            OutcomeReason::BudgetExhausted => "budget_exhausted",
+            OutcomeReason::ModelExhausted => "model_exhausted",
+            OutcomeReason::TransportExhausted => "transport_exhausted",
+            OutcomeReason::Cancelled => "cancelled",
+            OutcomeReason::Crashed => "crashed",
+        }
+    }
+}
+
 /// The result of one repair attempt.
 #[derive(Debug, Clone)]
 pub struct RepairOutcome {
@@ -138,6 +177,8 @@ pub struct RepairOutcome {
     pub technique: String,
     /// Whether the technique's own oracle accepted the final candidate.
     pub success: bool,
+    /// Why the attempt ended ([`OutcomeReason::Repaired`] iff `success`).
+    pub reason: OutcomeReason,
     /// The final candidate specification (present even on failure when the
     /// technique produced *something* — similarity metrics are computed for
     /// unsuccessful candidates too, as in the paper).
@@ -151,11 +192,13 @@ pub struct RepairOutcome {
 }
 
 impl RepairOutcome {
-    /// A failure outcome with no candidate.
+    /// A failure outcome with no candidate (reason: budget exhausted; use
+    /// [`RepairOutcome::with_reason`] for a more specific cause).
     pub fn failure(technique: impl Into<String>, explored: usize, rounds: usize) -> RepairOutcome {
         RepairOutcome {
             technique: technique.into(),
             success: false,
+            reason: OutcomeReason::BudgetExhausted,
             candidate: None,
             candidate_source: None,
             candidates_explored: explored,
@@ -174,10 +217,29 @@ impl RepairOutcome {
         RepairOutcome {
             technique: technique.into(),
             success: true,
+            reason: OutcomeReason::Repaired,
             candidate: Some(candidate),
             candidate_source: Some(source),
             candidates_explored: explored,
             rounds,
+        }
+    }
+
+    /// Overrides the outcome reason (builder style).
+    pub fn with_reason(mut self, reason: OutcomeReason) -> RepairOutcome {
+        self.reason = reason;
+        self
+    }
+
+    /// The reason a *failed* search loop should report given its context:
+    /// [`OutcomeReason::Cancelled`] when the cancel token fired, otherwise
+    /// the provided default. Centralises the check every technique's exit
+    /// path performs.
+    pub fn failure_reason_for(ctx: &RepairContext, default: OutcomeReason) -> OutcomeReason {
+        if ctx.cancelled() {
+            OutcomeReason::Cancelled
+        } else {
+            default
         }
     }
 }
@@ -271,9 +333,47 @@ mod tests {
         let f = RepairOutcome::failure("X", 5, 1);
         assert!(!f.success);
         assert!(f.candidate.is_none());
+        assert_eq!(f.reason, OutcomeReason::BudgetExhausted);
+        let f = f.with_reason(OutcomeReason::TransportExhausted);
+        assert_eq!(f.reason, OutcomeReason::TransportExhausted);
         let s = RepairOutcome::success_with("X", parse_spec(GOOD).unwrap(), 3, 1);
         assert!(s.success);
+        assert_eq!(s.reason, OutcomeReason::Repaired);
         assert!(s.candidate_source.unwrap().contains("sig N"));
+    }
+
+    #[test]
+    fn failure_reason_tracks_cancellation() {
+        let ctx = RepairContext::from_source(GOOD, RepairBudget::tiny()).unwrap();
+        assert_eq!(
+            RepairOutcome::failure_reason_for(&ctx, OutcomeReason::ModelExhausted),
+            OutcomeReason::ModelExhausted
+        );
+        ctx.cancel.cancel();
+        assert_eq!(
+            RepairOutcome::failure_reason_for(&ctx, OutcomeReason::ModelExhausted),
+            OutcomeReason::Cancelled
+        );
+    }
+
+    #[test]
+    fn reason_labels_are_stable_and_serializable() {
+        let labels: Vec<&str> = [
+            OutcomeReason::Repaired,
+            OutcomeReason::BudgetExhausted,
+            OutcomeReason::ModelExhausted,
+            OutcomeReason::TransportExhausted,
+            OutcomeReason::Cancelled,
+            OutcomeReason::Crashed,
+        ]
+        .iter()
+        .map(|r| r.label())
+        .collect();
+        assert_eq!(labels.len(), 6);
+        let json = serde_json::to_string(&OutcomeReason::Crashed).unwrap();
+        assert!(json.contains("Crashed"), "{json}");
+        let back: OutcomeReason = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, OutcomeReason::Crashed);
     }
 
     #[test]

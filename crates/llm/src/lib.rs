@@ -9,7 +9,12 @@
 //! - [`SingleRound`]: the five zero-shot prompt settings
 //!   (`Loc+Fix`, `Loc`, `Pass`, `None`, `Loc+Pass`);
 //! - [`MultiRound`]: the dual-agent iterative loop with three feedback
-//!   settings (`None`, `Generic`, `Auto`).
+//!   settings (`None`, `Generic`, `Auto`);
+//! - [`transport`]: the [`LmTransport`] failure surface and the
+//!   deterministic fault-injecting [`FaultyLm`] decorator;
+//! - [`resilient`]: [`ResilientLm`] — bounded retries with deterministic
+//!   backoff jitter, cancellation-aware sleeps and a per-technique circuit
+//!   breaker, the stack both pipelines actually call through.
 //!
 //! Both pipelines implement [`specrepair_core::RepairTechnique`] and
 //! [`specrepair_core::HintedRepair`], so the hybrid compositions of RQ3
@@ -40,12 +45,29 @@
 pub mod model;
 pub mod multi_round;
 pub mod prompt;
+pub mod resilient;
 pub mod single_round;
+pub mod transport;
 
 pub use model::{Guidance, LmConfig, SyntheticLm};
 pub use multi_round::MultiRound;
 pub use prompt::{invert_fix_description, FeedbackSetting, ProblemHints, Prompt, PromptSetting};
+pub use resilient::{BreakerConfig, CircuitBreaker, ResilientLm, RetryPolicy, TransportStats};
 pub use single_round::SingleRound;
+pub use transport::{FaultyLm, LmTransport, LmTransportError};
+
+/// Builds the resilient transport stack a chaos run wants: the synthetic
+/// model behind a [`FaultyLm`] decorator, retried with the near-zero-latency
+/// [`RetryPolicy::snappy`] policy sized so that — when the plan's faults are
+/// all transient — every scheduled fault burst is absorbed and the run's
+/// outcomes are byte-identical to a fault-free run.
+pub fn chaos_stack(plan: specrepair_faults::FaultPlan) -> ResilientLm {
+    // Size the retry budget to outlast the longest fault burst the plan
+    // schedules in a generous call window.
+    let worst_burst = plan.max_consecutive_faults(4096);
+    ResilientLm::over(FaultyLm::new(SyntheticLm::default(), plan))
+        .with_policy(RetryPolicy::snappy().with_max_retries(worst_burst.max(4)))
+}
 
 /// Constructs the study's eight LLM-based techniques (five Single-Round
 /// settings + three Multi-Round settings) with the given hints and seed.

@@ -18,12 +18,15 @@ use mualloy_syntax::Span;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use specrepair_core::{
-    localization::localize_with, HintedRepair, RepairContext, RepairOutcome, RepairTechnique,
+    localization::localize_with, HintedRepair, OutcomeReason, RepairContext, RepairOutcome,
+    RepairTechnique,
 };
 use std::collections::HashSet;
 
-use crate::model::{Guidance, SyntheticLm};
+use crate::model::Guidance;
 use crate::prompt::{FeedbackSetting, ProblemHints, Prompt};
+use crate::resilient::ResilientLm;
+use crate::transport::LmTransportError;
 
 /// The Multi-Round technique under one feedback setting.
 #[derive(Debug, Clone)]
@@ -32,8 +35,8 @@ pub struct MultiRound {
     pub feedback: FeedbackSetting,
     /// Base random seed.
     pub seed: u64,
-    /// The underlying model.
-    pub lm: SyntheticLm,
+    /// The underlying model, behind the resilient transport stack.
+    pub lm: ResilientLm,
 }
 
 impl MultiRound {
@@ -42,8 +45,15 @@ impl MultiRound {
         MultiRound {
             feedback,
             seed,
-            lm: SyntheticLm::default(),
+            lm: ResilientLm::synthetic(),
         }
+    }
+
+    /// Replaces the transport stack (fault-injection studies, the daemon's
+    /// shared-stats stacks).
+    pub fn with_lm(mut self, lm: ResilientLm) -> MultiRound {
+        self.lm = lm;
+        self
     }
 
     fn rng_for(&self, ctx: &RepairContext) -> ChaCha8Rng {
@@ -102,7 +112,11 @@ impl MultiRound {
             },
             feedback: None,
         };
-        for round in 1..=rounds {
+        // Why the loop stopped early, if it did (distinct outcome reasons:
+        // the model running dry is not a transport failure).
+        let mut model_done = false;
+        let mut transport_dead = false;
+        'rounds: for round in 1..=rounds {
             if ctx.cancelled() {
                 break; // deadline: emit the best parsed draft so far
             }
@@ -110,9 +124,34 @@ impl MultiRound {
                 if explored >= ctx.budget.max_candidates || ctx.cancelled() {
                     break;
                 }
-                let Some(text) = self.lm.propose(&prompt, guidance.as_ref(), &mut rng) else {
-                    break;
+                let text = match self
+                    .lm
+                    .propose(&prompt, guidance.as_ref(), &mut rng, &ctx.cancel)
+                {
+                    Ok(Some(text)) => text,
+                    Ok(None) => {
+                        // The model declined (unparsable prompt): retrying
+                        // rounds cannot change a pure function of the
+                        // prompt.
+                        model_done = true;
+                        break 'rounds;
+                    }
+                    Err(LmTransportError::CircuitOpen) => {
+                        // The breaker is shedding load: the endpoint is
+                        // gone for good as far as this attempt is
+                        // concerned.
+                        transport_dead = true;
+                        break 'rounds;
+                    }
+                    Err(_) => {
+                        // Retries exhausted on this call; end the round
+                        // early and let the next round try again. If the
+                        // outage persists the breaker will open and abort.
+                        transport_dead = true;
+                        break;
+                    }
                 };
+                transport_dead = false; // a later call got through
                 if !seen.insert(text.clone()) {
                     continue; // duplicate completion: free skip
                 }
@@ -124,6 +163,7 @@ impl MultiRound {
                     return RepairOutcome {
                         technique: self.feedback.label().to_string(),
                         success: true,
+                        reason: OutcomeReason::Repaired,
                         candidate: Some(candidate),
                         candidate_source: Some(text),
                         candidates_explored: explored,
@@ -132,10 +172,19 @@ impl MultiRound {
                 }
                 last_parsed = Some((candidate, text));
             }
-            // Prepare the next round.
+            // Prepare the next round. When the transport stack has
+            // degraded (breaker tripped), the prompt agent's extra model
+            // work is no longer affordable: fall back to the no-feedback
+            // setting — plain resampling with a minimal status line.
             if let Some((cand, _)) = &last_parsed {
-                guidance = self.prompt_agent(ctx.oracle.service(), cand);
+                let degraded = self.lm.degraded();
+                guidance = if degraded {
+                    None
+                } else {
+                    self.prompt_agent(ctx.oracle.service(), cand)
+                };
                 prompt.feedback = match self.feedback {
+                    _ if degraded => Some("The specification is still faulty.".to_string()),
                     FeedbackSetting::None => Some("The specification is still faulty.".to_string()),
                     FeedbackSetting::Generic | FeedbackSetting::Auto => Some(
                         AnalyzerReport::for_source(&mualloy_syntax::print_spec(cand)).to_string(),
@@ -143,16 +192,27 @@ impl MultiRound {
                 };
             }
         }
+        let failure_reason = if ctx.cancelled() {
+            OutcomeReason::Cancelled
+        } else if transport_dead {
+            OutcomeReason::TransportExhausted
+        } else if model_done {
+            OutcomeReason::ModelExhausted
+        } else {
+            OutcomeReason::BudgetExhausted
+        };
         match last_parsed {
             Some((candidate, text)) => RepairOutcome {
                 technique: self.feedback.label().to_string(),
                 success: false,
+                reason: failure_reason,
                 candidate: Some(candidate),
                 candidate_source: Some(text),
                 candidates_explored: explored,
                 rounds,
             },
-            None => RepairOutcome::failure(self.feedback.label(), explored, rounds),
+            None => RepairOutcome::failure(self.feedback.label(), explored, rounds)
+                .with_reason(failure_reason),
         }
     }
 }

@@ -1,0 +1,618 @@
+//! The resilience layer: bounded retries, deterministic backoff and a
+//! per-technique circuit breaker over any [`LmTransport`].
+//!
+//! [`ResilientLm`] is what the repair pipelines actually hold. Around every
+//! transport call it provides:
+//!
+//! - **bounded retries** with exponential backoff and *deterministic*
+//!   jitter (a hash of the policy seed and a per-instance sleep counter —
+//!   no wall clock, no global RNG, so two identical runs back off
+//!   identically);
+//! - **cancellation-aware sleeps**: every backoff wait goes through
+//!   [`CancelToken::sleep`], so a deadline or explicit cancel cuts the wait
+//!   short instead of blocking the worker;
+//! - **a circuit breaker** whose cooldown is counted in *rejected calls*
+//!   rather than wall-clock time, keeping the whole state machine a pure
+//!   function of the call sequence (and therefore reproducible).
+//!
+//! The breaker state machine:
+//!
+//! ```text
+//!          trip_after consecutive exhausted calls
+//! Closed ────────────────────────────────────────► Open
+//!   ▲                                               │ cooldown rejected calls
+//!   │ probe succeeds                                ▼
+//!   └──────────────────────────────────────────── HalfOpen
+//!                     probe fails: back to Open
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rand_chacha::ChaCha8Rng;
+use specrepair_core::CancelToken;
+use specrepair_faults::FaultStats;
+
+use crate::model::{Guidance, SyntheticLm};
+use crate::prompt::Prompt;
+use crate::transport::{LmTransport, LmTransportError};
+
+/// Retry/backoff policy for [`ResilientLm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt.
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff wait (before jitter).
+    pub max_backoff: Duration,
+    /// Extra multiplier applied when the error was a rate limit — quota
+    /// pressure wants longer waits than a connection blip.
+    pub rate_limit_factor: u32,
+    /// Seed for the deterministic jitter sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            rate_limit_factor: 4,
+            jitter_seed: 0x5eed_b0ff,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A near-zero-latency policy for studies and tests: full retry
+    /// semantics, microscopic waits.
+    pub fn snappy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 6,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(400),
+            rate_limit_factor: 2,
+            jitter_seed: 0x5eed_b0ff,
+        }
+    }
+
+    /// Sets the retry bound.
+    pub fn with_max_retries(mut self, n: usize) -> RetryPolicy {
+        self.max_retries = n;
+        self
+    }
+
+    /// The wait before retry number `attempt` (0-based) of a call that
+    /// failed with `err`, jittered deterministically by `sleep_index`.
+    fn backoff(&self, attempt: usize, err: &LmTransportError, sleep_index: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16) as u32)
+            .min(self.max_backoff);
+        let exp = if matches!(err, LmTransportError::RateLimited) {
+            exp.saturating_mul(self.rate_limit_factor.max(1))
+        } else {
+            exp
+        };
+        // Deterministic jitter in [50%, 150%): SplitMix64 of (seed, index).
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(sleep_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter_pct = 50 + (z % 100); // 50..149
+        exp.saturating_mul(jitter_pct as u32) / 100
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive exhausted calls (retries included) before the breaker
+    /// opens.
+    pub trip_after: usize,
+    /// Rejected calls the breaker absorbs while open before allowing a
+    /// half-open probe. Counted in calls, not seconds, for determinism.
+    pub cooldown_calls: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 5,
+            cooldown_calls: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed { consecutive_failures: usize },
+    Open { rejections_left: usize },
+    HalfOpen,
+}
+
+/// A deterministic circuit breaker. See the module docs for the state
+/// machine.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<BreakerState>,
+    ever_tripped: AtomicBool,
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker in the closed state.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(BreakerState::Closed {
+                consecutive_failures: 0,
+            }),
+            ever_tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a call may proceed. A `false` counts toward the open
+    /// state's cooldown.
+    fn admit(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { rejections_left } => {
+                if rejections_left <= 1 {
+                    *state = BreakerState::HalfOpen;
+                } else {
+                    *state = BreakerState::Open {
+                        rejections_left: rejections_left - 1,
+                    };
+                }
+                false
+            }
+        }
+    }
+
+    /// Records a successful call.
+    fn on_success(&self) {
+        *self.state.lock().unwrap() = BreakerState::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Records a call whose retries were exhausted. Returns `true` when
+    /// this failure tripped the breaker open.
+    fn on_failure(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.config.trip_after {
+                    *state = BreakerState::Open {
+                        rejections_left: self.config.cooldown_calls,
+                    };
+                    self.ever_tripped.store(true, Ordering::Relaxed);
+                    true
+                } else {
+                    *state = BreakerState::Closed {
+                        consecutive_failures: n,
+                    };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Failed probe: straight back to open.
+                *state = BreakerState::Open {
+                    rejections_left: self.config.cooldown_calls,
+                };
+                self.ever_tripped.store(true, Ordering::Relaxed);
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Whether the breaker is currently open (rejecting calls).
+    pub fn is_open(&self) -> bool {
+        matches!(*self.state.lock().unwrap(), BreakerState::Open { .. })
+    }
+
+    /// Whether the breaker has ever tripped — the signal the Multi-Round
+    /// pipeline uses to degrade to its no-feedback setting.
+    pub fn ever_tripped(&self) -> bool {
+        self.ever_tripped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+/// Monotone counters describing the resilience layer's work. Shared via
+/// `Arc` between the layer and whoever reports metrics.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Retried attempts (each retry counts once).
+    pub retries: AtomicU64,
+    /// Calls whose retry budget was exhausted.
+    pub giveups: AtomicU64,
+    /// Times a circuit breaker tripped open.
+    pub breaker_trips: AtomicU64,
+    /// Calls rejected by an open breaker.
+    pub breaker_rejections: AtomicU64,
+    /// Backoff waits cut short by cancellation.
+    pub cancelled_backoffs: AtomicU64,
+    /// Injected-fault counters (shared with any [`FaultyLm`] decorators).
+    ///
+    /// [`FaultyLm`]: crate::transport::FaultyLm
+    pub faults: Arc<FaultStats>,
+}
+
+impl TransportStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> TransportStats {
+        TransportStats::default()
+    }
+
+    /// Snapshot as `(name, value)` pairs, stable order, for metrics.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("retries", self.retries.load(Ordering::Relaxed)),
+            ("giveups", self.giveups.load(Ordering::Relaxed)),
+            ("breaker_trips", self.breaker_trips.load(Ordering::Relaxed)),
+            (
+                "breaker_rejections",
+                self.breaker_rejections.load(Ordering::Relaxed),
+            ),
+            (
+                "cancelled_backoffs",
+                self.cancelled_backoffs.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+/// The resilient LM client the repair pipelines hold: retries, backoff and
+/// circuit breaking over an arbitrary transport.
+///
+/// Cloning shares the transport, breaker and stats — a clone is another
+/// handle onto the same resilience state, which is what a technique's
+/// `Clone` derive wants.
+#[derive(Clone)]
+pub struct ResilientLm {
+    inner: Arc<dyn LmTransport>,
+    policy: RetryPolicy,
+    breaker: Arc<CircuitBreaker>,
+    stats: Arc<TransportStats>,
+    sleeps: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ResilientLm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientLm")
+            .field("inner", &self.inner)
+            .field("policy", &self.policy)
+            .field("breaker_open", &self.breaker.is_open())
+            .finish()
+    }
+}
+
+impl Default for ResilientLm {
+    fn default() -> Self {
+        ResilientLm::synthetic()
+    }
+}
+
+impl ResilientLm {
+    /// The default stack: a perfect in-process [`SyntheticLm`], no faults.
+    /// Behaves call-for-call identically to the bare model.
+    pub fn synthetic() -> ResilientLm {
+        ResilientLm::over(SyntheticLm::default())
+    }
+
+    /// Wraps an arbitrary transport with the default policy and breaker.
+    pub fn over(transport: impl LmTransport + 'static) -> ResilientLm {
+        ResilientLm {
+            inner: Arc::new(transport),
+            policy: RetryPolicy::default(),
+            breaker: Arc::new(CircuitBreaker::default()),
+            stats: Arc::new(TransportStats::new()),
+            sleeps: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> ResilientLm {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the breaker configuration.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> ResilientLm {
+        self.breaker = Arc::new(CircuitBreaker::new(config));
+        self
+    }
+
+    /// Shares an externally owned stats block (e.g. the daemon's).
+    pub fn with_stats(mut self, stats: Arc<TransportStats>) -> ResilientLm {
+        self.stats = stats;
+        self
+    }
+
+    /// The stats block, for metrics reporting.
+    pub fn stats(&self) -> &Arc<TransportStats> {
+        &self.stats
+    }
+
+    /// Whether the stack is degraded: the breaker tripped at least once.
+    /// Multi-Round uses this to fall back to its no-feedback setting.
+    pub fn degraded(&self) -> bool {
+        self.breaker.ever_tripped()
+    }
+
+    /// One logical completion: up to `1 + max_retries` transport attempts
+    /// with cancellable exponential backoff between them.
+    pub fn propose(
+        &self,
+        prompt: &Prompt,
+        guidance: Option<&Guidance>,
+        rng: &mut ChaCha8Rng,
+        cancel: &CancelToken,
+    ) -> Result<Option<String>, LmTransportError> {
+        if !self.breaker.admit() {
+            self.stats
+                .breaker_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(LmTransportError::CircuitOpen);
+        }
+        let mut attempt = 0usize;
+        loop {
+            match self.inner.call(prompt, guidance, rng) {
+                Ok(out) => {
+                    self.breaker.on_success();
+                    return Ok(out);
+                }
+                Err(err) => {
+                    let out_of_budget = attempt >= self.policy.max_retries || !err.is_retryable();
+                    if out_of_budget || cancel.is_cancelled() {
+                        if self.breaker.on_failure() {
+                            self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                        return Err(err);
+                    }
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    let sleep_index = self.sleeps.fetch_add(1, Ordering::Relaxed);
+                    let wait = self.policy.backoff(attempt, &err, sleep_index);
+                    if !cancel.sleep(wait) {
+                        // Deadline fired mid-backoff: give up with the
+                        // original error; the caller maps cancellation.
+                        self.stats
+                            .cancelled_backoffs
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                        return Err(err);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::FaultyLm;
+    use rand::SeedableRng;
+    use specrepair_faults::FaultPlan;
+
+    const FAULTY: &str = "sig N { next: lone N }\n\
+        fact Acyclic { some n: N | n in n.^next }\n\
+        assert NoSelf { all n: N | n not in n.next }\n\
+        check NoSelf for 3 expect 0\n";
+
+    fn prompt() -> Prompt {
+        Prompt {
+            source: FAULTY.to_string(),
+            ..Prompt::default()
+        }
+    }
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn retries_absorb_transient_faults() {
+        // Rate 0.4, retries 6: essentially every logical call succeeds and
+        // matches the fault-free stream byte for byte.
+        let plan = FaultPlan::new(13, 0.4);
+        let resilient = ResilientLm::over(FaultyLm::new(SyntheticLm::default(), plan))
+            .with_policy(RetryPolicy::snappy());
+        let clean = SyntheticLm::default();
+        let cancel = CancelToken::none();
+        let mut ra = rng(4);
+        let mut rb = rng(4);
+        for _ in 0..20 {
+            let a = resilient
+                .propose(&prompt(), None, &mut ra, &cancel)
+                .unwrap();
+            let b = clean.propose(&prompt(), None, &mut rb);
+            assert_eq!(a, b);
+        }
+        assert!(
+            resilient.stats().retries.load(Ordering::Relaxed) > 0,
+            "rate 0.4 must have forced retries"
+        );
+        assert_eq!(resilient.stats().giveups.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error() {
+        let plan = FaultPlan::new(1, 1.0); // every attempt faults
+        let resilient = ResilientLm::over(FaultyLm::new(SyntheticLm::default(), plan))
+            .with_policy(RetryPolicy::snappy().with_max_retries(2));
+        let cancel = CancelToken::none();
+        let err = resilient
+            .propose(&prompt(), None, &mut rng(0), &cancel)
+            .unwrap_err();
+        assert_ne!(err, LmTransportError::CircuitOpen);
+        assert_eq!(resilient.stats().giveups.load(Ordering::Relaxed), 1);
+        assert_eq!(resilient.stats().retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn breaker_opens_then_recovers_through_half_open() {
+        let plan = FaultPlan::new(2, 1.0);
+        let faulty = FaultyLm::new(SyntheticLm::default(), plan);
+        let resilient = ResilientLm::over(faulty)
+            .with_policy(RetryPolicy::snappy().with_max_retries(0))
+            .with_breaker(BreakerConfig {
+                trip_after: 3,
+                cooldown_calls: 2,
+            });
+        let cancel = CancelToken::none();
+        let mut r = rng(0);
+        // 3 failures trip the breaker...
+        for _ in 0..3 {
+            let e = resilient
+                .propose(&prompt(), None, &mut r, &cancel)
+                .unwrap_err();
+            assert_ne!(e, LmTransportError::CircuitOpen);
+        }
+        assert!(resilient.degraded());
+        // ...the next 2 calls are shed...
+        for _ in 0..2 {
+            assert_eq!(
+                resilient
+                    .propose(&prompt(), None, &mut r, &cancel)
+                    .unwrap_err(),
+                LmTransportError::CircuitOpen
+            );
+        }
+        assert_eq!(
+            resilient.stats().breaker_rejections.load(Ordering::Relaxed),
+            2
+        );
+        // ...and the half-open probe runs against the (still faulty)
+        // transport, failing back to open.
+        let e = resilient
+            .propose(&prompt(), None, &mut r, &cancel)
+            .unwrap_err();
+        assert_ne!(e, LmTransportError::CircuitOpen);
+        assert_eq!(
+            resilient.stats().breaker_trips.load(Ordering::Relaxed),
+            2,
+            "probe failure must re-trip"
+        );
+    }
+
+    #[test]
+    fn breaker_closes_after_successful_probe() {
+        // Faults only early in the schedule: manufacture one by picking a
+        // plan whose first calls fault. Use rate 1.0 but swap the transport
+        // after tripping — simplest: trip via a dedicated stack, then
+        // verify a fresh success closes the breaker.
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            trip_after: 1,
+            cooldown_calls: 1,
+        });
+        assert!(breaker.admit());
+        assert!(breaker.on_failure());
+        assert!(breaker.is_open());
+        assert!(!breaker.admit()); // consumes the cooldown
+        assert!(breaker.admit()); // half-open probe allowed
+        breaker.on_success();
+        assert!(!breaker.is_open());
+        assert!(breaker.ever_tripped(), "history is sticky");
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_cap() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            rate_limit_factor: 4,
+            jitter_seed: 1,
+        };
+        let early = p.backoff(0, &LmTransportError::Transient, 0);
+        let late = p.backoff(6, &LmTransportError::Transient, 0);
+        // Same jitter index: growth is visible despite jitter.
+        assert!(late > early);
+        // Cap: 80ms * 150% jitter max = 120ms.
+        assert!(late <= Duration::from_millis(120));
+        // Rate-limit factor stretches the wait.
+        let rl = p.backoff(0, &LmTransportError::RateLimited, 0);
+        assert!(rl >= early.saturating_mul(2));
+    }
+
+    #[test]
+    fn jitter_is_deterministic() {
+        let p = RetryPolicy::default();
+        for i in 0..10u64 {
+            assert_eq!(
+                p.backoff(1, &LmTransportError::Transient, i),
+                p.backoff(1, &LmTransportError::Transient, i)
+            );
+        }
+        // ...and actually varies across indices.
+        let distinct: std::collections::HashSet<_> = (0..10u64)
+            .map(|i| p.backoff(1, &LmTransportError::Transient, i))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn cancelled_backoff_aborts_promptly() {
+        let plan = FaultPlan::new(3, 1.0);
+        let resilient = ResilientLm::over(FaultyLm::new(SyntheticLm::default(), plan)).with_policy(
+            RetryPolicy {
+                max_retries: 50,
+                base_backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_secs(5),
+                rate_limit_factor: 1,
+                jitter_seed: 0,
+            },
+        );
+        let cancel = CancelToken::with_deadline(Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        let err = resilient
+            .propose(&prompt(), None, &mut rng(0), &cancel)
+            .unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "original error surfaces, not CircuitOpen"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "cancellation must cut the 50-retry backoff chain short"
+        );
+        assert!(resilient.stats().cancelled_backoffs.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn synthetic_stack_matches_bare_model() {
+        let resilient = ResilientLm::synthetic();
+        let clean = SyntheticLm::default();
+        let cancel = CancelToken::none();
+        let mut ra = rng(17);
+        let mut rb = rng(17);
+        for _ in 0..5 {
+            assert_eq!(
+                resilient
+                    .propose(&prompt(), None, &mut ra, &cancel)
+                    .unwrap(),
+                clean.propose(&prompt(), None, &mut rb)
+            );
+        }
+    }
+}

@@ -11,10 +11,10 @@
 use mualloy_syntax::Span;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use specrepair_core::{HintedRepair, RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{HintedRepair, OutcomeReason, RepairContext, RepairOutcome, RepairTechnique};
 
-use crate::model::SyntheticLm;
 use crate::prompt::{ProblemHints, Prompt, PromptSetting};
+use crate::resilient::ResilientLm;
 
 /// Per-setting completion policy: how many internal drafts the model
 /// considers before committing to its single visible answer, and whether it
@@ -45,8 +45,8 @@ pub struct SingleRound {
     pub hints: ProblemHints,
     /// Base random seed.
     pub seed: u64,
-    /// The underlying model.
-    pub lm: SyntheticLm,
+    /// The underlying model, behind the resilient transport stack.
+    pub lm: ResilientLm,
 }
 
 impl SingleRound {
@@ -57,13 +57,20 @@ impl SingleRound {
             setting,
             hints: ProblemHints::default(),
             seed,
-            lm: SyntheticLm::default(),
+            lm: ResilientLm::synthetic(),
         }
     }
 
     /// Sets the problem hints (the benchmark's known bug location / fix).
     pub fn with_hints(mut self, hints: ProblemHints) -> SingleRound {
         self.hints = hints;
+        self
+    }
+
+    /// Replaces the transport stack (fault-injection studies, the daemon's
+    /// shared-stats stacks).
+    pub fn with_lm(mut self, lm: ResilientLm) -> SingleRound {
+        self.lm = lm;
         self
     }
 
@@ -86,12 +93,26 @@ impl SingleRound {
         let (drafts, full_check) = draft_policy(self.setting);
         let mut last_text: Option<String> = None;
         let mut explored = 0usize;
+        // Why the model stopped producing drafts, when it did: the model
+        // itself ran out of proposals vs. the transport gave up. These map
+        // to distinct outcome reasons (`ModelExhausted` / the partial
+        // `TransportExhausted` outcome), not a conflated generic failure.
+        let mut model_done = false;
+        let mut transport_dead = false;
         for _ in 0..drafts {
             if ctx.cancelled() {
                 break; // deadline: fall through to the last-draft fallback
             }
-            let Some(text) = self.lm.propose(&prompt, None, &mut rng) else {
-                break;
+            let text = match self.lm.propose(&prompt, None, &mut rng, &ctx.cancel) {
+                Ok(Some(text)) => text,
+                Ok(None) => {
+                    model_done = true;
+                    break;
+                }
+                Err(_) => {
+                    transport_dead = true;
+                    break;
+                }
             };
             last_text = Some(text.clone());
             let Ok(candidate) = mualloy_syntax::parse_spec(&text) else {
@@ -114,9 +135,15 @@ impl SingleRound {
             };
             if emit {
                 let success = ctx.repair_is_valid(&candidate);
+                let reason = if success {
+                    OutcomeReason::Repaired
+                } else {
+                    RepairOutcome::failure_reason_for(ctx, OutcomeReason::BudgetExhausted)
+                };
                 return RepairOutcome {
                     technique: self.setting.label().to_string(),
                     success,
+                    reason,
                     candidate: Some(candidate),
                     candidate_source: Some(text),
                     candidates_explored: explored,
@@ -124,8 +151,18 @@ impl SingleRound {
                 };
             }
         }
-        // No draft survived self-verification (or the model glitched): emit
-        // the last draft anyway, as a real model would.
+        let failure_reason = if ctx.cancelled() {
+            OutcomeReason::Cancelled
+        } else if transport_dead {
+            OutcomeReason::TransportExhausted
+        } else if model_done {
+            OutcomeReason::ModelExhausted
+        } else {
+            OutcomeReason::BudgetExhausted
+        };
+        // No draft survived self-verification (or the model glitched or the
+        // transport died): emit the last draft anyway — a partial outcome,
+        // as a real model client would.
         match last_text {
             Some(text) => {
                 let candidate = mualloy_syntax::parse_spec(&text).ok();
@@ -136,13 +173,18 @@ impl SingleRound {
                 RepairOutcome {
                     technique: self.setting.label().to_string(),
                     success,
+                    reason: if success {
+                        OutcomeReason::Repaired
+                    } else {
+                        failure_reason
+                    },
                     candidate,
                     candidate_source: Some(text),
                     candidates_explored: explored.max(1),
                     rounds: 1,
                 }
             }
-            None => RepairOutcome::failure(self.setting.label(), 0, 1),
+            None => RepairOutcome::failure(self.setting.label(), 0, 1).with_reason(failure_reason),
         }
     }
 }

@@ -3,13 +3,18 @@
 //! ```text
 //! specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N]
 //!                     [--max-scope N] [--cache-per-shard N] [--shutdown-file P]
+//!                     [--chaos-rate R] [--chaos-seed N]
 //! specrepaird loadgen [--addr A] [--requests N] [--connections N]
-//!                     [--deadline-ms N] [--seed N]
+//!                     [--deadline-ms N] [--seed N] [--chaos-rate R]
+//!                     [--shed-backoff-ms N]
 //! ```
 //!
 //! `serve` runs the daemon in the foreground until `POST /shutdown` (or the
 //! shutdown file appears). `loadgen` drives a running daemon and exits
 //! nonzero if any response was outside the expected set (200/503/504).
+//! `--chaos-rate` (both subcommands) turns on deterministic LM-transport
+//! fault injection, exercised through the resilience layer and visible in
+//! `GET /metrics` under `transport`.
 
 use specrepair_server::{loadgen, server, LoadgenConfig, ServerConfig};
 
@@ -34,6 +39,8 @@ fn serve(args: &[String]) {
             "--max-scope" => config.max_scope = flags.parsed(&flag),
             "--cache-per-shard" => config.cache_per_shard = flags.parsed(&flag),
             "--shutdown-file" => config.shutdown_file = Some(flags.value(&flag).into()),
+            "--chaos-rate" => config.chaos_rate = flags.rate(&flag),
+            "--chaos-seed" => config.chaos_seed = flags.parsed(&flag),
             other => die(&format!("unknown flag `{other}` for serve")),
         }
     }
@@ -53,6 +60,8 @@ fn run_loadgen(args: &[String]) {
             "--connections" => config.connections = flags.parsed(&flag),
             "--deadline-ms" => config.deadline_ms = flags.parsed(&flag),
             "--seed" => config.seed = flags.parsed(&flag),
+            "--chaos-rate" => config.chaos_rate = flags.rate(&flag),
+            "--shed-backoff-ms" => config.shed_backoff_ms = flags.parsed(&flag),
             other => die(&format!("unknown flag `{other}` for loadgen")),
         }
     }
@@ -98,15 +107,24 @@ impl<'a> Flags<'a> {
             .parse()
             .unwrap_or_else(|_| die(&format!("{flag} needs a number")))
     }
+
+    fn rate(&mut self, flag: &str) -> f64 {
+        let rate: f64 = self.parsed(flag);
+        if !(0.0..=1.0).contains(&rate) {
+            die(&format!("{flag} needs a number in [0, 1]"));
+        }
+        rate
+    }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
-         [--max-scope N] [--cache-per-shard N] [--shutdown-file P]\n\
+         [--max-scope N] [--cache-per-shard N] [--shutdown-file P] \
+         [--chaos-rate R] [--chaos-seed N]\n\
          \x20      specrepaird loadgen [--addr A] [--requests N] [--connections N] \
-         [--deadline-ms N] [--seed N]"
+         [--deadline-ms N] [--seed N] [--chaos-rate R] [--shed-backoff-ms N]"
     );
     std::process::exit(2);
 }

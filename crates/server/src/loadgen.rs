@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use mualloy_syntax::print_spec;
 use serde::Value;
 use specrepair_benchmarks::a4f;
+use specrepair_core::CancelToken;
 use specrepair_mutation::{inject_fault, InjectorConfig};
 use specrepair_study::TechniqueId;
 
@@ -36,6 +37,13 @@ pub struct LoadgenConfig {
     pub deadline_ms: u64,
     /// Base seed for fault injection (also forwarded per request).
     pub seed: u64,
+    /// Injected LM-transport fault rate forwarded per request (0.0 = off):
+    /// the opt-in chaos mode, exercising the daemon's resilience layer.
+    pub chaos_rate: f64,
+    /// Backoff before retrying a request shed with `503` (0 = never retry).
+    /// The wait polls a [`CancelToken`], so a deadline or Ctrl-C-style
+    /// cancellation would cut it short rather than blocking the thread.
+    pub shed_backoff_ms: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -46,6 +54,8 @@ impl Default for LoadgenConfig {
             connections: 4,
             deadline_ms: 10_000,
             seed: 42,
+            chaos_rate: 0.0,
+            shed_backoff_ms: 0,
         }
     }
 }
@@ -133,8 +143,16 @@ pub fn request_bodies(config: &LoadgenConfig) -> Vec<String> {
         .map(|i| {
             let mut spec = String::new();
             push_json_string(&sources[i % sources.len()], &mut spec);
+            let chaos = if config.chaos_rate > 0.0 {
+                format!(
+                    ",\"fault_rate\":{},\"fault_seed\":{}",
+                    config.chaos_rate, config.seed
+                )
+            } else {
+                String::new()
+            };
             format!(
-                "{{\"spec\":{spec},\"technique\":\"{}\",\"deadline_ms\":{},\"seed\":{},\
+                "{{\"spec\":{spec},\"technique\":\"{}\",\"deadline_ms\":{},\"seed\":{}{chaos},\
                  \"budget\":{{\"max_candidates\":8,\"max_rounds\":2}}}}",
                 techniques[i % techniques.len()].label(),
                 config.deadline_ms,
@@ -156,13 +174,20 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             let tx = tx.clone();
             let bodies = &bodies;
             let addr = &config.addr;
+            let shed_backoff_ms = config.shed_backoff_ms;
             scope.spawn(move || {
+                let cancel = CancelToken::none();
                 for body in bodies.iter().skip(worker).step_by(connections) {
                     let t0 = Instant::now();
-                    let status = TcpStream::connect(addr.as_str())
-                        .and_then(|mut stream| roundtrip(&mut stream, "POST", "/repair", body))
-                        .map(|(status, _)| status)
-                        .ok();
+                    let mut status = send_one(addr, body);
+                    // Honour the daemon's `Retry-After` once: a shed under
+                    // transient overload usually admits on the next try.
+                    if status == Some(503)
+                        && shed_backoff_ms > 0
+                        && cancel.sleep(Duration::from_millis(shed_backoff_ms))
+                    {
+                        status = send_one(addr, body);
+                    }
                     let micros = t0.elapsed().as_micros() as u64;
                     if tx.send((status, micros)).is_err() {
                         return;
@@ -196,6 +221,14 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     report.elapsed = started.elapsed();
     report.cache_hit_rate = fetch_hit_rate(&config.addr);
     report
+}
+
+/// One `POST /repair` over a fresh connection; `None` on transport errors.
+fn send_one(addr: &str, body: &str) -> Option<u16> {
+    TcpStream::connect(addr)
+        .and_then(|mut stream| roundtrip(&mut stream, "POST", "/repair", body))
+        .map(|(status, _)| status)
+        .ok()
 }
 
 /// Fetches `/metrics` and extracts `oracle_cache.hit_rate`.
@@ -242,6 +275,26 @@ mod tests {
             let parsed = crate::service::RepairRequest::parse(body).unwrap();
             assert!(mualloy_syntax::parse_spec(&parsed.spec).is_ok());
         }
+    }
+
+    #[test]
+    fn chaos_bodies_carry_fault_fields() {
+        let config = LoadgenConfig {
+            requests: 3,
+            chaos_rate: 0.25,
+            ..LoadgenConfig::default()
+        };
+        for body in request_bodies(&config) {
+            let parsed = crate::service::RepairRequest::parse(&body).unwrap();
+            assert_eq!(parsed.fault_rate, Some(0.25));
+            assert_eq!(parsed.fault_seed, Some(config.seed));
+        }
+        // Without the flag the bodies stay fault-free.
+        let plain = request_bodies(&LoadgenConfig {
+            requests: 1,
+            ..LoadgenConfig::default()
+        });
+        assert!(!plain[0].contains("fault_rate"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use mualloy_analyzer::OracleCacheStats;
 use serde::Value;
+use specrepair_llm::TransportStats;
 
 /// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^(i+1))` µs,
 /// the last bucket catches everything beyond ~2¼ minutes.
@@ -215,9 +216,15 @@ impl ServerMetrics {
         self.inflight.load(Ordering::Relaxed)
     }
 
-    /// Renders the whole registry (plus the shared oracle's cache stats) as
-    /// the `GET /metrics` JSON document.
-    pub fn render(&self, oracle: &OracleCacheStats, memoized_specs: usize) -> String {
+    /// Renders the whole registry (plus the shared oracle's cache stats and
+    /// the daemon-wide LM resilience counters) as the `GET /metrics` JSON
+    /// document.
+    pub fn render(
+        &self,
+        oracle: &OracleCacheStats,
+        memoized_specs: usize,
+        transport: &TransportStats,
+    ) -> String {
         // requests: endpoint -> {status -> count}
         let mut per_endpoint: BTreeMap<String, Vec<(String, Value)>> = BTreeMap::new();
         for ((endpoint, status), count) in self.requests.lock().unwrap().iter() {
@@ -255,6 +262,12 @@ impl ServerMetrics {
                 Value::U64(memoized_specs as u64),
             ),
         ]);
+        let mut transport_value: Vec<(String, Value)> = transport
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), Value::U64(value)))
+            .collect();
+        transport_value.push(("injected_faults".to_string(), transport.faults.to_value()));
         let doc = Value::Map(vec![
             (
                 "uptime_ms".to_string(),
@@ -276,6 +289,7 @@ impl ServerMetrics {
             ("requests".to_string(), requests),
             ("latency_ms".to_string(), latency),
             ("oracle_cache".to_string(), oracle_value),
+            ("transport".to_string(), Value::Map(transport_value)),
         ]);
         serde_json::to_string_pretty(&doc).expect("metrics document always serializes")
     }
@@ -325,7 +339,14 @@ mod tests {
         assert_eq!(m.requests_for("repair"), 3);
         assert_eq!(m.requests_for("admission"), 1);
         assert_eq!(m.queue_depth(), 1);
-        let doc = m.render(&OracleCacheStats::default(), 0);
+        let transport = TransportStats::new();
+        transport
+            .retries
+            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        transport
+            .faults
+            .record(specrepair_faults::FaultKind::Timeout);
+        let doc = m.render(&OracleCacheStats::default(), 0, &transport);
         for needle in [
             "\"repair\"",
             "\"200\": 2",
@@ -335,6 +356,10 @@ mod tests {
             "\"queue_depth\": 1",
             "\"hit_rate\"",
             "\"evictions\"",
+            "\"retries\": 3",
+            "\"breaker_trips\": 0",
+            "\"injected_faults\"",
+            "\"timeout\": 1",
         ] {
             assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
         }

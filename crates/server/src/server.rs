@@ -45,6 +45,11 @@ pub struct ServerConfig {
     pub max_scope: u32,
     /// Per-shard cap on the oracle memo table; `0` keeps it unbounded.
     pub cache_per_shard: usize,
+    /// Server-wide injected LM-transport fault rate (0.0 = off); see
+    /// [`ServiceConfig::chaos_rate`].
+    pub chaos_rate: f64,
+    /// Base seed for the chaos fault schedules.
+    pub chaos_seed: u64,
     /// Optional signal file: the daemon initiates graceful shutdown as soon
     /// as this path exists (the file-based stand-in for SIGTERM, usable
     /// from CI scripts without a signal-handling dependency).
@@ -60,6 +65,8 @@ impl Default for ServerConfig {
             default_deadline_ms: 10_000,
             max_scope: 6,
             cache_per_shard: 0,
+            chaos_rate: 0.0,
+            chaos_seed: 0xC4A05,
             shutdown_file: None,
         }
     }
@@ -141,6 +148,8 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             ServiceConfig {
                 default_deadline_ms: config.default_deadline_ms,
                 max_scope: config.max_scope,
+                chaos_rate: config.chaos_rate,
+                chaos_seed: config.chaos_seed,
             },
         ),
         metrics: ServerMetrics::new(),
@@ -318,9 +327,11 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         ),
         ("GET", "/metrics") => {
             let oracle = state.service.oracle();
-            let body = state
-                .metrics
-                .render(&oracle.stats(), oracle.service().memoized_specs());
+            let body = state.metrics.render(
+                &oracle.stats(),
+                oracle.service().memoized_specs(),
+                state.service.transport_stats(),
+            );
             ("metrics", Response::json(200, body))
         }
         ("POST", "/repair") => {

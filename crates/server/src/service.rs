@@ -9,11 +9,15 @@
 
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use serde::{Serialize, Value};
 use specrepair_core::{
     CancelToken, OracleHandle, RepairBudget, RepairContext, RepairOutcome, RepairTechnique,
 };
-use specrepair_llm::{MultiRound, SingleRound};
+use specrepair_llm::{
+    FaultyLm, MultiRound, ResilientLm, RetryPolicy, SingleRound, SyntheticLm, TransportStats,
+};
 use specrepair_metrics::{candidate_metrics, CandidateMetrics};
 use specrepair_study::{StudyConfig, TechniqueId};
 use specrepair_traditional::{ARepair, Atr, BeAFix, Icebar};
@@ -46,6 +50,14 @@ pub struct ServiceConfig {
     /// is rejected with `422` instead of being allowed to monopolise a
     /// worker (scope is the dominant cost driver of bounded analysis).
     pub max_scope: u32,
+    /// Server-wide injected LM-transport fault rate (0.0 = off). A request
+    /// may override it with a `fault_rate` field. Faults are absorbed by
+    /// the resilience layer; this exists so a daemon can run in chaos mode
+    /// for smoke tests.
+    pub chaos_rate: f64,
+    /// Base seed for the server's fault schedules (per-request plans also
+    /// mix in the spec text and technique label).
+    pub chaos_seed: u64,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +65,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             default_deadline_ms: 10_000,
             max_scope: 6,
+            chaos_rate: 0.0,
+            chaos_seed: 0xC4A05,
         }
     }
 }
@@ -74,6 +88,10 @@ pub struct RepairRequest {
     /// Optional ground-truth source; when present the response carries
     /// TM/SM/REP metrics of the candidate against it.
     pub reference: Option<String>,
+    /// Per-request injected-fault rate override (chaos testing).
+    pub fault_rate: Option<f64>,
+    /// Per-request fault-schedule seed override.
+    pub fault_seed: Option<u64>,
 }
 
 fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -94,6 +112,15 @@ fn as_u64(v: &Value) -> Option<u64> {
     match v {
         Value::U64(n) => Some(*n),
         Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
         _ => None,
     }
 }
@@ -147,6 +174,15 @@ impl RepairRequest {
         };
         let deadline_ms = number("deadline_ms")?;
         let seed = number("seed")?;
+        let fault_seed = number("fault_seed")?;
+        let fault_rate = match get(map, "fault_rate") {
+            None => None,
+            Some(v) => Some(
+                as_f64(v)
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("`fault_rate` must be a number in [0, 1]")?,
+            ),
+        };
         let reference = match get(map, "reference") {
             None => None,
             Some(v) => Some(as_str(v).ok_or("`reference` must be a string")?.to_string()),
@@ -158,6 +194,8 @@ impl RepairRequest {
             deadline_ms,
             seed,
             reference,
+            fault_rate,
+            fault_seed,
         })
     }
 }
@@ -214,17 +252,30 @@ impl Handled {
 pub struct RepairService {
     oracle: OracleHandle,
     config: ServiceConfig,
+    /// Daemon-wide resilience counters: every per-request LM stack writes
+    /// its retries, breaker events and injected-fault counts here, so
+    /// `GET /metrics` reports them aggregated.
+    transport: Arc<TransportStats>,
 }
 
 impl RepairService {
     /// A service over the given shared oracle.
     pub fn new(oracle: OracleHandle, config: ServiceConfig) -> RepairService {
-        RepairService { oracle, config }
+        RepairService {
+            oracle,
+            config,
+            transport: Arc::new(TransportStats::new()),
+        }
     }
 
     /// The shared oracle handle (for `/metrics`).
     pub fn oracle(&self) -> &OracleHandle {
         &self.oracle
+    }
+
+    /// The aggregated resilience counters (for `/metrics`).
+    pub fn transport_stats(&self) -> &Arc<TransportStats> {
+        &self.transport
     }
 
     /// Handles one `POST /repair` body end to end.
@@ -281,6 +332,8 @@ impl RepairService {
 
         let study = StudyConfig {
             seed: request.seed.unwrap_or(StudyConfig::default().seed),
+            fault_rate: request.fault_rate.unwrap_or(self.config.chaos_rate),
+            fault_seed: request.fault_seed.unwrap_or(self.config.chaos_seed),
             ..StudyConfig::default()
         };
         let budget = request.budget.unwrap_or_else(|| study.budget_for(id));
@@ -297,7 +350,7 @@ impl RepairService {
         };
 
         let started = Instant::now();
-        let outcome = run_technique(id, &study, &ctx);
+        let outcome = run_technique(id, &study, &ctx, &self.transport);
         let latency = started.elapsed();
         let timed_out = cancel.is_cancelled();
 
@@ -341,14 +394,42 @@ impl RepairService {
 /// Dispatches one technique by id. Single-Round runs without problem hints:
 /// a service request carries no benchmark fault metadata, which matches the
 /// paper's `None` prompt ablation for the hinted settings.
-fn run_technique(id: TechniqueId, study: &StudyConfig, ctx: &RepairContext) -> RepairOutcome {
+///
+/// The LLM techniques run behind a [`ResilientLm`]; when the effective
+/// fault rate is nonzero the stack additionally injects deterministic
+/// transport faults (keyed by the request's spec text and technique, so a
+/// replayed request sees the same schedule). Either way the stack's
+/// counters aggregate into the daemon-wide `stats`.
+fn run_technique(
+    id: TechniqueId,
+    study: &StudyConfig,
+    ctx: &RepairContext,
+    stats: &Arc<TransportStats>,
+) -> RepairOutcome {
+    let lm = || {
+        let base = if study.chaos_enabled() {
+            let plan = study.fault_plan_for(&ctx.source, id.label());
+            let retries = plan.max_consecutive_faults(4096).max(4);
+            ResilientLm::over(
+                FaultyLm::new(SyntheticLm::default(), plan).with_stats(stats.faults.clone()),
+            )
+            .with_policy(RetryPolicy::snappy().with_max_retries(retries))
+        } else {
+            ResilientLm::synthetic()
+        };
+        base.with_stats(Arc::clone(stats))
+    };
     match id {
         TechniqueId::ARepair => ARepair::default().repair(ctx),
         TechniqueId::Icebar => Icebar::default().repair(ctx),
         TechniqueId::BeAFix => BeAFix::default().repair(ctx),
         TechniqueId::Atr => Atr::default().repair(ctx),
-        TechniqueId::Single(setting) => SingleRound::new(setting, study.seed).repair(ctx),
-        TechniqueId::Multi(feedback) => MultiRound::new(feedback, study.seed).repair(ctx),
+        TechniqueId::Single(setting) => SingleRound::new(setting, study.seed)
+            .with_lm(lm())
+            .repair(ctx),
+        TechniqueId::Multi(feedback) => MultiRound::new(feedback, study.seed)
+            .with_lm(lm())
+            .repair(ctx),
     }
 }
 
@@ -438,6 +519,42 @@ mod tests {
         assert!(h.latency.is_some());
         assert!(h.response.body.contains("\"success\":true"));
         assert!(h.response.body.contains("\"rep\":1"));
+    }
+
+    #[test]
+    fn chaos_request_is_absorbed_and_counted() {
+        let s = service();
+        let clean = s.handle_repair(&repair_body("Single-Round_None", ""));
+        let chaotic = s.handle_repair(&repair_body("Single-Round_None", ",\"fault_rate\":0.9"));
+        assert_eq!(chaotic.response.status, 200, "{}", chaotic.response.body);
+        // Injected transient faults are retried away and must not change
+        // the repair result (only the wall-clock field may differ).
+        let strip = |body: &str| {
+            let Value::Map(map) = serde_json::from_str(body).unwrap() else {
+                panic!("response is not an object");
+            };
+            let kept: Vec<_> = map
+                .into_iter()
+                .filter(|(k, _)| k != "duration_ms")
+                .collect();
+            serde_json::to_string(&Value::Map(kept)).unwrap()
+        };
+        assert_eq!(strip(&clean.response.body), strip(&chaotic.response.body));
+        // The injected faults and retries land in the daemon-wide stats.
+        let stats = s.transport_stats();
+        assert!(stats.faults.total() > 0, "faults were injected");
+        assert!(
+            stats.retries.load(std::sync::atomic::Ordering::Relaxed) >= stats.faults.total(),
+            "every injected fault was retried"
+        );
+    }
+
+    #[test]
+    fn fault_rate_outside_unit_interval_is_400() {
+        let s = service();
+        let h = s.handle_repair(&repair_body("ATR", ",\"fault_rate\":1.5"));
+        assert_eq!(h.response.status, 400);
+        assert!(h.response.body.contains("fault_rate"));
     }
 
     #[test]

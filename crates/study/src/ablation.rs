@@ -125,6 +125,7 @@ mod tests {
         let config = StudyConfig {
             scale: 0.3,
             seed: 13,
+            ..StudyConfig::default()
         };
         let ab = run(&problems, &config);
         assert_eq!(ab.arms.len(), 3);

@@ -1,14 +1,24 @@
 //! The `study` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N] [--out DIR]
+//! study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N]
+//!       [--out DIR] [--journal FILE] [--resume]
+//!       [--fault-rate R] [--fault-seed N]
 //! ```
 //!
 //! `--scale 1.0` evaluates the full 1,974-spec corpus (the paper's size);
 //! smaller scales shrink each domain proportionally. With `--out`, the
 //! artifacts are also written as JSON next to their text renderings.
+//!
+//! `--journal` appends every completed (problem, technique) cell to a
+//! JSONL file as the run proceeds (default: `<out>/journal.jsonl` when
+//! `--out` is given); `--resume` reloads that journal, skips the finished
+//! cells and regenerates byte-identical artifacts. `--fault-rate` turns on
+//! deterministic LM-transport fault injection (the chaos recipe in
+//! EXPERIMENTS.md).
 
-use specrepair_study::{ablation, fig2, fig3, runner, table1, table2, StudyConfig};
+use specrepair_study::{ablation, fig2, fig3, journal, runner, table1, table2, StudyConfig};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -17,6 +27,8 @@ fn main() {
     let mut command = "all".to_string();
     let mut config = StudyConfig::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut journal_path: Option<PathBuf> = None;
+    let mut resume = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -35,6 +47,28 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--fault-rate" => {
+                i += 1;
+                config.fault_rate = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| die("--fault-rate needs a number in [0, 1]"));
+            }
+            "--fault-seed" => {
+                i += 1;
+                config.fault_seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--fault-seed needs an integer"));
+            }
+            "--journal" => {
+                i += 1;
+                journal_path = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| die("--journal needs a path")),
+                ));
+            }
+            "--resume" => resume = true,
             "--out" => {
                 i += 1;
                 out_dir = Some(PathBuf::from(
@@ -53,22 +87,75 @@ fn main() {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| die(&format!("cannot create {dir:?}: {e}")));
     }
+    if journal_path.is_none() {
+        journal_path = out_dir.as_ref().map(|d| d.join("journal.jsonl"));
+    }
+    if resume && journal_path.is_none() {
+        die("--resume needs --journal FILE (or --out DIR)");
+    }
 
     eprintln!(
         "generating corpora at scale {} (seed {}) ...",
         config.scale, config.seed
     );
+    if config.chaos_enabled() {
+        eprintln!(
+            "fault injection ON: rate {} (fault seed {})",
+            config.fault_rate, config.fault_seed
+        );
+    }
     let t0 = Instant::now();
     let problems = specrepair_benchmarks::full_study(config.scale);
     eprintln!("{} specifications in {:?}", problems.len(), t0.elapsed());
 
+    // Resume: reload the journal, verify it belongs to this run, and skip
+    // every cell it already holds.
+    let mut done: HashMap<(String, String), runner::SpecRecord> = HashMap::new();
+    if resume {
+        let path = journal_path.as_ref().unwrap();
+        let loaded = journal::load(path)
+            .unwrap_or_else(|e| die(&format!("cannot load journal {path:?}: {e}")));
+        match &loaded.header {
+            Some(h) if h.config.same_run(&config) => {}
+            Some(_) => die("journal was written by a different configuration; not resuming"),
+            None => die("journal has no readable header; not resuming"),
+        }
+        if loaded.malformed > 0 {
+            eprintln!(
+                "journal: skipped {} malformed line(s) (torn tail from a killed run)",
+                loaded.malformed
+            );
+        }
+        done = loaded.done_cells();
+        eprintln!(
+            "resuming: {} of {} cells already journaled",
+            done.len(),
+            problems.len() * 12
+        );
+    }
+    let journal = journal_path.as_ref().map(|path| {
+        if resume {
+            journal::StudyJournal::append_to(path)
+        } else {
+            journal::StudyJournal::create(path, &config, problems.len())
+        }
+        .unwrap_or_else(|e| die(&format!("cannot open journal {path:?}: {e}")))
+    });
+
     let t0 = Instant::now();
-    let (results, cache_stats) = runner::run_study_cached(&problems, &config, true);
+    let (results, cache_stats) =
+        runner::run_study_journaled(&problems, &config, true, journal.as_ref(), &done);
     eprintln!(
         "evaluated {} (problem, technique) pairs in {:?}",
         results.records.len(),
         t0.elapsed()
     );
+    let crashed = results
+        .records
+        .iter()
+        .filter(|r| r.reason == specrepair_core::OutcomeReason::Crashed)
+        .count();
+    eprintln!("crashed cells: {crashed}");
     eprintln!(
         "oracle cache: {} hits / {} misses ({:.1}% hit rate), {} solver invocations",
         cache_stats.hits,

@@ -82,6 +82,12 @@ pub struct StudyConfig {
     pub scale: f64,
     /// Base random seed for the stochastic (LLM) techniques.
     pub seed: u64,
+    /// Injected LM-transport fault rate (0.0 = no fault injection). Faults
+    /// are deterministic: each (problem, technique) cell derives its own
+    /// [`FaultPlan`](specrepair_faults::FaultPlan) from `fault_seed`.
+    pub fault_rate: f64,
+    /// Base seed for the per-cell fault schedules.
+    pub fault_seed: u64,
 }
 
 impl Default for StudyConfig {
@@ -89,6 +95,8 @@ impl Default for StudyConfig {
         StudyConfig {
             scale: 1.0,
             seed: 42,
+            fault_rate: 0.0,
+            fault_seed: 0xFA_017,
         }
     }
 }
@@ -98,8 +106,48 @@ impl StudyConfig {
     pub fn smoke() -> StudyConfig {
         StudyConfig {
             scale: 0.01,
-            seed: 42,
+            ..StudyConfig::default()
         }
+    }
+
+    /// Enables deterministic fault injection at the given rate.
+    pub fn with_faults(mut self, rate: f64, seed: u64) -> StudyConfig {
+        self.fault_rate = rate;
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Whether this run injects transport faults.
+    pub fn chaos_enabled(&self) -> bool {
+        self.fault_rate > 0.0
+    }
+
+    /// Whether two configurations describe the same run. A resume under a
+    /// different configuration would mix incompatible cells, so the binary
+    /// refuses it.
+    pub fn same_run(&self, other: &StudyConfig) -> bool {
+        self.scale == other.scale
+            && self.seed == other.seed
+            && self.fault_rate == other.fault_rate
+            && self.fault_seed == other.fault_seed
+    }
+
+    /// The fault schedule for one (problem, technique) cell.
+    ///
+    /// Each cell gets an independent plan seeded from `fault_seed` and the
+    /// cell's identity, so schedules do not depend on how rayon interleaves
+    /// problems — a cell sees the same faults no matter where it runs.
+    pub fn fault_plan_for(
+        &self,
+        problem_id: &str,
+        technique: &str,
+    ) -> specrepair_faults::FaultPlan {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        problem_id.hash(&mut h);
+        technique.hash(&mut h);
+        specrepair_faults::FaultPlan::new(self.fault_seed ^ h.finish(), self.fault_rate)
     }
 
     /// The per-technique budget calibration (each real tool ran with its

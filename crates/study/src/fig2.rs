@@ -82,6 +82,7 @@ mod tests {
         let (_, results) = run_full_study(&StudyConfig {
             scale: 0.004,
             seed: 9,
+            ..StudyConfig::default()
         });
         let fig = build(&results);
         assert_eq!(fig.bars.len(), 12);

@@ -104,6 +104,7 @@ mod tests {
         let (_, results) = run_full_study(&StudyConfig {
             scale: 0.004,
             seed: 3,
+            ..StudyConfig::default()
         });
         let fig = build(&results);
         assert_eq!(fig.techniques.len(), 12);

@@ -24,7 +24,7 @@
 //! ```
 //! use specrepair_study::{StudyConfig, runner::run_full_study, table1};
 //!
-//! let config = StudyConfig { scale: 0.003, seed: 1 };
+//! let config = StudyConfig { scale: 0.003, seed: 1, ..StudyConfig::default() };
 //! let (_problems, results) = run_full_study(&config);
 //! let table = table1::build(&results);
 //! assert_eq!(table.techniques.len(), 12);
@@ -36,9 +36,13 @@ pub mod ablation;
 pub mod config;
 pub mod fig2;
 pub mod fig3;
+pub mod journal;
 pub mod runner;
 pub mod table1;
 pub mod table2;
 
 pub use config::{StudyConfig, TechniqueId};
-pub use runner::{run_full_study, run_study, run_study_cached, SpecRecord, StudyResults};
+pub use journal::{JournalContents, JournalHeader, StudyJournal};
+pub use runner::{
+    run_full_study, run_study, run_study_cached, run_study_journaled, SpecRecord, StudyResults,
+};

@@ -6,14 +6,18 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
-use specrepair_core::{CancelToken, OracleHandle, RepairContext, RepairOutcome, RepairTechnique};
-use specrepair_llm::{invert_fix_description, MultiRound, ProblemHints, SingleRound};
+use specrepair_core::{
+    CancelToken, OracleHandle, OutcomeReason, RepairContext, RepairOutcome, RepairTechnique,
+};
+use specrepair_llm::{invert_fix_description, MultiRound, ProblemHints, ResilientLm, SingleRound};
 use specrepair_metrics::candidate_metrics;
 use specrepair_traditional::{ARepair, Atr, BeAFix, Icebar};
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::OnceLock;
 
 use crate::config::{StudyConfig, TechniqueId};
+use crate::journal::StudyJournal;
 
 /// One (problem, technique) evaluation record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,6 +40,16 @@ pub struct SpecRecord {
     pub internal_success: bool,
     /// Oracle validations / drafts spent.
     pub explored: usize,
+    /// Why the attempt ended ([`OutcomeReason::Crashed`] marks a cell whose
+    /// technique panicked — contained by the runner, never lost).
+    pub reason: OutcomeReason,
+}
+
+impl SpecRecord {
+    /// The journal / dedup key of this record's cell.
+    pub fn cell_key(&self) -> (String, String) {
+        (self.problem.clone(), self.technique.clone())
+    }
 }
 
 /// The full result set of a study run.
@@ -206,6 +220,16 @@ pub fn repair_with_oracle(
         oracle: oracle.clone(),
         cancel: CancelToken::none(),
     };
+    // Each LLM cell gets its own transport stack: with fault injection on,
+    // the cell's fault schedule is a pure function of (fault_seed, cell
+    // identity), independent of rayon's scheduling.
+    let lm = |label: &str| {
+        if config.chaos_enabled() {
+            specrepair_llm::chaos_stack(config.fault_plan_for(&problem.id, label))
+        } else {
+            ResilientLm::synthetic()
+        }
+    };
     match id {
         TechniqueId::ARepair => ARepair::default().repair(&ctx),
         TechniqueId::Icebar => Icebar::default().repair(&ctx),
@@ -213,8 +237,11 @@ pub fn repair_with_oracle(
         TechniqueId::Atr => Atr::default().repair(&ctx),
         TechniqueId::Single(setting) => SingleRound::new(setting, config.seed)
             .with_hints(hints_for_with(oracle.service(), problem))
+            .with_lm(lm(setting.label()))
             .repair(&ctx),
-        TechniqueId::Multi(feedback) => MultiRound::new(feedback, config.seed).repair(&ctx),
+        TechniqueId::Multi(feedback) => MultiRound::new(feedback, config.seed)
+            .with_lm(lm(feedback.label()))
+            .repair(&ctx),
     }
 }
 
@@ -247,7 +274,35 @@ pub fn evaluate_with(
         sm: metrics.sm,
         internal_success: outcome.success,
         explored: outcome.candidates_explored,
+        reason: outcome.reason,
     }
+}
+
+/// [`evaluate_with`], with panics contained: a technique that panics is
+/// recorded as a [`OutcomeReason::Crashed`] cell instead of tearing down
+/// the whole study run. The rest of the corpus still completes and the
+/// crash stays visible in the artifacts.
+pub fn evaluate_cell(
+    oracle: &OracleHandle,
+    id: TechniqueId,
+    problem: &RepairProblem,
+    config: &StudyConfig,
+) -> SpecRecord {
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        evaluate_with(oracle, id, problem, config)
+    }))
+    .unwrap_or_else(|_| SpecRecord {
+        problem: problem.id.clone(),
+        benchmark: problem.benchmark.label().to_string(),
+        domain: problem.domain.clone(),
+        technique: id.label().to_string(),
+        rep: 0,
+        tm: None,
+        sm: None,
+        internal_success: false,
+        explored: 0,
+        reason: OutcomeReason::Crashed,
+    })
 }
 
 /// Runs all twelve techniques over the problem set (data-parallel across
@@ -268,6 +323,25 @@ pub fn run_study_cached(
     config: &StudyConfig,
     use_cache: bool,
 ) -> (StudyResults, OracleCacheStats) {
+    run_study_journaled(problems, config, use_cache, None, &HashMap::new())
+}
+
+/// [`run_study_cached`] with crash-safe journaling and resume.
+///
+/// Cells present in `done` (loaded from a prior run's journal) are reused
+/// verbatim and not re-evaluated; every freshly computed record is appended
+/// to `journal` — write-through, before the runner moves on — so a run
+/// killed at any point can resume from the journal and still produce
+/// byte-identical results: cells are deterministic and the final record
+/// vector is assembled in canonical (problem × technique) order regardless
+/// of which run computed which cell.
+pub fn run_study_journaled(
+    problems: &[RepairProblem],
+    config: &StudyConfig,
+    use_cache: bool,
+    journal: Option<&StudyJournal>,
+    done: &HashMap<(String, String), SpecRecord>,
+) -> (StudyResults, OracleCacheStats) {
     let techniques = TechniqueId::all();
     let stats = Mutex::new(OracleCacheStats::default());
     let records: Vec<SpecRecord> = problems
@@ -285,7 +359,18 @@ pub fn run_study_cached(
             };
             let records: Vec<SpecRecord> = techniques
                 .iter()
-                .map(|&id| evaluate_with(&oracle, id, p, &config))
+                .map(|&id| {
+                    if let Some(r) = done.get(&(p.id.clone(), id.label().to_string())) {
+                        return r.clone();
+                    }
+                    let r = evaluate_cell(&oracle, id, p, &config);
+                    if let Some(j) = journal {
+                        // A journal that cannot be written is a loud stop:
+                        // continuing would silently forfeit crash safety.
+                        j.append(&r).expect("cannot append to study journal");
+                    }
+                    r
+                })
                 .collect();
             stats.lock().absorb(&oracle.stats());
             records
@@ -321,6 +406,7 @@ mod tests {
         let config = StudyConfig {
             scale: 0.003,
             seed: 7,
+            ..StudyConfig::default()
         };
         run_full_study(&config)
     }

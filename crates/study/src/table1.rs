@@ -143,6 +143,7 @@ mod tests {
         let (_, results) = run_full_study(&StudyConfig {
             scale: 0.003,
             seed: 5,
+            ..StudyConfig::default()
         });
         let t = build(&results);
         assert_eq!(t.techniques.len(), 12);

@@ -156,6 +156,7 @@ mod tests {
         let (_, results) = run_full_study(&StudyConfig {
             scale: 0.004,
             seed: 11,
+            ..StudyConfig::default()
         });
         let t = build(&results);
         assert_eq!(t.rows.len(), 32);

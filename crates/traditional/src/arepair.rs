@@ -12,7 +12,7 @@
 
 use mualloy_analyzer::TestSuite;
 use mualloy_syntax::Spec;
-use specrepair_core::{CancelToken, RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{CancelToken, OutcomeReason, RepairContext, RepairOutcome, RepairTechnique};
 use specrepair_mutation::MutationEngine;
 
 use crate::support::CandidateLedger;
@@ -116,9 +116,15 @@ impl RepairTechnique for ARepair {
             &ctx.cancel,
         );
         let source = mualloy_syntax::print_spec(&candidate);
+        let reason = if tests_pass {
+            OutcomeReason::Repaired
+        } else {
+            RepairOutcome::failure_reason_for(ctx, OutcomeReason::BudgetExhausted)
+        };
         RepairOutcome {
             technique: self.name().to_string(),
             success: tests_pass,
+            reason,
             candidate: Some(candidate),
             candidate_source: Some(source),
             candidates_explored: explored,

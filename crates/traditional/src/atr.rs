@@ -14,7 +14,7 @@ use mualloy_syntax::ast::*;
 use mualloy_syntax::walk::{node_at, replace_node, NodeRepl, NodeSite};
 use specrepair_core::{
     localization::{constraint_sites, localize_with},
-    RepairContext, RepairOutcome, RepairTechnique,
+    OutcomeReason, RepairContext, RepairOutcome, RepairTechnique,
 };
 use specrepair_mutation::{MutationEngine, Vocabulary};
 
@@ -224,7 +224,13 @@ impl RepairTechnique for Atr {
             }
             for cand in strong.into_iter().chain(weak) {
                 match session.validate(&cand) {
-                    None => return RepairOutcome::failure(self.name(), session.validated(), 1),
+                    None => {
+                        return RepairOutcome::failure(self.name(), session.validated(), 1)
+                            .with_reason(RepairOutcome::failure_reason_for(
+                                ctx,
+                                OutcomeReason::BudgetExhausted,
+                            ))
+                    }
                     Some(true) => {
                         return RepairOutcome::success_with(
                             self.name(),
@@ -237,7 +243,9 @@ impl RepairTechnique for Atr {
                 }
             }
         }
-        RepairOutcome::failure(self.name(), session.validated(), 1)
+        RepairOutcome::failure(self.name(), session.validated(), 1).with_reason(
+            RepairOutcome::failure_reason_for(ctx, OutcomeReason::BudgetExhausted),
+        )
     }
 }
 

@@ -12,7 +12,8 @@
 use mualloy_syntax::ast::Spec;
 use mualloy_syntax::check_spec;
 use specrepair_core::{
-    localization::constraint_sites, OracleSession, RepairContext, RepairOutcome, RepairTechnique,
+    localization::constraint_sites, OracleSession, OutcomeReason, RepairContext, RepairOutcome,
+    RepairTechnique,
 };
 use specrepair_mutation::MutationEngine;
 
@@ -72,7 +73,11 @@ impl RepairTechnique for BeAFix {
                     return RepairOutcome::success_with(self.name(), fixed, session.validated(), 1)
                 }
                 Some(Err(_)) => {}
-                None => return RepairOutcome::failure(self.name(), session.validated(), 1),
+                None => {
+                    return RepairOutcome::failure(self.name(), session.validated(), 1).with_reason(
+                        RepairOutcome::failure_reason_for(ctx, OutcomeReason::BudgetExhausted),
+                    )
+                }
             }
         }
 
@@ -109,13 +114,21 @@ impl RepairTechnique for BeAFix {
                             )
                         }
                         Some(Err(_)) => {}
-                        None => return RepairOutcome::failure(self.name(), session.validated(), 2),
+                        None => {
+                            return RepairOutcome::failure(self.name(), session.validated(), 2)
+                                .with_reason(RepairOutcome::failure_reason_for(
+                                    ctx,
+                                    OutcomeReason::BudgetExhausted,
+                                ))
+                        }
                     }
                 }
             }
         }
 
-        RepairOutcome::failure(self.name(), session.validated(), self.max_depth)
+        RepairOutcome::failure(self.name(), session.validated(), self.max_depth).with_reason(
+            RepairOutcome::failure_reason_for(ctx, OutcomeReason::BudgetExhausted),
+        )
     }
 }
 

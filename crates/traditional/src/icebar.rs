@@ -6,7 +6,7 @@
 //! still violates the property oracle, extract fresh counterexamples from
 //! the candidate, strengthen the test suite with them, and iterate.
 
-use specrepair_core::{RepairContext, RepairOutcome, RepairTechnique};
+use specrepair_core::{OutcomeReason, RepairContext, RepairOutcome, RepairTechnique};
 
 use crate::arepair::greedy_test_repair;
 use crate::support::{counterexample_tests, derive_tests, CandidateLedger};
@@ -76,6 +76,7 @@ impl RepairTechnique for Icebar {
                 return RepairOutcome {
                     technique: self.name().to_string(),
                     success: true,
+                    reason: OutcomeReason::Repaired,
                     candidate: Some(candidate),
                     candidate_source: Some(source),
                     candidates_explored: explored_total,
@@ -93,6 +94,7 @@ impl RepairTechnique for Icebar {
         RepairOutcome {
             technique: self.name().to_string(),
             success: false,
+            reason: RepairOutcome::failure_reason_for(ctx, OutcomeReason::BudgetExhausted),
             candidate: Some(last_candidate),
             candidate_source: Some(source),
             candidates_explored: explored_total,

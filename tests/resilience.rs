@@ -1,0 +1,198 @@
+//! Integration: deterministic fault injection, the resilient LM transport
+//! and crash-safe study resume.
+//!
+//! The contract under test is the repo's chaos-engineering invariant: with
+//! every injected fault transient (retryable) and the retry budget sized to
+//! the worst fault burst, a chaotic study run is *byte-identical* to a
+//! fault-free one — the resilience layer is a pure availability layer, not
+//! a source of nondeterminism. Likewise a run killed mid-way and resumed
+//! from its journal must regenerate the same artifacts to the byte.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use specrepair_benchmarks::RepairProblem;
+use specrepair_core::OutcomeReason;
+use specrepair_faults::FaultPlan;
+use specrepair_study::{journal, runner, table1, table2, StudyConfig};
+
+/// The shared smoke corpus plus its fault-free reference results, computed
+/// once — proptest cases re-run only the chaotic side.
+fn reference() -> &'static (Vec<RepairProblem>, StudyConfig, String) {
+    static REF: OnceLock<(Vec<RepairProblem>, StudyConfig, String)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let config = StudyConfig {
+            scale: 0.002,
+            seed: 9,
+            ..StudyConfig::default()
+        };
+        let problems = specrepair_benchmarks::full_study(config.scale);
+        let (results, _) = runner::run_study_cached(&problems, &config, true);
+        let json = serde_json::to_string(&results).unwrap();
+        (problems, config, json)
+    })
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("specrepair-resilience-tests");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A fault plan is a pure function of its seed: same seed, same
+    /// schedule, and the advertised worst burst really bounds every run of
+    /// consecutive faults in the window.
+    #[test]
+    fn fault_plans_are_deterministic_and_burst_bounded(
+        seed in any::<u64>(),
+        rate_pct in 5u32..95,
+    ) {
+        let rate = rate_pct as f64 / 100.0;
+        let a = FaultPlan::new(seed, rate);
+        let b = FaultPlan::new(seed, rate);
+        let schedule: Vec<_> = (0..512).map(|i| a.fault_at(i)).collect();
+        prop_assert_eq!(&schedule, &(0..512).map(|i| b.fault_at(i)).collect::<Vec<_>>());
+        let bound = a.max_consecutive_faults(512);
+        let mut run = 0usize;
+        for kind in &schedule {
+            run = if kind.is_some() { run + 1 } else { 0 };
+            prop_assert!(run <= bound, "burst {run} exceeds advertised bound {bound}");
+        }
+    }
+
+    /// The tentpole property: a study run under an arbitrary transient
+    /// fault schedule produces byte-identical results to the fault-free
+    /// run — retries absorb every injected fault without perturbing the
+    /// techniques' RNG streams.
+    #[test]
+    fn chaotic_study_is_byte_identical_to_fault_free(
+        fault_seed in any::<u64>(),
+        rate_pct in 5u32..40,
+    ) {
+        let rate = rate_pct as f64 / 100.0;
+        let (problems, config, clean) = reference();
+        let chaotic_config = config.with_faults(rate, fault_seed);
+        let (results, _) = runner::run_study_cached(problems, &chaotic_config, true);
+        prop_assert_eq!(clean, &serde_json::to_string(&results).unwrap());
+    }
+}
+
+/// The paper-level acceptance check: at a ≥10% transient fault rate the
+/// study subset completes with zero crashed cells and the same REP/TM/SM
+/// tables as the fault-free run.
+#[test]
+fn ten_percent_faults_leave_tables_unchanged_and_nothing_crashed() {
+    let (problems, config, _) = reference();
+    let (clean, _) = runner::run_study_cached(problems, config, true);
+    let (chaotic, _) = runner::run_study_cached(problems, &config.with_faults(0.10, 0xD1CE), true);
+
+    assert!(
+        chaotic
+            .records
+            .iter()
+            .all(|r| r.reason != OutcomeReason::Crashed),
+        "fault injection must be absorbed, never crash a cell"
+    );
+    assert_eq!(
+        table1::render(&table1::build(&clean)),
+        table1::render(&table1::build(&chaotic)),
+        "REP table changed under 10% transient faults"
+    );
+    assert_eq!(
+        table2::render(&table2::build(&clean)),
+        table2::render(&table2::build(&chaotic)),
+        "hybrid table changed under 10% transient faults"
+    );
+}
+
+/// Outcome reasons distinguish "the model had nothing more to say" from
+/// transport failure and repair success (the conflation this PR removed).
+#[test]
+fn outcome_reasons_are_consistent_with_success() {
+    let (_, _, clean) = reference();
+    let results: runner::StudyResults = serde_json::from_str(clean).unwrap();
+    assert!(!results.records.is_empty());
+    for r in &results.records {
+        assert_eq!(
+            r.reason == OutcomeReason::Repaired,
+            r.internal_success,
+            "record {}/{} reports reason {:?} with internal_success={}",
+            r.problem,
+            r.technique,
+            r.reason,
+            r.internal_success
+        );
+        assert_ne!(r.reason, OutcomeReason::Crashed, "clean run crashed a cell");
+    }
+}
+
+/// Kill -9 simulation: truncate a journal mid-record, resume, and require
+/// byte-identical results and artifacts plus a journal that now covers
+/// every cell.
+#[test]
+fn killed_run_resumes_to_byte_identical_artifacts() {
+    let config = StudyConfig {
+        scale: 0.003,
+        seed: 17,
+        ..StudyConfig::default()
+    };
+    let problems = specrepair_benchmarks::full_study(config.scale);
+
+    // Uninterrupted reference run, journaled.
+    let full_path = tmp("full");
+    let j = journal::StudyJournal::create(&full_path, &config, problems.len()).unwrap();
+    let (reference, _) =
+        runner::run_study_journaled(&problems, &config, true, Some(&j), &HashMap::new());
+    drop(j);
+
+    // Simulate the kill: keep the header and the first half of the journal,
+    // then a torn final line (a record cut mid-write, no newline).
+    let text = fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = 1 + (lines.len() - 1) / 2;
+    assert!(keep > 1, "need at least one completed cell to resume from");
+    let killed_path = tmp("killed");
+    {
+        let mut f = fs::File::create(&killed_path).unwrap();
+        for line in &lines[..keep] {
+            writeln!(f, "{line}").unwrap();
+        }
+        f.write_all(b"{\"problem\":\"torn-mid-wri").unwrap();
+    }
+
+    // Resume exactly as the binary does: load, verify, skip done cells.
+    let loaded = journal::load(&killed_path).unwrap();
+    let header = loaded.header.as_ref().expect("journal header survives");
+    assert!(header.config.same_run(&config));
+    assert_eq!(loaded.malformed, 1, "the torn tail is counted, not fatal");
+    let done = loaded.done_cells();
+    assert!(!done.is_empty());
+    assert!(done.len() < problems.len() * 12, "the kill left work to do");
+
+    let j = journal::StudyJournal::append_to(&killed_path).unwrap();
+    let (resumed, _) = runner::run_study_journaled(&problems, &config, true, Some(&j), &done);
+    drop(j);
+
+    assert_eq!(
+        serde_json::to_string(&reference).unwrap(),
+        serde_json::to_string(&resumed).unwrap(),
+        "resumed results differ from the uninterrupted run"
+    );
+    assert_eq!(
+        table1::render(&table1::build(&reference)),
+        table1::render(&table1::build(&resumed))
+    );
+
+    // After the resume the journal holds every cell.
+    let final_cells = journal::load(&killed_path).unwrap().done_cells();
+    assert_eq!(final_cells.len(), problems.len() * 12);
+
+    fs::remove_file(&full_path).ok();
+    fs::remove_file(&killed_path).ok();
+}

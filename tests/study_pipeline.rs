@@ -10,6 +10,7 @@ fn smoke() -> (
     runner::run_full_study(&StudyConfig {
         scale: 0.004,
         seed: 21,
+        ..StudyConfig::default()
     })
 }
 
@@ -86,6 +87,7 @@ fn ablation_runs_on_a_subsample() {
         &StudyConfig {
             scale: 0.2,
             seed: 21,
+            ..StudyConfig::default()
         },
     );
     assert_eq!(a.arms.len(), 3);
@@ -101,6 +103,7 @@ fn cached_study_is_byte_identical_to_uncached() {
     let config = StudyConfig {
         scale: 0.003,
         seed: 17,
+        ..StudyConfig::default()
     };
     let (cached, stats_on) = runner::run_study_cached(&problems, &config, true);
     let (uncached, stats_off) = runner::run_study_cached(&problems, &config, false);
@@ -125,6 +128,7 @@ fn records_serialize_to_json() {
     let (_, results) = runner::run_full_study(&StudyConfig {
         scale: 0.002,
         seed: 3,
+        ..StudyConfig::default()
     });
     let json = serde_json::to_string(&results).unwrap();
     let back: runner::StudyResults = serde_json::from_str(&json).unwrap();

@@ -4,8 +4,9 @@
 //! One bench target per paper artifact (`table1_rep`, `fig2_similarity`,
 //! `fig3_correlation`, `table2_hybrid`, `ablation_hybrid`) plus
 //! `micro_substrates` for the underlying machinery (parser, SAT solver,
-//! translation, mutation, metrics) and `oracle_cache` for the shared
-//! memoizing oracle (cached vs uncached repair).
+//! translation, mutation, metrics), `oracle_cache` for the shared
+//! memoizing oracle (cached vs uncached repair), and `portfolio_speedup`
+//! for the racing portfolio (one worker vs eight on the same roster).
 //!
 //! Shared fixtures live here so every bench measures the same workload.
 

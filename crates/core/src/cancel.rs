@@ -17,6 +17,18 @@ use std::time::{Duration, Instant};
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Parent link for hierarchical cancellation: a token is considered
+    /// cancelled when any ancestor is. Cancelling a child never touches the
+    /// parent or siblings.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn fired(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.parent.as_ref().is_some_and(|p| p.fired())
+    }
 }
 
 /// A cheap, cloneable cancellation token: an explicit flag plus an optional
@@ -41,6 +53,7 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                parent: None,
             }),
         }
     }
@@ -56,6 +69,36 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// Derives a child token: the child fires when this token (or any
+    /// ancestor) fires, but cancelling the child leaves the parent — and
+    /// every sibling — running. This is the cancellation primitive of the
+    /// portfolio scheduler (one child per racing entrant, losers cancelled
+    /// individually) and of any deadline path that wants to abort one
+    /// sub-attempt without tearing down the request.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// A child token (see [`CancelToken::child`]) with its own additional
+    /// deadline: it fires at `deadline` or when an ancestor fires, whichever
+    /// comes first.
+    pub fn child_with_deadline(&self, budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -65,10 +108,10 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the token has been cancelled or its deadline has passed.
+    /// Whether the token has been cancelled, its deadline has passed, or
+    /// any ancestor token has fired.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Relaxed)
-            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+        self.inner.fired()
     }
 
     /// The configured deadline, if any.
@@ -167,6 +210,50 @@ mod tests {
             t0.elapsed() < Duration::from_secs(1),
             "deadline did not cut the backoff window"
         );
+    }
+
+    #[test]
+    fn cancelled_parent_cancels_all_children() {
+        let parent = CancelToken::none();
+        let a = parent.child();
+        let b = parent.child();
+        let grandchild = a.child();
+        assert!(!a.is_cancelled() && !b.is_cancelled() && !grandchild.is_cancelled());
+        parent.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+        assert!(grandchild.is_cancelled(), "cancellation cascades downward");
+    }
+
+    #[test]
+    fn cancelling_a_child_leaves_siblings_and_parent_running() {
+        let parent = CancelToken::none();
+        let loser = parent.child();
+        let winner = parent.child();
+        loser.cancel();
+        assert!(loser.is_cancelled());
+        assert!(!winner.is_cancelled(), "sibling must keep running");
+        assert!(!parent.is_cancelled(), "parent must keep running");
+    }
+
+    #[test]
+    fn parent_deadline_fires_children() {
+        let parent = CancelToken::with_deadline(Duration::from_millis(0));
+        let child = parent.child();
+        assert!(
+            child.is_cancelled(),
+            "expired ancestor deadline fires child"
+        );
+    }
+
+    #[test]
+    fn child_deadline_is_independent() {
+        let parent = CancelToken::none();
+        let child = parent.child_with_deadline(Duration::from_millis(0));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+        let lenient = parent.child_with_deadline(Duration::from_secs(3600));
+        assert!(!lenient.is_cancelled());
     }
 
     #[test]

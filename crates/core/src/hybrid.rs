@@ -57,7 +57,10 @@ impl<A: RepairTechnique, B: RepairTechnique> RepairTechnique for UnionHybrid<A, 
         }
         let second = self.secondary.repair(ctx);
         let explored = first.candidates_explored + second.candidates_explored;
-        let rounds = first.rounds.max(second.rounds);
+        // The fallback ran *after* the primary, so the attempt really spent
+        // the sum of both tools' rounds — reporting the max would hide the
+        // primary's cost on every fallback.
+        let rounds = first.rounds + second.rounds;
         if second.success {
             RepairOutcome {
                 technique: self.name.clone(),
@@ -296,6 +299,36 @@ mod tests {
         assert!(out.success);
         assert_eq!(out.candidates_explored, 2);
         assert_eq!(out.technique, "A+B");
+    }
+
+    #[test]
+    fn union_hybrid_fallback_charges_the_sum_of_rounds() {
+        // Regression: the sequential fallback spends primary + secondary
+        // rounds; it used to report only the max of the two.
+        let h = UnionHybrid::new(
+            Stub {
+                name: "A",
+                succeed: false,
+            },
+            Stub {
+                name: "B",
+                succeed: true,
+            },
+        );
+        let out = h.repair(&ctx());
+        assert!(out.success);
+        assert_eq!(out.rounds, 2, "fallback rounds must be 1 + 1, not max");
+        let both_fail = UnionHybrid::new(
+            Stub {
+                name: "A",
+                succeed: false,
+            },
+            Stub {
+                name: "B",
+                succeed: false,
+            },
+        );
+        assert_eq!(both_fail.repair(&ctx()).rounds, 2);
     }
 
     #[test]

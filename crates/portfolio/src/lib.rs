@@ -1,0 +1,51 @@
+//! # specrepair-portfolio
+//!
+//! A work-claiming **portfolio scheduler** that races a roster of repair
+//! techniques against one faulty specification on a bounded worker pool.
+//!
+//! The paper's central finding is *synergy*: no single technique dominates,
+//! and the union of traditional + LLM repair sets beats every individual
+//! tool. The sequential `UnionHybrid` realizes that union by paying the sum
+//! of both wall-clocks on every fallback; this crate realizes the *same
+//! repair set* speculatively — all entrants launch at once, each under its
+//! own child [`CancelToken`](specrepair_core::CancelToken), and the first
+//! rank-winning success cancels the still-running losers.
+//!
+//! Arbitration is **deterministic regardless of thread interleaving**:
+//! entrants carry a static rank (their roster position) and a worse-ranked
+//! late success never displaces a better-ranked one — see the determinism
+//! argument in [`scheduler`]. Running the same roster at one worker and at
+//! N workers yields byte-identical merged outcomes; only the wall-clock
+//! (and the observational per-entrant reports) differ.
+//!
+//! # Example
+//!
+//! ```
+//! use specrepair_core::{RepairBudget, RepairContext, RepairOutcome};
+//! use specrepair_portfolio::{Entrant, Portfolio};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = RepairContext::from_source(
+//!     "sig N {} fact { no N } pred p { some N } run p for 3 expect 1",
+//!     RepairBudget::tiny(),
+//! )?;
+//! let roster = vec![
+//!     Entrant::new("never", RepairBudget::tiny(), |_: &RepairContext| {
+//!         RepairOutcome::failure("never", 1, 1)
+//!     }),
+//!     Entrant::new("fixer", RepairBudget::tiny(), |c: &RepairContext| {
+//!         RepairOutcome::success_with("fixer", c.faulty.clone(), 1, 1)
+//!     }),
+//! ];
+//! let result = Portfolio::new("demo").with_workers(2).race(&ctx, roster);
+//! assert_eq!(result.winner, Some(1));
+//! assert!(result.outcome.success);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod scheduler;
+
+pub use scheduler::{Entrant, EntrantReport, Portfolio, PortfolioOutcome};

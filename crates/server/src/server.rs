@@ -341,6 +341,11 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                     .metrics
                     .record_latency(technique, latency.as_micros() as u64);
             }
+            // A portfolio race also reports each entrant's own latency
+            // under "<portfolio>/<member>" histogram rows.
+            for (label, micros) in &handled.entrant_latency {
+                state.metrics.record_latency(label, *micros);
+            }
             if handled.timed_out {
                 state.metrics.record_deadline_exceeded();
             }

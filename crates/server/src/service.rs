@@ -19,7 +19,8 @@ use specrepair_llm::{
     FaultyLm, MultiRound, ResilientLm, RetryPolicy, SingleRound, SyntheticLm, TransportStats,
 };
 use specrepair_metrics::{candidate_metrics, CandidateMetrics};
-use specrepair_study::{StudyConfig, TechniqueId};
+use specrepair_portfolio::{Entrant, EntrantReport, Portfolio};
+use specrepair_study::{RosterId, StudyConfig, TechniqueId};
 use specrepair_traditional::{ARepair, Atr, BeAFix, Icebar};
 
 use crate::http::Response;
@@ -221,6 +222,11 @@ pub struct RepairResponse {
     pub duration_ms: u64,
     /// REP/TM/SM against `reference`, when one was supplied.
     pub metrics: Option<CandidateMetrics>,
+    /// Label of the winning roster member (portfolio techniques only).
+    pub winner: Option<String>,
+    /// Per-entrant race reports (portfolio techniques only): rank,
+    /// success, cost, start/finish/cancelled-at timestamps.
+    pub entrants: Option<Vec<EntrantReport>>,
 }
 
 /// What one handled repair request looked like, for the metrics registry.
@@ -234,6 +240,10 @@ pub struct Handled {
     pub latency: Option<Duration>,
     /// Whether the deadline fired.
     pub timed_out: bool,
+    /// Per-entrant latencies of a portfolio race, as
+    /// `("<portfolio>/<member>", micros)` pairs — the registry records
+    /// them as their own `/metrics` histogram rows.
+    pub entrant_latency: Vec<(String, u64)>,
 }
 
 impl Handled {
@@ -243,6 +253,7 @@ impl Handled {
             technique: None,
             latency: None,
             timed_out: false,
+            entrant_latency: Vec::new(),
         }
     }
 }
@@ -350,10 +361,35 @@ impl RepairService {
         };
 
         let started = Instant::now();
-        let outcome = run_technique(id, &study, &ctx, &self.transport);
+        let (outcome, reports) = match id {
+            TechniqueId::Portfolio(roster) => {
+                let (outcome, reports) = run_portfolio(roster, &study, &ctx, &self.transport);
+                (outcome, Some(reports))
+            }
+            _ => (run_technique(id, &study, &ctx, &self.transport), None),
+        };
         let latency = started.elapsed();
         let timed_out = cancel.is_cancelled();
 
+        let entrant_latency = reports
+            .as_deref()
+            .map(|reports| {
+                reports
+                    .iter()
+                    .filter_map(|r| {
+                        let (start, finish) = (r.started_ms?, r.finished_ms?);
+                        let micros = finish.saturating_sub(start).saturating_mul(1000);
+                        Some((format!("{}/{}", id.label(), r.label), micros))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let winner = reports.as_deref().and_then(|reports| {
+            reports
+                .iter()
+                .find(|r| r.success && r.counted)
+                .map(|r| r.label.clone())
+        });
         let metrics = reference.as_ref().map(|(truth, truth_source)| {
             candidate_metrics(truth, truth_source, outcome.candidate_source.as_deref())
         });
@@ -366,6 +402,8 @@ impl RepairService {
             rounds: outcome.rounds,
             duration_ms: latency.as_millis() as u64,
             metrics,
+            winner,
+            entrants: reports,
         };
         let body = serde_json::to_string(&doc).expect("repair response always serializes");
         let status = if timed_out { 504 } else { 200 };
@@ -374,12 +412,14 @@ impl RepairService {
             technique: Some(id.label().to_string()),
             latency: Some(latency),
             timed_out,
+            entrant_latency,
         }
     }
 
-    /// The `GET /techniques` document: every label the service accepts.
+    /// The `GET /techniques` document: every label the service accepts —
+    /// the twelve studied techniques plus the portfolio rosters.
     pub fn techniques_document() -> String {
-        let labels: Vec<String> = TechniqueId::all()
+        let labels: Vec<String> = TechniqueId::with_portfolios()
             .into_iter()
             .map(|id| id.label().to_string())
             .collect();
@@ -430,7 +470,37 @@ fn run_technique(
         TechniqueId::Multi(feedback) => MultiRound::new(feedback, study.seed)
             .with_lm(lm())
             .repair(ctx),
+        TechniqueId::Portfolio(_) => unreachable!("portfolios dispatch through run_portfolio"),
     }
+}
+
+/// Races one roster for a service request: every member becomes an entrant
+/// running this service's own technique dispatch (so each gets the daemon's
+/// resilient LM stack, and a chaos-afflicted entrant retries or loses the
+/// race instead of stalling it). The request's deadline token is the race's
+/// parent: when it fires, every entrant's child token fires with it.
+fn run_portfolio(
+    roster: RosterId,
+    study: &StudyConfig,
+    ctx: &RepairContext,
+    stats: &Arc<TransportStats>,
+) -> (RepairOutcome, Vec<EntrantReport>) {
+    let entrants: Vec<Entrant> = roster
+        .members()
+        .into_iter()
+        .map(|member| {
+            let stats = Arc::clone(stats);
+            Entrant::new(
+                member.label(),
+                study.budget_for(member),
+                move |entrant_ctx: &RepairContext| {
+                    run_technique(member, study, entrant_ctx, &stats)
+                },
+            )
+        })
+        .collect();
+    let raced = Portfolio::new(roster.label()).race(ctx, entrants);
+    (raced.outcome, raced.entrants)
 }
 
 #[cfg(test)]
@@ -567,10 +637,57 @@ mod tests {
     }
 
     #[test]
-    fn techniques_document_lists_all_twelve() {
+    fn techniques_document_lists_all_twelve_plus_portfolios() {
         let doc = RepairService::techniques_document();
-        for id in TechniqueId::all() {
+        for id in TechniqueId::with_portfolios() {
             assert!(doc.contains(id.label()), "{doc}");
         }
+        assert!(doc.contains("Portfolio_All"), "{doc}");
+    }
+
+    #[test]
+    fn portfolio_request_races_and_reports_entrants() {
+        let s = service();
+        let mut reference = String::new();
+        push_json_string(TRUTH, &mut reference);
+        let h = s.handle_repair(&repair_body(
+            "Portfolio_ARepair+Single-Round_Loc",
+            &format!(",\"reference\":{reference}"),
+        ));
+        assert_eq!(h.response.status, 200, "{}", h.response.body);
+        assert_eq!(
+            h.technique.as_deref(),
+            Some("Portfolio_ARepair+Single-Round_Loc")
+        );
+        assert!(
+            h.response.body.contains("\"entrants\""),
+            "{}",
+            h.response.body
+        );
+        assert!(h.response.body.contains("\"rank\""), "{}", h.response.body);
+        // Both members ran (or were raced); each ran one reports a latency
+        // row the daemon exposes as "<portfolio>/<member>".
+        for (label, _) in &h.entrant_latency {
+            assert!(
+                label.starts_with("Portfolio_ARepair+Single-Round_Loc/"),
+                "{label}"
+            );
+        }
+        // The winner (if the race repaired the spec) is one of the members.
+        if h.response.body.contains("\"success\":true") {
+            assert!(
+                h.response.body.contains("\"winner\""),
+                "{}",
+                h.response.body
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_respects_the_request_deadline() {
+        let s = service();
+        let h = s.handle_repair(&repair_body("Portfolio_All", ",\"deadline_ms\":0"));
+        assert_eq!(h.response.status, 504, "{}", h.response.body);
+        assert!(h.timed_out);
     }
 }

@@ -1,9 +1,10 @@
 //! The `study` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N]
-//!       [--out DIR] [--journal FILE] [--resume]
+//! study <all|table1|fig2|fig3|table2|ablation|portfolio> [--scale X]
+//!       [--seed N] [--out DIR] [--journal FILE] [--resume]
 //!       [--fault-rate R] [--fault-seed N]
+//!       [--roster NAME] [--workers N]
 //! ```
 //!
 //! `--scale 1.0` evaluates the full 1,974-spec corpus (the paper's size);
@@ -16,8 +17,16 @@
 //! cells and regenerates byte-identical artifacts. `--fault-rate` turns on
 //! deterministic LM-transport fault injection (the chaos recipe in
 //! EXPERIMENTS.md).
+//!
+//! `portfolio` (or the `--portfolio` flag) runs the racing-portfolio study
+//! instead: `--roster` picks the composition (`all`, `traditional`, `llm`,
+//! or a `Portfolio_…` label), `--workers` sizes the racing pool. The JSON
+//! report records the measured wall-clock speedup over the sequential
+//! fallback chain and the 1-vs-N determinism check (EXPERIMENTS.md).
 
-use specrepair_study::{ablation, fig2, fig3, journal, runner, table1, table2, StudyConfig};
+use specrepair_study::{
+    ablation, fig2, fig3, journal, portfolio, runner, table1, table2, RosterId, StudyConfig,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -29,6 +38,8 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut journal_path: Option<PathBuf> = None;
     let mut resume = false;
+    let mut roster = RosterId::All;
+    let mut workers: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -69,13 +80,29 @@ fn main() {
                 ));
             }
             "--resume" => resume = true,
+            "--portfolio" => command = "portfolio".to_string(),
+            "--roster" => {
+                i += 1;
+                let name = args.get(i).unwrap_or_else(|| die("--roster needs a name"));
+                roster =
+                    parse_roster(name).unwrap_or_else(|| die(&format!("unknown roster `{name}`")));
+            }
+            "--workers" => {
+                i += 1;
+                workers = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&w| w >= 1)
+                        .unwrap_or_else(|| die("--workers needs a positive integer")),
+                );
+            }
             "--out" => {
                 i += 1;
                 out_dir = Some(PathBuf::from(
                     args.get(i).unwrap_or_else(|| die("--out needs a path")),
                 ));
             }
-            c @ ("all" | "table1" | "fig2" | "fig3" | "table2" | "ablation") => {
+            c @ ("all" | "table1" | "fig2" | "fig3" | "table2" | "ablation" | "portfolio") => {
                 command = c.to_string();
             }
             other => die(&format!("unknown argument `{other}`")),
@@ -107,6 +134,38 @@ fn main() {
     let t0 = Instant::now();
     let problems = specrepair_benchmarks::full_study(config.scale);
     eprintln!("{} specifications in {:?}", problems.len(), t0.elapsed());
+
+    if command == "portfolio" {
+        let workers = workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        eprintln!(
+            "racing {} at {} workers over {} problems ...",
+            roster.label(),
+            workers,
+            problems.len()
+        );
+        let t0 = Instant::now();
+        let s = portfolio::run_portfolio_study(&problems, &config, roster, workers);
+        eprintln!("portfolio study done in {:?}", t0.elapsed());
+        let text = portfolio::render(&s);
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            write_artifact(&dir.join("portfolio.txt"), &text);
+            write_artifact(
+                &dir.join("portfolio.json"),
+                &serde_json::to_string_pretty(&s).unwrap(),
+            );
+            eprintln!("artifacts written to {dir:?}");
+        }
+        if !s.records_identical {
+            eprintln!("error: racing and sequential records diverged (determinism violation)");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // Resume: reload the journal, verify it belongs to this run, and skip
     // every cell it already holds.
@@ -244,10 +303,21 @@ fn write_artifact(path: &std::path::Path, contents: &str) {
     }
 }
 
+/// Resolves a roster name: the full `Portfolio_…` label or its
+/// case-insensitive suffix (`all`, `traditional`, `llm`, …).
+fn parse_roster(name: &str) -> Option<RosterId> {
+    RosterId::ALL.into_iter().find(|r| {
+        let label = r.label();
+        let short = label.strip_prefix("Portfolio_").unwrap_or(label);
+        label.eq_ignore_ascii_case(name) || short.eq_ignore_ascii_case(name)
+    })
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: study <all|table1|fig2|fig3|table2|ablation> [--scale X] [--seed N] [--out DIR]"
+        "usage: study <all|table1|fig2|fig3|table2|ablation|portfolio> [--scale X] [--seed N] \
+         [--out DIR] [--roster NAME] [--workers N]"
     );
     std::process::exit(2);
 }

@@ -5,8 +5,65 @@ use serde::{Deserialize, Serialize};
 use specrepair_core::RepairBudget;
 use specrepair_llm::{FeedbackSetting, PromptSetting};
 
+/// A named, rank-ordered roster of techniques raced by the portfolio
+/// scheduler. Rank = position in [`RosterId::members`]; the roster order is
+/// also the sequential-fallback order the race must reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RosterId {
+    /// All twelve techniques, Table I column order (traditional first).
+    All,
+    /// The four traditional tools.
+    Traditional,
+    /// The eight LLM-based pipelines.
+    Llm,
+    /// ARepair backed by Single-Round `Loc` — the classic
+    /// traditional-primary / LLM-fallback pair.
+    ArepairSrLoc,
+    /// ARepair backed by Multi-Round `Auto` (the strongest LLM setting).
+    ArepairMrAuto,
+}
+
+impl RosterId {
+    /// Every built-in roster.
+    pub const ALL: [RosterId; 5] = [
+        RosterId::All,
+        RosterId::Traditional,
+        RosterId::Llm,
+        RosterId::ArepairSrLoc,
+        RosterId::ArepairMrAuto,
+    ];
+
+    /// The roster's display label (`Portfolio_…`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RosterId::All => "Portfolio_All",
+            RosterId::Traditional => "Portfolio_Traditional",
+            RosterId::Llm => "Portfolio_LLM",
+            RosterId::ArepairSrLoc => "Portfolio_ARepair+Single-Round_Loc",
+            RosterId::ArepairMrAuto => "Portfolio_ARepair+Multi-Round_Auto",
+        }
+    }
+
+    /// The roster members in rank order (lower rank wins arbitration).
+    pub fn members(&self) -> Vec<TechniqueId> {
+        match self {
+            RosterId::All => TechniqueId::all(),
+            RosterId::Traditional => TechniqueId::traditional(),
+            RosterId::Llm => TechniqueId::llm_based(),
+            RosterId::ArepairSrLoc => vec![
+                TechniqueId::ARepair,
+                TechniqueId::Single(PromptSetting::Loc),
+            ],
+            RosterId::ArepairMrAuto => vec![
+                TechniqueId::ARepair,
+                TechniqueId::Multi(FeedbackSetting::Auto),
+            ],
+        }
+    }
+}
+
 /// Identity of one of the twelve studied techniques, in Table I's column
-/// order.
+/// order — plus the portfolio compositions racing them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TechniqueId {
     /// ARepair (traditional).
@@ -21,6 +78,8 @@ pub enum TechniqueId {
     Single(PromptSetting),
     /// Multi-Round LLM under one feedback setting.
     Multi(FeedbackSetting),
+    /// A racing portfolio over one of the built-in rosters.
+    Portfolio(RosterId),
 }
 
 impl TechniqueId {
@@ -47,6 +106,24 @@ impl TechniqueId {
         TechniqueId::all().into_iter().skip(4).collect()
     }
 
+    /// The racing portfolio compositions (not part of [`TechniqueId::all`]:
+    /// Table I keeps its twelve columns; portfolios are extra rows that
+    /// the study and the daemon resolve by label).
+    pub fn portfolios() -> Vec<TechniqueId> {
+        RosterId::ALL
+            .into_iter()
+            .map(TechniqueId::Portfolio)
+            .collect()
+    }
+
+    /// All techniques the label namespace resolves: the twelve studied
+    /// ones plus the portfolio compositions.
+    pub fn with_portfolios() -> Vec<TechniqueId> {
+        let mut out = TechniqueId::all();
+        out.extend(TechniqueId::portfolios());
+        out
+    }
+
     /// The display label used in tables.
     pub fn label(&self) -> &'static str {
         match self {
@@ -56,6 +133,7 @@ impl TechniqueId {
             TechniqueId::Atr => "ATR",
             TechniqueId::Single(s) => s.label(),
             TechniqueId::Multi(f) => f.label(),
+            TechniqueId::Portfolio(r) => r.label(),
         }
     }
 
@@ -63,7 +141,9 @@ impl TechniqueId {
     /// [`TechniqueId::label`]); `None` for unknown labels. Service entry
     /// points (`specrepaird`) use this to resolve request technique ids.
     pub fn from_label(label: &str) -> Option<TechniqueId> {
-        TechniqueId::all().into_iter().find(|t| t.label() == label)
+        TechniqueId::with_portfolios()
+            .into_iter()
+            .find(|t| t.label() == label)
     }
 
     /// Whether this is one of the traditional tools.
@@ -180,6 +260,10 @@ impl StudyConfig {
                 max_candidates: 100,
                 max_rounds: 6,
             },
+            // A portfolio's budget is carried per entrant (each roster
+            // member races under its own calibrated budget); the composite
+            // context's budget is never charged.
+            TechniqueId::Portfolio(_) => RepairBudget::default(),
         }
     }
 }
@@ -218,10 +302,30 @@ mod tests {
 
     #[test]
     fn labels_round_trip_through_from_label() {
-        for id in TechniqueId::all() {
+        for id in TechniqueId::with_portfolios() {
             assert_eq!(TechniqueId::from_label(id.label()), Some(id));
         }
         assert_eq!(TechniqueId::from_label("NoSuchTool"), None);
+    }
+
+    #[test]
+    fn portfolio_rosters_are_ranked_and_labelled() {
+        assert_eq!(TechniqueId::portfolios().len(), RosterId::ALL.len());
+        for roster in RosterId::ALL {
+            let members = roster.members();
+            assert!(members.len() >= 2, "{}: roster too small", roster.label());
+            assert!(roster.label().starts_with("Portfolio_"));
+            // Members are real (non-portfolio) techniques with labels.
+            for m in &members {
+                assert!(!matches!(m, TechniqueId::Portfolio(_)));
+                assert!(TechniqueId::from_label(m.label()).is_some());
+            }
+            let id = TechniqueId::Portfolio(roster);
+            assert!(!id.is_traditional());
+            assert_eq!(TechniqueId::from_label(id.label()), Some(id));
+        }
+        assert_eq!(RosterId::All.members().len(), 12);
+        assert_eq!(RosterId::ArepairSrLoc.members()[0], TechniqueId::ARepair);
     }
 
     #[test]

@@ -37,12 +37,14 @@ pub mod config;
 pub mod fig2;
 pub mod fig3;
 pub mod journal;
+pub mod portfolio;
 pub mod runner;
 pub mod table1;
 pub mod table2;
 
-pub use config::{StudyConfig, TechniqueId};
+pub use config::{RosterId, StudyConfig, TechniqueId};
 pub use journal::{JournalContents, JournalHeader, StudyJournal};
+pub use portfolio::{run_portfolio_study, PortfolioStudy};
 pub use runner::{
     run_full_study, run_study, run_study_cached, run_study_journaled, SpecRecord, StudyResults,
 };

@@ -206,13 +206,18 @@ pub fn repair_with(
     repair_with_oracle(&OracleHandle::fresh(), id, problem, config)
 }
 
-/// Runs one technique on one problem against a shared oracle.
+/// Runs one technique on one problem against a shared oracle. Portfolio
+/// ids race their roster on a machine-sized worker pool (see
+/// [`crate::portfolio`] for explicit worker control).
 pub fn repair_with_oracle(
     oracle: &OracleHandle,
     id: TechniqueId,
     problem: &RepairProblem,
     config: &StudyConfig,
 ) -> RepairOutcome {
+    if let TechniqueId::Portfolio(roster) = id {
+        return crate::portfolio::race(oracle, roster, problem, config, None).outcome;
+    }
     let ctx = RepairContext {
         faulty: problem.faulty.clone(),
         source: problem.faulty_source.clone(),
@@ -220,9 +225,24 @@ pub fn repair_with_oracle(
         oracle: oracle.clone(),
         cancel: CancelToken::none(),
     };
-    // Each LLM cell gets its own transport stack: with fault injection on,
-    // the cell's fault schedule is a pure function of (fault_seed, cell
-    // identity), independent of rayon's scheduling.
+    run_solo(id, problem, config, &ctx)
+}
+
+/// Dispatches one *non-portfolio* technique against a prepared context —
+/// the shared core of the solo study cells and of every portfolio entrant
+/// (which arrives here with its own budget, child cancel token and the
+/// race's shared oracle).
+///
+/// Each LLM cell gets its own transport stack: with fault injection on,
+/// the cell's fault schedule is a pure function of (fault_seed, cell
+/// identity), independent of scheduling — a portfolio entrant sees exactly
+/// the faults its solo row would.
+pub(crate) fn run_solo(
+    id: TechniqueId,
+    problem: &RepairProblem,
+    config: &StudyConfig,
+    ctx: &RepairContext,
+) -> RepairOutcome {
     let lm = |label: &str| {
         if config.chaos_enabled() {
             specrepair_llm::chaos_stack(config.fault_plan_for(&problem.id, label))
@@ -231,17 +251,18 @@ pub fn repair_with_oracle(
         }
     };
     match id {
-        TechniqueId::ARepair => ARepair::default().repair(&ctx),
-        TechniqueId::Icebar => Icebar::default().repair(&ctx),
-        TechniqueId::BeAFix => BeAFix::default().repair(&ctx),
-        TechniqueId::Atr => Atr::default().repair(&ctx),
+        TechniqueId::ARepair => ARepair::default().repair(ctx),
+        TechniqueId::Icebar => Icebar::default().repair(ctx),
+        TechniqueId::BeAFix => BeAFix::default().repair(ctx),
+        TechniqueId::Atr => Atr::default().repair(ctx),
         TechniqueId::Single(setting) => SingleRound::new(setting, config.seed)
-            .with_hints(hints_for_with(oracle.service(), problem))
+            .with_hints(hints_for_with(ctx.oracle.service(), problem))
             .with_lm(lm(setting.label()))
-            .repair(&ctx),
+            .repair(ctx),
         TechniqueId::Multi(feedback) => MultiRound::new(feedback, config.seed)
             .with_lm(lm(feedback.label()))
-            .repair(&ctx),
+            .repair(ctx),
+        TechniqueId::Portfolio(_) => unreachable!("portfolios are raced, not run solo"),
     }
 }
 
@@ -259,6 +280,13 @@ pub fn evaluate_with(
     config: &StudyConfig,
 ) -> SpecRecord {
     let outcome = repair_with_oracle(oracle, id, problem, config);
+    record_from(problem, id.label(), &outcome)
+}
+
+/// Assembles a [`SpecRecord`] from one finished outcome — shared by the
+/// solo study cells and the portfolio passes (which race an outcome first
+/// and score it the same way afterwards).
+pub fn record_from(problem: &RepairProblem, label: &str, outcome: &RepairOutcome) -> SpecRecord {
     let metrics = candidate_metrics(
         &problem.truth,
         &problem.truth_source,
@@ -268,7 +296,7 @@ pub fn evaluate_with(
         problem: problem.id.clone(),
         benchmark: problem.benchmark.label().to_string(),
         domain: problem.domain.clone(),
-        technique: id.label().to_string(),
+        technique: label.to_string(),
         rep: metrics.rep,
         tm: metrics.tm,
         sm: metrics.sm,

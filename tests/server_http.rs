@@ -70,7 +70,15 @@ fn health_techniques_and_routing() {
 
     let (status, body) = call(&addr, "GET", "/techniques", "");
     assert_eq!(status, 200);
-    for label in ["ARepair", "ICEBAR", "BeAFix", "ATR", "Multi-Round_Auto"] {
+    for label in [
+        "ARepair",
+        "ICEBAR",
+        "BeAFix",
+        "ATR",
+        "Multi-Round_Auto",
+        "Portfolio_All",
+        "Portfolio_Traditional",
+    ] {
         assert!(body.contains(label), "{body}");
     }
 
@@ -152,6 +160,35 @@ fn concurrent_repairs_reconcile_with_metrics_and_cache_warms() {
     assert!(
         hit_rate_second > hit_rate_first,
         "cache did not warm: {hit_rate_first} -> {hit_rate_second}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn portfolio_repair_over_http_reports_entrants_and_per_entrant_metrics() {
+    let (handle, addr) = boot(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let portfolio = "Portfolio_ARepair+Single-Round_Loc";
+    let (status, body) = call(&addr, "POST", "/repair", &repair_body(portfolio, ""));
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains(&format!("\"technique\":\"{portfolio}\"")),
+        "{body}"
+    );
+    assert!(body.contains("\"entrants\""), "{body}");
+    assert!(body.contains("\"cancelled_at_ms\""), "{body}");
+
+    // The race itself and every entrant that ran get latency rows.
+    assert!(metric(&addr, &["latency_ms", portfolio, "count"]) >= 1.0);
+    let (status, metrics_body) = call(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics_body.contains(&format!("{portfolio}/ARepair")),
+        "no per-entrant latency row:\n{metrics_body}"
     );
 
     handle.shutdown();

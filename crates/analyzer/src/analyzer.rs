@@ -110,12 +110,21 @@ impl Analyzer {
         scope: u32,
         limit: usize,
     ) -> Result<Vec<Instance>, AnalyzerError> {
+        // Translation + encoding + the solve loop all count as SAT time in
+        // the phase breakdown; the per-solve `sat.solve` child spans nest
+        // inside with their counter deltas.
+        let span = specrepair_trace::span("analyzer.enumerate", specrepair_trace::Phase::Sat);
         let mut tr = Translator::new(&self.spec, scope)?;
         let f = elaborate_formula(tr.spec(), formula)?;
         let fv = tr.compile_formula(&f)?;
         let root = tr.circuit.and(tr.base_constraint(), fv);
         let mut solver = Solver::new();
         let inputs = tr.circuit.encode(root, &mut solver);
+        if span.is_active() {
+            span.attr_u64("scope", scope as u64);
+            span.attr_u64("limit", limit as u64);
+            span.attr_u64("vars", solver.num_vars() as u64);
+        }
         let mut out = Vec::new();
         while out.len() < limit {
             match solver.solve() {

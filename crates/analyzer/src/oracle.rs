@@ -24,10 +24,12 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mualloy_relational::Instance;
+use mualloy_sat::{stats as sat_stats, SolverStats};
 use mualloy_syntax::ast::{Command, Formula, Spec};
 use mualloy_syntax::print_spec;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use specrepair_trace::{Phase, SpanGuard};
 
 use crate::analyzer::{Analyzer, CommandOutcome};
 use crate::error::AnalyzerError;
@@ -36,21 +38,49 @@ use crate::error::AnalyzerError;
 /// maps to a shard with a mask.
 const SHARDS: usize = 16;
 
+/// A memoized answer together with the SAT solver statistics of the solve
+/// that originally computed it, so a cache hit can report the same
+/// counters the miss did (the answer *is* that solve's answer).
+#[derive(Debug, Clone)]
+struct Memo<T> {
+    value: T,
+    solver: SolverStats,
+}
+
+/// A memoized instance enumeration (counterexamples or satisfying
+/// instances), as stored in a [`SpecEntry`].
+type InstancesMemo = Memo<Result<Vec<Instance>, AnalyzerError>>;
+
 /// Memoized answers for one canonical specification.
 #[derive(Debug, Default)]
 struct SpecEntry {
     /// Outcome of [`Analyzer::execute_all`] — `satisfies_oracle` and
     /// `failing_commands` are derived views of this single answer.
-    execute_all: Option<Result<Vec<CommandOutcome>, AnalyzerError>>,
+    execute_all: Option<Memo<Result<Vec<CommandOutcome>, AnalyzerError>>>,
     /// Per-command outcomes, for commands not covered by `execute_all`
     /// (e.g. localization re-running one command on a relaxed spec).
-    commands: HashMap<Command, Result<CommandOutcome, AnalyzerError>>,
+    commands: HashMap<Command, Memo<Result<CommandOutcome, AnalyzerError>>>,
     /// `check_assert` outcomes keyed by (assertion, scope).
-    asserts: HashMap<(String, u32), Result<CommandOutcome, AnalyzerError>>,
+    asserts: HashMap<(String, u32), Memo<Result<CommandOutcome, AnalyzerError>>>,
     /// Counterexample enumerations keyed by (assertion, scope, limit).
-    counterexamples: HashMap<(String, u32, usize), Result<Vec<Instance>, AnalyzerError>>,
+    counterexamples: HashMap<(String, u32, usize), InstancesMemo>,
     /// Instance enumerations keyed by (formula, scope, limit).
-    enumerations: HashMap<(Formula, u32, usize), Result<Vec<Instance>, AnalyzerError>>,
+    enumerations: HashMap<(Formula, u32, usize), InstancesMemo>,
+}
+
+/// Tags an `oracle.*` query span with its cache verdict and the solver
+/// counters of the (original) solve — identical on hit and miss.
+fn tag_query(span: &SpanGuard, hit: bool, solver: &SolverStats) {
+    if !span.is_active() {
+        return;
+    }
+    span.attr_bool("hit", hit);
+    span.attr_u64("solves", solver.solves);
+    span.attr_u64("conflicts", solver.conflicts);
+    span.attr_u64("decisions", solver.decisions);
+    span.attr_u64("propagations", solver.propagations);
+    span.attr_u64("restarts", solver.restarts);
+    span.attr_u64("learned_clauses", solver.learned_clauses);
 }
 
 /// One independently-locked shard of the memo table: the entries plus the
@@ -249,8 +279,12 @@ impl Oracle {
     ///
     /// Fails (and caches the failure) when any command cannot be executed.
     pub fn execute_all(&self, spec: &Spec) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        let span = specrepair_trace::span("oracle.execute_all", Phase::OracleCache);
         if !self.enabled {
-            return self.record(Analyzer::new(spec.clone()).execute_all());
+            let (computed, solver) =
+                sat_stats::collect(|| Analyzer::new(spec.clone()).execute_all());
+            tag_query(&span, false, &solver);
+            return self.record(computed);
         }
         let key = Oracle::fingerprint(spec);
         let shard = self.shard_of(&key);
@@ -260,10 +294,18 @@ impl Oracle {
             .get(&key)
             .and_then(|e| e.execute_all.clone())
         {
-            return self.hit(cached);
+            tag_query(&span, true, &cached.solver);
+            return self.hit(cached.value);
         }
-        let computed = self.record(Analyzer::new(spec.clone()).execute_all());
-        self.memoize(shard, key, |e| e.execute_all = Some(computed.clone()));
+        let (computed, solver) = sat_stats::collect(|| Analyzer::new(spec.clone()).execute_all());
+        tag_query(&span, false, &solver);
+        let computed = self.record(computed);
+        self.memoize(shard, key, |e| {
+            e.execute_all = Some(Memo {
+                value: computed.clone(),
+                solver,
+            });
+        });
         computed
     }
 
@@ -301,8 +343,12 @@ impl Oracle {
     ///
     /// Fails on unknown targets or translation errors.
     pub fn run_command(&self, spec: &Spec, cmd: &Command) -> Result<CommandOutcome, AnalyzerError> {
+        let span = specrepair_trace::span("oracle.run_command", Phase::OracleCache);
         if !self.enabled {
-            return self.record(Analyzer::new(spec.clone()).run_command(cmd));
+            let (computed, solver) =
+                sat_stats::collect(|| Analyzer::new(spec.clone()).run_command(cmd));
+            tag_query(&span, false, &solver);
+            return self.record(computed);
         }
         let key = Oracle::fingerprint(spec);
         let shard = self.shard_of(&key);
@@ -312,11 +358,21 @@ impl Oracle {
             .get(&key)
             .and_then(|e| e.commands.get(cmd).cloned())
         {
-            return self.hit(cached);
+            tag_query(&span, true, &cached.solver);
+            return self.hit(cached.value);
         }
-        let computed = self.record(Analyzer::new(spec.clone()).run_command(cmd));
+        let (computed, solver) =
+            sat_stats::collect(|| Analyzer::new(spec.clone()).run_command(cmd));
+        tag_query(&span, false, &solver);
+        let computed = self.record(computed);
         self.memoize(shard, key, |e| {
-            e.commands.insert(cmd.clone(), computed.clone());
+            e.commands.insert(
+                cmd.clone(),
+                Memo {
+                    value: computed.clone(),
+                    solver,
+                },
+            );
         });
         computed
     }
@@ -333,8 +389,12 @@ impl Oracle {
         name: &str,
         scope: u32,
     ) -> Result<CommandOutcome, AnalyzerError> {
+        let span = specrepair_trace::span("oracle.check_assert", Phase::OracleCache);
         if !self.enabled {
-            return self.record(Analyzer::new(spec.clone()).check_assert(name, scope));
+            let (computed, solver) =
+                sat_stats::collect(|| Analyzer::new(spec.clone()).check_assert(name, scope));
+            tag_query(&span, false, &solver);
+            return self.record(computed);
         }
         let key = Oracle::fingerprint(spec);
         let subkey = (name.to_string(), scope);
@@ -345,11 +405,21 @@ impl Oracle {
             .get(&key)
             .and_then(|e| e.asserts.get(&subkey).cloned())
         {
-            return self.hit(cached);
+            tag_query(&span, true, &cached.solver);
+            return self.hit(cached.value);
         }
-        let computed = self.record(Analyzer::new(spec.clone()).check_assert(name, scope));
+        let (computed, solver) =
+            sat_stats::collect(|| Analyzer::new(spec.clone()).check_assert(name, scope));
+        tag_query(&span, false, &solver);
+        let computed = self.record(computed);
         self.memoize(shard, key, |e| {
-            e.asserts.insert(subkey, computed.clone());
+            e.asserts.insert(
+                subkey,
+                Memo {
+                    value: computed.clone(),
+                    solver,
+                },
+            );
         });
         computed
     }
@@ -367,8 +437,13 @@ impl Oracle {
         scope: u32,
         limit: usize,
     ) -> Result<Vec<Instance>, AnalyzerError> {
+        let span = specrepair_trace::span("oracle.counterexamples", Phase::OracleCache);
         if !self.enabled {
-            return self.record(Analyzer::new(spec.clone()).counterexamples(name, scope, limit));
+            let (computed, solver) = sat_stats::collect(|| {
+                Analyzer::new(spec.clone()).counterexamples(name, scope, limit)
+            });
+            tag_query(&span, false, &solver);
+            return self.record(computed);
         }
         let key = Oracle::fingerprint(spec);
         let subkey = (name.to_string(), scope, limit);
@@ -379,11 +454,21 @@ impl Oracle {
             .get(&key)
             .and_then(|e| e.counterexamples.get(&subkey).cloned())
         {
-            return self.hit(cached);
+            tag_query(&span, true, &cached.solver);
+            return self.hit(cached.value);
         }
-        let computed = self.record(Analyzer::new(spec.clone()).counterexamples(name, scope, limit));
+        let (computed, solver) =
+            sat_stats::collect(|| Analyzer::new(spec.clone()).counterexamples(name, scope, limit));
+        tag_query(&span, false, &solver);
+        let computed = self.record(computed);
         self.memoize(shard, key, |e| {
-            e.counterexamples.insert(subkey, computed.clone());
+            e.counterexamples.insert(
+                subkey,
+                Memo {
+                    value: computed.clone(),
+                    solver,
+                },
+            );
         });
         computed
     }
@@ -401,8 +486,12 @@ impl Oracle {
         scope: u32,
         limit: usize,
     ) -> Result<Vec<Instance>, AnalyzerError> {
+        let span = specrepair_trace::span("oracle.enumerate", Phase::OracleCache);
         if !self.enabled {
-            return self.record(Analyzer::new(spec.clone()).enumerate(formula, scope, limit));
+            let (computed, solver) =
+                sat_stats::collect(|| Analyzer::new(spec.clone()).enumerate(formula, scope, limit));
+            tag_query(&span, false, &solver);
+            return self.record(computed);
         }
         let key = Oracle::fingerprint(spec);
         let subkey = (formula.clone(), scope, limit);
@@ -413,11 +502,21 @@ impl Oracle {
             .get(&key)
             .and_then(|e| e.enumerations.get(&subkey).cloned())
         {
-            return self.hit(cached);
+            tag_query(&span, true, &cached.solver);
+            return self.hit(cached.value);
         }
-        let computed = self.record(Analyzer::new(spec.clone()).enumerate(formula, scope, limit));
+        let (computed, solver) =
+            sat_stats::collect(|| Analyzer::new(spec.clone()).enumerate(formula, scope, limit));
+        tag_query(&span, false, &solver);
+        let computed = self.record(computed);
         self.memoize(shard, key, |e| {
-            e.enumerations.insert(subkey, computed.clone());
+            e.enumerations.insert(
+                subkey,
+                Memo {
+                    value: computed.clone(),
+                    solver,
+                },
+            );
         });
         computed
     }
@@ -605,6 +704,67 @@ mod tests {
         // Evicted answers are recomputed, not wrong: re-asking stays correct.
         for spec in &specs {
             assert!(oracle.satisfies_oracle(spec).unwrap());
+        }
+    }
+
+    #[test]
+    fn cache_hit_span_replays_the_original_solver_stats() {
+        // Process-global tracing: serialize against any other test that
+        // toggles the collector, and filter drained spans by a cell id
+        // nothing else uses.
+        static TRACE_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = TRACE_LOCK.lock();
+        const CELL: u64 = 0x5EED_CAFE_0001;
+
+        let oracle = Oracle::new();
+        let spec = parse_spec(GOOD).unwrap();
+        specrepair_trace::set_enabled(true);
+        {
+            let _scope = specrepair_trace::cell_scope(CELL, 0, None);
+            assert!(oracle.satisfies_oracle(&spec).unwrap());
+            assert!(oracle.satisfies_oracle(&spec).unwrap());
+        }
+        specrepair_trace::set_enabled(false);
+        let spans: Vec<_> = specrepair_trace::take_spans()
+            .into_iter()
+            .filter(|s| s.cell == CELL && s.name == "oracle.execute_all")
+            .collect();
+        assert_eq!(spans.len(), 2, "one miss, one hit");
+
+        let hit_flag = |s: &specrepair_trace::SpanRecord| match s
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "hit")
+            .map(|(_, v)| v)
+        {
+            Some(specrepair_trace::AttrValue::Bool(b)) => *b,
+            other => panic!("missing hit attr: {other:?}"),
+        };
+        let counter = |s: &specrepair_trace::SpanRecord, key: &str| match s
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+        {
+            Some(specrepair_trace::AttrValue::U64(n)) => *n,
+            other => panic!("missing {key} attr: {other:?}"),
+        };
+        let miss = spans.iter().find(|s| !hit_flag(s)).expect("miss span");
+        let hit = spans.iter().find(|s| hit_flag(s)).expect("hit span");
+        assert!(counter(miss, "solves") >= 1, "the miss actually solved");
+        for key in [
+            "solves",
+            "conflicts",
+            "decisions",
+            "propagations",
+            "restarts",
+            "learned_clauses",
+        ] {
+            assert_eq!(
+                counter(hit, key),
+                counter(miss, key),
+                "hit must replay the original solve's {key}"
+            );
         }
     }
 

@@ -1,0 +1,90 @@
+//! Guard bench: the always-compiled span instrumentation must cost
+//! (nearly) nothing when tracing is off.
+//!
+//! The instrumentation is baked into the oracle path, so an A/B of
+//! "with spans" vs "without spans" is not runnable. Instead this
+//! measures the two factors directly and bounds their product:
+//!
+//!   1. the per-guard cost of a *disabled* span (one relaxed atomic
+//!      load, an inert guard, no-op attribute setters), and
+//!   2. how many spans one warm oracle query actually opens (counted
+//!      with the collector briefly enabled),
+//!
+//! then asserts `spans_per_query × guard_ns` stays under 2% of the
+//! measured warm-query time. Exits nonzero on violation, so CI can run
+//! it as a regression gate.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mualloy_analyzer::Oracle;
+use specrepair_bench::bench_problems;
+use specrepair_trace::{self as trace, Phase};
+
+/// Median of per-iteration nanosecond estimates over several batches —
+/// robust to one batch landing on a scheduler hiccup.
+fn median_ns(mut batches: Vec<f64>) -> f64 {
+    batches.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    batches[batches.len() / 2]
+}
+
+fn main() {
+    trace::set_enabled(false);
+    let problems = bench_problems();
+    let p = &problems[0];
+    let oracle = Oracle::new();
+    // Warm the memo table: the guarded path is the cache *hit*, the one
+    // hot enough for span overhead to matter.
+    let _ = oracle.satisfies_oracle(&p.faulty);
+    let _ = trace::take_spans();
+
+    // Factor 2 first: spans one warm query opens, counted live.
+    trace::set_enabled(true);
+    let _ = oracle.satisfies_oracle(&p.faulty);
+    trace::set_enabled(false);
+    let spans_per_query = trace::take_spans().len().max(1);
+
+    // Factor 1: cost of a disabled guard, attribute setters included.
+    const SPAN_ITERS: u64 = 1_000_000;
+    let mut guard_batches = Vec::new();
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        for i in 0..SPAN_ITERS {
+            let span = trace::span("bench.noop", Phase::Orchestration);
+            span.attr_u64("i", black_box(i));
+            black_box(&span);
+        }
+        guard_batches.push(t0.elapsed().as_nanos() as f64 / SPAN_ITERS as f64);
+    }
+    let guard_ns = median_ns(guard_batches);
+
+    // The denominator: the instrumented warm query itself (tracing off).
+    const QUERY_ITERS: u64 = 2_000;
+    let mut query_batches = Vec::new();
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        for _ in 0..QUERY_ITERS {
+            black_box(
+                oracle
+                    .satisfies_oracle(black_box(&p.faulty))
+                    .unwrap_or(false),
+            );
+        }
+        query_batches.push(t0.elapsed().as_nanos() as f64 / QUERY_ITERS as f64);
+    }
+    let query_ns = median_ns(query_batches);
+
+    let overhead_pct = 100.0 * (spans_per_query as f64 * guard_ns) / query_ns;
+    println!("trace_overhead: disabled span guard   {guard_ns:.1} ns");
+    println!("trace_overhead: spans per warm query  {spans_per_query}");
+    println!("trace_overhead: warm oracle query     {query_ns:.1} ns");
+    println!("trace_overhead: disabled-tracing share {overhead_pct:.3}% (limit 2%)");
+    assert!(
+        trace::take_spans().is_empty(),
+        "disabled tracing must record nothing"
+    );
+    if overhead_pct >= 2.0 {
+        eprintln!("error: disabled-tracing overhead {overhead_pct:.3}% breaches the 2% budget");
+        std::process::exit(1);
+    }
+}

@@ -78,11 +78,19 @@ pub fn localize(spec: &Spec) -> Localization {
 
 /// [`localize`] against a shared memoizing oracle service.
 pub fn localize_with(oracle: &Oracle, spec: &Spec) -> Localization {
+    let span = specrepair_trace::span(
+        "technique.localization",
+        specrepair_trace::Phase::Orchestration,
+    );
     let failing = match oracle.failing_commands(spec) {
         Ok(f) if !f.is_empty() => f,
         _ => return Localization::default(),
     };
     let sites = constraint_sites(spec);
+    if span.is_active() {
+        span.attr_u64("failing", failing.len() as u64);
+        span.attr_u64("sites", sites.len() as u64);
+    }
     let mut scored: Vec<SuspiciousSite> = sites
         .iter()
         .map(|s| SuspiciousSite {

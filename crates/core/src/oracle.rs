@@ -151,7 +151,16 @@ impl<'a> OracleSession<'a> {
             return None;
         }
         self.validated += 1;
-        Some(self.oracle.satisfies_oracle(candidate).unwrap_or(false))
+        let span = specrepair_trace::span(
+            "technique.oracle_check",
+            specrepair_trace::Phase::Orchestration,
+        );
+        let verdict = self.oracle.satisfies_oracle(candidate).unwrap_or(false);
+        if span.is_active() {
+            span.attr_bool("valid", verdict);
+            span.attr_u64("validated", self.validated as u64);
+        }
+        Some(verdict)
     }
 }
 

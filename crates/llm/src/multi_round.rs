@@ -120,6 +120,10 @@ impl MultiRound {
             if ctx.cancelled() {
                 break; // deadline: emit the best parsed draft so far
             }
+            let round_span = specrepair_trace::span("lm.round", specrepair_trace::Phase::Lm);
+            if round_span.is_active() {
+                round_span.attr_u64("round", round as u64);
+            }
             for _ in 0..per_round {
                 if explored >= ctx.budget.max_candidates || ctx.cancelled() {
                     break;
@@ -177,7 +181,15 @@ impl MultiRound {
             // work is no longer affordable: fall back to the no-feedback
             // setting — plain resampling with a minimal status line.
             if let Some((cand, _)) = &last_parsed {
+                let feedback_span = specrepair_trace::span(
+                    "technique.feedback",
+                    specrepair_trace::Phase::Orchestration,
+                );
                 let degraded = self.lm.degraded();
+                if feedback_span.is_active() {
+                    feedback_span.attr_u64("round", round as u64);
+                    feedback_span.attr_bool("degraded", degraded);
+                }
                 guidance = if degraded {
                     None
                 } else {

@@ -99,9 +99,13 @@ impl SingleRound {
         // `TransportExhausted` outcome), not a conflated generic failure.
         let mut model_done = false;
         let mut transport_dead = false;
-        for _ in 0..drafts {
+        for draft in 0..drafts {
             if ctx.cancelled() {
                 break; // deadline: fall through to the last-draft fallback
+            }
+            let round_span = specrepair_trace::span("lm.round", specrepair_trace::Phase::Lm);
+            if round_span.is_active() {
+                round_span.attr_u64("draft", draft as u64);
             }
             let text = match self.lm.propose(&prompt, None, &mut rng, &ctx.cancel) {
                 Ok(Some(text)) => text,

@@ -237,6 +237,19 @@ impl Portfolio {
             best: Mutex::new(None),
         };
         let next = AtomicUsize::new(0);
+        // The race span (on the caller's thread) parents every entrant
+        // span; workers adopt it explicitly because spans don't cross
+        // threads on their own. Each entrant gets ordinal `rank + 1` so its
+        // deterministic span ids are stable at any worker count (ordinal 0
+        // stays reserved for the cell's own thread).
+        let race_span =
+            specrepair_trace::span("portfolio.race", specrepair_trace::Phase::Orchestration);
+        if race_span.is_active() {
+            race_span.attr_u64("entrants", n as u64);
+            race_span.attr_u64("workers", self.workers.min(n) as u64);
+        }
+        let trace_cell = specrepair_trace::current_cell();
+        let trace_parent = race_span.id();
 
         std::thread::scope(|scope| {
             for _ in 0..self.workers.min(n) {
@@ -274,10 +287,22 @@ impl Portfolio {
                     // A crashing entrant loses the race; it must not tear
                     // down the siblings that may still win it.
                     let label = entrant.label.clone();
+                    let _trace_scope =
+                        specrepair_trace::cell_scope(trace_cell, rank as u64 + 1, trace_parent);
+                    let entrant_span = specrepair_trace::span(
+                        "portfolio.entrant",
+                        specrepair_trace::Phase::Orchestration,
+                    );
                     let outcome = catch_unwind(AssertUnwindSafe(|| (entrant.run)(&entrant_ctx)))
                         .unwrap_or_else(|_| {
                             RepairOutcome::failure(label, 0, 0).with_reason(OutcomeReason::Crashed)
                         });
+                    if entrant_span.is_active() {
+                        entrant_span.attr_str("label", &labels[rank]);
+                        entrant_span.attr_u64("rank", rank as u64);
+                        entrant_span.attr_bool("success", outcome.success);
+                    }
+                    drop(entrant_span);
                     let t_end = now_ms();
                     if outcome.success {
                         arbiter.won(rank, &tokens, &cancelled_at, t_end);

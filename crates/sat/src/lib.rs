@@ -32,11 +32,13 @@ pub mod circuit;
 pub mod cnf;
 pub mod dimacs;
 pub mod solver;
+pub mod stats;
 
 pub use circuit::{BoolRef, Circuit};
 pub use cnf::{Cnf, Lit, Var};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use solver::{SolveResult, Solver};
+pub use stats::SolverStats;
 
 #[cfg(test)]
 mod proptests {

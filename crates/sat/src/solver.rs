@@ -9,6 +9,7 @@
 //! reduction schedule at that scale.
 
 use crate::cnf::{Cnf, Lit, Var};
+use crate::stats::{self, SolverStats};
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +92,8 @@ pub struct Solver {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    restarts: u64,
+    learned_clauses: u64,
 }
 
 const HEAP_ABSENT: usize = usize::MAX;
@@ -151,6 +154,29 @@ impl Solver {
     /// Number of literal propagations performed so far.
     pub fn num_propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// Number of restarts taken so far.
+    pub fn num_restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Number of clauses learned from conflict analysis so far.
+    pub fn num_learned_clauses(&self) -> u64 {
+        self.learned_clauses
+    }
+
+    /// A snapshot of all statistics counters (with `solves` left at 0 —
+    /// the per-call bookkeeping lives in [`Solver::solve_with_assumptions`]).
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts,
+            decisions: self.decisions,
+            propagations: self.propagations,
+            restarts: self.restarts,
+            learned_clauses: self.learned_clauses,
+            solves: 0,
+        }
     }
 
     /// Adds a clause. Returns `false` if the solver became trivially UNSAT.
@@ -504,7 +530,31 @@ impl Solver {
     /// Returns [`SolveResult::Unsat`] if the formula is unsatisfiable when
     /// every assumption is forced true. The solver remains usable (and the
     /// assumptions are dropped) afterwards.
+    ///
+    /// Each completed call records its counter deltas into any open
+    /// [`stats::collect`] scope and, when tracing is enabled, a
+    /// `sat.solve` span carrying the deltas as attributes.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let before = self.stats();
+        let span = specrepair_trace::span("sat.solve", specrepair_trace::Phase::Sat);
+        let result = self.search(assumptions);
+        let mut delta = self.stats().delta_since(&before);
+        delta.solves = 1;
+        stats::record(&delta);
+        if span.is_active() {
+            span.attr_bool("sat", result.is_sat());
+            span.attr_u64("vars", self.num_vars() as u64);
+            span.attr_u64("conflicts", delta.conflicts);
+            span.attr_u64("decisions", delta.decisions);
+            span.attr_u64("propagations", delta.propagations);
+            span.attr_u64("restarts", delta.restarts);
+            span.attr_u64("learned_clauses", delta.learned_clauses);
+        }
+        result
+    }
+
+    /// The CDCL search loop behind [`Solver::solve_with_assumptions`].
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.backtrack_to(0);
         if !self.ok {
             return SolveResult::Unsat;
@@ -530,6 +580,7 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, backjump) = self.analyze(confl);
+                self.learned_clauses += 1;
                 // Never backjump below the assumption levels.
                 let backjump = backjump.max(self.assumption_safe_level(&learnt, assumptions));
                 self.backtrack_to(backjump);
@@ -552,6 +603,7 @@ impl Solver {
                 if conflicts_since_restart >= restart_limit {
                     conflicts_since_restart = 0;
                     restart_limit = restart_limit.saturating_mul(3) / 2;
+                    self.restarts += 1;
                     self.backtrack_to((assumptions.len() as u32).min(self.decision_level()));
                 }
             } else {
@@ -764,5 +816,39 @@ mod tests {
         let _ = s.solve();
         assert!(s.num_decisions() > 0 || s.num_propagations() > 0);
         assert_eq!(s.num_vars(), 20);
+        let stats = s.stats();
+        assert_eq!(stats.conflicts, s.num_conflicts());
+        assert_eq!(stats.decisions, s.num_decisions());
+        assert_eq!(stats.propagations, s.num_propagations());
+        assert_eq!(stats.restarts, s.num_restarts());
+        assert_eq!(stats.learned_clauses, s.num_learned_clauses());
+    }
+
+    #[test]
+    fn conflicts_learn_clauses_and_hard_instances_restart() {
+        // Pigeonhole 7-into-6: plenty of conflicts, enough to trip the
+        // 64-conflict geometric restart schedule.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..7)
+            .map(|_| (0..6).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.positive()));
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (a, b) in row1.iter().zip(row2) {
+                    s.add_clause([a.negative(), b.negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.num_conflicts() > 64, "conflicts: {}", s.num_conflicts());
+        assert!(s.num_learned_clauses() > 0);
+        assert!(
+            s.num_learned_clauses() <= s.num_conflicts(),
+            "at most one learnt clause per conflict"
+        );
+        assert!(s.num_restarts() > 0, "restart schedule never fired");
     }
 }

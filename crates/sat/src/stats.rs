@@ -1,0 +1,131 @@
+//! Per-solve solver statistics and a thread-local collection scope.
+//!
+//! The solver's counters never used to leave the solver; the oracle layer
+//! needs them per *query* (one query may run many incremental solves), and
+//! the memo table needs to replay them on cache hits so a hit reports the
+//! same counters the original solve did. [`collect`] opens a thread-local
+//! accumulation scope: every [`Solver`](crate::Solver) solve that
+//! completes on this thread while the scope is open adds its counter
+//! deltas to the scope.
+//!
+//! Scopes nest: an inner scope's deltas also count toward every enclosing
+//! scope, so a coarse "whole query" scope and a fine "one probe" scope can
+//! coexist.
+
+use std::cell::RefCell;
+
+/// Counter deltas of one or more CDCL solves.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literal propagations performed.
+    pub propagations: u64,
+    /// Restarts taken.
+    pub restarts: u64,
+    /// Clauses learned from conflict analysis.
+    pub learned_clauses: u64,
+    /// `solve` / `solve_with_assumptions` calls that completed.
+    pub solves: u64,
+}
+
+impl SolverStats {
+    /// Accumulates another stats record into this one.
+    pub fn add(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learned_clauses += other.learned_clauses;
+        self.solves += other.solves;
+    }
+
+    /// Whether every counter is zero (no solving happened).
+    pub fn is_empty(&self) -> bool {
+        *self == SolverStats::default()
+    }
+
+    /// The counter-wise difference `self - before` (counters only grow,
+    /// so this is the delta of one solve given snapshots around it).
+    pub fn delta_since(&self, before: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts - before.conflicts,
+            decisions: self.decisions - before.decisions,
+            propagations: self.propagations - before.propagations,
+            restarts: self.restarts - before.restarts,
+            learned_clauses: self.learned_clauses - before.learned_clauses,
+            solves: self.solves.saturating_sub(before.solves),
+        }
+    }
+}
+
+thread_local! {
+    static SCOPES: RefCell<Vec<SolverStats>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` under a statistics scope and returns its result together with
+/// the aggregated counter deltas of every solve completed inside.
+pub fn collect<T>(f: impl FnOnce() -> T) -> (T, SolverStats) {
+    SCOPES.with(|s| s.borrow_mut().push(SolverStats::default()));
+    let out = f();
+    let stats = SCOPES.with(|s| s.borrow_mut().pop().unwrap_or_default());
+    (out, stats)
+}
+
+/// Adds a solve's deltas to every open scope on this thread (no-op when
+/// none is open). Called by the solver at the end of each solve.
+pub(crate) fn record(delta: &SolverStats) {
+    SCOPES.with(|s| {
+        for scope in s.borrow_mut().iter_mut() {
+            scope.add(delta);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Solver;
+
+    #[test]
+    fn collect_captures_solve_deltas() {
+        let ((), stats) = collect(|| {
+            let mut s = Solver::new();
+            let a = s.new_var();
+            let b = s.new_var();
+            s.add_clause([a.positive(), b.positive()]);
+            s.add_clause([a.negative(), b.negative()]);
+            assert!(s.solve().is_sat());
+        });
+        assert_eq!(stats.solves, 1);
+        assert!(stats.decisions > 0 || stats.propagations > 0);
+    }
+
+    #[test]
+    fn scopes_nest_and_outer_sees_inner() {
+        let ((inner_stats,), outer) = collect(|| {
+            let ((), inner) = collect(|| {
+                let mut s = Solver::new();
+                let a = s.new_var();
+                s.add_clause([a.positive()]);
+                assert!(s.solve().is_sat());
+            });
+            (inner,)
+        });
+        assert_eq!(inner_stats.solves, 1);
+        assert_eq!(outer, inner_stats, "outer scope saw the inner solve");
+    }
+
+    #[test]
+    fn no_scope_records_nothing_and_no_solve_is_empty() {
+        let ((), stats) = collect(|| {});
+        assert!(stats.is_empty());
+        // Solving outside any scope must not panic.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        assert!(s.solve().is_sat());
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N]
 //!                     [--max-scope N] [--cache-per-shard N] [--shutdown-file P]
-//!                     [--chaos-rate R] [--chaos-seed N]
+//!                     [--chaos-rate R] [--chaos-seed N] [--trace]
 //! specrepaird loadgen [--addr A] [--requests N] [--connections N]
 //!                     [--deadline-ms N] [--seed N] [--chaos-rate R]
 //!                     [--shed-backoff-ms N]
@@ -14,7 +14,9 @@
 //! nonzero if any response was outside the expected set (200/503/504).
 //! `--chaos-rate` (both subcommands) turns on deterministic LM-transport
 //! fault injection, exercised through the resilience layer and visible in
-//! `GET /metrics` under `transport`.
+//! `GET /metrics` under `transport`. `--trace` turns on the span collector:
+//! every repair's per-phase busy time aggregates into `GET /trace/summary`,
+//! and responses always carry a deterministic `trace_id`.
 
 use specrepair_server::{loadgen, server, LoadgenConfig, ServerConfig};
 
@@ -41,6 +43,7 @@ fn serve(args: &[String]) {
             "--shutdown-file" => config.shutdown_file = Some(flags.value(&flag).into()),
             "--chaos-rate" => config.chaos_rate = flags.rate(&flag),
             "--chaos-seed" => config.chaos_seed = flags.parsed(&flag),
+            "--trace" => config.trace = true,
             other => die(&format!("unknown flag `{other}` for serve")),
         }
     }
@@ -122,7 +125,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
          [--max-scope N] [--cache-per-shard N] [--shutdown-file P] \
-         [--chaos-rate R] [--chaos-seed N]\n\
+         [--chaos-rate R] [--chaos-seed N] [--trace]\n\
          \x20      specrepaird loadgen [--addr A] [--requests N] [--connections N] \
          [--deadline-ms N] [--seed N] [--chaos-rate R] [--shed-backoff-ms N]"
     );

@@ -80,6 +80,10 @@ pub struct LoadgenReport {
     /// The daemon's oracle cache hit rate fetched from `/metrics` after the
     /// run (absent when the fetch failed).
     pub cache_hit_rate: Option<f64>,
+    /// Post-run `/metrics` fetches that failed (connect error, non-200, or
+    /// a malformed body). Nonzero means `cache_hit_rate` is missing for a
+    /// *reported* reason, not silently.
+    pub metrics_fetch_failures: usize,
 }
 
 impl LoadgenReport {
@@ -113,7 +117,10 @@ impl LoadgenReport {
             ms(0.99),
             match self.cache_hit_rate {
                 Some(rate) => format!("{:.1}%", rate * 100.0),
-                None => "unavailable".to_string(),
+                None => format!(
+                    "unavailable ({} metrics fetch failure(s))",
+                    self.metrics_fetch_failures
+                ),
             }
         )
     }
@@ -207,6 +214,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         latency: Histogram::default(),
         elapsed: Duration::ZERO,
         cache_hit_rate: None,
+        metrics_fetch_failures: 0,
     };
     for (status, micros) in rx {
         report.total += 1;
@@ -219,7 +227,15 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         }
     }
     report.elapsed = started.elapsed();
-    report.cache_hit_rate = fetch_hit_rate(&config.addr);
+    match fetch_hit_rate(&config.addr) {
+        Ok(rate) => report.cache_hit_rate = Some(rate),
+        Err(why) => {
+            // A daemon whose `/metrics` endpoint answers garbage is a bug
+            // worth surfacing, not a `None` to shrug at.
+            eprintln!("warning: could not read oracle hit rate from /metrics: {why}");
+            report.metrics_fetch_failures += 1;
+        }
+    }
     report
 }
 
@@ -232,23 +248,52 @@ fn send_one(addr: &str, body: &str) -> Option<u16> {
 }
 
 /// Fetches `/metrics` and extracts `oracle_cache.hit_rate`.
-pub fn fetch_hit_rate(addr: &str) -> Option<f64> {
-    let mut stream = TcpStream::connect(addr).ok()?;
-    let (status, body) = roundtrip(&mut stream, "GET", "/metrics", "").ok()?;
+///
+/// # Errors
+///
+/// A human-readable description of exactly where the fetch went wrong:
+/// connect/transport failure, a non-200 status, a body that is not JSON,
+/// or a JSON document missing (or mistyping) the expected fields. Callers
+/// are expected to surface this rather than collapse it to "unavailable".
+pub fn fetch_hit_rate(addr: &str) -> Result<f64, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let (status, body) = roundtrip(&mut stream, "GET", "/metrics", "")
+        .map_err(|e| format!("GET /metrics transport error: {e}"))?;
     if status != 200 {
-        return None;
+        return Err(format!("GET /metrics answered status {status}"));
     }
-    let value: Value = serde_json::from_str(&body).ok()?;
-    let Value::Map(doc) = value else { return None };
-    let (_, oracle) = doc.iter().find(|(k, _)| k == "oracle_cache")?;
-    let Value::Map(oracle) = oracle else {
-        return None;
+    parse_hit_rate(&body)
+}
+
+/// Extracts `oracle_cache.hit_rate` from a `/metrics` response body,
+/// describing exactly which expectation a malformed body violates.
+pub fn parse_hit_rate(body: &str) -> Result<f64, String> {
+    let value: Value =
+        serde_json::from_str(body).map_err(|e| format!("/metrics body is not valid JSON: {e}"))?;
+    let Value::Map(doc) = value else {
+        return Err("/metrics body is not a JSON object".to_string());
     };
-    match &oracle.iter().find(|(k, _)| k == "hit_rate")?.1 {
-        Value::F64(rate) => Some(*rate),
-        Value::U64(n) => Some(*n as f64),
-        Value::I64(n) => Some(*n as f64),
-        _ => None,
+    let oracle = doc
+        .iter()
+        .find(|(k, _)| k == "oracle_cache")
+        .map(|(_, v)| v)
+        .ok_or("/metrics document has no `oracle_cache` section")?;
+    let Value::Map(oracle) = oracle else {
+        return Err("/metrics `oracle_cache` is not an object".to_string());
+    };
+    let rate = oracle
+        .iter()
+        .find(|(k, _)| k == "hit_rate")
+        .map(|(_, v)| v)
+        .ok_or("/metrics `oracle_cache` has no `hit_rate` field")?;
+    match rate {
+        Value::F64(rate) => Ok(*rate),
+        Value::U64(n) => Ok(*n as f64),
+        Value::I64(n) => Ok(*n as f64),
+        other => Err(format!(
+            "`oracle_cache.hit_rate` is not a number: {other:?}"
+        )),
     }
 }
 
@@ -310,11 +355,58 @@ mod tests {
             latency,
             elapsed: Duration::from_secs(2),
             cache_hit_rate: Some(0.5),
+            metrics_fetch_failures: 0,
         };
         assert!(report.clean());
         assert!((report.throughput() - 5.0).abs() < 1e-9);
         let text = report.render();
         assert!(text.contains("8 ok"));
         assert!(text.contains("50.0%"), "{text}");
+    }
+
+    #[test]
+    fn report_counts_and_renders_metrics_fetch_failures() {
+        let report = LoadgenReport {
+            total: 1,
+            ok: 1,
+            shed: 0,
+            timed_out: 0,
+            unexpected: 0,
+            latency: Histogram::default(),
+            elapsed: Duration::from_secs(1),
+            cache_hit_rate: None,
+            metrics_fetch_failures: 1,
+        };
+        let text = report.render();
+        assert!(
+            text.contains("unavailable (1 metrics fetch failure(s))"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn parse_hit_rate_accepts_well_formed_metrics() {
+        let body = r#"{"oracle_cache":{"hits":3,"hit_rate":0.75}}"#;
+        assert_eq!(parse_hit_rate(body), Ok(0.75));
+        // Integer-typed rates (e.g. exactly 0 or 1) still parse.
+        assert_eq!(
+            parse_hit_rate(r#"{"oracle_cache":{"hit_rate":1}}"#),
+            Ok(1.0)
+        );
+    }
+
+    #[test]
+    fn parse_hit_rate_describes_each_malformation() {
+        let cases: [(&str, &str); 5] = [
+            ("not json at all", "not valid JSON"),
+            ("[1,2,3]", "not a JSON object"),
+            (r#"{"queue":{}}"#, "no `oracle_cache` section"),
+            (r#"{"oracle_cache":{"hits":3}}"#, "no `hit_rate` field"),
+            (r#"{"oracle_cache":{"hit_rate":"high"}}"#, "not a number"),
+        ];
+        for (body, expected) in cases {
+            let err = parse_hit_rate(body).unwrap_err();
+            assert!(err.contains(expected), "{body} => {err}");
+        }
     }
 }

@@ -295,6 +295,90 @@ impl ServerMetrics {
     }
 }
 
+/// Per-phase busy-time totals since boot, aggregated from every traced
+/// repair request — the state behind `GET /trace/summary`. Empty (and the
+/// document says so) unless the daemon runs with tracing on.
+#[derive(Debug, Default)]
+pub struct TraceTotals {
+    spans: AtomicU64,
+    requests: AtomicU64,
+    /// Exclusive nanoseconds per phase, in [`Phase::ALL`] order.
+    phase_ns: [AtomicU64; 4],
+}
+
+use specrepair_trace::{Phase, SpanRecord};
+
+impl TraceTotals {
+    /// A zeroed accumulator.
+    pub fn new() -> TraceTotals {
+        TraceTotals::default()
+    }
+
+    /// Folds one drained batch of spans (typically: everything one repair
+    /// request produced) into the totals.
+    pub fn absorb(&self, spans: &[SpanRecord]) {
+        if spans.is_empty() {
+            return;
+        }
+        self.spans.fetch_add(spans.len() as u64, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        for (i, ns) in specrepair_trace::phase_totals_ns(spans).iter().enumerate() {
+            self.phase_ns[i].fetch_add(*ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Spans absorbed since boot.
+    pub fn spans(&self) -> u64 {
+        self.spans.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `GET /trace/summary` JSON document: whether the
+    /// collector is on, how many spans landed, and per-phase busy
+    /// milliseconds plus percentage of the attributed total since boot.
+    pub fn render(&self, enabled: bool) -> String {
+        let phase_ns: Vec<u64> = self
+            .phase_ns
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total_ns: u64 = phase_ns.iter().sum();
+        let phases = Value::Map(
+            Phase::ALL
+                .iter()
+                .zip(&phase_ns)
+                .map(|(phase, &ns)| {
+                    let pct = if total_ns == 0 {
+                        0.0
+                    } else {
+                        100.0 * ns as f64 / total_ns as f64
+                    };
+                    (
+                        phase.label().to_string(),
+                        Value::Map(vec![
+                            ("busy_ms".to_string(), Value::F64(ns as f64 / 1e6)),
+                            ("pct".to_string(), Value::F64(pct)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = Value::Map(vec![
+            ("tracing_enabled".to_string(), Value::Bool(enabled)),
+            ("spans_total".to_string(), Value::U64(self.spans())),
+            (
+                "traced_requests_total".to_string(),
+                Value::U64(self.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "attributed_ms_total".to_string(),
+                Value::F64(total_ns as f64 / 1e6),
+            ),
+            ("phases".to_string(), phases),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("trace summary always serializes")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +408,76 @@ mod tests {
         h.record(0); // clamped into the first bucket
         assert_eq!(h.count(), 1);
         assert!(h.percentile(0.99).is_some());
+    }
+
+    #[test]
+    fn histogram_single_sample_pins_every_percentile() {
+        let mut h = Histogram::default();
+        h.record(1_000);
+        // With one observation every quantile collapses to it: the bucket
+        // upper bound (1024) is clamped to the observed max.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(1_000), "q = {q}");
+        }
+        assert_eq!(h.mean_micros(), 1_000);
+    }
+
+    #[test]
+    fn histogram_exact_bucket_boundary_lands_in_upper_bucket() {
+        // 1024 = 2^10 sits exactly on a bucket edge; buckets are
+        // half-open [2^i, 2^(i+1)), so it belongs to bucket 10 and the
+        // reported quantile is the clamped upper bound 1024, not 2048.
+        let mut h = Histogram::default();
+        h.record(1_024);
+        assert_eq!(h.percentile(0.5), Some(1_024));
+        // A second sample just below the edge stays in bucket 9, so the
+        // median drops to that bucket's upper bound.
+        h.record(1_023);
+        assert_eq!(h.percentile(0.5), Some(1_024));
+        assert_eq!(h.percentile(1.0), Some(1_024));
+    }
+
+    #[test]
+    fn trace_totals_absorb_and_render() {
+        use specrepair_trace::{AttrValue, Phase, SpanRecord};
+        let parent = SpanRecord {
+            id: 10,
+            parent: 0,
+            name: "cell",
+            phase: Phase::Orchestration,
+            cell: 1,
+            ordinal: 0,
+            start_ns: 0,
+            dur_ns: 10_000_000,
+            attrs: Vec::<(&'static str, AttrValue)>::new(),
+        };
+        let child = SpanRecord {
+            id: 11,
+            parent: 10,
+            name: "sat.solve",
+            phase: Phase::Sat,
+            cell: 1,
+            ordinal: 0,
+            start_ns: 1_000_000,
+            dur_ns: 4_000_000,
+            attrs: Vec::new(),
+        };
+        let totals = TraceTotals::new();
+        totals.absorb(&[]); // empty batches are not counted as requests
+        totals.absorb(&[parent, child]);
+        assert_eq!(totals.spans(), 2);
+        let doc = totals.render(true);
+        // Exclusive attribution: 6 ms orchestration + 4 ms SAT = 10 ms.
+        for needle in [
+            "\"tracing_enabled\": true",
+            "\"spans_total\": 2",
+            "\"traced_requests_total\": 1",
+            "\"attributed_ms_total\": 10",
+            "\"sat\"",
+            "\"orchestration\"",
+        ] {
+            assert!(doc.contains(needle), "summary missing {needle}:\n{doc}");
+        }
     }
 
     #[test]

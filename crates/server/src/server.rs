@@ -20,7 +20,7 @@ use std::time::Duration;
 use specrepair_core::OracleHandle;
 
 use crate::http::{read_request, Request, RequestError, Response};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ServerMetrics, TraceTotals};
 use crate::service::{RepairService, ServiceConfig};
 
 /// How long a worker waits for the next request on an idle keep-alive
@@ -54,6 +54,11 @@ pub struct ServerConfig {
     /// as this path exists (the file-based stand-in for SIGTERM, usable
     /// from CI scripts without a signal-handling dependency).
     pub shutdown_file: Option<PathBuf>,
+    /// Turns the span collector on for the daemon's lifetime: every repair
+    /// request's spans are drained into the per-phase totals behind
+    /// `GET /trace/summary`. Off by default (the disabled collector costs
+    /// one atomic load per would-be span).
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +73,7 @@ impl Default for ServerConfig {
             chaos_rate: 0.0,
             chaos_seed: 0xC4A05,
             shutdown_file: None,
+            trace: false,
         }
     }
 }
@@ -76,6 +82,8 @@ impl Default for ServerConfig {
 struct ServerState {
     service: RepairService,
     metrics: ServerMetrics,
+    trace: TraceTotals,
+    trace_enabled: bool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cond: Condvar,
     queue_capacity: usize,
@@ -142,6 +150,9 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     } else {
         OracleHandle::bounded(config.cache_per_shard)
     };
+    if config.trace {
+        specrepair_trace::set_enabled(true);
+    }
     let state = Arc::new(ServerState {
         service: RepairService::new(
             oracle,
@@ -153,6 +164,8 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             },
         ),
         metrics: ServerMetrics::new(),
+        trace: TraceTotals::new(),
+        trace_enabled: config.trace,
         queue: Mutex::new(VecDeque::new()),
         queue_cond: Condvar::new(),
         queue_capacity: config.queue_capacity.max(1),
@@ -334,8 +347,17 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             );
             ("metrics", Response::json(200, body))
         }
+        ("GET", "/trace/summary") => (
+            "trace",
+            Response::json(200, state.trace.render(state.trace_enabled)),
+        ),
         ("POST", "/repair") => {
             let handled = state.service.handle_repair(&request.body_text());
+            if state.trace_enabled {
+                // Fold whatever this (and any concurrently finished)
+                // request traced into the since-boot phase totals.
+                state.trace.absorb(&specrepair_trace::take_spans());
+            }
             if let (Some(technique), Some(latency)) = (&handled.technique, handled.latency) {
                 state
                     .metrics
@@ -355,7 +377,10 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             state.begin_drain();
             ("shutdown", Response::json(200, "{\"status\":\"draining\"}"))
         }
-        (_, "/healthz" | "/techniques" | "/metrics" | "/repair" | "/shutdown") => (
+        (
+            _,
+            "/healthz" | "/techniques" | "/metrics" | "/trace/summary" | "/repair" | "/shutdown",
+        ) => (
             "http",
             Response::error(405, &format!("{} not allowed here", request.method)),
         ),

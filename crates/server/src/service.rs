@@ -227,6 +227,12 @@ pub struct RepairResponse {
     /// Per-entrant race reports (portfolio techniques only): rank,
     /// success, cost, start/finish/cancelled-at timestamps.
     pub entrants: Option<Vec<EntrantReport>>,
+    /// Deterministic trace id of this request's span tree: the root span
+    /// id of the cell seeded from (spec, technique, seed), as 16 hex
+    /// digits. Stable across replays of the same request whether or not
+    /// the collector is on, so a client can correlate its response with
+    /// `GET /trace/summary` windows or an offline trace dump.
+    pub trace_id: String,
 }
 
 /// What one handled repair request looked like, for the metrics registry.
@@ -360,13 +366,27 @@ impl RepairService {
             cancel: cancel.clone(),
         };
 
+        // The request's deterministic span-id space: seeded from the cell
+        // identity (spec text × technique × seed), so a replayed request
+        // produces the same trace_id and span ids every time.
+        let trace_seed = study.cell_seed_for(&request.spec, id.label());
+        let trace_id = format!("{:016x}", specrepair_trace::root_span_id(trace_seed));
+
         let started = Instant::now();
-        let (outcome, reports) = match id {
-            TechniqueId::Portfolio(roster) => {
-                let (outcome, reports) = run_portfolio(roster, &study, &ctx, &self.transport);
-                (outcome, Some(reports))
+        let (outcome, reports) = {
+            let _trace_scope = specrepair_trace::cell_scope(trace_seed, 0, None);
+            let cell_span = specrepair_trace::span("cell", specrepair_trace::Phase::Orchestration);
+            if cell_span.is_active() {
+                cell_span.attr_str("technique", id.label());
+                cell_span.attr_str("problem", &trace_id);
             }
-            _ => (run_technique(id, &study, &ctx, &self.transport), None),
+            match id {
+                TechniqueId::Portfolio(roster) => {
+                    let (outcome, reports) = run_portfolio(roster, &study, &ctx, &self.transport);
+                    (outcome, Some(reports))
+                }
+                _ => (run_technique(id, &study, &ctx, &self.transport), None),
+            }
         };
         let latency = started.elapsed();
         let timed_out = cancel.is_cancelled();
@@ -404,6 +424,7 @@ impl RepairService {
             metrics,
             winner,
             entrants: reports,
+            trace_id,
         };
         let body = serde_json::to_string(&doc).expect("repair response always serializes");
         let status = if timed_out { 504 } else { 200 };

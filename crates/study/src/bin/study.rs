@@ -4,7 +4,7 @@
 //! study <all|table1|fig2|fig3|table2|ablation|portfolio> [--scale X]
 //!       [--seed N] [--out DIR] [--journal FILE] [--resume]
 //!       [--fault-rate R] [--fault-seed N]
-//!       [--roster NAME] [--workers N]
+//!       [--roster NAME] [--workers N] [--trace DIR]
 //! ```
 //!
 //! `--scale 1.0` evaluates the full 1,974-spec corpus (the paper's size);
@@ -17,6 +17,14 @@
 //! cells and regenerates byte-identical artifacts. `--fault-rate` turns on
 //! deterministic LM-transport fault injection (the chaos recipe in
 //! EXPERIMENTS.md).
+//!
+//! `--trace DIR` turns on the span collector for the whole run and writes
+//! the trace artifacts to DIR afterwards: `trace.json` (Chrome trace-event
+//! JSON — load in `chrome://tracing` or Perfetto), `stacks.folded`
+//! (flamegraph.pl / inferno input) and `phase_breakdown.txt`/`.json` (per
+//! technique × problem % of attributed time in SAT vs oracle-cache vs LM
+//! vs orchestration). Span ids are deterministic per cell, so traces from
+//! resumed or differently-parallel runs are directly comparable.
 //!
 //! `portfolio` (or the `--portfolio` flag) runs the racing-portfolio study
 //! instead: `--roster` picks the composition (`all`, `traditional`, `llm`,
@@ -40,6 +48,7 @@ fn main() {
     let mut resume = false;
     let mut roster = RosterId::All;
     let mut workers: Option<usize> = None;
+    let mut trace_dir: Option<PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -102,6 +111,13 @@ fn main() {
                     args.get(i).unwrap_or_else(|| die("--out needs a path")),
                 ));
             }
+            "--trace" => {
+                i += 1;
+                trace_dir = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--trace needs a directory")),
+                ));
+            }
             c @ ("all" | "table1" | "fig2" | "fig3" | "table2" | "ablation" | "portfolio") => {
                 command = c.to_string();
             }
@@ -113,6 +129,12 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| die(&format!("cannot create {dir:?}: {e}")));
+    }
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("cannot create {dir:?}: {e}")));
+        specrepair_trace::set_enabled(true);
+        eprintln!("tracing ON: spans will be written to {dir:?}");
     }
     if journal_path.is_none() {
         journal_path = out_dir.as_ref().map(|d| d.join("journal.jsonl"));
@@ -159,6 +181,9 @@ fn main() {
                 &serde_json::to_string_pretty(&s).unwrap(),
             );
             eprintln!("artifacts written to {dir:?}");
+        }
+        if let Some(dir) = &trace_dir {
+            write_trace(dir);
         }
         if !s.records_identical {
             eprintln!("error: racing and sequential records diverged (determinism violation)");
@@ -292,6 +317,30 @@ fn main() {
         );
         eprintln!("artifacts written to {dir:?}");
     }
+    if let Some(dir) = &trace_dir {
+        write_trace(dir);
+    }
+}
+
+/// Drains the span collector and writes the four trace artifacts: the
+/// Chrome trace, the folded flamegraph stacks and the per-phase breakdown
+/// table in both renderings.
+fn write_trace(dir: &std::path::Path) {
+    use specrepair_trace as trace;
+    trace::set_enabled(false);
+    let spans = trace::take_spans();
+    eprintln!("trace: {} spans collected", spans.len());
+    write_artifact(&dir.join("trace.json"), &trace::chrome_trace_json(&spans));
+    write_artifact(&dir.join("stacks.folded"), &trace::folded_stacks(&spans));
+    let breakdown = trace::phase_breakdown(&spans);
+    let txt = trace::render_breakdown_txt(&breakdown);
+    eprint!("{txt}");
+    write_artifact(&dir.join("phase_breakdown.txt"), &txt);
+    write_artifact(
+        &dir.join("phase_breakdown.json"),
+        &trace::render_breakdown_json(&breakdown),
+    );
+    eprintln!("trace artifacts written to {dir:?}");
 }
 
 /// Writes one artifact, aborting loudly on failure: a full-corpus run must

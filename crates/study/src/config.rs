@@ -230,6 +230,21 @@ impl StudyConfig {
         specrepair_faults::FaultPlan::new(self.fault_seed ^ h.finish(), self.fault_rate)
     }
 
+    /// The deterministic trace-cell seed for one (problem, technique)
+    /// cell: the root of that cell's span-id space. Like
+    /// [`StudyConfig::fault_plan_for`] it depends only on the study seed
+    /// and the cell's identity, never on scheduling — so traces from a
+    /// `--resume` continuation or a different `--workers` count carry the
+    /// same span ids for the same cells and can be diffed directly.
+    pub fn cell_seed_for(&self, problem_id: &str, technique: &str) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        problem_id.hash(&mut h);
+        technique.hash(&mut h);
+        self.seed ^ h.finish()
+    }
+
     /// The per-technique budget calibration (each real tool ran with its
     /// own internal limits and timeouts; these are the equivalents, chosen
     /// so the reproduction's REP profile matches Table I — see

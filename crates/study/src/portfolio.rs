@@ -60,6 +60,16 @@ pub fn race(
     if let Some(w) = workers {
         portfolio = portfolio.with_workers(w);
     }
+    // Same deterministic span-id space as a solo cell: the race's entrant
+    // spans hang off this root at ordinals `rank + 1`, so one-worker and
+    // N-worker traces of the same cell carry identical span ids.
+    let _trace_scope =
+        specrepair_trace::cell_scope(config.cell_seed_for(&problem.id, roster.label()), 0, None);
+    let cell_span = specrepair_trace::span("cell", specrepair_trace::Phase::Orchestration);
+    if cell_span.is_active() {
+        cell_span.attr_str("technique", roster.label());
+        cell_span.attr_str("problem", &problem.id);
+    }
     portfolio.race(&ctx, entrants_for(roster, problem, config))
 }
 

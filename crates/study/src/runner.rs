@@ -316,6 +316,17 @@ pub fn evaluate_cell(
     problem: &RepairProblem,
     config: &StudyConfig,
 ) -> SpecRecord {
+    // Root of the cell's trace: a deterministic span-id space seeded from
+    // the cell identity, plus one "cell" span covering the whole attempt.
+    // All span-tree bookkeeping is inert (one relaxed atomic load) unless a
+    // collector was enabled via `specrepair_trace::set_enabled`.
+    let _trace_scope =
+        specrepair_trace::cell_scope(config.cell_seed_for(&problem.id, id.label()), 0, None);
+    let cell_span = specrepair_trace::span("cell", specrepair_trace::Phase::Orchestration);
+    if cell_span.is_active() {
+        cell_span.attr_str("technique", id.label());
+        cell_span.attr_str("problem", &problem.id);
+    }
     std::panic::catch_unwind(AssertUnwindSafe(|| {
         evaluate_with(oracle, id, problem, config)
     }))

@@ -1,0 +1,553 @@
+//! Exporters over a drained span list: Chrome trace-event JSON, folded
+//! stacks for flamegraphs, and the per-phase wall-clock breakdown table.
+//!
+//! All three are pure functions of `&[SpanRecord]` and produce
+//! deterministic output given deterministic span ids (records are sorted
+//! before rendering, so sink arrival order — which depends on thread
+//! scheduling — never leaks into the artifacts' structure).
+
+use crate::{AttrValue, Phase, SpanRecord};
+use std::collections::HashMap;
+
+/// Escapes a string into a JSON string literal (without the quotes).
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_attr_value(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::U64(n) => out.push_str(&n.to_string()),
+        AttrValue::I64(n) => out.push_str(&n.to_string()),
+        AttrValue::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+        AttrValue::F64(_) => out.push_str("null"),
+        AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        AttrValue::Str(s) => {
+            out.push('"');
+            escape_json(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Microseconds with nanosecond remainder, as a JSON number string.
+fn us_frac(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn str_attr<'a>(span: &'a SpanRecord, key: &str) -> Option<&'a str> {
+    span.attrs.iter().find_map(|(k, v)| match v {
+        AttrValue::Str(s) if *k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// Spans sorted into a deterministic order: by cell, ordinal, start, id.
+fn sorted(spans: &[SpanRecord]) -> Vec<&SpanRecord> {
+    let mut out: Vec<&SpanRecord> = spans.iter().collect();
+    out.sort_by_key(|s| (s.cell, s.ordinal, s.start_ns, s.id));
+    out
+}
+
+/// Renders Chrome trace-event JSON (the `{"traceEvents": [...]}` object
+/// form) loadable in Perfetto or `chrome://tracing`. Each `(cell,
+/// ordinal)` pair becomes one track; span attributes and the
+/// deterministic ids land in `args`.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let ordered = sorted(spans);
+    // One track per (cell, ordinal), numbered in sorted order.
+    let mut lanes: Vec<(u64, u64)> = ordered.iter().map(|s| (s.cell, s.ordinal)).collect();
+    lanes.dedup();
+    let lane_of: HashMap<(u64, u64), usize> = lanes
+        .iter()
+        .enumerate()
+        .map(|(i, key)| (*key, i + 1))
+        .collect();
+
+    let mut out = String::with_capacity(spans.len() * 160 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, (cell, ordinal)) in lanes.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"cell {:016x} #{}\"}}}}",
+            i + 1,
+            cell,
+            ordinal
+        ));
+    }
+    for span in ordered {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let tid = lane_of[&(span.cell, span.ordinal)];
+        out.push_str("{\"name\":\"");
+        escape_json(&mut out, span.name);
+        out.push_str("\",\"cat\":\"");
+        out.push_str(span.phase.label());
+        out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&tid.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&us_frac(span.start_ns));
+        out.push_str(",\"dur\":");
+        out.push_str(&us_frac(span.dur_ns));
+        out.push_str(",\"args\":{\"span_id\":\"");
+        out.push_str(&format!("{:016x}", span.id));
+        out.push_str("\",\"parent\":\"");
+        out.push_str(&format!("{:016x}", span.parent));
+        out.push('"');
+        for (k, v) in &span.attrs {
+            out.push_str(",\"");
+            escape_json(&mut out, k);
+            out.push_str("\":");
+            push_attr_value(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Exclusive (self) time per span id: duration minus the summed durations
+/// of direct children, clamped at zero (parallel children — portfolio
+/// entrants — can legitimately overlap their parent).
+fn exclusive_ns(spans: &[SpanRecord]) -> HashMap<u64, u64> {
+    let mut child_total: HashMap<u64, u64> = HashMap::new();
+    let known: HashMap<u64, u64> = spans.iter().map(|s| (s.id, s.dur_ns)).collect();
+    for s in spans {
+        if s.parent != 0 && known.contains_key(&s.parent) {
+            *child_total.entry(s.parent).or_insert(0) += s.dur_ns;
+        }
+    }
+    spans
+        .iter()
+        .map(|s| {
+            let children = child_total.get(&s.id).copied().unwrap_or(0);
+            (s.id, s.dur_ns.saturating_sub(children))
+        })
+        .collect()
+}
+
+/// Total exclusive nanoseconds per phase across a batch of spans, in
+/// [`Phase::ALL`] order. The cheap aggregate behind `specrepaird`'s
+/// `GET /trace/summary`: no cell grouping, just where the time went.
+pub fn phase_totals_ns(spans: &[SpanRecord]) -> [u64; 4] {
+    let excl = exclusive_ns(spans);
+    let mut totals = [0u64; 4];
+    for s in spans {
+        totals[s.phase.index()] += excl.get(&s.id).copied().unwrap_or(0);
+    }
+    totals
+}
+
+/// Renders folded-stacks text (`frame;frame;frame value` per line, value
+/// in microseconds of *exclusive* time) for inferno-style flamegraph
+/// tools. Root frames of study cells are labelled
+/// `cell:<technique>:<problem>` so one flamegraph spans the whole study.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let excl = exclusive_ns(spans);
+    let frame = |s: &SpanRecord| -> String {
+        match (str_attr(s, "technique"), str_attr(s, "problem")) {
+            (Some(t), Some(p)) => format!("{}:{}:{}", s.name, t, p),
+            (Some(t), None) => format!("{}:{}", s.name, t),
+            _ => s.name.to_string(),
+        }
+    };
+    let mut folded: HashMap<String, u64> = HashMap::new();
+    for s in sorted(spans) {
+        let us = excl.get(&s.id).copied().unwrap_or(0) / 1_000;
+        if us == 0 {
+            continue;
+        }
+        let mut path = vec![frame(s)];
+        let mut cursor = s.parent;
+        // Depth cap guards against a malformed parent cycle.
+        for _ in 0..64 {
+            let Some(p) = by_id.get(&cursor) else { break };
+            path.push(frame(p));
+            cursor = p.parent;
+        }
+        path.reverse();
+        *folded.entry(path.join(";")).or_insert(0) += us;
+    }
+    let mut lines: Vec<(String, u64)> = folded.into_iter().collect();
+    lines.sort();
+    let mut out = String::new();
+    for (stack, us) in lines {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the phase-breakdown table.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Technique label (from the cell root span's `technique` attribute).
+    pub technique: String,
+    /// Problem id for per-cell rows; `None` for per-technique aggregates.
+    pub problem: Option<String>,
+    /// Number of cells aggregated into this row.
+    pub cells: usize,
+    /// Sum of the cell root spans' wall-clock durations (ms).
+    pub wall_ms: f64,
+    /// Sum of exclusive time attributed across all phases (ms). For
+    /// well-nested single-threaded cells this reconciles with `wall_ms`;
+    /// portfolio cells can exceed it (parallel entrants burn CPU time).
+    pub attributed_ms: f64,
+    /// Exclusive milliseconds per phase, in [`Phase::ALL`] order.
+    pub phase_ms: [f64; 4],
+    /// Percentage of `attributed_ms` per phase (sums to ~100).
+    pub phase_pct: [f64; 4],
+}
+
+/// The phase-breakdown artifact: per-technique aggregates plus the
+/// underlying per-(technique, problem) cells.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    /// One row per technique, in label order.
+    pub techniques: Vec<BreakdownRow>,
+    /// One row per (technique, problem) cell, in label order.
+    pub cells: Vec<BreakdownRow>,
+}
+
+/// Attributes every span's exclusive time to its phase, grouped by the
+/// owning cell's `(technique, problem)` — the cell is identified by the
+/// root span (parent 0) carrying `technique`/`problem` string attributes.
+pub fn phase_breakdown(spans: &[SpanRecord]) -> Breakdown {
+    let excl = exclusive_ns(spans);
+    // Cell identity: root spans with a technique attribute. Portfolio
+    // entrant scopes reuse their parent cell's seed, so their spans fold
+    // into the same row.
+    let mut cell_key: HashMap<u64, (String, String)> = HashMap::new();
+    let mut cell_wall: HashMap<(String, String), (usize, u64)> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            continue;
+        }
+        let Some(technique) = str_attr(s, "technique") else {
+            continue;
+        };
+        let problem = str_attr(s, "problem").unwrap_or("-").to_string();
+        cell_key.insert(s.cell, (technique.to_string(), problem.clone()));
+        let entry = cell_wall
+            .entry((technique.to_string(), problem))
+            .or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += s.dur_ns;
+    }
+    let mut phase_ns: HashMap<(String, String), [u64; 4]> = HashMap::new();
+    for s in spans {
+        let Some(key) = cell_key.get(&s.cell) else {
+            continue;
+        };
+        let ns = excl.get(&s.id).copied().unwrap_or(0);
+        phase_ns.entry(key.clone()).or_insert([0; 4])[s.phase.index()] += ns;
+    }
+
+    let row = |technique: &str, problem: Option<&str>, cells: usize, wall: u64, ns: [u64; 4]| {
+        let attributed: u64 = ns.iter().sum();
+        let to_ms = |n: u64| n as f64 / 1e6;
+        let pct = |n: u64| {
+            if attributed == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / attributed as f64
+            }
+        };
+        BreakdownRow {
+            technique: technique.to_string(),
+            problem: problem.map(str::to_string),
+            cells,
+            wall_ms: to_ms(wall),
+            attributed_ms: to_ms(attributed),
+            phase_ms: [to_ms(ns[0]), to_ms(ns[1]), to_ms(ns[2]), to_ms(ns[3])],
+            phase_pct: [pct(ns[0]), pct(ns[1]), pct(ns[2]), pct(ns[3])],
+        }
+    };
+
+    let mut keys: Vec<(String, String)> = cell_wall.keys().cloned().collect();
+    keys.sort();
+    let mut cells_rows = Vec::with_capacity(keys.len());
+    let mut by_technique: HashMap<String, (usize, u64, [u64; 4])> = HashMap::new();
+    for key in &keys {
+        let (count, wall) = cell_wall[key];
+        let ns = phase_ns.get(key).copied().unwrap_or([0; 4]);
+        cells_rows.push(row(&key.0, Some(&key.1), count, wall, ns));
+        let agg = by_technique.entry(key.0.clone()).or_insert((0, 0, [0; 4]));
+        agg.0 += count;
+        agg.1 += wall;
+        for (slot, n) in agg.2.iter_mut().zip(ns) {
+            *slot += n;
+        }
+    }
+    let mut technique_labels: Vec<String> = by_technique.keys().cloned().collect();
+    technique_labels.sort();
+    let technique_rows = technique_labels
+        .iter()
+        .map(|t| {
+            let (count, wall, ns) = by_technique[t];
+            row(t, None, count, wall, ns)
+        })
+        .collect();
+    Breakdown {
+        techniques: technique_rows,
+        cells: cells_rows,
+    }
+}
+
+/// Renders the per-technique breakdown as a fixed-width text table.
+pub fn render_breakdown_txt(b: &Breakdown) -> String {
+    let mut out = String::new();
+    out.push_str("Per-phase wall-clock breakdown (exclusive time; % of attributed)\n\n");
+    let width = b
+        .techniques
+        .iter()
+        .map(|r| r.technique.len())
+        .max()
+        .unwrap_or(9)
+        .max("technique".len());
+    out.push_str(&format!(
+        "{:width$}  {:>5}  {:>10}  {:>10}  {:>6}  {:>12}  {:>6}  {:>13}\n",
+        "technique",
+        "cells",
+        "wall_ms",
+        "attr_ms",
+        "sat%",
+        "oracle-cache%",
+        "lm%",
+        "orchestration%",
+        width = width
+    ));
+    for r in &b.techniques {
+        out.push_str(&format!(
+            "{:width$}  {:>5}  {:>10.1}  {:>10.1}  {:>6.1}  {:>12.1}  {:>6.1}  {:>13.1}\n",
+            r.technique,
+            r.cells,
+            r.wall_ms,
+            r.attributed_ms,
+            r.phase_pct[0],
+            r.phase_pct[1],
+            r.phase_pct[2],
+            r.phase_pct[3],
+            width = width
+        ));
+    }
+    out
+}
+
+fn push_row_json(out: &mut String, r: &BreakdownRow) {
+    out.push_str("{\"technique\":\"");
+    escape_json(out, &r.technique);
+    out.push('"');
+    if let Some(p) = &r.problem {
+        out.push_str(",\"problem\":\"");
+        escape_json(out, p);
+        out.push('"');
+    }
+    out.push_str(&format!(
+        ",\"cells\":{},\"wall_ms\":{:.3},\"attributed_ms\":{:.3}",
+        r.cells, r.wall_ms, r.attributed_ms
+    ));
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            ",\"{}_ms\":{:.3},\"{}_pct\":{:.3}",
+            phase.label(),
+            r.phase_ms[i],
+            phase.label(),
+            r.phase_pct[i]
+        ));
+    }
+    out.push('}');
+}
+
+/// Renders the breakdown as JSON: `{"techniques": [...], "cells": [...]}`.
+pub fn render_breakdown_json(b: &Breakdown) -> String {
+    let mut out = String::from("{\"techniques\":[");
+    for (i, r) in b.techniques.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_row_json(&mut out, r);
+    }
+    out.push_str("],\"cells\":[");
+    for (i, r) in b.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_row_json(&mut out, r);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        phase: Phase,
+        cell: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            phase,
+            cell,
+            ordinal: 0,
+            start_ns,
+            dur_ns,
+            attrs,
+        }
+    }
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            span(
+                1,
+                0,
+                "cell",
+                Phase::Orchestration,
+                7,
+                0,
+                10_000_000,
+                vec![
+                    ("technique", AttrValue::Str("ARepair".into())),
+                    ("problem", AttrValue::Str("p1".into())),
+                ],
+            ),
+            span(
+                2,
+                1,
+                "oracle.query",
+                Phase::OracleCache,
+                7,
+                1_000_000,
+                6_000_000,
+                vec![("hit", AttrValue::Bool(false))],
+            ),
+            span(
+                3,
+                2,
+                "sat.solve",
+                Phase::Sat,
+                7,
+                2_000_000,
+                4_000_000,
+                vec![("conflicts", AttrValue::U64(12))],
+            ),
+        ]
+    }
+
+    #[test]
+    fn chrome_json_has_events_and_lanes() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"sat.solve\""));
+        assert!(json.contains("\"cat\":\"sat\""));
+        assert!(json.contains("\"conflicts\":12"));
+        assert!(json.contains("\"hit\":false"));
+        // Durations are microseconds: 10 ms root → 10000.000.
+        assert!(json.contains("\"dur\":10000.000"), "{json}");
+    }
+
+    #[test]
+    fn chrome_json_escapes_strings() {
+        let spans = vec![span(
+            1,
+            0,
+            "cell",
+            Phase::Orchestration,
+            1,
+            0,
+            5,
+            vec![("technique", AttrValue::Str("a\"b\\c\nd".into()))],
+        )];
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn folded_stacks_use_exclusive_time() {
+        let text = folded_stacks(&sample());
+        // Root: 10ms − 6ms child = 4ms = 4000 µs exclusive.
+        assert!(
+            text.contains("cell:ARepair:p1 4000\n"),
+            "exclusive root time:\n{text}"
+        );
+        // Leaf keeps its full 4 ms.
+        assert!(text.contains("cell:ARepair:p1;oracle.query;sat.solve 4000\n"));
+        // Middle frame: 6 − 4 = 2 ms.
+        assert!(text.contains("cell:ARepair:p1;oracle.query 2000\n"));
+    }
+
+    #[test]
+    fn breakdown_partitions_the_root_wall_clock() {
+        let b = phase_breakdown(&sample());
+        assert_eq!(b.techniques.len(), 1);
+        let r = &b.techniques[0];
+        assert_eq!(r.technique, "ARepair");
+        assert_eq!(r.cells, 1);
+        assert!((r.wall_ms - 10.0).abs() < 1e-9);
+        assert!((r.attributed_ms - 10.0).abs() < 1e-9, "{r:?}");
+        let pct_sum: f64 = r.phase_pct.iter().sum();
+        assert!((pct_sum - 100.0).abs() < 1e-6);
+        // sat 4ms, oracle 2ms, orchestration 4ms.
+        assert!((r.phase_ms[0] - 4.0).abs() < 1e-9);
+        assert!((r.phase_ms[1] - 2.0).abs() < 1e-9);
+        assert!((r.phase_ms[3] - 4.0).abs() < 1e-9);
+        assert_eq!(b.cells[0].problem.as_deref(), Some("p1"));
+    }
+
+    #[test]
+    fn breakdown_renderers_are_consistent() {
+        let b = phase_breakdown(&sample());
+        let txt = render_breakdown_txt(&b);
+        assert!(txt.contains("ARepair"));
+        assert!(txt.contains("orchestration%"));
+        let json = render_breakdown_json(&b);
+        assert!(json.starts_with("{\"techniques\":["));
+        assert!(json.contains("\"sat_pct\":40.000"));
+        assert!(json.contains("\"oracle-cache_pct\":20.000"));
+    }
+
+    #[test]
+    fn empty_spans_render_empty_artifacts() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+        assert_eq!(folded_stacks(&[]), "");
+        let b = phase_breakdown(&[]);
+        assert!(b.techniques.is_empty());
+        assert_eq!(
+            render_breakdown_json(&b),
+            "{\"techniques\":[],\"cells\":[]}"
+        );
+    }
+}

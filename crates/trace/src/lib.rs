@@ -1,0 +1,548 @@
+//! # specrepair-trace
+//!
+//! A dependency-light, always-compiled tracing layer for the repair
+//! pipeline: spans flow from individual CDCL solves up through oracle
+//! queries, technique phases, portfolio entrants and whole study cells.
+//!
+//! Design constraints (DESIGN.md §9):
+//!
+//! - **~zero disabled overhead.** The hot path is one relaxed atomic load
+//!   ([`enabled`]); when tracing is off, [`span`] returns an inert guard
+//!   and touches neither the clock nor thread-local state.
+//! - **Lock-free hot path.** Open spans live on a thread-local stack;
+//!   completed spans accumulate in a thread-local buffer that is flushed
+//!   to the global sink only when the thread's span stack empties (one
+//!   mutex acquisition per *top-level* span, not per span).
+//! - **Deterministic span ids.** A span's id is a SplitMix64 mix of
+//!   `(cell seed, logical thread ordinal, per-scope sequence number)` —
+//!   none of which depend on wall-clock or OS thread identity — so the
+//!   span ids of a `study --resume` run or an N-worker portfolio race
+//!   match the 1-worker run span for span. Only timestamps differ.
+//! - **Typed attributes, RAII guards.** [`SpanGuard`] closes its span on
+//!   drop; [`AttrValue`] keeps counters as numbers all the way into the
+//!   exporters.
+//!
+//! The exporters ([`chrome_trace_json`], [`folded_stacks`],
+//! [`phase_breakdown`]) turn a drained span list into Chrome trace-event
+//! JSON (Perfetto / `chrome://tracing`), folded-stacks text (inferno-style
+//! flamegraphs) and the per-phase wall-clock breakdown table behind
+//! `study --trace <dir>`.
+
+#![warn(missing_docs)]
+
+mod export;
+
+pub use export::{
+    chrome_trace_json, folded_stacks, phase_breakdown, phase_totals_ns, render_breakdown_json,
+    render_breakdown_txt, Breakdown, BreakdownRow,
+};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The four top-level cost buckets of the phase-breakdown artifact: where
+/// a repair's wall-clock goes, per technique × benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// SAT solving and formula compilation (CDCL + encode).
+    Sat,
+    /// Oracle memo-table machinery: fingerprinting, shard probes, replay.
+    OracleCache,
+    /// Language-model rounds (prompt construction + completion).
+    Lm,
+    /// Everything else: search loops, mutation generation, feedback,
+    /// scheduling — the residual bucket.
+    Orchestration,
+}
+
+impl Phase {
+    /// All phases, in breakdown-column order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Sat,
+        Phase::OracleCache,
+        Phase::Lm,
+        Phase::Orchestration,
+    ];
+
+    /// The column label used in exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Sat => "sat",
+            Phase::OracleCache => "oracle-cache",
+            Phase::Lm => "lm",
+            Phase::Orchestration => "orchestration",
+        }
+    }
+
+    /// The phase's index in [`Phase::ALL`].
+    pub fn index(&self) -> usize {
+        match self {
+            Phase::Sat => 0,
+            Phase::OracleCache => 1,
+            Phase::Lm => 2,
+            Phase::Orchestration => 3,
+        }
+    }
+}
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned counter (solver statistics, draft indices, …).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point measurement.
+    F64(f64),
+    /// Boolean flag (cache hit/miss, verdicts).
+    Bool(bool),
+    /// Free-form string (labels, problem ids).
+    Str(String),
+}
+
+/// One completed span, as drained from the sink by [`take_spans`].
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Deterministic span id (never 0; 0 means "no parent").
+    pub id: u64,
+    /// Parent span id, or 0 for a root span.
+    pub parent: u64,
+    /// Static span name (`"sat.solve"`, `"oracle.query"`, …).
+    pub name: &'static str,
+    /// Cost bucket this span's *exclusive* time is attributed to.
+    pub phase: Phase,
+    /// The cell seed of the scope the span was recorded under.
+    pub cell: u64,
+    /// Logical thread ordinal within the cell (0 = the cell's own thread,
+    /// 1 + rank for portfolio entrants).
+    pub ordinal: u64,
+    /// Start timestamp in nanoseconds since the process trace origin.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+static SINK: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Turns span collection on or off process-wide. Spans opened while
+/// disabled stay inert even if collection is enabled before they close.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the time origin before the first span can be recorded.
+        ORIGIN.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether span collection is currently enabled (one relaxed load — this
+/// is the entire disabled-path cost of [`span`]).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn now_ns() -> u64 {
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// SplitMix64 finalizer: the deterministic id mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic span id of `(cell seed, thread ordinal, sequence)`.
+/// Exposed so callers can predict ids without recording (e.g. the daemon
+/// derives a request's `trace_id` from its cell seed even when tracing is
+/// off). Never returns 0 (reserved for "no parent").
+pub fn span_id_for(cell: u64, ordinal: u64, seq: u64) -> u64 {
+    let id = mix(mix(mix(cell) ^ ordinal) ^ seq);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The id the *root* span of a cell scope will get — `(cell, 0, 0)`.
+pub fn root_span_id(cell: u64) -> u64 {
+    span_id_for(cell, 0, 0)
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    phase: Phase,
+    start_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+struct ThreadState {
+    cell: u64,
+    ordinal: u64,
+    seq: u64,
+    /// Cross-thread parent adopted by this scope's root spans.
+    adopted_parent: u64,
+    stack: Vec<OpenSpan>,
+    done: Vec<SpanRecord>,
+}
+
+impl ThreadState {
+    const fn new() -> ThreadState {
+        ThreadState {
+            cell: 0,
+            ordinal: 0,
+            seq: 0,
+            adopted_parent: 0,
+            stack: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.done.is_empty() {
+            SINK.lock().unwrap().append(&mut self.done);
+        }
+    }
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = const { RefCell::new(ThreadState::new()) };
+}
+
+/// An RAII span: closes (and records) the span when dropped. Created by
+/// [`span`]; inert when tracing was disabled at creation. Must be dropped
+/// on the thread that created it, in LIFO order — the natural shape of a
+/// lexical scope guard.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+/// Opens a span in the current thread's scope. When tracing is disabled
+/// this is one atomic load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str, phase: Phase) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    start_span(name, phase)
+}
+
+#[cold]
+fn start_span(name: &'static str, phase: Phase) -> SpanGuard {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let parent = st.stack.last().map(|o| o.id).unwrap_or(st.adopted_parent);
+        let id = span_id_for(st.cell, st.ordinal, st.seq);
+        st.seq += 1;
+        st.stack.push(OpenSpan {
+            id,
+            parent,
+            name,
+            phase,
+            start_ns: now_ns(),
+            attrs: Vec::new(),
+        });
+    });
+    SpanGuard { active: true }
+}
+
+impl SpanGuard {
+    /// Whether this guard is recording (tracing was enabled at creation).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// This span's deterministic id (`None` when inert).
+    pub fn id(&self) -> Option<u64> {
+        if !self.active {
+            return None;
+        }
+        STATE.with(|s| s.borrow().stack.last().map(|o| o.id))
+    }
+
+    fn push_attr(&self, key: &'static str, value: AttrValue) {
+        if !self.active {
+            return;
+        }
+        STATE.with(|s| {
+            if let Some(open) = s.borrow_mut().stack.last_mut() {
+                open.attrs.push((key, value));
+            }
+        });
+    }
+
+    /// Attaches an unsigned counter attribute.
+    pub fn attr_u64(&self, key: &'static str, value: u64) {
+        self.push_attr(key, AttrValue::U64(value));
+    }
+
+    /// Attaches a signed integer attribute.
+    pub fn attr_i64(&self, key: &'static str, value: i64) {
+        self.push_attr(key, AttrValue::I64(value));
+    }
+
+    /// Attaches a floating-point attribute.
+    pub fn attr_f64(&self, key: &'static str, value: f64) {
+        self.push_attr(key, AttrValue::F64(value));
+    }
+
+    /// Attaches a boolean attribute.
+    pub fn attr_bool(&self, key: &'static str, value: bool) {
+        self.push_attr(key, AttrValue::Bool(value));
+    }
+
+    /// Attaches a string attribute (only clones when recording).
+    pub fn attr_str(&self, key: &'static str, value: &str) {
+        if !self.active {
+            return;
+        }
+        self.push_attr(key, AttrValue::Str(value.to_string()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            if let Some(open) = st.stack.pop() {
+                let dur_ns = now_ns().saturating_sub(open.start_ns);
+                let rec = SpanRecord {
+                    id: open.id,
+                    parent: open.parent,
+                    name: open.name,
+                    phase: open.phase,
+                    cell: st.cell,
+                    ordinal: st.ordinal,
+                    start_ns: open.start_ns,
+                    dur_ns,
+                    attrs: open.attrs,
+                };
+                st.done.push(rec);
+            }
+            if st.stack.is_empty() {
+                st.flush();
+            }
+        });
+    }
+}
+
+/// An RAII cell scope: while alive, spans on this thread get ids derived
+/// from `(cell, ordinal, seq)` with the sequence restarting at 0, and root
+/// spans adopt `parent` (a span id from another thread) so cross-thread
+/// traces nest. Restores the previous scope on drop. Created by
+/// [`cell_scope`]; inert when tracing was disabled at creation.
+pub struct CellScope {
+    prev: Option<(u64, u64, u64, u64)>,
+}
+
+/// Enters a deterministic id scope for one study cell / portfolio entrant
+/// / daemon request. `ordinal` is the *logical* thread ordinal (0 for the
+/// cell's own thread, `1 + rank` for portfolio entrants); `parent` is an
+/// optional cross-thread parent span id adopted by this scope's root
+/// spans.
+pub fn cell_scope(cell: u64, ordinal: u64, parent: Option<u64>) -> CellScope {
+    if !enabled() {
+        return CellScope { prev: None };
+    }
+    let prev = STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let prev = (st.cell, st.ordinal, st.seq, st.adopted_parent);
+        st.cell = cell;
+        st.ordinal = ordinal;
+        st.seq = 0;
+        st.adopted_parent = parent.unwrap_or(0);
+        prev
+    });
+    CellScope { prev: Some(prev) }
+}
+
+impl Drop for CellScope {
+    fn drop(&mut self) {
+        let Some((cell, ordinal, seq, parent)) = self.prev else {
+            return;
+        };
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            // Anything recorded under this scope is complete: hand it to
+            // the sink even if an outer span (on this thread) is still
+            // open.
+            st.flush();
+            st.cell = cell;
+            st.ordinal = ordinal;
+            st.seq = seq;
+            st.adopted_parent = parent;
+        });
+    }
+}
+
+/// The current thread's cell seed (0 outside any scope or when disabled).
+pub fn current_cell() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    STATE.with(|s| s.borrow().cell)
+}
+
+/// The id of the innermost open span on this thread (0 when none). Used
+/// to hand a parent id to spans recorded on *other* threads (portfolio
+/// entrants, daemon workers).
+pub fn current_span_id() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    STATE.with(|s| s.borrow().stack.last().map(|o| o.id).unwrap_or(0))
+}
+
+/// Drains every completed span flushed to the global sink so far. Spans
+/// still open (or buffered under a live cell scope on another thread) are
+/// not included — drain after the traced region has fully joined.
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *SINK.lock().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this module toggle the process-global enable flag, so they
+    /// serialize on one mutex to stay independent of the test harness's
+    /// thread scheduling.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = serial();
+        set_enabled(false);
+        take_spans();
+        {
+            let s = span("noop", Phase::Sat);
+            s.attr_u64("k", 1);
+            assert!(!s.is_active());
+            assert_eq!(s.id(), None);
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_parentage_and_attrs() {
+        let _g = serial();
+        set_enabled(true);
+        take_spans();
+        let _scope = cell_scope(0xC0FFEE, 0, None);
+        let root_id;
+        {
+            let root = span("root", Phase::Orchestration);
+            root.attr_str("technique", "ARepair");
+            root_id = root.id().unwrap();
+            {
+                let child = span("child", Phase::Sat);
+                child.attr_u64("conflicts", 7);
+                assert_ne!(child.id().unwrap(), root_id);
+            }
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        // Children complete (and are buffered) before their parents.
+        let child = &spans[0];
+        let root = &spans[1];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.id, root_id);
+        assert_eq!(child.parent, root.id);
+        assert_eq!(child.cell, 0xC0FFEE);
+        assert_eq!(child.attrs, vec![("conflicts", AttrValue::U64(7))]);
+        assert!(root.start_ns <= child.start_ns);
+        assert!(root.dur_ns >= child.dur_ns);
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_per_scope() {
+        let _g = serial();
+        set_enabled(true);
+        take_spans();
+        let run = || {
+            let _scope = cell_scope(42, 3, None);
+            let a = span("a", Phase::Sat);
+            let a_id = a.id().unwrap();
+            drop(a);
+            let b = span("b", Phase::Lm);
+            let b_id = b.id().unwrap();
+            drop(b);
+            (a_id, b_id)
+        };
+        let first = run();
+        let second = run();
+        set_enabled(false);
+        take_spans();
+        assert_eq!(first, second, "same (cell, ordinal, seq) → same ids");
+        assert_eq!(first.0, span_id_for(42, 3, 0));
+        assert_eq!(first.1, span_id_for(42, 3, 1));
+        assert_ne!(first.0, first.1);
+        assert_ne!(span_id_for(42, 0, 0), span_id_for(42, 1, 0));
+        assert_eq!(root_span_id(42), span_id_for(42, 0, 0));
+    }
+
+    #[test]
+    fn adopted_parent_links_cross_thread_roots() {
+        let _g = serial();
+        set_enabled(true);
+        take_spans();
+        let parent_id = {
+            let _scope = cell_scope(9, 0, None);
+            let parent = span("race", Phase::Orchestration);
+            let pid = parent.id().unwrap();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _entrant = cell_scope(9, 1, Some(pid));
+                    let e = span("entrant", Phase::Orchestration);
+                    assert_eq!(e.id().unwrap(), span_id_for(9, 1, 0));
+                });
+            });
+            pid
+        };
+        set_enabled(false);
+        let spans = take_spans();
+        let entrant = spans.iter().find(|s| s.name == "entrant").unwrap();
+        assert_eq!(entrant.parent, parent_id);
+        assert_eq!(entrant.ordinal, 1);
+    }
+
+    #[test]
+    fn cell_scope_restores_previous_scope() {
+        let _g = serial();
+        set_enabled(true);
+        take_spans();
+        let _outer = cell_scope(1, 0, None);
+        let a = span("a", Phase::Sat);
+        drop(a);
+        {
+            let _inner = cell_scope(2, 0, None);
+            let b = span("b", Phase::Sat);
+            assert_eq!(b.id().unwrap(), span_id_for(2, 0, 0));
+        }
+        // Back in the outer scope: the sequence continues where it left.
+        let c = span("c", Phase::Sat);
+        assert_eq!(c.id().unwrap(), span_id_for(1, 0, 1));
+        drop(c);
+        set_enabled(false);
+        take_spans();
+    }
+}

@@ -49,8 +49,16 @@ pub(crate) fn greedy_test_repair(
     let mut current = start.clone();
     let (_, mut current_fail) = suite.run(&current);
     while current_fail > 0 && explored < max_candidates && !cancel.is_cancelled() {
+        let mutation_span = specrepair_trace::span(
+            "technique.mutation_gen",
+            specrepair_trace::Phase::Orchestration,
+        );
         let engine = MutationEngine::new(&current);
         let mutations = engine.all_mutations();
+        if mutation_span.is_active() {
+            mutation_span.attr_u64("mutations", mutations.len() as u64);
+        }
+        drop(mutation_span);
         // First-improvement hill climbing (as in the original ARepair: the
         // first strictly-improving edit is taken immediately — fast and
         // overfitting-prone). ICEBAR's refinement loop asks for `thorough`

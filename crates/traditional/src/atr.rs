@@ -174,7 +174,12 @@ impl RepairTechnique for Atr {
                 .collect()
         };
 
+        let mutation_span = specrepair_trace::span(
+            "technique.mutation_gen",
+            specrepair_trace::Phase::Orchestration,
+        );
         let engine = MutationEngine::new(&ctx.faulty);
+        drop(mutation_span);
         for site in sites {
             // (a) mutation-level candidates at the site and its subtree.
             let mut candidates: Vec<Spec> = Vec::new();

@@ -62,8 +62,17 @@ impl RepairTechnique for BeAFix {
         let mut session = ctx.validation_session();
 
         // Depth 1: every single mutation, in deterministic order.
+        let mutation_span = specrepair_trace::span(
+            "technique.mutation_gen",
+            specrepair_trace::Phase::Orchestration,
+        );
         let engine = MutationEngine::new(&ctx.faulty);
         let mutations = engine.all_mutations();
+        if mutation_span.is_active() {
+            mutation_span.attr_u64("mutations", mutations.len() as u64);
+            mutation_span.attr_u64("depth", 1);
+        }
+        drop(mutation_span);
         for m in &mutations {
             let Some(mutant) = engine.apply(m) else {
                 continue;
@@ -99,8 +108,18 @@ impl RepairTechnique for BeAFix {
                 let Some(level1) = engine.apply(m1) else {
                     continue;
                 };
+                let mutation_span = specrepair_trace::span(
+                    "technique.mutation_gen",
+                    specrepair_trace::Phase::Orchestration,
+                );
                 let engine2 = MutationEngine::new(&level1);
-                for m2 in engine2.all_mutations() {
+                let level2_mutations = engine2.all_mutations();
+                if mutation_span.is_active() {
+                    mutation_span.attr_u64("mutations", level2_mutations.len() as u64);
+                    mutation_span.attr_u64("depth", 2);
+                }
+                drop(mutation_span);
+                for m2 in level2_mutations {
                     let Some(level2) = engine2.apply(&m2) else {
                         continue;
                     };

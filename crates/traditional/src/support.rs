@@ -54,6 +54,14 @@ pub fn derive_tests(
     per_command: usize,
     admission_tests: bool,
 ) -> TestSuite {
+    let span = specrepair_trace::span(
+        "technique.test_derivation",
+        specrepair_trace::Phase::Orchestration,
+    );
+    if span.is_active() {
+        span.attr_u64("per_command", per_command as u64);
+        span.attr_bool("admission_tests", admission_tests);
+    }
     let mut suite = TestSuite::new();
     let Ok(outcomes) = oracle.execute_all(spec) else {
         return suite;
@@ -147,6 +155,14 @@ pub fn counterexample_tests(
     per_command: usize,
     round: usize,
 ) -> Vec<AUnitTest> {
+    let span = specrepair_trace::span(
+        "technique.test_derivation",
+        specrepair_trace::Phase::Orchestration,
+    );
+    if span.is_active() {
+        span.attr_u64("per_command", per_command as u64);
+        span.attr_u64("round", round as u64);
+    }
     let mut tests = Vec::new();
     let Ok(outcomes) = oracle.execute_all(candidate) else {
         return tests;

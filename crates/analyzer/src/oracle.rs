@@ -6,9 +6,13 @@
 //! engines regenerate the same mutants across techniques and rounds, and
 //! ICEBAR/Multi-Round revisit earlier candidates. The [`Oracle`] memoizes
 //! every [`Analyzer`] query behind a thread-safe sharded table keyed by the
-//! *content fingerprint* of the canonical pretty-printed specification
-//! (plus the command / assertion / formula and scope for the per-command
-//! queries), so a question is solved at most once per process.
+//! *content fingerprint* of the specification — the 128-bit canonical
+//! Merkle hash of [`mualloy_syntax::hash`], which is span-insensitive and
+//! agrees with print-equality — (plus the command / assertion / formula and
+//! scope for the per-command queries), so a question is solved at most once
+//! per process. Callers that already know a candidate's fingerprint (e.g.
+//! from an incremental [`mualloy_syntax::SpecHasher`] rehash) pass it to
+//! the `*_keyed` variants and skip the hash walk entirely.
 //!
 //! Results are cached including errors: an `Err` answer is as deterministic
 //! as an `Ok` one. Ground evaluations ([`Oracle::evaluate`]) are pass-through
@@ -18,15 +22,13 @@
 //! afresh; the study's correctness gate asserts that cache-enabled and
 //! cache-disabled runs produce byte-identical results.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mualloy_relational::Instance;
 use mualloy_sat::{stats as sat_stats, SolverStats};
 use mualloy_syntax::ast::{Command, Formula, Spec};
-use mualloy_syntax::print_spec;
+use mualloy_syntax::{spec_fingerprint, Fingerprint};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use specrepair_trace::{Phase, SpanGuard};
@@ -87,10 +89,10 @@ fn tag_query(span: &SpanGuard, hit: bool, solver: &SolverStats) {
 /// FIFO insertion order used for eviction when a capacity is configured.
 #[derive(Debug, Default)]
 struct Shard {
-    entries: HashMap<String, SpecEntry>,
+    entries: HashMap<Fingerprint, SpecEntry>,
     /// Spec keys in insertion order; oldest specs are evicted first. Only
     /// maintained when the table is bounded.
-    order: VecDeque<String>,
+    order: VecDeque<Fingerprint>,
 }
 
 /// A point-in-time snapshot of the oracle's counters.
@@ -226,24 +228,25 @@ impl Oracle {
         self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
-    /// The canonical cache key of a specification: its pretty-printed
-    /// source, which normalizes spans and whitespace provenance.
-    pub fn fingerprint(spec: &Spec) -> String {
-        print_spec(spec)
+    /// The canonical cache key of a specification: the 128-bit Merkle
+    /// fingerprint of [`mualloy_syntax::hash`], which normalizes spans,
+    /// node ids and whitespace provenance (hash-equal ⟺ print-equal).
+    pub fn fingerprint(spec: &Spec) -> Fingerprint {
+        spec_fingerprint(spec)
     }
 
-    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    fn shard_of(&self, key: Fingerprint) -> &Mutex<Shard> {
+        // The fingerprint is already a strong hash; its low bits pick the
+        // shard directly.
+        &self.shards[(key.0 as usize) & (SHARDS - 1)]
     }
 
     /// Stores a computed answer under `key`, evicting the shard's oldest
     /// spec entries when a capacity is configured.
-    fn memoize(&self, shard: &Mutex<Shard>, key: String, store: impl FnOnce(&mut SpecEntry)) {
+    fn memoize(&self, shard: &Mutex<Shard>, key: Fingerprint, store: impl FnOnce(&mut SpecEntry)) {
         let mut guard = shard.lock();
         if self.shard_capacity.is_some() && !guard.entries.contains_key(&key) {
-            guard.order.push_back(key.clone());
+            guard.order.push_back(key);
         }
         store(guard.entries.entry(key).or_default());
         if let Some(cap) = self.shard_capacity {
@@ -279,6 +282,29 @@ impl Oracle {
     ///
     /// Fails (and caches the failure) when any command cannot be executed.
     pub fn execute_all(&self, spec: &Spec) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        self.execute_all_with(spec, None)
+    }
+
+    /// [`Oracle::execute_all`] with a precomputed canonical fingerprint,
+    /// skipping the hash walk. The caller guarantees
+    /// `key == Oracle::fingerprint(spec)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails (and caches the failure) when any command cannot be executed.
+    pub fn execute_all_keyed(
+        &self,
+        spec: &Spec,
+        key: Fingerprint,
+    ) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        self.execute_all_with(spec, Some(key))
+    }
+
+    fn execute_all_with(
+        &self,
+        spec: &Spec,
+        key: Option<Fingerprint>,
+    ) -> Result<Vec<CommandOutcome>, AnalyzerError> {
         let span = specrepair_trace::span("oracle.execute_all", Phase::OracleCache);
         if !self.enabled {
             let (computed, solver) =
@@ -286,8 +312,8 @@ impl Oracle {
             tag_query(&span, false, &solver);
             return self.record(computed);
         }
-        let key = Oracle::fingerprint(spec);
-        let shard = self.shard_of(&key);
+        let key = key.unwrap_or_else(|| Oracle::fingerprint(spec));
+        let shard = self.shard_of(key);
         if let Some(cached) = shard
             .lock()
             .entries
@@ -323,6 +349,23 @@ impl Oracle {
             .all(CommandOutcome::matches_expectation))
     }
 
+    /// [`Oracle::satisfies_oracle`] with a precomputed canonical
+    /// fingerprint, skipping the hash walk.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any command cannot be executed.
+    pub fn satisfies_oracle_keyed(
+        &self,
+        spec: &Spec,
+        key: Fingerprint,
+    ) -> Result<bool, AnalyzerError> {
+        Ok(self
+            .execute_all_keyed(spec, key)?
+            .iter()
+            .all(CommandOutcome::matches_expectation))
+    }
+
     /// Memoized [`Analyzer::failing_commands`]: the commands whose outcomes
     /// contradict their annotations. Derived from [`Oracle::execute_all`].
     ///
@@ -332,6 +375,24 @@ impl Oracle {
     pub fn failing_commands(&self, spec: &Spec) -> Result<Vec<CommandOutcome>, AnalyzerError> {
         Ok(self
             .execute_all(spec)?
+            .into_iter()
+            .filter(|o| !o.matches_expectation())
+            .collect())
+    }
+
+    /// [`Oracle::failing_commands`] with a precomputed canonical
+    /// fingerprint, skipping the hash walk.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any command cannot be executed.
+    pub fn failing_commands_keyed(
+        &self,
+        spec: &Spec,
+        key: Fingerprint,
+    ) -> Result<Vec<CommandOutcome>, AnalyzerError> {
+        Ok(self
+            .execute_all_keyed(spec, key)?
             .into_iter()
             .filter(|o| !o.matches_expectation())
             .collect())
@@ -351,7 +412,7 @@ impl Oracle {
             return self.record(computed);
         }
         let key = Oracle::fingerprint(spec);
-        let shard = self.shard_of(&key);
+        let shard = self.shard_of(key);
         if let Some(cached) = shard
             .lock()
             .entries
@@ -398,7 +459,7 @@ impl Oracle {
         }
         let key = Oracle::fingerprint(spec);
         let subkey = (name.to_string(), scope);
-        let shard = self.shard_of(&key);
+        let shard = self.shard_of(key);
         if let Some(cached) = shard
             .lock()
             .entries
@@ -447,7 +508,7 @@ impl Oracle {
         }
         let key = Oracle::fingerprint(spec);
         let subkey = (name.to_string(), scope, limit);
-        let shard = self.shard_of(&key);
+        let shard = self.shard_of(key);
         if let Some(cached) = shard
             .lock()
             .entries
@@ -495,7 +556,7 @@ impl Oracle {
         }
         let key = Oracle::fingerprint(spec);
         let subkey = (formula.clone(), scope, limit);
-        let shard = self.shard_of(&key);
+        let shard = self.shard_of(key);
         if let Some(cached) = shard
             .lock()
             .entries
@@ -540,7 +601,7 @@ impl Oracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mualloy_syntax::parse_spec;
+    use mualloy_syntax::{parse_spec, print_spec};
 
     const GOOD: &str = "sig N { next: lone N } \
         fact Acyclic { no n: N | n in n.^next } \

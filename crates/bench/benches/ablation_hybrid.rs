@@ -16,13 +16,10 @@ fn bench_ablation(c: &mut Criterion) {
         max_candidates: 30,
         max_rounds: 3,
     };
-    let ctx = RepairContext {
-        faulty: p.faulty.clone(),
-        source: p.faulty_source.clone(),
-        budget,
-        oracle: OracleHandle::fresh(),
-        cancel: CancelToken::none(),
-    };
+    let ctx = RepairContext::new(p.faulty.clone(), budget)
+        .with_source(&p.faulty_source)
+        .with_oracle(OracleHandle::fresh())
+        .with_cancel(CancelToken::none());
     let mut group = c.benchmark_group("ablation_hybrid");
     group.sample_size(10);
 

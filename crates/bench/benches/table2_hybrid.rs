@@ -21,13 +21,10 @@ fn bench_table2(c: &mut Criterion) {
 
     group.bench_function("union_hybrid_atr_plus_mr_one_spec", |b| {
         let p = &problems[0];
-        let ctx = RepairContext {
-            faulty: p.faulty.clone(),
-            source: p.faulty_source.clone(),
-            budget,
-            oracle: OracleHandle::fresh(),
-            cancel: CancelToken::none(),
-        };
+        let ctx = RepairContext::new(p.faulty.clone(), budget)
+            .with_source(&p.faulty_source)
+            .with_oracle(OracleHandle::fresh())
+            .with_cancel(CancelToken::none());
         let hybrid = UnionHybrid::new(Atr::default(), MultiRound::new(FeedbackSetting::None, 42));
         b.iter(|| hybrid.repair(&ctx).success)
     });

@@ -48,8 +48,10 @@ pub use cancel::CancelToken;
 pub use hybrid::{
     overlap_stats, DynamicSelector, HintedRepair, LocalizeThenFix, OverlapStats, UnionHybrid,
 };
-pub use localization::{first_hit_rank, localize, localize_with, Localization, SuspiciousSite};
-pub use oracle::{OracleHandle, OracleSession};
+pub use localization::{
+    first_hit_rank, localize, localize_with, sites_for_spans, Localization, SuspiciousSite,
+};
+pub use oracle::{CandidateDedup, DedupProbe, DedupStats, OracleHandle, OracleSession};
 pub use technique::{
     oracle_accepts, preserves_oracle_surface, repair_is_valid, OutcomeReason, RepairBudget,
     RepairContext, RepairOutcome, RepairTechnique,

@@ -137,6 +137,26 @@ pub fn localize_with(oracle: &Oracle, spec: &Spec) -> Localization {
     Localization { ranked: scored }
 }
 
+/// Resolves external byte-span hints to the persistent node ids of the
+/// constraint sites they overlap, in hint order without duplicates.
+///
+/// Location hints cross tool boundaries as byte spans (benchmark edit
+/// scripts, `HintedRepair`); this is the one place they are re-anchored to
+/// persistent AST identity, so the LLM prompt layer and the mutation
+/// engines address the *same* sites the localizer ranked.
+pub fn sites_for_spans(spec: &Spec, spans: &[Span]) -> Vec<NodeId> {
+    let sites = constraint_sites(spec);
+    let mut out = Vec::new();
+    for hint in spans {
+        for s in &sites {
+            if spans_overlap(s.span, *hint) && !out.contains(&s.id) {
+                out.push(s.id);
+            }
+        }
+    }
+    out
+}
+
 /// Whether the failing outcome exhibits an over-constraint symptom.
 fn is_over_constraint(outcome: &CommandOutcome) -> bool {
     // Expected satisfiable (instance or counterexample) but nothing found.

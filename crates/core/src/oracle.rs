@@ -8,13 +8,216 @@
 //! unit, refuses once the cap is reached, and answers from the shared
 //! memo table when the same candidate has been validated before (by any
 //! technique sharing the handle).
+//!
+//! On top of the memo table sits the cross-entrant [`CandidateDedup`]: a
+//! singleflight registry keyed by the candidate's canonical 128-bit
+//! fingerprint. When any technique (or portfolio entrant, on any thread)
+//! validates a candidate another entrant has already validated — or is
+//! validating *right now* — the session answers from the registry instead
+//! of re-entering the oracle; concurrent duplicates coalesce onto the one
+//! in-flight solve. A dedup hit still charges its budget unit, so repair
+//! outcomes are byte-identical with the dedup-off control arm.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use mualloy_analyzer::{Oracle, OracleCacheStats};
-use mualloy_syntax::Spec;
+use mualloy_syntax::{Fingerprint, Spec};
+use serde::{Deserialize, Serialize};
 
 use crate::cancel::CancelToken;
+
+/// A point-in-time snapshot of the global candidate-dedup counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DedupStats {
+    /// Validations answered from the registry (candidate already settled).
+    pub hits: u64,
+    /// Validations that were the first of their fingerprint and solved.
+    pub misses: u64,
+    /// Hits that waited for a concurrent in-flight solve of the same
+    /// candidate instead of duplicating it (a subset of `hits`).
+    pub coalesced: u64,
+}
+
+impl DedupStats {
+    /// Fraction of validations that were duplicates (0.0 when idle).
+    pub fn dedup_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another snapshot into this one.
+    pub fn absorb(&mut self, other: &DedupStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+    }
+}
+
+/// State of one fingerprint in the dedup registry.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Some session is validating this candidate right now.
+    InFlight,
+    /// The candidate's oracle verdict has been settled.
+    Done(bool),
+}
+
+/// Cross-entrant candidate deduplication: a singleflight registry mapping
+/// canonical candidate fingerprints to settled oracle verdicts.
+///
+/// Unlike the analyzer-side memo table (which caches per *query*), this
+/// registry coalesces whole candidate validations across every technique,
+/// portfolio entrant and thread sharing one [`OracleHandle`] — including
+/// concurrent ones: the second validator of an in-flight candidate blocks
+/// until the first settles it, rather than solving the same spec twice.
+#[derive(Debug)]
+pub struct CandidateDedup {
+    enabled: bool,
+    table: Mutex<HashMap<Fingerprint, Slot>>,
+    settled: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl Default for CandidateDedup {
+    fn default() -> Self {
+        CandidateDedup::new()
+    }
+}
+
+impl CandidateDedup {
+    /// A fresh, enabled registry.
+    pub fn new() -> CandidateDedup {
+        CandidateDedup::with_enabled(true)
+    }
+
+    /// A disabled registry: every probe reports [`DedupProbe::Bypass`] and
+    /// nothing is recorded. The control arm of the dedup-on/off
+    /// byte-identity gate.
+    pub fn disabled() -> CandidateDedup {
+        CandidateDedup::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> CandidateDedup {
+        CandidateDedup {
+            enabled,
+            table: Mutex::new(HashMap::new()),
+            settled: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether deduplication is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Snapshot of the hit/miss/coalesce counters.
+    pub fn stats(&self) -> DedupStats {
+        DedupStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct candidate fingerprints seen so far.
+    pub fn unique_candidates(&self) -> usize {
+        self.lock_table().len()
+    }
+
+    /// Poison-safe table lock: a panicking validator must not wedge every
+    /// other entrant (its in-flight slot is released by [`InflightGuard`]).
+    fn lock_table(&self) -> MutexGuard<'_, HashMap<Fingerprint, Slot>> {
+        self.table.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Probes the registry for `key`, registering this caller as the
+    /// in-flight validator on a miss. Blocks while another caller is
+    /// validating the same fingerprint.
+    pub fn begin(&self, key: Fingerprint) -> DedupProbe<'_> {
+        if !self.enabled {
+            return DedupProbe::Bypass;
+        }
+        let mut table = self.lock_table();
+        let mut waited = false;
+        loop {
+            match table.get(&key) {
+                Some(Slot::Done(verdict)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if waited {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return DedupProbe::Hit(*verdict);
+                }
+                Some(Slot::InFlight) => {
+                    waited = true;
+                    table = self.settled.wait(table).unwrap_or_else(|p| p.into_inner());
+                }
+                None => {
+                    table.insert(key, Slot::InFlight);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return DedupProbe::Miss(InflightGuard {
+                        dedup: self,
+                        key,
+                        settled: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a [`CandidateDedup::begin`] probe.
+#[derive(Debug)]
+pub enum DedupProbe<'a> {
+    /// Deduplication is disabled; validate without recording anything.
+    Bypass,
+    /// The candidate is already settled with this verdict.
+    Hit(bool),
+    /// First validator of this candidate: solve, then
+    /// [`InflightGuard::settle`] the verdict for everyone else.
+    Miss(InflightGuard<'a>),
+}
+
+/// Registration of an in-flight validation. Dropping the guard without
+/// settling (the validator panicked or unwound early) releases the slot so
+/// a waiting entrant takes over instead of hanging forever.
+#[derive(Debug)]
+pub struct InflightGuard<'a> {
+    dedup: &'a CandidateDedup,
+    key: Fingerprint,
+    settled: bool,
+}
+
+impl InflightGuard<'_> {
+    /// Publishes the verdict and wakes every coalesced waiter.
+    pub fn settle(mut self, verdict: bool) {
+        self.dedup
+            .lock_table()
+            .insert(self.key, Slot::Done(verdict));
+        self.settled = true;
+        self.dedup.settled.notify_all();
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.dedup.lock_table().remove(&self.key);
+            self.dedup.settled.notify_all();
+        }
+    }
+}
 
 /// A cheap, cloneable handle to a shared [`Oracle`] service.
 ///
@@ -23,12 +226,14 @@ use crate::cancel::CancelToken;
 #[derive(Clone)]
 pub struct OracleHandle {
     service: Arc<Oracle>,
+    dedup: Arc<CandidateDedup>,
 }
 
 impl std::fmt::Debug for OracleHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OracleHandle")
             .field("service", &*self.service)
+            .field("dedup", &self.dedup.stats())
             .finish()
     }
 }
@@ -40,18 +245,22 @@ impl Default for OracleHandle {
 }
 
 impl OracleHandle {
-    /// A handle to a fresh memoizing oracle.
+    /// A handle to a fresh memoizing oracle with global candidate
+    /// deduplication enabled.
     pub fn fresh() -> OracleHandle {
         OracleHandle {
             service: Arc::new(Oracle::new()),
+            dedup: Arc::new(CandidateDedup::new()),
         }
     }
 
     /// A handle to a pass-through (non-caching) oracle — the control arm
-    /// of the cache-on/cache-off equivalence gate.
+    /// of the cache-on/cache-off equivalence gate. Candidate dedup is off
+    /// too: the control arm measures the un-deduplicated baseline.
     pub fn disabled() -> OracleHandle {
         OracleHandle {
             service: Arc::new(Oracle::disabled()),
+            dedup: Arc::new(CandidateDedup::disabled()),
         }
     }
 
@@ -61,12 +270,25 @@ impl OracleHandle {
     pub fn bounded(per_shard: usize) -> OracleHandle {
         OracleHandle {
             service: Arc::new(Oracle::bounded(per_shard)),
+            dedup: Arc::new(CandidateDedup::new()),
         }
     }
 
-    /// Wraps an existing shared service.
+    /// Wraps an existing shared service (dedup enabled).
     pub fn shared(service: Arc<Oracle>) -> OracleHandle {
-        OracleHandle { service }
+        OracleHandle {
+            service,
+            dedup: Arc::new(CandidateDedup::new()),
+        }
+    }
+
+    /// Turns global candidate deduplication off on this handle (builder
+    /// style) — the control arm of the dedup-on/off byte-identity gate.
+    /// The memo table is untouched; only the cross-entrant registry is
+    /// bypassed.
+    pub fn without_dedup(mut self) -> OracleHandle {
+        self.dedup = Arc::new(CandidateDedup::disabled());
+        self
     }
 
     /// The underlying oracle service.
@@ -74,15 +296,26 @@ impl OracleHandle {
         &self.service
     }
 
+    /// The cross-entrant candidate-dedup registry this handle shares.
+    pub fn dedup(&self) -> &CandidateDedup {
+        &self.dedup
+    }
+
     /// Snapshot of the service's cache counters.
     pub fn stats(&self) -> OracleCacheStats {
         self.service.stats()
+    }
+
+    /// Snapshot of the global candidate-dedup counters.
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.dedup.stats()
     }
 
     /// Opens a metered validation session capped at `max_candidates`.
     pub fn session(&self, max_candidates: usize) -> OracleSession<'_> {
         OracleSession {
             oracle: &self.service,
+            dedup: &self.dedup,
             cap: Some(max_candidates),
             validated: 0,
             cancel: CancelToken::none(),
@@ -95,6 +328,7 @@ impl OracleHandle {
     pub fn unmetered_session(&self) -> OracleSession<'_> {
         OracleSession {
             oracle: &self.service,
+            dedup: &self.dedup,
             cap: None,
             validated: 0,
             cancel: CancelToken::none(),
@@ -107,6 +341,7 @@ impl OracleHandle {
 #[derive(Debug)]
 pub struct OracleSession<'a> {
     oracle: &'a Oracle,
+    dedup: &'a CandidateDedup,
     cap: Option<usize>,
     validated: usize,
     cancel: CancelToken,
@@ -143,10 +378,29 @@ impl<'a> OracleSession<'a> {
     /// its own command oracle. Returns `None` — charging nothing and not
     /// solving — once the budget is exhausted or the attempt cancelled.
     ///
+    /// The validation first probes the handle's global [`CandidateDedup`]:
+    /// a candidate any entrant has already settled (or is settling right
+    /// now, on another thread) is answered from the registry without
+    /// re-entering the oracle. The budget unit is charged either way, so
+    /// outcomes are byte-identical with dedup off.
+    ///
     /// An oracle *error* counts the candidate as explored-but-invalid: the
     /// unit is charged, `Some(false)` is returned, and the error is tallied
     /// in the service's [`OracleCacheStats::errors`] counter.
     pub fn validate(&mut self, candidate: &Spec) -> Option<bool> {
+        self.validate_with(candidate, None)
+    }
+
+    /// [`OracleSession::validate`] with a precomputed canonical
+    /// fingerprint (e.g. from an incremental
+    /// [`mualloy_syntax::SpecHasher`] rehash), skipping the full hash
+    /// walk. The caller guarantees `key` is the candidate's canonical
+    /// fingerprint.
+    pub fn validate_keyed(&mut self, candidate: &Spec, key: Fingerprint) -> Option<bool> {
+        self.validate_with(candidate, Some(key))
+    }
+
+    fn validate_with(&mut self, candidate: &Spec, key: Option<Fingerprint>) -> Option<bool> {
         if self.exhausted() {
             return None;
         }
@@ -155,9 +409,27 @@ impl<'a> OracleSession<'a> {
             "technique.oracle_check",
             specrepair_trace::Phase::Orchestration,
         );
-        let verdict = self.oracle.satisfies_oracle(candidate).unwrap_or(false);
+        let key = key.unwrap_or_else(|| Oracle::fingerprint(candidate));
+        let (verdict, dedup_hit) = match self.dedup.begin(key) {
+            DedupProbe::Hit(verdict) => (verdict, true),
+            DedupProbe::Miss(guard) => {
+                let verdict = self
+                    .oracle
+                    .satisfies_oracle_keyed(candidate, key)
+                    .unwrap_or(false);
+                guard.settle(verdict);
+                (verdict, false)
+            }
+            DedupProbe::Bypass => (
+                self.oracle
+                    .satisfies_oracle_keyed(candidate, key)
+                    .unwrap_or(false),
+                false,
+            ),
+        };
         if span.is_active() {
             span.attr_bool("valid", verdict);
+            span.attr_bool("dedup_hit", dedup_hit);
             span.attr_u64("validated", self.validated as u64);
         }
         Some(verdict)
@@ -189,8 +461,19 @@ mod tests {
 
     #[test]
     fn sessions_share_the_handle_cache() {
+        // The dedup registry answers the duplicate before the memo table is
+        // even probed: one oracle miss total, the repeat is a dedup hit.
         let handle = OracleHandle::fresh();
         let spec = parse_spec(GOOD).unwrap();
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        let stats = handle.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(handle.dedup_stats().hits, 1);
+        // With dedup off, the duplicate falls through to the memo table,
+        // which still answers it without re-solving.
+        let handle = OracleHandle::fresh().without_dedup();
         assert_eq!(handle.session(5).validate(&spec), Some(true));
         assert_eq!(handle.session(5).validate(&spec), Some(true));
         let stats = handle.stats();
@@ -216,5 +499,119 @@ mod tests {
         let spec = parse_spec(GOOD).unwrap();
         assert_eq!(handle.session(1).validate(&spec), Some(true));
         assert_eq!(handle.stats().hits, 0);
+    }
+
+    #[test]
+    fn duplicate_candidates_dedup_across_sessions() {
+        let handle = OracleHandle::fresh();
+        let spec = parse_spec(GOOD).unwrap();
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        let stats = handle.dedup_stats();
+        assert_eq!(stats.misses, 1, "first validation solves");
+        assert_eq!(stats.hits, 1, "second is a registry hit");
+        assert_eq!(stats.dedup_rate(), 0.5);
+        assert_eq!(handle.dedup().unique_candidates(), 1);
+        // The registry hit never re-entered the oracle at all.
+        assert_eq!(handle.stats().hits + handle.stats().misses, 1);
+    }
+
+    #[test]
+    fn dedup_hit_still_charges_the_budget_unit() {
+        let handle = OracleHandle::fresh();
+        let spec = parse_spec(GOOD).unwrap();
+        let mut session = handle.session(2);
+        assert_eq!(session.validate(&spec), Some(true));
+        assert_eq!(session.validate(&spec), Some(true), "dedup hit");
+        assert_eq!(session.validated(), 2, "hit charged its unit");
+        assert_eq!(session.validate(&spec), None, "budget spent");
+    }
+
+    #[test]
+    fn without_dedup_bypasses_the_registry() {
+        let handle = OracleHandle::fresh().without_dedup();
+        assert!(!handle.dedup().is_enabled());
+        let spec = parse_spec(GOOD).unwrap();
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        let stats = handle.dedup_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        // The memo table still deduplicated the solve underneath.
+        assert_eq!(handle.stats().hits, 1);
+    }
+
+    #[test]
+    fn validate_keyed_agrees_with_validate() {
+        let handle = OracleHandle::fresh();
+        let spec = parse_spec(GOOD).unwrap();
+        let key = mualloy_analyzer::Oracle::fingerprint(&spec);
+        assert_eq!(handle.session(5).validate_keyed(&spec, key), Some(true));
+        assert_eq!(handle.session(5).validate(&spec), Some(true));
+        assert_eq!(handle.dedup_stats().hits, 1, "same fingerprint deduped");
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_onto_one_solve() {
+        let handle = OracleHandle::fresh();
+        let dedup = handle.dedup();
+        let key = Fingerprint(0xDEAD_BEEF);
+        // First prober becomes the in-flight validator.
+        let DedupProbe::Miss(guard) = dedup.begin(key) else {
+            panic!("first probe must miss");
+        };
+        // A second prober on another thread blocks until the first settles.
+        let waiter = std::thread::spawn({
+            let handle = handle.clone();
+            move || match handle.dedup().begin(key) {
+                DedupProbe::Hit(v) => v,
+                other => panic!("waiter must coalesce into a hit: {other:?}"),
+            }
+        });
+        // Give the waiter time to park on the condvar, then settle.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        guard.settle(true);
+        assert!(waiter.join().unwrap());
+        let stats = dedup.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.coalesced, 1, "the hit waited for the in-flight solve");
+    }
+
+    #[test]
+    fn dropped_inflight_guard_releases_the_slot() {
+        let dedup = CandidateDedup::new();
+        let key = Fingerprint(42);
+        let DedupProbe::Miss(guard) = dedup.begin(key) else {
+            panic!("first probe must miss");
+        };
+        drop(guard); // validator unwound without settling
+        let DedupProbe::Miss(guard) = dedup.begin(key) else {
+            panic!("slot must be free again");
+        };
+        guard.settle(false);
+        let DedupProbe::Hit(v) = dedup.begin(key) else {
+            panic!("settled now");
+        };
+        assert!(!v);
+    }
+
+    #[test]
+    fn dedup_stats_absorb_and_rate() {
+        let mut total = DedupStats::default();
+        assert_eq!(total.dedup_rate(), 0.0);
+        total.absorb(&DedupStats {
+            hits: 3,
+            misses: 1,
+            coalesced: 1,
+        });
+        total.absorb(&DedupStats {
+            hits: 1,
+            misses: 3,
+            coalesced: 0,
+        });
+        assert_eq!(total.hits, 4);
+        assert_eq!(total.misses, 4);
+        assert_eq!(total.coalesced, 1);
+        assert_eq!(total.dedup_rate(), 0.5);
     }
 }

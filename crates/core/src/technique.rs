@@ -1,7 +1,10 @@
 //! The repair-technique abstraction shared by every tool in the study.
 
+use std::sync::Arc;
+
 use mualloy_analyzer::Oracle;
-use mualloy_syntax::Spec;
+use mualloy_syntax::walk::{NodeId, NodeRepl};
+use mualloy_syntax::{spec_fingerprint, Fingerprint, Spec, SpecHasher};
 use serde::{Deserialize, Serialize};
 
 use crate::cancel::CancelToken;
@@ -61,18 +64,26 @@ pub struct RepairContext {
     /// their own loop checks; a fired token makes the attempt unwind with a
     /// partial outcome instead of running its budget dry.
     pub cancel: CancelToken,
+    /// Memoized Merkle hasher over the faulty spec. Techniques that build
+    /// candidates by single-node rewriting fingerprint them in
+    /// O(path + payload) via [`RepairContext::fingerprint_edit`] instead of
+    /// re-hashing the whole candidate; the fingerprint feeds the keyed
+    /// oracle queries and the global candidate dedup.
+    pub hasher: Arc<SpecHasher>,
 }
 
 impl RepairContext {
     /// Builds a context from a parsed spec, rendering canonical source.
     pub fn new(faulty: Spec, budget: RepairBudget) -> RepairContext {
         let source = mualloy_syntax::print_spec(&faulty);
+        let hasher = Arc::new(SpecHasher::new(&faulty));
         RepairContext {
             faulty,
             source,
             budget,
             oracle: OracleHandle::fresh(),
             cancel: CancelToken::none(),
+            hasher,
         }
     }
 
@@ -86,19 +97,44 @@ impl RepairContext {
         budget: RepairBudget,
     ) -> Result<RepairContext, mualloy_syntax::SyntaxError> {
         let faulty = mualloy_syntax::parse_spec(source)?;
-        Ok(RepairContext {
-            faulty,
-            source: source.to_string(),
-            budget,
-            oracle: OracleHandle::fresh(),
-            cancel: CancelToken::none(),
-        })
+        Ok(RepairContext::new(faulty, budget).with_source(source))
+    }
+
+    /// Overrides the rendered source with the original text (`from_source`
+    /// and the study runner keep the user's bytes for similarity metrics).
+    pub fn with_source(mut self, source: &str) -> RepairContext {
+        self.source = source.to_string();
+        self
     }
 
     /// Replaces the oracle handle (to share one service across contexts).
     pub fn with_oracle(mut self, oracle: OracleHandle) -> RepairContext {
         self.oracle = oracle;
         self
+    }
+
+    /// Turns global candidate deduplication off for this context — the
+    /// control arm of the dedup-on/off byte-identity gate.
+    pub fn without_dedup(mut self) -> RepairContext {
+        self.oracle = self.oracle.without_dedup();
+        self
+    }
+
+    /// Canonical fingerprint of a candidate produced by rewriting the
+    /// faulty spec's node `target` with `payload`
+    /// ([`mualloy_syntax::walk::replace_node`]). Uses the context's
+    /// memoized hasher for an O(path + payload) incremental rehash, falling
+    /// back to a full hash walk of `candidate` when the incremental path is
+    /// unavailable (foreign node id, kind mismatch, unassigned ids).
+    pub fn fingerprint_edit(
+        &self,
+        candidate: &Spec,
+        target: NodeId,
+        payload: &NodeRepl,
+    ) -> Fingerprint {
+        self.hasher
+            .fingerprint_replaced(target, payload)
+            .unwrap_or_else(|| spec_fingerprint(candidate))
     }
 
     /// Replaces the cancellation token (to impose a deadline or wire the

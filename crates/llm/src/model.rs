@@ -185,18 +185,31 @@ impl SyntheticLm {
         None
     }
 
-    /// Samples an edit within the hinted spans.
+    /// Samples an edit at the hinted sites (persistent node ids first,
+    /// byte-span overlap as the fallback anchor).
     fn location_guided_edit(
         &self,
         prompt: &Prompt,
         mutations: &[Mutation],
         rng: &mut ChaCha8Rng,
     ) -> Option<Mutation> {
-        if prompt.hints.loc.is_empty() || !rng.gen_bool(self.config.hint_fidelity) {
+        if (prompt.hints.loc.is_empty() && prompt.hints.sites.is_empty())
+            || !rng.gen_bool(self.config.hint_fidelity)
+        {
             return None;
         }
         // A location hint says "the bug is *here*": the model tries local
-        // operator-level edits, not wholesale resynthesis.
+        // operator-level edits, not wholesale resynthesis. A persistent-id
+        // hint addresses the exact node (or one of its descendants) the
+        // localizer ranked; span overlap is the legacy anchor for hints
+        // that arrived as raw byte ranges.
+        let at_site: Vec<&Mutation> = mutations
+            .iter()
+            .filter(|m| !m.kind.is_synthesis() && prompt.hints.sites.contains(&m.site))
+            .collect();
+        if let Some(m) = at_site.choose(rng) {
+            return Some((*m).clone());
+        }
         let inside: Vec<&Mutation> = mutations
             .iter()
             .filter(|m| {
@@ -257,7 +270,7 @@ pub(crate) fn style_noise(spec: &Spec, rng: &mut ChaCha8Rng) -> Spec {
     let Some(NodeRepl::Formula(f)) = mualloy_syntax::walk::node_at(spec, site.id) else {
         return spec.clone();
     };
-    let span = f.span();
+    let span = f.meta();
     let rewritten = match &f {
         // Commute a conjunction/disjunction.
         Formula::Binary(op @ (BinFormOp::And | BinFormOp::Or), l, r, _) => {
@@ -352,6 +365,7 @@ mod tests {
         let prompt = Prompt {
             source: FAULTY.to_string(),
             hints: ProblemHints {
+                sites: Vec::new(),
                 loc: vec![mualloy_syntax::Span::new(fact_start, fact_start + 30)],
                 fix: vec!["replace `some` with `no`".to_string()],
                 pass: None,

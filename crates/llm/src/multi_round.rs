@@ -108,6 +108,7 @@ impl MultiRound {
             source: ctx.source.clone(),
             hints: ProblemHints {
                 loc: loc_hints.to_vec(),
+                sites: specrepair_core::sites_for_spans(&ctx.faulty, loc_hints),
                 ..ProblemHints::default()
             },
             feedback: None,

@@ -9,6 +9,7 @@
 //!   carry analyzer feedback at one of three levels (*No-feedback*,
 //!   *Generic-feedback*, *Auto-feedback*).
 
+use mualloy_syntax::walk::NodeId;
 use mualloy_syntax::Span;
 use std::fmt;
 
@@ -114,6 +115,11 @@ impl fmt::Display for FeedbackSetting {
 pub struct ProblemHints {
     /// Suspected bug locations (byte spans into the faulty source).
     pub loc: Vec<Span>,
+    /// Suspected bug locations as persistent AST node ids — the same ids
+    /// the localizer ranks and the mutation engines target, so every layer
+    /// addresses one site vocabulary. Resolved from `loc` via
+    /// `specrepair_core::sites_for_spans` by the pipelines.
+    pub sites: Vec<NodeId>,
     /// Textual fix descriptions (e.g. `` replace `some` with `all` ``).
     pub fix: Vec<String>,
     /// Name of an assertion the fix must make pass.
@@ -126,6 +132,11 @@ impl ProblemHints {
         ProblemHints {
             loc: if setting.has_loc() {
                 self.loc.clone()
+            } else {
+                Vec::new()
+            },
+            sites: if setting.has_loc() {
+                self.sites.clone()
             } else {
                 Vec::new()
             },
@@ -173,6 +184,17 @@ impl Prompt {
                     .loc
                     .iter()
                     .map(|s| format!("{s}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        if !self.hints.sites.is_empty() {
+            out.push_str(&format!(
+                "\nThe suspected constraint node(s): {}.\n",
+                self.hints
+                    .sites
+                    .iter()
+                    .map(|id| format!("{id}"))
                     .collect::<Vec<_>>()
                     .join(", ")
             ));
@@ -235,6 +257,7 @@ mod tests {
     #[test]
     fn hints_filtering() {
         let hints = ProblemHints {
+            sites: Vec::new(),
             loc: vec![Span::new(1, 2)],
             fix: vec!["replace `a` with `b`".into()],
             pass: Some("Safe".into()),
@@ -252,6 +275,7 @@ mod tests {
         let p = Prompt {
             source: "sig A {}".into(),
             hints: ProblemHints {
+                sites: Vec::new(),
                 loc: vec![Span::new(0, 3)],
                 fix: vec!["replace `no` with `some`".into()],
                 pass: Some("Safe".into()),

@@ -83,7 +83,12 @@ impl SingleRound {
         ChaCha8Rng::seed_from_u64(self.seed ^ h.finish())
     }
 
-    fn run(&self, ctx: &RepairContext, hints: ProblemHints) -> RepairOutcome {
+    fn run(&self, ctx: &RepairContext, mut hints: ProblemHints) -> RepairOutcome {
+        // Re-anchor byte-span location hints to persistent node ids so the
+        // model targets the same sites the localizer/mutation layers rank.
+        if hints.sites.is_empty() && !hints.loc.is_empty() {
+            hints.sites = specrepair_core::sites_for_spans(&ctx.faulty, &hints.loc);
+        }
         let prompt = Prompt {
             source: ctx.source.clone(),
             hints: hints.clone(),
@@ -236,6 +241,7 @@ mod tests {
     fn full_hints() -> ProblemHints {
         let fact_start = FAULTY.find("some n: N").unwrap();
         ProblemHints {
+            sites: Vec::new(),
             loc: vec![Span::new(fact_start, fact_start + 25)],
             fix: vec!["replace `some` with `no`".to_string()],
             pass: Some("NoSelf".to_string()),

@@ -8,7 +8,10 @@
 //! - **TM** — [`bleu::sentence_bleu`]: whitespace-token sentence BLEU;
 //! - **SM** — [`kernel::syntax_match`]: normalized subtree-kernel
 //!   similarity of parse trees;
-//! - [`stats::pearson`] and [`stats::correlation_matrix`] for Figure 3.
+//! - [`stats::pearson`] and [`stats::correlation_matrix`] for Figure 3;
+//! - [`treediff::tree_diff`]: the persistent-id tree diff — a minimal
+//!   edit script (subtree inserts/deletes, local updates) quantifying how
+//!   far a repair strayed from the faulty specification.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 pub mod bleu;
 pub mod kernel;
 pub mod stats;
+pub mod treediff;
 
 use mualloy_syntax::Spec;
 use serde::{Deserialize, Serialize};
@@ -39,6 +43,7 @@ use serde::{Deserialize, Serialize};
 pub use bleu::sentence_bleu;
 pub use kernel::{subtree_kernel, syntax_match, LabeledTree};
 pub use stats::{correlation_matrix, mean, pearson, pearson_t_statistic};
+pub use treediff::{tree_diff, tree_similarity, EditKind, TreeDiff, TreeDiffSummary, TreeEdit};
 
 /// REP for a candidate source against the parsed ground truth: 1 when every
 /// ground-truth command is equisatisfiable under the candidate, else 0.

@@ -1,0 +1,462 @@
+//! Tree-diff repair metrics over persistent node identity.
+//!
+//! Where the subtree kernel ([`crate::kernel`]) measures *how similar* two
+//! specifications are, this module answers *what changed*: it matches the
+//! nodes of an original specification against a repair candidate by their
+//! persistent [`NodeId`]s and canonical subtree hashes, and derives a
+//! minimal edit script — the subtree insertions, deletions and local
+//! updates that turn one tree into the other.
+//!
+//! The matching is exact for candidates produced by
+//! [`mualloy_syntax::walk::replace_node`]: untouched subtrees keep their
+//! ids (and their span-insensitive hashes), replacement payloads carry
+//! fresh ids, so a single mutation surfaces as exactly one maximal delete
+//! plus one maximal insert under the edited ancestor path. For candidates
+//! re-parsed from model output the parser assigns dense pre-order ids, so
+//! the same machinery degrades gracefully to a positional matching: nodes
+//! at the same pre-order slot compare by hash, and structural drift shows
+//! up as insert/delete pairs from the first diverging slot.
+
+use mualloy_syntax::ast::{Formula, IntExpr, Spec};
+use mualloy_syntax::hash::{expr_hash, formula_hash};
+use mualloy_syntax::visit::Visitor;
+use mualloy_syntax::walk::{subtree_size_expr, subtree_size_formula, NodeId};
+use mualloy_syntax::{print_expr, print_formula, Expr, Span};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kind of one edit-script operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// A maximal original subtree absent from the candidate.
+    Delete,
+    /// A maximal candidate subtree absent from the original.
+    Insert,
+    /// A node present in both whose change is purely local (same children,
+    /// all child subtrees unchanged — e.g. an operator swap in place).
+    Update,
+}
+
+impl std::fmt::Display for EditKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EditKind::Delete => "delete",
+            EditKind::Insert => "insert",
+            EditKind::Update => "update",
+        })
+    }
+}
+
+/// One operation of the minimal edit script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeEdit {
+    /// What happened.
+    pub kind: EditKind,
+    /// The subtree root's persistent id (original id for deletes/updates,
+    /// candidate id for inserts).
+    pub id: NodeId,
+    /// Nodes in the affected subtree (1 for updates).
+    pub nodes: u32,
+    /// Source span of the subtree root (synthetic for generated payloads).
+    pub span: Span,
+    /// Abbreviated rendering of the subtree, for reports.
+    pub label: String,
+}
+
+/// The id-and-hash-matched diff of two specification trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeDiff {
+    /// The minimal edit script, in (deletes, inserts, updates) order.
+    pub edits: Vec<TreeEdit>,
+    /// Nodes whose id occurs in both trees with equal subtree hash.
+    pub matched: u32,
+    /// Addressable nodes in the original tree.
+    pub original_nodes: u32,
+    /// Addressable nodes in the candidate tree.
+    pub candidate_nodes: u32,
+}
+
+impl TreeDiff {
+    /// Number of edit-script operations (subtree-level, not per-node).
+    pub fn edit_distance(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Total nodes inserted, deleted or updated.
+    pub fn nodes_touched(&self) -> u32 {
+        self.edits.iter().map(|e| e.nodes).sum()
+    }
+
+    /// Dice-style similarity in `[0, 1]`: twice the matched nodes over the
+    /// total node count; 1 exactly when every node of both trees matches.
+    pub fn similarity(&self) -> f64 {
+        let total = self.original_nodes + self.candidate_nodes;
+        if total == 0 {
+            return 1.0;
+        }
+        f64::from(2 * self.matched) / f64::from(total)
+    }
+
+    /// The compact summary carried by study records and reports.
+    pub fn summary(&self) -> TreeDiffSummary {
+        TreeDiffSummary {
+            edit_distance: self.edits.len() as u32,
+            inserted: self.count(EditKind::Insert),
+            deleted: self.count(EditKind::Delete),
+            updated: self.count(EditKind::Update),
+            nodes_touched: self.nodes_touched(),
+            similarity: self.similarity(),
+        }
+    }
+
+    fn count(&self, kind: EditKind) -> u32 {
+        self.edits.iter().filter(|e| e.kind == kind).count() as u32
+    }
+
+    /// Renders the minimal-edit repair report: one line per operation,
+    /// `(no edits)` for identical trees.
+    pub fn report(&self) -> String {
+        if self.edits.is_empty() {
+            return "(no edits)".to_string();
+        }
+        let mut out = String::new();
+        for e in &self.edits {
+            out.push_str(&format!(
+                "{} {} [{} node{}] {}\n",
+                e.kind,
+                e.id,
+                e.nodes,
+                if e.nodes == 1 { "" } else { "s" },
+                e.label,
+            ));
+        }
+        out
+    }
+}
+
+/// The serializable slice of a [`TreeDiff`] (study tables, JSON reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeDiffSummary {
+    /// Edit-script operations.
+    pub edit_distance: u32,
+    /// Insert operations.
+    pub inserted: u32,
+    /// Delete operations.
+    pub deleted: u32,
+    /// Update operations.
+    pub updated: u32,
+    /// Total nodes inserted, deleted or updated.
+    pub nodes_touched: u32,
+    /// Dice similarity of matched nodes, in `[0, 1]`.
+    pub similarity: f64,
+}
+
+/// Per-node record gathered by one tree walk.
+struct NodeInfo {
+    hash: u128,
+    size: u32,
+    span: Span,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    label: String,
+}
+
+/// Visitor that indexes every addressable node of a spec by persistent id.
+struct NodeIndex {
+    nodes: HashMap<NodeId, NodeInfo>,
+    order: Vec<NodeId>,
+    stack: Vec<NodeId>,
+}
+
+impl NodeIndex {
+    fn of(spec: &Spec) -> NodeIndex {
+        let mut ix = NodeIndex {
+            nodes: HashMap::new(),
+            order: Vec::new(),
+            stack: Vec::new(),
+        };
+        ix.visit_spec(spec);
+        ix
+    }
+
+    fn record(&mut self, id: NodeId, hash: u128, size: u32, span: Span, label: String) {
+        let parent = self.stack.last().copied();
+        if let Some(p) = parent {
+            if let Some(info) = self.nodes.get_mut(&p) {
+                info.children.push(id);
+            }
+        }
+        self.nodes.insert(
+            id,
+            NodeInfo {
+                hash,
+                size,
+                span,
+                parent,
+                children: Vec::new(),
+                label,
+            },
+        );
+        self.order.push(id);
+    }
+}
+
+impl Visitor for NodeIndex {
+    fn visit_formula(&mut self, f: &Formula) {
+        let id = f.id();
+        self.record(
+            id,
+            formula_hash(f),
+            subtree_size_formula(f),
+            f.span(),
+            abbreviate(&print_formula(f)),
+        );
+        self.stack.push(id);
+        mualloy_syntax::visit::walk_formula(self, f);
+        self.stack.pop();
+    }
+
+    fn visit_expr(&mut self, e: &Expr) {
+        let id = e.id();
+        self.record(
+            id,
+            expr_hash(e),
+            subtree_size_expr(e),
+            e.span(),
+            abbreviate(&print_expr(e)),
+        );
+        self.stack.push(id);
+        mualloy_syntax::visit::walk_expr(self, e);
+        self.stack.pop();
+    }
+
+    fn visit_int_expr(&mut self, i: &IntExpr) {
+        // Not itself addressable; descend to the embedded expressions.
+        mualloy_syntax::visit::walk_int_expr(self, i);
+    }
+}
+
+/// Truncates a rendered subtree to a report-friendly width.
+fn abbreviate(s: &str) -> String {
+    const MAX: usize = 48;
+    if s.len() <= MAX {
+        return s.to_string();
+    }
+    let mut cut = MAX;
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &s[..cut])
+}
+
+/// Computes the id-and-hash-matched diff of `candidate` against
+/// `original`.
+pub fn tree_diff(original: &Spec, candidate: &Spec) -> TreeDiff {
+    let orig = NodeIndex::of(original);
+    let cand = NodeIndex::of(candidate);
+    let mut edits = Vec::new();
+    let mut matched = 0u32;
+
+    // Deletes: maximal original subtrees whose id the candidate lost (the
+    // parent either does not exist or survived, so this root is the
+    // highest deleted node on its path).
+    for &id in &orig.order {
+        let info = &orig.nodes[&id];
+        if cand.nodes.contains_key(&id) {
+            continue;
+        }
+        let parent_survives = match info.parent {
+            None => true,
+            Some(p) => cand.nodes.contains_key(&p),
+        };
+        if parent_survives {
+            edits.push(TreeEdit {
+                kind: EditKind::Delete,
+                id,
+                nodes: info.size,
+                span: info.span,
+                label: info.label.clone(),
+            });
+        }
+    }
+
+    // Inserts: maximal candidate subtrees the original never had.
+    for &id in &cand.order {
+        let info = &cand.nodes[&id];
+        if orig.nodes.contains_key(&id) {
+            continue;
+        }
+        let parent_preexists = match info.parent {
+            None => true,
+            Some(p) => orig.nodes.contains_key(&p),
+        };
+        if parent_preexists {
+            edits.push(TreeEdit {
+                kind: EditKind::Insert,
+                id,
+                nodes: info.size,
+                span: info.span,
+                label: info.label.clone(),
+            });
+        }
+    }
+
+    // Matched nodes and purely-local updates. A shared id whose hash
+    // differs is an *update* only when the change stops at the node
+    // itself: identical child lists whose subtrees all hash equal.
+    // Otherwise it is merely an ancestor on the changed path and the real
+    // edits are reported deeper.
+    for &id in &orig.order {
+        let Some(c) = cand.nodes.get(&id) else {
+            continue;
+        };
+        let o = &orig.nodes[&id];
+        if o.hash == c.hash {
+            matched += 1;
+            continue;
+        }
+        let local_only = o.children == c.children
+            && o.children
+                .iter()
+                .all(|ch| match (orig.nodes.get(ch), cand.nodes.get(ch)) {
+                    (Some(a), Some(b)) => a.hash == b.hash,
+                    _ => false,
+                });
+        if local_only {
+            edits.push(TreeEdit {
+                kind: EditKind::Update,
+                id,
+                nodes: 1,
+                span: c.span,
+                label: c.label.clone(),
+            });
+        }
+    }
+
+    TreeDiff {
+        edits,
+        matched,
+        original_nodes: orig.order.len() as u32,
+        candidate_nodes: cand.order.len() as u32,
+    }
+}
+
+/// Dice similarity of the id-and-hash matching, in `[0, 1]`.
+pub fn tree_similarity(original: &Spec, candidate: &Spec) -> f64 {
+    tree_diff(original, candidate).similarity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mualloy_syntax::walk::{collect_sites, replace_node, NodeRepl};
+    use mualloy_syntax::{parse_formula, parse_spec, print_spec};
+
+    const SPEC: &str = "sig N { next: lone N } \
+        fact Acyclic { all n: N | n not in n.^next } \
+        pred hasNode { some N } \
+        assert NoSelf { all n: N | n not in n.next } \
+        run hasNode for 3 expect 1 \
+        check NoSelf for 3 expect 0";
+
+    #[test]
+    fn identical_tree_has_no_edits_and_similarity_one() {
+        let spec = parse_spec(SPEC).unwrap();
+        let d = tree_diff(&spec, &spec);
+        assert_eq!(d.edit_distance(), 0);
+        assert_eq!(d.matched, d.original_nodes);
+        assert!((d.similarity() - 1.0).abs() < 1e-12);
+        assert_eq!(d.report(), "(no edits)");
+    }
+
+    #[test]
+    fn reparse_of_canonical_print_is_edit_free() {
+        // Printing and re-parsing re-assigns dense pre-order ids; on an
+        // unmutated spec that reproduces the original assignment exactly.
+        let spec = parse_spec(SPEC).unwrap();
+        let reparsed = parse_spec(&print_spec(&spec)).unwrap();
+        assert_eq!(tree_diff(&spec, &reparsed).edit_distance(), 0);
+    }
+
+    #[test]
+    fn single_mutation_is_one_delete_one_insert() {
+        let spec = parse_spec(SPEC).unwrap();
+        // Replace the `hasNode` body (`some N`) with a fresh formula.
+        let site = collect_sites(&spec)
+            .into_iter()
+            .find(|s| s.is_formula && s.depth == 0 && s.owner.0 == mualloy_syntax::OwnerKind::Pred)
+            .unwrap();
+        let repl = parse_formula("no N").unwrap();
+        let mutant = replace_node(&spec, site.id, NodeRepl::Formula(repl)).unwrap();
+        let d = tree_diff(&spec, &mutant);
+        assert_eq!(d.count(EditKind::Delete), 1, "{}", d.report());
+        assert_eq!(d.count(EditKind::Insert), 1, "{}", d.report());
+        assert_eq!(d.count(EditKind::Update), 0, "{}", d.report());
+        let sim = d.similarity();
+        assert!(sim > 0.7 && sim < 1.0, "similarity {sim}");
+        // Every untouched node still matches by id and hash.
+        assert_eq!(d.matched, d.original_nodes - 2); // `some N` = 2 nodes
+    }
+
+    #[test]
+    fn deeper_replacement_reports_the_subtree_not_the_path() {
+        let spec = parse_spec(SPEC).unwrap();
+        // Deepest expression site inside the Acyclic fact: its ancestors
+        // are on the changed path but must not be reported as edits.
+        let site = collect_sites(&spec)
+            .into_iter()
+            .filter(|s| !s.is_formula && s.owner.0 == mualloy_syntax::OwnerKind::Fact)
+            .max_by_key(|s| s.depth)
+            .unwrap();
+        let repl = mualloy_syntax::parse_expr("univ").unwrap();
+        let mutant = replace_node(&spec, site.id, NodeRepl::Expr(repl)).unwrap();
+        let d = tree_diff(&spec, &mutant);
+        assert_eq!(d.count(EditKind::Delete), 1, "{}", d.report());
+        assert_eq!(d.count(EditKind::Insert), 1, "{}", d.report());
+        for e in &d.edits {
+            assert!(e.nodes <= 3, "edit touches whole path: {}", d.report());
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_the_script() {
+        let spec = parse_spec(SPEC).unwrap();
+        let site = collect_sites(&spec)
+            .into_iter()
+            .find(|s| s.is_formula && s.depth == 0)
+            .unwrap();
+        let repl = parse_formula("some N && no none").unwrap();
+        let mutant = replace_node(&spec, site.id, NodeRepl::Formula(repl)).unwrap();
+        let d = tree_diff(&spec, &mutant);
+        let s = d.summary();
+        assert_eq!(s.edit_distance, d.edit_distance() as u32);
+        assert_eq!(s.inserted + s.deleted + s.updated, s.edit_distance);
+        assert_eq!(s.nodes_touched, d.nodes_touched());
+        assert!((s.similarity - d.similarity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_specs_score_low_but_bounded() {
+        let a = parse_spec(SPEC).unwrap();
+        let b = parse_spec("sig Z { g: lone Z } pred q { no Z } run q for 2").unwrap();
+        let d = tree_diff(&a, &b);
+        let sim = d.similarity();
+        assert!((0.0..1.0).contains(&sim), "similarity {sim}");
+        assert!(d.edit_distance() > 0);
+    }
+
+    #[test]
+    fn report_names_ids_and_labels() {
+        let spec = parse_spec(SPEC).unwrap();
+        let site = collect_sites(&spec)
+            .into_iter()
+            .find(|s| s.is_formula && s.depth == 0)
+            .unwrap();
+        let repl = parse_formula("no N").unwrap();
+        let mutant = replace_node(&spec, site.id, NodeRepl::Formula(repl)).unwrap();
+        let report = tree_diff(&spec, &mutant).report();
+        assert!(report.contains("delete n"), "{report}");
+        assert!(report.contains("insert n"), "{report}");
+        assert!(report.contains("no N"), "{report}");
+    }
+}

@@ -163,7 +163,7 @@ impl MutationEngine {
     }
 
     fn formula_mutations(&self, site: &NodeSite, f: &Formula, out: &mut Vec<Mutation>) {
-        let span = f.span();
+        let span = f.meta();
         match f {
             Formula::Binary(op, l, r, _) => {
                 for alt in [
@@ -297,7 +297,7 @@ impl MutationEngine {
     }
 
     fn expr_mutations(&self, site: &NodeSite, e: &Expr, out: &mut Vec<Mutation>) {
-        let span = e.span();
+        let span = e.meta();
         match e {
             Expr::Binary(op, l, r, _) => {
                 // Arity-preserving set-operator swaps.

@@ -21,7 +21,7 @@ use crate::vocab::Vocabulary;
 
 /// Synthesizes atomic template formulas available at a site.
 pub fn template_formulas(vocab: &Vocabulary, site: &NodeSite, cap: usize) -> Vec<Formula> {
-    let span = Span::synthetic();
+    let span = Meta::synthetic();
     let mut exprs: Vec<Expr> = Vec::new();
     for v in &site.vars_in_scope {
         exprs.push(Expr::ident(v.clone()));
@@ -144,7 +144,7 @@ pub fn synthesis_mutations(
                     BinFormOp::And,
                     Box::new(existing.clone()),
                     Box::new(t.clone()),
-                    existing.span(),
+                    existing.meta(),
                 );
                 out.push(Mutation {
                     site: site.id,

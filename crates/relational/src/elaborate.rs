@@ -92,7 +92,7 @@ pub fn pred_as_existential(spec: &Spec, name: &str) -> Result<Formula, Translate
                 span: p.span,
             })
             .collect();
-        Formula::Quant(Quant::Some, decls, Box::new(body), Span::synthetic())
+        Formula::Quant(Quant::Some, decls, Box::new(body), Span::synthetic().into())
     };
     elaborate_formula(spec, &formula)
 }
@@ -280,7 +280,7 @@ impl Elaborator<'_> {
                     .map(|d| {
                         let fresh = self.fresh_name(&d.name);
                         let bound = self.freshen_expr(&d.bound);
-                        map.insert(d.name.clone(), Expr::Ident(fresh.clone(), d.span));
+                        map.insert(d.name.clone(), Expr::Ident(fresh.clone(), d.span.into()));
                         VarDecl {
                             name: fresh,
                             bound,
@@ -344,7 +344,7 @@ impl Elaborator<'_> {
                     .map(|d| {
                         let fresh = self.fresh_name(&d.name);
                         let bound = self.freshen_expr(&d.bound);
-                        map.insert(d.name.clone(), Expr::Ident(fresh.clone(), d.span));
+                        map.insert(d.name.clone(), Expr::Ident(fresh.clone(), d.span.into()));
                         VarDecl {
                             name: fresh,
                             bound,

@@ -40,13 +40,17 @@ fn if_then_else_expression_compiles_and_evaluates() {
         Box::new(cond),
         Box::new(Expr::ident("A")),
         Box::new(Expr::ident("B")),
-        Span::synthetic(),
+        Span::synthetic().into(),
     );
     // Force "no A && some B": the conditional must then be B, so `some ite`.
     let f = Formula::binary(
         BinFormOp::And,
         parse_formula("no A && some B").unwrap(),
-        Formula::Mult(MultOp::Some, Box::new(ite.clone()), Span::synthetic()),
+        Formula::Mult(
+            MultOp::Some,
+            Box::new(ite.clone()),
+            Span::synthetic().into(),
+        ),
     );
     let inst = solve("sig A {} sig B {}", &f, 2).expect("satisfiable");
     assert!(inst.sig_set("A").is_empty());
@@ -71,9 +75,9 @@ fn if_then_else_arity_mismatch_is_rejected() {
             Box::new(parse_formula("some A").unwrap()),
             Box::new(Expr::ident("A")), // unary
             Box::new(Expr::ident("f")), // binary
-            Span::synthetic(),
+            Span::synthetic().into(),
         )),
-        Span::synthetic(),
+        Span::synthetic().into(),
     );
     assert!(tr.compile_formula(&bad).is_err());
 }

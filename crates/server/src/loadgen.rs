@@ -80,6 +80,12 @@ pub struct LoadgenReport {
     /// The daemon's oracle cache hit rate fetched from `/metrics` after the
     /// run (absent when the fetch failed).
     pub cache_hit_rate: Option<f64>,
+    /// Candidate-dedup hits fetched from the same post-run `/metrics`
+    /// document (absent when the fetch failed or the daemon predates the
+    /// `candidate_dedup` section).
+    pub dedup_hits: Option<u64>,
+    /// Candidate-dedup rate (`hits / (hits + misses)`) from `/metrics`.
+    pub dedup_rate: Option<f64>,
     /// Post-run `/metrics` fetches that failed (connect error, non-200, or
     /// a malformed body). Nonzero means `cache_hit_rate` is missing for a
     /// *reported* reason, not silently.
@@ -104,7 +110,8 @@ impl LoadgenReport {
             "{} requests in {:.2?} ({:.1} req/s)\n\
              status: {} ok, {} shed (503), {} deadline (504), {} unexpected\n\
              latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
-             oracle cache hit rate after run: {}",
+             oracle cache hit rate after run: {}\n\
+             candidate dedup after run: {}",
             self.total,
             self.elapsed,
             self.throughput(),
@@ -121,6 +128,11 @@ impl LoadgenReport {
                     "unavailable ({} metrics fetch failure(s))",
                     self.metrics_fetch_failures
                 ),
+            },
+            match (self.dedup_hits, self.dedup_rate) {
+                (Some(hits), Some(rate)) =>
+                    format!("{hits} hits ({:.1}% dedup rate)", rate * 100.0),
+                _ => "unavailable".to_string(),
             }
         )
     }
@@ -214,6 +226,8 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         latency: Histogram::default(),
         elapsed: Duration::ZERO,
         cache_hit_rate: None,
+        dedup_hits: None,
+        dedup_rate: None,
         metrics_fetch_failures: 0,
     };
     for (status, micros) in rx {
@@ -227,8 +241,19 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         }
     }
     report.elapsed = started.elapsed();
-    match fetch_hit_rate(&config.addr) {
-        Ok(rate) => report.cache_hit_rate = Some(rate),
+    // One post-run `/metrics` fetch feeds both reconciliation readings:
+    // the oracle cache hit rate and the candidate-dedup counters.
+    match fetch_metrics(&config.addr).and_then(|body| {
+        let rate = parse_hit_rate(&body)?;
+        Ok((rate, parse_dedup(&body).ok()))
+    }) {
+        Ok((rate, dedup)) => {
+            report.cache_hit_rate = Some(rate);
+            if let Some((hits, rate)) = dedup {
+                report.dedup_hits = Some(hits);
+                report.dedup_rate = Some(rate);
+            }
+        }
         Err(why) => {
             // A daemon whose `/metrics` endpoint answers garbage is a bug
             // worth surfacing, not a `None` to shrug at.
@@ -256,6 +281,11 @@ fn send_one(addr: &str, body: &str) -> Option<u16> {
 /// or a JSON document missing (or mistyping) the expected fields. Callers
 /// are expected to surface this rather than collapse it to "unavailable".
 pub fn fetch_hit_rate(addr: &str) -> Result<f64, String> {
+    fetch_metrics(addr).and_then(|body| parse_hit_rate(&body))
+}
+
+/// Fetches the raw `/metrics` body from a running daemon.
+pub fn fetch_metrics(addr: &str) -> Result<String, String> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let (status, body) = roundtrip(&mut stream, "GET", "/metrics", "")
@@ -263,38 +293,50 @@ pub fn fetch_hit_rate(addr: &str) -> Result<f64, String> {
     if status != 200 {
         return Err(format!("GET /metrics answered status {status}"));
     }
-    parse_hit_rate(&body)
+    Ok(body)
 }
 
-/// Extracts `oracle_cache.hit_rate` from a `/metrics` response body,
-/// describing exactly which expectation a malformed body violates.
-pub fn parse_hit_rate(body: &str) -> Result<f64, String> {
+/// Extracts `{section}.{field}` from a `/metrics` response body as a
+/// number, describing exactly which expectation a malformed body violates.
+fn metrics_number(body: &str, section: &str, field: &str) -> Result<f64, String> {
     let value: Value =
         serde_json::from_str(body).map_err(|e| format!("/metrics body is not valid JSON: {e}"))?;
     let Value::Map(doc) = value else {
         return Err("/metrics body is not a JSON object".to_string());
     };
-    let oracle = doc
+    let sec = doc
         .iter()
-        .find(|(k, _)| k == "oracle_cache")
+        .find(|(k, _)| k == section)
         .map(|(_, v)| v)
-        .ok_or("/metrics document has no `oracle_cache` section")?;
-    let Value::Map(oracle) = oracle else {
-        return Err("/metrics `oracle_cache` is not an object".to_string());
+        .ok_or(format!("/metrics document has no `{section}` section"))?;
+    let Value::Map(sec) = sec else {
+        return Err(format!("/metrics `{section}` is not an object"));
     };
-    let rate = oracle
+    let num = sec
         .iter()
-        .find(|(k, _)| k == "hit_rate")
+        .find(|(k, _)| k == field)
         .map(|(_, v)| v)
-        .ok_or("/metrics `oracle_cache` has no `hit_rate` field")?;
-    match rate {
-        Value::F64(rate) => Ok(*rate),
+        .ok_or(format!("/metrics `{section}` has no `{field}` field"))?;
+    match num {
+        Value::F64(n) => Ok(*n),
         Value::U64(n) => Ok(*n as f64),
         Value::I64(n) => Ok(*n as f64),
-        other => Err(format!(
-            "`oracle_cache.hit_rate` is not a number: {other:?}"
-        )),
+        other => Err(format!("`{section}.{field}` is not a number: {other:?}")),
     }
+}
+
+/// Extracts `oracle_cache.hit_rate` from a `/metrics` response body,
+/// describing exactly which expectation a malformed body violates.
+pub fn parse_hit_rate(body: &str) -> Result<f64, String> {
+    metrics_number(body, "oracle_cache", "hit_rate")
+}
+
+/// Extracts `(candidate_dedup.dedup_hits, candidate_dedup.dedup_rate)`
+/// from a `/metrics` response body.
+pub fn parse_dedup(body: &str) -> Result<(u64, f64), String> {
+    let hits = metrics_number(body, "candidate_dedup", "dedup_hits")?;
+    let rate = metrics_number(body, "candidate_dedup", "dedup_rate")?;
+    Ok((hits as u64, rate))
 }
 
 #[cfg(test)]
@@ -355,6 +397,8 @@ mod tests {
             latency,
             elapsed: Duration::from_secs(2),
             cache_hit_rate: Some(0.5),
+            dedup_hits: Some(6),
+            dedup_rate: Some(0.25),
             metrics_fetch_failures: 0,
         };
         assert!(report.clean());
@@ -362,6 +406,7 @@ mod tests {
         let text = report.render();
         assert!(text.contains("8 ok"));
         assert!(text.contains("50.0%"), "{text}");
+        assert!(text.contains("6 hits (25.0% dedup rate)"), "{text}");
     }
 
     #[test]
@@ -375,11 +420,17 @@ mod tests {
             latency: Histogram::default(),
             elapsed: Duration::from_secs(1),
             cache_hit_rate: None,
+            dedup_hits: None,
+            dedup_rate: None,
             metrics_fetch_failures: 1,
         };
         let text = report.render();
         assert!(
             text.contains("unavailable (1 metrics fetch failure(s))"),
+            "{text}"
+        );
+        assert!(
+            text.contains("candidate dedup after run: unavailable"),
             "{text}"
         );
     }
@@ -393,6 +444,15 @@ mod tests {
             parse_hit_rate(r#"{"oracle_cache":{"hit_rate":1}}"#),
             Ok(1.0)
         );
+    }
+
+    #[test]
+    fn parse_dedup_reads_the_candidate_dedup_section() {
+        let body = r#"{"oracle_cache":{"hit_rate":0.5},"candidate_dedup":{"dedup_hits":7,"dedup_misses":21,"dedup_rate":0.25}}"#;
+        assert_eq!(parse_dedup(body), Ok((7, 0.25)));
+        // A daemon without the section is a described error, not a panic.
+        let err = parse_dedup(r#"{"oracle_cache":{"hit_rate":0.5}}"#).unwrap_err();
+        assert!(err.contains("no `candidate_dedup` section"), "{err}");
     }
 
     #[test]

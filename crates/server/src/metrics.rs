@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use mualloy_analyzer::OracleCacheStats;
 use serde::Value;
+use specrepair_core::DedupStats;
 use specrepair_llm::TransportStats;
 
 /// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^(i+1))` µs,
@@ -216,13 +217,14 @@ impl ServerMetrics {
         self.inflight.load(Ordering::Relaxed)
     }
 
-    /// Renders the whole registry (plus the shared oracle's cache stats and
-    /// the daemon-wide LM resilience counters) as the `GET /metrics` JSON
-    /// document.
+    /// Renders the whole registry (plus the shared oracle's cache stats,
+    /// the global candidate-dedup counters and the daemon-wide LM
+    /// resilience counters) as the `GET /metrics` JSON document.
     pub fn render(
         &self,
         oracle: &OracleCacheStats,
         memoized_specs: usize,
+        dedup: &DedupStats,
         transport: &TransportStats,
     ) -> String {
         // requests: endpoint -> {status -> count}
@@ -262,6 +264,12 @@ impl ServerMetrics {
                 Value::U64(memoized_specs as u64),
             ),
         ]);
+        let dedup_value = Value::Map(vec![
+            ("dedup_hits".to_string(), Value::U64(dedup.hits)),
+            ("dedup_misses".to_string(), Value::U64(dedup.misses)),
+            ("dedup_coalesced".to_string(), Value::U64(dedup.coalesced)),
+            ("dedup_rate".to_string(), Value::F64(dedup.dedup_rate())),
+        ]);
         let mut transport_value: Vec<(String, Value)> = transport
             .snapshot()
             .into_iter()
@@ -289,6 +297,7 @@ impl ServerMetrics {
             ("requests".to_string(), requests),
             ("latency_ms".to_string(), latency),
             ("oracle_cache".to_string(), oracle_value),
+            ("candidate_dedup".to_string(), dedup_value),
             ("transport".to_string(), Value::Map(transport_value)),
         ]);
         serde_json::to_string_pretty(&doc).expect("metrics document always serializes")
@@ -500,7 +509,12 @@ mod tests {
         transport
             .faults
             .record(specrepair_faults::FaultKind::Timeout);
-        let doc = m.render(&OracleCacheStats::default(), 0, &transport);
+        let dedup = DedupStats {
+            hits: 4,
+            misses: 12,
+            coalesced: 1,
+        };
+        let doc = m.render(&OracleCacheStats::default(), 0, &dedup, &transport);
         for needle in [
             "\"repair\"",
             "\"200\": 2",
@@ -514,6 +528,9 @@ mod tests {
             "\"breaker_trips\": 0",
             "\"injected_faults\"",
             "\"timeout\": 1",
+            "\"candidate_dedup\"",
+            "\"dedup_hits\": 4",
+            "\"dedup_rate\": 0.25",
         ] {
             assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
         }

@@ -343,6 +343,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             let body = state.metrics.render(
                 &oracle.stats(),
                 oracle.service().memoized_specs(),
+                &oracle.dedup_stats(),
                 state.service.transport_stats(),
             );
             ("metrics", Response::json(200, body))

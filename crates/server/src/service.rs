@@ -358,13 +358,10 @@ impl RepairService {
             .deadline_ms
             .unwrap_or(self.config.default_deadline_ms);
         let cancel = CancelToken::with_deadline(Duration::from_millis(deadline_ms));
-        let ctx = RepairContext {
-            source: request.spec.clone(),
-            faulty,
-            budget,
-            oracle: self.oracle.clone(),
-            cancel: cancel.clone(),
-        };
+        let ctx = RepairContext::new(faulty, budget)
+            .with_source(&request.spec)
+            .with_oracle(self.oracle.clone())
+            .with_cancel(cancel.clone());
 
         // The request's deterministic span-id space: seeded from the cell
         // identity (spec text × technique × seed), so a replayed request

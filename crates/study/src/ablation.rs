@@ -61,13 +61,10 @@ pub fn run(problems: &[RepairProblem], config: &StudyConfig) -> Ablation {
         },
     ];
     for p in problems {
-        let ctx = RepairContext {
-            faulty: p.faulty.clone(),
-            source: p.faulty_source.clone(),
-            budget: mr_budget,
-            oracle: OracleHandle::fresh(),
-            cancel: CancelToken::none(),
-        };
+        let ctx = RepairContext::new(p.faulty.clone(), mr_budget)
+            .with_source(&p.faulty_source)
+            .with_oracle(OracleHandle::fresh())
+            .with_cancel(CancelToken::none());
         let plain = MultiRound::new(FeedbackSetting::None, config.seed);
         let union = UnionHybrid::new(
             Atr::default(),

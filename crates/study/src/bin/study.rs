@@ -3,7 +3,7 @@
 //! ```text
 //! study <all|table1|fig2|fig3|table2|ablation|portfolio> [--scale X]
 //!       [--seed N] [--out DIR] [--journal FILE] [--resume]
-//!       [--fault-rate R] [--fault-seed N]
+//!       [--fault-rate R] [--fault-seed N] [--no-dedup]
 //!       [--roster NAME] [--workers N] [--trace DIR]
 //! ```
 //!
@@ -89,6 +89,7 @@ fn main() {
                 ));
             }
             "--resume" => resume = true,
+            "--no-dedup" => config.dedup = false,
             "--portfolio" => command = "portfolio".to_string(),
             "--roster" => {
                 i += 1;
@@ -226,8 +227,11 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("cannot open journal {path:?}: {e}")))
     });
 
+    if !config.dedup {
+        eprintln!("candidate dedup OFF (--no-dedup)");
+    }
     let t0 = Instant::now();
-    let (results, cache_stats) =
+    let (results, run_stats) =
         runner::run_study_journaled(&problems, &config, true, journal.as_ref(), &done);
     eprintln!(
         "evaluated {} (problem, technique) pairs in {:?}",
@@ -240,12 +244,21 @@ fn main() {
         .filter(|r| r.reason == specrepair_core::OutcomeReason::Crashed)
         .count();
     eprintln!("crashed cells: {crashed}");
+    let cache_stats = run_stats.cache;
     eprintln!(
         "oracle cache: {} hits / {} misses ({:.1}% hit rate), {} solver invocations",
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.hit_rate() * 100.0,
         cache_stats.solver_invocations
+    );
+    let dedup_stats = run_stats.dedup;
+    eprintln!(
+        "candidate dedup: {} hits / {} misses ({:.1}% dedup rate), {} coalesced in-flight",
+        dedup_stats.hits,
+        dedup_stats.misses,
+        dedup_stats.dedup_rate() * 100.0,
+        dedup_stats.coalesced
     );
 
     let emit = |name: &str, text: &str, json: String| {
@@ -314,6 +327,10 @@ fn main() {
         write_artifact(
             &dir.join("cache_stats.json"),
             &serde_json::to_string_pretty(&cache_stats).unwrap(),
+        );
+        write_artifact(
+            &dir.join("dedup_stats.json"),
+            &serde_json::to_string_pretty(&dedup_stats).unwrap(),
         );
         eprintln!("artifacts written to {dir:?}");
     }

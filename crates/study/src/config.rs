@@ -168,6 +168,11 @@ pub struct StudyConfig {
     pub fault_rate: f64,
     /// Base seed for the per-cell fault schedules.
     pub fault_seed: u64,
+    /// Whether the global candidate-dedup registry is active (`--no-dedup`
+    /// turns it off — the control arm of the byte-identity gate). Like the
+    /// oracle cache, dedup is a pure performance layer: it must not change
+    /// any study result.
+    pub dedup: bool,
 }
 
 impl Default for StudyConfig {
@@ -177,6 +182,7 @@ impl Default for StudyConfig {
             seed: 42,
             fault_rate: 0.0,
             fault_seed: 0xFA_017,
+            dedup: true,
         }
     }
 }
@@ -210,6 +216,7 @@ impl StudyConfig {
             && self.seed == other.seed
             && self.fault_rate == other.fault_rate
             && self.fault_seed == other.fault_seed
+            && self.dedup == other.dedup
     }
 
     /// The fault schedule for one (problem, technique) cell.

@@ -177,6 +177,8 @@ mod tests {
             rep: 1,
             tm: Some(0.75),
             sm: None,
+            tree_edits: Some(2),
+            tree_sim: Some(0.9),
             internal_success: true,
             explored: 9,
             reason: OutcomeReason::Repaired,

@@ -46,5 +46,6 @@ pub use config::{RosterId, StudyConfig, TechniqueId};
 pub use journal::{JournalContents, JournalHeader, StudyJournal};
 pub use portfolio::{run_portfolio_study, PortfolioStudy};
 pub use runner::{
-    run_full_study, run_study, run_study_cached, run_study_journaled, SpecRecord, StudyResults,
+    run_full_study, run_study, run_study_cached, run_study_journaled, RunStats, SpecRecord,
+    StudyResults,
 };

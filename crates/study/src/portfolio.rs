@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use specrepair_benchmarks::RepairProblem;
-use specrepair_core::{CancelToken, OracleHandle, RepairContext};
+use specrepair_core::{CancelToken, DedupStats, OracleHandle, RepairContext};
 use specrepair_portfolio::{Entrant, Portfolio, PortfolioOutcome};
 use std::time::Instant;
 
@@ -49,13 +49,13 @@ pub fn race(
     config: &StudyConfig,
     workers: Option<usize>,
 ) -> PortfolioOutcome {
-    let ctx = RepairContext {
-        faulty: problem.faulty.clone(),
-        source: problem.faulty_source.clone(),
-        budget: config.budget_for(TechniqueId::Portfolio(roster)),
-        oracle: oracle.clone(),
-        cancel: CancelToken::none(),
-    };
+    let ctx = RepairContext::new(
+        problem.faulty.clone(),
+        config.budget_for(TechniqueId::Portfolio(roster)),
+    )
+    .with_source(&problem.faulty_source)
+    .with_oracle(oracle.clone())
+    .with_cancel(CancelToken::none());
     let mut portfolio = Portfolio::new(roster.label());
     if let Some(w) = workers {
         portfolio = portfolio.with_workers(w);
@@ -120,6 +120,11 @@ pub struct PortfolioStudy {
     pub budget_spent: usize,
     /// Candidate-budget units saved by cancellation across all races.
     pub budget_saved: usize,
+    /// Candidate-dedup counters aggregated over the racing pass: entrants
+    /// of one race share the per-problem registry, so every cross-entrant
+    /// duplicate candidate lands here as a hit (or a coalesced in-flight
+    /// wait).
+    pub dedup: DedupStats,
     /// Per-member standings, in rank order.
     pub members: Vec<MemberStanding>,
     /// The racing portfolio's records, in problem order.
@@ -152,6 +157,7 @@ pub fn run_portfolio_study(
     let mut sequential_records = Vec::with_capacity(problems.len());
     let (mut racing_wall_ms, mut sequential_wall_ms) = (0u64, 0u64);
     let (mut budget_spent, mut budget_saved) = (0usize, 0usize);
+    let mut dedup = DedupStats::default();
 
     for problem in problems {
         // Solo baselines: all members against one shared per-problem oracle.
@@ -175,15 +181,11 @@ pub fn run_portfolio_study(
         sequential_records.push(record_from(problem, roster.label(), &seq.outcome));
 
         // The racing portfolio.
+        let race_oracle = OracleHandle::fresh();
         let t = Instant::now();
-        let raced = race(
-            &OracleHandle::fresh(),
-            roster,
-            problem,
-            config,
-            Some(workers),
-        );
+        let raced = race(&race_oracle, roster, problem, config, Some(workers));
         racing_wall_ms += t.elapsed().as_millis() as u64;
+        dedup.absorb(&race_oracle.dedup_stats());
         if let Some(w) = raced.winner {
             members[w].wins += 1;
         }
@@ -216,6 +218,7 @@ pub fn run_portfolio_study(
         records_identical,
         budget_spent,
         budget_saved,
+        dedup,
         members,
         records: racing_records,
     }
@@ -246,6 +249,13 @@ pub fn render(s: &PortfolioStudy) -> String {
     out.push_str(&format!(
         "budget: {} candidate units spent, {} saved by cancellation\n",
         s.budget_spent, s.budget_saved
+    ));
+    out.push_str(&format!(
+        "dedup: {} hits / {} misses ({:.1}% dedup rate), {} coalesced in-flight\n",
+        s.dedup.hits,
+        s.dedup.misses,
+        s.dedup.dedup_rate() * 100.0,
+        s.dedup.coalesced
     ));
     out.push_str("member            rank  solo-REP  wins\n");
     for m in &s.members {

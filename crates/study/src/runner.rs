@@ -7,7 +7,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
 use specrepair_core::{
-    CancelToken, OracleHandle, OutcomeReason, RepairContext, RepairOutcome, RepairTechnique,
+    CancelToken, DedupStats, OracleHandle, OutcomeReason, RepairContext, RepairOutcome,
+    RepairTechnique,
 };
 use specrepair_llm::{invert_fix_description, MultiRound, ProblemHints, ResilientLm, SingleRound};
 use specrepair_metrics::candidate_metrics;
@@ -36,6 +37,14 @@ pub struct SpecRecord {
     pub tm: Option<f64>,
     /// Syntax Match of the final candidate, if any.
     pub sm: Option<f64>,
+    /// Tree-diff edit distance of the candidate against the *faulty* spec
+    /// (persistent-id matched; see [`specrepair_metrics::tree_diff`]): how
+    /// many subtree edits the repair made. `None` without a parsed
+    /// candidate.
+    pub tree_edits: Option<u32>,
+    /// Tree-diff similarity of the candidate against the faulty spec, in
+    /// `[0, 1]` — high values mean a minimal, surgical repair.
+    pub tree_sim: Option<f64>,
     /// The technique's own success verdict.
     pub internal_success: bool,
     /// Oracle validations / drafts spent.
@@ -167,6 +176,19 @@ impl StudyResults {
     }
 }
 
+/// Aggregated performance-layer counters of one study run: the oracle
+/// memo table plus the global candidate-dedup registry. Both layers are
+/// required to be behaviorally inert (asserted by the `study_pipeline`
+/// byte-identity gates), so these counters are pure observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Oracle memo-table counters, aggregated over every per-problem
+    /// oracle.
+    pub cache: OracleCacheStats,
+    /// Candidate-dedup registry counters, aggregated likewise.
+    pub dedup: DedupStats,
+}
+
 /// Builds the hints the Single-Round prompts may use for one problem: the
 /// benchmark's known fault locations, the inverted edit script, and a
 /// failing check command as the *Pass* requirement.
@@ -188,6 +210,7 @@ pub fn hints_for_with(oracle: &Oracle, problem: &RepairProblem) -> ProblemHints 
         });
     ProblemHints {
         loc: problem.fault_spans.clone(),
+        sites: specrepair_core::sites_for_spans(&problem.faulty, &problem.fault_spans),
         fix: problem
             .edits
             .iter()
@@ -218,13 +241,10 @@ pub fn repair_with_oracle(
     if let TechniqueId::Portfolio(roster) = id {
         return crate::portfolio::race(oracle, roster, problem, config, None).outcome;
     }
-    let ctx = RepairContext {
-        faulty: problem.faulty.clone(),
-        source: problem.faulty_source.clone(),
-        budget: config.budget_for(id),
-        oracle: oracle.clone(),
-        cancel: CancelToken::none(),
-    };
+    let ctx = RepairContext::new(problem.faulty.clone(), config.budget_for(id))
+        .with_source(&problem.faulty_source)
+        .with_oracle(oracle.clone())
+        .with_cancel(CancelToken::none());
     run_solo(id, problem, config, &ctx)
 }
 
@@ -292,6 +312,13 @@ pub fn record_from(problem: &RepairProblem, label: &str, outcome: &RepairOutcome
         &problem.truth_source,
         outcome.candidate_source.as_deref(),
     );
+    // How far the repair strayed from the faulty spec, as a minimal edit
+    // script over persistent node ids (exact for mutation-derived
+    // candidates, positional for re-parsed model output).
+    let diff = outcome
+        .candidate
+        .as_ref()
+        .map(|c| specrepair_metrics::tree_diff(&problem.faulty, c).summary());
     SpecRecord {
         problem: problem.id.clone(),
         benchmark: problem.benchmark.label().to_string(),
@@ -300,6 +327,8 @@ pub fn record_from(problem: &RepairProblem, label: &str, outcome: &RepairOutcome
         rep: metrics.rep,
         tm: metrics.tm,
         sm: metrics.sm,
+        tree_edits: diff.map(|d| d.edit_distance),
+        tree_sim: diff.map(|d| d.similarity),
         internal_success: outcome.success,
         explored: outcome.candidates_explored,
         reason: outcome.reason,
@@ -338,6 +367,8 @@ pub fn evaluate_cell(
         rep: 0,
         tm: None,
         sm: None,
+        tree_edits: None,
+        tree_sim: None,
         internal_success: false,
         explored: 0,
         reason: OutcomeReason::Crashed,
@@ -351,17 +382,18 @@ pub fn run_study(problems: &[RepairProblem], config: &StudyConfig) -> StudyResul
 }
 
 /// [`run_study`] with explicit cache control, reporting the aggregated
-/// oracle cache statistics alongside the results.
+/// oracle cache and candidate-dedup statistics alongside the results.
 ///
-/// The oracle memoizes by the candidate's canonical text, so a cached run
-/// returns exactly the answers a fresh [`Oracle`] would compute:
-/// `use_cache` must not change `StudyResults` by a single byte (asserted by
-/// the `study_pipeline` integration test).
+/// The oracle memoizes by the candidate's canonical fingerprint, so a
+/// cached run returns exactly the answers a fresh [`Oracle`] would
+/// compute: neither `use_cache` nor `config.dedup` may change
+/// `StudyResults` by a single byte (asserted by the `study_pipeline`
+/// integration tests).
 pub fn run_study_cached(
     problems: &[RepairProblem],
     config: &StudyConfig,
     use_cache: bool,
-) -> (StudyResults, OracleCacheStats) {
+) -> (StudyResults, RunStats) {
     run_study_journaled(problems, config, use_cache, None, &HashMap::new())
 }
 
@@ -380,9 +412,9 @@ pub fn run_study_journaled(
     use_cache: bool,
     journal: Option<&StudyJournal>,
     done: &HashMap<(String, String), SpecRecord>,
-) -> (StudyResults, OracleCacheStats) {
+) -> (StudyResults, RunStats) {
     let techniques = TechniqueId::all();
-    let stats = Mutex::new(OracleCacheStats::default());
+    let stats = Mutex::new(RunStats::default());
     let records: Vec<SpecRecord> = problems
         .par_iter()
         .flat_map_iter(|p| {
@@ -391,11 +423,14 @@ pub fn run_study_journaled(
             // the same faulty spec and overlapping candidate sets, which is
             // where the memo table earns its keep. Problems stay independent
             // so rayon's work-stealing never contends on one table.
-            let oracle = if use_cache {
+            let mut oracle = if use_cache {
                 OracleHandle::fresh()
             } else {
                 OracleHandle::disabled()
             };
+            if !config.dedup {
+                oracle = oracle.without_dedup();
+            }
             let records: Vec<SpecRecord> = techniques
                 .iter()
                 .map(|&id| {
@@ -411,7 +446,10 @@ pub fn run_study_journaled(
                     r
                 })
                 .collect();
-            stats.lock().absorb(&oracle.stats());
+            let mut s = stats.lock();
+            s.cache.absorb(&oracle.stats());
+            s.dedup.absorb(&oracle.dedup_stats());
+            drop(s);
             records
         })
         .collect();

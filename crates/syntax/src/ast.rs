@@ -57,6 +57,124 @@ impl fmt::Display for Span {
     }
 }
 
+/// A persistent identifier for a formula or expression node.
+///
+/// Ids are assigned once — at parse time by [`Spec::assign_ids`] — and are a
+/// durable property of the node: cloning a specification or rewriting one
+/// subtree ([`crate::walk::replace_node`]) preserves the ids of every
+/// untouched node. Fresh ids are drawn only for newly spliced subtrees, from
+/// the specification's monotone [`Spec::next_node_id`] counter, so a freed id
+/// is never reused within a specification's edit lineage.
+///
+/// Identity is *not* part of structural equality: two nodes with different
+/// ids but identical structure compare equal (see [`Meta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Sentinel for nodes that have not been installed into a specification
+    /// yet (convenience-constructor output, freshly parsed sub-terms).
+    pub const UNASSIGNED: NodeId = NodeId(u32::MAX);
+
+    /// Whether this id is the [`NodeId::UNASSIGNED`] sentinel.
+    pub fn is_unassigned(&self) -> bool {
+        *self == NodeId::UNASSIGNED
+    }
+}
+
+impl Default for NodeId {
+    fn default() -> Self {
+        NodeId::UNASSIGNED
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unassigned() {
+            f.write_str("n?")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Per-node metadata carried by every [`Formula`] and [`Expr`] node: the
+/// source [`Span`] plus the persistent [`NodeId`].
+///
+/// Structural equality and hashing deliberately ignore the id (they compare
+/// the span only, preserving the pre-identity semantics of the AST): a
+/// candidate produced by splicing a structurally identical subtree is *equal*
+/// to the original even though its spliced nodes carry fresh ids.
+#[derive(Debug, Clone, Copy)]
+pub struct Meta {
+    /// Source location of the node.
+    pub span: Span,
+    /// Persistent node identity (skipped in serialized form; reassigned by
+    /// [`Spec::assign_ids`] after deserialization).
+    pub id: NodeId,
+}
+
+// Serialized form is exactly the span's, so the on-disk JSON shape of every
+// AST node is unchanged from when the slot held a bare `Span`. Ids are not
+// serialized; deserialization leaves them unassigned (the `Spec`-level
+// deserializer reassigns them in one pass).
+impl Serialize for Meta {
+    fn to_value(&self) -> serde::Value {
+        self.span.to_value()
+    }
+}
+
+impl Deserialize for Meta {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Meta::of(Span::from_value(v)?))
+    }
+}
+
+impl Meta {
+    /// Metadata for a synthesized node: empty span, unassigned id.
+    pub fn synthetic() -> Meta {
+        Meta {
+            span: Span::synthetic(),
+            id: NodeId::UNASSIGNED,
+        }
+    }
+
+    /// Metadata carrying the given span with an unassigned id (the parser's
+    /// constructor; ids are assigned in one pass after parsing).
+    pub fn of(span: Span) -> Meta {
+        Meta {
+            span,
+            id: NodeId::UNASSIGNED,
+        }
+    }
+}
+
+impl Default for Meta {
+    fn default() -> Self {
+        Meta::synthetic()
+    }
+}
+
+impl From<Span> for Meta {
+    fn from(span: Span) -> Meta {
+        Meta::of(span)
+    }
+}
+
+impl PartialEq for Meta {
+    fn eq(&self, other: &Meta) -> bool {
+        self.span == other.span
+    }
+}
+
+impl Eq for Meta {}
+
+impl std::hash::Hash for Meta {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.span.hash(state);
+    }
+}
+
 /// Multiplicity keyword attached to a signature declaration (`one sig`, …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SigMult {
@@ -198,44 +316,70 @@ impl UnExprOp {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Expr {
     /// Reference to a signature, field, or quantified variable.
-    Ident(String, Span),
+    Ident(String, Meta),
     /// The universe of all atoms (`univ`).
-    Univ(Span),
+    Univ(Meta),
     /// The identity relation over the universe (`iden`).
-    Iden(Span),
+    Iden(Meta),
     /// The empty unary relation (`none`).
-    None(Span),
+    None(Meta),
     /// Unary operator application.
-    Unary(UnExprOp, Box<Expr>, Span),
+    Unary(UnExprOp, Box<Expr>, Meta),
     /// Binary operator application.
-    Binary(BinExprOp, Box<Expr>, Box<Expr>, Span),
+    Binary(BinExprOp, Box<Expr>, Box<Expr>, Meta),
     /// Set comprehension `{ x: e | F }`.
-    Comprehension(Vec<VarDecl>, Box<Formula>, Span),
+    Comprehension(Vec<VarDecl>, Box<Formula>, Meta),
     /// Conditional expression `F => e1 else e2` in expression position.
-    IfThenElse(Box<Formula>, Box<Expr>, Box<Expr>, Span),
+    IfThenElse(Box<Formula>, Box<Expr>, Box<Expr>, Meta),
     /// Call of a named function with argument expressions.
-    FunCall(String, Vec<Expr>, Span),
+    FunCall(String, Vec<Expr>, Meta),
 }
 
 impl Expr {
+    /// The node's metadata (span + persistent id).
+    pub fn meta(&self) -> Meta {
+        match self {
+            Expr::Ident(_, m)
+            | Expr::Univ(m)
+            | Expr::Iden(m)
+            | Expr::None(m)
+            | Expr::Unary(_, _, m)
+            | Expr::Binary(_, _, _, m)
+            | Expr::Comprehension(_, _, m)
+            | Expr::IfThenElse(_, _, _, m)
+            | Expr::FunCall(_, _, m) => *m,
+        }
+    }
+
+    /// Mutable access to the node's metadata.
+    pub fn meta_mut(&mut self) -> &mut Meta {
+        match self {
+            Expr::Ident(_, m)
+            | Expr::Univ(m)
+            | Expr::Iden(m)
+            | Expr::None(m)
+            | Expr::Unary(_, _, m)
+            | Expr::Binary(_, _, _, m)
+            | Expr::Comprehension(_, _, m)
+            | Expr::IfThenElse(_, _, _, m)
+            | Expr::FunCall(_, _, m) => m,
+        }
+    }
+
     /// Source location of the expression.
     pub fn span(&self) -> Span {
-        match self {
-            Expr::Ident(_, s)
-            | Expr::Univ(s)
-            | Expr::Iden(s)
-            | Expr::None(s)
-            | Expr::Unary(_, _, s)
-            | Expr::Binary(_, _, _, s)
-            | Expr::Comprehension(_, _, s)
-            | Expr::IfThenElse(_, _, _, s)
-            | Expr::FunCall(_, _, s) => *s,
-        }
+        self.meta().span
+    }
+
+    /// The node's persistent id ([`NodeId::UNASSIGNED`] until the node is
+    /// installed into a specification).
+    pub fn id(&self) -> NodeId {
+        self.meta().id
     }
 
     /// Convenience constructor for an identifier with a synthetic span.
     pub fn ident(name: impl Into<String>) -> Expr {
-        Expr::Ident(name.into(), Span::synthetic())
+        Expr::Ident(name.into(), Meta::synthetic())
     }
 
     /// Convenience constructor for a join `lhs.rhs` with a synthetic span.
@@ -244,18 +388,18 @@ impl Expr {
             BinExprOp::Join,
             Box::new(lhs),
             Box::new(rhs),
-            Span::synthetic(),
+            Meta::synthetic(),
         )
     }
 
     /// Convenience constructor for a binary operation with a synthetic span.
     pub fn binary(op: BinExprOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary(op, Box::new(lhs), Box::new(rhs), Span::synthetic())
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs), Meta::synthetic())
     }
 
     /// Convenience constructor for a unary operation with a synthetic span.
     pub fn unary(op: UnExprOp, inner: Expr) -> Expr {
-        Expr::Unary(op, Box::new(inner), Span::synthetic())
+        Expr::Unary(op, Box::new(inner), Meta::synthetic())
     }
 }
 
@@ -437,36 +581,61 @@ impl BinFormOp {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Formula {
     /// Comparison between relational expressions.
-    Compare(CmpOp, Box<Expr>, Box<Expr>, Span),
+    Compare(CmpOp, Box<Expr>, Box<Expr>, Meta),
     /// Comparison between integer expressions.
-    IntCompare(IntCmpOp, Box<IntExpr>, Box<IntExpr>, Span),
+    IntCompare(IntCmpOp, Box<IntExpr>, Box<IntExpr>, Meta),
     /// Multiplicity check on an expression.
-    Mult(MultOp, Box<Expr>, Span),
+    Mult(MultOp, Box<Expr>, Meta),
     /// Negation.
-    Not(Box<Formula>, Span),
+    Not(Box<Formula>, Meta),
     /// Binary connective.
-    Binary(BinFormOp, Box<Formula>, Box<Formula>, Span),
+    Binary(BinFormOp, Box<Formula>, Box<Formula>, Meta),
     /// Quantified formula.
-    Quant(Quant, Vec<VarDecl>, Box<Formula>, Span),
+    Quant(Quant, Vec<VarDecl>, Box<Formula>, Meta),
     /// `let x = e | F`
-    Let(String, Box<Expr>, Box<Formula>, Span),
+    Let(String, Box<Expr>, Box<Formula>, Meta),
     /// Call of a named predicate with argument expressions.
-    PredCall(String, Vec<Expr>, Span),
+    PredCall(String, Vec<Expr>, Meta),
 }
 
 impl Formula {
+    /// The node's metadata (span + persistent id).
+    pub fn meta(&self) -> Meta {
+        match self {
+            Formula::Compare(_, _, _, m)
+            | Formula::IntCompare(_, _, _, m)
+            | Formula::Mult(_, _, m)
+            | Formula::Not(_, m)
+            | Formula::Binary(_, _, _, m)
+            | Formula::Quant(_, _, _, m)
+            | Formula::Let(_, _, _, m)
+            | Formula::PredCall(_, _, m) => *m,
+        }
+    }
+
+    /// Mutable access to the node's metadata.
+    pub fn meta_mut(&mut self) -> &mut Meta {
+        match self {
+            Formula::Compare(_, _, _, m)
+            | Formula::IntCompare(_, _, _, m)
+            | Formula::Mult(_, _, m)
+            | Formula::Not(_, m)
+            | Formula::Binary(_, _, _, m)
+            | Formula::Quant(_, _, _, m)
+            | Formula::Let(_, _, _, m)
+            | Formula::PredCall(_, _, m) => m,
+        }
+    }
+
     /// Source location of the formula.
     pub fn span(&self) -> Span {
-        match self {
-            Formula::Compare(_, _, _, s)
-            | Formula::IntCompare(_, _, _, s)
-            | Formula::Mult(_, _, s)
-            | Formula::Not(_, s)
-            | Formula::Binary(_, _, _, s)
-            | Formula::Quant(_, _, _, s)
-            | Formula::Let(_, _, _, s)
-            | Formula::PredCall(_, _, s) => *s,
-        }
+        self.meta().span
+    }
+
+    /// The node's persistent id ([`NodeId::UNASSIGNED`] until the node is
+    /// installed into a specification).
+    pub fn id(&self) -> NodeId {
+        self.meta().id
     }
 
     /// Builds the conjunction of the given formulas.
@@ -481,7 +650,7 @@ impl Formula {
                     BinFormOp::And,
                     Box::new(acc),
                     Box::new(f),
-                    Span::synthetic(),
+                    Meta::synthetic(),
                 )
             }),
         }
@@ -491,26 +660,26 @@ impl Formula {
     pub fn truth() -> Formula {
         Formula::Compare(
             CmpOp::Eq,
-            Box::new(Expr::Univ(Span::synthetic())),
-            Box::new(Expr::Univ(Span::synthetic())),
-            Span::synthetic(),
+            Box::new(Expr::Univ(Meta::synthetic())),
+            Box::new(Expr::Univ(Meta::synthetic())),
+            Meta::synthetic(),
         )
     }
 
     /// Convenience constructor for negation with a synthetic span.
     #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
-        Formula::Not(Box::new(f), Span::synthetic())
+        Formula::Not(Box::new(f), Meta::synthetic())
     }
 
     /// Convenience constructor for a binary connective with a synthetic span.
     pub fn binary(op: BinFormOp, lhs: Formula, rhs: Formula) -> Formula {
-        Formula::Binary(op, Box::new(lhs), Box::new(rhs), Span::synthetic())
+        Formula::Binary(op, Box::new(lhs), Box::new(rhs), Meta::synthetic())
     }
 
     /// Convenience constructor for a comparison with a synthetic span.
     pub fn compare(op: CmpOp, lhs: Expr, rhs: Expr) -> Formula {
-        Formula::Compare(op, Box::new(lhs), Box::new(rhs), Span::synthetic())
+        Formula::Compare(op, Box::new(lhs), Box::new(rhs), Meta::synthetic())
     }
 }
 
@@ -614,7 +783,7 @@ impl Command {
 }
 
 /// A complete μAlloy specification (one source file).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Spec {
     /// Optional module name.
     pub module: Option<String>,
@@ -630,6 +799,76 @@ pub struct Spec {
     pub asserts: Vec<AssertDecl>,
     /// Commands in source order.
     pub commands: Vec<Command>,
+    /// High-water mark for [`NodeId`] allocation: every id ever assigned in
+    /// this spec's history is `< next_node_id`, and freed ids are never
+    /// reused. Not part of structural equality, hashing, or serialization.
+    pub next_node_id: u32,
+}
+
+// Hand-written (de)serialization: the wire format matches what the derive
+// produced before `next_node_id` existed — the allocation mark and node ids
+// are volatile, so round-tripping a spec through JSON yields freshly
+// (re)assigned dense ids, the same as parsing its source.
+impl Serialize for Spec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("module".to_string(), self.module.to_value()),
+            ("sigs".to_string(), self.sigs.to_value()),
+            ("facts".to_string(), self.facts.to_value()),
+            ("preds".to_string(), self.preds.to_value()),
+            ("funs".to_string(), self.funs.to_value()),
+            ("asserts".to_string(), self.asserts.to_value()),
+            ("commands".to_string(), self.commands.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Spec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Map(m) = v else {
+            return Err(serde::Error::custom("expected object for Spec"));
+        };
+        let mut spec = Spec {
+            module: Deserialize::from_value(serde::field(m, "module")?)?,
+            sigs: Deserialize::from_value(serde::field(m, "sigs")?)?,
+            facts: Deserialize::from_value(serde::field(m, "facts")?)?,
+            preds: Deserialize::from_value(serde::field(m, "preds")?)?,
+            funs: Deserialize::from_value(serde::field(m, "funs")?)?,
+            asserts: Deserialize::from_value(serde::field(m, "asserts")?)?,
+            commands: Deserialize::from_value(serde::field(m, "commands")?)?,
+            next_node_id: 0,
+        };
+        spec.assign_ids();
+        Ok(spec)
+    }
+}
+
+// Structural equality and hashing deliberately ignore `next_node_id` (an
+// allocation high-water mark, not spec content). Node ids inside the AST are
+// already excluded by `Meta`'s `PartialEq`/`Hash`.
+impl PartialEq for Spec {
+    fn eq(&self, other: &Spec) -> bool {
+        self.module == other.module
+            && self.sigs == other.sigs
+            && self.facts == other.facts
+            && self.preds == other.preds
+            && self.funs == other.funs
+            && self.asserts == other.asserts
+            && self.commands == other.commands
+    }
+}
+impl Eq for Spec {}
+
+impl std::hash::Hash for Spec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.module.hash(state);
+        self.sigs.hash(state);
+        self.facts.hash(state);
+        self.preds.hash(state);
+        self.funs.hash(state);
+        self.asserts.hash(state);
+        self.commands.hash(state);
+    }
 }
 
 impl Spec {
@@ -678,6 +917,18 @@ impl Spec {
     /// Top-level signatures (those without a parent).
     pub fn top_level_sigs(&self) -> impl Iterator<Item = &SigDecl> {
         self.sigs.iter().filter(|s| s.parent.is_none())
+    }
+
+    /// (Re)assigns dense pre-order [`NodeId`]s to every addressable
+    /// `Formula`/`Expr` node and resets the allocation high-water mark.
+    ///
+    /// Called once at parse time; freshly parsed specs carry ids
+    /// `0..n` in the canonical traversal order (fact bodies, then pred
+    /// bodies, then fun bodies, then assert bodies). Structural edits via
+    /// [`crate::walk::replace_node`] preserve the ids of untouched nodes and
+    /// draw fresh ids from `next_node_id` — they never call this.
+    pub fn assign_ids(&mut self) {
+        crate::visit::assign_ids(self);
     }
 }
 

@@ -221,11 +221,11 @@ impl<'a> Env<'a> {
                             "predicate `{name}` expects {arity} argument(s), got {}",
                             args.len()
                         ),
-                        *span,
+                        span.span,
                     )),
                     None => errs.push(CheckError::new(
                         format!("call to unknown predicate `{name}`"),
-                        *span,
+                        span.span,
                     )),
                 }
                 for a in args {
@@ -242,7 +242,7 @@ impl<'a> Env<'a> {
                     || self.fields.contains_key(name.as_str())
                     || scope.vars.iter().any(|v| v == name);
                 if !known {
-                    errs.push(CheckError::new(format!("unknown name `{name}`"), *span));
+                    errs.push(CheckError::new(format!("unknown name `{name}`"), span.span));
                 }
             }
             Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
@@ -275,7 +275,7 @@ impl<'a> Env<'a> {
                                 "function `{name}` expects {arity} argument(s), got {}",
                                 args.len()
                             ),
-                            *span,
+                            span.span,
                         ));
                     }
                 } else {
@@ -286,7 +286,7 @@ impl<'a> Env<'a> {
                     if !known {
                         errs.push(CheckError::new(
                             format!("unknown name `{name}` in application"),
-                            *span,
+                            span.span,
                         ));
                     }
                 }

@@ -4,10 +4,15 @@
 //! language used throughout the `specrepair` workspace. The crate provides:
 //!
 //! - a lossless [`lexer`] and recursive-descent [`parser`];
-//! - the [`ast`] with byte-accurate [`ast::Span`]s on every node;
+//! - the [`ast`] with byte-accurate [`ast::Span`]s and persistent
+//!   [`ast::NodeId`]s on every formula/expression node;
 //! - a canonical [`printer`] guaranteeing parse round-trips;
-//! - [`walk`]: stable node addressing ([`walk::NodeId`]), site enumeration
-//!   and single-node rewriting used by the mutation and repair crates;
+//! - [`visit`]: the [`visit::Visitor`]/[`visit::VisitorMut`] trait pair
+//!   defining the canonical traversal, plus node-id assignment;
+//! - [`walk`]: node addressing by persistent id, site enumeration and
+//!   single-node rewriting used by the mutation and repair crates;
+//! - [`hash`]: canonical Merkle subtree hashing for O(changed-path)
+//!   candidate fingerprints;
 //! - [`check`]: name-resolution and arity validation.
 //!
 //! [Alloy]: https://alloytools.org
@@ -31,33 +36,39 @@
 pub mod ast;
 pub mod check;
 pub mod error;
+pub mod hash;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod visit;
 pub mod walk;
 
 pub use ast::{
     AssertDecl, BinExprOp, BinFormOp, CmpOp, Command, CommandKind, Expr, Fact, FieldDecl, Formula,
-    FunDecl, IntCmpOp, IntExpr, Mult, MultOp, Param, PredDecl, Quant, SigDecl, SigMult, Span, Spec,
-    UnExprOp, VarDecl,
+    FunDecl, IntCmpOp, IntExpr, Meta, Mult, MultOp, Param, PredDecl, Quant, SigDecl, SigMult, Span,
+    Spec, UnExprOp, VarDecl,
 };
 pub use check::{check_spec, ensure_well_formed};
 pub use error::{CheckError, SyntaxError};
+pub use hash::{spec_fingerprint, Fingerprint, SpecHasher};
 pub use parser::{parse_expr, parse_formula, parse_spec};
 pub use printer::{print_expr, print_field, print_formula, print_spec};
+pub use visit::{NodeIdGenerator, Visitor, VisitorMut};
 pub use walk::{collect_sites, replace_node, NodeId, NodeRepl, NodeSite, OwnerKind};
 
+/// Tiny generators of well-formed AST fragments over a fixed vocabulary,
+/// shared by the property tests in this crate.
 #[cfg(test)]
-mod proptests {
+pub(crate) mod testgen {
     use crate::ast::*;
     use proptest::prelude::*;
 
-    // A tiny generator of well-formed expressions over a fixed vocabulary.
-    fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    /// A generator of well-formed expressions over sigs A/B and fields f/g.
+    pub(crate) fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
         let leaf = prop_oneof![
             prop_oneof![Just("A"), Just("B"), Just("f"), Just("g")].prop_map(Expr::ident),
-            Just(Expr::Univ(Span::synthetic())),
-            Just(Expr::None(Span::synthetic())),
+            Just(Expr::Univ(Meta::synthetic())),
+            Just(Expr::None(Meta::synthetic())),
         ];
         if depth == 0 {
             return leaf.boxed();
@@ -77,12 +88,13 @@ mod proptests {
         .boxed()
     }
 
-    fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
+    /// A generator of well-formed formulas over the same vocabulary.
+    pub(crate) fn arb_formula(depth: u32) -> BoxedStrategy<Formula> {
         let leaf = prop_oneof![
             (arb_expr(1), arb_expr(1)).prop_map(|(l, r)| Formula::compare(CmpOp::In, l, r)),
             (arb_expr(1), arb_expr(1)).prop_map(|(l, r)| Formula::compare(CmpOp::Eq, l, r)),
-            arb_expr(1).prop_map(|e| Formula::Mult(MultOp::Some, Box::new(e), Span::synthetic())),
-            arb_expr(1).prop_map(|e| Formula::Mult(MultOp::No, Box::new(e), Span::synthetic())),
+            arb_expr(1).prop_map(|e| Formula::Mult(MultOp::Some, Box::new(e), Meta::synthetic())),
+            arb_expr(1).prop_map(|e| Formula::Mult(MultOp::No, Box::new(e), Meta::synthetic())),
         ];
         if depth == 0 {
             return leaf.boxed();
@@ -98,11 +110,18 @@ mod proptests {
                 Quant::All,
                 vec![VarDecl::new("x", b)],
                 Box::new(f),
-                Span::synthetic()
+                Meta::synthetic()
             )),
         ]
         .boxed()
     }
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::ast::*;
+    use crate::testgen::{arb_expr, arb_formula};
+    use proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
@@ -134,7 +153,7 @@ mod proptests {
         /// Node replacement with the identity payload preserves the spec.
         #[test]
         fn identity_replacement_is_noop(f in arb_formula(2)) {
-            let spec = Spec {
+            let mut spec = Spec {
                 sigs: vec![
                     SigDecl { name: "A".into(), is_abstract: false, mult: None, parent: None,
                               fields: vec![FieldDecl { name: "f".into(), cols: vec!["A".into()],
@@ -148,6 +167,7 @@ mod proptests {
                 facts: vec![Fact { name: "F".into(), body: vec![f], span: Span::synthetic() }],
                 ..Spec::default()
             };
+            spec.assign_ids();
             let sites = crate::collect_sites(&spec);
             prop_assert!(!sites.is_empty());
             let site = &sites[0];
@@ -158,6 +178,53 @@ mod proptests {
                 crate::walk::strip_spec_spans(&out),
                 crate::walk::strip_spec_spans(&spec)
             );
+        }
+
+        /// Persistence contract: `replace_node` keeps the ids of all
+        /// untouched nodes and never hands a freed id back out.
+        #[test]
+        fn replace_preserves_ids_and_never_reuses(
+            f in arb_formula(2),
+            g in arb_formula(2),
+            pick in 0usize..64,
+        ) {
+            let mut spec = Spec {
+                facts: vec![Fact { name: "F".into(), body: vec![f], span: Span::synthetic() }],
+                ..Spec::default()
+            };
+            spec.assign_ids();
+            let sites = crate::collect_sites(&spec);
+            let formula_sites: Vec<_> = sites.iter().filter(|s| s.is_formula).collect();
+            let site = formula_sites[pick % formula_sites.len()];
+            let size = match crate::walk::node_at(&spec, site.id).unwrap() {
+                crate::walk::NodeRepl::Formula(n) => crate::walk::subtree_size_formula(&n),
+                crate::walk::NodeRepl::Expr(n) => crate::walk::subtree_size_expr(&n),
+            };
+            // On a fresh parse-order assignment the replaced subtree owns the
+            // contiguous id range [site.id, site.id + size).
+            let freed: std::collections::HashSet<u32> =
+                (site.id.0..site.id.0 + size).collect();
+            let out = crate::replace_node(
+                &spec, site.id, crate::walk::NodeRepl::Formula(g)).unwrap();
+            let after = crate::collect_sites(&out);
+            let after_ids: std::collections::HashSet<u32> =
+                after.iter().map(|s| s.id.0).collect();
+            for s in &sites {
+                if !freed.contains(&s.id.0) {
+                    prop_assert!(after_ids.contains(&s.id.0), "lost id {}", s.id.0);
+                }
+            }
+            for id in &freed {
+                prop_assert!(!after_ids.contains(id), "freed id {} reused", id);
+            }
+            // Fresh payload ids start at the old watermark; the watermark advances.
+            for s in &after {
+                if !sites.iter().any(|b| b.id == s.id) {
+                    prop_assert!(s.id.0 >= spec.next_node_id);
+                    prop_assert!(s.id.0 < out.next_node_id);
+                }
+            }
+            prop_assert!(out.next_node_id >= spec.next_node_id);
         }
     }
 }

@@ -22,7 +22,11 @@ use crate::lexer::{tokenize, Token, TokenKind};
 pub fn parse_spec(source: &str) -> Result<Spec, SyntaxError> {
     let tokens = tokenize(source)?;
     let mut parser = Parser { tokens, pos: 0 };
-    parser.spec()
+    let mut spec = parser.spec()?;
+    // Node identity is assigned exactly once, here: dense pre-order ids over
+    // the addressable bodies. Edits preserve them (see `crate::walk`).
+    spec.assign_ids();
+    Ok(spec)
 }
 
 /// Parses a single formula (used by tests and by the repair tools when
@@ -503,7 +507,7 @@ impl Parser {
             self.bump();
             let rhs = self.imp_form()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Formula::Binary(BinFormOp::Iff, Box::new(lhs), Box::new(rhs), span);
+            lhs = Formula::Binary(BinFormOp::Iff, Box::new(lhs), Box::new(rhs), span.into());
         }
         Ok(lhs)
     }
@@ -521,19 +525,19 @@ impl Parser {
                     BinFormOp::Implies,
                     Box::new(lhs.clone()),
                     Box::new(then),
-                    span,
+                    span.into(),
                 );
                 let neg = Formula::Binary(
                     BinFormOp::Implies,
-                    Box::new(Formula::Not(Box::new(lhs), span)),
+                    Box::new(Formula::Not(Box::new(lhs), span.into())),
                     Box::new(els),
-                    span,
+                    span.into(),
                 );
                 return Ok(Formula::Binary(
                     BinFormOp::And,
                     Box::new(pos),
                     Box::new(neg),
-                    span,
+                    span.into(),
                 ));
             }
             let span = lhs.span().merge(then.span());
@@ -541,7 +545,7 @@ impl Parser {
                 BinFormOp::Implies,
                 Box::new(lhs),
                 Box::new(then),
-                span,
+                span.into(),
             ));
         }
         Ok(lhs)
@@ -553,7 +557,7 @@ impl Parser {
             self.bump();
             let rhs = self.and_form()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Formula::Binary(BinFormOp::Or, Box::new(lhs), Box::new(rhs), span);
+            lhs = Formula::Binary(BinFormOp::Or, Box::new(lhs), Box::new(rhs), span.into());
         }
         Ok(lhs)
     }
@@ -564,7 +568,7 @@ impl Parser {
             self.bump();
             let rhs = self.not_form()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Formula::Binary(BinFormOp::And, Box::new(lhs), Box::new(rhs), span);
+            lhs = Formula::Binary(BinFormOp::And, Box::new(lhs), Box::new(rhs), span.into());
         }
         Ok(lhs)
     }
@@ -574,7 +578,7 @@ impl Parser {
             let start = self.bump().span;
             let inner = self.not_form()?;
             let span = start.merge(inner.span());
-            return Ok(Formula::Not(Box::new(inner), span));
+            return Ok(Formula::Not(Box::new(inner), span.into()));
         }
         self.quant_form()
     }
@@ -589,7 +593,12 @@ impl Parser {
             self.expect(TokenKind::Bar)?;
             let body = self.formula()?;
             let span = start.merge(body.span());
-            return Ok(Formula::Let(name, Box::new(binding), Box::new(body), span));
+            return Ok(Formula::Let(
+                name,
+                Box::new(binding),
+                Box::new(body),
+                span.into(),
+            ));
         }
         // Quantifier: `quant (disj)? x (, y)* : bound (, more-decls)* | F`
         if let Some(q) = self.peek_quant() {
@@ -700,7 +709,7 @@ impl Parser {
                         return Err(SyntaxError::new("`all` requires a variable binding", span))
                     }
                 };
-                return Ok(Formula::Mult(op, Box::new(e), span));
+                return Ok(Formula::Mult(op, Box::new(e), span.into()));
             }
         }
         // Integer comparison.
@@ -717,7 +726,7 @@ impl Parser {
                 CmpOp::In,
                 Box::new(lhs),
                 Box::new(rhs),
-                span,
+                span.into(),
             ));
         }
         if self.at(&TokenKind::Bang) && self.kw_at(1, "in") {
@@ -729,7 +738,7 @@ impl Parser {
                 CmpOp::NotIn,
                 Box::new(lhs),
                 Box::new(rhs),
-                span,
+                span.into(),
             ));
         }
         if self.at_kw("not") && self.kw_at(1, "in") {
@@ -741,7 +750,7 @@ impl Parser {
                 CmpOp::NotIn,
                 Box::new(lhs),
                 Box::new(rhs),
-                span,
+                span.into(),
             ));
         }
         if self.at(&TokenKind::Eq) {
@@ -752,7 +761,7 @@ impl Parser {
                 CmpOp::Eq,
                 Box::new(lhs),
                 Box::new(rhs),
-                span,
+                span.into(),
             ));
         }
         if self.at(&TokenKind::Neq) {
@@ -763,7 +772,7 @@ impl Parser {
                 CmpOp::Neq,
                 Box::new(lhs),
                 Box::new(rhs),
-                span,
+                span.into(),
             ));
         }
         // Predicate call: a bare identifier or `ident[args]` expression with
@@ -819,7 +828,12 @@ impl Parser {
         self.bump();
         let rhs = self.int_expr()?;
         let span = lhs.span().merge(rhs.span());
-        Ok(Formula::IntCompare(op, Box::new(lhs), Box::new(rhs), span))
+        Ok(Formula::IntCompare(
+            op,
+            Box::new(lhs),
+            Box::new(rhs),
+            span.into(),
+        ))
     }
 
     fn int_expr(&mut self) -> Result<IntExpr, SyntaxError> {
@@ -860,7 +874,7 @@ impl Parser {
             self.bump();
             let rhs = self.override_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span.into());
         }
         Ok(lhs)
     }
@@ -871,7 +885,12 @@ impl Parser {
             self.bump();
             let rhs = self.intersect_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary(BinExprOp::Override, Box::new(lhs), Box::new(rhs), span);
+            lhs = Expr::Binary(
+                BinExprOp::Override,
+                Box::new(lhs),
+                Box::new(rhs),
+                span.into(),
+            );
         }
         Ok(lhs)
     }
@@ -882,7 +901,12 @@ impl Parser {
             self.bump();
             let rhs = self.product_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary(BinExprOp::Intersect, Box::new(lhs), Box::new(rhs), span);
+            lhs = Expr::Binary(
+                BinExprOp::Intersect,
+                Box::new(lhs),
+                Box::new(rhs),
+                span.into(),
+            );
         }
         Ok(lhs)
     }
@@ -896,7 +920,12 @@ impl Parser {
             let _ = self.opt_mult();
             let rhs = self.restrict_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary(BinExprOp::Product, Box::new(lhs), Box::new(rhs), span);
+            lhs = Expr::Binary(
+                BinExprOp::Product,
+                Box::new(lhs),
+                Box::new(rhs),
+                span.into(),
+            );
         }
         Ok(lhs)
     }
@@ -914,7 +943,7 @@ impl Parser {
             self.bump();
             let rhs = self.join_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span.into());
         }
         Ok(lhs)
     }
@@ -926,7 +955,7 @@ impl Parser {
                 self.bump();
                 let rhs = self.unary_expr()?;
                 let span = lhs.span().merge(rhs.span());
-                lhs = Expr::Binary(BinExprOp::Join, Box::new(lhs), Box::new(rhs), span);
+                lhs = Expr::Binary(BinExprOp::Join, Box::new(lhs), Box::new(rhs), span.into());
             } else if self.at(&TokenKind::LBracket) {
                 // Bracket application. On a bare identifier this is a named
                 // application `f[x, y]` (function call or box join, resolved
@@ -945,10 +974,15 @@ impl Parser {
                 let end = self.expect(TokenKind::RBracket)?.span;
                 let span = lhs.span().merge(end);
                 if let Expr::Ident(name, _) = &lhs {
-                    lhs = Expr::FunCall(name.clone(), args, span);
+                    lhs = Expr::FunCall(name.clone(), args, span.into());
                 } else {
                     for arg in args {
-                        lhs = Expr::Binary(BinExprOp::Join, Box::new(arg), Box::new(lhs), span);
+                        lhs = Expr::Binary(
+                            BinExprOp::Join,
+                            Box::new(arg),
+                            Box::new(lhs),
+                            span.into(),
+                        );
                     }
                 }
             } else {
@@ -972,7 +1006,7 @@ impl Parser {
             let start = self.bump().span;
             let inner = self.unary_expr()?;
             let span = start.merge(inner.span());
-            return Ok(Expr::Unary(op, Box::new(inner), span));
+            return Ok(Expr::Unary(op, Box::new(inner), span.into()));
         }
         self.primary_expr()
     }
@@ -984,15 +1018,15 @@ impl Parser {
                 match name.as_str() {
                     "univ" => {
                         self.bump();
-                        return Ok(Expr::Univ(span));
+                        return Ok(Expr::Univ(span.into()));
                     }
                     "iden" => {
                         self.bump();
-                        return Ok(Expr::Iden(span));
+                        return Ok(Expr::Iden(span.into()));
                     }
                     "none" => {
                         self.bump();
-                        return Ok(Expr::None(span));
+                        return Ok(Expr::None(span.into()));
                     }
                     _ => {}
                 }
@@ -1000,7 +1034,7 @@ impl Parser {
                 // Bracket application on identifiers is handled by the
                 // enclosing join loop so that `a.f[x]` gets Alloy's box-join
                 // reading `x.(a.f)`.
-                Ok(Expr::Ident(name, span))
+                Ok(Expr::Ident(name, span.into()))
             }
             TokenKind::LParen => {
                 self.bump();
@@ -1015,7 +1049,11 @@ impl Parser {
                 self.expect(TokenKind::Bar)?;
                 let body = self.formula()?;
                 let end = self.expect(TokenKind::RBrace)?.span;
-                Ok(Expr::Comprehension(decls, Box::new(body), start.merge(end)))
+                Ok(Expr::Comprehension(
+                    decls,
+                    Box::new(body),
+                    start.merge(end).into(),
+                ))
             }
             other => Err(SyntaxError::new(
                 format!("expected an expression, found {other}"),
@@ -1028,7 +1066,7 @@ impl Parser {
 /// Desugars a possibly-`disj` quantifier into the core AST.
 fn desugar_quant(q: Quant, disj: bool, decls: Vec<VarDecl>, body: Formula, span: Span) -> Formula {
     if !disj || decls.len() < 2 {
-        return Formula::Quant(q, decls, Box::new(body), span);
+        return Formula::Quant(q, decls, Box::new(body), span.into());
     }
     // Pairwise-distinctness constraint over the bound variables.
     let mut distinct = Vec::new();
@@ -1036,9 +1074,9 @@ fn desugar_quant(q: Quant, disj: bool, decls: Vec<VarDecl>, body: Formula, span:
         for j in (i + 1)..decls.len() {
             distinct.push(Formula::Compare(
                 CmpOp::Neq,
-                Box::new(Expr::Ident(decls[i].name.clone(), span)),
-                Box::new(Expr::Ident(decls[j].name.clone(), span)),
-                span,
+                Box::new(Expr::Ident(decls[i].name.clone(), span.into())),
+                Box::new(Expr::Ident(decls[j].name.clone(), span.into())),
+                span.into(),
             ));
         }
     }
@@ -1051,9 +1089,9 @@ fn desugar_quant(q: Quant, disj: bool, decls: Vec<VarDecl>, body: Formula, span:
                 BinFormOp::Implies,
                 Box::new(distinct),
                 Box::new(body),
-                span,
+                span.into(),
             )),
-            span,
+            span.into(),
         ),
         Quant::Some => Formula::Quant(
             Quant::Some,
@@ -1062,9 +1100,9 @@ fn desugar_quant(q: Quant, disj: bool, decls: Vec<VarDecl>, body: Formula, span:
                 BinFormOp::And,
                 Box::new(distinct),
                 Box::new(body),
-                span,
+                span.into(),
             )),
-            span,
+            span.into(),
         ),
         // `no disj x,y | F` == `all disj x,y | !F`
         Quant::No => Formula::Quant(
@@ -1073,13 +1111,13 @@ fn desugar_quant(q: Quant, disj: bool, decls: Vec<VarDecl>, body: Formula, span:
             Box::new(Formula::Binary(
                 BinFormOp::Implies,
                 Box::new(distinct),
-                Box::new(Formula::Not(Box::new(body), span)),
-                span,
+                Box::new(Formula::Not(Box::new(body), span.into())),
+                span.into(),
             )),
-            span,
+            span.into(),
         ),
         // `lone`/`one` with disj are rare; approximate by the non-disj form.
-        other => Formula::Quant(other, decls, Box::new(body), span),
+        other => Formula::Quant(other, decls, Box::new(body), span.into()),
     }
 }
 

@@ -11,65 +11,93 @@
 //!   traditional tools for minimally-invasive textual splicing.
 
 use crate::ast::*;
+use crate::visit::Visitor;
 use std::fmt::Write as _;
+
+/// [`Visitor`] instance rendering the canonical whole-spec style.
+///
+/// The spec-level framing (declaration headers, body indentation, printing
+/// order) lives in the overridden `visit_spec`; each top-level body node is
+/// dispatched through `visit_formula`/`visit_expr`, which delegate to the
+/// precedence-aware term renderers [`print_formula`]/[`print_expr`].
+struct Printer {
+    out: String,
+}
+
+impl Visitor for Printer {
+    fn visit_spec(&mut self, spec: &Spec) {
+        // Canonical output order: module, sigs, facts, funs, preds, asserts,
+        // commands. (This deliberately differs from the id-assignment
+        // traversal order, which is fixed independently of rendering.)
+        if let Some(m) = &spec.module {
+            let _ = writeln!(self.out, "module {m}");
+        }
+        for sig in &spec.sigs {
+            print_sig(&mut self.out, sig);
+        }
+        for fact in &spec.facts {
+            if fact.name.is_empty() {
+                let _ = writeln!(self.out, "fact {{");
+            } else {
+                let _ = writeln!(self.out, "fact {} {{", fact.name);
+            }
+            for f in &fact.body {
+                self.visit_formula(f);
+            }
+            let _ = writeln!(self.out, "}}");
+        }
+        for fun in &spec.funs {
+            let params = print_params(&fun.params);
+            let _ = writeln!(
+                self.out,
+                "fun {}{}: {} {} {{",
+                fun.name,
+                params,
+                fun.result_mult,
+                print_expr(&fun.result)
+            );
+            self.visit_expr(&fun.body);
+            let _ = writeln!(self.out, "}}");
+        }
+        for pred in &spec.preds {
+            let params = print_params(&pred.params);
+            let _ = writeln!(self.out, "pred {}{} {{", pred.name, params);
+            for f in &pred.body {
+                self.visit_formula(f);
+            }
+            let _ = writeln!(self.out, "}}");
+        }
+        for a in &spec.asserts {
+            let _ = writeln!(self.out, "assert {} {{", a.name);
+            for f in &a.body {
+                self.visit_formula(f);
+            }
+            let _ = writeln!(self.out, "}}");
+        }
+        for cmd in &spec.commands {
+            let verb = if cmd.is_check() { "check" } else { "run" };
+            let mut line = format!("{verb} {} for {}", cmd.target(), cmd.scope);
+            if let Some(e) = cmd.expect {
+                let _ = write!(line, " expect {}", if e { 1 } else { 0 });
+            }
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
+
+    fn visit_formula(&mut self, f: &Formula) {
+        let _ = writeln!(self.out, "  {}", print_formula(f));
+    }
+
+    fn visit_expr(&mut self, e: &Expr) {
+        let _ = writeln!(self.out, "  {}", print_expr(e));
+    }
+}
 
 /// Renders a complete specification in canonical style.
 pub fn print_spec(spec: &Spec) -> String {
-    let mut out = String::new();
-    if let Some(m) = &spec.module {
-        let _ = writeln!(out, "module {m}");
-    }
-    for sig in &spec.sigs {
-        print_sig(&mut out, sig);
-    }
-    for fact in &spec.facts {
-        if fact.name.is_empty() {
-            let _ = writeln!(out, "fact {{");
-        } else {
-            let _ = writeln!(out, "fact {} {{", fact.name);
-        }
-        for f in &fact.body {
-            let _ = writeln!(out, "  {}", print_formula(f));
-        }
-        let _ = writeln!(out, "}}");
-    }
-    for fun in &spec.funs {
-        let params = print_params(&fun.params);
-        let _ = writeln!(
-            out,
-            "fun {}{}: {} {} {{",
-            fun.name,
-            params,
-            fun.result_mult,
-            print_expr(&fun.result)
-        );
-        let _ = writeln!(out, "  {}", print_expr(&fun.body));
-        let _ = writeln!(out, "}}");
-    }
-    for pred in &spec.preds {
-        let params = print_params(&pred.params);
-        let _ = writeln!(out, "pred {}{} {{", pred.name, params);
-        for f in &pred.body {
-            let _ = writeln!(out, "  {}", print_formula(f));
-        }
-        let _ = writeln!(out, "}}");
-    }
-    for a in &spec.asserts {
-        let _ = writeln!(out, "assert {} {{", a.name);
-        for f in &a.body {
-            let _ = writeln!(out, "  {}", print_formula(f));
-        }
-        let _ = writeln!(out, "}}");
-    }
-    for cmd in &spec.commands {
-        let verb = if cmd.is_check() { "check" } else { "run" };
-        let mut line = format!("{verb} {} for {}", cmd.target(), cmd.scope);
-        if let Some(e) = cmd.expect {
-            let _ = write!(line, " expect {}", if e { 1 } else { 0 });
-        }
-        let _ = writeln!(out, "{line}");
-    }
-    out
+    let mut p = Printer { out: String::new() };
+    p.visit_spec(spec);
+    p.out
 }
 
 fn print_sig(out: &mut String, sig: &SigDecl) {

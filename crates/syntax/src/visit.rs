@@ -1,0 +1,487 @@
+//! Visitor infrastructure and persistent node-id management for the μAlloy AST.
+//!
+//! This module owns the *canonical traversal order* of a [`Spec`]'s
+//! addressable nodes — fact bodies, then predicate bodies, then function
+//! bodies, then assertion bodies, each in pre-order — and exposes it through
+//! a [`Visitor`]/[`VisitorMut`] trait pair in the style of `syn::visit`.
+//! Everything that used to hand-roll this recursion ([`crate::walk`]'s site
+//! collector and rewriter, the [`crate::printer`], span stripping, subtree
+//! hashing) is now an instance of one of these traits, so the traversal
+//! discipline is defined exactly once.
+//!
+//! # Persistent node identity
+//!
+//! Every [`Formula`]/[`Expr`] node carries a [`NodeId`] inside its [`Meta`]
+//! slot. Ids are assigned **once**, at parse time, by [`assign_ids`] (dense
+//! `0..n` in canonical pre-order) and are thereafter a persistent property of
+//! the node: structural edits through [`crate::walk::replace_node`] keep the
+//! ids of all untouched nodes and draw *fresh* ids — above the spec's
+//! [`Spec::next_node_id`] high-water mark — for newly spliced subtrees. Freed
+//! ids are never reused, so an id observed at any point in a spec's edit
+//! history refers to at most one node, ever.
+
+use crate::ast::*;
+
+/// The kind of declaration owning a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OwnerKind {
+    /// A `fact` body.
+    Fact,
+    /// A `pred` body.
+    Pred,
+    /// A `fun` body.
+    Fun,
+    /// An `assert` body.
+    Assert,
+}
+
+// ----------------------------------------------------------------- Visitor
+
+/// Read-only visitor over the addressable nodes of a spec.
+///
+/// Default method bodies delegate to the free `walk_*` functions, which
+/// encode the canonical traversal order. Override a `visit_*` method to
+/// intercept a node kind (call the matching `walk_*` yourself to descend);
+/// override the `enter_*`/`exit_*` hooks to track scope.
+pub trait Visitor {
+    /// Visits every addressable node of the spec in canonical order.
+    fn visit_spec(&mut self, spec: &Spec) {
+        walk_spec(self, spec);
+    }
+    /// Visits a formula node.
+    fn visit_formula(&mut self, f: &Formula) {
+        walk_formula(self, f);
+    }
+    /// Visits an expression node.
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+    /// Visits an integer expression (not itself addressable; its embedded
+    /// relational expressions are).
+    fn visit_int_expr(&mut self, i: &IntExpr) {
+        walk_int_expr(self, i);
+    }
+    /// Visits a quantifier/comprehension variable declaration (its bound).
+    fn visit_var_decl(&mut self, d: &VarDecl) {
+        walk_var_decl(self, d);
+    }
+    /// Called before a declaration body's formulas/expression are visited.
+    fn enter_body(&mut self, _owner: OwnerKind, _index: usize, _params: &[Param]) {}
+    /// Called after a declaration body has been visited.
+    fn exit_body(&mut self, _owner: OwnerKind, _index: usize) {}
+    /// Called after binder bounds are visited, before the body they scope.
+    fn enter_binders(&mut self, _decls: &[VarDecl]) {}
+    /// Called after a binder body has been visited.
+    fn exit_binders(&mut self, _decls: &[VarDecl]) {}
+    /// Called after a `let` binding's expression, before its body.
+    fn enter_let(&mut self, _name: &str) {}
+    /// Called after a `let` body has been visited.
+    fn exit_let(&mut self, _name: &str) {}
+}
+
+/// Canonical spec traversal: fact bodies, pred bodies, fun bodies, assert
+/// bodies. Parameter bounds, function result bounds, signatures and commands
+/// are *not* part of the addressable surface.
+pub fn walk_spec<V: Visitor + ?Sized>(v: &mut V, spec: &Spec) {
+    for (i, fact) in spec.facts.iter().enumerate() {
+        v.enter_body(OwnerKind::Fact, i, &[]);
+        for f in &fact.body {
+            v.visit_formula(f);
+        }
+        v.exit_body(OwnerKind::Fact, i);
+    }
+    for (i, pred) in spec.preds.iter().enumerate() {
+        v.enter_body(OwnerKind::Pred, i, &pred.params);
+        for f in &pred.body {
+            v.visit_formula(f);
+        }
+        v.exit_body(OwnerKind::Pred, i);
+    }
+    for (i, fun) in spec.funs.iter().enumerate() {
+        v.enter_body(OwnerKind::Fun, i, &fun.params);
+        v.visit_expr(&fun.body);
+        v.exit_body(OwnerKind::Fun, i);
+    }
+    for (i, a) in spec.asserts.iter().enumerate() {
+        v.enter_body(OwnerKind::Assert, i, &[]);
+        for f in &a.body {
+            v.visit_formula(f);
+        }
+        v.exit_body(OwnerKind::Assert, i);
+    }
+}
+
+/// Descends into the children of a formula node.
+pub fn walk_formula<V: Visitor + ?Sized>(v: &mut V, f: &Formula) {
+    match f {
+        Formula::Compare(_, l, r, _) => {
+            v.visit_expr(l);
+            v.visit_expr(r);
+        }
+        Formula::IntCompare(_, l, r, _) => {
+            v.visit_int_expr(l);
+            v.visit_int_expr(r);
+        }
+        Formula::Mult(_, e, _) => v.visit_expr(e),
+        Formula::Not(inner, _) => v.visit_formula(inner),
+        Formula::Binary(_, l, r, _) => {
+            v.visit_formula(l);
+            v.visit_formula(r);
+        }
+        Formula::Quant(_, decls, body, _) => {
+            for d in decls {
+                v.visit_var_decl(d);
+            }
+            v.enter_binders(decls);
+            v.visit_formula(body);
+            v.exit_binders(decls);
+        }
+        Formula::Let(name, e, body, _) => {
+            v.visit_expr(e);
+            v.enter_let(name);
+            v.visit_formula(body);
+            v.exit_let(name);
+        }
+        Formula::PredCall(_, args, _) => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+    }
+}
+
+/// Descends into the children of an expression node.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match e {
+        Expr::Ident(_, _) | Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
+        Expr::Unary(_, inner, _) => v.visit_expr(inner),
+        Expr::Binary(_, l, r, _) => {
+            v.visit_expr(l);
+            v.visit_expr(r);
+        }
+        Expr::Comprehension(decls, body, _) => {
+            for d in decls {
+                v.visit_var_decl(d);
+            }
+            v.enter_binders(decls);
+            v.visit_formula(body);
+            v.exit_binders(decls);
+        }
+        Expr::IfThenElse(c, t, f, _) => {
+            v.visit_formula(c);
+            v.visit_expr(t);
+            v.visit_expr(f);
+        }
+        Expr::FunCall(_, args, _) => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+    }
+}
+
+/// Descends into the embedded expression of an integer expression.
+pub fn walk_int_expr<V: Visitor + ?Sized>(v: &mut V, i: &IntExpr) {
+    if let IntExpr::Card(e, _) = i {
+        v.visit_expr(e);
+    }
+}
+
+/// Visits a variable declaration's bound expression.
+pub fn walk_var_decl<V: Visitor + ?Sized>(v: &mut V, d: &VarDecl) {
+    v.visit_expr(&d.bound);
+}
+
+// -------------------------------------------------------------- VisitorMut
+
+/// Mutable visitor over the addressable nodes of a spec.
+///
+/// Mirrors [`Visitor`]; used for the id assignment/freshening passes, span
+/// normalization and node replacement.
+pub trait VisitorMut {
+    /// Visits every addressable node of the spec, mutably.
+    fn visit_spec_mut(&mut self, spec: &mut Spec) {
+        walk_spec_mut(self, spec);
+    }
+    /// Visits a formula node, mutably.
+    fn visit_formula_mut(&mut self, f: &mut Formula) {
+        walk_formula_mut(self, f);
+    }
+    /// Visits an expression node, mutably.
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+    }
+    /// Visits an integer expression, mutably.
+    fn visit_int_expr_mut(&mut self, i: &mut IntExpr) {
+        walk_int_expr_mut(self, i);
+    }
+    /// Visits a variable declaration, mutably.
+    fn visit_var_decl_mut(&mut self, d: &mut VarDecl) {
+        walk_var_decl_mut(self, d);
+    }
+    /// Called before a declaration body is visited.
+    fn enter_body_mut(&mut self, _owner: OwnerKind, _index: usize) {}
+    /// Called after a declaration body has been visited.
+    fn exit_body_mut(&mut self, _owner: OwnerKind, _index: usize) {}
+}
+
+/// Mutable counterpart of [`walk_spec`]; same traversal order.
+pub fn walk_spec_mut<V: VisitorMut + ?Sized>(v: &mut V, spec: &mut Spec) {
+    for (i, fact) in spec.facts.iter_mut().enumerate() {
+        v.enter_body_mut(OwnerKind::Fact, i);
+        for f in &mut fact.body {
+            v.visit_formula_mut(f);
+        }
+        v.exit_body_mut(OwnerKind::Fact, i);
+    }
+    for (i, pred) in spec.preds.iter_mut().enumerate() {
+        v.enter_body_mut(OwnerKind::Pred, i);
+        for f in &mut pred.body {
+            v.visit_formula_mut(f);
+        }
+        v.exit_body_mut(OwnerKind::Pred, i);
+    }
+    for (i, fun) in spec.funs.iter_mut().enumerate() {
+        v.enter_body_mut(OwnerKind::Fun, i);
+        v.visit_expr_mut(&mut fun.body);
+        v.exit_body_mut(OwnerKind::Fun, i);
+    }
+    for (i, a) in spec.asserts.iter_mut().enumerate() {
+        v.enter_body_mut(OwnerKind::Assert, i);
+        for f in &mut a.body {
+            v.visit_formula_mut(f);
+        }
+        v.exit_body_mut(OwnerKind::Assert, i);
+    }
+}
+
+/// Mutable counterpart of [`walk_formula`].
+pub fn walk_formula_mut<V: VisitorMut + ?Sized>(v: &mut V, f: &mut Formula) {
+    match f {
+        Formula::Compare(_, l, r, _) => {
+            v.visit_expr_mut(l);
+            v.visit_expr_mut(r);
+        }
+        Formula::IntCompare(_, l, r, _) => {
+            v.visit_int_expr_mut(l);
+            v.visit_int_expr_mut(r);
+        }
+        Formula::Mult(_, e, _) => v.visit_expr_mut(e),
+        Formula::Not(inner, _) => v.visit_formula_mut(inner),
+        Formula::Binary(_, l, r, _) => {
+            v.visit_formula_mut(l);
+            v.visit_formula_mut(r);
+        }
+        Formula::Quant(_, decls, body, _) => {
+            for d in decls.iter_mut() {
+                v.visit_var_decl_mut(d);
+            }
+            v.visit_formula_mut(body);
+        }
+        Formula::Let(_, e, body, _) => {
+            v.visit_expr_mut(e);
+            v.visit_formula_mut(body);
+        }
+        Formula::PredCall(_, args, _) => {
+            for a in args.iter_mut() {
+                v.visit_expr_mut(a);
+            }
+        }
+    }
+}
+
+/// Mutable counterpart of [`walk_expr`].
+pub fn walk_expr_mut<V: VisitorMut + ?Sized>(v: &mut V, e: &mut Expr) {
+    match e {
+        Expr::Ident(_, _) | Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
+        Expr::Unary(_, inner, _) => v.visit_expr_mut(inner),
+        Expr::Binary(_, l, r, _) => {
+            v.visit_expr_mut(l);
+            v.visit_expr_mut(r);
+        }
+        Expr::Comprehension(decls, body, _) => {
+            for d in decls.iter_mut() {
+                v.visit_var_decl_mut(d);
+            }
+            v.visit_formula_mut(body);
+        }
+        Expr::IfThenElse(c, t, f, _) => {
+            v.visit_formula_mut(c);
+            v.visit_expr_mut(t);
+            v.visit_expr_mut(f);
+        }
+        Expr::FunCall(_, args, _) => {
+            for a in args.iter_mut() {
+                v.visit_expr_mut(a);
+            }
+        }
+    }
+}
+
+/// Mutable counterpart of [`walk_int_expr`].
+pub fn walk_int_expr_mut<V: VisitorMut + ?Sized>(v: &mut V, i: &mut IntExpr) {
+    if let IntExpr::Card(e, _) = i {
+        v.visit_expr_mut(e);
+    }
+}
+
+/// Mutable counterpart of [`walk_var_decl`].
+pub fn walk_var_decl_mut<V: VisitorMut + ?Sized>(v: &mut V, d: &mut VarDecl) {
+    v.visit_expr_mut(&mut d.bound);
+}
+
+// ---------------------------------------------------------- id management
+
+/// Monotone allocator of fresh [`NodeId`]s.
+///
+/// Ids only ever move forward; a generator seeded at a spec's
+/// [`Spec::next_node_id`] high-water mark therefore never hands out an id
+/// that has been used — or freed — at any point in that spec's history.
+#[derive(Debug, Clone, Default)]
+pub struct NodeIdGenerator {
+    next: u32,
+}
+
+impl NodeIdGenerator {
+    /// A generator starting at id 0.
+    pub fn new() -> NodeIdGenerator {
+        NodeIdGenerator { next: 0 }
+    }
+
+    /// A generator whose first handed-out id is `next`.
+    pub fn starting_at(next: u32) -> NodeIdGenerator {
+        NodeIdGenerator { next }
+    }
+
+    /// Allocates the next id.
+    pub fn next_id(&mut self) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// One past the largest id this generator has handed out (or its seed).
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+}
+
+/// Assigns a fresh id from the generator to every node it visits.
+struct IdAssigner<'a> {
+    generator: &'a mut NodeIdGenerator,
+}
+
+impl VisitorMut for IdAssigner<'_> {
+    fn visit_formula_mut(&mut self, f: &mut Formula) {
+        f.meta_mut().id = self.generator.next_id();
+        walk_formula_mut(self, f);
+    }
+
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        e.meta_mut().id = self.generator.next_id();
+        walk_expr_mut(self, e);
+    }
+}
+
+/// (Re)assigns dense pre-order ids `0..n` to every addressable node of the
+/// spec and sets its [`Spec::next_node_id`] high-water mark to `n`.
+///
+/// This is the parse-time entry point; edits never call it (they preserve
+/// existing ids and allocate fresh ones instead).
+pub fn assign_ids(spec: &mut Spec) {
+    let mut generator = NodeIdGenerator::new();
+    let mut assigner = IdAssigner {
+        generator: &mut generator,
+    };
+    assigner.visit_spec_mut(spec);
+    spec.next_node_id = generator.watermark();
+}
+
+/// Gives every node in the formula subtree a fresh id from `generator`.
+///
+/// Used when splicing a synthesized (or cloned — hence possibly
+/// duplicate-id) payload into a spec.
+pub fn freshen_formula_ids(f: &mut Formula, generator: &mut NodeIdGenerator) {
+    IdAssigner { generator }.visit_formula_mut(f);
+}
+
+/// Gives every node in the expression subtree a fresh id from `generator`.
+pub fn freshen_expr_ids(e: &mut Expr, generator: &mut NodeIdGenerator) {
+    IdAssigner { generator }.visit_expr_mut(e);
+}
+
+/// The largest assigned id in the spec, if any node carries one.
+///
+/// Robustness helper for specs built by hand or deserialized (ids are not
+/// serialized): [`crate::walk::replace_node`] seeds its generator at
+/// `max(next_node_id, max_assigned_id + 1)` so fresh ids never collide even
+/// when the high-water mark was lost.
+pub fn max_assigned_id(spec: &Spec) -> Option<u32> {
+    struct MaxId {
+        max: Option<u32>,
+    }
+    impl Visitor for MaxId {
+        fn visit_formula(&mut self, f: &Formula) {
+            if !f.id().is_unassigned() {
+                self.max = Some(self.max.map_or(f.id().0, |m| m.max(f.id().0)));
+            }
+            walk_formula(self, f);
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            if !e.id().is_unassigned() {
+                self.max = Some(self.max.map_or(e.id().0, |m| m.max(e.id().0)));
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut v = MaxId { max: None };
+    v.visit_spec(spec);
+    v.max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    #[test]
+    fn assign_ids_is_dense_preorder() {
+        let spec = parse_spec(
+            "sig A { f: set A }\n\
+             fact Inv { all x: A | x in x.f }\n\
+             pred p[a: A] { some a.f }\n\
+             assert Safe { no none }\n\
+             check Safe for 3",
+        )
+        .unwrap();
+        // parse_spec already assigns; collect ids in traversal order.
+        struct Ids(Vec<u32>);
+        impl Visitor for Ids {
+            fn visit_formula(&mut self, f: &Formula) {
+                self.0.push(f.id().0);
+                walk_formula(self, f);
+            }
+            fn visit_expr(&mut self, e: &Expr) {
+                self.0.push(e.id().0);
+                walk_expr(self, e);
+            }
+        }
+        let mut v = Ids(Vec::new());
+        v.visit_spec(&spec);
+        let expect: Vec<u32> = (0..v.0.len() as u32).collect();
+        assert_eq!(v.0, expect);
+        assert_eq!(spec.next_node_id, v.0.len() as u32);
+    }
+
+    #[test]
+    fn freshen_never_reuses_watermark() {
+        let mut spec = parse_spec("fact { some univ }").unwrap();
+        let watermark = spec.next_node_id;
+        let mut generator = NodeIdGenerator::starting_at(watermark);
+        let mut clone = spec.facts[0].body[0].clone();
+        freshen_formula_ids(&mut clone, &mut generator);
+        assert!(clone.id().0 >= watermark);
+        spec.facts[0].body.push(clone);
+        assert_eq!(max_assigned_id(&spec), Some(generator.watermark() - 1));
+    }
+}

@@ -1,39 +1,42 @@
-//! Traversal, node addressing and rewriting utilities.
+//! Node addressing and rewriting utilities built on [`crate::visit`].
 //!
-//! Every formula and expression node in a [`Spec`] is assigned a stable
-//! [`NodeId`] by a deterministic pre-order traversal over facts, predicates,
-//! functions and assertions. The mutation and repair crates address nodes by
-//! id: [`collect_sites`] enumerates them together with scope information, and
-//! [`replace_node`] rebuilds a specification with one node swapped out.
+//! Every formula and expression node in a [`Spec`] carries a **persistent**
+//! [`NodeId`], assigned once at parse time (dense pre-order over facts,
+//! predicates, functions and assertions — see [`crate::visit::assign_ids`]).
+//! The mutation and repair crates address nodes by id: [`collect_sites`]
+//! enumerates them together with scope information, and [`replace_node`]
+//! rebuilds a specification with one node swapped out.
+//!
+//! # Id persistence contract
+//!
+//! Ids are a property of the node, not of its position:
+//!
+//! - ids are stable across clones *and* across structural edits — a
+//!   [`replace_node`] call preserves the id of every node outside the
+//!   replaced subtree;
+//! - the spliced payload receives **fresh** ids drawn above the spec's
+//!   [`Spec::next_node_id`] high-water mark;
+//! - freed ids (those of the removed subtree) are **never reused**, so an id
+//!   denotes at most one node over the whole edit history of a spec.
+//!
+//! Hand-built or deserialized specs carry [`NodeId::UNASSIGNED`] ids; call
+//! [`Spec::assign_ids`] before addressing their nodes.
 
 use crate::ast::*;
+use crate::visit::{
+    walk_expr, walk_expr_mut, walk_formula, walk_formula_mut, walk_int_expr_mut, NodeIdGenerator,
+    Visitor, VisitorMut,
+};
 use std::collections::BTreeSet;
 
-/// A stable identifier for a formula or expression node within a [`Spec`].
-///
-/// Ids are assigned in pre-order; they are stable across clones of the same
-/// specification but change if the specification is structurally edited.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub u32);
-
-/// The kind of declaration owning a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum OwnerKind {
-    /// A `fact` body.
-    Fact,
-    /// A `pred` body.
-    Pred,
-    /// A `fun` body.
-    Fun,
-    /// An `assert` body.
-    Assert,
-}
+pub use crate::ast::NodeId;
+pub use crate::visit::OwnerKind;
 
 /// A node discovered by [`collect_sites`], with enough context for the
 /// mutation operators to synthesize well-scoped replacements.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSite {
-    /// The node's id.
+    /// The node's persistent id.
     pub id: NodeId,
     /// `true` for formula nodes, `false` for expression nodes.
     pub is_formula: bool,
@@ -58,659 +61,332 @@ pub enum NodeRepl {
 
 // ------------------------------------------------------------------ strip
 
+/// Sets every span it can reach to synthetic, leaving ids untouched.
+struct SpanStripper;
+
+impl VisitorMut for SpanStripper {
+    fn visit_formula_mut(&mut self, f: &mut Formula) {
+        f.meta_mut().span = Span::synthetic();
+        walk_formula_mut(self, f);
+    }
+
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        e.meta_mut().span = Span::synthetic();
+        walk_expr_mut(self, e);
+    }
+
+    fn visit_int_expr_mut(&mut self, i: &mut IntExpr) {
+        match i {
+            IntExpr::Card(_, s) | IntExpr::Lit(_, s) => *s = Span::synthetic(),
+        }
+        walk_int_expr_mut(self, i);
+    }
+
+    fn visit_var_decl_mut(&mut self, d: &mut VarDecl) {
+        d.span = Span::synthetic();
+        self.visit_expr_mut(&mut d.bound);
+    }
+}
+
 /// Returns a copy of the expression with all spans set to synthetic.
 pub fn strip_expr_spans(e: &Expr) -> Expr {
-    let s = Span::synthetic();
-    match e {
-        Expr::Ident(n, _) => Expr::Ident(n.clone(), s),
-        Expr::Univ(_) => Expr::Univ(s),
-        Expr::Iden(_) => Expr::Iden(s),
-        Expr::None(_) => Expr::None(s),
-        Expr::Unary(op, inner, _) => Expr::Unary(*op, Box::new(strip_expr_spans(inner)), s),
-        Expr::Binary(op, l, r, _) => Expr::Binary(
-            *op,
-            Box::new(strip_expr_spans(l)),
-            Box::new(strip_expr_spans(r)),
-            s,
-        ),
-        Expr::Comprehension(d, f, _) => Expr::Comprehension(
-            d.iter().map(strip_var_decl).collect(),
-            Box::new(strip_formula_spans(f)),
-            s,
-        ),
-        Expr::IfThenElse(c, t, e2, _) => Expr::IfThenElse(
-            Box::new(strip_formula_spans(c)),
-            Box::new(strip_expr_spans(t)),
-            Box::new(strip_expr_spans(e2)),
-            s,
-        ),
-        Expr::FunCall(n, args, _) => {
-            Expr::FunCall(n.clone(), args.iter().map(strip_expr_spans).collect(), s)
-        }
-    }
-}
-
-fn strip_var_decl(d: &VarDecl) -> VarDecl {
-    VarDecl {
-        name: d.name.clone(),
-        bound: strip_expr_spans(&d.bound),
-        span: Span::synthetic(),
-    }
-}
-
-fn strip_int_spans(i: &IntExpr) -> IntExpr {
-    let s = Span::synthetic();
-    match i {
-        IntExpr::Card(e, _) => IntExpr::Card(Box::new(strip_expr_spans(e)), s),
-        IntExpr::Lit(n, _) => IntExpr::Lit(*n, s),
-    }
+    let mut out = e.clone();
+    SpanStripper.visit_expr_mut(&mut out);
+    out
 }
 
 /// Returns a copy of the formula with all spans set to synthetic.
 pub fn strip_formula_spans(f: &Formula) -> Formula {
-    let s = Span::synthetic();
-    match f {
-        Formula::Compare(op, l, r, _) => Formula::Compare(
-            *op,
-            Box::new(strip_expr_spans(l)),
-            Box::new(strip_expr_spans(r)),
-            s,
-        ),
-        Formula::IntCompare(op, l, r, _) => Formula::IntCompare(
-            *op,
-            Box::new(strip_int_spans(l)),
-            Box::new(strip_int_spans(r)),
-            s,
-        ),
-        Formula::Mult(op, e, _) => Formula::Mult(*op, Box::new(strip_expr_spans(e)), s),
-        Formula::Not(inner, _) => Formula::Not(Box::new(strip_formula_spans(inner)), s),
-        Formula::Binary(op, l, r, _) => Formula::Binary(
-            *op,
-            Box::new(strip_formula_spans(l)),
-            Box::new(strip_formula_spans(r)),
-            s,
-        ),
-        Formula::Quant(q, d, body, _) => Formula::Quant(
-            *q,
-            d.iter().map(strip_var_decl).collect(),
-            Box::new(strip_formula_spans(body)),
-            s,
-        ),
-        Formula::Let(n, e, body, _) => Formula::Let(
-            n.clone(),
-            Box::new(strip_expr_spans(e)),
-            Box::new(strip_formula_spans(body)),
-            s,
-        ),
-        Formula::PredCall(n, args, _) => {
-            Formula::PredCall(n.clone(), args.iter().map(strip_expr_spans).collect(), s)
-        }
-    }
+    let mut out = f.clone();
+    SpanStripper.visit_formula_mut(&mut out);
+    out
 }
 
 /// Returns a copy of the spec with all spans set to synthetic.
 pub fn strip_spec_spans(spec: &Spec) -> Spec {
     let s = Span::synthetic();
-    Spec {
-        module: spec.module.clone(),
-        sigs: spec
-            .sigs
-            .iter()
-            .map(|sig| SigDecl {
-                name: sig.name.clone(),
-                is_abstract: sig.is_abstract,
-                mult: sig.mult,
-                parent: sig.parent.clone(),
-                fields: sig
-                    .fields
-                    .iter()
-                    .map(|f| FieldDecl {
-                        name: f.name.clone(),
-                        cols: f.cols.clone(),
-                        mult: f.mult,
-                        span: s,
-                    })
-                    .collect(),
-                span: s,
-            })
-            .collect(),
-        facts: spec
-            .facts
-            .iter()
-            .map(|f| Fact {
-                name: f.name.clone(),
-                body: f.body.iter().map(strip_formula_spans).collect(),
-                span: s,
-            })
-            .collect(),
-        preds: spec
-            .preds
-            .iter()
-            .map(|p| PredDecl {
-                name: p.name.clone(),
-                params: p
-                    .params
-                    .iter()
-                    .map(|q| Param {
-                        name: q.name.clone(),
-                        bound: strip_expr_spans(&q.bound),
-                        span: s,
-                    })
-                    .collect(),
-                body: p.body.iter().map(strip_formula_spans).collect(),
-                span: s,
-            })
-            .collect(),
-        funs: spec
-            .funs
-            .iter()
-            .map(|f| FunDecl {
-                name: f.name.clone(),
-                params: f
-                    .params
-                    .iter()
-                    .map(|q| Param {
-                        name: q.name.clone(),
-                        bound: strip_expr_spans(&q.bound),
-                        span: s,
-                    })
-                    .collect(),
-                result_mult: f.result_mult,
-                result: strip_expr_spans(&f.result),
-                body: strip_expr_spans(&f.body),
-                span: s,
-            })
-            .collect(),
-        asserts: spec
-            .asserts
-            .iter()
-            .map(|a| AssertDecl {
-                name: a.name.clone(),
-                body: a.body.iter().map(strip_formula_spans).collect(),
-                span: s,
-            })
-            .collect(),
-        commands: spec
-            .commands
-            .iter()
-            .map(|c| Command {
-                kind: c.kind.clone(),
-                scope: c.scope,
-                expect: c.expect,
-                span: s,
-            })
-            .collect(),
+    let mut out = spec.clone();
+    let mut st = SpanStripper;
+    st.visit_spec_mut(&mut out);
+    // Declaration frames are outside the addressable surface; strip by hand.
+    for sig in &mut out.sigs {
+        sig.span = s;
+        for f in &mut sig.fields {
+            f.span = s;
+        }
     }
+    for fact in &mut out.facts {
+        fact.span = s;
+    }
+    for pred in &mut out.preds {
+        pred.span = s;
+        for p in &mut pred.params {
+            p.span = s;
+            st.visit_expr_mut(&mut p.bound);
+        }
+    }
+    for fun in &mut out.funs {
+        fun.span = s;
+        for p in &mut fun.params {
+            p.span = s;
+            st.visit_expr_mut(&mut p.bound);
+        }
+        st.visit_expr_mut(&mut fun.result);
+    }
+    for a in &mut out.asserts {
+        a.span = s;
+    }
+    for c in &mut out.commands {
+        c.span = s;
+    }
+    out
 }
 
 // ---------------------------------------------------------------- collect
 
+/// [`Visitor`] instance enumerating addressable nodes with scope context.
 struct Collector {
-    next: u32,
     sites: Vec<NodeSite>,
+    depth: u16,
     scope: Vec<String>,
     owner: (OwnerKind, usize),
 }
 
 impl Collector {
-    fn fresh(&mut self) -> NodeId {
-        let id = NodeId(self.next);
-        self.next += 1;
-        id
-    }
-
-    fn push_site(&mut self, id: NodeId, is_formula: bool, span: Span, depth: u16) {
+    fn push_site(&mut self, id: NodeId, is_formula: bool, span: Span) {
         self.sites.push(NodeSite {
             id,
             is_formula,
             span,
-            depth,
+            depth: self.depth,
             owner: self.owner,
             vars_in_scope: self.scope.clone(),
         });
     }
+}
 
-    fn formula(&mut self, f: &Formula, depth: u16) {
-        let id = self.fresh();
-        self.push_site(id, true, f.span(), depth);
-        match f {
-            Formula::Compare(_, l, r, _) => {
-                self.expr(l, depth + 1);
-                self.expr(r, depth + 1);
-            }
-            Formula::IntCompare(_, l, r, _) => {
-                self.int(l, depth + 1);
-                self.int(r, depth + 1);
-            }
-            Formula::Mult(_, e, _) => self.expr(e, depth + 1),
-            Formula::Not(inner, _) => self.formula(inner, depth + 1),
-            Formula::Binary(_, l, r, _) => {
-                self.formula(l, depth + 1);
-                self.formula(r, depth + 1);
-            }
-            Formula::Quant(_, decls, body, _) => {
-                for d in decls {
-                    self.expr(&d.bound, depth + 1);
-                }
-                let added = decls.len();
-                for d in decls {
-                    self.scope.push(d.name.clone());
-                }
-                self.formula(body, depth + 1);
-                self.scope.truncate(self.scope.len() - added);
-            }
-            Formula::Let(name, e, body, _) => {
-                self.expr(e, depth + 1);
-                self.scope.push(name.clone());
-                self.formula(body, depth + 1);
-                self.scope.pop();
-            }
-            Formula::PredCall(_, args, _) => {
-                for a in args {
-                    self.expr(a, depth + 1);
-                }
-            }
+impl Visitor for Collector {
+    fn visit_formula(&mut self, f: &Formula) {
+        self.push_site(f.id(), true, f.span());
+        self.depth += 1;
+        walk_formula(self, f);
+        self.depth -= 1;
+    }
+
+    fn visit_expr(&mut self, e: &Expr) {
+        self.push_site(e.id(), false, e.span());
+        self.depth += 1;
+        walk_expr(self, e);
+        self.depth -= 1;
+    }
+
+    fn enter_body(&mut self, owner: OwnerKind, index: usize, params: &[Param]) {
+        self.owner = (owner, index);
+        self.depth = 0;
+        self.scope = params.iter().map(|p| p.name.clone()).collect();
+    }
+
+    fn exit_body(&mut self, _owner: OwnerKind, _index: usize) {
+        self.scope.clear();
+    }
+
+    fn enter_binders(&mut self, decls: &[VarDecl]) {
+        for d in decls {
+            self.scope.push(d.name.clone());
         }
     }
 
-    fn int(&mut self, i: &IntExpr, depth: u16) {
-        if let IntExpr::Card(e, _) = i {
-            self.expr(e, depth);
-        }
+    fn exit_binders(&mut self, decls: &[VarDecl]) {
+        self.scope.truncate(self.scope.len() - decls.len());
     }
 
-    fn expr(&mut self, e: &Expr, depth: u16) {
-        let id = self.fresh();
-        self.push_site(id, false, e.span(), depth);
-        match e {
-            Expr::Ident(_, _) | Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
-            Expr::Unary(_, inner, _) => self.expr(inner, depth + 1),
-            Expr::Binary(_, l, r, _) => {
-                self.expr(l, depth + 1);
-                self.expr(r, depth + 1);
-            }
-            Expr::Comprehension(decls, body, _) => {
-                for d in decls {
-                    self.expr(&d.bound, depth + 1);
-                }
-                let added = decls.len();
-                for d in decls {
-                    self.scope.push(d.name.clone());
-                }
-                self.formula(body, depth + 1);
-                self.scope.truncate(self.scope.len() - added);
-            }
-            Expr::IfThenElse(c, t, f, _) => {
-                self.formula(c, depth + 1);
-                self.expr(t, depth + 1);
-                self.expr(f, depth + 1);
-            }
-            Expr::FunCall(_, args, _) => {
-                for a in args {
-                    self.expr(a, depth + 1);
-                }
-            }
-        }
+    fn enter_let(&mut self, name: &str) {
+        self.scope.push(name.to_string());
+    }
+
+    fn exit_let(&mut self, _name: &str) {
+        self.scope.pop();
     }
 }
 
 /// Enumerates all formula and expression nodes of the specification in the
 /// canonical pre-order (facts, then predicates, then functions, then
 /// assertions), together with their scopes.
+///
+/// Site ids are read from the nodes, not derived from the traversal: a spec
+/// fresh from the parser yields dense ids `0..n`, an edited spec yields the
+/// surviving original ids plus the fresh ids of spliced subtrees.
 pub fn collect_sites(spec: &Spec) -> Vec<NodeSite> {
     let mut c = Collector {
-        next: 0,
         sites: Vec::new(),
+        depth: 0,
         scope: Vec::new(),
         owner: (OwnerKind::Fact, 0),
     };
-    for (i, fact) in spec.facts.iter().enumerate() {
-        c.owner = (OwnerKind::Fact, i);
-        for f in &fact.body {
-            c.formula(f, 0);
-        }
-    }
-    for (i, pred) in spec.preds.iter().enumerate() {
-        c.owner = (OwnerKind::Pred, i);
-        c.scope = pred.params.iter().map(|p| p.name.clone()).collect();
-        for f in &pred.body {
-            c.formula(f, 0);
-        }
-        c.scope.clear();
-    }
-    for (i, fun) in spec.funs.iter().enumerate() {
-        c.owner = (OwnerKind::Fun, i);
-        c.scope = fun.params.iter().map(|p| p.name.clone()).collect();
-        c.expr(&fun.body, 0);
-        c.scope.clear();
-    }
-    for (i, a) in spec.asserts.iter().enumerate() {
-        c.owner = (OwnerKind::Assert, i);
-        for f in &a.body {
-            c.formula(f, 0);
-        }
-    }
+    c.visit_spec(spec);
     c.sites
 }
 
 // ---------------------------------------------------------------- replace
 
-struct Rebuilder {
-    next: u32,
-    target: u32,
-    repl: Option<NodeRepl>,
-    /// Set when the target id was found but had the wrong node kind.
-    kind_mismatch: bool,
-}
-
-impl Rebuilder {
-    fn formula(&mut self, f: &Formula) -> Formula {
-        let my_id = self.next;
-        self.next += 1;
-        if my_id == self.target {
-            match self.repl.take() {
-                Some(NodeRepl::Formula(nf)) => {
-                    // Skip the ids the original subtree would have consumed.
-                    self.next += subtree_size_formula(f) - 1;
-                    return nf;
-                }
-                Some(other) => {
-                    self.kind_mismatch = true;
-                    self.repl = Some(other);
-                }
-                None => {}
-            }
-        }
-        match f {
-            Formula::Compare(op, l, r, s) => {
-                let l2 = self.expr(l);
-                let r2 = self.expr(r);
-                Formula::Compare(*op, Box::new(l2), Box::new(r2), *s)
-            }
-            Formula::IntCompare(op, l, r, s) => {
-                let l2 = self.int(l);
-                let r2 = self.int(r);
-                Formula::IntCompare(*op, Box::new(l2), Box::new(r2), *s)
-            }
-            Formula::Mult(op, e, s) => Formula::Mult(*op, Box::new(self.expr(e)), *s),
-            Formula::Not(inner, s) => Formula::Not(Box::new(self.formula(inner)), *s),
-            Formula::Binary(op, l, r, s) => {
-                let l2 = self.formula(l);
-                let r2 = self.formula(r);
-                Formula::Binary(*op, Box::new(l2), Box::new(r2), *s)
-            }
-            Formula::Quant(q, decls, body, s) => {
-                let decls2: Vec<VarDecl> = decls
-                    .iter()
-                    .map(|d| VarDecl {
-                        name: d.name.clone(),
-                        bound: self.expr(&d.bound),
-                        span: d.span,
-                    })
-                    .collect();
-                let body2 = self.formula(body);
-                Formula::Quant(*q, decls2, Box::new(body2), *s)
-            }
-            Formula::Let(n, e, body, s) => {
-                let e2 = self.expr(e);
-                let body2 = self.formula(body);
-                Formula::Let(n.clone(), Box::new(e2), Box::new(body2), *s)
-            }
-            Formula::PredCall(n, args, s) => {
-                let args2 = args.iter().map(|a| self.expr(a)).collect();
-                Formula::PredCall(n.clone(), args2, *s)
-            }
-        }
-    }
-
-    fn int(&mut self, i: &IntExpr) -> IntExpr {
-        match i {
-            IntExpr::Card(e, s) => IntExpr::Card(Box::new(self.expr(e)), *s),
-            IntExpr::Lit(n, s) => IntExpr::Lit(*n, *s),
-        }
-    }
-
-    fn expr(&mut self, e: &Expr) -> Expr {
-        let my_id = self.next;
-        self.next += 1;
-        if my_id == self.target {
-            match self.repl.take() {
-                Some(NodeRepl::Expr(ne)) => {
-                    self.next += subtree_size_expr(e) - 1;
-                    return ne;
-                }
-                Some(other) => {
-                    self.kind_mismatch = true;
-                    self.repl = Some(other);
-                }
-                None => {}
-            }
-        }
-        match e {
-            Expr::Ident(n, s) => Expr::Ident(n.clone(), *s),
-            Expr::Univ(s) => Expr::Univ(*s),
-            Expr::Iden(s) => Expr::Iden(*s),
-            Expr::None(s) => Expr::None(*s),
-            Expr::Unary(op, inner, s) => Expr::Unary(*op, Box::new(self.expr(inner)), *s),
-            Expr::Binary(op, l, r, s) => {
-                let l2 = self.expr(l);
-                let r2 = self.expr(r);
-                Expr::Binary(*op, Box::new(l2), Box::new(r2), *s)
-            }
-            Expr::Comprehension(decls, body, s) => {
-                let decls2: Vec<VarDecl> = decls
-                    .iter()
-                    .map(|d| VarDecl {
-                        name: d.name.clone(),
-                        bound: self.expr(&d.bound),
-                        span: d.span,
-                    })
-                    .collect();
-                let body2 = self.formula(body);
-                Expr::Comprehension(decls2, Box::new(body2), *s)
-            }
-            Expr::IfThenElse(c, t, f, s) => {
-                let c2 = self.formula(c);
-                let t2 = self.expr(t);
-                let f2 = self.expr(f);
-                Expr::IfThenElse(Box::new(c2), Box::new(t2), Box::new(f2), *s)
-            }
-            Expr::FunCall(n, args, s) => {
-                let args2 = args.iter().map(|a| self.expr(a)).collect();
-                Expr::FunCall(n.clone(), args2, *s)
-            }
-        }
-    }
-}
-
 /// Number of formula/expression nodes in the subtree rooted at `f`.
 pub fn subtree_size_formula(f: &Formula) -> u32 {
-    1 + match f {
-        Formula::Compare(_, l, r, _) => subtree_size_expr(l) + subtree_size_expr(r),
-        Formula::IntCompare(_, l, r, _) => subtree_size_int(l) + subtree_size_int(r),
-        Formula::Mult(_, e, _) => subtree_size_expr(e),
-        Formula::Not(inner, _) => subtree_size_formula(inner),
-        Formula::Binary(_, l, r, _) => subtree_size_formula(l) + subtree_size_formula(r),
-        Formula::Quant(_, decls, body, _) => {
-            decls
-                .iter()
-                .map(|d| subtree_size_expr(&d.bound))
-                .sum::<u32>()
-                + subtree_size_formula(body)
+    struct Count(u32);
+    impl Visitor for Count {
+        fn visit_formula(&mut self, f: &Formula) {
+            self.0 += 1;
+            walk_formula(self, f);
         }
-        Formula::Let(_, e, body, _) => subtree_size_expr(e) + subtree_size_formula(body),
-        Formula::PredCall(_, args, _) => args.iter().map(subtree_size_expr).sum(),
+        fn visit_expr(&mut self, e: &Expr) {
+            self.0 += 1;
+            walk_expr(self, e);
+        }
     }
-}
-
-fn subtree_size_int(i: &IntExpr) -> u32 {
-    match i {
-        IntExpr::Card(e, _) => subtree_size_expr(e),
-        IntExpr::Lit(_, _) => 0,
-    }
+    let mut c = Count(0);
+    c.visit_formula(f);
+    c.0
 }
 
 /// Number of formula/expression nodes in the subtree rooted at `e`.
 pub fn subtree_size_expr(e: &Expr) -> u32 {
-    1 + match e {
-        Expr::Ident(_, _) | Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => 0,
-        Expr::Unary(_, inner, _) => subtree_size_expr(inner),
-        Expr::Binary(_, l, r, _) => subtree_size_expr(l) + subtree_size_expr(r),
-        Expr::Comprehension(decls, body, _) => {
-            decls
-                .iter()
-                .map(|d| subtree_size_expr(&d.bound))
-                .sum::<u32>()
-                + subtree_size_formula(body)
+    struct Count(u32);
+    impl Visitor for Count {
+        fn visit_formula(&mut self, f: &Formula) {
+            self.0 += 1;
+            walk_formula(self, f);
         }
-        Expr::IfThenElse(c, t, f, _) => {
-            subtree_size_formula(c) + subtree_size_expr(t) + subtree_size_expr(f)
+        fn visit_expr(&mut self, e: &Expr) {
+            self.0 += 1;
+            walk_expr(self, e);
         }
-        Expr::FunCall(_, args, _) => args.iter().map(subtree_size_expr).sum(),
     }
+    let mut c = Count(0);
+    c.visit_expr(e);
+    c.0
 }
 
 /// Retrieves a clone of the node with the given id, wrapped in the same
 /// payload type [`replace_node`] accepts.
 pub fn node_at(spec: &Spec, id: NodeId) -> Option<NodeRepl> {
     struct Finder {
-        next: u32,
-        target: u32,
+        target: NodeId,
         found: Option<NodeRepl>,
     }
-    impl Finder {
-        fn formula(&mut self, f: &Formula) {
+    impl Visitor for Finder {
+        fn visit_formula(&mut self, f: &Formula) {
             if self.found.is_some() {
                 return;
             }
-            let my = self.next;
-            self.next += 1;
-            if my == self.target {
+            if f.id() == self.target {
                 self.found = Some(NodeRepl::Formula(f.clone()));
                 return;
             }
-            match f {
-                Formula::Compare(_, l, r, _) => {
-                    self.expr(l);
-                    self.expr(r);
-                }
-                Formula::IntCompare(_, l, r, _) => {
-                    for i in [l.as_ref(), r.as_ref()] {
-                        if let IntExpr::Card(e, _) = i {
-                            self.expr(e);
-                        }
-                    }
-                }
-                Formula::Mult(_, e, _) => self.expr(e),
-                Formula::Not(x, _) => self.formula(x),
-                Formula::Binary(_, l, r, _) => {
-                    self.formula(l);
-                    self.formula(r);
-                }
-                Formula::Quant(_, d, b, _) => {
-                    for v in d {
-                        self.expr(&v.bound);
-                    }
-                    self.formula(b);
-                }
-                Formula::Let(_, e, b, _) => {
-                    self.expr(e);
-                    self.formula(b);
-                }
-                Formula::PredCall(_, a, _) => {
-                    for x in a {
-                        self.expr(x);
-                    }
-                }
-            }
+            walk_formula(self, f);
         }
-        fn expr(&mut self, e: &Expr) {
+        fn visit_expr(&mut self, e: &Expr) {
             if self.found.is_some() {
                 return;
             }
-            let my = self.next;
-            self.next += 1;
-            if my == self.target {
+            if e.id() == self.target {
                 self.found = Some(NodeRepl::Expr(e.clone()));
                 return;
             }
-            match e {
-                Expr::Ident(_, _) | Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
-                Expr::Unary(_, i, _) => self.expr(i),
-                Expr::Binary(_, l, r, _) => {
-                    self.expr(l);
-                    self.expr(r);
-                }
-                Expr::Comprehension(d, b, _) => {
-                    for v in d {
-                        self.expr(&v.bound);
-                    }
-                    self.formula(b);
-                }
-                Expr::IfThenElse(c, t, f, _) => {
-                    self.formula(c);
-                    self.expr(t);
-                    self.expr(f);
-                }
-                Expr::FunCall(_, a, _) => {
-                    for x in a {
-                        self.expr(x);
-                    }
-                }
-            }
+            walk_expr(self, e);
         }
+    }
+    if id.is_unassigned() {
+        return None;
     }
     let mut fd = Finder {
-        next: 0,
-        target: id.0,
+        target: id,
         found: None,
     };
-    for fact in &spec.facts {
-        for f in &fact.body {
-            fd.formula(f);
-        }
-    }
-    for p in &spec.preds {
-        for f in &p.body {
-            fd.formula(f);
-        }
-    }
-    for fun in &spec.funs {
-        fd.expr(&fun.body);
-    }
-    for a in &spec.asserts {
-        for f in &a.body {
-            fd.formula(f);
-        }
-    }
+    fd.visit_spec(spec);
     fd.found
+}
+
+/// [`VisitorMut`] instance splicing one payload at a persistent id.
+struct Replacer {
+    target: NodeId,
+    repl: Option<NodeRepl>,
+    kind_mismatch: bool,
+}
+
+impl VisitorMut for Replacer {
+    fn visit_formula_mut(&mut self, f: &mut Formula) {
+        if self.repl.is_none() || self.kind_mismatch {
+            return;
+        }
+        if f.id() == self.target {
+            match self.repl.take() {
+                Some(NodeRepl::Formula(nf)) => *f = nf,
+                other => {
+                    self.kind_mismatch = true;
+                    self.repl = other;
+                }
+            }
+            return;
+        }
+        walk_formula_mut(self, f);
+    }
+
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        if self.repl.is_none() || self.kind_mismatch {
+            return;
+        }
+        if e.id() == self.target {
+            match self.repl.take() {
+                Some(NodeRepl::Expr(ne)) => *e = ne,
+                other => {
+                    self.kind_mismatch = true;
+                    self.repl = other;
+                }
+            }
+            return;
+        }
+        walk_expr_mut(self, e);
+    }
 }
 
 /// Rebuilds the specification with the node identified by `id` replaced.
 ///
-/// Returns `None` if the id does not exist or the replacement kind does not
-/// match the node kind.
+/// Every node outside the replaced subtree keeps its persistent id; the
+/// payload's nodes are given fresh ids above the spec's
+/// [`Spec::next_node_id`] high-water mark (cloned payloads would otherwise
+/// smuggle duplicate ids in), and the mark advances so the ids freed by the
+/// removed subtree are never handed out again.
+///
+/// Returns `None` if the id does not exist in the spec or the replacement
+/// kind does not match the node kind.
 pub fn replace_node(spec: &Spec, id: NodeId, repl: NodeRepl) -> Option<Spec> {
-    let mut rb = Rebuilder {
-        next: 0,
-        target: id.0,
+    if id.is_unassigned() {
+        return None;
+    }
+    let mut out = spec.clone();
+    // Seed above both the recorded high-water mark and anything actually
+    // present, so hand-built or deserialized specs stay collision-free.
+    let start = out
+        .next_node_id
+        .max(crate::visit::max_assigned_id(&out).map_or(0, |m| m + 1));
+    let mut generator = NodeIdGenerator::starting_at(start);
+    let repl = match repl {
+        NodeRepl::Formula(mut f) => {
+            crate::visit::freshen_formula_ids(&mut f, &mut generator);
+            NodeRepl::Formula(f)
+        }
+        NodeRepl::Expr(mut e) => {
+            crate::visit::freshen_expr_ids(&mut e, &mut generator);
+            NodeRepl::Expr(e)
+        }
+    };
+    let mut rb = Replacer {
+        target: id,
         repl: Some(repl),
         kind_mismatch: false,
     };
-    let mut out = spec.clone();
-    for fact in &mut out.facts {
-        fact.body = fact.body.iter().map(|f| rb.formula(f)).collect();
-    }
-    for pred in &mut out.preds {
-        pred.body = pred.body.iter().map(|f| rb.formula(f)).collect();
-    }
-    for fun in &mut out.funs {
-        fun.body = rb.expr(&fun.body);
-    }
-    for a in &mut out.asserts {
-        a.body = a.body.iter().map(|f| rb.formula(f)).collect();
-    }
+    rb.visit_spec_mut(&mut out);
     if rb.repl.is_none() && !rb.kind_mismatch {
+        out.next_node_id = generator.watermark();
         Some(out)
     } else {
         None
@@ -833,72 +509,34 @@ pub fn subst_formula(f: &Formula, map: &std::collections::HashMap<String, Expr>)
 
 /// Collects all identifiers referenced in a formula (free and bound).
 pub fn idents_in_formula(f: &Formula, out: &mut BTreeSet<String>) {
-    match f {
-        Formula::Compare(_, l, r, _) => {
-            idents_in_expr(l, out);
-            idents_in_expr(r, out);
-        }
-        Formula::IntCompare(_, l, r, _) => {
-            for i in [l.as_ref(), r.as_ref()] {
-                if let IntExpr::Card(e, _) = i {
-                    idents_in_expr(e, out);
-                }
-            }
-        }
-        Formula::Mult(_, e, _) => idents_in_expr(e, out),
-        Formula::Not(inner, _) => idents_in_formula(inner, out),
-        Formula::Binary(_, l, r, _) => {
-            idents_in_formula(l, out);
-            idents_in_formula(r, out);
-        }
-        Formula::Quant(_, decls, body, _) => {
-            for d in decls {
-                idents_in_expr(&d.bound, out);
-            }
-            idents_in_formula(body, out);
-        }
-        Formula::Let(_, e, body, _) => {
-            idents_in_expr(e, out);
-            idents_in_formula(body, out);
-        }
-        Formula::PredCall(n, args, _) => {
-            out.insert(n.clone());
-            for a in args {
-                idents_in_expr(a, out);
-            }
-        }
-    }
+    let mut v = IdentCollector(out);
+    v.visit_formula(f);
 }
 
 /// Collects all identifiers referenced in an expression.
 pub fn idents_in_expr(e: &Expr, out: &mut BTreeSet<String>) {
-    match e {
-        Expr::Ident(n, _) => {
-            out.insert(n.clone());
+    let mut v = IdentCollector(out);
+    v.visit_expr(e);
+}
+
+struct IdentCollector<'a>(&'a mut BTreeSet<String>);
+
+impl Visitor for IdentCollector<'_> {
+    fn visit_formula(&mut self, f: &Formula) {
+        if let Formula::PredCall(n, _, _) = f {
+            self.0.insert(n.clone());
         }
-        Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
-        Expr::Unary(_, inner, _) => idents_in_expr(inner, out),
-        Expr::Binary(_, l, r, _) => {
-            idents_in_expr(l, out);
-            idents_in_expr(r, out);
-        }
-        Expr::Comprehension(decls, body, _) => {
-            for d in decls {
-                idents_in_expr(&d.bound, out);
+        walk_formula(self, f);
+    }
+
+    fn visit_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Ident(n, _) | Expr::FunCall(n, _, _) => {
+                self.0.insert(n.clone());
             }
-            idents_in_formula(body, out);
+            _ => {}
         }
-        Expr::IfThenElse(c, t, f, _) => {
-            idents_in_formula(c, out);
-            idents_in_expr(t, out);
-            idents_in_expr(f, out);
-        }
-        Expr::FunCall(n, args, _) => {
-            out.insert(n.clone());
-            for a in args {
-                idents_in_expr(a, out);
-            }
-        }
+        walk_expr(self, e);
     }
 }
 
@@ -955,225 +593,66 @@ mod tests {
         let spec = sample_spec();
         let sites = collect_sites(&spec);
         for site in &sites {
-            let repl = if site.is_formula {
-                let f = get_formula_by_id(&spec, site.id).unwrap();
-                NodeRepl::Formula(f)
-            } else {
-                let e = get_expr_by_id(&spec, site.id).unwrap();
-                NodeRepl::Expr(e)
-            };
+            let repl = node_at(&spec, site.id).unwrap();
+            match (&repl, site.is_formula) {
+                (NodeRepl::Formula(_), true) | (NodeRepl::Expr(_), false) => {}
+                _ => panic!("node_at kind disagrees with site {:?}", site.id),
+            }
             let out = replace_node(&spec, site.id, repl).unwrap();
             assert_eq!(strip_spec_spans(&out), strip_spec_spans(&spec));
         }
     }
 
-    // Test helpers retrieving nodes by id via the collector order.
-    fn get_formula_by_id(spec: &Spec, id: NodeId) -> Option<Formula> {
-        struct Finder {
-            next: u32,
-            target: u32,
-            found: Option<Formula>,
-        }
-        impl Finder {
-            fn formula(&mut self, f: &Formula) {
-                let my = self.next;
-                self.next += 1;
-                if my == self.target {
-                    self.found = Some(f.clone());
-                    return;
-                }
-                match f {
-                    Formula::Compare(_, l, r, _) => {
-                        self.expr(l);
-                        self.expr(r);
-                    }
-                    Formula::IntCompare(_, l, r, _) => {
-                        for i in [l.as_ref(), r.as_ref()] {
-                            if let IntExpr::Card(e, _) = i {
-                                self.expr(e);
-                            }
-                        }
-                    }
-                    Formula::Mult(_, e, _) => self.expr(e),
-                    Formula::Not(x, _) => self.formula(x),
-                    Formula::Binary(_, l, r, _) => {
-                        self.formula(l);
-                        self.formula(r);
-                    }
-                    Formula::Quant(_, d, b, _) => {
-                        for v in d {
-                            self.expr(&v.bound);
-                        }
-                        self.formula(b);
-                    }
-                    Formula::Let(_, e, b, _) => {
-                        self.expr(e);
-                        self.formula(b);
-                    }
-                    Formula::PredCall(_, a, _) => {
-                        for x in a {
-                            self.expr(x);
-                        }
-                    }
-                }
-            }
-            fn expr(&mut self, e: &Expr) {
-                self.next += 1;
-                match e {
-                    Expr::Ident(_, _) | Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
-                    Expr::Unary(_, i, _) => self.expr(i),
-                    Expr::Binary(_, l, r, _) => {
-                        self.expr(l);
-                        self.expr(r);
-                    }
-                    Expr::Comprehension(d, b, _) => {
-                        for v in d {
-                            self.expr(&v.bound);
-                        }
-                        self.formula(b);
-                    }
-                    Expr::IfThenElse(c, t, f, _) => {
-                        self.formula(c);
-                        self.expr(t);
-                        self.expr(f);
-                    }
-                    Expr::FunCall(_, a, _) => {
-                        for x in a {
-                            self.expr(x);
-                        }
-                    }
-                }
-            }
-        }
-        let mut fd = Finder {
-            next: 0,
-            target: id.0,
-            found: None,
-        };
-        for fact in &spec.facts {
-            for f in &fact.body {
-                fd.formula(f);
-            }
-        }
-        for p in &spec.preds {
-            for f in &p.body {
-                fd.formula(f);
-            }
-        }
-        for fun in &spec.funs {
-            fd.expr(&fun.body);
-        }
-        for a in &spec.asserts {
-            for f in &a.body {
-                fd.formula(f);
-            }
-        }
-        fd.found
-    }
+    #[test]
+    fn replace_preserves_untouched_ids_and_advances_watermark() {
+        let spec = sample_spec();
+        let sites = collect_sites(&spec);
+        let target = sites
+            .iter()
+            .find(|s| s.is_formula && s.owner.0 == OwnerKind::Assert)
+            .unwrap();
+        let nf = parse_formula("some A").unwrap();
+        let out = replace_node(&spec, target.id, NodeRepl::Formula(nf)).unwrap();
 
-    fn get_expr_by_id(spec: &Spec, id: NodeId) -> Option<Expr> {
-        // Reuse replace_node with a sentinel to extract: simpler approach —
-        // replace with a marker and diff. For tests, re-walk via sites.
-        struct Finder {
-            next: u32,
-            target: u32,
-            found: Option<Expr>,
-        }
-        impl Finder {
-            fn formula(&mut self, f: &Formula) {
-                self.next += 1;
-                match f {
-                    Formula::Compare(_, l, r, _) => {
-                        self.expr(l);
-                        self.expr(r);
-                    }
-                    Formula::IntCompare(_, l, r, _) => {
-                        for i in [l.as_ref(), r.as_ref()] {
-                            if let IntExpr::Card(e, _) = i {
-                                self.expr(e);
-                            }
-                        }
-                    }
-                    Formula::Mult(_, e, _) => self.expr(e),
-                    Formula::Not(x, _) => self.formula(x),
-                    Formula::Binary(_, l, r, _) => {
-                        self.formula(l);
-                        self.formula(r);
-                    }
-                    Formula::Quant(_, d, b, _) => {
-                        for v in d {
-                            self.expr(&v.bound);
-                        }
-                        self.formula(b);
-                    }
-                    Formula::Let(_, e, b, _) => {
-                        self.expr(e);
-                        self.formula(b);
-                    }
-                    Formula::PredCall(_, a, _) => {
-                        for x in a {
-                            self.expr(x);
-                        }
-                    }
+        let before: std::collections::HashMap<NodeId, bool> =
+            sites.iter().map(|s| (s.id, s.is_formula)).collect();
+        let removed: std::collections::HashSet<NodeId> = sites
+            .iter()
+            .filter(|s| {
+                s.owner == target.owner && s.id >= target.id && {
+                    // Pre-order: the replaced subtree is the contiguous id
+                    // range starting at the target on a fresh parse.
+                    let size = match node_at(&spec, target.id).unwrap() {
+                        NodeRepl::Formula(f) => subtree_size_formula(&f),
+                        NodeRepl::Expr(e) => subtree_size_expr(&e),
+                    };
+                    s.id.0 < target.id.0 + size
                 }
-            }
-            fn expr(&mut self, e: &Expr) {
-                let my = self.next;
-                self.next += 1;
-                if my == self.target {
-                    self.found = Some(e.clone());
-                    return;
-                }
-                match e {
-                    Expr::Ident(_, _) | Expr::Univ(_) | Expr::Iden(_) | Expr::None(_) => {}
-                    Expr::Unary(_, i, _) => self.expr(i),
-                    Expr::Binary(_, l, r, _) => {
-                        self.expr(l);
-                        self.expr(r);
-                    }
-                    Expr::Comprehension(d, b, _) => {
-                        for v in d {
-                            self.expr(&v.bound);
-                        }
-                        self.formula(b);
-                    }
-                    Expr::IfThenElse(c, t, f, _) => {
-                        self.formula(c);
-                        self.expr(t);
-                        self.expr(f);
-                    }
-                    Expr::FunCall(_, a, _) => {
-                        for x in a {
-                            self.expr(x);
-                        }
-                    }
-                }
+            })
+            .map(|s| s.id)
+            .collect();
+
+        let after_sites = collect_sites(&out);
+        let after: std::collections::HashSet<NodeId> = after_sites.iter().map(|s| s.id).collect();
+        // Untouched ids survive with their kind.
+        for s in &sites {
+            if !removed.contains(&s.id) {
+                assert!(after.contains(&s.id), "lost id {:?}", s.id);
+                let k = after_sites.iter().find(|a| a.id == s.id).unwrap();
+                assert_eq!(k.is_formula, before[&s.id]);
             }
         }
-        let mut fd = Finder {
-            next: 0,
-            target: id.0,
-            found: None,
-        };
-        for fact in &spec.facts {
-            for f in &fact.body {
-                fd.formula(f);
+        // Freed ids are gone and never reappear below the new watermark.
+        for id in &removed {
+            assert!(!after.contains(id), "freed id {:?} reused", id);
+        }
+        assert!(out.next_node_id > spec.next_node_id);
+        // New payload ids sit above the old watermark.
+        for s in &after_sites {
+            if !before.contains_key(&s.id) {
+                assert!(s.id.0 >= spec.next_node_id);
             }
         }
-        for p in &spec.preds {
-            for f in &p.body {
-                fd.formula(f);
-            }
-        }
-        for fun in &spec.funs {
-            fd.expr(&fun.body);
-        }
-        for a in &spec.asserts {
-            for f in &a.body {
-                fd.formula(f);
-            }
-        }
-        fd.found
     }
 
     #[test]
@@ -1206,6 +685,12 @@ mod tests {
     fn replace_missing_id_returns_none() {
         let spec = sample_spec();
         assert!(replace_node(&spec, NodeId(9999), NodeRepl::Formula(Formula::truth())).is_none());
+        assert!(replace_node(
+            &spec,
+            NodeId::UNASSIGNED,
+            NodeRepl::Formula(Formula::truth())
+        )
+        .is_none());
     }
 
     #[test]

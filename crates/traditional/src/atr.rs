@@ -12,6 +12,7 @@ use mualloy_analyzer::Oracle;
 use mualloy_relational::{assert_body, pred_as_existential, Evaluator, Instance};
 use mualloy_syntax::ast::*;
 use mualloy_syntax::walk::{node_at, replace_node, NodeRepl, NodeSite};
+use mualloy_syntax::Fingerprint;
 use specrepair_core::{
     localization::{constraint_sites, localize_with},
     OutcomeReason, RepairContext, RepairOutcome, RepairTechnique,
@@ -182,14 +183,17 @@ impl RepairTechnique for Atr {
         drop(mutation_span);
         for site in sites {
             // (a) mutation-level candidates at the site and its subtree.
-            let mut candidates: Vec<Spec> = Vec::new();
+            // Each candidate is a single-node rewrite of the faulty spec, so
+            // it carries its incrementally-rehashed canonical fingerprint.
+            let mut candidates: Vec<(Spec, Fingerprint)> = Vec::new();
             for m in engine.all_mutations() {
                 // Only mutations within the suspicious site's span.
                 if m.span.start >= site.span.start
                     && m.span.end <= site.span.end.max(site.span.start + 1)
                 {
                     if let Some(mutant) = engine.apply(&m) {
-                        candidates.push(mutant);
+                        let key = ctx.fingerprint_edit(&mutant, m.site, &m.repl);
+                        candidates.push((mutant, key));
                     }
                 }
             }
@@ -197,8 +201,10 @@ impl RepairTechnique for Atr {
             // strengthenings (conjunct additions) at the site.
             if let Some(NodeRepl::Formula(_)) = node_at(&ctx.faulty, site.id) {
                 for tf in template_formulas(&vocab, site, self.max_templates_per_site / 2) {
-                    if let Some(cand) = replace_node(&ctx.faulty, site.id, NodeRepl::Formula(tf)) {
-                        candidates.push(cand);
+                    let payload = NodeRepl::Formula(tf);
+                    if let Some(cand) = replace_node(&ctx.faulty, site.id, payload.clone()) {
+                        let key = ctx.fingerprint_edit(&cand, site.id, &payload);
+                        candidates.push((cand, key));
                     }
                 }
                 for m in synthesis_mutations(
@@ -208,7 +214,8 @@ impl RepairTechnique for Atr {
                     self.max_templates_per_site / 2,
                 ) {
                     if let Some(cand) = replace_node(&ctx.faulty, m.site, m.repl.clone()) {
-                        candidates.push(cand);
+                        let key = ctx.fingerprint_edit(&cand, m.site, &m.repl);
+                        candidates.push((cand, key));
                     }
                 }
             }
@@ -217,18 +224,18 @@ impl RepairTechnique for Atr {
             // tainted, so weak candidates stay eligible, just deprioritized.
             let mut strong = Vec::new();
             let mut weak = Vec::new();
-            for cand in candidates {
+            for (cand, key) in candidates {
                 if !ledger.admit(&cand) || !mualloy_syntax::check_spec(&cand).is_empty() {
                     continue;
                 }
                 match screen(&cand, &evidence) {
-                    Screen::Strong => strong.push(cand),
-                    Screen::Weak => weak.push(cand),
+                    Screen::Strong => strong.push((cand, key)),
+                    Screen::Weak => weak.push((cand, key)),
                     Screen::Fail => {}
                 }
             }
-            for cand in strong.into_iter().chain(weak) {
-                match session.validate(&cand) {
+            for (cand, key) in strong.into_iter().chain(weak) {
+                match session.validate_keyed(&cand, key) {
                     None => {
                         return RepairOutcome::failure(self.name(), session.validated(), 1)
                             .with_reason(RepairOutcome::failure_reason_for(

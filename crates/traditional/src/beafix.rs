@@ -10,7 +10,7 @@
 //! location" restriction).
 
 use mualloy_syntax::ast::Spec;
-use mualloy_syntax::check_spec;
+use mualloy_syntax::{check_spec, spec_fingerprint, Fingerprint, SpecHasher};
 use specrepair_core::{
     localization::constraint_sites, OracleSession, OutcomeReason, RepairContext, RepairOutcome,
     RepairTechnique,
@@ -36,6 +36,7 @@ impl BeAFix {
     fn try_candidate(
         &self,
         candidate: Spec,
+        key: Fingerprint,
         ledger: &mut CandidateLedger,
         session: &mut OracleSession<'_>,
     ) -> Option<Result<Spec, Spec>> {
@@ -45,7 +46,7 @@ impl BeAFix {
         if !ledger.admit(&candidate) || !check_spec(&candidate).is_empty() {
             return Some(Err(candidate)); // pruned without validation
         }
-        match session.validate(&candidate) {
+        match session.validate_keyed(&candidate, key) {
             Some(true) => Some(Ok(candidate)),
             _ => Some(Err(candidate)),
         }
@@ -77,7 +78,10 @@ impl RepairTechnique for BeAFix {
             let Some(mutant) = engine.apply(m) else {
                 continue;
             };
-            match self.try_candidate(mutant, &mut ledger, &mut session) {
+            // Depth-1 mutants are single-node rewrites of the faulty spec:
+            // their fingerprint is an O(path) incremental rehash.
+            let key = ctx.fingerprint_edit(&mutant, m.site, &m.repl);
+            match self.try_candidate(mutant, key, &mut ledger, &mut session) {
                 Some(Ok(fixed)) => {
                     return RepairOutcome::success_with(self.name(), fixed, session.validated(), 1)
                 }
@@ -119,11 +123,17 @@ impl RepairTechnique for BeAFix {
                     mutation_span.attr_u64("depth", 2);
                 }
                 drop(mutation_span);
+                // One memoized hasher per level-1 mutant amortizes over all
+                // of its level-2 rewrites.
+                let hasher2 = SpecHasher::new(&level1);
                 for m2 in level2_mutations {
                     let Some(level2) = engine2.apply(&m2) else {
                         continue;
                     };
-                    match self.try_candidate(level2, &mut ledger, &mut session) {
+                    let key = hasher2
+                        .fingerprint_replaced(m2.site, &m2.repl)
+                        .unwrap_or_else(|| spec_fingerprint(&level2));
+                    match self.try_candidate(level2, key, &mut ledger, &mut session) {
                         Some(Ok(fixed)) => {
                             return RepairOutcome::success_with(
                                 self.name(),

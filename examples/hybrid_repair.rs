@@ -31,13 +31,10 @@ fn main() {
         .iter()
         .zip(&oracles)
         .map(|(p, oracle)| {
-            let ctx = RepairContext {
-                faulty: p.faulty.clone(),
-                source: p.faulty_source.clone(),
-                budget,
-                oracle: oracle.clone(),
-                cancel: CancelToken::none(),
-            };
+            let ctx = RepairContext::new(p.faulty.clone(), budget)
+                .with_source(&p.faulty_source)
+                .with_oracle(oracle.clone())
+                .with_cancel(CancelToken::none());
             let out = llm.repair(&ctx);
             rep(&p.truth, out.candidate_source.as_deref()) == 1
         })
@@ -52,13 +49,10 @@ fn main() {
             .iter()
             .zip(&oracles)
             .map(|(p, oracle)| {
-                let ctx = RepairContext {
-                    faulty: p.faulty.clone(),
-                    source: p.faulty_source.clone(),
-                    budget,
-                    oracle: oracle.clone(),
-                    cancel: CancelToken::none(),
-                };
+                let ctx = RepairContext::new(p.faulty.clone(), budget)
+                    .with_source(&p.faulty_source)
+                    .with_oracle(oracle.clone())
+                    .with_cancel(CancelToken::none());
                 let out = tool.repair(&ctx);
                 rep(&p.truth, out.candidate_source.as_deref()) == 1
             })

@@ -25,13 +25,10 @@ fn budget() -> RepairBudget {
 }
 
 fn ctx_for(p: &specrepair_benchmarks::RepairProblem) -> RepairContext {
-    RepairContext {
-        faulty: p.faulty.clone(),
-        source: p.faulty_source.clone(),
-        budget: budget(),
-        oracle: OracleHandle::fresh(),
-        cancel: CancelToken::none(),
-    }
+    RepairContext::new(p.faulty.clone(), budget())
+        .with_source(&p.faulty_source)
+        .with_oracle(OracleHandle::fresh())
+        .with_cancel(CancelToken::none())
 }
 
 #[test]

@@ -120,6 +120,7 @@ impl<T: RepairTechnique> RepairTechnique for Budgeted<T> {
             source: ctx.source.clone(),
             budget: self.budget,
             oracle: ctx.oracle.clone(),
+            hasher: ctx.hasher.clone(),
             cancel: ctx.cancel.clone(),
         };
         self.inner.repair(&ctx)
@@ -153,13 +154,10 @@ fn portfolio_equals_the_union_hybrid_of_its_roster() {
                 budget: config.budget_for(TechniqueId::Single(PromptSetting::Loc)),
             },
         );
-        let ctx = RepairContext {
-            faulty: problem.faulty.clone(),
-            source: problem.faulty_source.clone(),
-            budget: RepairBudget::default(),
-            oracle: oracle.clone(),
-            cancel: CancelToken::none(),
-        };
+        let ctx = RepairContext::new(problem.faulty.clone(), RepairBudget::default())
+            .with_source(&problem.faulty_source)
+            .with_oracle(oracle.clone())
+            .with_cancel(CancelToken::none());
         let union = hybrid.repair(&ctx);
         let union_record = record_from(problem, roster.label(), &union);
 
@@ -180,13 +178,10 @@ fn slow_entrant_is_observably_cancelled() {
     const BOUND: usize = 100_000;
     let problem = &problems()[0];
     let oracle = OracleHandle::fresh();
-    let ctx = RepairContext {
-        faulty: problem.faulty.clone(),
-        source: problem.faulty_source.clone(),
-        budget: RepairBudget::default(),
-        oracle: oracle.clone(),
-        cancel: CancelToken::none(),
-    };
+    let ctx = RepairContext::new(problem.faulty.clone(), RepairBudget::default())
+        .with_source(&problem.faulty_source)
+        .with_oracle(oracle.clone())
+        .with_cancel(CancelToken::none());
     let slow_calls = AtomicUsize::new(0);
     let entrants = vec![
         Entrant::new("fast-win", RepairBudget::default(), |c: &RepairContext| {
@@ -231,13 +226,10 @@ fn slow_entrant_is_observably_cancelled() {
 fn faulty_lm_entrant_loses_instead_of_stalling() {
     let problem = &problems()[0];
     let oracle = OracleHandle::fresh();
-    let ctx = RepairContext {
-        faulty: problem.faulty.clone(),
-        source: problem.faulty_source.clone(),
-        budget: RepairBudget::default(),
-        oracle: oracle.clone(),
-        cancel: CancelToken::none(),
-    };
+    let ctx = RepairContext::new(problem.faulty.clone(), RepairBudget::default())
+        .with_source(&problem.faulty_source)
+        .with_oracle(oracle.clone())
+        .with_cancel(CancelToken::none());
     let afflicted_lm = ResilientLm::over(FaultyLm::new(
         SyntheticLm::default(),
         FaultPlan::new(0xBAD, 1.0),

@@ -112,6 +112,7 @@ fn cached_study_is_byte_identical_to_uncached() {
         serde_json::to_string(&uncached).unwrap(),
         "oracle caching changed study results"
     );
+    let (stats_on, stats_off) = (stats_on.cache, stats_off.cache);
     assert!(stats_on.hits > 0, "cached run never hit the memo table");
     assert!(stats_on.hit_rate() > 0.0);
     assert_eq!(stats_off.hits, 0, "disabled cache must never report hits");
@@ -120,6 +121,50 @@ fn cached_study_is_byte_identical_to_uncached() {
         "caching should save solver invocations ({} vs {})",
         stats_on.solver_invocations,
         stats_off.solver_invocations
+    );
+}
+
+#[test]
+fn dedup_study_is_byte_identical_to_no_dedup() {
+    // The global candidate-dedup registry must be a pure performance
+    // layer, exactly like the oracle cache: running the study with dedup
+    // on and off must produce byte-identical results, while the dedup-on
+    // run actually absorbs duplicate candidates.
+    let problems = specrepair_benchmarks::full_study(0.003);
+    let config = StudyConfig {
+        scale: 0.003,
+        seed: 17,
+        ..StudyConfig::default()
+    };
+    assert!(config.dedup, "dedup must default on");
+    let control = StudyConfig {
+        dedup: false,
+        ..config
+    };
+    let (with_dedup, stats_on) = runner::run_study_cached(&problems, &config, true);
+    let (without, stats_off) = runner::run_study_cached(&problems, &control, true);
+    assert_eq!(
+        serde_json::to_string(&with_dedup).unwrap(),
+        serde_json::to_string(&without).unwrap(),
+        "candidate dedup changed study results"
+    );
+    assert!(
+        stats_on.dedup.hits > 0,
+        "dedup-on run never absorbed a duplicate candidate"
+    );
+    assert!(stats_on.dedup.dedup_rate() > 0.0);
+    assert_eq!(
+        stats_off.dedup.hits + stats_off.dedup.misses,
+        0,
+        "disabled dedup must never count validations"
+    );
+    // Deduped validations skip the oracle entirely, so the dedup-on run
+    // issues strictly fewer oracle queries.
+    assert!(
+        stats_on.cache.hits + stats_on.cache.misses < stats_off.cache.hits + stats_off.cache.misses,
+        "dedup should shed oracle queries ({} vs {})",
+        stats_on.cache.hits + stats_on.cache.misses,
+        stats_off.cache.hits + stats_off.cache.misses
     );
 }
 

@@ -23,7 +23,7 @@
 //! cache-disabled runs produce byte-identical results.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use mualloy_relational::Instance;
 use mualloy_sat::{stats as sat_stats, SolverStats};
@@ -35,6 +35,7 @@ use specrepair_trace::{Phase, SpanGuard};
 
 use crate::analyzer::{Analyzer, CommandOutcome};
 use crate::error::AnalyzerError;
+use crate::incremental::{IncrementalEngine, IncrementalStats};
 
 /// Number of independently-locked shards; a power of two so the fingerprint
 /// maps to a shard with a mask.
@@ -59,6 +60,10 @@ struct SpecEntry {
     /// Outcome of [`Analyzer::execute_all`] — `satisfies_oracle` and
     /// `failing_commands` are derived views of this single answer.
     execute_all: Option<Memo<Result<Vec<CommandOutcome>, AnalyzerError>>>,
+    /// Boolean oracle verdict computed by the incremental engine. Only
+    /// populated on the incremental path; the cold path derives the verdict
+    /// from `execute_all` (which is probed first and is never shadowed).
+    verdict: Option<Memo<bool>>,
     /// Per-command outcomes, for commands not covered by `execute_all`
     /// (e.g. localization re-running one command on a relaxed spec).
     commands: HashMap<Command, Memo<Result<CommandOutcome, AnalyzerError>>>,
@@ -142,6 +147,10 @@ pub struct Oracle {
     /// bound the table so it cannot grow without limit.
     shard_capacity: Option<usize>,
     shards: Vec<Mutex<Shard>>,
+    /// Whether boolean verdict queries route through the incremental
+    /// engine (default on; `--no-incremental` flips it off at run start).
+    incremental: AtomicBool,
+    engine: IncrementalEngine,
     hits: AtomicU64,
     misses: AtomicU64,
     solver_invocations: AtomicU64,
@@ -194,6 +203,8 @@ impl Oracle {
             enabled,
             shard_capacity: None,
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            incremental: AtomicBool::new(true),
+            engine: IncrementalEngine::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             solver_invocations: AtomicU64::new(0),
@@ -205,6 +216,24 @@ impl Oracle {
     /// Whether memoization is active.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether boolean verdict queries route through the incremental
+    /// engine.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental.load(Ordering::Relaxed)
+    }
+
+    /// Turns the incremental engine off: every verdict query solves cold,
+    /// exactly as before the engine existed. The `--no-incremental`
+    /// escape hatch and the equivalence gate use this.
+    pub fn disable_incremental(&self) {
+        self.incremental.store(false, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the incremental engine's counters.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.engine.stats()
     }
 
     /// The configured per-shard entry cap (`None` = unbounded).
@@ -336,17 +365,19 @@ impl Oracle {
     }
 
     /// Memoized [`Analyzer::satisfies_oracle`]: whether every command's
-    /// outcome matches its `expect` annotation. Derived from
-    /// [`Oracle::execute_all`], so it shares that cache line.
+    /// outcome matches its `expect` annotation.
+    ///
+    /// With the incremental engine on (the default), the verdict is
+    /// answered by persistent solve-under-assumptions sessions; the engine
+    /// declines any candidate it cannot check (falling back to the cold
+    /// [`Oracle::execute_all`] derivation), so verdicts and errors are
+    /// identical either way.
     ///
     /// # Errors
     ///
     /// Fails when any command cannot be executed.
     pub fn satisfies_oracle(&self, spec: &Spec) -> Result<bool, AnalyzerError> {
-        Ok(self
-            .execute_all(spec)?
-            .iter()
-            .all(CommandOutcome::matches_expectation))
+        self.satisfies_oracle_with(spec, None)
     }
 
     /// [`Oracle::satisfies_oracle`] with a precomputed canonical
@@ -360,10 +391,63 @@ impl Oracle {
         spec: &Spec,
         key: Fingerprint,
     ) -> Result<bool, AnalyzerError> {
-        Ok(self
-            .execute_all_keyed(spec, key)?
-            .iter()
-            .all(CommandOutcome::matches_expectation))
+        self.satisfies_oracle_with(spec, Some(key))
+    }
+
+    fn satisfies_oracle_with(
+        &self,
+        spec: &Spec,
+        key: Option<Fingerprint>,
+    ) -> Result<bool, AnalyzerError> {
+        fn all_match(outcomes: &[CommandOutcome]) -> bool {
+            outcomes.iter().all(CommandOutcome::matches_expectation)
+        }
+        if !self.incremental_enabled() {
+            return Ok(all_match(&self.execute_all_with(spec, key)?));
+        }
+        let span = specrepair_trace::span("oracle.satisfies_incremental", Phase::OracleCache);
+        let key = if self.enabled {
+            Some(key.unwrap_or_else(|| Oracle::fingerprint(spec)))
+        } else {
+            None
+        };
+        if let Some(key) = key {
+            // Probe `execute_all` first: a full answer (including a cached
+            // error) always trumps the verdict-only line.
+            let cached = self.shard_of(key).lock().entries.get(&key).and_then(|e| {
+                if let Some(m) = &e.execute_all {
+                    let verdict = match &m.value {
+                        Ok(outcomes) => Ok(all_match(outcomes)),
+                        Err(err) => Err(err.clone()),
+                    };
+                    Some((verdict, m.solver))
+                } else {
+                    e.verdict.as_ref().map(|m| (Ok(m.value), m.solver))
+                }
+            });
+            if let Some((value, solver)) = cached {
+                tag_query(&span, true, &solver);
+                return self.hit(value);
+            }
+        }
+        let (computed, solver) = sat_stats::collect(|| self.engine.satisfies_oracle(spec));
+        let Some(verdict) = computed else {
+            // The engine declined; the cold path owns the answer (and the
+            // caching, counters and spans that come with it).
+            return Ok(all_match(&self.execute_all_with(spec, key)?));
+        };
+        tag_query(&span, false, &solver);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.solver_invocations.fetch_add(1, Ordering::Relaxed);
+        if let Some(key) = key {
+            self.memoize(self.shard_of(key), key, |e| {
+                e.verdict = Some(Memo {
+                    value: verdict,
+                    solver,
+                });
+            });
+        }
+        Ok(verdict)
     }
 
     /// Memoized [`Analyzer::failing_commands`]: the commands whose outcomes
@@ -632,6 +716,23 @@ mod tests {
     }
 
     #[test]
+    fn incremental_and_cold_verdicts_agree() {
+        for src in [GOOD, BAD] {
+            let spec = parse_spec(src).unwrap();
+            let incremental = Oracle::new();
+            assert!(incremental.incremental_enabled());
+            let cold = Oracle::new();
+            cold.disable_incremental();
+            assert_eq!(
+                incremental.satisfies_oracle(&spec).unwrap(),
+                cold.satisfies_oracle(&spec).unwrap()
+            );
+            assert!(incremental.incremental_stats().checks > 0);
+            assert_eq!(cold.incremental_stats().checks, 0);
+        }
+    }
+
+    #[test]
     fn second_query_is_a_hit() {
         let oracle = Oracle::new();
         let spec = parse_spec(GOOD).unwrap();
@@ -788,7 +889,7 @@ mod tests {
         specrepair_trace::set_enabled(false);
         let spans: Vec<_> = specrepair_trace::take_spans()
             .into_iter()
-            .filter(|s| s.cell == CELL && s.name == "oracle.execute_all")
+            .filter(|s| s.cell == CELL && s.name == "oracle.satisfies_incremental")
             .collect();
         assert_eq!(spans.len(), 2, "one miss, one hit");
 

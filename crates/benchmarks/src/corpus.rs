@@ -78,8 +78,11 @@ pub fn generate_domain(
     let config = InjectorConfig::default();
     // One memo table for the whole domain: different seeds frequently
     // re-derive structurally identical mutants, whose observability check
-    // then costs a lookup instead of a solve.
+    // then costs a lookup instead of a solve. Solve cold: corpus generation
+    // is outside any study run, so its checks must not show up as
+    // incremental-engine activity that no published stats account for.
     let oracle = Oracle::new();
+    oracle.disable_incremental();
     let max_seed = (count as u64) * 50 + 64;
     let mut seed = 0u64;
     while out.len() < count && seed < max_seed {

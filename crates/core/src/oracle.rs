@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use mualloy_analyzer::{Oracle, OracleCacheStats};
+use mualloy_analyzer::{IncrementalStats, Oracle, OracleCacheStats};
 use mualloy_syntax::{Fingerprint, Spec};
 use serde::{Deserialize, Serialize};
 
@@ -291,6 +291,15 @@ impl OracleHandle {
         self
     }
 
+    /// Turns the incremental oracle engine off on this handle's service
+    /// (builder style) — the `--no-incremental` escape hatch and the
+    /// control arm of the incremental-on/off byte-identity gate. Every
+    /// verdict query solves cold, exactly as before the engine existed.
+    pub fn without_incremental(self) -> OracleHandle {
+        self.service.disable_incremental();
+        self
+    }
+
     /// The underlying oracle service.
     pub fn service(&self) -> &Oracle {
         &self.service
@@ -309,6 +318,11 @@ impl OracleHandle {
     /// Snapshot of the global candidate-dedup counters.
     pub fn dedup_stats(&self) -> DedupStats {
         self.dedup.stats()
+    }
+
+    /// Snapshot of the service's incremental-engine counters.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.service.incremental_stats()
     }
 
     /// Opens a metered validation session capped at `max_candidates`.
@@ -479,6 +493,19 @@ mod tests {
         let stats = handle.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn without_incremental_solves_cold_with_identical_verdicts() {
+        let spec = parse_spec(GOOD).unwrap();
+        let incremental = OracleHandle::fresh();
+        let cold = OracleHandle::fresh().without_incremental();
+        assert_eq!(
+            incremental.session(5).validate(&spec),
+            cold.session(5).validate(&spec)
+        );
+        assert!(incremental.incremental_stats().checks > 0);
+        assert_eq!(cold.incremental_stats().checks, 0);
     }
 
     #[test]

@@ -120,6 +120,14 @@ impl RepairContext {
         self
     }
 
+    /// Turns the incremental oracle engine off for this context — the
+    /// `--no-incremental` escape hatch and the control arm of the
+    /// incremental-on/off byte-identity gate.
+    pub fn without_incremental(mut self) -> RepairContext {
+        self.oracle = self.oracle.without_incremental();
+        self
+    }
+
     /// Canonical fingerprint of a candidate produced by rewriting the
     /// faulty spec's node `target` with `payload`
     /// ([`mualloy_syntax::walk::replace_node`]). Uses the context's

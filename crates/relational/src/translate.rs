@@ -35,6 +35,7 @@ pub struct Translator {
     field_matrices: BTreeMap<String, Matrix>,
     /// Per-atom membership refs (input var, or constant TRUE for `one sig`).
     atom_member: Vec<BoolRef>,
+    decls: BoolRef,
     base: BoolRef,
 }
 
@@ -104,10 +105,12 @@ impl Translator {
             sig_matrices,
             field_matrices,
             atom_member,
+            decls: Circuit::TRUE,
             base: Circuit::TRUE,
         };
         let decls = tr.compile_declarations()?;
         let facts = tr.compile_facts()?;
+        tr.decls = decls;
         tr.base = tr.circuit.and(decls, facts);
         Ok(tr)
     }
@@ -125,6 +128,13 @@ impl Translator {
     /// The base constraint: declaration semantics plus all facts.
     pub fn base_constraint(&self) -> BoolRef {
         self.base
+    }
+
+    /// The declaration constraint alone (multiplicities and field bounds),
+    /// without any fact. Incremental sessions pin this spec-independent
+    /// skeleton once and conjoin per-candidate fact bodies separately.
+    pub fn decl_constraint(&self) -> BoolRef {
+        self.decls
     }
 
     /// Compiles a closed formula (no free variables) against this

@@ -315,6 +315,36 @@ impl Circuit {
         input_lits
     }
 
+    /// Tseitin-encodes `root` into `solver` **without asserting it**,
+    /// returning the literal that is true iff the root holds.
+    ///
+    /// Unlike [`Circuit::encode`] this supports persistent sessions: the
+    /// caller owns the `input_lits` and `node_lit` caches and passes them
+    /// back on every call against the same (growing) circuit, so gates
+    /// shared between successive roots are encoded exactly once and their
+    /// definitional clauses stay in the solver. Inputs and gates added to
+    /// the circuit since the previous call are allocated on demand;
+    /// constant roots flow through the shared `ConstTrue` node instead of
+    /// poisoning the solver with an empty clause.
+    pub fn encode_literal(
+        &self,
+        root: BoolRef,
+        solver: &mut Solver,
+        input_lits: &mut Vec<Lit>,
+        node_lit: &mut Vec<Option<Lit>>,
+    ) -> Lit {
+        while input_lits.len() < self.num_inputs as usize {
+            input_lits.push(solver.new_var().positive());
+        }
+        node_lit.resize(self.nodes.len(), None);
+        let lit = self.encode_node(root.node(), solver, input_lits, node_lit);
+        if root.is_negated() {
+            !lit
+        } else {
+            lit
+        }
+    }
+
     fn encode_node(
         &self,
         idx: usize,

@@ -1,0 +1,254 @@
+//! Incremental candidate checking: one persistent solver shared across a
+//! sequence of activation-guarded roots.
+//!
+//! Repair candidates are tiny mutations of one specification, so their
+//! circuits share nearly every gate. An [`IncrementalSession`] keeps a
+//! single [`Solver`] alive across checks: each candidate's root is Tseitin
+//! encoded into the shared solver via [`Circuit::encode_literal`] (gates
+//! already encoded by earlier candidates cost nothing), guarded by a fresh
+//! *activation literal* `act` through the clause `¬act ∨ root`, and solved
+//! under the assumption `act`. Because assumptions are decisions rather
+//! than clauses, every clause the solver learns is a resolvent of real
+//! (definitional or guard) clauses and therefore globally valid — learnt
+//! clauses over the shared skeleton transfer to every later check. A
+//! retired candidate is invalidated by asserting `¬act` as a unit clause,
+//! which permanently satisfies its guard clause; the positive activation
+//! literal never occurs in any clause, so retirement can never conflict.
+
+use crate::circuit::{BoolRef, Circuit};
+use crate::cnf::Lit;
+use crate::solver::{SolveResult, Solver};
+
+/// Counters of one [`IncrementalSession`], all monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Candidate checks performed.
+    pub checks: u64,
+    /// Activation variables allocated (one per check).
+    pub activation_vars: u64,
+    /// Clauses already present in the solver at the start of each check,
+    /// summed over checks — the work retained from earlier candidates.
+    pub clauses_reused: u64,
+    /// Clauses present after each check's encoding, summed over checks.
+    pub clauses_total: u64,
+    /// Learnt clauses carried into each check from earlier ones, summed
+    /// over checks.
+    pub learned_retained: u64,
+}
+
+impl SessionStats {
+    /// Fraction of per-check clauses that were retained from earlier
+    /// checks rather than re-encoded (0.0 before the first check).
+    pub fn clause_reuse_rate(&self) -> f64 {
+        if self.clauses_total == 0 {
+            0.0
+        } else {
+            self.clauses_reused as f64 / self.clauses_total as f64
+        }
+    }
+}
+
+/// A persistent solve-under-assumptions session over one growing
+/// [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use mualloy_sat::{Circuit, IncrementalSession};
+///
+/// let mut c = Circuit::new();
+/// let x = c.input();
+/// let y = c.input();
+/// let mut session = IncrementalSession::new();
+/// let both = c.and(x, y);
+/// assert!(session.check(&c, both).is_sat());
+/// let neither = c.and(!x, !y);
+/// assert!(session.check(&c, neither).is_sat());
+/// let contradiction = c.and(both, neither);
+/// assert!(!session.check(&c, contradiction).is_sat());
+/// assert_eq!(session.stats().checks, 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct IncrementalSession {
+    solver: Solver,
+    input_lits: Vec<Lit>,
+    node_lit: Vec<Option<Lit>>,
+    /// The activation literal of the current (most recent) candidate;
+    /// retired with a `¬act` unit clause when the next one arrives.
+    active: Option<Lit>,
+    stats: SessionStats,
+}
+
+impl IncrementalSession {
+    /// Creates an empty session.
+    pub fn new() -> IncrementalSession {
+        IncrementalSession::default()
+    }
+
+    /// Checks the satisfiability of `root` over `circuit`, reusing every
+    /// clause (encoded and learnt) from earlier checks.
+    ///
+    /// `circuit` must be the same circuit across all checks of one session
+    /// (it may have grown since the last call). The previously checked
+    /// root, if any, is invalidated first.
+    ///
+    /// On SAT, the returned model is indexed by solver variable; decode
+    /// inputs through [`IncrementalSession::input_lits`].
+    pub fn check(&mut self, circuit: &Circuit, root: BoolRef) -> SolveResult {
+        let span = specrepair_trace::span("sat.incremental_check", specrepair_trace::Phase::Sat);
+        if let Some(prev) = self.active.take() {
+            // Invalidate the retired variant: its guard clause is satisfied
+            // forever and its activation literal can never be assumed again.
+            self.solver.add_clause([!prev]);
+        }
+        let clauses_before = self.solver.num_clauses() as u64;
+        let learned_before = self.solver.num_learned_clauses();
+        let root_lit = circuit.encode_literal(
+            root,
+            &mut self.solver,
+            &mut self.input_lits,
+            &mut self.node_lit,
+        );
+        let act = self.solver.new_var().positive();
+        self.solver.add_clause([!act, root_lit]);
+        self.active = Some(act);
+        self.stats.checks += 1;
+        self.stats.activation_vars += 1;
+        self.stats.clauses_reused += clauses_before;
+        self.stats.clauses_total += self.solver.num_clauses() as u64;
+        self.stats.learned_retained += learned_before;
+        let result = self.solver.solve_with_assumptions(&[act]);
+        if span.is_active() {
+            span.attr_bool("sat", result.is_sat());
+            span.attr_u64("check", self.stats.checks);
+            span.attr_u64("clauses", self.solver.num_clauses() as u64);
+        }
+        result
+    }
+
+    /// The solver literal of each circuit input encoded so far
+    /// (`input_lits()[i]` is circuit input `i`). Models returned by
+    /// [`IncrementalSession::check`] are decoded through this map.
+    pub fn input_lits(&self) -> &[Lit] {
+        &self.input_lits
+    }
+
+    /// The session's counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The underlying persistent solver (read-only).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decodes a model into circuit-input values.
+    fn inputs_of(session: &IncrementalSession, model: &[bool]) -> Vec<bool> {
+        session
+            .input_lits()
+            .iter()
+            .map(|l| model[l.var().index()] == l.is_positive())
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_cold_solver_across_mutations() {
+        let mut c = Circuit::new();
+        let xs: Vec<BoolRef> = (0..4).map(|_| c.input()).collect();
+        let skeleton = c.exactly_one(&xs[..3]);
+        let mut session = IncrementalSession::new();
+        // A sequence of "candidates": the skeleton conjoined with varying
+        // mutated fragments, including an UNSAT one.
+        let variants: Vec<BoolRef> = vec![
+            xs[3],
+            !xs[3],
+            c.and(xs[0], xs[1]), // contradicts exactly-one: UNSAT
+            c.or(xs[0], xs[3]),
+            Circuit::TRUE,
+            Circuit::FALSE,
+        ];
+        for &v in &variants {
+            let root = c.and(skeleton, v);
+            let incremental = session.check(&c, root);
+            let mut cold = Solver::new();
+            let _ = c.encode(root, &mut cold);
+            assert_eq!(incremental.is_sat(), cold.solve().is_sat());
+            if let SolveResult::Sat(m) = &incremental {
+                let vals = inputs_of(&session, m);
+                assert!(c.eval(root, &vals), "witness must satisfy the root");
+            }
+        }
+        assert_eq!(session.stats().checks, variants.len() as u64);
+        assert!(session.stats().clause_reuse_rate() > 0.0);
+    }
+
+    #[test]
+    fn unsat_candidates_do_not_poison_later_checks() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let contradiction = c.and(x, !x);
+        let mut session = IncrementalSession::new();
+        assert!(!session.check(&c, contradiction).is_sat());
+        assert!(!session.check(&c, Circuit::FALSE).is_sat());
+        assert!(session.check(&c, x).is_sat());
+        assert!(session.check(&c, Circuit::TRUE).is_sat());
+    }
+
+    #[test]
+    fn learned_clauses_are_retained() {
+        // A pigeonhole-style core forces conflicts; the second check over
+        // the same skeleton starts with the first check's learnt clauses.
+        let mut c = Circuit::new();
+        let p: Vec<Vec<BoolRef>> = (0..4)
+            .map(|_| (0..3).map(|_| c.input()).collect())
+            .collect();
+        let mut parts: Vec<BoolRef> = p.iter().map(|row| c.or_many(row.clone())).collect();
+        for i in 0..p.len() {
+            for j in (i + 1)..p.len() {
+                let (pi, pj) = (p[i].clone(), p[j].clone());
+                for (&a, &b) in pi.iter().zip(&pj) {
+                    let both = c.and(a, b);
+                    parts.push(!both);
+                }
+            }
+        }
+        let skeleton = c.and_many(parts);
+        let extra = c.input();
+        let mut session = IncrementalSession::new();
+        let first = c.and(skeleton, extra);
+        assert!(!session.check(&c, first).is_sat());
+        let second = c.and(skeleton, !extra);
+        assert!(!session.check(&c, second).is_sat());
+        let stats = session.stats();
+        assert_eq!(stats.checks, 2);
+        assert_eq!(stats.activation_vars, 2);
+        assert!(
+            stats.learned_retained > 0,
+            "second check must inherit learnt clauses: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn stats_reuse_rate_bounds() {
+        let stats = SessionStats::default();
+        assert_eq!(stats.clause_reuse_rate(), 0.0);
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let mut session = IncrementalSession::new();
+        let a = c.and(x, y);
+        session.check(&c, a);
+        let b = c.or(x, y);
+        let b = c.and(a, b);
+        session.check(&c, b);
+        let rate = session.stats().clause_reuse_rate();
+        assert!((0.0..=1.0).contains(&rate), "rate {rate}");
+        assert!(rate > 0.0, "shared gates must be reused");
+    }
+}

@@ -31,12 +31,14 @@
 pub mod circuit;
 pub mod cnf;
 pub mod dimacs;
+pub mod incremental;
 pub mod solver;
 pub mod stats;
 
 pub use circuit::{BoolRef, Circuit};
 pub use cnf::{Cnf, Lit, Var};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
+pub use incremental::{IncrementalSession, SessionStats};
 pub use solver::{SolveResult, Solver};
 pub use stats::SolverStats;
 
@@ -99,14 +101,26 @@ mod proptests {
         }
 
         /// Solving under assumptions equals solving the formula with the
-        /// assumptions added as unit clauses.
+        /// assumptions added as unit clauses — including multi-assumption
+        /// prefixes, which exercise backjumps across unrelated assumption
+        /// levels.
         #[test]
-        fn assumptions_equal_units(cnf in arb_cnf(), polarity in any::<bool>()) {
-            let assumption = Lit::new(Var(0), polarity);
+        fn assumptions_equal_units(
+            cnf in arb_cnf(),
+            polarities in proptest::collection::vec(any::<bool>(), 1..=4),
+        ) {
+            let n = cnf.num_vars();
+            let assumptions: Vec<Lit> = polarities
+                .iter()
+                .enumerate()
+                .map(|(i, &pos)| Lit::new(Var(i as u32 % n), pos))
+                .collect();
             let mut with_assumption = Solver::from_cnf(&cnf);
-            let r1 = with_assumption.solve_with_assumptions(&[assumption]).is_sat();
+            let r1 = with_assumption.solve_with_assumptions(&assumptions).is_sat();
             let mut with_unit = Solver::from_cnf(&cnf);
-            with_unit.add_clause([assumption]);
+            for &a in &assumptions {
+                with_unit.add_clause([a]);
+            }
             let r2 = with_unit.solve().is_sat();
             prop_assert_eq!(r1, r2);
         }

@@ -72,7 +72,7 @@ struct Watcher {
 ///     SolveResult::Unsat => unreachable!(),
 /// }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<Watcher>>, // indexed by Lit::index()
@@ -98,13 +98,37 @@ pub struct Solver {
 
 const HEAP_ABSENT: usize = usize::MAX;
 
+impl Default for Solver {
+    /// Same as [`Solver::new`]: an empty solver ready to accept clauses.
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
         Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            activity: Vec::new(),
             var_inc: 1.0,
+            heap: Vec::new(),
+            heap_index: Vec::new(),
+            seen: Vec::new(),
+            qhead: 0,
             ok: true,
-            ..Solver::default()
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            restarts: 0,
+            learned_clauses: 0,
         }
     }
 
@@ -164,6 +188,13 @@ impl Solver {
     /// Number of clauses learned from conflict analysis so far.
     pub fn num_learned_clauses(&self) -> u64 {
         self.learned_clauses
+    }
+
+    /// Number of attached (non-unit) clauses, including learnt ones.
+    /// Incremental sessions use this to measure clause retention across
+    /// solves.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
     }
 
     /// A snapshot of all statistics counters (with `solves` left at 0 —
@@ -659,11 +690,29 @@ impl Solver {
 
     /// The minimum level the solver may backjump to without discarding
     /// assumption decisions that the learnt clause depends on.
-    fn assumption_safe_level(&self, _learnt: &[Lit], assumptions: &[Lit]) -> u32 {
-        // Conservative: never jump below the assumption prefix; this keeps
-        // assumption handling simple at a small cost in search.
+    ///
+    /// Only the assumption levels actually present among the learnt
+    /// clause's literals pin the backjump: a conflict whose learnt clause
+    /// touches no assumption may jump all the way to level 0 (the search
+    /// loop re-places missing assumptions before the next real decision),
+    /// while one whose deepest assumption literal sits at level `k` must
+    /// keep levels `1..=k` intact so the clause stays asserting. Capped
+    /// below the current decision level so the backjump always undoes at
+    /// least the conflicting level.
+    fn assumption_safe_level(&self, learnt: &[Lit], assumptions: &[Lit]) -> u32 {
+        if assumptions.is_empty() {
+            return 0;
+        }
+        let n = assumptions.len() as u32;
         let dl = self.decision_level();
-        (assumptions.len() as u32).min(dl.saturating_sub(1))
+        let mut safe = 0;
+        for l in learnt {
+            let lv = self.level[l.var().index()];
+            if lv <= n && lv > safe {
+                safe = lv;
+            }
+        }
+        safe.min(dl.saturating_sub(1))
     }
 }
 
@@ -822,6 +871,93 @@ mod tests {
         assert_eq!(stats.propagations, s.num_propagations());
         assert_eq!(stats.restarts, s.num_restarts());
         assert_eq!(stats.learned_clauses, s.num_learned_clauses());
+    }
+
+    #[test]
+    fn assumption_safe_level_inspects_the_learnt_clause() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..5).map(|_| s.new_var()).collect();
+        let assumptions: Vec<Lit> = vars[..3].iter().map(|v| v.positive()).collect();
+        // Mirror the search loop: three assumption pseudo-decisions at
+        // levels 1..=3, then one real decision at level 4.
+        for &a in &assumptions {
+            s.trail_lim.push(s.trail.len());
+            s.unchecked_enqueue(a, None);
+        }
+        s.trail_lim.push(s.trail.len());
+        s.unchecked_enqueue(vars[3].positive(), None);
+        assert_eq!(s.decision_level(), 4);
+        // A learnt clause touching only assumption level 2 pins the
+        // backjump there, not at the full prefix depth of 3.
+        let learnt = [vars[4].negative(), vars[1].negative()];
+        assert_eq!(s.assumption_safe_level(&learnt, &assumptions), 2);
+        // One touching no assumption at all releases the jump to level 0.
+        let learnt = [vars[4].negative()];
+        assert_eq!(s.assumption_safe_level(&learnt, &assumptions), 0);
+        // With no assumptions the prefix never constrains anything.
+        assert_eq!(s.assumption_safe_level(&learnt, &[]), 0);
+    }
+
+    #[test]
+    fn backjumps_below_unrelated_assumptions_stay_sound() {
+        // Pigeonhole 6-into-5 with six extra free variables assumed
+        // positive: every core conflict learns a clause over pigeon
+        // variables only, so the backjump may now cross the assumption
+        // prefix entirely. The verdict and the follow-up solves must match
+        // what adding the assumptions as unit clauses yields.
+        let build = |s: &mut Solver| -> (Vec<Lit>, Vec<Vec<Var>>) {
+            let free: Vec<Lit> = (0..6).map(|_| s.new_var().positive()).collect();
+            let p: Vec<Vec<Var>> = (0..6)
+                .map(|_| (0..5).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &p {
+                s.add_clause(row.iter().map(|v| v.positive()));
+            }
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    for (a, b) in row1.iter().zip(row2) {
+                        s.add_clause([a.negative(), b.negative()]);
+                    }
+                }
+            }
+            (free, p)
+        };
+        let mut s = Solver::new();
+        let (free, p) = build(&mut s);
+        assert_eq!(s.solve_with_assumptions(&free), SolveResult::Unsat);
+        // The solver survives the UNSAT answer: releasing pigeon 5 (allow
+        // it to share hole 0 with anyone) makes the core satisfiable, and
+        // the model must honor every assumption despite the deep backjumps
+        // the search performed.
+        for row in &p[..5] {
+            s.add_clause([row[0].negative(), p[5][0].positive()]);
+        }
+        let relax = s.new_var();
+        s.add_clause([relax.positive()]);
+        let mut assumptions = free.clone();
+        assumptions.push(relax.positive());
+        match s.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat(_) => panic!("pigeonhole stays UNSAT"),
+            SolveResult::Unsat => {}
+        }
+        // A satisfiable formula under many unrelated assumptions: chain of
+        // implications plus the free prefix.
+        let mut s2 = Solver::new();
+        let free2: Vec<Lit> = (0..8).map(|_| s2.new_var().positive()).collect();
+        let chain: Vec<Var> = (0..30).map(|_| s2.new_var()).collect();
+        for w in chain.windows(2) {
+            s2.add_clause([w[0].negative(), w[1].positive()]);
+        }
+        s2.add_clause([chain[0].positive()]);
+        match s2.solve_with_assumptions(&free2) {
+            SolveResult::Sat(m) => {
+                for a in &free2 {
+                    assert_eq!(m[a.var().index()], a.is_positive());
+                }
+                assert!(chain.iter().all(|v| m[v.index()]));
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
     }
 
     #[test]

@@ -86,6 +86,13 @@ pub struct LoadgenReport {
     pub dedup_hits: Option<u64>,
     /// Candidate-dedup rate (`hits / (hits + misses)`) from `/metrics`.
     pub dedup_rate: Option<f64>,
+    /// Incremental-session checks fetched from the same post-run
+    /// `/metrics` document (absent when the fetch failed or the daemon
+    /// predates the `incremental` section).
+    pub incremental_checks: Option<u64>,
+    /// Incremental clause reuse rate (`clauses_reused / clauses_total`)
+    /// from `/metrics`.
+    pub clause_reuse_rate: Option<f64>,
     /// Post-run `/metrics` fetches that failed (connect error, non-200, or
     /// a malformed body). Nonzero means `cache_hit_rate` is missing for a
     /// *reported* reason, not silently.
@@ -111,7 +118,8 @@ impl LoadgenReport {
              status: {} ok, {} shed (503), {} deadline (504), {} unexpected\n\
              latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
              oracle cache hit rate after run: {}\n\
-             candidate dedup after run: {}",
+             candidate dedup after run: {}\n\
+             incremental oracle after run: {}",
             self.total,
             self.elapsed,
             self.throughput(),
@@ -132,6 +140,11 @@ impl LoadgenReport {
             match (self.dedup_hits, self.dedup_rate) {
                 (Some(hits), Some(rate)) =>
                     format!("{hits} hits ({:.1}% dedup rate)", rate * 100.0),
+                _ => "unavailable".to_string(),
+            },
+            match (self.incremental_checks, self.clause_reuse_rate) {
+                (Some(checks), Some(rate)) =>
+                    format!("{checks} checks ({:.1}% clause reuse)", rate * 100.0),
                 _ => "unavailable".to_string(),
             }
         )
@@ -228,6 +241,8 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         cache_hit_rate: None,
         dedup_hits: None,
         dedup_rate: None,
+        incremental_checks: None,
+        clause_reuse_rate: None,
         metrics_fetch_failures: 0,
     };
     for (status, micros) in rx {
@@ -241,17 +256,22 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         }
     }
     report.elapsed = started.elapsed();
-    // One post-run `/metrics` fetch feeds both reconciliation readings:
-    // the oracle cache hit rate and the candidate-dedup counters.
+    // One post-run `/metrics` fetch feeds all three reconciliation
+    // readings: the oracle cache hit rate, the candidate-dedup counters
+    // and the incremental-session counters.
     match fetch_metrics(&config.addr).and_then(|body| {
         let rate = parse_hit_rate(&body)?;
-        Ok((rate, parse_dedup(&body).ok()))
+        Ok((rate, parse_dedup(&body).ok(), parse_incremental(&body).ok()))
     }) {
-        Ok((rate, dedup)) => {
+        Ok((rate, dedup, incremental)) => {
             report.cache_hit_rate = Some(rate);
             if let Some((hits, rate)) = dedup {
                 report.dedup_hits = Some(hits);
                 report.dedup_rate = Some(rate);
+            }
+            if let Some((checks, reuse)) = incremental {
+                report.incremental_checks = Some(checks);
+                report.clause_reuse_rate = Some(reuse);
             }
         }
         Err(why) => {
@@ -339,6 +359,14 @@ pub fn parse_dedup(body: &str) -> Result<(u64, f64), String> {
     Ok((hits as u64, rate))
 }
 
+/// Extracts `(incremental.incremental_checks, incremental.clause_reuse_rate)`
+/// from a `/metrics` response body.
+pub fn parse_incremental(body: &str) -> Result<(u64, f64), String> {
+    let checks = metrics_number(body, "incremental", "incremental_checks")?;
+    let rate = metrics_number(body, "incremental", "clause_reuse_rate")?;
+    Ok((checks as u64, rate))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +427,8 @@ mod tests {
             cache_hit_rate: Some(0.5),
             dedup_hits: Some(6),
             dedup_rate: Some(0.25),
+            incremental_checks: Some(9),
+            clause_reuse_rate: Some(0.8),
             metrics_fetch_failures: 0,
         };
         assert!(report.clean());
@@ -407,6 +437,7 @@ mod tests {
         assert!(text.contains("8 ok"));
         assert!(text.contains("50.0%"), "{text}");
         assert!(text.contains("6 hits (25.0% dedup rate)"), "{text}");
+        assert!(text.contains("9 checks (80.0% clause reuse)"), "{text}");
     }
 
     #[test]
@@ -422,6 +453,8 @@ mod tests {
             cache_hit_rate: None,
             dedup_hits: None,
             dedup_rate: None,
+            incremental_checks: None,
+            clause_reuse_rate: None,
             metrics_fetch_failures: 1,
         };
         let text = report.render();
@@ -431,6 +464,10 @@ mod tests {
         );
         assert!(
             text.contains("candidate dedup after run: unavailable"),
+            "{text}"
+        );
+        assert!(
+            text.contains("incremental oracle after run: unavailable"),
             "{text}"
         );
     }
@@ -453,6 +490,15 @@ mod tests {
         // A daemon without the section is a described error, not a panic.
         let err = parse_dedup(r#"{"oracle_cache":{"hit_rate":0.5}}"#).unwrap_err();
         assert!(err.contains("no `candidate_dedup` section"), "{err}");
+    }
+
+    #[test]
+    fn parse_incremental_reads_the_incremental_section() {
+        let body = r#"{"incremental":{"incremental_checks":11,"clause_reuse_rate":0.6}}"#;
+        assert_eq!(parse_incremental(body), Ok((11, 0.6)));
+        // A daemon without the section is a described error, not a panic.
+        let err = parse_incremental(r#"{"oracle_cache":{"hit_rate":0.5}}"#).unwrap_err();
+        assert!(err.contains("no `incremental` section"), "{err}");
     }
 
     #[test]

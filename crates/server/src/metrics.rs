@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mualloy_analyzer::OracleCacheStats;
+use mualloy_analyzer::{IncrementalStats, OracleCacheStats};
 use serde::Value;
 use specrepair_core::DedupStats;
 use specrepair_llm::TransportStats;
@@ -218,13 +218,15 @@ impl ServerMetrics {
     }
 
     /// Renders the whole registry (plus the shared oracle's cache stats,
-    /// the global candidate-dedup counters and the daemon-wide LM
-    /// resilience counters) as the `GET /metrics` JSON document.
+    /// the global candidate-dedup counters, the incremental-session
+    /// counters and the daemon-wide LM resilience counters) as the
+    /// `GET /metrics` JSON document.
     pub fn render(
         &self,
         oracle: &OracleCacheStats,
         memoized_specs: usize,
         dedup: &DedupStats,
+        incremental: &IncrementalStats,
         transport: &TransportStats,
     ) -> String {
         // requests: endpoint -> {status -> count}
@@ -270,6 +272,32 @@ impl ServerMetrics {
             ("dedup_coalesced".to_string(), Value::U64(dedup.coalesced)),
             ("dedup_rate".to_string(), Value::F64(dedup.dedup_rate())),
         ]);
+        let incremental_value = Value::Map(vec![
+            (
+                "incremental_sessions".to_string(),
+                Value::U64(incremental.sessions),
+            ),
+            (
+                "incremental_checks".to_string(),
+                Value::U64(incremental.checks),
+            ),
+            (
+                "incremental_fallbacks".to_string(),
+                Value::U64(incremental.fallbacks),
+            ),
+            (
+                "activation_vars".to_string(),
+                Value::U64(incremental.activation_vars),
+            ),
+            (
+                "clause_reuse_rate".to_string(),
+                Value::F64(incremental.clause_reuse_rate()),
+            ),
+            (
+                "learned_clauses_retained".to_string(),
+                Value::U64(incremental.learned_clauses_retained),
+            ),
+        ]);
         let mut transport_value: Vec<(String, Value)> = transport
             .snapshot()
             .into_iter()
@@ -298,6 +326,7 @@ impl ServerMetrics {
             ("latency_ms".to_string(), latency),
             ("oracle_cache".to_string(), oracle_value),
             ("candidate_dedup".to_string(), dedup_value),
+            ("incremental".to_string(), incremental_value),
             ("transport".to_string(), Value::Map(transport_value)),
         ]);
         serde_json::to_string_pretty(&doc).expect("metrics document always serializes")
@@ -514,7 +543,22 @@ mod tests {
             misses: 12,
             coalesced: 1,
         };
-        let doc = m.render(&OracleCacheStats::default(), 0, &dedup, &transport);
+        let incremental = IncrementalStats {
+            sessions: 2,
+            checks: 8,
+            fallbacks: 1,
+            activation_vars: 8,
+            clauses_reused: 30,
+            clauses_total: 40,
+            learned_clauses_retained: 5,
+        };
+        let doc = m.render(
+            &OracleCacheStats::default(),
+            0,
+            &dedup,
+            &incremental,
+            &transport,
+        );
         for needle in [
             "\"repair\"",
             "\"200\": 2",
@@ -531,6 +575,11 @@ mod tests {
             "\"candidate_dedup\"",
             "\"dedup_hits\": 4",
             "\"dedup_rate\": 0.25",
+            "\"incremental\"",
+            "\"incremental_sessions\": 2",
+            "\"incremental_checks\": 8",
+            "\"clause_reuse_rate\": 0.75",
+            "\"learned_clauses_retained\": 5",
         ] {
             assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
         }

@@ -344,6 +344,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                 &oracle.stats(),
                 oracle.service().memoized_specs(),
                 &oracle.dedup_stats(),
+                &oracle.incremental_stats(),
                 state.service.transport_stats(),
             );
             ("metrics", Response::json(200, body))

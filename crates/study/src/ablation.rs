@@ -8,6 +8,7 @@
 //!    traditional localizer's top spans become the LLM's round-1 location
 //!    hints.
 
+use mualloy_analyzer::IncrementalStats;
 use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
 use specrepair_core::{
@@ -38,6 +39,9 @@ pub struct Ablation {
     pub arms: Vec<AblationArm>,
     /// Problems evaluated.
     pub total_specs: usize,
+    /// Incremental-oracle counters summed over the per-problem oracles, so
+    /// the study binary can fold the ablation's checks into the run totals.
+    pub incremental: IncrementalStats,
 }
 
 /// Runs the ablation on the given problems.
@@ -60,10 +64,15 @@ pub fn run(problems: &[RepairProblem], config: &StudyConfig) -> Ablation {
             mean_explored: 0.0,
         },
     ];
+    let mut incremental = IncrementalStats::default();
     for p in problems {
+        let mut oracle = OracleHandle::fresh();
+        if !config.incremental {
+            oracle = oracle.without_incremental();
+        }
         let ctx = RepairContext::new(p.faulty.clone(), mr_budget)
             .with_source(&p.faulty_source)
-            .with_oracle(OracleHandle::fresh())
+            .with_oracle(oracle.clone())
             .with_cancel(CancelToken::none());
         let plain = MultiRound::new(FeedbackSetting::None, config.seed);
         let union = UnionHybrid::new(
@@ -82,6 +91,7 @@ pub fn run(problems: &[RepairProblem], config: &StudyConfig) -> Ablation {
             arms[i].repaired += rep(&p.truth, outcome.candidate_source.as_deref()) as usize;
             arms[i].mean_explored += outcome.candidates_explored as f64;
         }
+        incremental.absorb(&oracle.incremental_stats());
     }
     let n = problems.len().max(1) as f64;
     for a in &mut arms {
@@ -90,6 +100,7 @@ pub fn run(problems: &[RepairProblem], config: &StudyConfig) -> Ablation {
     Ablation {
         arms,
         total_specs: problems.len(),
+        incremental,
     }
 }
 

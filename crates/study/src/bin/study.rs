@@ -3,7 +3,7 @@
 //! ```text
 //! study <all|table1|fig2|fig3|table2|ablation|portfolio> [--scale X]
 //!       [--seed N] [--out DIR] [--journal FILE] [--resume]
-//!       [--fault-rate R] [--fault-seed N] [--no-dedup]
+//!       [--fault-rate R] [--fault-seed N] [--no-dedup] [--no-incremental]
 //!       [--roster NAME] [--workers N] [--trace DIR]
 //! ```
 //!
@@ -90,6 +90,7 @@ fn main() {
             }
             "--resume" => resume = true,
             "--no-dedup" => config.dedup = false,
+            "--no-incremental" => config.incremental = false,
             "--portfolio" => command = "portfolio".to_string(),
             "--roster" => {
                 i += 1;
@@ -230,6 +231,9 @@ fn main() {
     if !config.dedup {
         eprintln!("candidate dedup OFF (--no-dedup)");
     }
+    if !config.incremental {
+        eprintln!("incremental oracle OFF (--no-incremental)");
+    }
     let t0 = Instant::now();
     let (results, run_stats) =
         runner::run_study_journaled(&problems, &config, true, journal.as_ref(), &done);
@@ -259,6 +263,16 @@ fn main() {
         dedup_stats.misses,
         dedup_stats.dedup_rate() * 100.0,
         dedup_stats.coalesced
+    );
+    let mut incr_stats = run_stats.incremental;
+    eprintln!(
+        "incremental oracle: {} sessions, {} checks ({} fallbacks), {:.1}% clause reuse, \
+         {} learned clauses retained",
+        incr_stats.sessions,
+        incr_stats.checks,
+        incr_stats.fallbacks,
+        incr_stats.clause_reuse_rate() * 100.0,
+        incr_stats.learned_clauses_retained
     );
 
     let emit = |name: &str, text: &str, json: String| {
@@ -313,6 +327,10 @@ fn main() {
             .cloned()
             .collect();
         let a = ablation::run(&sample, &config);
+        // Fold the ablation oracles' incremental counters into the run
+        // totals so `incremental_stats.json` reconciles exactly with the
+        // `sat.incremental_check` spans in the trace.
+        incr_stats.absorb(&a.incremental);
         emit(
             "ablation",
             &ablation::render(&a),
@@ -331,6 +349,10 @@ fn main() {
         write_artifact(
             &dir.join("dedup_stats.json"),
             &serde_json::to_string_pretty(&dedup_stats).unwrap(),
+        );
+        write_artifact(
+            &dir.join("incremental_stats.json"),
+            &serde_json::to_string_pretty(&incr_stats).unwrap(),
         );
         eprintln!("artifacts written to {dir:?}");
     }

@@ -173,6 +173,11 @@ pub struct StudyConfig {
     /// oracle cache, dedup is a pure performance layer: it must not change
     /// any study result.
     pub dedup: bool,
+    /// Whether the incremental oracle engine is active (`--no-incremental`
+    /// turns it off — the control arm of the incremental byte-identity
+    /// gate). Like the cache and dedup, incremental solving is a pure
+    /// performance layer: it must not change any study result.
+    pub incremental: bool,
 }
 
 impl Default for StudyConfig {
@@ -183,6 +188,7 @@ impl Default for StudyConfig {
             fault_rate: 0.0,
             fault_seed: 0xFA_017,
             dedup: true,
+            incremental: true,
         }
     }
 }
@@ -217,6 +223,7 @@ impl StudyConfig {
             && self.fault_rate == other.fault_rate
             && self.fault_seed == other.fault_seed
             && self.dedup == other.dedup
+            && self.incremental == other.incremental
     }
 
     /// The fault schedule for one (problem, technique) cell.

@@ -1,7 +1,7 @@
 //! The study runner: every technique over every benchmark problem, with
 //! per-candidate metrics. All tables and figures derive from one run.
 
-use mualloy_analyzer::{Oracle, OracleCacheStats};
+use mualloy_analyzer::{IncrementalStats, Oracle, OracleCacheStats};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -187,6 +187,8 @@ pub struct RunStats {
     pub cache: OracleCacheStats,
     /// Candidate-dedup registry counters, aggregated likewise.
     pub dedup: DedupStats,
+    /// Incremental-oracle session counters, aggregated likewise.
+    pub incremental: IncrementalStats,
 }
 
 /// Builds the hints the Single-Round prompts may use for one problem: the
@@ -431,6 +433,9 @@ pub fn run_study_journaled(
             if !config.dedup {
                 oracle = oracle.without_dedup();
             }
+            if !config.incremental {
+                oracle = oracle.without_incremental();
+            }
             let records: Vec<SpecRecord> = techniques
                 .iter()
                 .map(|&id| {
@@ -449,6 +454,7 @@ pub fn run_study_journaled(
             let mut s = stats.lock();
             s.cache.absorb(&oracle.stats());
             s.dedup.absorb(&oracle.dedup_stats());
+            s.incremental.absorb(&oracle.incremental_stats());
             drop(s);
             records
         })

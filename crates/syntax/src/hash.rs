@@ -297,29 +297,7 @@ pub fn expr_hash(e: &Expr) -> u128 {
 /// frame.
 fn frame_hash(spec: &Spec) -> u128 {
     let mut h = Fnv::new();
-    h.opt_str(&spec.module);
-    h.u32v(spec.sigs.len() as u32);
-    for sig in &spec.sigs {
-        h.strv(&sig.name);
-        h.byte(sig.is_abstract as u8);
-        match sig.mult {
-            None => h.byte(0),
-            Some(m) => {
-                h.byte(0x10);
-                h.byte(sig_mult_byte(m));
-            }
-        }
-        h.opt_str(&sig.parent);
-        h.u32v(sig.fields.len() as u32);
-        for f in &sig.fields {
-            h.strv(&f.name);
-            h.u32v(f.cols.len() as u32);
-            for c in &f.cols {
-                h.strv(c);
-            }
-            h.byte(mult_byte(f.mult));
-        }
-    }
+    skeleton_into(&mut h, spec);
     h.u32v(spec.facts.len() as u32);
     for fact in &spec.facts {
         h.strv(&fact.name);
@@ -383,6 +361,47 @@ fn spec_roots(spec: &Spec) -> impl Iterator<Item = Child<'_>> {
                 .iter()
                 .flat_map(|a| a.body.iter().map(Child::F)),
         )
+}
+
+/// Hashes the signature skeleton (module name plus signature declarations
+/// with their fields) into `h` — shared between [`frame_hash`] and
+/// [`skeleton_fingerprint`] so the full fingerprint's byte layout is
+/// unchanged by the split.
+fn skeleton_into(h: &mut Fnv, spec: &Spec) {
+    h.opt_str(&spec.module);
+    h.u32v(spec.sigs.len() as u32);
+    for sig in &spec.sigs {
+        h.strv(&sig.name);
+        h.byte(sig.is_abstract as u8);
+        match sig.mult {
+            None => h.byte(0),
+            Some(m) => {
+                h.byte(0x10);
+                h.byte(sig_mult_byte(m));
+            }
+        }
+        h.opt_str(&sig.parent);
+        h.u32v(sig.fields.len() as u32);
+        for f in &sig.fields {
+            h.strv(&f.name);
+            h.u32v(f.cols.len() as u32);
+            for c in &f.cols {
+                h.strv(c);
+            }
+            h.byte(mult_byte(f.mult));
+        }
+    }
+}
+
+/// Fingerprint of the signature skeleton alone — the part of a spec that
+/// determines its universe, relation matrices and declaration constraints at
+/// a given scope. Repair candidates differ only in fact/pred/fun/assert
+/// bodies (and commands), so a whole search shares one skeleton fingerprint;
+/// incremental oracle sessions key their persistent translations by it.
+pub fn skeleton_fingerprint(spec: &Spec) -> Fingerprint {
+    let mut h = Fnv::new();
+    skeleton_into(&mut h, spec);
+    Fingerprint(h.finish())
 }
 
 /// Full canonical fingerprint of a spec (frame + all body subtree hashes).

@@ -50,7 +50,7 @@ pub use ast::{
 };
 pub use check::{check_spec, ensure_well_formed};
 pub use error::{CheckError, SyntaxError};
-pub use hash::{spec_fingerprint, Fingerprint, SpecHasher};
+pub use hash::{formula_hash, skeleton_fingerprint, spec_fingerprint, Fingerprint, SpecHasher};
 pub use parser::{parse_expr, parse_formula, parse_spec};
 pub use printer::{print_expr, print_field, print_formula, print_spec};
 pub use visit::{NodeIdGenerator, Visitor, VisitorMut};

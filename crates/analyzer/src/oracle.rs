@@ -21,9 +21,26 @@
 //! A disabled oracle ([`Oracle::disabled`]) answers every query by solving
 //! afresh; the study's correctness gate asserts that cache-enabled and
 //! cache-disabled runs produce byte-identical results.
+//!
+//! Two further layers sit on the memo table:
+//!
+//! - **Singleflight.** Concurrent identical queries (daemon worker threads,
+//!   portfolio entrants racing the same candidate) collapse onto one
+//!   in-flight solve: the first caller becomes the leader, everyone else
+//!   blocks until the leader memoizes, then re-probes the table and hits.
+//!   Duplicate-while-in-flight callers are counted in
+//!   [`OracleCacheStats::collapsed`].
+//! - **Persistent tier.** An attached [`VerdictStore`]
+//!   ([`Oracle::attach_persist`]) is probed on an in-memory verdict miss
+//!   and fed every freshly computed verdict, so a restarted process boots
+//!   warm. Persist hits count as cache hits (plus
+//!   [`OracleCacheStats::persist_hits`]) and are memoized back into the
+//!   table with zeroed solver counters — the solve happened in a previous
+//!   process life.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use mualloy_relational::Instance;
 use mualloy_sat::{stats as sat_stats, SolverStats};
@@ -36,6 +53,7 @@ use specrepair_trace::{Phase, SpanGuard};
 use crate::analyzer::{Analyzer, CommandOutcome};
 use crate::error::AnalyzerError;
 use crate::incremental::{IncrementalEngine, IncrementalStats};
+use crate::persist::VerdictStore;
 
 /// Number of independently-locked shards; a power of two so the fingerprint
 /// maps to a shard with a mask.
@@ -115,6 +133,12 @@ pub struct OracleCacheStats {
     /// Memoized spec entries dropped to honor the per-shard capacity
     /// (always 0 for the default unbounded table).
     pub evictions: u64,
+    /// Verdict queries answered by the persistent disk tier (a subset of
+    /// `hits`: the solve happened in a previous process life).
+    pub persist_hits: u64,
+    /// Queries that arrived while an identical solve was already in flight
+    /// and blocked on its leader instead of re-solving (singleflight).
+    pub collapsed: u64,
 }
 
 impl OracleCacheStats {
@@ -135,6 +159,43 @@ impl OracleCacheStats {
         self.solver_invocations += other.solver_invocations;
         self.errors += other.errors;
         self.evictions += other.evictions;
+        self.persist_hits += other.persist_hits;
+        self.collapsed += other.collapsed;
+    }
+}
+
+/// A query kind discriminant for singleflight keys: `execute_all` and the
+/// boolean verdict are distinct solves and must not block one another.
+const FLIGHT_EXECUTE_ALL: u8 = 0;
+const FLIGHT_VERDICT: u8 = 1;
+
+/// The in-flight solve registry behind singleflight collapsing. `std::sync`
+/// because waiting needs a [`Condvar`] (the vendored `parking_lot` has
+/// none); poisoning is absorbed — a leader that panicked mid-solve just
+/// releases its slot.
+#[derive(Default)]
+struct Inflight {
+    set: StdMutex<HashSet<(u128, u8)>>,
+    cond: Condvar,
+}
+
+/// RAII leadership of one in-flight solve: dropping (normally or by panic
+/// unwind) releases the slot and wakes every waiter.
+struct FlightGuard<'a> {
+    oracle: &'a Oracle,
+    key: (u128, u8),
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut set = self
+            .oracle
+            .inflight
+            .set
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        set.remove(&self.key);
+        self.oracle.inflight.cond.notify_all();
     }
 }
 
@@ -151,11 +212,17 @@ pub struct Oracle {
     /// engine (default on; `--no-incremental` flips it off at run start).
     incremental: AtomicBool,
     engine: IncrementalEngine,
+    /// The attached persistent verdict tier, if any (`attach_persist`).
+    persist: parking_lot::RwLock<Option<Arc<dyn VerdictStore>>>,
+    /// In-flight solve registry for singleflight collapsing.
+    inflight: Inflight,
     hits: AtomicU64,
     misses: AtomicU64,
     solver_invocations: AtomicU64,
     errors: AtomicU64,
     evictions: AtomicU64,
+    persist_hits: AtomicU64,
+    collapsed: AtomicU64,
 }
 
 impl Default for Oracle {
@@ -205,11 +272,15 @@ impl Oracle {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             incremental: AtomicBool::new(true),
             engine: IncrementalEngine::new(),
+            persist: parking_lot::RwLock::new(None),
+            inflight: Inflight::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             solver_invocations: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            persist_hits: AtomicU64::new(0),
+            collapsed: AtomicU64::new(0),
         }
     }
 
@@ -249,7 +320,23 @@ impl Oracle {
             solver_invocations: self.solver_invocations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            persist_hits: self.persist_hits.load(Ordering::Relaxed),
+            collapsed: self.collapsed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Attaches a persistent verdict tier: probed after an in-memory
+    /// verdict miss, fed every freshly computed verdict. Ignored on a
+    /// disabled oracle (the cache-off control arm stays pure pass-through).
+    pub fn attach_persist(&self, store: Arc<dyn VerdictStore>) {
+        if self.enabled {
+            *self.persist.write() = Some(store);
+        }
+    }
+
+    /// Whether a persistent tier is attached.
+    pub fn persist_attached(&self) -> bool {
+        self.persist.read().is_some()
     }
 
     /// Number of spec entries currently memoized across all shards.
@@ -304,6 +391,63 @@ impl Oracle {
         cached
     }
 
+    /// Joins the in-flight solve for `(key, kind)`. Returns `Some(guard)`
+    /// when this caller is the leader (it must solve and memoize; dropping
+    /// the guard wakes the waiters). Returns `None` after having waited for
+    /// another leader to finish — the caller re-probes the memo table,
+    /// which now holds the leader's answer (or, if the leader's entry was
+    /// already evicted, the caller loops and becomes the next leader).
+    fn flight_join(&self, key: Fingerprint, kind: u8) -> Option<FlightGuard<'_>> {
+        let k = (key.0, kind);
+        let mut set = self.inflight.set.lock().unwrap_or_else(|e| e.into_inner());
+        if set.insert(k) {
+            return Some(FlightGuard {
+                oracle: self,
+                key: k,
+            });
+        }
+        self.collapsed.fetch_add(1, Ordering::Relaxed);
+        while set.contains(&k) {
+            set = self
+                .inflight
+                .cond
+                .wait(set)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        None
+    }
+
+    /// Probes the persistent tier for a verdict. On a hit the verdict is
+    /// memoized back into the in-memory table (with zeroed solver counters:
+    /// the solve happened in a previous process life) and counted as a
+    /// cache hit plus a persist hit.
+    fn persist_probe(&self, key: Fingerprint, span: &SpanGuard) -> Option<bool> {
+        let store = self.persist.read().clone()?;
+        let verdict = store.lookup(key)?;
+        self.memoize(self.shard_of(key), key, |e| {
+            if e.verdict.is_none() {
+                e.verdict = Some(Memo {
+                    value: verdict,
+                    solver: SolverStats::default(),
+                });
+            }
+        });
+        self.persist_hits.fetch_add(1, Ordering::Relaxed);
+        tag_query(span, true, &SolverStats::default());
+        if span.is_active() {
+            span.attr_bool("persist", true);
+        }
+        Some(self.hit(verdict))
+    }
+
+    /// Feeds a freshly computed verdict to the persistent tier (no-op when
+    /// none is attached; the store absorbs its own I/O trouble).
+    fn persist_record(&self, key: Fingerprint, verdict: bool) {
+        if let Some(store) = self.persist.read().clone() {
+            store.record(key, verdict);
+        }
+    }
+
     /// Memoized [`Analyzer::execute_all`]: every command's outcome, in
     /// specification order.
     ///
@@ -343,15 +487,24 @@ impl Oracle {
         }
         let key = key.unwrap_or_else(|| Oracle::fingerprint(spec));
         let shard = self.shard_of(key);
-        if let Some(cached) = shard
-            .lock()
-            .entries
-            .get(&key)
-            .and_then(|e| e.execute_all.clone())
-        {
-            tag_query(&span, true, &cached.solver);
-            return self.hit(cached.value);
-        }
+        // Singleflight: probe, and on a miss either become the leader or
+        // wait for the current one and re-probe (the leader memoizes both
+        // answers and errors, so waiters hit on the second pass).
+        let _flight = loop {
+            if let Some(cached) = shard
+                .lock()
+                .entries
+                .get(&key)
+                .and_then(|e| e.execute_all.clone())
+            {
+                tag_query(&span, true, &cached.solver);
+                return self.hit(cached.value);
+            }
+            match self.flight_join(key, FLIGHT_EXECUTE_ALL) {
+                Some(guard) => break guard,
+                None => continue,
+            }
+        };
         let (computed, solver) = sat_stats::collect(|| Analyzer::new(spec.clone()).execute_all());
         tag_query(&span, false, &solver);
         let computed = self.record(computed);
@@ -403,6 +556,27 @@ impl Oracle {
             outcomes.iter().all(CommandOutcome::matches_expectation)
         }
         if !self.incremental_enabled() {
+            if self.enabled {
+                let key = key.unwrap_or_else(|| Oracle::fingerprint(spec));
+                // A memoized full answer trumps the persisted verdict line
+                // (it may be a cached error); only probe disk without one.
+                let has_full = self
+                    .shard_of(key)
+                    .lock()
+                    .entries
+                    .get(&key)
+                    .is_some_and(|e| e.execute_all.is_some());
+                if !has_full {
+                    let span =
+                        specrepair_trace::span("oracle.satisfies_persist", Phase::OracleCache);
+                    if let Some(verdict) = self.persist_probe(key, &span) {
+                        return Ok(verdict);
+                    }
+                }
+                let verdict = all_match(&self.execute_all_with(spec, Some(key))?);
+                self.persist_record(key, verdict);
+                return Ok(verdict);
+            }
             return Ok(all_match(&self.execute_all_with(spec, key)?));
         }
         let span = specrepair_trace::span("oracle.satisfies_incremental", Phase::OracleCache);
@@ -411,30 +585,47 @@ impl Oracle {
         } else {
             None
         };
-        if let Some(key) = key {
-            // Probe `execute_all` first: a full answer (including a cached
-            // error) always trumps the verdict-only line.
-            let cached = self.shard_of(key).lock().entries.get(&key).and_then(|e| {
-                if let Some(m) = &e.execute_all {
-                    let verdict = match &m.value {
-                        Ok(outcomes) => Ok(all_match(outcomes)),
-                        Err(err) => Err(err.clone()),
-                    };
-                    Some((verdict, m.solver))
-                } else {
-                    e.verdict.as_ref().map(|m| (Ok(m.value), m.solver))
+        // Probe → persist tier → singleflight: a waiter woken by its leader
+        // loops back to the probe and hits the freshly memoized answer.
+        let _flight = if let Some(key) = key {
+            loop {
+                // Probe `execute_all` first: a full answer (including a
+                // cached error) always trumps the verdict-only line.
+                let cached = self.shard_of(key).lock().entries.get(&key).and_then(|e| {
+                    if let Some(m) = &e.execute_all {
+                        let verdict = match &m.value {
+                            Ok(outcomes) => Ok(all_match(outcomes)),
+                            Err(err) => Err(err.clone()),
+                        };
+                        Some((verdict, m.solver))
+                    } else {
+                        e.verdict.as_ref().map(|m| (Ok(m.value), m.solver))
+                    }
+                });
+                if let Some((value, solver)) = cached {
+                    tag_query(&span, true, &solver);
+                    return self.hit(value);
                 }
-            });
-            if let Some((value, solver)) = cached {
-                tag_query(&span, true, &solver);
-                return self.hit(value);
+                if let Some(verdict) = self.persist_probe(key, &span) {
+                    return Ok(verdict);
+                }
+                match self.flight_join(key, FLIGHT_VERDICT) {
+                    Some(guard) => break Some(guard),
+                    None => continue,
+                }
             }
-        }
+        } else {
+            None
+        };
         let (computed, solver) = sat_stats::collect(|| self.engine.satisfies_oracle(spec));
         let Some(verdict) = computed else {
             // The engine declined; the cold path owns the answer (and the
             // caching, counters and spans that come with it).
-            return Ok(all_match(&self.execute_all_with(spec, key)?));
+            let verdict = all_match(&self.execute_all_with(spec, key)?);
+            if let Some(key) = key {
+                self.persist_record(key, verdict);
+            }
+            return Ok(verdict);
         };
         tag_query(&span, false, &solver);
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -446,6 +637,7 @@ impl Oracle {
                     solver,
                 });
             });
+            self.persist_record(key, verdict);
         }
         Ok(verdict)
     }
@@ -812,6 +1004,8 @@ mod tests {
             solver_invocations: 1,
             errors: 0,
             evictions: 0,
+            persist_hits: 2,
+            collapsed: 0,
         });
         total.absorb(&OracleCacheStats {
             hits: 1,
@@ -819,12 +1013,127 @@ mod tests {
             solver_invocations: 3,
             errors: 1,
             evictions: 2,
+            persist_hits: 0,
+            collapsed: 5,
         });
         assert_eq!(total.hits, 4);
         assert_eq!(total.misses, 4);
         assert_eq!(total.hit_rate(), 0.5);
         assert_eq!(total.errors, 1);
         assert_eq!(total.evictions, 2);
+        assert_eq!(total.persist_hits, 2);
+        assert_eq!(total.collapsed, 5);
+    }
+
+    /// A toy in-memory [`VerdictStore`] for unit tests.
+    #[derive(Default)]
+    struct MapStore {
+        map: Mutex<HashMap<Fingerprint, bool>>,
+        lookups: AtomicU64,
+        records: AtomicU64,
+    }
+
+    impl VerdictStore for MapStore {
+        fn lookup(&self, key: Fingerprint) -> Option<bool> {
+            self.lookups.fetch_add(1, Ordering::Relaxed);
+            self.map.lock().get(&key).copied()
+        }
+
+        fn record(&self, key: Fingerprint, verdict: bool) {
+            self.records.fetch_add(1, Ordering::Relaxed);
+            self.map.lock().insert(key, verdict);
+        }
+    }
+
+    #[test]
+    fn persist_tier_serves_a_warm_boot() {
+        let store = Arc::new(MapStore::default());
+        // First process life: solve, which feeds the store.
+        let first = Oracle::new();
+        first.attach_persist(store.clone());
+        let spec = parse_spec(GOOD).unwrap();
+        assert!(first.satisfies_oracle(&spec).unwrap());
+        assert_eq!(store.records.load(Ordering::Relaxed), 1);
+        assert_eq!(first.stats().persist_hits, 0, "a fresh solve is no hit");
+        // Second process life: empty memo, warm store.
+        let second = Oracle::new();
+        second.attach_persist(store.clone());
+        assert!(second.satisfies_oracle(&spec).unwrap());
+        let stats = second.stats();
+        assert_eq!(stats.persist_hits, 1);
+        assert_eq!(stats.hits, 1, "persist hits count as cache hits");
+        assert_eq!(stats.solver_invocations, 0, "no solve on a warm boot");
+        // The warm verdict was memoized: the next query never touches disk.
+        let lookups = store.lookups.load(Ordering::Relaxed);
+        assert!(second.satisfies_oracle(&spec).unwrap());
+        assert_eq!(store.lookups.load(Ordering::Relaxed), lookups);
+        assert_eq!(second.stats().hits, 2);
+    }
+
+    #[test]
+    fn persist_tier_ignored_on_disabled_oracle() {
+        let store = Arc::new(MapStore::default());
+        store.record(Oracle::fingerprint(&parse_spec(GOOD).unwrap()), true);
+        let oracle = Oracle::disabled();
+        oracle.attach_persist(store.clone());
+        assert!(!oracle.persist_attached());
+        let spec = parse_spec(GOOD).unwrap();
+        assert!(oracle.satisfies_oracle(&spec).unwrap());
+        assert_eq!(oracle.stats().persist_hits, 0);
+        assert_eq!(oracle.stats().solver_invocations, 1, "solved afresh");
+    }
+
+    #[test]
+    fn persist_tier_serves_the_cold_path_too() {
+        let store = Arc::new(MapStore::default());
+        let first = Oracle::new();
+        first.disable_incremental();
+        first.attach_persist(store.clone());
+        let spec = parse_spec(GOOD).unwrap();
+        assert!(first.satisfies_oracle(&spec).unwrap());
+        assert_eq!(store.records.load(Ordering::Relaxed), 1);
+        let second = Oracle::new();
+        second.disable_incremental();
+        second.attach_persist(store);
+        assert!(second.satisfies_oracle(&spec).unwrap());
+        let stats = second.stats();
+        assert_eq!(stats.persist_hits, 1);
+        assert_eq!(stats.solver_invocations, 0);
+    }
+
+    #[test]
+    fn singleflight_collapses_concurrent_identical_solves() {
+        use std::sync::Barrier;
+        const THREADS: usize = 8;
+        let oracle = Arc::new(Oracle::new());
+        let spec = Arc::new(parse_spec(GOOD).unwrap());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let verdicts: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let oracle = oracle.clone();
+                    let spec = spec.clone();
+                    let barrier = barrier.clone();
+                    s.spawn(move || {
+                        barrier.wait();
+                        oracle.satisfies_oracle(&spec).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(verdicts.iter().all(|&v| v), "identical verdicts");
+        let stats = oracle.stats();
+        assert_eq!(
+            stats.solver_invocations, 1,
+            "exactly one solve for {THREADS} concurrent identical queries"
+        );
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits as usize, THREADS - 1, "everyone else hit");
+        assert!(
+            (stats.collapsed as usize) < THREADS,
+            "collapsed bounded by the waiter count"
+        );
     }
 
     #[test]

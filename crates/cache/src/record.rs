@@ -1,0 +1,133 @@
+//! The fixed-frame verdict record codec.
+//!
+//! One record per line, exactly [`RECORD_LEN`] ASCII characters:
+//!
+//! ```text
+//! SRV1 <32-hex fingerprint> <0|1> <8-hex crc32>
+//! ^^^^                                          magic + version
+//!      ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^         128-bit spec fingerprint
+//!                                      ^        oracle verdict
+//!                                        ^^^^^^^^ CRC32 (IEEE) of the
+//!                                                 preceding 39 characters
+//! ```
+//!
+//! A fixed frame means every corruption is detectable by construction:
+//! wrong length, bad magic, a non-hex digit, or a checksum mismatch all
+//! reject the line. The CRC covers magic, key and verdict, so a bit flip
+//! anywhere in the record (including inside the CRC itself) quarantines it.
+
+use mualloy_syntax::Fingerprint;
+
+/// Magic + version prefix of every record.
+pub const MAGIC: &str = "SRV1";
+
+/// Exact character count of a well-formed record line (without newline).
+pub const RECORD_LEN: usize = 48;
+
+/// Length of the checksummed prefix (`SRV1 <32hex> <0|1>`).
+const BODY_LEN: usize = 39;
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — implemented
+/// here because the offline workspace vendors no checksum crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes one verdict as a record line (no trailing newline).
+pub fn encode(key: Fingerprint, verdict: bool) -> String {
+    let body = format!("{MAGIC} {:032x} {}", key.0, u8::from(verdict));
+    debug_assert_eq!(body.len(), BODY_LEN);
+    let line = format!("{body} {:08x}", crc32(body.as_bytes()));
+    debug_assert_eq!(line.len(), RECORD_LEN);
+    line
+}
+
+/// Decodes one line; `None` on any framing or checksum violation.
+pub fn decode(line: &str) -> Option<(Fingerprint, bool)> {
+    if line.len() != RECORD_LEN || !line.is_ascii() {
+        return None;
+    }
+    let (body, crc_part) = (line.get(..BODY_LEN)?, line.get(BODY_LEN..)?);
+    let crc_hex = crc_part.strip_prefix(' ')?;
+    let stored = u32::from_str_radix(crc_hex, 16).ok()?;
+    if stored != crc32(body.as_bytes()) {
+        return None;
+    }
+    let rest = body.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+    let (key_hex, verdict_part) = (rest.get(..32)?, rest.get(32..)?);
+    let key = u128::from_str_radix(key_hex, 16).ok()?;
+    let verdict = match verdict_part {
+        " 0" => false,
+        " 1" => true,
+        _ => return None,
+    };
+    // Canonical-form check: re-encoding must reproduce the line exactly
+    // (rejects e.g. upper-case hex that happens to checksum consistently).
+    let fp = Fingerprint(key);
+    if encode(fp, verdict) != line {
+        return None;
+    }
+    Some((fp, verdict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for (raw, verdict) in [(0u128, true), (u128::MAX, false), (0xdead_beef, true)] {
+            let line = encode(Fingerprint(raw), verdict);
+            assert_eq!(line.len(), RECORD_LEN);
+            assert_eq!(decode(&line), Some((Fingerprint(raw), verdict)));
+        }
+    }
+
+    #[test]
+    fn any_single_byte_change_is_rejected() {
+        let line = encode(Fingerprint(0x0123_4567_89ab_cdef), true);
+        let original = line.as_bytes().to_vec();
+        for i in 0..original.len() {
+            for flip in [0x01u8, 0x20, 0x80] {
+                let mut bytes = original.clone();
+                bytes[i] ^= flip;
+                if bytes == original.as_slice() {
+                    continue;
+                }
+                let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+                assert_eq!(
+                    decode(&corrupted),
+                    None,
+                    "byte {i} xor {flip:#x} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_and_extensions_are_rejected() {
+        let line = encode(Fingerprint(42), false);
+        for cut in 0..line.len() {
+            assert_eq!(decode(&line[..cut]), None, "prefix of length {cut}");
+        }
+        assert_eq!(decode(&format!("{line} ")), None);
+        assert_eq!(decode(&format!("{line}{line}")), None);
+        assert_eq!(decode(""), None);
+        assert_eq!(decode("not a record at all"), None);
+    }
+}

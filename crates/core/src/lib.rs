@@ -41,6 +41,7 @@
 pub mod cancel;
 pub mod hybrid;
 pub mod localization;
+pub mod logio;
 pub mod oracle;
 pub mod technique;
 
@@ -51,6 +52,8 @@ pub use hybrid::{
 pub use localization::{
     first_hit_rank, localize, localize_with, sites_for_spans, Localization, SuspiciousSite,
 };
+pub use logio::{read_lines, LineLog, LoadedLines};
+pub use mualloy_analyzer::VerdictStore;
 pub use oracle::{CandidateDedup, DedupProbe, DedupStats, OracleHandle, OracleSession};
 pub use technique::{
     oracle_accepts, preserves_oracle_surface, repair_is_valid, OutcomeReason, RepairBudget,

@@ -1,0 +1,185 @@
+//! Shared torn-tail-tolerant line-log I/O.
+//!
+//! Two subsystems persist append-only line-framed logs: the study journal
+//! (JSONL cell records) and the persistent oracle cache (fixed-frame verdict
+//! records). Both need the same crash-safety discipline, factored here:
+//!
+//! - **Single-write appends.** Each line is written with one `write` syscall
+//!   (payload + `\n` in the same buffer), so a `kill -9` leaves at most one
+//!   torn final line — there is no user-space buffer to lose.
+//! - **Newline sealing on reopen.** A process killed mid-write leaves a torn
+//!   tail with no newline; appending straight after it would weld the next
+//!   record onto the fragment and lose both. [`LineLog::append_to`] seals
+//!   the file with a newline when the last byte is not one, so the fragment
+//!   stays a malformed line of its own.
+//! - **Tolerant loading.** [`read_lines`] never fails on content: it returns
+//!   every line and flags whether the final line was torn (unterminated).
+//!   What counts as *malformed* is the caller's business — the journal
+//!   counts JSON parse failures, the cache log counts frame/checksum
+//!   rejections — but neither ever aborts a load over a bad line.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// An append-only, line-framed log file handle. Thread-safe: appends from
+/// concurrent workers serialize on an internal lock and each lands with a
+/// single `write` syscall.
+#[derive(Debug)]
+pub struct LineLog {
+    file: Mutex<File>,
+}
+
+impl LineLog {
+    /// Creates (truncating) a fresh log.
+    pub fn create(path: &Path) -> io::Result<LineLog> {
+        Ok(LineLog {
+            file: Mutex::new(File::create(path)?),
+        })
+    }
+
+    /// Reopens an existing log for appending, sealing a torn tail with a
+    /// newline so the next append starts on its own line.
+    pub fn append_to(path: &Path) -> io::Result<LineLog> {
+        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len > 0 {
+            let mut last = [0u8; 1];
+            file.seek(io::SeekFrom::End(-1))?;
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+            }
+        }
+        Ok(LineLog {
+            file: Mutex::new(file),
+        })
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, File> {
+        self.file.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one line (payload must not contain `\n`; the terminator is
+    /// added here so payload + newline land in one `write`).
+    pub fn append_line(&self, line: &str) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let mut file = self.locked();
+        file.write_all(&buf)?;
+        file.flush()
+    }
+
+    /// Appends raw bytes without framing — the seam fault injection uses to
+    /// plant a torn (short) write, and tests use to forge corrupt tails.
+    pub fn append_bytes(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut file = self.locked();
+        file.write_all(bytes)?;
+        file.flush()
+    }
+
+    /// Forces everything written so far to stable storage (`fsync`).
+    pub fn sync(&self) -> io::Result<()> {
+        let mut file = self.locked();
+        file.flush()?;
+        file.sync_all()
+    }
+}
+
+/// What [`read_lines`] found in a log file.
+#[derive(Debug)]
+pub struct LoadedLines {
+    /// Every line, in file order — including a torn final line, so callers
+    /// can count it as malformed under their own framing rules.
+    pub lines: Vec<String>,
+    /// Whether the final line was unterminated (a torn tail from a kill).
+    pub torn_tail: bool,
+}
+
+/// Loads a line log tolerantly: never fails on content, only on I/O.
+/// Invalid UTF-8 (media corruption) is converted lossily — the affected
+/// line fails the caller's framing check instead of aborting the load.
+pub fn read_lines(path: &Path) -> io::Result<LoadedLines> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let torn_tail = !text.is_empty() && !text.ends_with('\n');
+    let lines = text.lines().map(|l| l.to_string()).collect();
+    Ok(LoadedLines { lines, torn_tail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("specrepair-logio-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.log", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_lines() {
+        let path = tmp("roundtrip");
+        let log = LineLog::create(&path).unwrap();
+        log.append_line("alpha").unwrap();
+        log.append_line("beta").unwrap();
+        let loaded = read_lines(&path).unwrap();
+        assert_eq!(loaded.lines, vec!["alpha", "beta"]);
+        assert!(!loaded.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_and_kept() {
+        let path = tmp("torn");
+        let log = LineLog::create(&path).unwrap();
+        log.append_line("whole").unwrap();
+        log.append_bytes(b"half-a-rec").unwrap();
+        drop(log);
+        let loaded = read_lines(&path).unwrap();
+        assert_eq!(loaded.lines, vec!["whole", "half-a-rec"]);
+        assert!(loaded.torn_tail, "unterminated tail flagged");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_seals_a_torn_tail() {
+        let path = tmp("seal");
+        let log = LineLog::create(&path).unwrap();
+        log.append_line("whole").unwrap();
+        log.append_bytes(b"torn-fragment").unwrap();
+        drop(log);
+        let log = LineLog::append_to(&path).unwrap();
+        log.append_line("resumed").unwrap();
+        let loaded = read_lines(&path).unwrap();
+        assert_eq!(loaded.lines, vec!["whole", "torn-fragment", "resumed"]);
+        assert!(!loaded.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_of_clean_log_does_not_add_blank_lines() {
+        let path = tmp("clean-reopen");
+        let log = LineLog::create(&path).unwrap();
+        log.append_line("one").unwrap();
+        drop(log);
+        let log = LineLog::append_to(&path).unwrap();
+        log.append_line("two").unwrap();
+        let loaded = read_lines(&path).unwrap();
+        assert_eq!(loaded.lines, vec!["one", "two"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_log_loads_empty() {
+        let path = tmp("empty");
+        LineLog::create(&path).unwrap();
+        let loaded = read_lines(&path).unwrap();
+        assert!(loaded.lines.is_empty());
+        assert!(!loaded.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use mualloy_analyzer::{IncrementalStats, Oracle, OracleCacheStats};
+use mualloy_analyzer::{IncrementalStats, Oracle, OracleCacheStats, VerdictStore};
 use mualloy_syntax::{Fingerprint, Spec};
 use serde::{Deserialize, Serialize};
 
@@ -297,6 +297,16 @@ impl OracleHandle {
     /// verdict query solves cold, exactly as before the engine existed.
     pub fn without_incremental(self) -> OracleHandle {
         self.service.disable_incremental();
+        self
+    }
+
+    /// Attaches a persistent verdict tier to this handle's service
+    /// (builder style): probed after an in-memory verdict miss, fed every
+    /// freshly computed verdict, so a restarted process boots warm. See
+    /// [`mualloy_analyzer::VerdictStore`]. A no-op on a disabled oracle
+    /// (the cache-off control arm stays pure pass-through).
+    pub fn with_persistent(self, store: Arc<dyn VerdictStore>) -> OracleHandle {
+        self.service.attach_persist(store);
         self
     }
 

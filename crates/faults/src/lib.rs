@@ -153,6 +153,109 @@ impl FaultPlan {
     }
 }
 
+/// The kinds of disk fault the persistent cache's I/O seam can inject,
+/// modeling the storage failure taxonomy (DESIGN.md §14): a write that
+/// errors outright, a write that lands only partially (torn tail), and
+/// silent media corruption flipping a stored byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskFaultKind {
+    /// The write syscall fails; nothing reaches the log.
+    WriteError,
+    /// Only a prefix of the record reaches the log (torn write).
+    ShortWrite,
+    /// The record lands whole but one byte is flipped (media corruption).
+    BitFlip,
+}
+
+impl DiskFaultKind {
+    /// All kinds, in taxonomy order.
+    pub const ALL: [DiskFaultKind; 3] = [
+        DiskFaultKind::WriteError,
+        DiskFaultKind::ShortWrite,
+        DiskFaultKind::BitFlip,
+    ];
+
+    /// Stable lower-case label (metrics keys, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiskFaultKind::WriteError => "write_error",
+            DiskFaultKind::ShortWrite => "short_write",
+            DiskFaultKind::BitFlip => "bit_flip",
+        }
+    }
+}
+
+/// A deterministic per-append disk fault schedule, sharing [`FaultPlan`]'s
+/// pure-function discipline: `fault_at(i)` depends only on `(seed, i)`, so
+/// a chaotic cache run replays byte-identically under the same seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaultPlan {
+    /// Seed of the schedule.
+    pub seed: u64,
+    /// Probability of injecting a fault on any given append, in `[0, 1]`.
+    pub rate: f64,
+    /// Which kinds the plan may inject (subset of [`DiskFaultKind::ALL`]).
+    kinds: [bool; 3],
+}
+
+impl DiskFaultPlan {
+    /// The fault-free plan (rate 0): the production default.
+    pub fn none() -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed: 0,
+            rate: 0.0,
+            kinds: [true; 3],
+        }
+    }
+
+    /// A plan injecting every disk fault kind at `rate`.
+    pub fn new(seed: u64, rate: f64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            kinds: [true; 3],
+        }
+    }
+
+    /// Restricts the plan to the given kinds (empty = keep all).
+    pub fn with_kinds(mut self, kinds: &[DiskFaultKind]) -> DiskFaultPlan {
+        if kinds.is_empty() {
+            return self;
+        }
+        self.kinds = [false; 3];
+        for k in kinds {
+            self.kinds[*k as usize] = true;
+        }
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0 && self.kinds.iter().any(|&k| k)
+    }
+
+    /// The disk fault (if any) scheduled for append number `call` — a pure
+    /// function of the plan and the index. A distinct stream constant keeps
+    /// disk draws uncorrelated with the transport plan at equal seeds.
+    pub fn fault_at(&self, call: u64) -> Option<DiskFaultKind> {
+        if !self.is_active() {
+            return None;
+        }
+        let draw =
+            mix(self.seed ^ call.wrapping_mul(0x9e6c_63d0_876a_3f35) ^ 0xd15c_fa17_0000_0001);
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        if unit >= self.rate {
+            return None;
+        }
+        let enabled: Vec<DiskFaultKind> = DiskFaultKind::ALL
+            .into_iter()
+            .filter(|k| self.kinds[*k as usize])
+            .collect();
+        let pick = mix(draw) as usize % enabled.len();
+        Some(enabled[pick])
+    }
+}
+
 /// Shared injected-fault accounting: one atomic counter per kind. Cheap to
 /// clone behind an `Arc`; every decorated transport records here.
 #[derive(Debug, Default)]
@@ -266,6 +369,44 @@ mod tests {
             max = max.max(cur);
         }
         assert_eq!(longest, max);
+    }
+
+    #[test]
+    fn disk_plan_is_deterministic_and_distinct_from_transport_stream() {
+        let a = DiskFaultPlan::new(42, 0.3);
+        let b = DiskFaultPlan::new(42, 0.3);
+        let seq = |p: &DiskFaultPlan| (0..500).map(|i| p.fault_at(i)).collect::<Vec<_>>();
+        assert_eq!(seq(&a), seq(&b), "same seed, same schedule");
+        assert!(!DiskFaultPlan::none().is_active());
+        assert!((0..1_000).all(|i| DiskFaultPlan::new(7, 0.0).fault_at(i).is_none()));
+        // Equal seeds must not mean equal draws across the two fault surfaces.
+        let transport = FaultPlan::new(42, 0.3);
+        let disk_hits: Vec<u64> = (0..2_000).filter(|&i| a.fault_at(i).is_some()).collect();
+        let lm_hits: Vec<u64> = (0..2_000)
+            .filter(|&i| transport.fault_at(i).is_some())
+            .collect();
+        assert_ne!(disk_hits, lm_hits, "disk and transport streams correlate");
+    }
+
+    #[test]
+    fn disk_plan_kind_restriction_and_coverage() {
+        let only_flip = DiskFaultPlan::new(3, 0.5).with_kinds(&[DiskFaultKind::BitFlip]);
+        let mut saw = 0;
+        for i in 0..2_000 {
+            if let Some(kind) = only_flip.fault_at(i) {
+                assert_eq!(kind, DiskFaultKind::BitFlip);
+                saw += 1;
+            }
+        }
+        assert!(saw > 500, "restricted plan still injects ({saw})");
+        let all = DiskFaultPlan::new(5, 0.5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2_000 {
+            if let Some(kind) = all.fault_at(i) {
+                seen.insert(kind);
+            }
+        }
+        assert_eq!(seen.len(), 3, "only saw {seen:?}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N]
 //!                     [--max-scope N] [--cache-per-shard N] [--shutdown-file P]
 //!                     [--chaos-rate R] [--chaos-seed N] [--trace]
+//!                     [--cache-dir P] [--disk-chaos-rate R] [--disk-chaos-seed N]
 //! specrepaird loadgen [--addr A] [--requests N] [--connections N]
 //!                     [--deadline-ms N] [--seed N] [--chaos-rate R]
 //!                     [--shed-backoff-ms N]
@@ -16,7 +17,10 @@
 //! fault injection, exercised through the resilience layer and visible in
 //! `GET /metrics` under `transport`. `--trace` turns on the span collector:
 //! every repair's per-phase busy time aggregates into `GET /trace/summary`,
-//! and responses always carry a deterministic `trace_id`.
+//! and responses always carry a deterministic `trace_id`. `--cache-dir`
+//! turns on the persistent verdict cache (warm boot + crash-safe appends;
+//! `GET /metrics` grows a `persistent` section); `--disk-chaos-rate` injects
+//! deterministic disk faults into that tier's appends.
 
 use specrepair_server::{loadgen, server, LoadgenConfig, ServerConfig};
 
@@ -44,6 +48,9 @@ fn serve(args: &[String]) {
             "--chaos-rate" => config.chaos_rate = flags.rate(&flag),
             "--chaos-seed" => config.chaos_seed = flags.parsed(&flag),
             "--trace" => config.trace = true,
+            "--cache-dir" => config.cache_dir = Some(flags.value(&flag).into()),
+            "--disk-chaos-rate" => config.disk_chaos_rate = flags.rate(&flag),
+            "--disk-chaos-seed" => config.disk_chaos_seed = flags.parsed(&flag),
             other => die(&format!("unknown flag `{other}` for serve")),
         }
     }
@@ -125,7 +132,8 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
          [--max-scope N] [--cache-per-shard N] [--shutdown-file P] \
-         [--chaos-rate R] [--chaos-seed N] [--trace]\n\
+         [--chaos-rate R] [--chaos-seed N] [--trace] \
+         [--cache-dir P] [--disk-chaos-rate R] [--disk-chaos-seed N]\n\
          \x20      specrepaird loadgen [--addr A] [--requests N] [--connections N] \
          [--deadline-ms N] [--seed N] [--chaos-rate R] [--shed-backoff-ms N]"
     );

@@ -93,6 +93,15 @@ pub struct LoadgenReport {
     /// Incremental clause reuse rate (`clauses_reused / clauses_total`)
     /// from `/metrics`.
     pub clause_reuse_rate: Option<f64>,
+    /// The daemon's oracle cache hit rate fetched *before* the run: the
+    /// baseline for the warm-boot delta (absent when the fetch failed).
+    pub hit_rate_before: Option<f64>,
+    /// Verdicts the daemon preloaded from its persistent cache at boot
+    /// (absent when the tier is off or the daemon predates it).
+    pub persist_preloaded: Option<u64>,
+    /// Oracle hits served by the persistent tier, from the post-run
+    /// `/metrics` document.
+    pub persist_hits: Option<u64>,
     /// Post-run `/metrics` fetches that failed (connect error, non-200, or
     /// a malformed body). Nonzero means `cache_hit_rate` is missing for a
     /// *reported* reason, not silently.
@@ -110,6 +119,13 @@ impl LoadgenReport {
         self.unexpected == 0
     }
 
+    /// The warm-boot hit-rate delta: after-run minus before-run hit rate,
+    /// when both readings landed. Against a daemon warm-booted from a
+    /// populated `--cache-dir`, an identical replay must push this up.
+    pub fn hit_rate_delta(&self) -> Option<f64> {
+        Some(self.cache_hit_rate? - self.hit_rate_before?)
+    }
+
     /// The human-readable report printed by the CLI.
     pub fn render(&self) -> String {
         let ms = |q: f64| self.latency.percentile(q).unwrap_or(0) as f64 / 1000.0;
@@ -119,7 +135,8 @@ impl LoadgenReport {
              latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
              oracle cache hit rate after run: {}\n\
              candidate dedup after run: {}\n\
-             incremental oracle after run: {}",
+             incremental oracle after run: {}\n\
+             persistent tier after run: {}",
             self.total,
             self.elapsed,
             self.throughput(),
@@ -146,6 +163,16 @@ impl LoadgenReport {
                 (Some(checks), Some(rate)) =>
                     format!("{checks} checks ({:.1}% clause reuse)", rate * 100.0),
                 _ => "unavailable".to_string(),
+            },
+            match (self.persist_preloaded, self.persist_hits) {
+                (Some(preloaded), Some(hits)) => {
+                    let delta = match self.hit_rate_delta() {
+                        Some(d) => format!(", hit rate {:+.1} points over the run", d * 100.0),
+                        None => String::new(),
+                    };
+                    format!("{preloaded} preloaded, {hits} persist hits{delta}")
+                }
+                _ => "off".to_string(),
             }
         )
     }
@@ -199,6 +226,10 @@ pub fn request_bodies(config: &LoadgenConfig) -> Vec<String> {
 pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     let bodies = request_bodies(config);
     let connections = config.connections.max(1);
+    // Pre-run baseline for the warm-boot delta. Best-effort: a daemon that
+    // cannot even answer `/metrics` will fail the post-run fetch too, and
+    // that one is the reported failure.
+    let hit_rate_before = fetch_hit_rate(&config.addr).ok();
     let started = Instant::now();
     let (tx, rx) = mpsc::channel::<(Option<u16>, u64)>();
     std::thread::scope(|scope| {
@@ -243,6 +274,9 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         dedup_rate: None,
         incremental_checks: None,
         clause_reuse_rate: None,
+        hit_rate_before,
+        persist_preloaded: None,
+        persist_hits: None,
         metrics_fetch_failures: 0,
     };
     for (status, micros) in rx {
@@ -261,9 +295,14 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     // and the incremental-session counters.
     match fetch_metrics(&config.addr).and_then(|body| {
         let rate = parse_hit_rate(&body)?;
-        Ok((rate, parse_dedup(&body).ok(), parse_incremental(&body).ok()))
+        Ok((
+            rate,
+            parse_dedup(&body).ok(),
+            parse_incremental(&body).ok(),
+            parse_persistent(&body).ok(),
+        ))
     }) {
-        Ok((rate, dedup, incremental)) => {
+        Ok((rate, dedup, incremental, persistent)) => {
             report.cache_hit_rate = Some(rate);
             if let Some((hits, rate)) = dedup {
                 report.dedup_hits = Some(hits);
@@ -272,6 +311,10 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             if let Some((checks, reuse)) = incremental {
                 report.incremental_checks = Some(checks);
                 report.clause_reuse_rate = Some(reuse);
+            }
+            if let Some((preloaded, persist_hits)) = persistent {
+                report.persist_preloaded = Some(preloaded);
+                report.persist_hits = Some(persist_hits);
             }
         }
         Err(why) => {
@@ -367,6 +410,16 @@ pub fn parse_incremental(body: &str) -> Result<(u64, f64), String> {
     Ok((checks as u64, rate))
 }
 
+/// Extracts `(persistent.preloaded, oracle_cache.persist_hits)` from a
+/// `/metrics` response body. A daemon running without `--cache-dir` renders
+/// the `persistent` section with only `enabled: false`, so the missing
+/// `preloaded` field is the (described) signal that the tier is off.
+pub fn parse_persistent(body: &str) -> Result<(u64, u64), String> {
+    let preloaded = metrics_number(body, "persistent", "preloaded")?;
+    let hits = metrics_number(body, "oracle_cache", "persist_hits")?;
+    Ok((preloaded as u64, hits as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,15 +482,23 @@ mod tests {
             dedup_rate: Some(0.25),
             incremental_checks: Some(9),
             clause_reuse_rate: Some(0.8),
+            hit_rate_before: Some(0.1),
+            persist_preloaded: Some(12),
+            persist_hits: Some(5),
             metrics_fetch_failures: 0,
         };
         assert!(report.clean());
         assert!((report.throughput() - 5.0).abs() < 1e-9);
+        assert!((report.hit_rate_delta().unwrap() - 0.4).abs() < 1e-9);
         let text = report.render();
         assert!(text.contains("8 ok"));
         assert!(text.contains("50.0%"), "{text}");
         assert!(text.contains("6 hits (25.0% dedup rate)"), "{text}");
         assert!(text.contains("9 checks (80.0% clause reuse)"), "{text}");
+        assert!(
+            text.contains("12 preloaded, 5 persist hits, hit rate +40.0 points"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -455,6 +516,9 @@ mod tests {
             dedup_rate: None,
             incremental_checks: None,
             clause_reuse_rate: None,
+            hit_rate_before: None,
+            persist_preloaded: None,
+            persist_hits: None,
             metrics_fetch_failures: 1,
         };
         let text = report.render();
@@ -470,6 +534,7 @@ mod tests {
             text.contains("incremental oracle after run: unavailable"),
             "{text}"
         );
+        assert!(text.contains("persistent tier after run: off"), "{text}");
     }
 
     #[test]
@@ -499,6 +564,18 @@ mod tests {
         // A daemon without the section is a described error, not a panic.
         let err = parse_incremental(r#"{"oracle_cache":{"hit_rate":0.5}}"#).unwrap_err();
         assert!(err.contains("no `incremental` section"), "{err}");
+    }
+
+    #[test]
+    fn parse_persistent_reads_both_sections() {
+        let body = r#"{"oracle_cache":{"hit_rate":0.5,"persist_hits":4},"persistent":{"enabled":true,"preloaded":17}}"#;
+        assert_eq!(parse_persistent(body), Ok((17, 4)));
+        // A daemon without `--cache-dir` renders `enabled: false` and no
+        // counters: a described error, not a panic.
+        let off =
+            r#"{"oracle_cache":{"hit_rate":0.5,"persist_hits":0},"persistent":{"enabled":false}}"#;
+        let err = parse_persistent(off).unwrap_err();
+        assert!(err.contains("no `preloaded` field"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use mualloy_analyzer::{IncrementalStats, OracleCacheStats};
 use serde::Value;
+use specrepair_cache::PersistStats;
 use specrepair_core::DedupStats;
 use specrepair_llm::TransportStats;
 
@@ -219,8 +220,9 @@ impl ServerMetrics {
 
     /// Renders the whole registry (plus the shared oracle's cache stats,
     /// the global candidate-dedup counters, the incremental-session
-    /// counters and the daemon-wide LM resilience counters) as the
-    /// `GET /metrics` JSON document.
+    /// counters, the daemon-wide LM resilience counters and — when the
+    /// daemon runs with `--cache-dir` — the persistent verdict tier's
+    /// counters) as the `GET /metrics` JSON document.
     pub fn render(
         &self,
         oracle: &OracleCacheStats,
@@ -228,6 +230,7 @@ impl ServerMetrics {
         dedup: &DedupStats,
         incremental: &IncrementalStats,
         transport: &TransportStats,
+        persist: Option<&PersistStats>,
     ) -> String {
         // requests: endpoint -> {status -> count}
         let mut per_endpoint: BTreeMap<String, Vec<(String, Value)>> = BTreeMap::new();
@@ -265,7 +268,47 @@ impl ServerMetrics {
                 "memoized_specs".to_string(),
                 Value::U64(memoized_specs as u64),
             ),
+            ("persist_hits".to_string(), Value::U64(oracle.persist_hits)),
+            ("collapsed".to_string(), Value::U64(oracle.collapsed)),
         ]);
+        let persistent_value = match persist {
+            None => Value::Map(vec![("enabled".to_string(), Value::Bool(false))]),
+            Some(p) => Value::Map(vec![
+                ("enabled".to_string(), Value::Bool(true)),
+                ("degraded".to_string(), Value::Bool(p.degraded)),
+                ("preloaded".to_string(), Value::U64(p.preloaded)),
+                ("quarantined".to_string(), Value::U64(p.quarantined)),
+                ("live_entries".to_string(), Value::U64(p.live_entries)),
+                ("disk_lines".to_string(), Value::U64(p.disk_lines)),
+                ("disk_good".to_string(), Value::U64(p.disk_good)),
+                ("lookups".to_string(), Value::U64(p.lookups)),
+                ("hits".to_string(), Value::U64(p.hits)),
+                ("appends".to_string(), Value::U64(p.appends)),
+                ("append_errors".to_string(), Value::U64(p.append_errors)),
+                (
+                    "skipped_degraded".to_string(),
+                    Value::U64(p.skipped_degraded),
+                ),
+                ("breaker_trips".to_string(), Value::U64(p.breaker_trips)),
+                ("compactions".to_string(), Value::U64(p.compactions)),
+                (
+                    "compaction_failures".to_string(),
+                    Value::U64(p.compaction_failures),
+                ),
+                (
+                    "injected_write_errors".to_string(),
+                    Value::U64(p.injected_write_errors),
+                ),
+                (
+                    "injected_short_writes".to_string(),
+                    Value::U64(p.injected_short_writes),
+                ),
+                (
+                    "injected_bit_flips".to_string(),
+                    Value::U64(p.injected_bit_flips),
+                ),
+            ]),
+        };
         let dedup_value = Value::Map(vec![
             ("dedup_hits".to_string(), Value::U64(dedup.hits)),
             ("dedup_misses".to_string(), Value::U64(dedup.misses)),
@@ -327,6 +370,7 @@ impl ServerMetrics {
             ("oracle_cache".to_string(), oracle_value),
             ("candidate_dedup".to_string(), dedup_value),
             ("incremental".to_string(), incremental_value),
+            ("persistent".to_string(), persistent_value),
             ("transport".to_string(), Value::Map(transport_value)),
         ]);
         serde_json::to_string_pretty(&doc).expect("metrics document always serializes")
@@ -558,6 +602,7 @@ mod tests {
             &dedup,
             &incremental,
             &transport,
+            None,
         );
         for needle in [
             "\"repair\"",
@@ -580,6 +625,42 @@ mod tests {
             "\"incremental_checks\": 8",
             "\"clause_reuse_rate\": 0.75",
             "\"learned_clauses_retained\": 5",
+            "\"persist_hits\": 0",
+            "\"collapsed\": 0",
+            "\"persistent\"",
+            "\"enabled\": false",
+        ] {
+            assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn persistent_section_renders_when_attached() {
+        let m = ServerMetrics::new();
+        let persist = PersistStats {
+            preloaded: 7,
+            live_entries: 9,
+            hits: 3,
+            lookups: 5,
+            appends: 2,
+            degraded: true,
+            breaker_trips: 1,
+            ..PersistStats::default()
+        };
+        let doc = m.render(
+            &OracleCacheStats::default(),
+            0,
+            &DedupStats::default(),
+            &IncrementalStats::default(),
+            &TransportStats::new(),
+            Some(&persist),
+        );
+        for needle in [
+            "\"persistent\"",
+            "\"enabled\": true",
+            "\"degraded\": true",
+            "\"preloaded\": 7",
+            "\"live_entries\": 9",
         ] {
             assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
         }

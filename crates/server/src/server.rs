@@ -17,7 +17,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use specrepair_cache::PersistentCache;
 use specrepair_core::OracleHandle;
+use specrepair_faults::DiskFaultPlan;
 
 use crate::http::{read_request, Request, RequestError, Response};
 use crate::metrics::{ServerMetrics, TraceTotals};
@@ -59,6 +61,16 @@ pub struct ServerConfig {
     /// `GET /trace/summary`. Off by default (the disabled collector costs
     /// one atomic load per would-be span).
     pub trace: bool,
+    /// Directory for the persistent verdict cache (`verdicts.log`). When
+    /// set, the daemon warm-boots the oracle from it and appends every new
+    /// verdict; when the directory cannot be opened the daemon warns and
+    /// runs memory-only. `None` (the default) disables the tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Injected disk fault rate for the persistent tier (0.0 = off); see
+    /// [`DiskFaultPlan`]. Only meaningful with `cache_dir`.
+    pub disk_chaos_rate: f64,
+    /// Base seed for the disk fault schedule.
+    pub disk_chaos_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +86,9 @@ impl Default for ServerConfig {
             chaos_seed: 0xC4A05,
             shutdown_file: None,
             trace: false,
+            cache_dir: None,
+            disk_chaos_rate: 0.0,
+            disk_chaos_seed: 0xD15C,
         }
     }
 }
@@ -89,6 +104,10 @@ struct ServerState {
     queue_capacity: usize,
     draining: AtomicBool,
     shutdown_file: Option<PathBuf>,
+    /// The persistent verdict tier, when `--cache-dir` opened one. Held
+    /// here (besides the oracle's trait handle) for `/metrics` snapshots
+    /// and the drain-time seal.
+    persist: Option<Arc<PersistentCache>>,
 }
 
 impl ServerState {
@@ -132,6 +151,12 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Drain hook: with every worker gone no verdict can still be in
+        // flight, so seal the persistent log (compact if the disk view
+        // drifted from memory, then fsync) before the process exits.
+        if let Some(persist) = &self.state.persist {
+            persist.seal();
+        }
     }
 }
 
@@ -145,10 +170,36 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let oracle = if config.cache_per_shard == 0 {
+    let mut oracle = if config.cache_per_shard == 0 {
         OracleHandle::fresh()
     } else {
         OracleHandle::bounded(config.cache_per_shard)
+    };
+    // Warm-boot the persistent verdict tier. An unopenable cache dir is a
+    // degradation, not a boot failure: warn and run memory-only.
+    let persist = match &config.cache_dir {
+        None => None,
+        Some(dir) => {
+            let plan = if config.disk_chaos_rate > 0.0 {
+                DiskFaultPlan::new(config.disk_chaos_seed, config.disk_chaos_rate)
+            } else {
+                DiskFaultPlan::none()
+            };
+            match PersistentCache::open_with_faults(dir, plan) {
+                Ok(cache) => {
+                    let cache = Arc::new(cache);
+                    oracle = oracle.with_persistent(cache.clone());
+                    Some(cache)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "specrepaird: cannot open cache dir {}: {e}; running memory-only",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        }
     };
     if config.trace {
         specrepair_trace::set_enabled(true);
@@ -171,6 +222,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         queue_capacity: config.queue_capacity.max(1),
         draining: AtomicBool::new(false),
         shutdown_file: config.shutdown_file.clone(),
+        persist,
     });
 
     let workers = (0..config.workers.max(1))
@@ -340,12 +392,14 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         ),
         ("GET", "/metrics") => {
             let oracle = state.service.oracle();
+            let persist = state.persist.as_ref().map(|p| p.stats());
             let body = state.metrics.render(
                 &oracle.stats(),
                 oracle.service().memoized_specs(),
                 &oracle.dedup_stats(),
                 &oracle.incremental_stats(),
                 state.service.transport_stats(),
+                persist.as_ref(),
             );
             ("metrics", Response::json(200, body))
         }

@@ -5,6 +5,7 @@
 //!       [--seed N] [--out DIR] [--journal FILE] [--resume]
 //!       [--fault-rate R] [--fault-seed N] [--no-dedup] [--no-incremental]
 //!       [--roster NAME] [--workers N] [--trace DIR]
+//!       [--cache-dir DIR] [--no-cache]
 //! ```
 //!
 //! `--scale 1.0` evaluates the full 1,974-spec corpus (the paper's size);
@@ -17,6 +18,14 @@
 //! cells and regenerates byte-identical artifacts. `--fault-rate` turns on
 //! deterministic LM-transport fault injection (the chaos recipe in
 //! EXPERIMENTS.md).
+//!
+//! `--cache-dir` opens a persistent oracle verdict cache under DIR: a
+//! second run over the same corpus warm-boots its verdicts from disk
+//! instead of the solver, and a run killed at any point loses at most the
+//! one record it was writing. The tier is behaviorally inert: artifacts
+//! are byte-identical with `--cache-dir`, without it, and with
+//! `--no-cache` (which disables oracle memoization entirely — the
+//! slowest, most-direct baseline).
 //!
 //! `--trace DIR` turns on the span collector for the whole run and writes
 //! the trace artifacts to DIR afterwards: `trace.json` (Chrome trace-event
@@ -49,6 +58,8 @@ fn main() {
     let mut roster = RosterId::All;
     let mut workers: Option<usize> = None;
     let mut trace_dir: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut use_cache = true;
 
     let mut i = 0;
     while i < args.len() {
@@ -91,6 +102,14 @@ fn main() {
             "--resume" => resume = true,
             "--no-dedup" => config.dedup = false,
             "--no-incremental" => config.incremental = false,
+            "--no-cache" => use_cache = false,
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--cache-dir needs a directory")),
+                ));
+            }
             "--portfolio" => command = "portfolio".to_string(),
             "--roster" => {
                 i += 1;
@@ -234,9 +253,41 @@ fn main() {
     if !config.incremental {
         eprintln!("incremental oracle OFF (--no-incremental)");
     }
+    if !use_cache {
+        eprintln!("oracle cache OFF (--no-cache)");
+    }
+    // The persistent verdict tier. An unopenable directory degrades to a
+    // warning — the study itself must never be blocked by a bad disk.
+    let persist_cache =
+        cache_dir
+            .as_ref()
+            .and_then(|dir| match specrepair_cache::PersistentCache::open(dir) {
+                Ok(cache) => {
+                    eprintln!(
+                        "persistent cache: {} verdict(s) preloaded from {dir:?}",
+                        cache.preloaded()
+                    );
+                    Some(std::sync::Arc::new(cache))
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: cannot open cache dir {dir:?}: {e}; running without persistence"
+                    );
+                    None
+                }
+            });
+    let persist_store = persist_cache
+        .clone()
+        .map(|c| c as std::sync::Arc<dyn specrepair_core::VerdictStore>);
     let t0 = Instant::now();
-    let (results, run_stats) =
-        runner::run_study_journaled(&problems, &config, true, journal.as_ref(), &done);
+    let (results, run_stats) = runner::run_study_persistent(
+        &problems,
+        &config,
+        use_cache,
+        journal.as_ref(),
+        &done,
+        persist_store.as_ref(),
+    );
     eprintln!(
         "evaluated {} (problem, technique) pairs in {:?}",
         results.records.len(),
@@ -274,6 +325,23 @@ fn main() {
         incr_stats.clause_reuse_rate() * 100.0,
         incr_stats.learned_clauses_retained
     );
+    // Seal the persistent log (compact if the disk view drifted, then
+    // fsync) before reporting: everything the run computed is durable.
+    if let Some(cache) = &persist_cache {
+        cache.seal();
+        let s = cache.stats();
+        eprintln!(
+            "persistent cache: {} preloaded, {} hits / {} lookups, {} appended \
+             ({} quarantined, {} compactions{})",
+            s.preloaded,
+            s.hits,
+            s.lookups,
+            s.appends,
+            s.quarantined,
+            s.compactions,
+            if s.degraded { ", DEGRADED" } else { "" }
+        );
+    }
 
     let emit = |name: &str, text: &str, json: String| {
         println!("{text}");
@@ -405,7 +473,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: study <all|table1|fig2|fig3|table2|ablation|portfolio> [--scale X] [--seed N] \
-         [--out DIR] [--roster NAME] [--workers N]"
+         [--out DIR] [--roster NAME] [--workers N] [--cache-dir DIR] [--no-cache]"
     );
     std::process::exit(2);
 }

@@ -21,11 +21,10 @@
 //! leaves at most one truncated final line, which is skipped (and counted)
 //! rather than poisoning the file.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use specrepair_core::logio::{read_lines, LineLog};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, Write};
+use std::io;
 use std::path::Path;
 
 use crate::config::StudyConfig;
@@ -41,13 +40,13 @@ pub struct JournalHeader {
     pub num_problems: usize,
 }
 
-/// An append-only journal handle. Thread-safe: the runner appends from
-/// rayon workers. Each record is written with a single `write` syscall, so
-/// even a `kill -9` leaves at most one torn line (the OS persists what was
-/// written; there is no user-space buffer to lose).
+/// An append-only journal handle over the shared [`LineLog`] discipline
+/// (`specrepair_core::logio`): single-write lines, newline sealing on
+/// reopen, so even a `kill -9` leaves at most one torn line. Thread-safe:
+/// the runner appends from rayon workers.
 #[derive(Debug)]
 pub struct StudyJournal {
-    file: Mutex<File>,
+    log: LineLog,
 }
 
 impl StudyJournal {
@@ -58,54 +57,29 @@ impl StudyJournal {
         config: &StudyConfig,
         num_problems: usize,
     ) -> io::Result<StudyJournal> {
-        let mut file = File::create(path)?;
+        let log = LineLog::create(path)?;
         let header = JournalHeader {
             config: *config,
             num_problems,
         };
-        let line = format!(
-            "{}\n",
-            serde_json::to_string(&header).map_err(io::Error::other)?
-        );
-        file.write_all(line.as_bytes())?;
-        Ok(StudyJournal {
-            file: Mutex::new(file),
-        })
+        log.append_line(&serde_json::to_string(&header).map_err(io::Error::other)?)?;
+        Ok(StudyJournal { log })
     }
 
     /// Reopens an existing journal for appending (the resume path; load
-    /// its contents with [`load`] first).
-    ///
-    /// A process killed mid-write leaves a torn final line with no
-    /// newline; appending straight after it would weld the first resumed
-    /// record onto the torn tail and lose it. So the reopen seals the file
-    /// with a newline when the last byte is not one — the torn fragment
-    /// stays a malformed line of its own and every new record starts clean.
+    /// its contents with [`load`] first). [`LineLog::append_to`] seals a
+    /// torn tail with a newline, so the first resumed record is never
+    /// welded onto the fragment a killed run left behind.
     pub fn append_to(path: &Path) -> io::Result<StudyJournal> {
-        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
-        let len = file.metadata()?.len();
-        if len > 0 {
-            let mut last = [0u8; 1];
-            file.seek(io::SeekFrom::End(-1))?;
-            file.read_exact(&mut last)?;
-            if last[0] != b'\n' {
-                file.write_all(b"\n")?;
-            }
-        }
         Ok(StudyJournal {
-            file: Mutex::new(file),
+            log: LineLog::append_to(path)?,
         })
     }
 
     /// Appends one completed cell.
     pub fn append(&self, record: &SpecRecord) -> io::Result<()> {
-        let line = format!(
-            "{}\n",
-            serde_json::to_string(record).map_err(io::Error::other)?
-        );
-        let mut file = self.file.lock();
-        file.write_all(line.as_bytes())?;
-        file.flush()
+        self.log
+            .append_line(&serde_json::to_string(record).map_err(io::Error::other)?)
     }
 }
 
@@ -135,12 +109,11 @@ impl JournalContents {
 /// Loads a journal, tolerating a torn final line (and, defensively, any
 /// other malformed line — each is counted, none aborts the load).
 pub fn load(path: &Path) -> io::Result<JournalContents> {
-    let mut text = String::new();
-    File::open(path)?.read_to_string(&mut text)?;
+    let loaded = read_lines(path)?;
     let mut header = None;
     let mut records = Vec::new();
     let mut malformed = 0usize;
-    for (i, line) in text.lines().enumerate() {
+    for (i, line) in loaded.lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
@@ -167,6 +140,8 @@ pub fn load(path: &Path) -> io::Result<JournalContents> {
 mod tests {
     use super::*;
     use specrepair_core::OutcomeReason;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn record(problem: &str, technique: &str) -> SpecRecord {
         SpecRecord {

@@ -8,14 +8,14 @@ use serde::{Deserialize, Serialize};
 use specrepair_benchmarks::RepairProblem;
 use specrepair_core::{
     CancelToken, DedupStats, OracleHandle, OutcomeReason, RepairContext, RepairOutcome,
-    RepairTechnique,
+    RepairTechnique, VerdictStore,
 };
 use specrepair_llm::{invert_fix_description, MultiRound, ProblemHints, ResilientLm, SingleRound};
 use specrepair_metrics::candidate_metrics;
 use specrepair_traditional::{ARepair, Atr, BeAFix, Icebar};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::config::{StudyConfig, TechniqueId};
 use crate::journal::StudyJournal;
@@ -415,6 +415,23 @@ pub fn run_study_journaled(
     journal: Option<&StudyJournal>,
     done: &HashMap<(String, String), SpecRecord>,
 ) -> (StudyResults, RunStats) {
+    run_study_persistent(problems, config, use_cache, journal, done, None)
+}
+
+/// [`run_study_journaled`] with a persistent verdict tier: when `persist`
+/// is given, every per-problem oracle probes it before invoking the solver
+/// and writes fresh verdicts through to it, so a second run over the same
+/// corpus warm-boots from disk. The tier only serves memoized *verdicts*
+/// (never changes them), so results stay byte-identical with or without
+/// it — the same inertness contract `use_cache` already carries.
+pub fn run_study_persistent(
+    problems: &[RepairProblem],
+    config: &StudyConfig,
+    use_cache: bool,
+    journal: Option<&StudyJournal>,
+    done: &HashMap<(String, String), SpecRecord>,
+    persist: Option<&Arc<dyn VerdictStore>>,
+) -> (StudyResults, RunStats) {
     let techniques = TechniqueId::all();
     let stats = Mutex::new(RunStats::default());
     let records: Vec<SpecRecord> = problems
@@ -435,6 +452,9 @@ pub fn run_study_journaled(
             }
             if !config.incremental {
                 oracle = oracle.without_incremental();
+            }
+            if let Some(store) = persist {
+                oracle = oracle.with_persistent(Arc::clone(store));
             }
             let records: Vec<SpecRecord> = techniques
                 .iter()

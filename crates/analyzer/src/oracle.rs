@@ -448,6 +448,48 @@ impl Oracle {
         }
     }
 
+    /// The memoized boolean verdict for `key`, answered from process
+    /// memory only — the full `execute_all` answer when present (a cached
+    /// error yields `None`: the verdict is genuinely unknown), otherwise
+    /// the verdict-only line. Never consults the persistent tier and moves
+    /// no counters: this is the read side of the shard `/verdict` API,
+    /// where recursing into an attached remote tier would loop the
+    /// cluster back onto itself.
+    pub fn probe_verdict(&self, key: Fingerprint) -> Option<bool> {
+        if !self.enabled {
+            return None;
+        }
+        self.shard_of(key).lock().entries.get(&key).and_then(|e| {
+            if let Some(memo) = &e.execute_all {
+                return match &memo.value {
+                    Ok(outcomes) => Some(outcomes.iter().all(CommandOutcome::matches_expectation)),
+                    Err(_) => None,
+                };
+            }
+            e.verdict.as_ref().map(|memo| memo.value)
+        })
+    }
+
+    /// Memoizes an externally computed verdict for `key` (the write side
+    /// of the shard `/verdict` API: a peer solved this fingerprint and is
+    /// pooling the answer). Stored with zeroed solver counters, exactly
+    /// like a persistent-tier hit; an existing memo is never overwritten —
+    /// verdicts are deterministic, so first-writer-wins is also
+    /// every-writer-agrees. No-op on a disabled oracle.
+    pub fn inject_verdict(&self, key: Fingerprint, verdict: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.memoize(self.shard_of(key), key, |e| {
+            if e.verdict.is_none() {
+                e.verdict = Some(Memo {
+                    value: verdict,
+                    solver: SolverStats::default(),
+                });
+            }
+        });
+    }
+
     /// Memoized [`Analyzer::execute_all`]: every command's outcome, in
     /// specification order.
     ///
@@ -992,6 +1034,33 @@ mod tests {
         let e2 = oracle.enumerate(&spec, &Formula::truth(), 3, 2).unwrap();
         assert_eq!(e1, e2);
         assert_eq!(oracle.stats().hits, 3);
+    }
+
+    #[test]
+    fn probe_and_inject_verdict_round_the_memo_table() {
+        let oracle = Oracle::new();
+        let spec = parse_spec(GOOD).unwrap();
+        let key = Oracle::fingerprint(&spec);
+        // Unknown fingerprints probe to None without touching counters.
+        assert_eq!(oracle.probe_verdict(key), None);
+        assert_eq!(oracle.stats(), OracleCacheStats::default());
+        // A solved verdict probes back out.
+        assert!(oracle.satisfies_oracle(&spec).unwrap());
+        assert_eq!(oracle.probe_verdict(key), Some(true));
+        // An injected (peer-pooled) verdict is served without a solve …
+        let peer_key = Oracle::fingerprint(&parse_spec(BAD).unwrap());
+        oracle.inject_verdict(peer_key, false);
+        assert_eq!(oracle.probe_verdict(peer_key), Some(false));
+        let solves = oracle.stats().solver_invocations;
+        assert!(!oracle.satisfies_oracle(&parse_spec(BAD).unwrap()).unwrap());
+        assert_eq!(oracle.stats().solver_invocations, solves, "memo hit");
+        // … and injection never overwrites an existing memo.
+        oracle.inject_verdict(key, false);
+        assert_eq!(oracle.probe_verdict(key), Some(true));
+        // A disabled oracle ignores both sides.
+        let disabled = Oracle::disabled();
+        disabled.inject_verdict(key, true);
+        assert_eq!(disabled.probe_verdict(key), None);
     }
 
     #[test]

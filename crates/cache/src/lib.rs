@@ -35,9 +35,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use mualloy_analyzer::VerdictStore;
 use mualloy_syntax::Fingerprint;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use serde::Serialize;
-use specrepair_faults::{DiskFaultKind, DiskFaultPlan};
+use specrepair_faults::{CallBreaker, DiskFaultKind, DiskFaultPlan};
 
 use crate::log::VerdictLog;
 
@@ -91,65 +91,11 @@ pub struct PersistStats {
     pub injected_bit_flips: u64,
 }
 
-/// The disk-tier circuit breaker: call-count based (no wall clock, so
-/// chaos runs stay deterministic), mirroring the LM transport breaker.
-#[derive(Debug, Default)]
-struct Breaker {
-    inner: Mutex<BreakerInner>,
-}
-
-#[derive(Debug, Default)]
-struct BreakerInner {
-    consecutive_failures: u32,
-    open: bool,
-    skips_while_open: u32,
-}
-
-impl Breaker {
-    /// Whether the next append may touch the disk. While open, every
-    /// [`HALFOPEN_AFTER`]-th request is allowed through as a probe.
-    fn allow(&self) -> bool {
-        let mut inner = self.inner.lock();
-        if !inner.open {
-            return true;
-        }
-        inner.skips_while_open += 1;
-        if inner.skips_while_open >= HALFOPEN_AFTER {
-            inner.skips_while_open = 0;
-            return true;
-        }
-        false
-    }
-
-    /// Records an append success; a successful half-open probe closes the
-    /// breaker.
-    fn success(&self) {
-        let mut inner = self.inner.lock();
-        inner.consecutive_failures = 0;
-        inner.open = false;
-    }
-
-    /// Records an append failure. Returns `true` when this failure tripped
-    /// the breaker open.
-    fn failure(&self) -> bool {
-        let mut inner = self.inner.lock();
-        inner.consecutive_failures += 1;
-        if inner.open {
-            // A failed half-open probe restarts the cooldown.
-            inner.skips_while_open = 0;
-            return false;
-        }
-        if inner.consecutive_failures >= TRIP_AFTER {
-            inner.open = true;
-            inner.skips_while_open = 0;
-            return true;
-        }
-        false
-    }
-
-    fn is_open(&self) -> bool {
-        self.inner.lock().open
-    }
+/// The disk-tier circuit breaker: the shared call-count
+/// [`CallBreaker`] discipline (no wall clock, so chaos runs stay
+/// deterministic), instantiated with this tier's trip and cooldown counts.
+fn disk_breaker() -> CallBreaker {
+    CallBreaker::new(TRIP_AFTER, HALFOPEN_AFTER)
 }
 
 /// The crash-safe persistent verdict store. Cheap to share behind an
@@ -159,7 +105,7 @@ pub struct PersistentCache {
     /// Every known entry: disk contents at open plus everything recorded
     /// since (including records the degraded mode kept memory-only).
     map: RwLock<HashMap<u128, bool>>,
-    breaker: Breaker,
+    breaker: CallBreaker,
     preloaded: u64,
     quarantined: AtomicU64,
     hits: AtomicU64,
@@ -205,7 +151,7 @@ impl PersistentCache {
             preloaded: recovered.entries.len() as u64,
             quarantined: AtomicU64::new(recovered.quarantined),
             map: RwLock::new(recovered.entries),
-            breaker: Breaker::default(),
+            breaker: disk_breaker(),
             hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             appends: AtomicU64::new(0),

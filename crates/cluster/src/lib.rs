@@ -1,0 +1,35 @@
+//! # specrepair-cluster
+//!
+//! Distributed oracle cluster primitives: N `specrepaird` processes shard
+//! the 128-bit canonical spec-fingerprint space and pool their verdict
+//! caches, so the huge, heavily overlapping candidate streams of
+//! BeAFix-style exhaustive search and LLM re-prompting loops are solved
+//! once cluster-wide instead of once per node.
+//!
+//! Three pieces, all deterministic:
+//!
+//! - [`ShardRing`] — consistent hashing with fixed per-node virtual points
+//!   seeded from the node id via SplitMix64. No RNG at lookup; the same
+//!   node list yields the same ring in every process, and removing a node
+//!   remaps only the keys that node owned.
+//! - [`client`] — the tiny blocking `std::net` HTTP/1.1 client shared by
+//!   the router, the remote store, the load generator and the tests (the
+//!   build environment is offline: no async runtime, no HTTP crate).
+//! - [`RemoteVerdictStore`] — the analyzer's `VerdictStore` seam over the
+//!   shard daemons' compact `GET/PUT /verdict/<fingerprint>` API, with a
+//!   per-shard call-count [`specrepair_faults::CallBreaker`] so a dead
+//!   peer degrades into local solving instead of hanging the pipeline.
+//!
+//! The invariant carried over from the single-node tiers: a remote verdict
+//! is only ever the output of the same deterministic solve a local miss
+//! would run, so cluster-mode artifacts stay byte-identical to single-node
+//! runs at any shard count.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod remote;
+pub mod ring;
+
+pub use remote::{RemoteStats, RemoteVerdictStore};
+pub use ring::{ShardNode, ShardRing};

@@ -1,0 +1,303 @@
+//! The remote verdict tier: `VerdictStore` over the shard `/verdict` API.
+//!
+//! A shard (or a study/loadgen client) attaches this store behind its
+//! in-memory memo and local persistent log, giving the probe order
+//! **memo → local log → remote shard**; every freshly solved verdict is
+//! written through to the key's owning peer, so the whole cluster pools
+//! one verdict cache across the fingerprint space.
+//!
+//! The store is infallible at the `VerdictStore` seam, like every tier: a
+//! dead or misbehaving peer yields `None` (the caller solves locally —
+//! byte-identical output, just slower) and trips that peer's call-count
+//! [`CallBreaker`], so a down shard costs one failed connect per cooldown
+//! window instead of one per lookup. One retry on transport failure
+//! absorbs the single-connect races a restarting peer produces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mualloy_analyzer::VerdictStore;
+use mualloy_syntax::Fingerprint;
+use specrepair_faults::CallBreaker;
+
+use crate::client;
+use crate::ring::ShardRing;
+
+/// Consecutive transport failures before a peer's breaker opens.
+const TRIP_AFTER: u32 = 3;
+
+/// Skipped calls while open before one half-open probe is allowed.
+const HALFOPEN_AFTER: u32 = 32;
+
+/// Read timeout on peer calls: a verdict probe is a memo/log lookup on
+/// the peer, never a solve, so anything slow is a sick peer.
+const PEER_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A point-in-time snapshot of the remote tier's counters, embedded in
+/// the shard `/metrics` `cluster` section and the loadgen report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Remote lookups attempted (keys owned by a peer, breaker willing).
+    pub lookups: u64,
+    /// Lookups a peer answered with a verdict.
+    pub hits: u64,
+    /// Lookups a peer answered with "unknown fingerprint".
+    pub misses: u64,
+    /// Write-through records sent to owning peers.
+    pub puts: u64,
+    /// Lookups/records skipped because this node owns the key itself.
+    pub self_owned: u64,
+    /// Calls that failed in transport (after the single retry).
+    pub transport_errors: u64,
+    /// Transport retries taken (one per failed first attempt).
+    pub retries: u64,
+    /// Times a peer breaker tripped open.
+    pub breaker_trips: u64,
+    /// Calls skipped because the peer's breaker was open.
+    pub skipped_open: u64,
+}
+
+impl RemoteStats {
+    /// Fraction of attempted remote lookups a peer answered (0.0 idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The `VerdictStore` tier that asks the owning peer shard.
+pub struct RemoteVerdictStore {
+    ring: ShardRing,
+    /// This node's own ring identity, when it is itself a shard: keys it
+    /// owns never leave the process (its memo/log already answered).
+    self_id: Option<String>,
+    breakers: Vec<CallBreaker>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    self_owned: AtomicU64,
+    transport_errors: AtomicU64,
+    retries: AtomicU64,
+    breaker_trips: AtomicU64,
+    skipped_open: AtomicU64,
+}
+
+impl std::fmt::Debug for RemoteVerdictStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteVerdictStore")
+            .field("nodes", &self.ring.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl RemoteVerdictStore {
+    /// A remote tier over `ring`. `self_id` names this process's own ring
+    /// node (shard daemons pass their own address; pure clients pass
+    /// `None` and probe every owner remotely).
+    pub fn new(ring: ShardRing, self_id: Option<String>) -> RemoteVerdictStore {
+        let breakers = (0..ring.len())
+            .map(|_| CallBreaker::new(TRIP_AFTER, HALFOPEN_AFTER))
+            .collect();
+        RemoteVerdictStore {
+            ring,
+            self_id,
+            breakers,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            self_owned: AtomicU64::new(0),
+            transport_errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            skipped_open: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring this store routes over.
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// Snapshot of the tier's counters.
+    pub fn stats(&self) -> RemoteStats {
+        RemoteStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            self_owned: self.self_owned.load(Ordering::Relaxed),
+            transport_errors: self.transport_errors.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            skipped_open: self.skipped_open.load(Ordering::Relaxed),
+        }
+    }
+
+    /// How many peer breakers are currently open.
+    pub fn open_breakers(&self) -> usize {
+        self.breakers.iter().filter(|b| b.is_open()).count()
+    }
+
+    /// The peer owning `key`, unless this node owns it itself or the
+    /// peer's breaker refuses the call.
+    fn admitted_owner(&self, key: Fingerprint) -> Option<usize> {
+        let index = self.ring.owner_index(key);
+        if self.self_id.as_deref() == Some(self.ring.nodes()[index].id.as_str()) {
+            self.self_owned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if !self.breakers[index].allow() {
+            self.skipped_open.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(index)
+    }
+
+    /// One call to peer `index` with a single retry on transport failure,
+    /// feeding the peer's breaker. `Some((status, body))` on success.
+    fn call_peer(
+        &self,
+        index: usize,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Option<(u16, String)> {
+        let addr = self.ring.nodes()[index].addr.as_str();
+        let mut outcome = client::call(addr, method, path, body, PEER_TIMEOUT);
+        if outcome.is_err() {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            outcome = client::call(addr, method, path, body, PEER_TIMEOUT);
+        }
+        match outcome {
+            Ok(answer) => {
+                self.breakers[index].success();
+                Some(answer)
+            }
+            Err(_) => {
+                self.transport_errors.fetch_add(1, Ordering::Relaxed);
+                if self.breakers[index].failure() {
+                    self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Extracts the `verdict` boolean from a shard's `GET /verdict` body.
+fn parse_verdict(body: &str) -> Option<bool> {
+    let value: serde::Value = serde_json::from_str(body).ok()?;
+    let serde::Value::Map(doc) = value else {
+        return None;
+    };
+    doc.iter().find_map(|(k, v)| match v {
+        serde::Value::Bool(b) if k == "verdict" => Some(*b),
+        _ => None,
+    })
+}
+
+impl VerdictStore for RemoteVerdictStore {
+    fn lookup(&self, key: Fingerprint) -> Option<bool> {
+        let index = self.admitted_owner(key)?;
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let (status, body) = self.call_peer(index, "GET", &format!("/verdict/{key}"), "")?;
+        match status {
+            200 => match parse_verdict(&body) {
+                Some(verdict) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(verdict)
+                }
+                None => {
+                    // A 200 without a boolean verdict is a peer bug; treat
+                    // it as a miss, never as an answer.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn record(&self, key: Fingerprint, verdict: bool) {
+        let Some(index) = self.admitted_owner(key) else {
+            return;
+        };
+        let body = if verdict { "1" } else { "0" };
+        if self
+            .call_peer(index, "PUT", &format!("/verdict/{key}"), body)
+            .is_some()
+        {
+            self.puts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_verdict_reads_compact_and_pretty_bodies() {
+        assert_eq!(
+            parse_verdict(r#"{"verdict":true,"source":"memo"}"#),
+            Some(true)
+        );
+        assert_eq!(parse_verdict("{\n  \"verdict\": false\n}"), Some(false));
+        assert_eq!(parse_verdict(r#"{"error":"unknown fingerprint"}"#), None);
+        assert_eq!(parse_verdict("not json"), None);
+        assert_eq!(parse_verdict(r#"{"verdict":"yes"}"#), None);
+    }
+
+    #[test]
+    fn self_owned_keys_never_go_remote() {
+        let ring = ShardRing::from_addrs(&["127.0.0.1:1", "127.0.0.1:2"]);
+        let store = RemoteVerdictStore::new(ring.clone(), None);
+        // Find one key per owner.
+        let mut keys = [None, None];
+        for k in 0..64u128 {
+            let key = Fingerprint(k.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            keys[ring.owner_index(key)].get_or_insert(key);
+        }
+        let (a, b) = (keys[0].unwrap(), keys[1].unwrap());
+        // As node 1's own store, keys owned by node 1 are skipped without
+        // any transport attempt; keys owned by node 2 attempt (and fail —
+        // nothing listens).
+        let own = RemoteVerdictStore::new(ring, Some("127.0.0.1:1".to_string()));
+        assert_eq!(own.lookup(a), None);
+        assert_eq!(own.stats().self_owned, 1);
+        assert_eq!(own.stats().transport_errors, 0);
+        assert_eq!(own.lookup(b), None);
+        assert_eq!(own.stats().transport_errors, 1);
+        assert_eq!(own.stats().retries, 1);
+        // A client store (no self) attempts both.
+        assert_eq!(store.lookup(a), None);
+        assert_eq!(store.stats().self_owned, 0);
+        assert_eq!(store.stats().transport_errors, 1);
+    }
+
+    #[test]
+    fn dead_peer_trips_the_breaker_and_skips_further_calls() {
+        let ring = ShardRing::from_addrs(&["127.0.0.1:9"]);
+        let store = RemoteVerdictStore::new(ring, None);
+        let key = Fingerprint(7);
+        for _ in 0..TRIP_AFTER {
+            assert_eq!(store.lookup(key), None);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(store.open_breakers(), 1);
+        // Further traffic is skipped, not attempted.
+        store.record(key, true);
+        assert_eq!(store.stats().skipped_open, 1);
+        assert_eq!(store.stats().transport_errors, stats.transport_errors);
+    }
+}

@@ -256,6 +256,91 @@ impl DiskFaultPlan {
     }
 }
 
+/// A call-count circuit breaker: the degradation discipline shared by every
+/// unreliable seam in the workspace (the persistent cache's disk appends,
+/// the LM transport, the cluster's per-shard links).
+///
+/// Counting calls instead of wall-clock time keeps chaos runs deterministic:
+/// the same fault schedule trips and heals the breaker at the same call
+/// indices on every run. `trip_after` consecutive failures open it; while
+/// open every `halfopen_after`-th call is allowed through as a probe, and a
+/// probe success closes it again.
+#[derive(Debug)]
+pub struct CallBreaker {
+    trip_after: u32,
+    halfopen_after: u32,
+    inner: std::sync::Mutex<CallBreakerInner>,
+}
+
+#[derive(Debug, Default)]
+struct CallBreakerInner {
+    consecutive_failures: u32,
+    open: bool,
+    skips_while_open: u32,
+}
+
+impl CallBreaker {
+    /// A closed breaker tripping after `trip_after` consecutive failures
+    /// and probing every `halfopen_after`-th call while open.
+    pub fn new(trip_after: u32, halfopen_after: u32) -> CallBreaker {
+        CallBreaker {
+            trip_after: trip_after.max(1),
+            halfopen_after: halfopen_after.max(1),
+            inner: std::sync::Mutex::new(CallBreakerInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CallBreakerInner> {
+        // Poisoning is absorbed: a panicking caller leaves valid counters.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether the next call may go through. While open, every
+    /// `halfopen_after`-th request is allowed as a half-open probe.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.lock();
+        if !inner.open {
+            return true;
+        }
+        inner.skips_while_open += 1;
+        if inner.skips_while_open >= self.halfopen_after {
+            inner.skips_while_open = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Records a success; a successful half-open probe closes the breaker.
+    pub fn success(&self) {
+        let mut inner = self.lock();
+        inner.consecutive_failures = 0;
+        inner.open = false;
+    }
+
+    /// Records a failure. Returns `true` when this failure tripped the
+    /// breaker open.
+    pub fn failure(&self) -> bool {
+        let mut inner = self.lock();
+        inner.consecutive_failures += 1;
+        if inner.open {
+            // A failed half-open probe restarts the cooldown.
+            inner.skips_while_open = 0;
+            return false;
+        }
+        if inner.consecutive_failures >= self.trip_after {
+            inner.open = true;
+            inner.skips_while_open = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the breaker is currently open (the seam is degraded).
+    pub fn is_open(&self) -> bool {
+        self.lock().open
+    }
+}
+
 /// Shared injected-fault accounting: one atomic counter per kind. Cheap to
 /// clone behind an `Arc`; every decorated transport records here.
 #[derive(Debug, Default)]
@@ -407,6 +492,29 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 3, "only saw {seen:?}");
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_probes_half_open() {
+        let breaker = CallBreaker::new(3, 4);
+        assert!(!breaker.is_open());
+        assert!(!breaker.failure());
+        assert!(!breaker.failure());
+        breaker.success(); // a success resets the consecutive count
+        assert!(!breaker.failure());
+        assert!(!breaker.failure());
+        assert!(breaker.failure(), "third consecutive failure trips");
+        assert!(breaker.is_open());
+        // While open, exactly one probe per `halfopen_after` calls.
+        let allowed = (0..8).filter(|_| breaker.allow()).count();
+        assert_eq!(allowed, 2);
+        // A failed probe restarts the cooldown without re-tripping.
+        assert!(!breaker.failure());
+        assert!(breaker.is_open());
+        // A successful probe closes the breaker.
+        breaker.success();
+        assert!(!breaker.is_open());
+        assert!(breaker.allow());
     }
 
     #[test]

@@ -5,15 +5,25 @@
 //!                     [--max-scope N] [--cache-per-shard N] [--shutdown-file P]
 //!                     [--chaos-rate R] [--chaos-seed N] [--trace]
 //!                     [--cache-dir P] [--disk-chaos-rate R] [--disk-chaos-seed N]
+//!                     [--shard-id N --peers a,b,c]
+//! specrepaird route   --shards a,b,c [--addr A] [--workers N] [--queue N]
+//!                     [--deadline-ms N] [--max-scope N] [--shutdown-file P]
 //! specrepaird loadgen [--addr A] [--requests N] [--connections N]
 //!                     [--deadline-ms N] [--seed N] [--chaos-rate R]
-//!                     [--shed-backoff-ms N]
+//!                     [--shed-backoff-ms N] [--profile uniform|zipfian]
+//!                     [--tenants N] [--shards a,b,c]
 //! ```
 //!
 //! `serve` runs the daemon in the foreground until `POST /shutdown` (or the
-//! shutdown file appears). `loadgen` drives a running daemon and exits
-//! nonzero if any response was outside the expected set (200/503/504).
-//! `--chaos-rate` (both subcommands) turns on deterministic LM-transport
+//! shutdown file appears); with `--shard-id`/`--peers` it runs as one shard
+//! of a consistent-hash oracle cluster, exposing the verdict-exchange API.
+//! `route` runs the deterministic cluster front-end: it forwards each
+//! repair to the shard owning the spec's fingerprint, degrading to a local
+//! solve when that shard is down. `loadgen` drives a running daemon (or
+//! router) and exits nonzero if any response was outside the expected set
+//! (200/503/504); `--profile zipfian` generates a multi-tenant rank-skewed
+//! workload, and `--shards` makes the report read per-shard hit rates.
+//! `--chaos-rate` (serve/loadgen) turns on deterministic LM-transport
 //! fault injection, exercised through the resilience layer and visible in
 //! `GET /metrics` under `transport`. `--trace` turns on the span collector:
 //! every repair's per-phase busy time aggregates into `GET /trace/summary`,
@@ -22,19 +32,35 @@
 //! `GET /metrics` grows a `persistent` section); `--disk-chaos-rate` injects
 //! deterministic disk faults into that tier's appends.
 
-use specrepair_server::{loadgen, server, LoadgenConfig, ServerConfig};
+use specrepair_server::server::ShardConfig;
+use specrepair_server::{
+    loadgen, router, server, LoadgenConfig, RouterConfig, ServerConfig, WorkloadProfile,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
+        Some("route") => route(&args[1..]),
         Some("loadgen") => run_loadgen(&args[1..]),
-        _ => die("expected a subcommand: serve | loadgen"),
+        _ => die("expected a subcommand: serve | route | loadgen"),
     }
+}
+
+/// Splits a `--shards`/`--peers` comma list into trimmed addresses.
+fn addr_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 fn serve(args: &[String]) {
     let mut config = ServerConfig::default();
+    let mut shard_id: Option<usize> = None;
+    let mut peers: Vec<String> = Vec::new();
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag.as_str() {
@@ -51,13 +77,42 @@ fn serve(args: &[String]) {
             "--cache-dir" => config.cache_dir = Some(flags.value(&flag).into()),
             "--disk-chaos-rate" => config.disk_chaos_rate = flags.rate(&flag),
             "--disk-chaos-seed" => config.disk_chaos_seed = flags.parsed(&flag),
+            "--shard-id" => shard_id = Some(flags.parsed(&flag)),
+            "--peers" => peers = addr_list(&flags.value(&flag)),
             other => die(&format!("unknown flag `{other}` for serve")),
         }
     }
+    config.shard = match (shard_id, peers.is_empty()) {
+        (Some(shard_id), false) => Some(ShardConfig { shard_id, peers }),
+        (None, true) => None,
+        _ => die("--shard-id and --peers must be given together"),
+    };
     let handle = server::spawn(config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
     eprintln!("specrepaird listening on {}", handle.addr());
     handle.join();
     eprintln!("specrepaird drained and stopped");
+}
+
+fn route(args: &[String]) {
+    let mut config = RouterConfig::default();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag.as_str() {
+            "--addr" => config.addr = flags.value(&flag),
+            "--shards" => config.shards = addr_list(&flags.value(&flag)),
+            "--workers" => config.workers = flags.parsed(&flag),
+            "--queue" => config.queue_capacity = flags.parsed(&flag),
+            "--deadline-ms" => config.default_deadline_ms = flags.parsed(&flag),
+            "--max-scope" => config.max_scope = flags.parsed(&flag),
+            "--shutdown-file" => config.shutdown_file = Some(flags.value(&flag).into()),
+            other => die(&format!("unknown flag `{other}` for route")),
+        }
+    }
+    let handle =
+        router::spawn_router(config).unwrap_or_else(|e| die(&format!("cannot start router: {e}")));
+    eprintln!("specrepaird router listening on {}", handle.addr());
+    handle.join();
+    eprintln!("specrepaird router drained and stopped");
 }
 
 fn run_loadgen(args: &[String]) {
@@ -72,6 +127,12 @@ fn run_loadgen(args: &[String]) {
             "--seed" => config.seed = flags.parsed(&flag),
             "--chaos-rate" => config.chaos_rate = flags.rate(&flag),
             "--shed-backoff-ms" => config.shed_backoff_ms = flags.parsed(&flag),
+            "--profile" => {
+                config.profile =
+                    WorkloadProfile::parse(&flags.value(&flag)).unwrap_or_else(|e| die(&e))
+            }
+            "--tenants" => config.tenants = flags.parsed(&flag),
+            "--shards" => config.shards = addr_list(&flags.value(&flag)),
             other => die(&format!("unknown flag `{other}` for loadgen")),
         }
     }
@@ -133,9 +194,13 @@ fn die(msg: &str) -> ! {
         "usage: specrepaird serve   [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
          [--max-scope N] [--cache-per-shard N] [--shutdown-file P] \
          [--chaos-rate R] [--chaos-seed N] [--trace] \
-         [--cache-dir P] [--disk-chaos-rate R] [--disk-chaos-seed N]\n\
+         [--cache-dir P] [--disk-chaos-rate R] [--disk-chaos-seed N] \
+         [--shard-id N --peers a,b,c]\n\
+         \x20      specrepaird route   --shards a,b,c [--addr A] [--workers N] [--queue N] \
+         [--deadline-ms N] [--max-scope N] [--shutdown-file P]\n\
          \x20      specrepaird loadgen [--addr A] [--requests N] [--connections N] \
-         [--deadline-ms N] [--seed N] [--chaos-rate R] [--shed-backoff-ms N]"
+         [--deadline-ms N] [--seed N] [--chaos-rate R] [--shed-backoff-ms N] \
+         [--profile uniform|zipfian] [--tenants N] [--shards a,b,c]"
     );
     std::process::exit(2);
 }

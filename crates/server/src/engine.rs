@@ -1,0 +1,224 @@
+//! The daemon engine shared by `specrepaird serve` and `specrepaird
+//! route`: a blocking acceptor thread, a bounded admission queue and a
+//! fixed worker pool over `std::net`, generic over the app that routes
+//! requests.
+//!
+//! Load shedding happens at admission: when the queue is full the acceptor
+//! answers `503` with `Retry-After` itself and never hands the connection
+//! to a worker, so overload degrades into fast rejections instead of
+//! unbounded latency. Shutdown (via `POST /shutdown` or a signal file) is
+//! graceful — the acceptor stops admitting, workers drain what was already
+//! queued, then everything joins.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::metrics::ServerMetrics;
+
+/// How long a worker waits for the next request on an idle keep-alive
+/// connection before closing it.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+
+/// Acceptor poll interval while the listener has nothing to accept.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// The admission machinery every engine-driven daemon embeds: the bounded
+/// connection queue, the drain flag and the optional shutdown signal file.
+pub(crate) struct Admission {
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cond: Condvar,
+    queue_capacity: usize,
+    draining: AtomicBool,
+    shutdown_file: Option<PathBuf>,
+}
+
+impl Admission {
+    pub(crate) fn new(queue_capacity: usize, shutdown_file: Option<PathBuf>) -> Admission {
+        Admission {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+            draining: AtomicBool::new(false),
+            shutdown_file,
+        }
+    }
+
+    /// Initiates graceful shutdown (idempotent): stop admitting, wake
+    /// every worker so the drain check runs even on an empty queue.
+    pub(crate) fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue_cond.notify_all();
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// What an app plugs into the engine: its admission state, its metrics
+/// registry (the engine records sheds and queue depth there) and the
+/// request router.
+pub(crate) trait HttpApp: Send + Sync + 'static {
+    fn admission(&self) -> &Admission;
+    fn metrics(&self) -> &ServerMetrics;
+    fn route(self: &Arc<Self>, request: &Request) -> Response;
+}
+
+/// Spawns the acceptor and `workers` worker threads over the listener.
+/// Returns the handles; joining them after [`Admission::begin_drain`]
+/// completes a graceful shutdown.
+pub(crate) fn spawn_threads<A: HttpApp>(
+    listener: TcpListener,
+    workers: usize,
+    thread_prefix: &str,
+    app: &Arc<A>,
+) -> (JoinHandle<()>, Vec<JoinHandle<()>>) {
+    let workers = (0..workers.max(1))
+        .map(|i| {
+            let app = Arc::clone(app);
+            std::thread::Builder::new()
+                .name(format!("{thread_prefix}-worker-{i}"))
+                .spawn(move || worker_loop(&app))
+                .expect("spawning a worker thread")
+        })
+        .collect();
+    let acceptor = {
+        let app = Arc::clone(app);
+        std::thread::Builder::new()
+            .name(format!("{thread_prefix}-acceptor"))
+            .spawn(move || accept_loop(&listener, &app))
+            .expect("spawning the acceptor thread")
+    };
+    (acceptor, workers)
+}
+
+fn accept_loop<A: HttpApp>(listener: &TcpListener, app: &Arc<A>) {
+    let admission = app.admission();
+    // The signal file is polled on a coarser cadence than the listener.
+    let mut polls_until_file_check = 0u32;
+    loop {
+        if admission.is_draining() {
+            break;
+        }
+        if polls_until_file_check == 0 {
+            polls_until_file_check = 10;
+            if let Some(path) = &admission.shutdown_file {
+                if path.exists() {
+                    admission.begin_drain();
+                    break;
+                }
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => admit(app, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                polls_until_file_check = polls_until_file_check.saturating_sub(1);
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    admission.queue_cond.notify_all();
+}
+
+/// Enqueues one accepted connection, or sheds it with `503` when the
+/// admission queue is full.
+fn admit<A: HttpApp>(app: &Arc<A>, stream: TcpStream) {
+    let admission = app.admission();
+    {
+        let mut queue = admission.queue.lock().unwrap();
+        if queue.len() < admission.queue_capacity {
+            queue.push_back(stream);
+            app.metrics().queue_depth_add(1);
+            admission.queue_cond.notify_one();
+            return;
+        }
+    }
+    app.metrics().record_shed();
+    shed(stream);
+}
+
+/// Writes the `503` shed response. The request is read (best-effort, short
+/// timeout) before responding so well-behaved clients see the response
+/// rather than a reset from unread data.
+fn shed(stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let _ = read_request(&mut reader);
+    let mut writer = stream;
+    let _ = Response::error(503, "admission queue full, retry shortly")
+        .with_header("retry-after", "1")
+        .write_to(&mut writer, false);
+}
+
+fn worker_loop<A: HttpApp>(app: &Arc<A>) {
+    let admission = app.admission();
+    loop {
+        let next = {
+            let mut queue = admission.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    app.metrics().queue_depth_add(-1);
+                    break Some(stream);
+                }
+                if admission.is_draining() {
+                    break None;
+                }
+                let (guard, _) = admission
+                    .queue_cond
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap();
+                queue = guard;
+            }
+        };
+        let Some(stream) = next else { return };
+        app.metrics().inflight_add(1);
+        handle_connection(app, stream);
+        app.metrics().inflight_add(-1);
+    }
+}
+
+/// Serves one connection: a keep-alive loop of request → route → response.
+fn handle_connection<A: HttpApp>(app: &Arc<A>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let response = app.route(&request);
+                // Draining closes connections after the in-flight response.
+                let keep_alive = request.keep_alive && !app.admission().is_draining();
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
+            Err(RequestError::Malformed(msg)) => {
+                app.metrics().record_request("http", 400);
+                let _ = Response::error(400, &msg).write_to(&mut writer, false);
+                return;
+            }
+            Err(RequestError::TooLarge(n)) => {
+                app.metrics().record_request("http", 413);
+                let _ = Response::error(413, &format!("body of {n} bytes exceeds the limit"))
+                    .write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}

@@ -20,17 +20,28 @@
 //! bundled [`loadgen`] drives a running daemon for smoke tests and
 //! capacity checks.
 //!
+//! The daemon also scales out: `specrepaird serve --shard-id N --peers …`
+//! runs it as one shard of a consistent-hash oracle cluster (adding the
+//! compact `GET`/`PUT /verdict/<fingerprint>` shard API), and
+//! `specrepaird route --shards …` runs the deterministic [`router`] that
+//! forwards each repair to the shard owning its spec fingerprint —
+//! degrading to a local solve when that shard is down.
+//!
 //! Module map: [`http`] wire parsing · [`service`] request→repair→response
-//! · [`server`] threads, queue, shutdown · [`metrics`] observability ·
+//! · [`engine`] threads, queue, shutdown · [`server`] the daemon/shard ·
+//! [`router`] the cluster front-end · [`metrics`] observability ·
 //! [`loadgen`] the client.
 
+pub(crate) mod engine;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod router;
 pub mod server;
 pub mod service;
 
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadgenConfig, LoadgenReport, WorkloadProfile};
 pub use metrics::{Histogram, ServerMetrics};
-pub use server::{roundtrip, spawn, ServerConfig, ServerHandle};
+pub use router::{spawn_router, RouterConfig, RouterHandle};
+pub use server::{roundtrip, spawn, ServerConfig, ServerHandle, ShardConfig};
 pub use service::{RepairRequest, RepairService, ServiceConfig};

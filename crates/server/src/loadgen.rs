@@ -8,6 +8,17 @@
 //! seeds, so a second identical run replays byte-identical candidates and
 //! the daemon's oracle cache hit rate must rise — the `/metrics`
 //! reconciliation the CI smoke job checks.
+//!
+//! Two workload shapes: `uniform` cycles through one shared variant pool,
+//! `zipfian` models a multi-tenant Alloy4Fun deployment — each tenant gets
+//! its own injected-fault variant pool (tenant-offset seeds) and draws
+//! from it with a Zipf rank distribution, so a few variants per tenant are
+//! hot and the long tail is cold. Both shapes are pure functions of the
+//! config, so reruns replay byte-identical request streams.
+//!
+//! Against a cluster (`--shards a,b,c`) the generator reads every shard's
+//! `/metrics` after the run and reports per-shard and aggregate hit rates
+//! plus the remote verdict traffic.
 
 use std::net::TcpStream;
 use std::sync::mpsc;
@@ -16,6 +27,7 @@ use std::time::{Duration, Instant};
 use mualloy_syntax::print_spec;
 use serde::Value;
 use specrepair_benchmarks::a4f;
+use specrepair_cluster::client::connect_with_retry;
 use specrepair_core::CancelToken;
 use specrepair_mutation::{inject_fault, InjectorConfig};
 use specrepair_study::TechniqueId;
@@ -24,10 +36,43 @@ use crate::metrics::Histogram;
 use crate::server::roundtrip;
 use crate::service::push_json_string;
 
+/// Bounded connect-retry budget for `/metrics` and `/healthz` probes: a
+/// daemon booted "concurrently" with the generator (the CI smoke jobs) may
+/// still be binding its listener, so the first connects can lose the race.
+/// 25 × 40 ms ≈ one second of patience, counted in the report rather than
+/// silently absorbed.
+const PROBE_ATTEMPTS: usize = 25;
+
+/// Backoff between connect attempts; each wait polls a [`CancelToken`].
+const PROBE_BACKOFF: Duration = Duration::from_millis(40);
+
+/// The shape of the generated request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadProfile {
+    /// One shared variant pool, cycled round-robin (the original shape).
+    #[default]
+    Uniform,
+    /// Multi-tenant Zipf: per-tenant variant pools, rank-skewed draws.
+    Zipfian,
+}
+
+impl WorkloadProfile {
+    /// Parses the CLI spelling.
+    pub fn parse(label: &str) -> Result<WorkloadProfile, String> {
+        match label {
+            "uniform" => Ok(WorkloadProfile::Uniform),
+            "zipfian" => Ok(WorkloadProfile::Zipfian),
+            other => Err(format!(
+                "unknown profile {other:?} (want uniform or zipfian)"
+            )),
+        }
+    }
+}
+
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Daemon address, e.g. `127.0.0.1:7878`.
+    /// Daemon (or router) address, e.g. `127.0.0.1:7878`.
     pub addr: String,
     /// Total number of `POST /repair` requests to send.
     pub requests: usize,
@@ -44,6 +89,14 @@ pub struct LoadgenConfig {
     /// The wait polls a [`CancelToken`], so a deadline or Ctrl-C-style
     /// cancellation would cut it short rather than blocking the thread.
     pub shed_backoff_ms: u64,
+    /// Workload shape; see [`WorkloadProfile`].
+    pub profile: WorkloadProfile,
+    /// Tenant count for the zipfian profile (ignored by uniform).
+    pub tenants: usize,
+    /// Cluster mode: the shard `/metrics` addresses to read hit rates
+    /// from after the run (the ordered `--shards` list). Empty = single
+    /// node, read only `addr`.
+    pub shards: Vec<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -56,8 +109,28 @@ impl Default for LoadgenConfig {
             seed: 42,
             chaos_rate: 0.0,
             shed_backoff_ms: 0,
+            profile: WorkloadProfile::Uniform,
+            tenants: 4,
+            shards: Vec::new(),
         }
     }
+}
+
+/// One shard's post-run `/metrics` reading (cluster mode).
+#[derive(Debug, Clone)]
+pub struct ShardReading {
+    /// The shard's address.
+    pub addr: String,
+    /// Oracle cache hits on this shard.
+    pub hits: u64,
+    /// Oracle cache misses on this shard.
+    pub misses: u64,
+    /// The shard's own hit rate.
+    pub hit_rate: f64,
+    /// Verdicts this shard fetched from peers (`cluster.remote_hits`).
+    pub remote_hits: Option<u64>,
+    /// Verdicts this shard pushed to peers (`cluster.remote_puts`).
+    pub remote_puts: Option<u64>,
 }
 
 /// The outcome of one load-generation run.
@@ -106,6 +179,21 @@ pub struct LoadgenReport {
     /// a malformed body). Nonzero means `cache_hit_rate` is missing for a
     /// *reported* reason, not silently.
     pub metrics_fetch_failures: usize,
+    /// Connect retries spent winning the boot race across every `/metrics`
+    /// fetch of the run (bounded per fetch by [`PROBE_ATTEMPTS`]). Nonzero
+    /// is normal when the generator starts alongside the daemon; it is
+    /// counted so a chronically slow boot is visible, not absorbed.
+    pub metrics_fetch_retries: usize,
+    /// Per-shard readings (cluster mode; empty otherwise). In cluster mode
+    /// `cache_hit_rate` is the *aggregate* over these shards — summed hits
+    /// over summed lookups, not a mean of rates.
+    pub per_shard: Vec<ShardReading>,
+    /// Cluster-wide verdicts fetched from remote peers (summed
+    /// `cluster.remote_hits`; cluster mode only).
+    pub remote_hits: Option<u64>,
+    /// Cluster-wide verdicts pushed to remote peers (summed
+    /// `cluster.remote_puts`; cluster mode only).
+    pub remote_puts: Option<u64>,
 }
 
 impl LoadgenReport {
@@ -129,7 +217,7 @@ impl LoadgenReport {
     /// The human-readable report printed by the CLI.
     pub fn render(&self) -> String {
         let ms = |q: f64| self.latency.percentile(q).unwrap_or(0) as f64 / 1000.0;
-        format!(
+        let mut text = format!(
             "{} requests in {:.2?} ({:.1} req/s)\n\
              status: {} ok, {} shed (503), {} deadline (504), {} unexpected\n\
              latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n\
@@ -174,34 +262,132 @@ impl LoadgenReport {
                 }
                 _ => "off".to_string(),
             }
-        )
+        );
+        if self.metrics_fetch_retries > 0 {
+            text.push_str(&format!(
+                "\nmetrics fetches won the boot race after {} connect retr{}",
+                self.metrics_fetch_retries,
+                if self.metrics_fetch_retries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            ));
+        }
+        if !self.per_shard.is_empty() {
+            text.push_str(&format!(
+                "\ncluster: aggregate hit rate {}, {} remote hits, {} remote puts",
+                match self.cache_hit_rate {
+                    Some(rate) => format!("{:.1}%", rate * 100.0),
+                    None => "unavailable".to_string(),
+                },
+                self.remote_hits.unwrap_or(0),
+                self.remote_puts.unwrap_or(0),
+            ));
+            for shard in &self.per_shard {
+                text.push_str(&format!(
+                    "\n  shard {}: {:.1}% hit rate ({} hits / {} misses), remote {} hits / {} puts",
+                    shard.addr,
+                    shard.hit_rate * 100.0,
+                    shard.hits,
+                    shard.misses,
+                    shard.remote_hits.unwrap_or(0),
+                    shard.remote_puts.unwrap_or(0),
+                ));
+            }
+        }
+        text
     }
 }
 
-/// Builds the deterministic request bodies: faulty mutants of the A4F
-/// exercises, rotating through all twelve technique labels.
-pub fn request_bodies(config: &LoadgenConfig) -> Vec<String> {
+/// SplitMix64 — the workload sampler's only randomness primitive, so the
+/// draw sequence is a pure function of the config seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pool of up to `cap` injected-fault variants of the A4F
+/// exercises, seeded by `seed`.
+fn fault_pool(seed: u64, cap: usize) -> Vec<String> {
     let mut sources = Vec::new();
     'domains: for domain in a4f::domains() {
         for (i, (_, truth_source)) in a4f::exercises(domain).iter().enumerate() {
             let Ok(truth) = mualloy_syntax::parse_spec(truth_source) else {
                 continue;
             };
-            let seed = config.seed.wrapping_add(i as u64);
+            let seed = seed.wrapping_add(i as u64);
             if let Some(fault) = inject_fault(&truth, seed, InjectorConfig::default()) {
                 sources.push(print_spec(&fault.faulty));
             }
-            if sources.len() >= 24 {
+            if sources.len() >= cap {
                 break 'domains;
             }
         }
     }
     assert!(!sources.is_empty(), "the A4F corpus is never empty");
+    sources
+}
+
+/// The Zipf rank for a uniform draw `u ∈ [0, 1)` over `n` ranks with the
+/// classic 1/(r+1) weights: rank 0 is the hottest, the tail is cold.
+fn zipf_rank(n: usize, u: f64) -> usize {
+    let total: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+    let target = u * total;
+    let mut cumulative = 0.0;
+    for rank in 0..n {
+        cumulative += 1.0 / (rank + 1) as f64;
+        if cumulative >= target {
+            return rank;
+        }
+    }
+    n.saturating_sub(1)
+}
+
+/// Builds the deterministic request bodies, rotating through all twelve
+/// technique labels.
+///
+/// Uniform: one 24-variant pool cycled round-robin. Zipfian: request `i`
+/// belongs to tenant `i % tenants`; each tenant owns a 12-variant pool
+/// seeded from `seed` and the tenant index, and picks a variant by Zipf
+/// rank from a per-request SplitMix64 draw — hot heads, cold tails, and
+/// (because variant pools differ per tenant) cross-tenant fingerprints
+/// that spread over the whole shard ring.
+pub fn request_bodies(config: &LoadgenConfig) -> Vec<String> {
+    let picks: Vec<String> = match config.profile {
+        WorkloadProfile::Uniform => {
+            let sources = fault_pool(config.seed, 24);
+            (0..config.requests)
+                .map(|i| sources[i % sources.len()].clone())
+                .collect()
+        }
+        WorkloadProfile::Zipfian => {
+            let tenants = config.tenants.max(1);
+            let pools: Vec<Vec<String>> = (0..tenants)
+                .map(|tenant| fault_pool(mix(config.seed ^ (tenant as u64 + 1)), 12))
+                .collect();
+            (0..config.requests)
+                .map(|i| {
+                    let tenant = i % tenants;
+                    let pool = &pools[tenant];
+                    // One independent draw per (tenant, request): the 53
+                    // high bits of a SplitMix64 output as a unit float.
+                    let draw = mix(mix(config.seed ^ tenant as u64) ^ (i as u64 + 1));
+                    let u = (draw >> 11) as f64 / (1u64 << 53) as f64;
+                    pool[zipf_rank(pool.len(), u)].clone()
+                })
+                .collect()
+        }
+    };
     let techniques = TechniqueId::all();
-    (0..config.requests)
-        .map(|i| {
+    picks
+        .into_iter()
+        .enumerate()
+        .map(|(i, source)| {
             let mut spec = String::new();
-            push_json_string(&sources[i % sources.len()], &mut spec);
+            push_json_string(&source, &mut spec);
             let chaos = if config.chaos_rate > 0.0 {
                 format!(
                     ",\"fault_rate\":{},\"fault_seed\":{}",
@@ -226,10 +412,24 @@ pub fn request_bodies(config: &LoadgenConfig) -> Vec<String> {
 pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     let bodies = request_bodies(config);
     let connections = config.connections.max(1);
+    let mut metrics_fetch_retries = 0usize;
     // Pre-run baseline for the warm-boot delta. Best-effort: a daemon that
     // cannot even answer `/metrics` will fail the post-run fetch too, and
-    // that one is the reported failure.
-    let hit_rate_before = fetch_hit_rate(&config.addr).ok();
+    // that one is the reported failure. In cluster mode the baseline is
+    // the shard aggregate — the router's own oracle is only a degraded
+    // fallback and says nothing about cluster cache locality.
+    let hit_rate_before = if config.shards.is_empty() {
+        fetch_metrics_counting(&config.addr)
+            .ok()
+            .and_then(|(body, retries)| {
+                metrics_fetch_retries += retries;
+                parse_hit_rate(&body).ok()
+            })
+    } else {
+        let (rate, retries) = aggregate_shard_hit_rate(&config.shards);
+        metrics_fetch_retries += retries;
+        rate
+    };
     let started = Instant::now();
     let (tx, rx) = mpsc::channel::<(Option<u16>, u64)>();
     std::thread::scope(|scope| {
@@ -278,6 +478,10 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         persist_preloaded: None,
         persist_hits: None,
         metrics_fetch_failures: 0,
+        metrics_fetch_retries,
+        per_shard: Vec::new(),
+        remote_hits: None,
+        remote_puts: None,
     };
     for (status, micros) in rx {
         report.total += 1;
@@ -293,7 +497,8 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     // One post-run `/metrics` fetch feeds all three reconciliation
     // readings: the oracle cache hit rate, the candidate-dedup counters
     // and the incremental-session counters.
-    match fetch_metrics(&config.addr).and_then(|body| {
+    match fetch_metrics_counting(&config.addr).and_then(|(body, retries)| {
+        report.metrics_fetch_retries += retries;
         let rate = parse_hit_rate(&body)?;
         Ok((
             rate,
@@ -324,7 +529,113 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             report.metrics_fetch_failures += 1;
         }
     }
+    // Cluster mode: read every shard and report the aggregate — summed
+    // hits over summed lookups, so a hot shard cannot hide a cold one.
+    if !config.shards.is_empty() {
+        let (mut hits_sum, mut misses_sum) = (0u64, 0u64);
+        let (mut remote_hits, mut remote_puts) = (0u64, 0u64);
+        let mut any = false;
+        for addr in &config.shards {
+            match read_shard(addr) {
+                Ok((reading, retries)) => {
+                    report.metrics_fetch_retries += retries;
+                    hits_sum += reading.hits;
+                    misses_sum += reading.misses;
+                    remote_hits += reading.remote_hits.unwrap_or(0);
+                    remote_puts += reading.remote_puts.unwrap_or(0);
+                    any = true;
+                    report.per_shard.push(reading);
+                }
+                Err(why) => {
+                    eprintln!("warning: could not read shard {addr} /metrics: {why}");
+                    report.metrics_fetch_failures += 1;
+                }
+            }
+        }
+        if any {
+            report.remote_hits = Some(remote_hits);
+            report.remote_puts = Some(remote_puts);
+        }
+        report.cache_hit_rate = if hits_sum + misses_sum > 0 {
+            Some(hits_sum as f64 / (hits_sum + misses_sum) as f64)
+        } else {
+            None
+        };
+    }
     report
+}
+
+/// Aggregate hit rate over a shard list — summed hits over summed
+/// lookups — plus the connect retries spent. `None` when no shard (or no
+/// lookup) answered.
+fn aggregate_shard_hit_rate(shards: &[String]) -> (Option<f64>, usize) {
+    let (mut hits_sum, mut misses_sum, mut retries_sum) = (0u64, 0u64, 0usize);
+    for addr in shards {
+        if let Ok((reading, retries)) = read_shard(addr) {
+            hits_sum += reading.hits;
+            misses_sum += reading.misses;
+            retries_sum += retries;
+        }
+    }
+    let rate = if hits_sum + misses_sum > 0 {
+        Some(hits_sum as f64 / (hits_sum + misses_sum) as f64)
+    } else {
+        None
+    };
+    (rate, retries_sum)
+}
+
+/// Reads one shard's `/metrics` into a [`ShardReading`], plus the connect
+/// retries the fetch needed.
+///
+/// # Errors
+///
+/// A human-readable description of the failed fetch or the malformed body.
+fn read_shard(addr: &str) -> Result<(ShardReading, usize), String> {
+    let (body, retries) = fetch_metrics_counting(addr)?;
+    let reading = ShardReading {
+        addr: addr.to_string(),
+        hits: metrics_number(&body, "oracle_cache", "hits")? as u64,
+        misses: metrics_number(&body, "oracle_cache", "misses")? as u64,
+        hit_rate: parse_hit_rate(&body)?,
+        remote_hits: metrics_number(&body, "cluster", "remote_hits")
+            .ok()
+            .map(|n| n as u64),
+        remote_puts: metrics_number(&body, "cluster", "remote_puts")
+            .ok()
+            .map(|n| n as u64),
+    };
+    Ok((reading, retries))
+}
+
+/// Polls `GET /healthz` until the daemon answers `200`, with the same
+/// bounded deterministic retry budget as the metrics fetches. Returns how
+/// many attempts were spent waiting (0 = healthy on the first try).
+///
+/// # Errors
+///
+/// A description of the last failure once the budget is exhausted.
+pub fn wait_healthy(addr: &str) -> Result<usize, String> {
+    let cancel = CancelToken::none();
+    let mut last = String::from("never attempted");
+    for attempt in 0..PROBE_ATTEMPTS {
+        match connect_with_retry(addr, 1, PROBE_BACKOFF, &cancel)
+            .map_err(|e| format!("connect: {e}"))
+            .and_then(|(mut stream, _)| {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                roundtrip(&mut stream, "GET", "/healthz", "").map_err(|e| format!("transport: {e}"))
+            }) {
+            Ok((200, _)) => return Ok(attempt),
+            Ok((status, _)) => last = format!("status {status}"),
+            Err(why) => last = why,
+        }
+        if !cancel.sleep(PROBE_BACKOFF) {
+            break;
+        }
+    }
+    Err(format!(
+        "{addr} not healthy after {PROBE_ATTEMPTS} attempts (last: {last})"
+    ))
 }
 
 /// One `POST /repair` over a fresh connection; `None` on transport errors.
@@ -349,14 +660,27 @@ pub fn fetch_hit_rate(addr: &str) -> Result<f64, String> {
 
 /// Fetches the raw `/metrics` body from a running daemon.
 pub fn fetch_metrics(addr: &str) -> Result<String, String> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    fetch_metrics_counting(addr).map(|(body, _)| body)
+}
+
+/// Fetches `/metrics` with the bounded boot-race connect retry, returning
+/// the body together with how many connect retries the fetch spent.
+///
+/// # Errors
+///
+/// The connect failure once the retry budget is exhausted, a transport
+/// error, or a non-200 status — each described.
+pub fn fetch_metrics_counting(addr: &str) -> Result<(String, usize), String> {
+    let cancel = CancelToken::none();
+    let (mut stream, retries) = connect_with_retry(addr, PROBE_ATTEMPTS, PROBE_BACKOFF, &cancel)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let (status, body) = roundtrip(&mut stream, "GET", "/metrics", "")
         .map_err(|e| format!("GET /metrics transport error: {e}"))?;
     if status != 200 {
         return Err(format!("GET /metrics answered status {status}"));
     }
-    Ok(body)
+    Ok((body, retries))
 }
 
 /// Extracts `{section}.{field}` from a `/metrics` response body as a
@@ -486,6 +810,10 @@ mod tests {
             persist_preloaded: Some(12),
             persist_hits: Some(5),
             metrics_fetch_failures: 0,
+            metrics_fetch_retries: 0,
+            per_shard: Vec::new(),
+            remote_hits: None,
+            remote_puts: None,
         };
         assert!(report.clean());
         assert!((report.throughput() - 5.0).abs() < 1e-9);
@@ -520,6 +848,10 @@ mod tests {
             persist_preloaded: None,
             persist_hits: None,
             metrics_fetch_failures: 1,
+            metrics_fetch_retries: 3,
+            per_shard: Vec::new(),
+            remote_hits: None,
+            remote_puts: None,
         };
         let text = report.render();
         assert!(
@@ -535,6 +867,109 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("persistent tier after run: off"), "{text}");
+        assert!(text.contains("boot race after 3 connect retries"), "{text}");
+    }
+
+    #[test]
+    fn zipfian_bodies_are_deterministic_and_skewed() {
+        let config = LoadgenConfig {
+            requests: 120,
+            profile: WorkloadProfile::Zipfian,
+            tenants: 3,
+            ..LoadgenConfig::default()
+        };
+        let a = request_bodies(&config);
+        assert_eq!(a, request_bodies(&config), "same seed, same workload");
+        assert_eq!(a.len(), 120);
+        // Skew: the most frequent spec body must clearly beat a uniform
+        // share. With 3 tenants × 12 ranks a uniform draw gives each
+        // variant ~3.3% of requests; Zipf rank 0 gets ~32% per tenant.
+        let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for body in &a {
+            let spec = body.split("\"technique\"").next().unwrap();
+            *counts.entry(spec).or_insert(0) += 1;
+        }
+        let hottest = *counts.values().max().unwrap();
+        assert!(
+            hottest >= 8,
+            "expected a hot head, hottest spec got {hottest}/120"
+        );
+        assert!(counts.len() > 3, "tenants draw from distinct pools");
+        // Every body still parses into a valid repair request.
+        for body in a.iter().take(10) {
+            let parsed = crate::service::RepairRequest::parse(body).unwrap();
+            assert!(mualloy_syntax::parse_spec(&parsed.spec).is_ok());
+        }
+        // A different seed reshuffles the stream.
+        let other = request_bodies(&LoadgenConfig { seed: 43, ..config });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn zipf_rank_is_monotone_and_bounded() {
+        // u = 0 maps to the hottest rank; u → 1 walks down the tail.
+        assert_eq!(zipf_rank(12, 0.0), 0);
+        assert!(zipf_rank(12, 0.999) > zipf_rank(12, 0.01));
+        assert!(zipf_rank(12, 0.999) < 12);
+        // Degenerate pool sizes stay in range.
+        assert_eq!(zipf_rank(1, 0.7), 0);
+        // Rank 0 owns its full 1/H(12) ≈ 32% head of the unit interval.
+        assert_eq!(zipf_rank(12, 0.3), 0);
+    }
+
+    #[test]
+    fn profile_parses_cli_spellings() {
+        assert_eq!(
+            WorkloadProfile::parse("uniform"),
+            Ok(WorkloadProfile::Uniform)
+        );
+        assert_eq!(
+            WorkloadProfile::parse("zipfian"),
+            Ok(WorkloadProfile::Zipfian)
+        );
+        assert!(WorkloadProfile::parse("hot").is_err());
+    }
+
+    #[test]
+    fn cluster_report_renders_per_shard_hit_rates() {
+        let report = LoadgenReport {
+            total: 4,
+            ok: 4,
+            shed: 0,
+            timed_out: 0,
+            unexpected: 0,
+            latency: Histogram::default(),
+            elapsed: Duration::from_secs(1),
+            cache_hit_rate: Some(0.5),
+            dedup_hits: None,
+            dedup_rate: None,
+            incremental_checks: None,
+            clause_reuse_rate: None,
+            hit_rate_before: None,
+            persist_preloaded: None,
+            persist_hits: None,
+            metrics_fetch_failures: 0,
+            metrics_fetch_retries: 0,
+            per_shard: vec![ShardReading {
+                addr: "127.0.0.1:7971".to_string(),
+                hits: 6,
+                misses: 6,
+                hit_rate: 0.5,
+                remote_hits: Some(2),
+                remote_puts: Some(3),
+            }],
+            remote_hits: Some(2),
+            remote_puts: Some(3),
+        };
+        let text = report.render();
+        assert!(
+            text.contains("cluster: aggregate hit rate 50.0%, 2 remote hits, 3 remote puts"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard 127.0.0.1:7971: 50.0% hit rate (6 hits / 6 misses)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -220,9 +220,14 @@ impl ServerMetrics {
 
     /// Renders the whole registry (plus the shared oracle's cache stats,
     /// the global candidate-dedup counters, the incremental-session
-    /// counters, the daemon-wide LM resilience counters and — when the
+    /// counters, the daemon-wide LM resilience counters, — when the
     /// daemon runs with `--cache-dir` — the persistent verdict tier's
-    /// counters) as the `GET /metrics` JSON document.
+    /// counters, and — in cluster mode — the caller-prebuilt `cluster`
+    /// section) as the `GET /metrics` JSON document.
+    ///
+    /// One parameter per stats source is deliberate: every call site must
+    /// decide explicitly what each section shows.
+    #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
         oracle: &OracleCacheStats,
@@ -231,6 +236,7 @@ impl ServerMetrics {
         incremental: &IncrementalStats,
         transport: &TransportStats,
         persist: Option<&PersistStats>,
+        cluster: Option<Value>,
     ) -> String {
         // requests: endpoint -> {status -> count}
         let mut per_endpoint: BTreeMap<String, Vec<(String, Value)>> = BTreeMap::new();
@@ -341,6 +347,8 @@ impl ServerMetrics {
                 Value::U64(incremental.learned_clauses_retained),
             ),
         ]);
+        let cluster_value = cluster
+            .unwrap_or_else(|| Value::Map(vec![("enabled".to_string(), Value::Bool(false))]));
         let mut transport_value: Vec<(String, Value)> = transport
             .snapshot()
             .into_iter()
@@ -371,6 +379,7 @@ impl ServerMetrics {
             ("candidate_dedup".to_string(), dedup_value),
             ("incremental".to_string(), incremental_value),
             ("persistent".to_string(), persistent_value),
+            ("cluster".to_string(), cluster_value),
             ("transport".to_string(), Value::Map(transport_value)),
         ]);
         serde_json::to_string_pretty(&doc).expect("metrics document always serializes")
@@ -603,6 +612,7 @@ mod tests {
             &incremental,
             &transport,
             None,
+            None,
         );
         for needle in [
             "\"repair\"",
@@ -629,6 +639,7 @@ mod tests {
             "\"collapsed\": 0",
             "\"persistent\"",
             "\"enabled\": false",
+            "\"cluster\"",
         ] {
             assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
         }
@@ -654,6 +665,7 @@ mod tests {
             &IncrementalStats::default(),
             &TransportStats::new(),
             Some(&persist),
+            None,
         );
         for needle in [
             "\"persistent\"",
@@ -662,6 +674,28 @@ mod tests {
             "\"preloaded\": 7",
             "\"live_entries\": 9",
         ] {
+            assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn cluster_section_renders_when_provided() {
+        let m = ServerMetrics::new();
+        let cluster = Value::Map(vec![
+            ("enabled".to_string(), Value::Bool(true)),
+            ("role".to_string(), Value::Str("shard".to_string())),
+            ("remote_hits".to_string(), Value::U64(4)),
+        ]);
+        let doc = m.render(
+            &OracleCacheStats::default(),
+            0,
+            &DedupStats::default(),
+            &IncrementalStats::default(),
+            &TransportStats::new(),
+            None,
+            Some(cluster),
+        );
+        for needle in ["\"cluster\"", "\"role\": \"shard\"", "\"remote_hits\": 4"] {
             assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
         }
     }

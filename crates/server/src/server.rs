@@ -1,36 +1,48 @@
-//! The `specrepaird` daemon core: a blocking acceptor thread, a bounded
-//! admission queue, and a fixed worker pool over `std::net`.
+//! The `specrepaird serve` daemon: the repair service plugged into the
+//! shared [engine](crate::engine) (blocking acceptor, bounded admission
+//! queue, fixed worker pool over `std::net`).
 //!
-//! Load shedding happens at admission: when the queue is full the acceptor
-//! answers `503` with `Retry-After` itself and never hands the connection
-//! to a worker, so overload degrades into fast rejections instead of
-//! unbounded latency. Shutdown (via `POST /shutdown` or a signal file) is
-//! graceful — the acceptor stops admitting, workers drain what was already
-//! queued, then everything joins.
+//! Besides the repair API the daemon can run as one **shard** of a
+//! consistent-hash oracle cluster (`--shard-id N --peers a,b,c`): it then
+//! exposes the compact `GET`/`PUT /verdict/<fingerprint>` shard API and
+//! composes its oracle's persistent tier as *local log → remote peers*, so
+//! a verdict any shard solved once is answered cluster-wide without a
+//! second SAT solve. Remote verdicts are only ever verdicts a deterministic
+//! local solve would also produce, so shard mode changes latency, never
+//! bytes.
 
-use std::collections::VecDeque;
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
+use mualloy_analyzer::{TieredStore, VerdictStore};
+use mualloy_syntax::Fingerprint;
+use serde::Value;
 use specrepair_cache::PersistentCache;
+use specrepair_cluster::{RemoteVerdictStore, ShardRing};
 use specrepair_core::OracleHandle;
 use specrepair_faults::DiskFaultPlan;
 
-use crate::http::{read_request, Request, RequestError, Response};
+use crate::engine::{self, Admission, HttpApp};
+use crate::http::{Request, Response};
 use crate::metrics::{ServerMetrics, TraceTotals};
 use crate::service::{RepairService, ServiceConfig};
 
-/// How long a worker waits for the next request on an idle keep-alive
-/// connection before closing it.
-const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+pub use specrepair_cluster::client::{read_response, roundtrip};
 
-/// Acceptor poll interval while the listener has nothing to accept.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Cluster-shard identity of one daemon: which entry of the shared ordered
+/// peer list this process is.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// This daemon's index into [`ShardConfig::peers`].
+    pub shard_id: usize,
+    /// The ordered `host:port` list of every shard (including this one).
+    /// The list *is* the cluster membership: every shard and the router
+    /// derive the same [`ShardRing`] from it, with the address as the node
+    /// identity.
+    pub peers: Vec<String>,
+}
 
 /// Configuration of one daemon instance.
 #[derive(Debug, Clone)]
@@ -71,6 +83,9 @@ pub struct ServerConfig {
     pub disk_chaos_rate: f64,
     /// Base seed for the disk fault schedule.
     pub disk_chaos_seed: u64,
+    /// Cluster-shard mode: this daemon's identity in the shared peer list.
+    /// `None` (the default) runs a plain single-node daemon.
+    pub shard: Option<ShardConfig>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +104,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             disk_chaos_rate: 0.0,
             disk_chaos_seed: 0xD15C,
+            shard: None,
         }
     }
 }
@@ -99,25 +115,28 @@ struct ServerState {
     metrics: ServerMetrics,
     trace: TraceTotals,
     trace_enabled: bool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cond: Condvar,
-    queue_capacity: usize,
-    draining: AtomicBool,
-    shutdown_file: Option<PathBuf>,
+    admission: Admission,
     /// The persistent verdict tier, when `--cache-dir` opened one. Held
     /// here (besides the oracle's trait handle) for `/metrics` snapshots
     /// and the drain-time seal.
     persist: Option<Arc<PersistentCache>>,
+    /// The remote-peer verdict tier, in shard mode. Held for `/metrics`.
+    remote: Option<Arc<RemoteVerdictStore>>,
+    /// Shard identity, in shard mode.
+    shard: Option<ShardConfig>,
 }
 
-impl ServerState {
-    fn begin_drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
-        self.queue_cond.notify_all();
+impl HttpApp for ServerState {
+    fn admission(&self) -> &Admission {
+        &self.admission
     }
 
-    fn is_draining(&self) -> bool {
-        self.draining.load(Ordering::SeqCst)
+    fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    fn route(self: &Arc<Self>, request: &Request) -> Response {
+        route(self, request)
     }
 }
 
@@ -138,7 +157,7 @@ impl ServerHandle {
     /// Initiates graceful shutdown (idempotent): stop admitting, drain the
     /// queue, let workers exit.
     pub fn shutdown(&self) {
-        self.state.begin_drain();
+        self.state.admission.begin_drain();
     }
 
     /// Blocks until the acceptor and every worker have exited. Call
@@ -164,8 +183,21 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Propagates the bind failure (address in use, permission).
+/// Propagates the bind failure (address in use, permission), or
+/// `InvalidInput` for an inconsistent shard configuration.
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    if let Some(shard) = &config.shard {
+        if shard.peers.is_empty() || shard.shard_id >= shard.peers.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "shard id {} out of range for {} peers",
+                    shard.shard_id,
+                    shard.peers.len()
+                ),
+            ));
+        }
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -186,11 +218,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
                 DiskFaultPlan::none()
             };
             match PersistentCache::open_with_faults(dir, plan) {
-                Ok(cache) => {
-                    let cache = Arc::new(cache);
-                    oracle = oracle.with_persistent(cache.clone());
-                    Some(cache)
-                }
+                Ok(cache) => Some(Arc::new(cache)),
                 Err(e) => {
                     eprintln!(
                         "specrepaird: cannot open cache dir {}: {e}; running memory-only",
@@ -201,6 +229,28 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             }
         }
     };
+    // In shard mode, peers form a remote verdict tier behind the local one.
+    let remote = config.shard.as_ref().map(|shard| {
+        Arc::new(RemoteVerdictStore::new(
+            ShardRing::from_addrs(&shard.peers),
+            Some(shard.peers[shard.shard_id].clone()),
+        ))
+    });
+    // Compose the oracle's persistent seam: probe order is always
+    // memo (inside the oracle) → local log → remote peers, with read
+    // repair filling the local log on remote hits.
+    let store: Option<Arc<dyn VerdictStore>> = match (&persist, &remote) {
+        (Some(local), Some(remote)) => Some(Arc::new(TieredStore::new(vec![
+            Arc::clone(local) as Arc<dyn VerdictStore>,
+            Arc::clone(remote) as Arc<dyn VerdictStore>,
+        ]))),
+        (Some(local), None) => Some(Arc::clone(local) as Arc<dyn VerdictStore>),
+        (None, Some(remote)) => Some(Arc::clone(remote) as Arc<dyn VerdictStore>),
+        (None, None) => None,
+    };
+    if let Some(store) = store {
+        oracle = oracle.with_persistent(store);
+    }
     if config.trace {
         specrepair_trace::set_enabled(true);
     }
@@ -217,31 +267,14 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics: ServerMetrics::new(),
         trace: TraceTotals::new(),
         trace_enabled: config.trace,
-        queue: Mutex::new(VecDeque::new()),
-        queue_cond: Condvar::new(),
-        queue_capacity: config.queue_capacity.max(1),
-        draining: AtomicBool::new(false),
-        shutdown_file: config.shutdown_file.clone(),
+        admission: Admission::new(config.queue_capacity, config.shutdown_file.clone()),
         persist,
+        remote,
+        shard: config.shard.clone(),
     });
 
-    let workers = (0..config.workers.max(1))
-        .map(|i| {
-            let state = Arc::clone(&state);
-            std::thread::Builder::new()
-                .name(format!("specrepaird-worker-{i}"))
-                .spawn(move || worker_loop(&state))
-                .expect("spawning a worker thread")
-        })
-        .collect();
-    let acceptor = {
-        let state = Arc::clone(&state);
-        std::thread::Builder::new()
-            .name("specrepaird-acceptor".to_string())
-            .spawn(move || accept_loop(&listener, &state))
-            .expect("spawning the acceptor thread")
-    };
-
+    let (acceptor, workers) =
+        engine::spawn_threads(listener, config.workers, "specrepaird", &state);
     Ok(ServerHandle {
         addr,
         state,
@@ -250,133 +283,101 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    // The signal file is polled on a coarser cadence than the listener.
-    let mut polls_until_file_check = 0u32;
-    loop {
-        if state.is_draining() {
-            break;
-        }
-        if polls_until_file_check == 0 {
-            polls_until_file_check = 10;
-            if let Some(path) = &state.shutdown_file {
-                if path.exists() {
-                    state.begin_drain();
-                    break;
-                }
-            }
-        }
-        match listener.accept() {
-            Ok((stream, _)) => admit(state, stream),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                polls_until_file_check = polls_until_file_check.saturating_sub(1);
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
+/// Parses the `<32 hex digits>` tail of a `/verdict/` path into the
+/// canonical 128-bit fingerprint.
+pub(crate) fn parse_fingerprint(hex: &str) -> Option<Fingerprint> {
+    if hex.len() != 32 {
+        return None;
     }
-    // Wake every worker so the drain check runs even on an empty queue.
-    state.queue_cond.notify_all();
+    u128::from_str_radix(hex, 16).ok().map(Fingerprint)
 }
 
-/// Enqueues one accepted connection, or sheds it with `503` when the
-/// admission queue is full.
-fn admit(state: &Arc<ServerState>, stream: TcpStream) {
-    {
-        let mut queue = state.queue.lock().unwrap();
-        if queue.len() < state.queue_capacity {
-            queue.push_back(stream);
-            state.metrics.queue_depth_add(1);
-            state.queue_cond.notify_one();
-            return;
-        }
-    }
-    state.metrics.record_shed();
-    shed(state, stream);
-}
-
-/// Writes the `503` shed response. The request is read (best-effort, short
-/// timeout) before responding so well-behaved clients see the response
-/// rather than a reset from unread data.
-fn shed(_state: &Arc<ServerState>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let Ok(reader_stream) = stream.try_clone() else {
-        return;
+/// `GET /verdict/<fp>`: answers strictly from **local** knowledge — the
+/// in-memory memo first, then the local persistent log — never from the
+/// remote tier, so two shards probing each other can never recurse. A disk
+/// hit is injected into the memo so the next probe is memory-speed.
+fn verdict_get(state: &Arc<ServerState>, hex: &str) -> Response {
+    let Some(key) = parse_fingerprint(hex) else {
+        return Response::error(400, "malformed fingerprint (want 32 hex digits)");
     };
-    let mut reader = BufReader::new(reader_stream);
-    let _ = read_request(&mut reader);
-    let mut writer = stream;
-    let _ = Response::error(503, "admission queue full, retry shortly")
-        .with_header("retry-after", "1")
-        .write_to(&mut writer, false);
-}
-
-fn worker_loop(state: &Arc<ServerState>) {
-    loop {
-        let next = {
-            let mut queue = state.queue.lock().unwrap();
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    state.metrics.queue_depth_add(-1);
-                    break Some(stream);
-                }
-                if state.is_draining() {
-                    break None;
-                }
-                let (guard, _) = state
-                    .queue_cond
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .unwrap();
-                queue = guard;
-            }
-        };
-        let Some(stream) = next else { return };
-        state.metrics.inflight_add(1);
-        handle_connection(state, stream);
-        state.metrics.inflight_add(-1);
+    let oracle = state.service.oracle().service();
+    if let Some(verdict) = oracle.probe_verdict(key) {
+        return Response::json(
+            200,
+            format!("{{\"verdict\":{verdict},\"source\":\"memo\"}}"),
+        );
     }
-}
-
-/// Serves one connection: a keep-alive loop of request → route → response.
-fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
-    let _ = stream.set_nodelay(true);
-    let Ok(reader_stream) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = stream;
-    loop {
-        match read_request(&mut reader) {
-            Ok(request) => {
-                let response = route(state, &request);
-                // Draining closes connections after the in-flight response.
-                let keep_alive = request.keep_alive && !state.is_draining();
-                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
-            Err(RequestError::Malformed(msg)) => {
-                state.metrics.record_request("http", 400);
-                let _ = Response::error(400, &msg).write_to(&mut writer, false);
-                return;
-            }
-            Err(RequestError::TooLarge(n)) => {
-                state.metrics.record_request("http", 413);
-                let _ = Response::error(413, &format!("body of {n} bytes exceeds the limit"))
-                    .write_to(&mut writer, false);
-                return;
-            }
+    if let Some(persist) = &state.persist {
+        if let Some(verdict) = persist.lookup(key) {
+            oracle.inject_verdict(key, verdict);
+            return Response::json(
+                200,
+                format!("{{\"verdict\":{verdict},\"source\":\"disk\"}}"),
+            );
         }
     }
+    Response::error(404, "unknown fingerprint")
+}
+
+/// `PUT /verdict/<fp>` with the compact body `"1"`/`"0"`: write-through
+/// from a peer that just solved the key this shard owns. Stored in the memo
+/// (never overwriting an existing entry) and the local log only — no
+/// forwarding, for the same no-recursion reason as the probe.
+fn verdict_put(state: &Arc<ServerState>, hex: &str, body: &str) -> Response {
+    let Some(key) = parse_fingerprint(hex) else {
+        return Response::error(400, "malformed fingerprint (want 32 hex digits)");
+    };
+    let verdict = match body.trim() {
+        "1" | "true" => true,
+        "0" | "false" => false,
+        _ => return Response::error(400, "verdict body must be 0 or 1"),
+    };
+    state
+        .service
+        .oracle()
+        .service()
+        .inject_verdict(key, verdict);
+    if let Some(persist) = &state.persist {
+        persist.record(key, verdict);
+    }
+    Response::json(200, "{\"stored\":true}")
+}
+
+/// The `cluster` section of `/metrics`, present in shard mode.
+fn cluster_section(state: &ServerState) -> Option<Value> {
+    let remote = state.remote.as_ref()?;
+    let shard = state.shard.as_ref()?;
+    let stats = remote.stats();
+    Some(Value::Map(vec![
+        ("enabled".to_string(), Value::Bool(true)),
+        ("role".to_string(), Value::Str("shard".to_string())),
+        ("shard_id".to_string(), Value::U64(shard.shard_id as u64)),
+        ("peers".to_string(), Value::U64(remote.ring().len() as u64)),
+        ("remote_lookups".to_string(), Value::U64(stats.lookups)),
+        ("remote_hits".to_string(), Value::U64(stats.hits)),
+        ("remote_misses".to_string(), Value::U64(stats.misses)),
+        ("remote_hit_rate".to_string(), Value::F64(stats.hit_rate())),
+        ("remote_puts".to_string(), Value::U64(stats.puts)),
+        ("self_owned".to_string(), Value::U64(stats.self_owned)),
+        (
+            "transport_errors".to_string(),
+            Value::U64(stats.transport_errors),
+        ),
+        ("retries".to_string(), Value::U64(stats.retries)),
+        ("breaker_trips".to_string(), Value::U64(stats.breaker_trips)),
+        ("skipped_open".to_string(), Value::U64(stats.skipped_open)),
+        (
+            "open_breakers".to_string(),
+            Value::U64(remote.open_breakers() as u64),
+        ),
+    ]))
 }
 
 /// Routes one request to its endpoint and records it in the metrics.
 fn route(state: &Arc<ServerState>, request: &Request) -> Response {
     let (endpoint, response) = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let status = if state.is_draining() {
+            let status = if state.admission.is_draining() {
                 "draining"
             } else {
                 "ok"
@@ -400,6 +401,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                 &oracle.incremental_stats(),
                 state.service.transport_stats(),
                 persist.as_ref(),
+                cluster_section(state),
             );
             ("metrics", Response::json(200, body))
         }
@@ -429,14 +431,25 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             }
             ("repair", handled.response)
         }
+        ("GET", path) if path.starts_with("/verdict/") => {
+            ("verdict", verdict_get(state, &path["/verdict/".len()..]))
+        }
+        ("PUT", path) if path.starts_with("/verdict/") => (
+            "verdict",
+            verdict_put(state, &path["/verdict/".len()..], &request.body_text()),
+        ),
         ("POST", "/shutdown") => {
-            state.begin_drain();
+            state.admission.begin_drain();
             ("shutdown", Response::json(200, "{\"status\":\"draining\"}"))
         }
         (
             _,
             "/healthz" | "/techniques" | "/metrics" | "/trace/summary" | "/repair" | "/shutdown",
         ) => (
+            "http",
+            Response::error(405, &format!("{} not allowed here", request.method)),
+        ),
+        (_, path) if path.starts_with("/verdict/") => (
             "http",
             Response::error(405, &format!("{} not allowed here", request.method)),
         ),
@@ -447,67 +460,4 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
     };
     state.metrics.record_request(endpoint, response.status);
     response
-}
-
-/// Writes an HTTP request to `stream` and reads back `(status, body)` —
-/// the tiny client used by the load generator, the CLI and the tests.
-///
-/// # Errors
-///
-/// Propagates connection and read errors; a malformed status line is an
-/// `InvalidData` error.
-pub fn roundtrip(
-    stream: &mut TcpStream,
-    method: &str,
-    path: &str,
-    body: &str,
-) -> std::io::Result<(u16, String)> {
-    stream.write_all(
-        format!(
-            "{method} {path} HTTP/1.1\r\nhost: specrepaird\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
-            body.len()
-        )
-        .as_bytes(),
-    )?;
-    stream.flush()?;
-    let mut reader = BufReader::new(stream);
-    read_response(&mut reader)
-}
-
-/// Reads one HTTP response from a buffered stream.
-///
-/// # Errors
-///
-/// `InvalidData` for malformed status lines or bodies, plus socket errors.
-pub fn read_response<R: std::io::BufRead>(reader: &mut R) -> std::io::Result<(u16, String)> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let status: u16 = line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad(&format!("bad status line {line:?}")))?;
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("bad content-length"))?;
-            }
-        }
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    String::from_utf8(body)
-        .map(|text| (status, text))
-        .map_err(|_| bad("response body is not utf-8"))
 }

@@ -5,7 +5,7 @@
 //!       [--seed N] [--out DIR] [--journal FILE] [--resume]
 //!       [--fault-rate R] [--fault-seed N] [--no-dedup] [--no-incremental]
 //!       [--roster NAME] [--workers N] [--trace DIR]
-//!       [--cache-dir DIR] [--no-cache]
+//!       [--cache-dir DIR] [--no-cache] [--shards a,b,c]
 //! ```
 //!
 //! `--scale 1.0` evaluates the full 1,974-spec corpus (the paper's size);
@@ -26,6 +26,14 @@
 //! are byte-identical with `--cache-dir`, without it, and with
 //! `--no-cache` (which disables oracle memoization entirely — the
 //! slowest, most-direct baseline).
+//!
+//! `--shards a,b,c` points the run at a consistent-hash oracle cluster of
+//! `specrepaird` shard daemons: verdict misses are probed on (and fresh
+//! verdicts written through to) the shard owning each spec fingerprint,
+//! layered *behind* the local `--cache-dir` log when both are given.
+//! Like the local tier, the cluster is behaviorally inert — remote
+//! verdicts equal what the local solver would compute, so artifacts stay
+//! byte-identical.
 //!
 //! `--trace DIR` turns on the span collector for the whole run and writes
 //! the trace artifacts to DIR afterwards: `trace.json` (Chrome trace-event
@@ -60,6 +68,7 @@ fn main() {
     let mut trace_dir: Option<PathBuf> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut use_cache = true;
+    let mut shards: Vec<String> = Vec::new();
 
     let mut i = 0;
     while i < args.len() {
@@ -109,6 +118,20 @@ fn main() {
                     args.get(i)
                         .unwrap_or_else(|| die("--cache-dir needs a directory")),
                 ));
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--shards needs a comma-separated address list"))
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if shards.is_empty() {
+                    die("--shards needs at least one address");
+                }
             }
             "--portfolio" => command = "portfolio".to_string(),
             "--roster" => {
@@ -276,9 +299,32 @@ fn main() {
                     None
                 }
             });
-    let persist_store = persist_cache
-        .clone()
-        .map(|c| c as std::sync::Arc<dyn specrepair_core::VerdictStore>);
+    // The remote cluster tier: probe/write-through against the shard
+    // owning each fingerprint. Layered behind the local log when both are
+    // configured, so the probe order stays memo → local log → cluster.
+    let remote_store = if shards.is_empty() {
+        None
+    } else {
+        eprintln!(
+            "remote verdict cluster: {} shard(s) on the consistent-hash ring",
+            shards.len()
+        );
+        Some(std::sync::Arc::new(
+            specrepair_cluster::RemoteVerdictStore::new(
+                specrepair_cluster::ShardRing::from_addrs(&shards),
+                None,
+            ),
+        ))
+    };
+    type Store = std::sync::Arc<dyn specrepair_core::VerdictStore>;
+    let persist_store: Option<Store> = match (persist_cache.clone(), remote_store) {
+        (Some(local), Some(remote)) => Some(std::sync::Arc::new(
+            mualloy_analyzer::TieredStore::new(vec![local as Store, remote as Store]),
+        )),
+        (Some(local), None) => Some(local as Store),
+        (None, Some(remote)) => Some(remote as Store),
+        (None, None) => None,
+    };
     let t0 = Instant::now();
     let (results, run_stats) = runner::run_study_persistent(
         &problems,
@@ -473,7 +519,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: study <all|table1|fig2|fig3|table2|ablation|portfolio> [--scale X] [--seed N] \
-         [--out DIR] [--roster NAME] [--workers N] [--cache-dir DIR] [--no-cache]"
+         [--out DIR] [--roster NAME] [--workers N] [--cache-dir DIR] [--no-cache] \
+         [--shards a,b,c]"
     );
     std::process::exit(2);
 }

@@ -162,6 +162,21 @@ impl OracleCacheStats {
         self.persist_hits += other.persist_hits;
         self.collapsed += other.collapsed;
     }
+
+    /// The telemetry `oracle_cache` section for this snapshot.
+    pub fn section(&self, memoized_specs: usize) -> specrepair_telemetry::OracleCacheSection {
+        specrepair_telemetry::OracleCacheSection {
+            hits: self.hits,
+            misses: self.misses,
+            solver_invocations: self.solver_invocations,
+            errors: self.errors,
+            evictions: self.evictions,
+            hit_rate: self.hit_rate(),
+            memoized_specs: memoized_specs as u64,
+            persist_hits: self.persist_hits,
+            collapsed: self.collapsed,
+        }
+    }
 }
 
 /// A query kind discriminant for singleflight keys: `execute_all` and the

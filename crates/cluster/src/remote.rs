@@ -66,6 +66,32 @@ impl RemoteStats {
             self.hits as f64 / self.lookups as f64
         }
     }
+
+    /// The telemetry shard `cluster` section for this snapshot. Ring
+    /// identity and breaker occupancy live outside the counters, so the
+    /// caller supplies them.
+    pub fn cluster_section(
+        &self,
+        shard_id: usize,
+        peers: usize,
+        open_breakers: usize,
+    ) -> specrepair_telemetry::ShardClusterSection {
+        specrepair_telemetry::ShardClusterSection {
+            shard_id: shard_id as u64,
+            peers: peers as u64,
+            remote_lookups: self.lookups,
+            remote_hits: self.hits,
+            remote_misses: self.misses,
+            remote_hit_rate: self.hit_rate(),
+            remote_puts: self.puts,
+            self_owned: self.self_owned,
+            transport_errors: self.transport_errors,
+            retries: self.retries,
+            breaker_trips: self.breaker_trips,
+            skipped_open: self.skipped_open,
+            open_breakers: open_breakers as u64,
+        }
+    }
 }
 
 /// The `VerdictStore` tier that asks the owning peer shard.

@@ -57,6 +57,16 @@ impl DedupStats {
         self.misses += other.misses;
         self.coalesced += other.coalesced;
     }
+
+    /// The telemetry `candidate_dedup` section for this snapshot.
+    pub fn section(&self) -> specrepair_telemetry::DedupSection {
+        specrepair_telemetry::DedupSection {
+            hits: self.hits,
+            misses: self.misses,
+            coalesced: self.coalesced,
+            rate: self.dedup_rate(),
+        }
+    }
 }
 
 /// State of one fingerprint in the dedup registry.

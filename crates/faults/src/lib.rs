@@ -369,6 +369,15 @@ impl FaultStats {
         FaultKind::ALL.iter().map(|&k| self.count(k)).sum()
     }
 
+    /// Snapshot as `(kind label, count)` pairs in taxonomy order — the
+    /// typed form the telemetry snapshot's transport section carries.
+    pub fn pairs(&self) -> Vec<(String, u64)> {
+        FaultKind::ALL
+            .iter()
+            .map(|&k| (k.label().to_string(), self.count(k)))
+            .collect()
+    }
+
     /// Snapshot as a JSON value (`kind label -> count`, plus `total`), the
     /// shape embedded in `GET /metrics`.
     pub fn to_value(&self) -> Value {

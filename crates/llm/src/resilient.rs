@@ -33,6 +33,7 @@ use std::time::Duration;
 use rand_chacha::ChaCha8Rng;
 use specrepair_core::CancelToken;
 use specrepair_faults::FaultStats;
+use specrepair_telemetry::Counter;
 
 use crate::model::{Guidance, SyntheticLm};
 use crate::prompt::Prompt;
@@ -235,20 +236,22 @@ impl Default for CircuitBreaker {
     }
 }
 
-/// Monotone counters describing the resilience layer's work. Shared via
-/// `Arc` between the layer and whoever reports metrics.
+/// Monotone counters describing the resilience layer's work, carried as
+/// lock-free telemetry [`Counter`] handles so the same cells can be
+/// registered in a metric registry. Shared via `Arc` between the layer
+/// and whoever reports metrics.
 #[derive(Debug, Default)]
 pub struct TransportStats {
     /// Retried attempts (each retry counts once).
-    pub retries: AtomicU64,
+    pub retries: Counter,
     /// Calls whose retry budget was exhausted.
-    pub giveups: AtomicU64,
+    pub giveups: Counter,
     /// Times a circuit breaker tripped open.
-    pub breaker_trips: AtomicU64,
+    pub breaker_trips: Counter,
     /// Calls rejected by an open breaker.
-    pub breaker_rejections: AtomicU64,
+    pub breaker_rejections: Counter,
     /// Backoff waits cut short by cancellation.
-    pub cancelled_backoffs: AtomicU64,
+    pub cancelled_backoffs: Counter,
     /// Injected-fault counters (shared with any [`FaultyLm`] decorators).
     ///
     /// [`FaultyLm`]: crate::transport::FaultyLm
@@ -264,18 +267,24 @@ impl TransportStats {
     /// Snapshot as `(name, value)` pairs, stable order, for metrics.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
         vec![
-            ("retries", self.retries.load(Ordering::Relaxed)),
-            ("giveups", self.giveups.load(Ordering::Relaxed)),
-            ("breaker_trips", self.breaker_trips.load(Ordering::Relaxed)),
-            (
-                "breaker_rejections",
-                self.breaker_rejections.load(Ordering::Relaxed),
-            ),
-            (
-                "cancelled_backoffs",
-                self.cancelled_backoffs.load(Ordering::Relaxed),
-            ),
+            ("retries", self.retries.get()),
+            ("giveups", self.giveups.get()),
+            ("breaker_trips", self.breaker_trips.get()),
+            ("breaker_rejections", self.breaker_rejections.get()),
+            ("cancelled_backoffs", self.cancelled_backoffs.get()),
         ]
+    }
+
+    /// The telemetry `transport` section for this snapshot.
+    pub fn section(&self) -> specrepair_telemetry::TransportSection {
+        specrepair_telemetry::TransportSection {
+            retries: self.retries.get(),
+            giveups: self.giveups.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_rejections: self.breaker_rejections.get(),
+            cancelled_backoffs: self.cancelled_backoffs.get(),
+            injected_faults: self.faults.pairs(),
+        }
     }
 }
 
@@ -367,9 +376,7 @@ impl ResilientLm {
         cancel: &CancelToken,
     ) -> Result<Option<String>, LmTransportError> {
         if !self.breaker.admit() {
-            self.stats
-                .breaker_rejections
-                .fetch_add(1, Ordering::Relaxed);
+            self.stats.breaker_rejections.inc();
             return Err(LmTransportError::CircuitOpen);
         }
         let mut attempt = 0usize;
@@ -383,21 +390,19 @@ impl ResilientLm {
                     let out_of_budget = attempt >= self.policy.max_retries || !err.is_retryable();
                     if out_of_budget || cancel.is_cancelled() {
                         if self.breaker.on_failure() {
-                            self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                            self.stats.breaker_trips.inc();
                         }
-                        self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                        self.stats.giveups.inc();
                         return Err(err);
                     }
-                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.stats.retries.inc();
                     let sleep_index = self.sleeps.fetch_add(1, Ordering::Relaxed);
                     let wait = self.policy.backoff(attempt, &err, sleep_index);
                     if !cancel.sleep(wait) {
                         // Deadline fired mid-backoff: give up with the
                         // original error; the caller maps cancellation.
-                        self.stats
-                            .cancelled_backoffs
-                            .fetch_add(1, Ordering::Relaxed);
-                        self.stats.giveups.fetch_add(1, Ordering::Relaxed);
+                        self.stats.cancelled_backoffs.inc();
+                        self.stats.giveups.inc();
                         return Err(err);
                     }
                     attempt += 1;
@@ -449,10 +454,10 @@ mod tests {
             assert_eq!(a, b);
         }
         assert!(
-            resilient.stats().retries.load(Ordering::Relaxed) > 0,
+            resilient.stats().retries.get() > 0,
             "rate 0.4 must have forced retries"
         );
-        assert_eq!(resilient.stats().giveups.load(Ordering::Relaxed), 0);
+        assert_eq!(resilient.stats().giveups.get(), 0);
     }
 
     #[test]
@@ -465,8 +470,8 @@ mod tests {
             .propose(&prompt(), None, &mut rng(0), &cancel)
             .unwrap_err();
         assert_ne!(err, LmTransportError::CircuitOpen);
-        assert_eq!(resilient.stats().giveups.load(Ordering::Relaxed), 1);
-        assert_eq!(resilient.stats().retries.load(Ordering::Relaxed), 2);
+        assert_eq!(resilient.stats().giveups.get(), 1);
+        assert_eq!(resilient.stats().retries.get(), 2);
     }
 
     #[test]
@@ -498,10 +503,7 @@ mod tests {
                 LmTransportError::CircuitOpen
             );
         }
-        assert_eq!(
-            resilient.stats().breaker_rejections.load(Ordering::Relaxed),
-            2
-        );
+        assert_eq!(resilient.stats().breaker_rejections.get(), 2);
         // ...and the half-open probe runs against the (still faulty)
         // transport, failing back to open.
         let e = resilient
@@ -509,7 +511,7 @@ mod tests {
             .unwrap_err();
         assert_ne!(e, LmTransportError::CircuitOpen);
         assert_eq!(
-            resilient.stats().breaker_trips.load(Ordering::Relaxed),
+            resilient.stats().breaker_trips.get(),
             2,
             "probe failure must re-trip"
         );
@@ -596,7 +598,7 @@ mod tests {
             start.elapsed() < Duration::from_secs(2),
             "cancellation must cut the 50-retry backoff chain short"
         );
-        assert!(resilient.stats().cancelled_backoffs.load(Ordering::Relaxed) >= 1);
+        assert!(resilient.stats().cancelled_backoffs.get() >= 1);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!                     [--max-scope N] [--cache-per-shard N] [--shutdown-file P]
 //!                     [--chaos-rate R] [--chaos-seed N] [--trace]
 //!                     [--cache-dir P] [--disk-chaos-rate R] [--disk-chaos-seed N]
+//!                     [--metrics-history-interval-ms N] [--metrics-history-capacity N]
+//!                     [--metrics-history-file P]
 //!                     [--shard-id N --peers a,b,c]
 //! specrepaird route   --shards a,b,c [--addr A] [--workers N] [--queue N]
 //!                     [--deadline-ms N] [--max-scope N] [--shutdown-file P]
@@ -31,6 +33,10 @@
 //! turns on the persistent verdict cache (warm boot + crash-safe appends;
 //! `GET /metrics` grows a `persistent` section); `--disk-chaos-rate` injects
 //! deterministic disk faults into that tier's appends.
+//! `--metrics-history-interval-ms` turns on the in-memory time-series ring:
+//! every scalar metric is sampled at that cadence, served at
+//! `GET /metrics/history`, and dumped to `--metrics-history-file` (default
+//! `metrics_history.jsonl`) on drain.
 
 use specrepair_server::server::ShardConfig;
 use specrepair_server::{
@@ -77,6 +83,13 @@ fn serve(args: &[String]) {
             "--cache-dir" => config.cache_dir = Some(flags.value(&flag).into()),
             "--disk-chaos-rate" => config.disk_chaos_rate = flags.rate(&flag),
             "--disk-chaos-seed" => config.disk_chaos_seed = flags.parsed(&flag),
+            "--metrics-history-interval-ms" | "--metrics-history-interval" => {
+                config.metrics_history_interval_ms = flags.parsed(&flag)
+            }
+            "--metrics-history-capacity" => config.metrics_history_capacity = flags.parsed(&flag),
+            "--metrics-history-file" => {
+                config.metrics_history_file = Some(flags.value(&flag).into())
+            }
             "--shard-id" => shard_id = Some(flags.parsed(&flag)),
             "--peers" => peers = addr_list(&flags.value(&flag)),
             other => die(&format!("unknown flag `{other}` for serve")),
@@ -195,7 +208,8 @@ fn die(msg: &str) -> ! {
          [--max-scope N] [--cache-per-shard N] [--shutdown-file P] \
          [--chaos-rate R] [--chaos-seed N] [--trace] \
          [--cache-dir P] [--disk-chaos-rate R] [--disk-chaos-seed N] \
-         [--shard-id N --peers a,b,c]\n\
+         [--metrics-history-interval-ms N] [--metrics-history-capacity N] \
+         [--metrics-history-file P] [--shard-id N --peers a,b,c]\n\
          \x20      specrepaird route   --shards a,b,c [--addr A] [--workers N] [--queue N] \
          [--deadline-ms N] [--max-scope N] [--shutdown-file P]\n\
          \x20      specrepaird loadgen [--addr A] [--requests N] [--connections N] \

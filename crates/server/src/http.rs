@@ -123,13 +123,16 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError>
     })
 }
 
-/// One HTTP response (always with a JSON body in this API).
+/// One HTTP response (JSON on every API route; plain text on the
+/// Prometheus exposition route).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body text (JSON).
+    /// Body text.
     pub body: String,
+    /// The `content-type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond the standard set, e.g. `Retry-After`.
     pub extra_headers: Vec<(String, String)>,
 }
@@ -140,6 +143,18 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response, used for the Prometheus exposition format
+    /// (whose convention is `text/plain; version=0.0.4`).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
             extra_headers: Vec::new(),
         }
     }
@@ -184,9 +199,10 @@ impl Response {
     /// Propagates socket write errors.
     pub fn write_to<W: Write>(&self, stream: &mut W, keep_alive: bool) -> std::io::Result<()> {
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );

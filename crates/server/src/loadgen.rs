@@ -25,12 +25,12 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use mualloy_syntax::print_spec;
-use serde::Value;
 use specrepair_benchmarks::a4f;
 use specrepair_cluster::client::connect_with_retry;
 use specrepair_core::CancelToken;
 use specrepair_mutation::{inject_fault, InjectorConfig};
 use specrepair_study::TechniqueId;
+use specrepair_telemetry::{ClusterSection, Snapshot};
 
 use crate::metrics::Histogram;
 use crate::server::roundtrip;
@@ -423,8 +423,9 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             .ok()
             .and_then(|(body, retries)| {
                 metrics_fetch_retries += retries;
-                parse_hit_rate(&body).ok()
+                Snapshot::from_json(&body).ok()
             })
+            .map(|snapshot| snapshot.oracle_cache.hit_rate)
     } else {
         let (rate, retries) = aggregate_shard_hit_rate(&config.shards);
         metrics_fetch_retries += retries;
@@ -494,32 +495,23 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         }
     }
     report.elapsed = started.elapsed();
-    // One post-run `/metrics` fetch feeds all three reconciliation
-    // readings: the oracle cache hit rate, the candidate-dedup counters
-    // and the incremental-session counters.
+    // One post-run `/metrics` fetch, decoded once through the shared typed
+    // snapshot, feeds every reconciliation reading: the oracle cache hit
+    // rate, the candidate-dedup counters, the incremental-session counters
+    // and the persistent tier.
     match fetch_metrics_counting(&config.addr).and_then(|(body, retries)| {
         report.metrics_fetch_retries += retries;
-        let rate = parse_hit_rate(&body)?;
-        Ok((
-            rate,
-            parse_dedup(&body).ok(),
-            parse_incremental(&body).ok(),
-            parse_persistent(&body).ok(),
-        ))
+        Snapshot::from_json(&body)
     }) {
-        Ok((rate, dedup, incremental, persistent)) => {
-            report.cache_hit_rate = Some(rate);
-            if let Some((hits, rate)) = dedup {
-                report.dedup_hits = Some(hits);
-                report.dedup_rate = Some(rate);
-            }
-            if let Some((checks, reuse)) = incremental {
-                report.incremental_checks = Some(checks);
-                report.clause_reuse_rate = Some(reuse);
-            }
-            if let Some((preloaded, persist_hits)) = persistent {
-                report.persist_preloaded = Some(preloaded);
-                report.persist_hits = Some(persist_hits);
+        Ok(snapshot) => {
+            report.cache_hit_rate = Some(snapshot.oracle_cache.hit_rate);
+            report.dedup_hits = Some(snapshot.candidate_dedup.hits);
+            report.dedup_rate = Some(snapshot.candidate_dedup.rate);
+            report.incremental_checks = Some(snapshot.incremental.checks);
+            report.clause_reuse_rate = Some(snapshot.incremental.clause_reuse_rate);
+            if let Some(persist) = &snapshot.persistent {
+                report.persist_preloaded = Some(persist.preloaded);
+                report.persist_hits = Some(snapshot.oracle_cache.persist_hits);
             }
         }
         Err(why) => {
@@ -593,17 +585,20 @@ fn aggregate_shard_hit_rate(shards: &[String]) -> (Option<f64>, usize) {
 /// A human-readable description of the failed fetch or the malformed body.
 fn read_shard(addr: &str) -> Result<(ShardReading, usize), String> {
     let (body, retries) = fetch_metrics_counting(addr)?;
+    let snapshot = Snapshot::from_json(&body)?;
+    // A non-shard `cluster` section (a daemon booted without peers) simply
+    // has no remote-tier counters to report.
+    let (remote_hits, remote_puts) = match &snapshot.cluster {
+        ClusterSection::Shard(shard) => (Some(shard.remote_hits), Some(shard.remote_puts)),
+        _ => (None, None),
+    };
     let reading = ShardReading {
         addr: addr.to_string(),
-        hits: metrics_number(&body, "oracle_cache", "hits")? as u64,
-        misses: metrics_number(&body, "oracle_cache", "misses")? as u64,
-        hit_rate: parse_hit_rate(&body)?,
-        remote_hits: metrics_number(&body, "cluster", "remote_hits")
-            .ok()
-            .map(|n| n as u64),
-        remote_puts: metrics_number(&body, "cluster", "remote_puts")
-            .ok()
-            .map(|n| n as u64),
+        hits: snapshot.oracle_cache.hits,
+        misses: snapshot.oracle_cache.misses,
+        hit_rate: snapshot.oracle_cache.hit_rate,
+        remote_hits,
+        remote_puts,
     };
     Ok((reading, retries))
 }
@@ -646,7 +641,8 @@ fn send_one(addr: &str, body: &str) -> Option<u16> {
         .ok()
 }
 
-/// Fetches `/metrics` and extracts `oracle_cache.hit_rate`.
+/// Fetches `/metrics` and extracts `oracle_cache.hit_rate` through the
+/// shared typed [`Snapshot`] decoder.
 ///
 /// # Errors
 ///
@@ -655,7 +651,8 @@ fn send_one(addr: &str, body: &str) -> Option<u16> {
 /// or a JSON document missing (or mistyping) the expected fields. Callers
 /// are expected to surface this rather than collapse it to "unavailable".
 pub fn fetch_hit_rate(addr: &str) -> Result<f64, String> {
-    fetch_metrics(addr).and_then(|body| parse_hit_rate(&body))
+    let body = fetch_metrics(addr)?;
+    Ok(Snapshot::from_json(&body)?.oracle_cache.hit_rate)
 }
 
 /// Fetches the raw `/metrics` body from a running daemon.
@@ -681,67 +678,6 @@ pub fn fetch_metrics_counting(addr: &str) -> Result<(String, usize), String> {
         return Err(format!("GET /metrics answered status {status}"));
     }
     Ok((body, retries))
-}
-
-/// Extracts `{section}.{field}` from a `/metrics` response body as a
-/// number, describing exactly which expectation a malformed body violates.
-fn metrics_number(body: &str, section: &str, field: &str) -> Result<f64, String> {
-    let value: Value =
-        serde_json::from_str(body).map_err(|e| format!("/metrics body is not valid JSON: {e}"))?;
-    let Value::Map(doc) = value else {
-        return Err("/metrics body is not a JSON object".to_string());
-    };
-    let sec = doc
-        .iter()
-        .find(|(k, _)| k == section)
-        .map(|(_, v)| v)
-        .ok_or(format!("/metrics document has no `{section}` section"))?;
-    let Value::Map(sec) = sec else {
-        return Err(format!("/metrics `{section}` is not an object"));
-    };
-    let num = sec
-        .iter()
-        .find(|(k, _)| k == field)
-        .map(|(_, v)| v)
-        .ok_or(format!("/metrics `{section}` has no `{field}` field"))?;
-    match num {
-        Value::F64(n) => Ok(*n),
-        Value::U64(n) => Ok(*n as f64),
-        Value::I64(n) => Ok(*n as f64),
-        other => Err(format!("`{section}.{field}` is not a number: {other:?}")),
-    }
-}
-
-/// Extracts `oracle_cache.hit_rate` from a `/metrics` response body,
-/// describing exactly which expectation a malformed body violates.
-pub fn parse_hit_rate(body: &str) -> Result<f64, String> {
-    metrics_number(body, "oracle_cache", "hit_rate")
-}
-
-/// Extracts `(candidate_dedup.dedup_hits, candidate_dedup.dedup_rate)`
-/// from a `/metrics` response body.
-pub fn parse_dedup(body: &str) -> Result<(u64, f64), String> {
-    let hits = metrics_number(body, "candidate_dedup", "dedup_hits")?;
-    let rate = metrics_number(body, "candidate_dedup", "dedup_rate")?;
-    Ok((hits as u64, rate))
-}
-
-/// Extracts `(incremental.incremental_checks, incremental.clause_reuse_rate)`
-/// from a `/metrics` response body.
-pub fn parse_incremental(body: &str) -> Result<(u64, f64), String> {
-    let checks = metrics_number(body, "incremental", "incremental_checks")?;
-    let rate = metrics_number(body, "incremental", "clause_reuse_rate")?;
-    Ok((checks as u64, rate))
-}
-
-/// Extracts `(persistent.preloaded, oracle_cache.persist_hits)` from a
-/// `/metrics` response body. A daemon running without `--cache-dir` renders
-/// the `persistent` section with only `enabled: false`, so the missing
-/// `preloaded` field is the (described) signal that the tier is off.
-pub fn parse_persistent(body: &str) -> Result<(u64, u64), String> {
-    let preloaded = metrics_number(body, "persistent", "preloaded")?;
-    let hits = metrics_number(body, "oracle_cache", "persist_hits")?;
-    Ok((preloaded as u64, hits as u64))
 }
 
 #[cfg(test)]
@@ -972,58 +908,88 @@ mod tests {
         );
     }
 
+    /// A minimal well-formed `/metrics` body: every field the typed
+    /// decoder requires, with `persistent`/`cluster` swappable per test.
+    fn metrics_body(persistent: &str, cluster: &str) -> String {
+        format!(
+            r#"{{"oracle_cache":{{"hits":6,"misses":2,"hit_rate":0.75,"persist_hits":4}},
+"candidate_dedup":{{"dedup_hits":7,"dedup_misses":21,"dedup_rate":0.25}},
+"incremental":{{"incremental_checks":11,"clause_reuse_rate":0.6}},
+"persistent":{persistent},
+"cluster":{cluster}}}"#
+        )
+    }
+
     #[test]
-    fn parse_hit_rate_accepts_well_formed_metrics() {
-        let body = r#"{"oracle_cache":{"hits":3,"hit_rate":0.75}}"#;
-        assert_eq!(parse_hit_rate(body), Ok(0.75));
-        // Integer-typed rates (e.g. exactly 0 or 1) still parse.
-        assert_eq!(
-            parse_hit_rate(r#"{"oracle_cache":{"hit_rate":1}}"#),
-            Ok(1.0)
+    fn snapshot_decoder_reads_every_reconciliation_field() {
+        let body = metrics_body(
+            r#"{"enabled":false}"#,
+            r#"{"enabled":true,"role":"shard","remote_hits":2,"remote_puts":3}"#,
         );
+        let snapshot = Snapshot::from_json(&body).unwrap();
+        assert_eq!(snapshot.oracle_cache.hits, 6);
+        assert_eq!(snapshot.oracle_cache.misses, 2);
+        assert_eq!(snapshot.oracle_cache.hit_rate, 0.75);
+        assert_eq!(snapshot.candidate_dedup.hits, 7);
+        assert_eq!(snapshot.candidate_dedup.rate, 0.25);
+        assert_eq!(snapshot.incremental.checks, 11);
+        assert_eq!(snapshot.incremental.clause_reuse_rate, 0.6);
+        // Without `--cache-dir` the tier renders `enabled: false`: the
+        // typed decoder reports "off" as `None`, not an error.
+        assert_eq!(snapshot.persistent, None);
+        // The shard cluster section carries the remote-tier counters the
+        // per-shard report reads.
+        match &snapshot.cluster {
+            ClusterSection::Shard(shard) => {
+                assert_eq!(shard.remote_hits, 2);
+                assert_eq!(shard.remote_puts, 3);
+            }
+            other => panic!("expected a shard cluster section, got {other:?}"),
+        }
     }
 
     #[test]
-    fn parse_dedup_reads_the_candidate_dedup_section() {
-        let body = r#"{"oracle_cache":{"hit_rate":0.5},"candidate_dedup":{"dedup_hits":7,"dedup_misses":21,"dedup_rate":0.25}}"#;
-        assert_eq!(parse_dedup(body), Ok((7, 0.25)));
-        // A daemon without the section is a described error, not a panic.
-        let err = parse_dedup(r#"{"oracle_cache":{"hit_rate":0.5}}"#).unwrap_err();
-        assert!(err.contains("no `candidate_dedup` section"), "{err}");
-    }
-
-    #[test]
-    fn parse_incremental_reads_the_incremental_section() {
-        let body = r#"{"incremental":{"incremental_checks":11,"clause_reuse_rate":0.6}}"#;
-        assert_eq!(parse_incremental(body), Ok((11, 0.6)));
-        // A daemon without the section is a described error, not a panic.
-        let err = parse_incremental(r#"{"oracle_cache":{"hit_rate":0.5}}"#).unwrap_err();
-        assert!(err.contains("no `incremental` section"), "{err}");
-    }
-
-    #[test]
-    fn parse_persistent_reads_both_sections() {
-        let body = r#"{"oracle_cache":{"hit_rate":0.5,"persist_hits":4},"persistent":{"enabled":true,"preloaded":17}}"#;
-        assert_eq!(parse_persistent(body), Ok((17, 4)));
-        // A daemon without `--cache-dir` renders `enabled: false` and no
-        // counters: a described error, not a panic.
-        let off =
-            r#"{"oracle_cache":{"hit_rate":0.5,"persist_hits":0},"persistent":{"enabled":false}}"#;
-        let err = parse_persistent(off).unwrap_err();
+    fn snapshot_decoder_reads_the_persistent_tier_when_enabled() {
+        let body = metrics_body(r#"{"enabled":true,"preloaded":17}"#, r#"{"enabled":false}"#);
+        let snapshot = Snapshot::from_json(&body).unwrap();
+        let persist = snapshot.persistent.expect("tier is on");
+        assert_eq!(persist.preloaded, 17);
+        assert_eq!(snapshot.oracle_cache.persist_hits, 4);
+        assert_eq!(snapshot.cluster, ClusterSection::Off);
+        // An enabled tier that lost its `preloaded` counter is a described
+        // error, not a panic.
+        let broken = metrics_body(r#"{"enabled":true}"#, r#"{"enabled":false}"#);
+        let err = Snapshot::from_json(&broken).unwrap_err();
         assert!(err.contains("no `preloaded` field"), "{err}");
     }
 
     #[test]
-    fn parse_hit_rate_describes_each_malformation() {
-        let cases: [(&str, &str); 5] = [
-            ("not json at all", "not valid JSON"),
-            ("[1,2,3]", "not a JSON object"),
-            (r#"{"queue":{}}"#, "no `oracle_cache` section"),
-            (r#"{"oracle_cache":{"hits":3}}"#, "no `hit_rate` field"),
-            (r#"{"oracle_cache":{"hit_rate":"high"}}"#, "not a number"),
+    fn snapshot_decoder_describes_each_malformation() {
+        let cases: [(String, &str); 7] = [
+            ("not json at all".to_string(), "not valid JSON"),
+            ("[1,2,3]".to_string(), "not a JSON object"),
+            (r#"{"queue":{}}"#.to_string(), "no `oracle_cache` section"),
+            (
+                r#"{"oracle_cache":{"hits":3,"misses":1}}"#.to_string(),
+                "no `hit_rate` field",
+            ),
+            (
+                r#"{"oracle_cache":{"hits":3,"misses":1,"hit_rate":"high"}}"#.to_string(),
+                "not a number",
+            ),
+            (
+                r#"{"oracle_cache":{"hits":6,"misses":2,"hit_rate":0.75}}"#.to_string(),
+                "no `candidate_dedup` section",
+            ),
+            (
+                r#"{"oracle_cache":{"hits":6,"misses":2,"hit_rate":0.75},
+"candidate_dedup":{"dedup_hits":7,"dedup_rate":0.25}}"#
+                    .to_string(),
+                "no `incremental` section",
+            ),
         ];
         for (body, expected) in cases {
-            let err = parse_hit_rate(body).unwrap_err();
+            let err = Snapshot::from_json(&body).unwrap_err();
             assert!(err.contains(expected), "{body} => {err}");
         }
     }

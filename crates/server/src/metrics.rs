@@ -1,16 +1,15 @@
-//! Server observability: request counters, per-technique latency
-//! histograms and queue gauges, rendered as the `GET /metrics` JSON
-//! document.
+//! Server observability, rebased on the unified telemetry registry.
 //!
-//! Latencies land in log₂-bucketed histograms (microsecond resolution, 28
-//! buckets ≈ 2¼ minutes of range), so p50/p90/p99 are answered from ~200
-//! bytes of state per technique no matter how many requests have been
-//! served — the usual production trade of a bucket-width error bound for
-//! O(1) memory.
+//! [`ServerMetrics`] used to keep its own maps of counters and latency
+//! histograms and hand-render the `GET /metrics` JSON; now every series
+//! lives in a [`Registry`] (lock-free relaxed-atomic increments on the
+//! hot path) and the document is produced by assembling a typed
+//! [`Snapshot`] — the same snapshot that backs the Prometheus exposition
+//! at `GET /metrics/prom`, the time-series ring at `GET /metrics/history`
+//! and fleet aggregation at the router. The JSON document itself is
+//! byte-for-byte the historical format, pinned by the golden-file test
+//! below.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use mualloy_analyzer::{IncrementalStats, OracleCacheStats};
@@ -18,94 +17,21 @@ use serde::Value;
 use specrepair_cache::PersistStats;
 use specrepair_core::DedupStats;
 use specrepair_llm::TransportStats;
+use specrepair_telemetry::{
+    ClusterSection, Counter, Gauge, Registry, Sample, SampleValue, Snapshot,
+};
 
-/// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^(i+1))` µs,
-/// the last bucket catches everything beyond ~2¼ minutes.
-const BUCKETS: usize = 28;
+/// The log₂ latency histogram, promoted into the telemetry crate; the
+/// historical `server::Histogram` name keeps working.
+pub use specrepair_telemetry::HistogramSnapshot as Histogram;
 
-/// A fixed-size log₂ histogram of microsecond latencies.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    counts: [u64; BUCKETS],
-    count: u64,
-    sum_micros: u64,
-    max_micros: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            counts: [0; BUCKETS],
-            count: 0,
-            sum_micros: 0,
-            max_micros: 0,
-        }
-    }
-}
-
-impl Histogram {
-    fn bucket_of(micros: u64) -> usize {
-        (63 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, micros: u64) {
-        self.counts[Histogram::bucket_of(micros)] += 1;
-        self.count += 1;
-        self.sum_micros += micros;
-        self.max_micros = self.max_micros.max(micros);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> u64 {
-        self.sum_micros.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// Approximate `q`-quantile in microseconds: the upper bound of the
-    /// first bucket whose cumulative count reaches `q · total`, clamped to
-    /// the maximum observed value. `None` when empty.
-    pub fn percentile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = if i + 1 >= 64 {
-                    u64::MAX
-                } else {
-                    1u64 << (i + 1)
-                };
-                return Some(upper.min(self.max_micros.max(1)));
-            }
-        }
-        Some(self.max_micros)
-    }
-
-    fn to_value(&self) -> Value {
-        let ms = |micros: Option<u64>| Value::F64(micros.unwrap_or(0) as f64 / 1000.0);
-        Value::Map(vec![
-            ("count".to_string(), Value::U64(self.count)),
-            (
-                "mean_ms".to_string(),
-                Value::F64(self.mean_micros() as f64 / 1000.0),
-            ),
-            ("p50_ms".to_string(), ms(self.percentile(0.50))),
-            ("p90_ms".to_string(), ms(self.percentile(0.90))),
-            ("p99_ms".to_string(), ms(self.percentile(0.99))),
-            (
-                "max_ms".to_string(),
-                Value::F64(self.max_micros as f64 / 1000.0),
-            ),
-        ])
-    }
+fn label(sample: &Sample, key: &str) -> String {
+    sample
+        .labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default()
 }
 
 /// The server-wide metrics registry. All methods take `&self`; it is shared
@@ -113,16 +39,11 @@ impl Histogram {
 #[derive(Debug)]
 pub struct ServerMetrics {
     started: Instant,
-    /// `(endpoint, status)` → request count. Endpoint is the route name
-    /// (`repair`, `healthz`, …) or `admission` for requests shed before
-    /// routing.
-    requests: Mutex<BTreeMap<(String, u16), u64>>,
-    /// Technique label → repair latency histogram.
-    latency: Mutex<BTreeMap<String, Histogram>>,
-    queue_depth: AtomicUsize,
-    inflight: AtomicUsize,
-    shed_total: AtomicU64,
-    deadline_exceeded_total: AtomicU64,
+    registry: Registry,
+    queue_depth: Gauge,
+    inflight: Gauge,
+    shed_total: Counter,
+    deadline_exceeded_total: Counter,
 }
 
 impl Default for ServerMetrics {
@@ -134,99 +55,158 @@ impl Default for ServerMetrics {
 impl ServerMetrics {
     /// A fresh registry.
     pub fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let queue_depth = registry.gauge(
+            "specrepair_queue_depth",
+            "Requests waiting in the admission queue.",
+            &[],
+        );
+        let inflight = registry.gauge(
+            "specrepair_inflight",
+            "Requests currently executing in workers.",
+            &[],
+        );
+        let shed_total = registry.counter(
+            "specrepair_shed_total",
+            "Connections shed at admission.",
+            &[],
+        );
+        let deadline_exceeded_total = registry.counter(
+            "specrepair_deadline_exceeded_total",
+            "Repairs that exceeded their deadline.",
+            &[],
+        );
         ServerMetrics {
             started: Instant::now(),
-            requests: Mutex::new(BTreeMap::new()),
-            latency: Mutex::new(BTreeMap::new()),
-            queue_depth: AtomicUsize::new(0),
-            inflight: AtomicUsize::new(0),
-            shed_total: AtomicU64::new(0),
-            deadline_exceeded_total: AtomicU64::new(0),
+            registry,
+            queue_depth,
+            inflight,
+            shed_total,
+            deadline_exceeded_total,
         }
     }
 
     /// Counts one routed request with its response status.
     pub fn record_request(&self, endpoint: &str, status: u16) {
-        *self
-            .requests
-            .lock()
-            .unwrap()
-            .entry((endpoint.to_string(), status))
-            .or_insert(0) += 1;
+        self.registry
+            .counter(
+                "specrepair_requests_total",
+                "Requests served, by endpoint and status.",
+                &[("endpoint", endpoint), ("status", &status.to_string())],
+            )
+            .inc();
     }
 
     /// Counts one connection shed at admission (queue full → `503`).
     pub fn record_shed(&self) {
-        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        self.shed_total.inc();
         self.record_request("admission", 503);
     }
 
     /// Counts one repair that hit its deadline.
     pub fn record_deadline_exceeded(&self) {
-        self.deadline_exceeded_total.fetch_add(1, Ordering::Relaxed);
+        self.deadline_exceeded_total.inc();
     }
 
     /// Records one repair latency under the technique's label.
     pub fn record_latency(&self, technique: &str, micros: u64) {
-        self.latency
-            .lock()
-            .unwrap()
-            .entry(technique.to_string())
-            .or_default()
+        self.registry
+            .histogram(
+                "specrepair_repair_latency_us",
+                "Repair latency in microseconds, by technique.",
+                &[("technique", technique)],
+            )
             .record(micros);
     }
 
     /// Total count of requests served for one endpoint (all statuses).
     pub fn requests_for(&self, endpoint: &str) -> u64 {
-        self.requests
-            .lock()
-            .unwrap()
+        self.registry
+            .gather()
             .iter()
-            .filter(|((e, _), _)| e == endpoint)
-            .map(|(_, c)| *c)
+            .filter(|s| s.name == "specrepair_requests_total" && label(s, "endpoint") == endpoint)
+            .map(|s| match s.value {
+                SampleValue::Counter(n) => n,
+                _ => 0,
+            })
             .sum()
     }
 
     /// Adjusts the admission-queue depth gauge.
     pub fn queue_depth_add(&self, delta: isize) {
-        if delta >= 0 {
-            self.queue_depth
-                .fetch_add(delta as usize, Ordering::Relaxed);
-        } else {
-            self.queue_depth
-                .fetch_sub((-delta) as usize, Ordering::Relaxed);
-        }
+        self.queue_depth.add(delta as i64);
     }
 
     /// Current admission-queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.get_unsigned() as usize
     }
 
     /// Marks one request entering/leaving a worker.
     pub fn inflight_add(&self, delta: isize) {
-        if delta >= 0 {
-            self.inflight.fetch_add(delta as usize, Ordering::Relaxed);
-        } else {
-            self.inflight
-                .fetch_sub((-delta) as usize, Ordering::Relaxed);
-        }
+        self.inflight.add(delta as i64);
     }
 
     /// Number of requests currently executing in workers.
     pub fn inflight(&self) -> usize {
-        self.inflight.load(Ordering::Relaxed)
+        self.inflight.get_unsigned() as usize
     }
 
-    /// Renders the whole registry (plus the shared oracle's cache stats,
-    /// the global candidate-dedup counters, the incremental-session
-    /// counters, the daemon-wide LM resilience counters, — when the
-    /// daemon runs with `--cache-dir` — the persistent verdict tier's
-    /// counters, and — in cluster mode — the caller-prebuilt `cluster`
-    /// section) as the `GET /metrics` JSON document.
+    /// Assembles the typed snapshot of this daemon: the registry's own
+    /// series (requests, latencies, gauges) plus every subsystem section.
     ///
     /// One parameter per stats source is deliberate: every call site must
     /// decide explicitly what each section shows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn snapshot(
+        &self,
+        oracle: &OracleCacheStats,
+        memoized_specs: usize,
+        dedup: &DedupStats,
+        incremental: &IncrementalStats,
+        transport: &TransportStats,
+        persist: Option<&PersistStats>,
+        cluster: ClusterSection,
+    ) -> Snapshot {
+        let mut requests: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+        let mut latency: Vec<(String, Histogram)> = Vec::new();
+        // gather() is sorted by (name, labels), so request rows arrive
+        // grouped by endpoint and latencies sorted by technique.
+        for sample in self.registry.gather() {
+            match (sample.name.as_str(), &sample.value) {
+                ("specrepair_requests_total", SampleValue::Counter(n)) => {
+                    let endpoint = label(&sample, "endpoint");
+                    let status = label(&sample, "status");
+                    match requests.last_mut() {
+                        Some((e, rows)) if *e == endpoint => rows.push((status, *n)),
+                        _ => requests.push((endpoint, vec![(status, *n)])),
+                    }
+                }
+                ("specrepair_repair_latency_us", SampleValue::Histogram(h)) => {
+                    latency.push((label(&sample, "technique"), h.clone()));
+                }
+                _ => {}
+            }
+        }
+        Snapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queue_depth: self.queue_depth.get_unsigned(),
+            inflight: self.inflight.get_unsigned(),
+            shed_total: self.shed_total.get(),
+            deadline_exceeded_total: self.deadline_exceeded_total.get(),
+            requests,
+            latency,
+            oracle_cache: oracle.section(memoized_specs),
+            candidate_dedup: dedup.section(),
+            incremental: incremental.section(),
+            persistent: persist.map(|p| p.section()),
+            cluster,
+            transport: transport.section(),
+        }
+    }
+
+    /// Renders the `GET /metrics` JSON document — byte-compatible with
+    /// the pre-registry format (see the golden-file test).
     #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
@@ -236,165 +216,32 @@ impl ServerMetrics {
         incremental: &IncrementalStats,
         transport: &TransportStats,
         persist: Option<&PersistStats>,
-        cluster: Option<Value>,
+        cluster: ClusterSection,
     ) -> String {
-        // requests: endpoint -> {status -> count}
-        let mut per_endpoint: BTreeMap<String, Vec<(String, Value)>> = BTreeMap::new();
-        for ((endpoint, status), count) in self.requests.lock().unwrap().iter() {
-            per_endpoint
-                .entry(endpoint.clone())
-                .or_default()
-                .push((status.to_string(), Value::U64(*count)));
-        }
-        let requests = Value::Map(
-            per_endpoint
-                .into_iter()
-                .map(|(endpoint, statuses)| (endpoint, Value::Map(statuses)))
-                .collect(),
-        );
-        let latency = Value::Map(
-            self.latency
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|(technique, h)| (technique.clone(), h.to_value()))
-                .collect(),
-        );
-        let oracle_value = Value::Map(vec![
-            ("hits".to_string(), Value::U64(oracle.hits)),
-            ("misses".to_string(), Value::U64(oracle.misses)),
-            (
-                "solver_invocations".to_string(),
-                Value::U64(oracle.solver_invocations),
-            ),
-            ("errors".to_string(), Value::U64(oracle.errors)),
-            ("evictions".to_string(), Value::U64(oracle.evictions)),
-            ("hit_rate".to_string(), Value::F64(oracle.hit_rate())),
-            (
-                "memoized_specs".to_string(),
-                Value::U64(memoized_specs as u64),
-            ),
-            ("persist_hits".to_string(), Value::U64(oracle.persist_hits)),
-            ("collapsed".to_string(), Value::U64(oracle.collapsed)),
-        ]);
-        let persistent_value = match persist {
-            None => Value::Map(vec![("enabled".to_string(), Value::Bool(false))]),
-            Some(p) => Value::Map(vec![
-                ("enabled".to_string(), Value::Bool(true)),
-                ("degraded".to_string(), Value::Bool(p.degraded)),
-                ("preloaded".to_string(), Value::U64(p.preloaded)),
-                ("quarantined".to_string(), Value::U64(p.quarantined)),
-                ("live_entries".to_string(), Value::U64(p.live_entries)),
-                ("disk_lines".to_string(), Value::U64(p.disk_lines)),
-                ("disk_good".to_string(), Value::U64(p.disk_good)),
-                ("lookups".to_string(), Value::U64(p.lookups)),
-                ("hits".to_string(), Value::U64(p.hits)),
-                ("appends".to_string(), Value::U64(p.appends)),
-                ("append_errors".to_string(), Value::U64(p.append_errors)),
-                (
-                    "skipped_degraded".to_string(),
-                    Value::U64(p.skipped_degraded),
-                ),
-                ("breaker_trips".to_string(), Value::U64(p.breaker_trips)),
-                ("compactions".to_string(), Value::U64(p.compactions)),
-                (
-                    "compaction_failures".to_string(),
-                    Value::U64(p.compaction_failures),
-                ),
-                (
-                    "injected_write_errors".to_string(),
-                    Value::U64(p.injected_write_errors),
-                ),
-                (
-                    "injected_short_writes".to_string(),
-                    Value::U64(p.injected_short_writes),
-                ),
-                (
-                    "injected_bit_flips".to_string(),
-                    Value::U64(p.injected_bit_flips),
-                ),
-            ]),
-        };
-        let dedup_value = Value::Map(vec![
-            ("dedup_hits".to_string(), Value::U64(dedup.hits)),
-            ("dedup_misses".to_string(), Value::U64(dedup.misses)),
-            ("dedup_coalesced".to_string(), Value::U64(dedup.coalesced)),
-            ("dedup_rate".to_string(), Value::F64(dedup.dedup_rate())),
-        ]);
-        let incremental_value = Value::Map(vec![
-            (
-                "incremental_sessions".to_string(),
-                Value::U64(incremental.sessions),
-            ),
-            (
-                "incremental_checks".to_string(),
-                Value::U64(incremental.checks),
-            ),
-            (
-                "incremental_fallbacks".to_string(),
-                Value::U64(incremental.fallbacks),
-            ),
-            (
-                "activation_vars".to_string(),
-                Value::U64(incremental.activation_vars),
-            ),
-            (
-                "clause_reuse_rate".to_string(),
-                Value::F64(incremental.clause_reuse_rate()),
-            ),
-            (
-                "learned_clauses_retained".to_string(),
-                Value::U64(incremental.learned_clauses_retained),
-            ),
-        ]);
-        let cluster_value = cluster
-            .unwrap_or_else(|| Value::Map(vec![("enabled".to_string(), Value::Bool(false))]));
-        let mut transport_value: Vec<(String, Value)> = transport
-            .snapshot()
-            .into_iter()
-            .map(|(name, value)| (name.to_string(), Value::U64(value)))
-            .collect();
-        transport_value.push(("injected_faults".to_string(), transport.faults.to_value()));
-        let doc = Value::Map(vec![
-            (
-                "uptime_ms".to_string(),
-                Value::U64(self.started.elapsed().as_millis() as u64),
-            ),
-            (
-                "queue_depth".to_string(),
-                Value::U64(self.queue_depth() as u64),
-            ),
-            ("inflight".to_string(), Value::U64(self.inflight() as u64)),
-            (
-                "shed_total".to_string(),
-                Value::U64(self.shed_total.load(Ordering::Relaxed)),
-            ),
-            (
-                "deadline_exceeded_total".to_string(),
-                Value::U64(self.deadline_exceeded_total.load(Ordering::Relaxed)),
-            ),
-            ("requests".to_string(), requests),
-            ("latency_ms".to_string(), latency),
-            ("oracle_cache".to_string(), oracle_value),
-            ("candidate_dedup".to_string(), dedup_value),
-            ("incremental".to_string(), incremental_value),
-            ("persistent".to_string(), persistent_value),
-            ("cluster".to_string(), cluster_value),
-            ("transport".to_string(), Value::Map(transport_value)),
-        ]);
-        serde_json::to_string_pretty(&doc).expect("metrics document always serializes")
+        self.snapshot(
+            oracle,
+            memoized_specs,
+            dedup,
+            incremental,
+            transport,
+            persist,
+            cluster,
+        )
+        .to_json()
     }
 }
 
 /// Per-phase busy-time totals since boot, aggregated from every traced
 /// repair request — the state behind `GET /trace/summary`. Empty (and the
-/// document says so) unless the daemon runs with tracing on.
+/// document says so) unless the daemon runs with tracing on. Carried as
+/// telemetry [`Counter`] cells: same lock-free discipline as the rest of
+/// the registry.
 #[derive(Debug, Default)]
 pub struct TraceTotals {
-    spans: AtomicU64,
-    requests: AtomicU64,
+    spans: Counter,
+    requests: Counter,
     /// Exclusive nanoseconds per phase, in [`Phase::ALL`] order.
-    phase_ns: [AtomicU64; 4],
+    phase_ns: [Counter; 4],
 }
 
 use specrepair_trace::{Phase, SpanRecord};
@@ -411,27 +258,23 @@ impl TraceTotals {
         if spans.is_empty() {
             return;
         }
-        self.spans.fetch_add(spans.len() as u64, Ordering::Relaxed);
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.spans.add(spans.len() as u64);
+        self.requests.inc();
         for (i, ns) in specrepair_trace::phase_totals_ns(spans).iter().enumerate() {
-            self.phase_ns[i].fetch_add(*ns, Ordering::Relaxed);
+            self.phase_ns[i].add(*ns);
         }
     }
 
     /// Spans absorbed since boot.
     pub fn spans(&self) -> u64 {
-        self.spans.load(Ordering::Relaxed)
+        self.spans.get()
     }
 
     /// Renders the `GET /trace/summary` JSON document: whether the
     /// collector is on, how many spans landed, and per-phase busy
     /// milliseconds plus percentage of the attributed total since boot.
     pub fn render(&self, enabled: bool) -> String {
-        let phase_ns: Vec<u64> = self
-            .phase_ns
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
+        let phase_ns: Vec<u64> = self.phase_ns.iter().map(|c| c.get()).collect();
         let total_ns: u64 = phase_ns.iter().sum();
         let phases = Value::Map(
             Phase::ALL
@@ -458,7 +301,7 @@ impl TraceTotals {
             ("spans_total".to_string(), Value::U64(self.spans())),
             (
                 "traced_requests_total".to_string(),
-                Value::U64(self.requests.load(Ordering::Relaxed)),
+                Value::U64(self.requests.get()),
             ),
             (
                 "attributed_ms_total".to_string(),
@@ -473,6 +316,7 @@ impl TraceTotals {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specrepair_telemetry::ShardClusterSection;
 
     #[test]
     fn histogram_percentiles_are_ordered_and_bounded() {
@@ -585,9 +429,7 @@ mod tests {
         assert_eq!(m.requests_for("admission"), 1);
         assert_eq!(m.queue_depth(), 1);
         let transport = TransportStats::new();
-        transport
-            .retries
-            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        transport.retries.add(3);
         transport
             .faults
             .record(specrepair_faults::FaultKind::Timeout);
@@ -612,7 +454,7 @@ mod tests {
             &incremental,
             &transport,
             None,
-            None,
+            ClusterSection::Off,
         );
         for needle in [
             "\"repair\"",
@@ -665,7 +507,7 @@ mod tests {
             &IncrementalStats::default(),
             &TransportStats::new(),
             Some(&persist),
-            None,
+            ClusterSection::Off,
         );
         for needle in [
             "\"persistent\"",
@@ -681,11 +523,10 @@ mod tests {
     #[test]
     fn cluster_section_renders_when_provided() {
         let m = ServerMetrics::new();
-        let cluster = Value::Map(vec![
-            ("enabled".to_string(), Value::Bool(true)),
-            ("role".to_string(), Value::Str("shard".to_string())),
-            ("remote_hits".to_string(), Value::U64(4)),
-        ]);
+        let cluster = ClusterSection::Shard(ShardClusterSection {
+            remote_hits: 4,
+            ..ShardClusterSection::default()
+        });
         let doc = m.render(
             &OracleCacheStats::default(),
             0,
@@ -693,10 +534,125 @@ mod tests {
             &IncrementalStats::default(),
             &TransportStats::new(),
             None,
-            Some(cluster),
+            cluster,
         );
         for needle in ["\"cluster\"", "\"role\": \"shard\"", "\"remote_hits\": 4"] {
             assert!(doc.contains(needle), "metrics missing {needle}:\n{doc}");
         }
+    }
+
+    /// The legacy `GET /metrics` document must stay byte-identical across
+    /// the registry rebase. The golden file was generated by the
+    /// pre-registry renderer from exactly the inputs below; only the
+    /// timing-dependent `uptime_ms` line is normalized.
+    #[test]
+    fn metrics_document_matches_pre_registry_golden() {
+        let golden = include_str!("../testdata/metrics_golden.json");
+        let m = ServerMetrics::new();
+        m.record_request("repair", 200);
+        m.record_request("repair", 200);
+        m.record_request("repair", 400);
+        m.record_shed();
+        m.record_latency("ICEBAR", 1_500);
+        m.record_latency("ATR", 800);
+        m.queue_depth_add(2);
+        m.queue_depth_add(-1);
+        m.inflight_add(1);
+        m.record_deadline_exceeded();
+        let oracle = OracleCacheStats {
+            hits: 12,
+            misses: 4,
+            solver_invocations: 5,
+            errors: 1,
+            evictions: 2,
+            persist_hits: 3,
+            collapsed: 1,
+        };
+        let dedup = DedupStats {
+            hits: 4,
+            misses: 12,
+            coalesced: 1,
+        };
+        let incremental = IncrementalStats {
+            sessions: 2,
+            checks: 8,
+            fallbacks: 1,
+            activation_vars: 8,
+            clauses_reused: 30,
+            clauses_total: 40,
+            learned_clauses_retained: 5,
+        };
+        let transport = TransportStats::new();
+        transport.retries.add(3);
+        transport.giveups.add(1);
+        transport
+            .faults
+            .record(specrepair_faults::FaultKind::Timeout);
+        transport
+            .faults
+            .record(specrepair_faults::FaultKind::RateLimit);
+        transport
+            .faults
+            .record(specrepair_faults::FaultKind::RateLimit);
+        let persist = PersistStats {
+            preloaded: 7,
+            quarantined: 1,
+            live_entries: 9,
+            disk_lines: 11,
+            disk_good: 10,
+            hits: 3,
+            lookups: 5,
+            appends: 2,
+            append_errors: 1,
+            skipped_degraded: 1,
+            breaker_trips: 1,
+            degraded: true,
+            compactions: 1,
+            compaction_failures: 0,
+            injected_write_errors: 2,
+            injected_short_writes: 0,
+            injected_bit_flips: 1,
+        };
+        let cluster = ClusterSection::Shard(ShardClusterSection {
+            shard_id: 1,
+            peers: 3,
+            remote_lookups: 10,
+            remote_hits: 4,
+            remote_misses: 6,
+            remote_hit_rate: 0.4,
+            remote_puts: 5,
+            self_owned: 2,
+            transport_errors: 1,
+            retries: 1,
+            breaker_trips: 0,
+            skipped_open: 0,
+            open_breakers: 0,
+        });
+        let doc = m.render(
+            &oracle,
+            6,
+            &dedup,
+            &incremental,
+            &transport,
+            Some(&persist),
+            cluster,
+        );
+        let normalize = |text: &str| -> String {
+            text.lines()
+                .map(|line| {
+                    if line.trim_start().starts_with("\"uptime_ms\":") {
+                        "  \"uptime_ms\": 0,".to_string()
+                    } else {
+                        line.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            normalize(&doc),
+            normalize(golden.trim_end()),
+            "legacy /metrics document drifted from the golden file"
+        );
     }
 }

@@ -26,11 +26,14 @@ use std::time::Duration;
 
 use mualloy_analyzer::Oracle;
 use mualloy_syntax::Fingerprint;
-use serde::Value;
 use specrepair_cluster::client;
 use specrepair_cluster::ShardRing;
 use specrepair_core::OracleHandle;
 use specrepair_faults::CallBreaker;
+use specrepair_telemetry::{
+    fleet_document, prom, ClusterSection, RouterClusterSection, RouterShardRow, ShardScrape,
+    Snapshot,
+};
 
 use crate::engine::{self, Admission, HttpApp};
 use crate::http::{Request, Response};
@@ -334,57 +337,89 @@ fn route_verdict_put(state: &RouterState, hex: &str, body: &str) -> Response {
     Response::json(200, "{\"stored\":true,\"degraded\":true}")
 }
 
-/// The `cluster` section of the router's `/metrics`.
-fn cluster_section(state: &RouterState) -> Value {
-    let per_shard = Value::Map(
-        state
-            .ring
-            .nodes()
-            .iter()
-            .zip(&state.shards)
-            .enumerate()
-            .map(|(index, (node, counters))| {
-                (
-                    node.addr.clone(),
-                    Value::Map(vec![
-                        (
-                            "forwarded".to_string(),
-                            Value::U64(counters.forwarded.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "retries".to_string(),
-                            Value::U64(counters.retries.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "failures".to_string(),
-                            Value::U64(counters.failures.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "breaker_open".to_string(),
-                            Value::Bool(state.breakers[index].is_open()),
-                        ),
-                    ]),
-                )
-            })
-            .collect(),
-    );
-    Value::Map(vec![
-        ("enabled".to_string(), Value::Bool(true)),
-        ("role".to_string(), Value::Str("router".to_string())),
-        ("shards".to_string(), per_shard),
-        (
-            "degraded_local_solves".to_string(),
-            Value::U64(state.degraded_local_solves.load(Ordering::Relaxed)),
-        ),
-        (
-            "breaker_trips".to_string(),
-            Value::U64(state.breaker_trips.load(Ordering::Relaxed)),
-        ),
-        (
-            "skipped_open".to_string(),
-            Value::U64(state.skipped_open.load(Ordering::Relaxed)),
-        ),
-    ])
+/// The typed `cluster` section of the router's `/metrics`.
+fn cluster_section(state: &RouterState) -> ClusterSection {
+    let shards = state
+        .ring
+        .nodes()
+        .iter()
+        .zip(&state.shards)
+        .enumerate()
+        .map(|(index, (node, counters))| RouterShardRow {
+            addr: node.addr.clone(),
+            forwarded: counters.forwarded.load(Ordering::Relaxed),
+            retries: counters.retries.load(Ordering::Relaxed),
+            failures: counters.failures.load(Ordering::Relaxed),
+            breaker_open: state.breakers[index].is_open(),
+        })
+        .collect();
+    ClusterSection::Router(RouterClusterSection {
+        shards,
+        degraded_local_solves: state.degraded_local_solves.load(Ordering::Relaxed),
+        breaker_trips: state.breaker_trips.load(Ordering::Relaxed),
+        skipped_open: state.skipped_open.load(Ordering::Relaxed),
+    })
+}
+
+/// The router's full telemetry snapshot (its own counters, degraded-path
+/// service stats, and the per-shard forwarding section).
+fn full_snapshot(state: &RouterState) -> Snapshot {
+    let oracle = state.local.oracle();
+    state.metrics.snapshot(
+        &oracle.stats(),
+        oracle.service().memoized_specs(),
+        &oracle.dedup_stats(),
+        &oracle.incremental_stats(),
+        state.local.transport_stats(),
+        None,
+        cluster_section(state),
+    )
+}
+
+/// Read timeout for one shard telemetry scrape: a snapshot render is a
+/// memory walk on the shard, never a solve.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Scrapes one shard's `/metrics/prom` for the fleet view, behind the same
+/// per-shard breaker the forwarding path feeds, with one retry. Scrapes
+/// never count as forwards — `ShardCounters.forwarded` stays a routing
+/// metric — but a dead shard's scrape failures do feed its breaker.
+fn scrape_shard(state: &RouterState, index: usize) -> ShardScrape {
+    let addr = state.ring.nodes()[index].addr.clone();
+    if !state.breakers[index].allow() {
+        return ShardScrape::stale(addr, "breaker open");
+    }
+    let mut last_error = String::new();
+    for _ in 0..2 {
+        match client::call(&addr, "GET", "/metrics/prom", "", SCRAPE_TIMEOUT) {
+            Ok((200, body)) => {
+                state.breakers[index].success();
+                return match prom::parse(&body) {
+                    Ok(samples) => ShardScrape::fresh(addr, samples),
+                    Err(why) => ShardScrape::stale(addr, format!("unparsable exposition: {why}")),
+                };
+            }
+            Ok((status, _)) => {
+                state.breakers[index].success();
+                return ShardScrape::stale(addr, format!("shard answered {status}"));
+            }
+            Err(why) => last_error = why.to_string(),
+        }
+    }
+    if state.breakers[index].failure() {
+        state.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+    ShardScrape::stale(addr, format!("scrape failed: {last_error}"))
+}
+
+/// `GET /cluster/metrics`: scrape every shard's exposition and serve the
+/// merged fleet document (summed counters, merged histograms, min/max/mean
+/// gauges); unreachable shards are labeled stale, never omitted.
+fn cluster_metrics(state: &RouterState) -> Response {
+    let scrapes: Vec<ShardScrape> = (0..state.ring.len())
+        .map(|index| scrape_shard(state, index))
+        .collect();
+    Response::json(200, fleet_document(&scrapes))
 }
 
 /// Routes one request and records it in the metrics.
@@ -406,19 +441,15 @@ fn route(state: &Arc<RouterState>, request: &Request) -> Response {
             "techniques",
             Response::json(200, RepairService::techniques_document()),
         ),
-        ("GET", "/metrics") => {
-            let oracle = state.local.oracle();
-            let body = state.metrics.render(
-                &oracle.stats(),
-                oracle.service().memoized_specs(),
-                &oracle.dedup_stats(),
-                &oracle.incremental_stats(),
-                state.local.transport_stats(),
-                None,
-                Some(cluster_section(state)),
-            );
-            ("metrics", Response::json(200, body))
-        }
+        ("GET", "/metrics") => (
+            "metrics",
+            Response::json(200, full_snapshot(state).to_json()),
+        ),
+        ("GET", "/metrics/prom") => (
+            "metrics",
+            Response::text(200, prom::render(&full_snapshot(state))),
+        ),
+        ("GET", "/cluster/metrics") => ("cluster_metrics", cluster_metrics(state)),
         ("POST", "/repair") => ("repair", route_repair(state, &request.body_text())),
         ("GET", path) if path.starts_with("/verdict/") => (
             "verdict",
@@ -432,7 +463,11 @@ fn route(state: &Arc<RouterState>, request: &Request) -> Response {
             state.admission.begin_drain();
             ("shutdown", Response::json(200, "{\"status\":\"draining\"}"))
         }
-        (_, "/healthz" | "/techniques" | "/metrics" | "/repair" | "/shutdown") => (
+        (
+            _,
+            "/healthz" | "/techniques" | "/metrics" | "/metrics/prom" | "/cluster/metrics"
+            | "/repair" | "/shutdown",
+        ) => (
             "http",
             Response::error(405, &format!("{} not allowed here", request.method)),
         ),

@@ -18,11 +18,11 @@ use std::thread::JoinHandle;
 
 use mualloy_analyzer::{TieredStore, VerdictStore};
 use mualloy_syntax::Fingerprint;
-use serde::Value;
 use specrepair_cache::PersistentCache;
 use specrepair_cluster::{RemoteVerdictStore, ShardRing};
 use specrepair_core::OracleHandle;
 use specrepair_faults::DiskFaultPlan;
+use specrepair_telemetry::{ClusterSection, History, Snapshot};
 
 use crate::engine::{self, Admission, HttpApp};
 use crate::http::{Request, Response};
@@ -86,6 +86,15 @@ pub struct ServerConfig {
     /// Cluster-shard mode: this daemon's identity in the shared peer list.
     /// `None` (the default) runs a plain single-node daemon.
     pub shard: Option<ShardConfig>,
+    /// Metrics-history sampling interval in milliseconds; `0` (the
+    /// default) disables the time-series ring and `GET /metrics/history`.
+    pub metrics_history_interval_ms: u64,
+    /// Ring capacity for the metrics history (samples retained).
+    pub metrics_history_capacity: usize,
+    /// Where the drain-time `metrics_history.jsonl` dump lands. `None`
+    /// with history enabled writes `metrics_history.jsonl` in the working
+    /// directory.
+    pub metrics_history_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +114,9 @@ impl Default for ServerConfig {
             disk_chaos_rate: 0.0,
             disk_chaos_seed: 0xD15C,
             shard: None,
+            metrics_history_interval_ms: 0,
+            metrics_history_capacity: 512,
+            metrics_history_file: None,
         }
     }
 }
@@ -124,6 +136,8 @@ struct ServerState {
     remote: Option<Arc<RemoteVerdictStore>>,
     /// Shard identity, in shard mode.
     shard: Option<ShardConfig>,
+    /// The metrics time-series ring, when history sampling is on.
+    history: Option<Arc<History>>,
 }
 
 impl HttpApp for ServerState {
@@ -146,6 +160,8 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
+    history_file: Option<PathBuf>,
 }
 
 impl ServerHandle {
@@ -170,11 +186,24 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
         // Drain hook: with every worker gone no verdict can still be in
         // flight, so seal the persistent log (compact if the disk view
         // drifted from memory, then fsync) before the process exits.
         if let Some(persist) = &self.state.persist {
             persist.seal();
+        }
+        // Dump the metrics time series for offline analysis (e.g. the
+        // hit-rate convergence plots in EXPERIMENTS.md E11).
+        if let (Some(history), Some(path)) = (&self.state.history, &self.history_file) {
+            if let Err(e) = std::fs::write(path, history.dump_jsonl()) {
+                eprintln!(
+                    "specrepaird: cannot write metrics history {}: {e}",
+                    path.display()
+                );
+            }
         }
     }
 }
@@ -271,15 +300,54 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         persist,
         remote,
         shard: config.shard.clone(),
+        history: (config.metrics_history_interval_ms > 0).then(|| {
+            Arc::new(History::new(
+                config.metrics_history_capacity,
+                config.metrics_history_interval_ms,
+            ))
+        }),
     });
 
     let (acceptor, workers) =
         engine::spawn_threads(listener, config.workers, "specrepaird", &state);
+    // The history sampler: one thread recording every registered scalar
+    // into the ring each interval, draining with the admission gate. It
+    // sleeps in short chunks so shutdown is never delayed by a long
+    // interval.
+    let sampler = state.history.clone().map(|history| {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("specrepaird-history".to_string())
+            .spawn(move || {
+                let interval = std::time::Duration::from_millis(history.interval_ms().max(1));
+                while !state.admission.is_draining() {
+                    let mut left = interval;
+                    while !left.is_zero() && !state.admission.is_draining() {
+                        let nap = left.min(std::time::Duration::from_millis(50));
+                        std::thread::sleep(nap);
+                        left = left.saturating_sub(nap);
+                    }
+                    if state.admission.is_draining() {
+                        break;
+                    }
+                    history.record(full_snapshot(&state).scalars());
+                }
+            })
+            .expect("spawn history sampler")
+    });
+    let history_file = (config.metrics_history_interval_ms > 0).then(|| {
+        config
+            .metrics_history_file
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("metrics_history.jsonl"))
+    });
     Ok(ServerHandle {
         addr,
         state,
         acceptor: Some(acceptor),
         workers,
+        sampler,
+        history_file,
     })
 }
 
@@ -343,34 +411,34 @@ fn verdict_put(state: &Arc<ServerState>, hex: &str, body: &str) -> Response {
     Response::json(200, "{\"stored\":true}")
 }
 
-/// The `cluster` section of `/metrics`, present in shard mode.
-fn cluster_section(state: &ServerState) -> Option<Value> {
-    let remote = state.remote.as_ref()?;
-    let shard = state.shard.as_ref()?;
-    let stats = remote.stats();
-    Some(Value::Map(vec![
-        ("enabled".to_string(), Value::Bool(true)),
-        ("role".to_string(), Value::Str("shard".to_string())),
-        ("shard_id".to_string(), Value::U64(shard.shard_id as u64)),
-        ("peers".to_string(), Value::U64(remote.ring().len() as u64)),
-        ("remote_lookups".to_string(), Value::U64(stats.lookups)),
-        ("remote_hits".to_string(), Value::U64(stats.hits)),
-        ("remote_misses".to_string(), Value::U64(stats.misses)),
-        ("remote_hit_rate".to_string(), Value::F64(stats.hit_rate())),
-        ("remote_puts".to_string(), Value::U64(stats.puts)),
-        ("self_owned".to_string(), Value::U64(stats.self_owned)),
-        (
-            "transport_errors".to_string(),
-            Value::U64(stats.transport_errors),
-        ),
-        ("retries".to_string(), Value::U64(stats.retries)),
-        ("breaker_trips".to_string(), Value::U64(stats.breaker_trips)),
-        ("skipped_open".to_string(), Value::U64(stats.skipped_open)),
-        (
-            "open_breakers".to_string(),
-            Value::U64(remote.open_breakers() as u64),
-        ),
-    ]))
+/// The `cluster` section of `/metrics`: the shard's remote-tier view in
+/// shard mode, `Off` otherwise.
+fn cluster_section(state: &ServerState) -> ClusterSection {
+    match (&state.remote, &state.shard) {
+        (Some(remote), Some(shard)) => ClusterSection::Shard(remote.stats().cluster_section(
+            shard.shard_id,
+            remote.ring().len(),
+            remote.open_breakers(),
+        )),
+        _ => ClusterSection::Off,
+    }
+}
+
+/// Assembles the daemon's full typed metrics snapshot — the single source
+/// behind `/metrics`, `/metrics/prom`, the history sampler and the
+/// router's fleet scrape.
+fn full_snapshot(state: &ServerState) -> Snapshot {
+    let oracle = state.service.oracle();
+    let persist = state.persist.as_ref().map(|p| p.stats());
+    state.metrics.snapshot(
+        &oracle.stats(),
+        oracle.service().memoized_specs(),
+        &oracle.dedup_stats(),
+        &oracle.incremental_stats(),
+        state.service.transport_stats(),
+        persist.as_ref(),
+        cluster_section(state),
+    )
 }
 
 /// Routes one request to its endpoint and records it in the metrics.
@@ -391,18 +459,22 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             "techniques",
             Response::json(200, RepairService::techniques_document()),
         ),
-        ("GET", "/metrics") => {
-            let oracle = state.service.oracle();
-            let persist = state.persist.as_ref().map(|p| p.stats());
-            let body = state.metrics.render(
-                &oracle.stats(),
-                oracle.service().memoized_specs(),
-                &oracle.dedup_stats(),
-                &oracle.incremental_stats(),
-                state.service.transport_stats(),
-                persist.as_ref(),
-                cluster_section(state),
-            );
+        ("GET", "/metrics") => (
+            "metrics",
+            Response::json(200, full_snapshot(state).to_json()),
+        ),
+        ("GET", "/metrics/prom") => (
+            "metrics",
+            Response::text(
+                200,
+                specrepair_telemetry::prom::render(&full_snapshot(state)),
+            ),
+        ),
+        ("GET", "/metrics/history") => {
+            let body = match &state.history {
+                Some(history) => history.to_json(),
+                None => "{\n  \"enabled\": false\n}".to_string(),
+            };
             ("metrics", Response::json(200, body))
         }
         ("GET", "/trace/summary") => (
@@ -444,7 +516,8 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
         }
         (
             _,
-            "/healthz" | "/techniques" | "/metrics" | "/trace/summary" | "/repair" | "/shutdown",
+            "/healthz" | "/techniques" | "/metrics" | "/metrics/prom" | "/metrics/history"
+            | "/trace/summary" | "/repair" | "/shutdown",
         ) => (
             "http",
             Response::error(405, &format!("{} not allowed here", request.method)),

@@ -632,7 +632,7 @@ mod tests {
         let stats = s.transport_stats();
         assert!(stats.faults.total() > 0, "faults were injected");
         assert!(
-            stats.retries.load(std::sync::atomic::Ordering::Relaxed) >= stats.faults.total(),
+            stats.retries.get() >= stats.faults.total(),
             "every injected fault was retried"
         );
     }

@@ -1,0 +1,257 @@
+//! Fleet-wide aggregation: merging per-shard sample lists into one
+//! `GET /cluster/metrics` document.
+//!
+//! The router scrapes every shard's `/metrics/prom` (breaker-guarded, so
+//! a dead shard can't stall the scrape loop) and hands the parsed sample
+//! lists here. Merging is by series identity ([`Sample::id`]): counters
+//! sum, gauges report min/max/mean across shards, histograms merge
+//! bucketwise and render their full summary (including p99.9). Shards
+//! whose scrape failed are reported with `stale: true` and the error, and
+//! are simply absent from the aggregates — partial fleets still serve.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::metric::HistogramSnapshot;
+use crate::registry::{Sample, SampleValue};
+
+/// One shard's scrape result: its samples, or the error that kept it out
+/// of the aggregates.
+#[derive(Debug, Clone)]
+pub struct ShardScrape {
+    /// The shard's address, used as its key in the document.
+    pub addr: String,
+    /// Why the scrape failed (`None` means fresh samples below).
+    pub error: Option<String>,
+    /// Parsed samples (empty when the scrape failed).
+    pub samples: Vec<Sample>,
+}
+
+impl ShardScrape {
+    /// A successful scrape.
+    pub fn fresh(addr: impl Into<String>, samples: Vec<Sample>) -> ShardScrape {
+        ShardScrape {
+            addr: addr.into(),
+            error: None,
+            samples,
+        }
+    }
+
+    /// A failed scrape: the shard is reported stale and excluded from
+    /// aggregates.
+    pub fn stale(addr: impl Into<String>, error: impl Into<String>) -> ShardScrape {
+        ShardScrape {
+            addr: addr.into(),
+            error: Some(error.into()),
+            samples: Vec::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct GaugeSpread {
+    min: f64,
+    max: f64,
+    sum: f64,
+    shards: u64,
+}
+
+/// Builds the fleet document from every shard's scrape result.
+pub fn fleet_document(scrapes: &[ShardScrape]) -> String {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, GaugeSpread> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+    let mut shards_ok = 0u64;
+    for scrape in scrapes {
+        if scrape.error.is_some() {
+            continue;
+        }
+        shards_ok += 1;
+        for sample in &scrape.samples {
+            let id = sample.id();
+            match &sample.value {
+                SampleValue::Counter(n) => *counters.entry(id).or_insert(0) += n,
+                SampleValue::Gauge(v) => {
+                    let spread = gauges.entry(id).or_default();
+                    if spread.shards == 0 {
+                        spread.min = *v;
+                        spread.max = *v;
+                    } else {
+                        spread.min = spread.min.min(*v);
+                        spread.max = spread.max.max(*v);
+                    }
+                    spread.sum += *v;
+                    spread.shards += 1;
+                }
+                SampleValue::Histogram(h) => {
+                    histograms.entry(id).or_default().merge(h);
+                }
+            }
+        }
+    }
+    let shards = Value::Map(
+        scrapes
+            .iter()
+            .map(|scrape| {
+                let mut entry = vec![("stale".to_string(), Value::Bool(scrape.error.is_some()))];
+                if let Some(error) = &scrape.error {
+                    entry.push(("error".to_string(), Value::Str(error.clone())));
+                } else {
+                    entry.push((
+                        "series".to_string(),
+                        Value::U64(scrape.samples.len() as u64),
+                    ));
+                }
+                (scrape.addr.clone(), Value::Map(entry))
+            })
+            .collect(),
+    );
+    let doc = Value::Map(vec![
+        ("enabled".to_string(), Value::Bool(true)),
+        ("role".to_string(), Value::Str("fleet".to_string())),
+        ("shards_total".to_string(), Value::U64(scrapes.len() as u64)),
+        ("shards_ok".to_string(), Value::U64(shards_ok)),
+        (
+            "shards_stale".to_string(),
+            Value::U64(scrapes.len() as u64 - shards_ok),
+        ),
+        ("shards".to_string(), shards),
+        (
+            "counters".to_string(),
+            Value::Map(
+                counters
+                    .into_iter()
+                    .map(|(id, n)| (id, Value::U64(n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".to_string(),
+            Value::Map(
+                gauges
+                    .into_iter()
+                    .map(|(id, spread)| {
+                        (
+                            id,
+                            Value::Map(vec![
+                                ("min".to_string(), Value::F64(spread.min)),
+                                ("max".to_string(), Value::F64(spread.max)),
+                                (
+                                    "mean".to_string(),
+                                    Value::F64(spread.sum / spread.shards as f64),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".to_string(),
+            Value::Map(
+                histograms
+                    .into_iter()
+                    .map(|(id, h)| (id, h.summary_value()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("fleet document serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, value: u64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            labels: Vec::new(),
+            value: SampleValue::Counter(value),
+        }
+    }
+
+    fn gauge(name: &str, value: f64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            labels: Vec::new(),
+            value: SampleValue::Gauge(value),
+        }
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_spread_across_shards() {
+        let doc = fleet_document(&[
+            ShardScrape::fresh(
+                "127.0.0.1:7001",
+                vec![
+                    counter("specrepair_oracle_hits_total", 10),
+                    gauge("specrepair_queue_depth", 2.0),
+                ],
+            ),
+            ShardScrape::fresh(
+                "127.0.0.1:7002",
+                vec![
+                    counter("specrepair_oracle_hits_total", 5),
+                    gauge("specrepair_queue_depth", 6.0),
+                ],
+            ),
+        ]);
+        for needle in [
+            "\"specrepair_oracle_hits_total\": 15",
+            "\"min\": 2.0",
+            "\"max\": 6.0",
+            "\"mean\": 4.0",
+            "\"shards_ok\": 2",
+            "\"shards_stale\": 0",
+        ] {
+            assert!(doc.contains(needle), "missing {needle}:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn stale_shards_are_labeled_and_excluded_from_aggregates() {
+        let doc = fleet_document(&[
+            ShardScrape::fresh(
+                "127.0.0.1:7001",
+                vec![counter("specrepair_oracle_hits_total", 10)],
+            ),
+            ShardScrape::stale("127.0.0.1:7002", "connect refused"),
+        ]);
+        for needle in [
+            "\"specrepair_oracle_hits_total\": 10",
+            "\"stale\": true",
+            "\"error\": \"connect refused\"",
+            "\"shards_ok\": 1",
+            "\"shards_stale\": 1",
+        ] {
+            assert!(doc.contains(needle), "missing {needle}:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn histograms_merge_bucketwise_with_percentiles() {
+        let mut a = HistogramSnapshot::default();
+        a.record(100);
+        let mut b = HistogramSnapshot::default();
+        b.record(5_000);
+        let sample = |h: HistogramSnapshot| Sample {
+            name: "specrepair_repair_latency_us".to_string(),
+            labels: vec![("technique".to_string(), "ATR".to_string())],
+            value: SampleValue::Histogram(h),
+        };
+        let doc = fleet_document(&[
+            ShardScrape::fresh("s1", vec![sample(a)]),
+            ShardScrape::fresh("s2", vec![sample(b)]),
+        ]);
+        // The series id's inner quotes are JSON-escaped in the map key.
+        for needle in [
+            "specrepair_repair_latency_us{technique=\\\"ATR\\\"}",
+            "\"count\": 2",
+            "\"p999_ms\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle}:\n{doc}");
+        }
+    }
+}
